@@ -1,0 +1,218 @@
+// E17 — design-choice ablations (DESIGN.md §4): each knob the paper fixes,
+// measured against its broken variant.
+//
+//   (a) Decay order: send-then-flip ("at least once!") vs flip-then-send;
+//   (b) phase alignment: synchronized Decay starts (Theorem 1's
+//       hypothesis) vs start-on-inform;
+//   (c) BFS schedule: all t Decays in the node's one layer phase (the
+//       reading that matches the proof) vs the literal one-Decay-per-phase
+//       pseudocode.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/bfs.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+using namespace radiocast;
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials / 2, 30);
+
+  harness::print_banner(
+      "E17a / Decay order ablation: send-then-flip (paper) vs "
+      "flip-then-send, end-to-end broadcast on a path");
+  {
+    const graph::Graph g = graph::path(harness::scaled(24, opt));
+    harness::Table table({"variant", "eps", "success rate",
+                          "median completion"});
+    harness::CsvWriter csv(opt.csv_dir, "e17a_decay_order");
+    csv.header({"variant", "eps", "rate", "median"});
+    for (const bool send_first : {true, false}) {
+      for (const double eps : {0.3, 0.1}) {
+        std::size_t ok = 0;
+        stats::Summary completion;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          proto::BroadcastParams params{
+              .network_size_bound = g.node_count(),
+              .degree_bound = g.max_in_degree(),
+              .epsilon = eps,
+              .stop_probability = 0.5,
+          };
+          params.send_before_flip = send_first;
+          const NodeId sources[] = {0};
+          const auto out = harness::run_bgi_broadcast(
+              g, sources, params, opt.seed + 3 * trial, Slot{1} << 20);
+          if (out.all_informed) {
+            ++ok;
+            completion.add(static_cast<double>(out.completion_slot));
+          }
+        }
+        table.add_row(
+            {send_first ? "send-then-flip (paper)" : "flip-then-send",
+             harness::Table::num(eps, 2),
+             harness::Table::num(static_cast<double>(ok) /
+                                     static_cast<double>(trials),
+                                 3),
+             completion.count()
+                 ? harness::Table::num(completion.median(), 0)
+                 : "-"});
+        csv.row({send_first ? "paper" : "flip_first", std::to_string(eps),
+                 std::to_string(static_cast<double>(ok) /
+                                static_cast<double>(trials)),
+                 std::to_string(completion.count() ? completion.median()
+                                                   : -1)});
+      }
+    }
+    table.print();
+    std::printf("the \"(but at least once!)\" in the paper's pseudocode is "
+                "load-bearing: a layer that flips first can go fully "
+                "silent for a phase.\n");
+  }
+
+  harness::print_banner(
+      "E17b / phase alignment ablation: synchronized Decay starts vs "
+      "start-on-inform, on a layered path-of-cliques (staggered informs)");
+  {
+    const graph::Graph g = graph::path_of_cliques(8, harness::scaled(8, opt));
+    harness::Table table({"variant", "success rate", "median completion",
+                          "p90 completion"});
+    harness::CsvWriter csv(opt.csv_dir, "e17b_alignment");
+    csv.header({"variant", "rate", "median", "p90"});
+    for (const bool aligned : {true, false}) {
+      std::size_t ok = 0;
+      stats::Summary completion;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        proto::BroadcastParams params{
+            .network_size_bound = g.node_count(),
+            .degree_bound = g.max_in_degree(),
+            .epsilon = 0.1,
+            .stop_probability = 0.5,
+        };
+        params.align_phases = aligned;
+        const NodeId sources[] = {0};
+        const auto out = harness::run_bgi_broadcast(
+            g, sources, params, opt.seed + 7 * trial, Slot{1} << 20);
+        if (out.all_informed) {
+          ++ok;
+          completion.add(static_cast<double>(out.completion_slot));
+        }
+      }
+      table.add_row(
+          {aligned ? "aligned (paper)" : "start-on-inform",
+           harness::Table::num(
+               static_cast<double>(ok) / static_cast<double>(trials), 3),
+           completion.count() ? harness::Table::num(completion.median(), 0)
+                              : "-",
+           completion.count()
+               ? harness::Table::num(completion.quantile(0.9), 0)
+               : "-"});
+      csv.row({aligned ? "aligned" : "unaligned",
+               std::to_string(static_cast<double>(ok) /
+                              static_cast<double>(trials)),
+               std::to_string(completion.count() ? completion.median() : -1),
+               std::to_string(completion.count() ? completion.quantile(0.9)
+                                                 : -1)});
+    }
+    table.print();
+    std::printf("alignment is Theorem 1's hypothesis. In practice the "
+                "unaligned variant often still succeeds (overlapping decay "
+                "games resolve\napproximately); the table quantifies how "
+                "much of the guarantee is robustness vs. proof artifact.\n");
+  }
+
+  harness::print_banner(
+      "E17c / BFS schedule ablation: block-per-layer (proof's reading) vs "
+      "the literal one-Decay-per-phase pseudocode");
+  {
+    const graph::Graph g = graph::grid(6, 6);
+    const auto truth = graph::bfs_distances(g, 0);
+    harness::Table table({"variant", "all-labels-exact rate",
+                          "per-node accuracy"});
+    harness::CsvWriter csv(opt.csv_dir, "e17c_bfs_schedule");
+    csv.header({"variant", "exact_rate", "accuracy"});
+    for (const proto::BfsSchedule schedule :
+         {proto::BfsSchedule::kBlockPerLayer,
+          proto::BfsSchedule::kLiteralPseudocode}) {
+      std::size_t perfect = 0;
+      std::size_t correct_nodes = 0;
+      std::size_t total_nodes = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        const proto::BroadcastParams params{
+            .network_size_bound = g.node_count(),
+            .degree_bound = g.max_in_degree(),
+            .epsilon = 0.05,
+            .stop_probability = 0.5,
+        };
+        sim::Simulator s(g, sim::SimOptions{opt.seed + 11 * trial});
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          if (v == 0) {
+            sim::Message m;
+            m.origin = 0;
+            s.emplace_protocol<proto::BgiBfs>(v, params, m, schedule);
+          } else {
+            s.emplace_protocol<proto::BgiBfs>(v, params, schedule);
+          }
+        }
+        // Quiesce when every informed node has finished its phases
+        // (uninformed nodes never terminate — they are the failures).
+        s.run_until(
+            [&g](const sim::Simulator& sim) {
+              if (sim.now() == 0) {
+                return false;
+              }
+              for (NodeId v = 0; v < g.node_count(); ++v) {
+                const auto& p = sim.protocol_as<proto::BgiBfs>(v);
+                if (p.informed() && !p.terminated()) {
+                  return false;
+                }
+              }
+              return true;
+            },
+            Slot{1} << 20);
+        std::size_t correct = 0;
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          const auto& p = s.protocol_as<proto::BgiBfs>(v);
+          if (p.informed() && p.distance() == truth[v]) {
+            ++correct;
+          }
+        }
+        perfect += correct == g.node_count() ? 1 : 0;
+        correct_nodes += correct;
+        total_nodes += g.node_count();
+      }
+      const char* name = schedule == proto::BfsSchedule::kBlockPerLayer
+                             ? "block-per-layer (ours)"
+                             : "literal pseudocode";
+      table.add_row(
+          {name,
+           harness::Table::num(static_cast<double>(perfect) /
+                                   static_cast<double>(trials),
+                               3),
+           harness::Table::num(static_cast<double>(correct_nodes) /
+                                   static_cast<double>(total_nodes),
+                               4)});
+      csv.row({name,
+               std::to_string(static_cast<double>(perfect) /
+                              static_cast<double>(trials)),
+               std::to_string(static_cast<double>(correct_nodes) /
+                              static_cast<double>(total_nodes))});
+    }
+    table.print();
+    std::printf("the literal reading gives each label a single "
+                "conflict-resolution attempt (P ~ 0.7 per node) — nowhere "
+                "near the promised 1 - eps. See EXPERIMENTS.md.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E18 — the paper's §1 reliability argument, made quantitative:
+//
+//   "it is desirable not to rely on the collision detection mechanism: a
+//    communication protocol which does not use collision detection is
+//    likely to be more reliable ... since the protocol will not fail in
+//    case of undetected collision."
+//
+// We inject collision-detector false negatives (a collision silently
+// looks like noise) and compare, on the same C_n instances:
+//   * the 4-slot deterministic CD protocol (§4) — which fails exactly
+//     when the sink's single load-bearing collision goes undetected;
+//   * the randomized BGI broadcast — which never consults the detector
+//     and is therefore completely indifferent.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/cd_star.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+bool run_cd_protocol(const graph::CnNetwork& net, double fnr,
+                     std::uint64_t seed) {
+  sim::Simulator s(net.g,
+                   sim::SimOptions{.seed = seed,
+                                   .collision_detection = true,
+                                   .cd_false_negative_rate = fnr});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (v == net.source) {
+      sim::Message m;
+      m.origin = 0;
+      m.tag = 0xCD;
+      s.emplace_protocol<proto::CdStarBroadcast>(v, net.n(), m);
+    } else {
+      s.emplace_protocol<proto::CdStarBroadcast>(v, net.n(), std::nullopt);
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    s.step();
+  }
+  return s.protocol_as<proto::CdStarBroadcast>(net.sink).informed();
+}
+
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials, 100);
+  const std::size_t n = harness::scaled(24, opt);
+
+  harness::print_banner(
+      "E18 / undetected collisions: the CD-reliant 4-slot protocol vs the "
+      "CD-free randomized protocol on C_n");
+  std::printf("n = %zu, random non-singleton S per trial, %zu trials per "
+              "cell\n",
+              n, trials);
+
+  harness::Table table({"CD false-negative rate", "CD protocol success",
+                        "expected (1 - fnr)", "BGI (no CD) success"});
+  harness::CsvWriter csv(opt.csv_dir, "e18_cd_reliability");
+  csv.header({"fnr", "cd_success", "bgi_success"});
+
+  for (const double fnr : {0.0, 0.05, 0.2, 0.5, 0.9}) {
+    std::size_t cd_ok = 0;
+    std::size_t bgi_ok = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      rng::Rng pick(opt.seed + trial);
+      graph::CnNetwork net = graph::make_cn_random(n, pick);
+      while (net.s.size() < 2) {  // the CD path matters only for |S| >= 2
+        net = graph::make_cn_random(n, pick);
+      }
+      cd_ok += run_cd_protocol(net, fnr, opt.seed * 31 + trial) ? 1 : 0;
+
+      const proto::BroadcastParams params{
+          .network_size_bound = net.g.node_count(),
+          .degree_bound = net.g.max_in_degree(),
+          .epsilon = 0.05,
+          .stop_probability = 0.5,
+      };
+      const NodeId sources[] = {net.source};
+      const auto out = harness::run_bgi_broadcast(
+          net.g, sources, params, opt.seed * 37 + trial, Slot{1} << 20);
+      bgi_ok += out.all_informed ? 1 : 0;
+    }
+    table.add_row(
+        {harness::Table::num(fnr, 2),
+         harness::Table::num(
+             static_cast<double>(cd_ok) / static_cast<double>(trials), 3),
+         harness::Table::num(1.0 - fnr, 2),
+         harness::Table::num(
+             static_cast<double>(bgi_ok) / static_cast<double>(trials),
+             3)});
+    csv.row({std::to_string(fnr),
+             std::to_string(static_cast<double>(cd_ok) /
+                            static_cast<double>(trials)),
+             std::to_string(static_cast<double>(bgi_ok) /
+                            static_cast<double>(trials))});
+  }
+  table.print();
+  std::printf(
+      "shape: the CD protocol's success tracks 1 - fnr (its single slot-1 "
+      "collision\nis load-bearing); the randomized protocol never consults "
+      "the detector and\nstays at ~1 regardless — the paper's reliability "
+      "argument, quantified.\n");
+  return 0;
+}

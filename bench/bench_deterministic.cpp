@@ -1,0 +1,135 @@
+// E13 — the deterministic side of the story:
+//   (a) §3.4: DFS token broadcast completes within 2n slots on every
+//       connected network (the matching upper bound for Theorem 12);
+//   (b) §4: with collision detection, C_n broadcast takes 4 slots — the
+//       lower bound collapses (exhaustive over S for small n).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/cd_star.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+Slot run_cd(const graph::CnNetwork& net) {
+  sim::Simulator s(net.g,
+                   sim::SimOptions{.seed = 1, .collision_detection = true});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (v == net.source) {
+      sim::Message m;
+      m.origin = 0;
+      m.tag = 0xCD;
+      s.emplace_protocol<proto::CdStarBroadcast>(v, net.n(), m);
+    } else {
+      s.emplace_protocol<proto::CdStarBroadcast>(v, net.n(), std::nullopt);
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    s.step();
+  }
+  return s.protocol_as<proto::CdStarBroadcast>(net.sink).informed_at();
+}
+
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+
+  harness::print_banner(
+      "E13a / DFS upper bound: deterministic broadcast within 2n slots on "
+      "every connected network");
+  {
+    harness::Table table({"family", "n", "slots used", "2n budget",
+                          "within", "collisions"});
+    harness::CsvWriter csv(opt.csv_dir, "e13a_dfs");
+    csv.header({"family", "n", "slots", "budget"});
+    struct Case {
+      std::string name;
+      graph::Graph g;
+    };
+    rng::Rng topo(opt.seed);
+    const std::size_t n = harness::scaled(200, opt);
+    const Case cases[] = {
+        {"path", graph::path(n)},
+        {"cycle", graph::cycle(n)},
+        {"grid", graph::grid(static_cast<std::size_t>(std::sqrt(n)),
+                             static_cast<std::size_t>(std::sqrt(n)))},
+        {"clique", graph::clique(std::min<std::size_t>(n, 96))},
+        {"random-tree", graph::random_tree(n, topo)},
+        {"connected-gnp",
+         graph::connected_gnp(n, 3.0 / static_cast<double>(n), topo)},
+        {"C_n worst-S",
+         graph::make_cn(n / 2, std::vector<NodeId>{
+                                   static_cast<NodeId>(n / 2)})
+             .g},
+    };
+    for (const Case& c : cases) {
+      const std::size_t nodes = c.g.node_count();
+      const auto out = harness::run_dfs_broadcast(c.g, 0, 4 * nodes);
+      table.add_row({c.name, harness::Table::inum(nodes),
+                     harness::Table::inum(out.slots_run),
+                     harness::Table::inum(2 * nodes),
+                     harness::Table::yes_no(out.all_heard &&
+                                            out.slots_run <= 2 * nodes),
+                     "0 (token protocol: single transmitter per slot)"});
+      csv.row({c.name, std::to_string(nodes), std::to_string(out.slots_run),
+               std::to_string(2 * nodes)});
+    }
+    table.print();
+    std::printf("paper §3.4: \"one may reach all n processors ... within 2n "
+                "time-slots, by ... a Depth-First-Search manner\" — the "
+                "bound Theorem 12 shows is tight up to a constant.\n");
+  }
+
+  harness::print_banner(
+      "E13b / §4 concluding remark: with collision detection, C_n takes 4 "
+      "slots (deterministically, for every S)");
+  {
+    harness::Table table({"n", "instances", "worst sink slot",
+                          "all within 4 slots"});
+    harness::CsvWriter csv(opt.csv_dir, "e13b_cd");
+    csv.header({"n", "instances", "worst_slot"});
+    for (const std::size_t n : {4U, 8U, 12U, 64U, 256U}) {
+      Slot worst = 0;
+      std::size_t instances = 0;
+      if (n <= 12) {
+        for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+          const auto net =
+              graph::make_cn(n, graph::subset_from_mask(n, mask));
+          worst = std::max(worst, run_cd(net));
+          ++instances;
+        }
+      } else {
+        rng::Rng rng(opt.seed + n);
+        for (std::size_t trial = 0; trial < 200; ++trial) {
+          const auto net = graph::make_cn_random(n, rng);
+          worst = std::max(worst, run_cd(net));
+          ++instances;
+        }
+      }
+      table.add_row({harness::Table::inum(n),
+                     harness::Table::inum(instances),
+                     harness::Table::inum(worst),
+                     harness::Table::yes_no(worst <= 3)});
+      csv.row({std::to_string(n), std::to_string(instances),
+               std::to_string(worst)});
+    }
+    table.print();
+    std::printf("contrast with E4/E5: the same family needs >= n/8 slots "
+                "without collision detection. CD is what the lower bound "
+                "is really about.\n");
+  }
+  return 0;
+}

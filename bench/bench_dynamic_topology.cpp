@@ -1,0 +1,110 @@
+// E8 — §2.2 property 3: adaptiveness to changing topology / fault
+// resilience. "Edges may be added or deleted at any time, provided that
+// the network of unchanged edges remains connected."
+//
+// Setup: a connected stable core (random tree) plus `chords` volatile
+// extra edges that flap (removed / re-added) on a schedule while the
+// broadcast runs; optionally leaf crash faults. Success rates vs a static
+// control run.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+using namespace radiocast;
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t n = harness::scaled(80, opt);
+  const std::size_t trials = std::max<std::size_t>(opt.trials / 4, 10);
+  const double eps = 0.1;
+
+  harness::print_banner(
+      "E8 / dynamic topology: broadcast success while volatile edges flap "
+      "(stable core stays connected)");
+  std::printf("n = %zu, %zu trials per row, eps = %.2f\n", n, trials, eps);
+
+  harness::Table table({"churn (events/run)", "flap period (slots)",
+                        "success rate", "median completion", "control "
+                        "(static) rate"});
+  harness::CsvWriter csv(opt.csv_dir, "e8_dynamic");
+  csv.header({"events", "period", "rate", "median_completion"});
+
+  for (const Slot period : {4U, 8U, 16U, 32U}) {
+    std::size_t successes = 0;
+    std::size_t control_successes = 0;
+    stats::Summary completion;
+    std::size_t event_count = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      rng::Rng topo(opt.seed + trial);
+      graph::Graph g = graph::random_tree(n, topo);  // stable core
+      // Volatile chords: present initially, flapping forever after.
+      std::vector<std::pair<NodeId, NodeId>> chords;
+      for (std::size_t i = 0; i < n / 2; ++i) {
+        const auto u = static_cast<NodeId>(topo.uniform(n));
+        const auto v = static_cast<NodeId>(topo.uniform(n));
+        if (u != v && g.add_edge(u, v)) {
+          chords.emplace_back(u, v);
+        }
+      }
+      std::vector<sim::TopologyEvent> events;
+      for (std::size_t i = 0; i < chords.size(); ++i) {
+        const Slot phase_shift = i % period;
+        for (Slot cycle = 0; cycle < 16; ++cycle) {
+          const Slot off = phase_shift + 2 * cycle * period;
+          events.push_back({off + period, sim::EventKind::kRemoveEdge,
+                            chords[i].first, chords[i].second});
+          events.push_back({off + 2 * period, sim::EventKind::kAddEdge,
+                            chords[i].first, chords[i].second});
+        }
+      }
+      event_count = events.size();
+      const proto::BroadcastParams params{
+          .network_size_bound = g.node_count(),
+          .degree_bound = g.node_count(),  // degree fluctuates: use n
+          .epsilon = eps,
+          .stop_probability = 0.5,
+      };
+      const NodeId sources[] = {0};
+      const auto out = harness::run_bgi_broadcast(
+          g, sources, params, opt.seed * 7 + trial, Slot{1} << 22, events);
+      if (out.all_informed) {
+        ++successes;
+        completion.add(static_cast<double>(out.completion_slot));
+      }
+      const auto control = harness::run_bgi_broadcast(
+          g, sources, params, opt.seed * 7 + trial, Slot{1} << 22);
+      control_successes += control.all_informed ? 1 : 0;
+    }
+    table.add_row(
+        {harness::Table::inum(event_count), harness::Table::inum(period),
+         harness::Table::num(static_cast<double>(successes) /
+                                 static_cast<double>(trials),
+                             3),
+         completion.count() ? harness::Table::num(completion.median(), 0)
+                            : "-",
+         harness::Table::num(static_cast<double>(control_successes) /
+                                 static_cast<double>(trials),
+                             3)});
+    csv.row({std::to_string(event_count), std::to_string(period),
+             std::to_string(static_cast<double>(successes) /
+                            static_cast<double>(trials)),
+             std::to_string(completion.count() ? completion.median() : -1)});
+  }
+  table.print();
+  std::printf(
+      "paper: the protocol uses no topology knowledge, IDs or "
+      "acknowledgements, so churn outside the connected core cannot break "
+      "it — success stays at the static-control level (>= 1 - eps).\n");
+  return 0;
+}

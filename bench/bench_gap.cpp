@@ -1,0 +1,115 @@
+// E5 — Corollary 13, the paper's headline: an exponential gap between
+// randomized and deterministic broadcast on the family C_n.
+//
+// For each n, on C_n instances:
+//   randomized  : BGI Broadcast_scheme median/max completion slots
+//                 (over trials and over adversarial S = {n});
+//   deterministic: DFS token broadcast and round-robin — both Θ(n) even
+//                 though the diameter is at most 3;
+//   lower bound  : the hitting-game adversary's guarantee n/8 (Thm 12).
+//
+// The table's shape IS the result: the randomized column grows like
+// log n * log(n/ε) while every deterministic column grows linearly.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+/// Worst-case-ish S for the deterministic baselines: the lone sink
+/// neighbor is the last id every scan reaches.
+graph::CnNetwork worst_instance(std::size_t n) {
+  const NodeId s_members[] = {static_cast<NodeId>(n)};
+  return graph::make_cn(n, s_members);
+}
+
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials / 4, 10);
+  const double eps = 0.1;
+
+  harness::print_banner(
+      "E5 / Corollary 13: randomized vs deterministic broadcast on C_n "
+      "(diameter <= 3)");
+  std::printf("%zu randomized trials per n; deterministic runs are exact\n",
+              trials);
+
+  harness::Table table({"n (2nd layer)", "rand median", "rand p90",
+                        "rand max", "DFS slots", "round-robin slots",
+                        "Thm12 bound n/8", "rand success"});
+  harness::CsvWriter csv(opt.csv_dir, "e5_gap");
+  csv.header({"n", "rand_median", "rand_p90", "rand_max", "dfs", "rr",
+              "lower_bound"});
+
+  for (const std::size_t n : {8U, 16U, 32U, 64U, 128U, 256U, 512U}) {
+    const auto net = worst_instance(harness::scaled(n, opt));
+    const std::size_t nn = net.n();
+
+    // Randomized protocol on the worst instance.
+    const proto::BroadcastParams params{
+        .network_size_bound = net.g.node_count(),
+        .degree_bound = net.g.max_in_degree(),
+        .epsilon = eps,
+        .stop_probability = 0.5,
+    };
+    stats::Summary randomized;
+    std::size_t successes = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const NodeId sources[] = {net.source};
+      const auto out = harness::run_bgi_broadcast(
+          net.g, sources, params, opt.seed + 31 * n + trial, Slot{1} << 22);
+      if (out.all_informed) {
+        ++successes;
+        randomized.add(static_cast<double>(out.completion_slot) + 1);
+      }
+    }
+
+    // Deterministic baselines (exact, no randomness).
+    const auto dfs =
+        harness::run_dfs_broadcast(net.g, net.source, 8 * (nn + 2));
+    // Round-robin completes within (n+2)(D+1) slots; D <= 3 on C_n.
+    const auto rr =
+        harness::run_round_robin(net.g, net.source, 8 * (nn + 2));
+
+    table.add_row(
+        {harness::Table::inum(nn),
+         randomized.count() > 0 ? harness::Table::num(randomized.median(), 0)
+                                : "-",
+         randomized.count() > 0
+             ? harness::Table::num(randomized.quantile(0.9), 0)
+             : "-",
+         randomized.count() > 0 ? harness::Table::num(randomized.max(), 0)
+                                : "-",
+         dfs.all_heard ? harness::Table::inum(dfs.completion_slot + 1) : "-",
+         rr.all_heard ? harness::Table::inum(rr.completion_slot + 1) : "-",
+         harness::Table::num(static_cast<double>(nn) / 8.0, 1),
+         harness::Table::num(static_cast<double>(successes) /
+                                 static_cast<double>(trials),
+                             2)});
+    csv.row({std::to_string(nn),
+             std::to_string(randomized.count() ? randomized.median() : -1),
+             std::to_string(randomized.count() ? randomized.quantile(0.9)
+                                               : -1),
+             std::to_string(randomized.count() ? randomized.max() : -1),
+             std::to_string(dfs.completion_slot + 1),
+             std::to_string(rr.completion_slot + 1),
+             std::to_string(static_cast<double>(nn) / 8.0)});
+  }
+  table.print();
+  std::printf(
+      "shape: the randomized columns grow ~ log n * log(n/eps) (doubling n\n"
+      "adds a few slots); the deterministic columns double with n and stay\n"
+      "above the Theorem-12 floor n/8. That is the exponential gap.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E20 — gossiping (all-to-all broadcast), the sibling primitive the
+// broadcast literature grew into. Series over n and family: completion
+// rate, the slot at which learning actually finished vs the protocol's
+// R*k*t safety budget, and total transmissions vs the naive alternative
+// of n sequential broadcasts.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/gossip.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+using namespace radiocast;
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials / 8, 8);
+
+  harness::print_banner(
+      "E20 / gossip (all-to-all): every node learns every rumor");
+  harness::Table table({"family", "n", "D", "complete rate",
+                        "median learning-done slot", "budget R*k*t",
+                        "mean tx", "n-broadcasts tx estimate"});
+  harness::CsvWriter csv(opt.csv_dir, "e20_gossip");
+  csv.header({"family", "n", "rate", "learned_slot", "budget", "tx"});
+
+  struct Case {
+    std::string name;
+    graph::Graph g;
+  };
+  rng::Rng topo(opt.seed);
+  const std::size_t base_n = harness::scaled(36, opt);
+  const std::vector<Case> cases = {
+      {"path", graph::path(base_n / 2)},
+      {"grid", graph::grid(6, 6)},
+      {"clique", graph::clique(base_n / 2)},
+      {"connected-gnp",
+       graph::connected_gnp(base_n, 4.0 / static_cast<double>(base_n),
+                            topo)},
+      {"geometric",
+       graph::random_geometric(
+           base_n, 2.0 / std::sqrt(static_cast<double>(base_n)), topo)},
+  };
+
+  for (const Case& c : cases) {
+    const auto d = graph::diameter(c.g);
+    const std::size_t n = c.g.node_count();
+    const proto::GossipParams params{
+        proto::BroadcastParams{
+            .network_size_bound = n,
+            .degree_bound = c.g.max_in_degree(),
+            .epsilon = 0.05,
+            .stop_probability = 0.5,
+        },
+        std::max<std::size_t>(d, 1)};
+    std::size_t complete = 0;
+    stats::Summary learned;
+    stats::Summary tx;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      sim::Simulator s(c.g, sim::SimOptions{opt.seed + 23 * trial});
+      for (NodeId v = 0; v < n; ++v) {
+        s.emplace_protocol<proto::Gossip>(v, params);
+      }
+      s.run_to_quiescence(params.horizon() + 2);
+      bool all = true;
+      Slot last = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        const auto& p = s.protocol_as<proto::Gossip>(v);
+        all = all && p.rumor_count() == n;
+        last = std::max(last, p.last_learned_at());
+      }
+      complete += all ? 1 : 0;
+      if (all) {
+        learned.add(static_cast<double>(last));
+      }
+      tx.add(static_cast<double>(s.trace().total_transmissions()));
+    }
+    // Naive comparator: n one-message broadcasts, each ~2 n log(N/eps) tx.
+    const double naive_tx =
+        static_cast<double>(n) * 2.0 * static_cast<double>(n) *
+        params.base.repetitions();
+    table.add_row(
+        {c.name, harness::Table::inum(n), harness::Table::inum(d),
+         harness::Table::num(static_cast<double>(complete) /
+                                 static_cast<double>(trials),
+                             3),
+         learned.count() ? harness::Table::num(learned.median(), 0) : "-",
+         harness::Table::inum(params.horizon()),
+         harness::Table::num(tx.mean(), 0),
+         harness::Table::num(naive_tx, 0)});
+    csv.row({c.name, std::to_string(n),
+             std::to_string(static_cast<double>(complete) /
+                            static_cast<double>(trials)),
+             std::to_string(learned.count() ? learned.median() : -1),
+             std::to_string(params.horizon()),
+             std::to_string(tx.mean())});
+  }
+  table.print();
+  std::printf(
+      "shape: combined-message gossip completes inside the fixed round "
+      "budget\nwith far fewer transmissions than n separate broadcasts — "
+      "set-merging does\nthe work of many single-message relays at once.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// E16 — leader election, the application pointed to by §2.3 / [BGI89]:
+//   (a) multi-hop, no collision detection: round-synchronized
+//       max-propagation built on Decay — agreement rate, unique-leader
+//       rate, and slots vs the protocol's R * k * t budget;
+//   (b) single-hop WITH collision detection (Willard-style geometric
+//       backoff): expected O(log n) slots — the contrast that motivated
+//       the emulation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/leader_election.hpp"
+#include "radiocast/proto/willard.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+using namespace radiocast;
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials / 8, 8);
+
+  harness::print_banner(
+      "E16a / multi-hop leader election (no CD), Decay max-propagation");
+  {
+    harness::Table table({"family", "n", "D", "agreement rate",
+                          "unique-leader rate", "slot budget R*k*t"});
+    harness::CsvWriter csv(opt.csv_dir, "e16a_leader_multihop");
+    csv.header({"family", "n", "agreement", "unique", "budget"});
+    struct Case {
+      std::string name;
+      graph::Graph g;
+    };
+    rng::Rng topo(opt.seed);
+    const std::size_t n = harness::scaled(64, opt);
+    const std::vector<Case> cases = {
+        {"path", graph::path(n / 2)},
+        {"grid", graph::grid(static_cast<std::size_t>(std::sqrt(n)),
+                             static_cast<std::size_t>(std::sqrt(n)))},
+        {"clique", graph::clique(n / 2)},
+        {"connected-gnp",
+         graph::connected_gnp(n, 4.0 / static_cast<double>(n), topo)},
+    };
+    for (const Case& c : cases) {
+      const auto d = graph::diameter(c.g);
+      const proto::LeaderElectionParams params{
+          proto::BroadcastParams{
+              .network_size_bound = c.g.node_count(),
+              .degree_bound = c.g.max_in_degree(),
+              .epsilon = 0.05,
+              .stop_probability = 0.5,
+          },
+          std::max<std::size_t>(d, 1)};
+      std::size_t agreements = 0;
+      std::size_t unique = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        sim::Simulator s(c.g, sim::SimOptions{opt.seed + 19 * trial});
+        for (NodeId v = 0; v < c.g.node_count(); ++v) {
+          s.emplace_protocol<proto::LeaderElection>(v, params);
+        }
+        s.run_to_quiescence(params.horizon() + 2);
+        bool agree = true;
+        std::size_t believers = 0;
+        const NodeId first =
+            s.protocol_as<proto::LeaderElection>(0).best_owner();
+        for (NodeId v = 0; v < c.g.node_count(); ++v) {
+          const auto& p = s.protocol_as<proto::LeaderElection>(v);
+          agree = agree && p.best_owner() == first;
+          believers += p.believes_leader(v) ? 1 : 0;
+        }
+        agreements += agree ? 1 : 0;
+        unique += believers == 1 ? 1 : 0;
+      }
+      table.add_row(
+          {c.name, harness::Table::inum(c.g.node_count()),
+           harness::Table::inum(d),
+           harness::Table::num(static_cast<double>(agreements) /
+                                   static_cast<double>(trials),
+                               3),
+           harness::Table::num(static_cast<double>(unique) /
+                                   static_cast<double>(trials),
+                               3),
+           harness::Table::inum(params.horizon())});
+      csv.row({c.name, std::to_string(c.g.node_count()),
+               std::to_string(static_cast<double>(agreements) /
+                              static_cast<double>(trials)),
+               std::to_string(static_cast<double>(unique) /
+                              static_cast<double>(trials)),
+               std::to_string(params.horizon())});
+    }
+    table.print();
+    std::printf("every family reaches near-1 agreement within the fixed "
+                "R = D + log(N/eps) + 2 round budget.\n");
+  }
+
+  harness::print_banner(
+      "E16b / single-hop election WITH collision detection (Willard-style "
+      "backoff)");
+  {
+    harness::Table table({"n", "geometric mean slots", "geometric p90",
+                          "binary-search mean slots", "binary-search p90",
+                          "success"});
+    harness::CsvWriter csv(opt.csv_dir, "e16b_leader_singlehop");
+    csv.header({"n", "geo_mean", "geo_p90", "bs_mean", "bs_p90"});
+    for (const std::size_t n : {4U, 16U, 64U, 256U, 1024U}) {
+      stats::Summary geo;
+      stats::Summary bs;
+      std::size_t ok = 0;
+      const std::size_t runs = std::max<std::size_t>(trials * 2, 16);
+      for (std::size_t trial = 0; trial < runs; ++trial) {
+        {
+          sim::Simulator s(
+              graph::clique(n),
+              sim::SimOptions{.seed = opt.seed + 7 * trial + n,
+                              .collision_detection = true});
+          for (NodeId v = 0; v < n; ++v) {
+            s.emplace_protocol<proto::WillardElection>(v, n);
+          }
+          const Slot end = s.run_to_quiescence(100000);
+          if (s.all_terminated()) {
+            ++ok;
+            geo.add(static_cast<double>(end));
+          }
+        }
+        {
+          sim::Simulator s(
+              graph::clique(n),
+              sim::SimOptions{.seed = opt.seed + 7 * trial + n,
+                              .collision_detection = true});
+          for (NodeId v = 0; v < n; ++v) {
+            s.emplace_protocol<proto::WillardBinarySearchElection>(v, n);
+          }
+          const Slot end = s.run_to_quiescence(100000);
+          if (s.all_terminated()) {
+            bs.add(static_cast<double>(end));
+          }
+        }
+      }
+      table.add_row({harness::Table::inum(n),
+                     harness::Table::num(geo.mean(), 1),
+                     harness::Table::num(geo.quantile(0.9), 0),
+                     harness::Table::num(bs.mean(), 1),
+                     harness::Table::num(bs.quantile(0.9), 0),
+                     harness::Table::num(static_cast<double>(ok) /
+                                             static_cast<double>(runs),
+                                         2)});
+      csv.row({std::to_string(n), std::to_string(geo.mean()),
+               std::to_string(geo.quantile(0.9)), std::to_string(bs.mean()),
+               std::to_string(bs.quantile(0.9))});
+    }
+    table.print();
+    std::printf(
+        "with CD, election cost grows ~ log n (geometric backoff) or "
+        "~ log log n\n(Willard's binary contention search); without CD the "
+        "multi-hop table above\npays the R * k * t Decay budget — the same "
+        "CD-vs-no-CD contrast as the\nbroadcast results.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E7 — §2.2 property 2: expected total transmissions <= 2 n ceil(log(N/ε)).
+//
+// Series over n on two families; measured mean transmissions per run vs
+// the paper's bound, plus mean transmissions per node (the paper's "the
+// average number of transmissions per phase is <= 2").
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/stats/chernoff.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+using namespace radiocast;
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials, 50);
+  const double eps = 0.1;
+
+  harness::print_banner(
+      "E7 / message complexity: E[transmissions] <= 2 n ceil(log2(N/eps))");
+  std::printf("%zu trials per row, eps = %.2f\n", trials, eps);
+
+  harness::Table table({"family", "n", "mean tx", "max tx", "paper bound",
+                        "mean tx / node", "per-phase tx / node",
+                        "within bound"});
+  harness::CsvWriter csv(opt.csv_dir, "e7_message_complexity");
+  csv.header({"family", "n", "mean_tx", "bound"});
+
+  for (const std::size_t base_n : {32U, 64U, 128U, 256U}) {
+    const std::size_t n = harness::scaled(base_n, opt);
+    struct Row {
+      std::string name;
+      graph::Graph g;
+    };
+    rng::Rng topo(opt.seed + n);
+    const Row rows[] = {
+        {"connected-gnp",
+         graph::connected_gnp(n, 4.0 / static_cast<double>(n), topo)},
+        {"clique", graph::clique(n)},
+    };
+    for (const Row& row : rows) {
+      const proto::BroadcastParams params{
+          .network_size_bound = row.g.node_count(),
+          .degree_bound = row.g.max_in_degree(),
+          .epsilon = eps,
+          .stop_probability = 0.5,
+      };
+      const double bound = stats::message_complexity_bound(
+          row.g.node_count(), row.g.node_count(), eps);
+      stats::Summary tx;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        const NodeId sources[] = {0};
+        const auto out = harness::run_bgi_broadcast_to_termination(
+            row.g, sources, params, opt.seed + 917 * trial, Slot{1} << 22);
+        tx.add(static_cast<double>(out.transmissions));
+      }
+      const double per_node = tx.mean() / static_cast<double>(n);
+      const double per_phase = per_node / params.repetitions();
+      // The paper bounds the EXPECTATION, and the bound is nearly tight
+      // (E[tx] = n*t*(2 - 2^(1-k)) ~ bound), so compare the sample mean
+      // with its standard error, not point-vs-point.
+      const double se =
+          tx.stddev() / std::sqrt(static_cast<double>(tx.count()));
+      table.add_row({row.name, harness::Table::inum(n),
+                     harness::Table::num(tx.mean(), 0),
+                     harness::Table::num(tx.max(), 0),
+                     harness::Table::num(bound, 0),
+                     harness::Table::num(per_node, 2),
+                     harness::Table::num(per_phase, 2),
+                     harness::Table::yes_no(tx.mean() - 2.0 * se <= bound)});
+      csv.row({row.name, std::to_string(n), std::to_string(tx.mean()),
+               std::to_string(bound)});
+    }
+  }
+  table.print();
+  std::printf(
+      "paper: each node is active ceil(log(N/eps)) phases, ~2 transmissions "
+      "per phase on average (geometric coin), so <= 2 n ceil(log(N/eps)) "
+      "in expectation.\nRuns continue to full protocol termination, so this is "
+      "the honest total.\n");
+  return 0;
+}

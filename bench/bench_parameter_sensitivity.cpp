@@ -1,0 +1,192 @@
+// E21 — §1.1: "Our protocol performs almost as well when given, instead
+// of the actual number of processors (i.e., n), a 'good' upper bound on
+// this number (denoted N). An upper bound polynomial in n yields the same
+// time-complexity, up to a constant factor (since complexity is
+// logarithmic in N)."
+//
+// Three sweeps on a fixed network:
+//   (a) N overestimation: N ∈ {n, n², n³} — success stays >= 1-ε and
+//       completion grows only linearly in log N (the paper's claim);
+//   (b) N underestimation: N < n void the union bound — success decays;
+//   (c) Δ mis-estimation: overestimates lengthen phases harmlessly;
+//       underestimates break Theorem 1's k >= 2 log d requirement at
+//       high-degree receivers and success collapses.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+struct Cell {
+  double rate = 0;
+  double median = -1;
+  unsigned k = 0;
+  unsigned t = 0;
+};
+
+Cell measure(const graph::Graph& g, std::size_t n_bound,
+             std::size_t degree_bound, double eps, std::size_t trials,
+             std::uint64_t seed, bool to_termination = false) {
+  const proto::BroadcastParams params{
+      .network_size_bound = n_bound,
+      .degree_bound = degree_bound,
+      .epsilon = eps,
+      .stop_probability = 0.5,
+  };
+  Cell cell;
+  cell.k = params.phase_length();
+  cell.t = params.repetitions();
+  std::size_t ok = 0;
+  stats::Summary completion;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const NodeId sources[] = {0};
+    const auto out =
+        to_termination
+            ? harness::run_bgi_broadcast_to_termination(
+                  g, sources, params, seed + trial, Slot{1} << 22)
+            : harness::run_bgi_broadcast(g, sources, params, seed + trial,
+                                         Slot{1} << 22);
+    if (out.all_informed) {
+      ++ok;
+      completion.add(static_cast<double>(
+          to_termination ? out.slots_run : out.completion_slot));
+    }
+  }
+  cell.rate = static_cast<double>(ok) / static_cast<double>(trials);
+  if (completion.count() > 0) {
+    cell.median = completion.median();
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials / 2, 40);
+  const double eps = 0.1;
+
+  rng::Rng topo(opt.seed);
+  const std::size_t n = harness::scaled(100, opt);
+  const graph::Graph g =
+      graph::connected_gnp(n, 6.0 / static_cast<double>(n), topo);
+  const std::size_t true_delta = g.max_in_degree();
+
+  harness::print_banner(
+      "E21a / N overestimation (the paper's §1.1 claim): polynomial "
+      "overestimates cost only a constant factor");
+  {
+    harness::Table table({"N given", "t", "success rate",
+                          "median slots to full termination",
+                          "slowdown vs exact"});
+    harness::CsvWriter csv(opt.csv_dir, "e21a_n_over");
+    csv.header({"N", "t", "rate", "median"});
+    double exact_median = 0;
+    for (const unsigned power : {1U, 2U, 3U}) {
+      std::size_t big_n = n;
+      for (unsigned i = 1; i < power; ++i) {
+        big_n *= n;
+      }
+      const std::string label =
+          power == 1 ? "n" : "n^" + std::to_string(power);
+      const Cell cell = measure(g, big_n, true_delta, eps, trials,
+                                opt.seed + power, /*to_termination=*/true);
+      if (power == 1) {
+        exact_median = cell.median;
+      }
+      table.add_row(
+          {label, harness::Table::inum(cell.t),
+           harness::Table::num(cell.rate, 3),
+           harness::Table::num(cell.median, 0),
+           exact_median > 0
+               ? harness::Table::num(cell.median / exact_median, 2) + "x"
+               : "1.00x"});
+      csv.row({label, std::to_string(cell.t), std::to_string(cell.rate),
+               std::to_string(cell.median)});
+    }
+    table.print();
+    std::printf("paper: complexity is logarithmic in N, so N = n^c "
+                "multiplies t by ~c — visible as the slowdown column.\n");
+  }
+
+  harness::print_banner(
+      "E21b / N underestimation: too few repetitions void Lemma 2 "
+      "(path-of-cliques, 16 layers x 8 — every layer is a Decay contest)");
+  {
+    const graph::Graph deep =
+        graph::path_of_cliques(harness::scaled(16, opt), 8);
+    const std::size_t dn = deep.node_count();
+    harness::Table table({"N given", "t", "success rate",
+                          "paper target (1-eps)"});
+    harness::CsvWriter csv(opt.csv_dir, "e21b_n_under");
+    csv.header({"N", "t", "rate"});
+    for (const std::size_t frac : {1U, 8U, 32U, 64U}) {
+      const std::size_t small_n = std::max<std::size_t>(dn / frac, 2);
+      const Cell cell = measure(deep, small_n, deep.max_in_degree(), eps,
+                                trials, opt.seed + frac);
+      table.add_row({"n/" + std::to_string(frac),
+                     harness::Table::inum(cell.t),
+                     harness::Table::num(cell.rate, 3),
+                     harness::Table::num(1 - eps, 2)});
+      csv.row({std::to_string(small_n), std::to_string(cell.t),
+               std::to_string(cell.rate)});
+    }
+    table.print();
+    std::printf(
+        "finding: the Lemma-2 guarantee lapses below N = n, but the "
+        "protocol degrades\ngracefully — staggered relay windows overlap, "
+        "so success only starts slipping\nonce t bottoms out (the first "
+        "sub-1.0 cell). The bound is a guarantee, not a cliff.\n");
+  }
+
+  harness::print_banner(
+      "E21c / Δ mis-estimation on C_n with S = everything (sink in-degree "
+      "= n): k too small breaks Theorem 1 at the sink");
+  {
+    const std::size_t cn = harness::scaled(64, opt);
+    std::vector<NodeId> all;
+    for (NodeId x = 1; x <= cn; ++x) {
+      all.push_back(x);
+    }
+    const graph::Graph star = graph::make_cn(cn, all).g;
+    const std::size_t hub_degree = cn;  // the sink's in-degree
+    harness::Table table({"Δ given", "k", "success rate",
+                          "median completion"});
+    harness::CsvWriter csv(opt.csv_dir, "e21c_delta");
+    csv.header({"delta", "k", "rate", "median"});
+    const std::size_t candidates[] = {2,  hub_degree / 8, hub_degree / 2,
+                                      hub_degree, 4 * hub_degree};
+    for (const std::size_t delta : candidates) {
+      const std::size_t d = std::max<std::size_t>(delta, 2);
+      const Cell cell =
+          measure(star, star.node_count(), d, eps, trials, opt.seed + d);
+      std::string label = std::to_string(d);
+      if (d == hub_degree) {
+        label += " (true)";
+      }
+      table.add_row({label, harness::Table::inum(cell.k),
+                     harness::Table::num(cell.rate, 3),
+                     harness::Table::num(cell.median, 0)});
+      csv.row({std::to_string(d), std::to_string(cell.k),
+               std::to_string(cell.rate), std::to_string(cell.median)});
+    }
+    table.print();
+    std::printf(
+        "shape: k >= 2 log(true degree) is required at the hub; "
+        "underestimates of Δ lower per-phase success below 1/2 and the "
+        "union bound dies. Overestimates only stretch phases.\n");
+  }
+  return 0;
+}

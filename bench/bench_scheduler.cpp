@@ -1,0 +1,102 @@
+// E15 — the centralized comparison of §1.3: Chlamtac-Weinstein-style
+// schedules vs the paper's distributed protocol.
+//
+// For each family x n: the greedy centralized schedule length (CW87's
+// guarantee is O(D log^2 n)), the naive one-transmitter-per-slot length
+// (Θ(n)), the D log^2 n reference value, and the distributed randomized
+// protocol's median completion — which needs NO topology knowledge yet
+// lands within a log factor of the centralized schedule.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/sched/schedule.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+using namespace radiocast;
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t trials = std::max<std::size_t>(opt.trials / 8, 5);
+
+  harness::print_banner(
+      "E15 / centralized schedules (CW87-style greedy) vs the distributed "
+      "randomized protocol");
+  harness::Table table({"family", "n", "D", "greedy slots", "naive slots",
+                        "D*log^2(n) ref", "BGI median slots",
+                        "greedy valid"});
+  harness::CsvWriter csv(opt.csv_dir, "e15_scheduler");
+  csv.header({"family", "n", "D", "greedy", "naive", "ref", "bgi_median"});
+
+  struct Case {
+    std::string name;
+    graph::Graph g;
+  };
+  rng::Rng topo(opt.seed);
+  const std::size_t n = harness::scaled(200, opt);
+  const std::vector<Case> cases = {
+      {"connected-gnp",
+       graph::connected_gnp(n, 4.0 / static_cast<double>(n), topo)},
+      {"grid", graph::grid(static_cast<std::size_t>(std::sqrt(n)),
+                           static_cast<std::size_t>(std::sqrt(n)))},
+      {"random-tree", graph::random_tree(n, topo)},
+      {"geometric",
+       graph::random_geometric(n, 1.6 / std::sqrt(static_cast<double>(n)),
+                               topo)},
+      {"hypercube", graph::hypercube(7)},
+  };
+
+  for (const Case& c : cases) {
+    const auto d = graph::diameter(c.g);
+    const auto greedy = sched::greedy_cover_schedule(c.g, 0);
+    const auto naive = sched::naive_schedule(c.g, 0);
+    const auto check = sched::verify_schedule(c.g, 0, greedy);
+    const double log_n = std::log2(static_cast<double>(c.g.node_count()));
+    const double ref = static_cast<double>(d) * log_n * log_n;
+
+    const proto::BroadcastParams params{
+        .network_size_bound = c.g.node_count(),
+        .degree_bound = c.g.max_in_degree(),
+        .epsilon = 0.1,
+        .stop_probability = 0.5,
+    };
+    stats::Summary bgi;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const NodeId sources[] = {0};
+      const auto out = harness::run_bgi_broadcast(
+          c.g, sources, params, opt.seed + 5 * trial, Slot{1} << 22);
+      if (out.all_informed) {
+        bgi.add(static_cast<double>(out.completion_slot));
+      }
+    }
+    table.add_row({c.name, harness::Table::inum(c.g.node_count()),
+                   harness::Table::inum(d),
+                   harness::Table::inum(greedy.length()),
+                   harness::Table::inum(naive.length()),
+                   harness::Table::num(ref, 0),
+                   bgi.count() ? harness::Table::num(bgi.median(), 0) : "-",
+                   harness::Table::yes_no(check.valid)});
+    csv.row({c.name, std::to_string(c.g.node_count()), std::to_string(d),
+             std::to_string(greedy.length()), std::to_string(naive.length()),
+             std::to_string(ref),
+             std::to_string(bgi.count() ? bgi.median() : -1)});
+  }
+  table.print();
+  std::printf(
+      "shape: greedy stays well under the D log^2 n reference and far under"
+      "\nthe naive Θ(n) schedule; the distributed protocol, with zero\n"
+      "topology knowledge, is within a small factor of the centralized "
+      "schedule\n(the paper's framing: its protocol IS a distributed "
+      "schedule finder).\n");
+  return 0;
+}

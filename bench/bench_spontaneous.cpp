@@ -1,0 +1,146 @@
+// E11 — §3.5: spontaneous transmissions.
+//
+//   (a) On C_n they trivialize broadcast: the 3-round protocol finishes in
+//       3 slots for EVERY hidden S (vs the Ω(n) bound without them).
+//   (b) On C*_n the lower bound survives: the hitting-game adversary is
+//       unaffected (the game is about locating S, which C*_n still hides),
+//       and the 3-round trick is impossible because no processor knows
+//       which third-layer nodes exist to nominate for it.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/lb/reduction.hpp"
+#include "radiocast/lb/strategies.hpp"
+#include "radiocast/proto/spontaneous_star.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+/// Runs the 3-round spontaneous protocol; returns the slot at which the
+/// sink was informed (kNever on failure).
+Slot run_spontaneous(const graph::CnNetwork& net) {
+  sim::Simulator s(net.g, sim::SimOptions{.seed = 1});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (v == net.source) {
+      sim::Message m;
+      m.origin = 0;
+      m.tag = 0x5;
+      s.emplace_protocol<proto::SpontaneousStarBroadcast>(v, net.n(), m);
+    } else {
+      s.emplace_protocol<proto::SpontaneousStarBroadcast>(v, net.n(),
+                                                          std::nullopt);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    s.step();
+  }
+  return s.protocol_as<proto::SpontaneousStarBroadcast>(net.sink)
+      .informed_at();
+}
+
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+
+  harness::print_banner(
+      "E11a / spontaneous wake-up on C_n: 3 slots for every S (exhaustive "
+      "over small n, sampled for large)");
+  {
+    harness::Table table({"n", "instances checked", "all finish at slot 2",
+                          "worst sink slot"});
+    harness::CsvWriter csv(opt.csv_dir, "e11a_spontaneous");
+    csv.header({"n", "instances", "worst_slot"});
+    for (const std::size_t n : {4U, 8U, 16U, 64U, 256U}) {
+      std::size_t instances = 0;
+      Slot worst = 0;
+      bool all_ok = true;
+      if (n <= 16) {
+        for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+          const auto net =
+              graph::make_cn(n, graph::subset_from_mask(n, mask));
+          const Slot at = run_spontaneous(net);
+          ++instances;
+          all_ok = all_ok && at == 2;
+          worst = std::max(worst, at);
+          if (n == 16 && mask > 4096) {
+            break;  // cap the exhaustive sweep at 4k instances
+          }
+        }
+      } else {
+        rng::Rng rng(opt.seed + n);
+        for (std::size_t trial = 0; trial < 200; ++trial) {
+          const auto net = graph::make_cn_random(n, rng);
+          const Slot at = run_spontaneous(net);
+          ++instances;
+          all_ok = all_ok && at == 2;
+          worst = std::max(worst, at);
+        }
+      }
+      table.add_row({harness::Table::inum(n),
+                     harness::Table::inum(instances),
+                     harness::Table::yes_no(all_ok),
+                     harness::Table::inum(worst)});
+      csv.row({std::to_string(n), std::to_string(instances),
+               std::to_string(worst)});
+    }
+    table.print();
+    std::printf("paper: \"there exist a three round broadcast protocol for "
+                "the network class C_n\" once spontaneous transmission is "
+                "allowed — constant, not Ω(n).\n");
+  }
+
+  harness::print_banner(
+      "E11b / C*_n keeps the lower bound: the adversary still forces n/2 "
+      "hitting-game moves, and the foiled S yields a valid C*_n instance");
+  {
+    harness::Table table({"n", "strategy", "moves survived", "|S|",
+                          "C*_n instance nodes", "sinks at distance 2"});
+    harness::CsvWriter csv(opt.csv_dir, "e11b_cnstar");
+    csv.header({"n", "strategy", "moves", "set_size"});
+    lb::ScanSingletonsStrategy scan;
+    lb::HalvingStrategy halving;
+    lb::ExplorerStrategy* strategies[] = {&scan, &halving};
+    for (const std::size_t n : {16U, 64U, 256U}) {
+      for (lb::ExplorerStrategy* strategy : strategies) {
+        const auto outcome = lb::foil_strategy(*strategy, n, n / 2);
+        if (!outcome.has_value()) {
+          table.add_row({harness::Table::inum(n), strategy->name(), "FAILED",
+                         "-", "-", "-"});
+          continue;
+        }
+        rng::Rng rng(opt.seed + n);
+        const auto r = graph::random_nonempty_subset(
+            static_cast<NodeId>(n + 1), static_cast<NodeId>(2 * n), rng);
+        const auto net = graph::make_cn_star(n, outcome->s, r);
+        const auto dist = graph::bfs_distances(net.g, net.source);
+        bool sinks_ok = true;
+        for (const NodeId sink : net.sinks) {
+          sinks_ok = sinks_ok && dist[sink] == 2;
+        }
+        table.add_row({harness::Table::inum(n), strategy->name(),
+                       harness::Table::inum(outcome->moves_collected),
+                       harness::Table::inum(outcome->s.size()),
+                       harness::Table::inum(net.g.node_count()),
+                       harness::Table::yes_no(sinks_ok)});
+        csv.row({std::to_string(n), strategy->name(),
+                 std::to_string(outcome->moves_collected),
+                 std::to_string(outcome->s.size())});
+      }
+    }
+    table.print();
+    std::printf("paper §3.5: \"a slightly more complicated network class "
+                "admits a lower bound similar to the one proven in Theorem "
+                "12\" even with spontaneous transmissions.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E14 — engineering micro-benchmarks (google-benchmark): simulator slot
+// rate, Decay step cost, find_set cost, exact-DP cost. These are not paper
+// claims; they document that the reproduction runs at laptop scale.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/lb/find_set.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/proto/decay.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/decay_analysis.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+void BM_SimulatorSlot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng topo(1);
+  const graph::Graph g =
+      graph::connected_gnp(n, 8.0 / static_cast<double>(n), topo);
+  const proto::BroadcastParams params{
+      .network_size_bound = n,
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  sim::Simulator s(g, sim::SimOptions{7});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == 0) {
+      sim::Message m;
+      m.origin = 0;
+      s.emplace_protocol<proto::BgiBroadcast>(v, params, m);
+    } else {
+      s.emplace_protocol<proto::BgiBroadcast>(v, params);
+    }
+  }
+  for (auto _ : state) {
+    s.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorSlot)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DecayRunTick(benchmark::State& state) {
+  rng::Rng rng(3);
+  sim::Message m;
+  m.origin = 0;
+  for (auto _ : state) {
+    proto::DecayRun run(16, m);
+    while (!run.phase_over()) {
+      benchmark::DoNotOptimize(run.tick(rng));
+    }
+  }
+}
+BENCHMARK(BM_DecayRunTick);
+
+void BM_FindSet(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(5);
+  std::vector<lb::Move> moves;
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    lb::Move m;
+    const std::size_t size = 1 + rng.geometric(0.5);
+    for (std::size_t j = 0; j < size; ++j) {
+      m.push_back(static_cast<NodeId>(1 + rng.uniform(n)));
+    }
+    moves.push_back(lb::normalize_move(std::move(m), n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb::find_foiling_set(n, moves));
+  }
+}
+BENCHMARK(BM_FindSet)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DecayExactDp(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const unsigned k = proto::decay_phase_length(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::decay_success_probability(k, d));
+  }
+}
+BENCHMARK(BM_DecayExactDp)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::connected_gnp(n, 8.0 / static_cast<double>(n), rng));
+  }
+}
+BENCHMARK(BM_GraphGeneration)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

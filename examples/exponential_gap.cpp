@@ -1,0 +1,82 @@
+// The paper's story in one terminal screen: on the 3-layer family C_n,
+// randomization broadcasts in O(log n * log(n/ε)) slots while every
+// deterministic protocol — however clever — needs Ω(n).
+//
+// This example walks a single C_64 instance end to end:
+//   1. build G_S with a hidden S,
+//   2. run the randomized Broadcast_scheme (fast),
+//   3. run deterministic DFS and round-robin (slow),
+//   4. run the hitting-game adversary against a deterministic strategy to
+//      show WHY determinism is stuck: the referee's answers carry no
+//      information until ~n/2 probes have been spent.
+#include <cstdio>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/lb/reduction.hpp"
+#include "radiocast/lb/strategies.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/rng/rng.hpp"
+
+int main() {
+  using namespace radiocast;
+  const std::size_t n = 64;
+
+  // 1. The hidden instance: sink behind the single second-layer node 64.
+  const NodeId s_members[] = {static_cast<NodeId>(n)};
+  const auto net = graph::make_cn(n, s_members);
+  std::printf("C_%zu: source=0, second layer=1..%zu, sink=%u, |S|=%zu "
+              "(diameter 3)\n",
+              n, n, net.sink, net.s.size());
+
+  // 2. Randomized broadcast.
+  const proto::BroadcastParams params{
+      .network_size_bound = net.g.node_count(),
+      .degree_bound = net.g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  const NodeId sources[] = {net.source};
+  const auto rand_run = harness::run_bgi_broadcast(net.g, sources, params,
+                                                   /*seed=*/3, 1 << 20);
+  std::printf("\n[randomized] BGI Broadcast_scheme: %s in %llu slots "
+              "(k=%u-slot Decay phases, t=%u repetitions)\n",
+              rand_run.all_informed ? "complete" : "failed",
+              static_cast<unsigned long long>(rand_run.completion_slot + 1),
+              params.phase_length(), params.repetitions());
+
+  // 3. Deterministic baselines on the very same network.
+  const auto dfs = harness::run_dfs_broadcast(net.g, net.source, 8 * n);
+  const auto rr = harness::run_round_robin(net.g, net.source, 8 * n);
+  std::printf("[deterministic] DFS token traversal: complete in %llu slots\n",
+              static_cast<unsigned long long>(dfs.completion_slot + 1));
+  std::printf("[deterministic] round-robin:         complete in %llu slots\n",
+              static_cast<unsigned long long>(rr.completion_slot + 1));
+
+  // 4. Why determinism is stuck: the hitting game.
+  lb::ScanSingletonsStrategy scan;
+  const auto foiled = lb::foil_strategy(scan, n, n / 2);
+  if (foiled.has_value()) {
+    std::printf(
+        "\n[lower bound] find_set adversary vs '%s': survived %zu moves;\n"
+        "              every referee answer was predetermined (Lemma 9), so\n"
+        "              the explorer learned nothing for n/2 = %zu probes.\n",
+        scan.name(), foiled->moves_collected, n / 2);
+  }
+  lb::BitSplitAbstract bit_split;
+  const auto protocol_foil =
+      lb::foil_abstract_protocol(bit_split, n, n / 4, 100 * n);
+  if (protocol_foil.has_value()) {
+    std::printf(
+        "[lower bound] abstract '%s' protocol on the adversarial G_S:\n"
+        "              survived %zu rounds (floor n/4 = %zu) — Θ(n), despite"
+        "\n              its log n binary-splitting rounds.\n",
+        bit_split.name(), protocol_foil->rounds_survived, n / 4);
+  }
+
+  std::printf("\nThe exponential gap of the paper's title: %llu slots "
+              "(randomized) vs %llu+ slots (any deterministic protocol).\n",
+              static_cast<unsigned long long>(rand_run.completion_slot + 1),
+              static_cast<unsigned long long>(n / 8));
+  return 0;
+}

@@ -1,0 +1,360 @@
+// radiocast_cli — drive the library from the command line.
+//
+//   radiocast_cli broadcast --family gnp --n 120 --eps 0.1 --trials 50
+//   radiocast_cli bfs       --family grid --n 100 --trials 20
+//   radiocast_cli gap       --n 128 --trials 30
+//   radiocast_cli election  --family geometric --n 80
+//   radiocast_cli route     --family grid --n 100 --source 99 --dest 0
+//   radiocast_cli gossip    --family grid --n 36
+//   radiocast_cli convergecast --family tree --n 40
+//   radiocast_cli schedule  --family gnp --n 150 [--dot plan.dot]
+//   radiocast_cli graph     --family geometric --n 60 --save g.txt [--dot g.dot]
+//
+// Common options: --family {path,cycle,grid,clique,star,hypercube,tree,
+// gnp,geometric,cn}, --n <nodes>, --eps <0..1>, --trials, --seed.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/graph/io.hpp"
+#include "radiocast/harness/args.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/convergecast.hpp"
+#include "radiocast/proto/gossip.hpp"
+#include "radiocast/proto/leader_election.hpp"
+#include "radiocast/proto/routing.hpp"
+#include "radiocast/sched/schedule.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+graph::Graph make_family(const std::string& family, std::size_t n,
+                         std::uint64_t seed) {
+  rng::Rng rng(seed);
+  if (family == "path") return graph::path(n);
+  if (family == "cycle") return graph::cycle(n);
+  if (family == "grid") {
+    const auto side = static_cast<std::size_t>(std::sqrt(n));
+    return graph::grid(side, (n + side - 1) / side);
+  }
+  if (family == "clique") return graph::clique(n);
+  if (family == "star") return graph::star(n);
+  if (family == "hypercube") {
+    return graph::hypercube(floor_log2(std::max<std::size_t>(n, 2)));
+  }
+  if (family == "tree") return graph::random_tree(n, rng);
+  if (family == "gnp") {
+    return graph::connected_gnp(n, 4.0 / static_cast<double>(n), rng);
+  }
+  if (family == "geometric") {
+    return graph::random_geometric(
+        n, 1.8 / std::sqrt(static_cast<double>(n)), rng);
+  }
+  if (family == "cn") {
+    return graph::make_cn_random(n >= 3 ? n - 2 : 1, rng).g;
+  }
+  std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+  std::exit(2);
+}
+
+proto::BroadcastParams params_for(const graph::Graph& g, double eps) {
+  return proto::BroadcastParams{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = eps,
+      .stop_probability = 0.5,
+  };
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: radiocast_cli <broadcast|bfs|gap|election|route|gossip|"
+      "convergecast|schedule|graph> [--family F] [--n N] [--eps E] [--trials T] [--seed S] ...\n");
+  return 2;
+}
+
+int cmd_broadcast(const graph::Graph& g, double eps, std::size_t trials,
+                  std::uint64_t seed) {
+  const auto params = params_for(g, eps);
+  std::size_t ok = 0;
+  stats::Summary completion;
+  stats::Summary tx;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const NodeId sources[] = {0};
+    const auto out = harness::run_bgi_broadcast(g, sources, params,
+                                                seed + trial, Slot{1} << 22);
+    tx.add(static_cast<double>(out.transmissions));
+    if (out.all_informed) {
+      ++ok;
+      completion.add(static_cast<double>(out.completion_slot));
+    }
+  }
+  std::printf("broadcast: n=%zu D=%u k=%u t=%u\n", g.node_count(),
+              graph::diameter(g), params.phase_length(),
+              params.repetitions());
+  std::printf("  success %zu/%zu (target >= %.3f)\n", ok, trials, 1 - eps);
+  if (completion.count() > 0) {
+    std::printf("  completion slots: median %.0f  p90 %.0f  max %.0f\n",
+                completion.median(), completion.quantile(0.9),
+                completion.max());
+  }
+  std::printf("  transmissions: mean %.0f\n", tx.mean());
+  return 0;
+}
+
+int cmd_bfs(const graph::Graph& g, double eps, std::size_t trials,
+            std::uint64_t seed) {
+  const auto params = params_for(g, eps);
+  std::size_t perfect = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto out =
+        harness::run_bgi_bfs(g, 0, params, seed + trial, Slot{1} << 24);
+    perfect += out.labels_correct ? 1 : 0;
+  }
+  std::printf("bfs: n=%zu D=%u: all-labels-exact %zu/%zu (target >= %.3f)\n",
+              g.node_count(), graph::diameter(g), perfect, trials, 1 - eps);
+  return 0;
+}
+
+int cmd_gap(std::size_t n, double eps, std::size_t trials,
+            std::uint64_t seed) {
+  const NodeId worst_s[] = {static_cast<NodeId>(n)};
+  const auto net = graph::make_cn(n, worst_s);
+  const auto params = params_for(net.g, eps);
+  stats::Summary randomized;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const NodeId sources[] = {net.source};
+    const auto out = harness::run_bgi_broadcast(
+        net.g, sources, params, seed + trial, Slot{1} << 22);
+    if (out.all_informed) {
+      randomized.add(static_cast<double>(out.completion_slot) + 1);
+    }
+  }
+  const auto dfs =
+      harness::run_dfs_broadcast(net.g, net.source, 8 * (n + 2));
+  const auto rr = harness::run_round_robin(net.g, net.source, 8 * (n + 2));
+  std::printf("C_%zu (diameter 3): randomized median %.0f slots, "
+              "DFS %llu, round-robin %llu, Thm12 floor %.1f\n",
+              n, randomized.count() ? randomized.median() : -1.0,
+              static_cast<unsigned long long>(dfs.completion_slot + 1),
+              static_cast<unsigned long long>(rr.completion_slot + 1),
+              static_cast<double>(n) / 8.0);
+  return 0;
+}
+
+int cmd_election(const graph::Graph& g, double eps, std::uint64_t seed) {
+  const auto d = graph::diameter(g);
+  const proto::LeaderElectionParams params{
+      params_for(g, eps), std::max<std::size_t>(d, 1)};
+  sim::Simulator s(g, sim::SimOptions{seed});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    s.emplace_protocol<proto::LeaderElection>(v, params);
+  }
+  s.run_to_quiescence(params.horizon() + 2);
+  const NodeId leader = s.protocol_as<proto::LeaderElection>(0).best_owner();
+  bool agree = true;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    agree = agree &&
+            s.protocol_as<proto::LeaderElection>(v).best_owner() == leader;
+  }
+  std::printf("election: leader=%u agreement=%s slots=%llu (budget %llu)\n",
+              leader, agree ? "yes" : "NO",
+              static_cast<unsigned long long>(s.now()),
+              static_cast<unsigned long long>(params.horizon()));
+  return agree ? 0 : 1;
+}
+
+int cmd_route(const graph::Graph& g, double eps, std::uint64_t seed,
+              NodeId source, NodeId dest) {
+  const auto d = graph::diameter(g);
+  const proto::RoutingParams params{params_for(g, eps),
+                                    std::max<std::size_t>(d, 1)};
+  sim::Simulator s(g, sim::SimOptions{seed});
+  using Role = proto::PointToPointRouting::Role;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const Role role = v == source  ? Role::kSource
+                      : v == dest ? Role::kDestination
+                                  : Role::kRelay;
+    s.emplace_protocol<proto::PointToPointRouting>(
+        v, params, role, std::vector<std::uint64_t>{0xDA7A});
+  }
+  s.run_until([&](const sim::Simulator& sim) {
+    return sim.now() >= params.horizon();
+  }, params.horizon());
+  const auto& dst = s.protocol_as<proto::PointToPointRouting>(dest);
+  std::printf("route %u -> %u (distance %u): %s\n", source, dest,
+              graph::bfs_distances(g, dest)[source],
+              dst.delivered() ? "delivered" : "NOT delivered");
+  return dst.delivered() ? 0 : 1;
+}
+
+int cmd_gossip(const graph::Graph& g, double eps, std::uint64_t seed) {
+  const auto d = graph::diameter(g);
+  const proto::GossipParams params{
+      params_for(g, eps),
+      std::max<std::size_t>(d, g.node_count() > 1 ? 1 : 0)};
+  sim::Simulator s(g, sim::SimOptions{seed});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    s.emplace_protocol<proto::Gossip>(v, params);
+  }
+  s.run_to_quiescence(params.horizon() + 2);
+  std::size_t min_rumors = g.node_count();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    min_rumors = std::min(min_rumors,
+                          s.protocol_as<proto::Gossip>(v).rumor_count());
+  }
+  const bool complete = min_rumors == g.node_count();
+  std::printf("gossip: %s (min rumors %zu/%zu) in %llu slots "
+              "(budget %llu)\n",
+              complete ? "complete" : "incomplete", min_rumors,
+              g.node_count(), static_cast<unsigned long long>(s.now()),
+              static_cast<unsigned long long>(params.horizon()));
+  return complete ? 0 : 1;
+}
+
+int cmd_convergecast(const graph::Graph& g, double eps,
+                     std::uint64_t seed) {
+  const auto ecc = graph::eccentricity(g, 0);
+  const proto::ConvergecastParams params{
+      params_for(g, eps), std::max<std::size_t>(ecc, 1), 2};
+  sim::Simulator s(g, sim::SimOptions{seed});
+  rng::Rng values(seed * 3 + 1);
+  std::uint64_t true_max = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::uint64_t value = values.uniform(1 << 30);
+    true_max = std::max(true_max, value);
+    s.emplace_protocol<proto::Convergecast>(v, params, v == 0, value);
+  }
+  s.run_until([&](const sim::Simulator& sim) {
+    return sim.now() >= params.horizon();
+  }, params.horizon());
+  const std::uint64_t got = s.protocol_as<proto::Convergecast>(0).aggregate();
+  std::printf("convergecast: root aggregate %llu, true max %llu (%s), "
+              "%llu slots\n",
+              static_cast<unsigned long long>(got),
+              static_cast<unsigned long long>(true_max),
+              got == true_max ? "exact" : "MISSED",
+              static_cast<unsigned long long>(params.horizon()));
+  return got == true_max ? 0 : 1;
+}
+
+int cmd_schedule(const graph::Graph& g, const std::string& dot_path) {
+  const auto plan = sched::greedy_cover_schedule(g, 0);
+  const auto naive = sched::naive_schedule(g, 0);
+  const auto check = sched::verify_schedule(g, 0, plan);
+  std::printf("schedule: greedy %zu slots (naive %zu), valid=%s, "
+              "%zu transmissions, completes at slot %llu\n",
+              plan.length(), naive.length(), check.valid ? "yes" : "NO",
+              check.transmissions,
+              static_cast<unsigned long long>(check.completion_slot));
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    graph::write_dot(out, g);
+    std::printf("  topology written to %s\n", dot_path.c_str());
+  }
+  return check.valid ? 0 : 1;
+}
+
+int cmd_graph(const graph::Graph& g, const std::string& save_path,
+              const std::string& dot_path) {
+  std::printf("graph: n=%zu arcs=%zu D=%u max-in-degree=%zu symmetric=%s\n",
+              g.node_count(), g.arc_count(), graph::diameter(g),
+              g.max_in_degree(), g.is_symmetric() ? "yes" : "no");
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    graph::write_graph(out, g);
+    std::printf("  saved to %s\n", save_path.c_str());
+  }
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    graph::write_dot(out, g);
+    std::printf("  DOT written to %s\n", dot_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Args args(argc, argv);
+  if (args.positional().empty()) {
+    return usage();
+  }
+  const std::set<std::string> known{"family", "n",    "eps",  "trials",
+                                    "seed",   "dot",  "save", "source",
+                                    "dest",   "load"};
+  for (const auto& key : args.unknown_keys(known)) {
+    std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  const std::string cmd = args.positional().front();
+  const std::string family = args.get("family", "gnp");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 100));
+  const double eps = args.get_double("eps", 0.1);
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 30));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const auto load_or_make = [&]() -> graph::Graph {
+    const std::string load = args.get("load", "");
+    if (!load.empty()) {
+      std::ifstream in(load);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", load.c_str());
+        std::exit(2);
+      }
+      return graph::read_graph(in);
+    }
+    return make_family(family, n, seed);
+  };
+
+  try {
+    if (cmd == "broadcast") {
+      return cmd_broadcast(load_or_make(), eps, trials, seed);
+    }
+    if (cmd == "bfs") {
+      return cmd_bfs(load_or_make(), eps, trials, seed);
+    }
+    if (cmd == "gap") {
+      return cmd_gap(n, eps, trials, seed);
+    }
+    if (cmd == "election") {
+      return cmd_election(load_or_make(), eps, seed);
+    }
+    if (cmd == "route") {
+      const graph::Graph g = load_or_make();
+      const auto dest = static_cast<NodeId>(args.get_int("dest", 0));
+      const auto source = static_cast<NodeId>(args.get_int(
+          "source", static_cast<std::int64_t>(g.node_count() - 1)));
+      return cmd_route(g, eps, seed, source, dest);
+    }
+    if (cmd == "gossip") {
+      return cmd_gossip(load_or_make(), eps, seed);
+    }
+    if (cmd == "convergecast") {
+      return cmd_convergecast(load_or_make(), eps, seed);
+    }
+    if (cmd == "schedule") {
+      return cmd_schedule(load_or_make(), args.get("dot", ""));
+    }
+    if (cmd == "graph") {
+      return cmd_graph(load_or_make(), args.get("save", ""),
+                       args.get("dot", ""));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

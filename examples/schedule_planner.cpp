@@ -1,0 +1,78 @@
+// Centralized planning vs distributed improvisation (paper §1.3).
+//
+// When the topology IS known ahead of time, a base station can hand out a
+// fixed TDMA-style broadcast schedule (Chlamtac-Weinstein style). This
+// example computes one with the greedy scheduler, validates it against
+// the exact radio semantics, executes it in the simulator, and then runs
+// the topology-oblivious BGI protocol on the same network for contrast.
+#include <cstdio>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/sched/schedule.hpp"
+#include "radiocast/sched/scheduled_broadcast.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+int main() {
+  using namespace radiocast;
+
+  rng::Rng topo(404);
+  const graph::Graph g = graph::connected_gnp(150, 0.035, topo);
+  const auto d = graph::diameter(g);
+  std::printf("network: n=%zu, diameter=%u\n", g.node_count(), d);
+
+  // Plan.
+  const sched::BroadcastSchedule plan = sched::greedy_cover_schedule(g, 0);
+  const sched::ScheduleCheck check = sched::verify_schedule(g, 0, plan);
+  std::printf("greedy plan: %zu slots (naive would use %zu), valid=%s, "
+              "%zu transmissions\n",
+              plan.length(), sched::naive_schedule(g, 0).length(),
+              check.valid ? "yes" : "NO", check.transmissions);
+  std::printf("slot occupancy:");
+  for (std::size_t t = 0; t < std::min<std::size_t>(plan.length(), 12); ++t) {
+    std::printf(" %zu", plan.slots[t].size());
+  }
+  std::printf("%s\n", plan.length() > 12 ? " ..." : "");
+
+  // Execute the plan on the radio simulator.
+  sim::Simulator s(g, sim::SimOptions{.seed = 2});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      sim::Message m;
+      m.origin = 0;
+      m.tag = 0x71DA;
+      s.emplace_protocol<sched::ScheduledBroadcast>(v, plan, v,
+                                                    std::optional(m));
+    } else {
+      s.emplace_protocol<sched::ScheduledBroadcast>(v, plan, v,
+                                                    std::nullopt);
+    }
+  }
+  s.run_to_quiescence(plan.length() + 2);
+  std::size_t informed = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    informed += s.protocol_as<sched::ScheduledBroadcast>(v).informed() ? 1 : 0;
+  }
+  std::printf("executed plan: %zu/%zu nodes informed in %zu slots "
+              "(deterministic, zero randomness)\n",
+              informed, g.node_count(), plan.length());
+
+  // The improviser: no topology knowledge at all.
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.05,
+      .stop_probability = 0.5,
+  };
+  const NodeId sources[] = {0};
+  const auto bgi =
+      harness::run_bgi_broadcast(g, sources, params, 3, Slot{1} << 20);
+  std::printf("BGI (topology-oblivious): %s in %llu slots\n",
+              bgi.all_informed ? "complete" : "failed",
+              static_cast<unsigned long long>(bgi.completion_slot));
+  std::printf("\nThe trade: planning needs the whole topology and "
+              "recomputation on every change;\nthe randomized protocol "
+              "needs nothing and pays only a log-factor premium.\n");
+  return 0;
+}

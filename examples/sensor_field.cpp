@@ -1,0 +1,61 @@
+// Sensor field: the paper's motivating setting — a field of radio sensors
+// with physical (unit-disk) connectivity, asymmetric long-range uplinks,
+// and no topology knowledge at the nodes.
+//
+// A base station (node 0) disseminates a configuration message to 500
+// sensors using the BGI randomized broadcast; we then compare against the
+// deterministic round-robin baseline on the same field, and show the
+// effect of radio range on completion time.
+#include <cstdio>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/rng/rng.hpp"
+#include "radiocast/stats/chernoff.hpp"
+
+int main() {
+  using namespace radiocast;
+  const std::size_t sensors = 500;
+
+  harness::print_banner("sensor field: 500 unit-disk sensors, base station "
+                        "broadcast, range sweep");
+  harness::Table table({"radio range", "mean degree", "diameter",
+                        "BGI slots", "thm4 bound", "round-robin slots"});
+
+  for (const double range : {0.06, 0.09, 0.14, 0.22}) {
+    rng::Rng field_rng(2026);
+    const graph::Graph g = graph::random_geometric(sensors, range, field_rng);
+    const auto d = graph::diameter(g);
+    const auto stats_deg = graph::degree_stats(g);
+
+    const proto::BroadcastParams params{
+        .network_size_bound = sensors,
+        .degree_bound = g.max_in_degree(),
+        .epsilon = 0.05,
+        .stop_probability = 0.5,
+    };
+    const NodeId sources[] = {0};
+    const auto bgi = harness::run_bgi_broadcast(g, sources, params,
+                                                /*seed=*/7, Slot{1} << 22);
+    const auto rr =
+        harness::run_round_robin(g, 0, Slot{sensors} * (d + 2) * 2);
+    const double bound = stats::theorem4_delivery_slots(
+        d, sensors, g.max_in_degree(), params.epsilon);
+
+    table.add_row(
+        {harness::Table::num(range, 2),
+         harness::Table::num(stats_deg.mean_in, 1), harness::Table::inum(d),
+         bgi.all_informed ? harness::Table::inum(bgi.completion_slot) : "-",
+         harness::Table::num(bound, 0),
+         rr.all_heard ? harness::Table::inum(rr.completion_slot) : "-"});
+  }
+  table.print();
+  std::printf(
+      "\nTakeaways: a longer radio range densifies the field (higher degree,"
+      "\nsmaller diameter); the randomized protocol's completion time stays"
+      "\nnear D * log-factors while round-robin pays ~n slots per layer.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full reproduction: configure, build, test, run every experiment.
+# Outputs land in test_output.txt / bench_output.txt (and CSV mirrors in
+# ./results if you leave REPRO_CSV_DIR at its default below).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+mkdir -p results
+export REPRO_CSV_DIR="${REPRO_CSV_DIR:-$PWD/results}"
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. Tables: bench_output.txt ; CSVs: $REPRO_CSV_DIR ; tests: test_output.txt"

@@ -1,0 +1,64 @@
+// Contract-checking support used across radiocast.
+//
+// RADIOCAST_CHECK is an always-on precondition/invariant check: it throws
+// radiocast::ContractViolation so callers (and tests) can observe misuse
+// deterministically in every build type. Use it on public API boundaries.
+// RADIOCAST_DCHECK compiles out in NDEBUG builds; use it on hot internal
+// paths where the condition is an internal invariant, not caller input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace radiocast {
+
+/// Thrown when a precondition or invariant documented on a public API is
+/// violated. Catching it is only appropriate in tests; production callers
+/// should treat it as a programming error.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::string full = "contract violation: ";
+  full += expr;
+  full += " at ";
+  full += file;
+  full += ":";
+  full += std::to_string(line);
+  if (!msg.empty()) {
+    full += " (";
+    full += msg;
+    full += ")";
+  }
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace radiocast
+
+#define RADIOCAST_CHECK(cond)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::radiocast::detail::contract_failure(#cond, __FILE__, __LINE__, ""); \
+    }                                                                      \
+  } while (false)
+
+#define RADIOCAST_CHECK_MSG(cond, msg)                                        \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::radiocast::detail::contract_failure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define RADIOCAST_DCHECK(cond) \
+  do {                         \
+  } while (false)
+#else
+#define RADIOCAST_DCHECK(cond) RADIOCAST_CHECK(cond)
+#endif

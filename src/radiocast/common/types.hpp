@@ -1,0 +1,43 @@
+// Fundamental identifier and time types shared by every radiocast module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace radiocast {
+
+/// Index of a node in a network. Nodes are always numbered 0..n-1 densely.
+using NodeId = std::uint32_t;
+
+/// A synchronous time-slot number (the model's global clock).
+using Slot = std::uint64_t;
+
+/// Sentinel meaning "no node" / "not yet".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel meaning "never happened" for slot-valued observations.
+inline constexpr Slot kNever = std::numeric_limits<Slot>::max();
+
+/// Integer ceil(log2(x)) for x >= 1 (the paper's ⌈log x⌉; log base 2).
+/// ceil_log2(1) == 0.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  unsigned bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1U;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Integer floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  unsigned bits = 0;
+  while (x > 1) {
+    x >>= 1U;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace radiocast

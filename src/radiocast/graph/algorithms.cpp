@@ -1,0 +1,141 @@
+#include "radiocast/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace radiocast::graph {
+
+std::vector<Dist> bfs_distances(const Graph& g, NodeId source) {
+  const NodeId sources[] = {source};
+  return bfs_distances_multi(g, sources);
+}
+
+std::vector<Dist> bfs_distances_multi(const Graph& g,
+                                      std::span<const NodeId> sources) {
+  std::vector<Dist> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  for (const NodeId s : sources) {
+    RADIOCAST_CHECK_MSG(s < g.node_count(), "source id out of range");
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      frontier.push(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : g.out_neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Dist eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  Dist best = 0;
+  for (const Dist d : dist) {
+    if (d == kUnreachable) {
+      return kUnreachable;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+Dist diameter(const Graph& g) {
+  Dist best = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const Dist ecc = eccentricity(g, u);
+    if (ecc == kUnreachable) {
+      return kUnreachable;
+    }
+    best = std::max(best, ecc);
+  }
+  return best;
+}
+
+bool all_reachable_from(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  return std::ranges::none_of(dist, [](Dist d) { return d == kUnreachable; });
+}
+
+bool is_connected_undirected(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n <= 1) {
+    return true;
+  }
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> frontier;
+  seen[0] = 1;
+  frontier.push(0);
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    const auto visit = [&](NodeId v) {
+      if (seen[v] == 0) {
+        seen[v] = 1;
+        ++visited;
+        frontier.push(v);
+      }
+    };
+    for (const NodeId v : g.out_neighbors(u)) {
+      visit(v);
+    }
+    for (const NodeId v : g.in_neighbors(u)) {
+      visit(v);
+    }
+  }
+  return visited == n;
+}
+
+bool is_symmetric_core_connected(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n <= 1) {
+    return true;
+  }
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> frontier;
+  seen[0] = 1;
+  frontier.push(0);
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : g.out_neighbors(u)) {
+      if (seen[v] == 0 && g.has_arc(v, u)) {
+        seen[v] = 1;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const std::size_t n = g.node_count();
+  if (n == 0) {
+    return s;
+  }
+  s.min_in = s.min_out = g.node_count();  // will be lowered below
+  std::size_t total_in = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t din = g.in_degree(u);
+    const std::size_t dout = g.out_degree(u);
+    total_in += din;
+    s.min_in = std::min(s.min_in, din);
+    s.max_in = std::max(s.max_in, din);
+    s.min_out = std::min(s.min_out, dout);
+    s.max_out = std::max(s.max_out, dout);
+  }
+  s.mean_in = static_cast<double>(total_in) / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace radiocast::graph

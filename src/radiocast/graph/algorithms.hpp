@@ -1,0 +1,64 @@
+// Graph algorithms used by the experiment harness and by tests: BFS layers,
+// diameter/eccentricity, reachability and connectivity checks.
+//
+// These are the "omniscient" counterparts of what the distributed protocols
+// compute: e.g. BgiBfs's distance labels are validated against
+// `bfs_distances`, and Theorem 4's bound is evaluated with `diameter`.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Hop distance; kUnreachable when no path exists.
+using Dist = std::uint32_t;
+inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max();
+
+/// Directed BFS distances from `source` following out-arcs (i.e. distance
+/// travelled by a broadcast originating at `source`).
+std::vector<Dist> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS distances from a set of sources (distance to the nearest source).
+/// Used by the multi-source broadcast experiments (Remark after Theorem 4).
+std::vector<Dist> bfs_distances_multi(const Graph& g,
+                                      std::span<const NodeId> sources);
+
+/// Max distance from `source` to any node; kUnreachable if some node is
+/// unreachable.
+Dist eccentricity(const Graph& g, NodeId source);
+
+/// Max eccentricity over all sources (the paper's D). For a graph with any
+/// unreachable pair this returns kUnreachable. O(n * (n + m)).
+Dist diameter(const Graph& g);
+
+/// True iff every node is reachable from `source` following out-arcs.
+/// This is the precondition for broadcast from `source` to be possible.
+bool all_reachable_from(const Graph& g, NodeId source);
+
+/// True iff the graph, viewed as undirected (arc in either direction
+/// connects), is connected. Vacuously true for n <= 1.
+bool is_connected_undirected(const Graph& g);
+
+/// True iff the symmetric sub-graph (arcs present in both directions) is
+/// connected. This is the paper's condition for fault resilience: "edges may
+/// be added or deleted ... provided that the network of unchanged edges
+/// remains connected".
+bool is_symmetric_core_connected(const Graph& g);
+
+struct DegreeStats {
+  std::size_t min_in = 0;
+  std::size_t max_in = 0;
+  std::size_t min_out = 0;
+  std::size_t max_out = 0;
+  double mean_in = 0.0;  // == mean_out in any graph (m/n); kept for clarity
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace radiocast::graph

@@ -1,0 +1,99 @@
+#include "radiocast/graph/families.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::graph {
+
+namespace {
+
+std::vector<NodeId> sorted_unique(std::span<const NodeId> xs) {
+  std::vector<NodeId> out(xs.begin(), xs.end());
+  std::ranges::sort(out);
+  RADIOCAST_CHECK_MSG(std::ranges::adjacent_find(out) == out.end(),
+                      "subset has duplicate members");
+  return out;
+}
+
+void check_range(const std::vector<NodeId>& xs, NodeId lo, NodeId hi,
+                 const char* what) {
+  RADIOCAST_CHECK_MSG(!xs.empty(), what);
+  RADIOCAST_CHECK_MSG(xs.front() >= lo && xs.back() <= hi,
+                      "subset member out of range");
+}
+
+}  // namespace
+
+CnNetwork make_cn(std::size_t n, std::span<const NodeId> s) {
+  RADIOCAST_CHECK_MSG(n >= 1, "C_n needs n >= 1");
+  CnNetwork net{Graph(n + 2), 0, static_cast<NodeId>(n + 1),
+                sorted_unique(s)};
+  check_range(net.s, 1, static_cast<NodeId>(n), "S must be non-empty");
+  for (NodeId i = 1; i <= n; ++i) {
+    net.g.add_edge(net.source, i);  // E1: source to entire second layer
+  }
+  for (const NodeId i : net.s) {
+    net.g.add_edge(i, net.sink);  // E2: S to the sink
+  }
+  return net;
+}
+
+CnNetwork make_cn_random(std::size_t n, rng::Rng& rng) {
+  const auto s = random_nonempty_subset(1, static_cast<NodeId>(n), rng);
+  return make_cn(n, s);
+}
+
+CnStarNetwork make_cn_star(std::size_t n, std::span<const NodeId> s,
+                           std::span<const NodeId> r) {
+  RADIOCAST_CHECK_MSG(n >= 1, "C*_n needs n >= 1");
+  CnStarNetwork net{Graph(2 * n + 1), 0, sorted_unique(s), sorted_unique(r)};
+  check_range(net.s, 1, static_cast<NodeId>(n), "S must be non-empty");
+  check_range(net.sinks, static_cast<NodeId>(n + 1),
+              static_cast<NodeId>(2 * n), "R must be non-empty");
+  for (NodeId i = 1; i <= n; ++i) {
+    net.g.add_edge(net.source, i);
+  }
+  for (const NodeId i : net.s) {
+    for (const NodeId j : net.sinks) {
+      net.g.add_edge(i, j);
+    }
+  }
+  return net;
+}
+
+CnStarNetwork make_cn_star_random(std::size_t n, rng::Rng& rng) {
+  const auto s = random_nonempty_subset(1, static_cast<NodeId>(n), rng);
+  const auto r = random_nonempty_subset(static_cast<NodeId>(n + 1),
+                                        static_cast<NodeId>(2 * n), rng);
+  return make_cn_star(n, s, r);
+}
+
+std::vector<NodeId> random_nonempty_subset(NodeId lo, NodeId hi,
+                                           rng::Rng& rng) {
+  RADIOCAST_CHECK_MSG(lo <= hi, "empty range");
+  std::vector<NodeId> out;
+  for (NodeId v = lo; v <= hi; ++v) {
+    if (rng.fair_coin()) {
+      out.push_back(v);
+    }
+  }
+  if (out.empty()) {
+    // Condition on non-emptiness by inserting a uniform member.
+    out.push_back(lo + static_cast<NodeId>(rng.uniform(hi - lo + 1)));
+  }
+  return out;
+}
+
+std::vector<NodeId> subset_from_mask(std::size_t n, std::uint64_t mask) {
+  RADIOCAST_CHECK_MSG(n <= 64, "mask covers at most 64 elements");
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((mask >> i) & 1U) {
+      out.push_back(static_cast<NodeId>(i + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,67 @@
+// The network families from the paper's lower-bound section (§3.1, §3.5).
+//
+// C_n  (Definition in §3.1): nodes 0..n+1. Node 0 (the source) is connected
+//   to every second-layer node 1..n; the sink n+1 is connected exactly to
+//   the nodes of a hidden non-empty set S ⊆ {1..n}. Broadcast reduces to
+//   getting the message across to the sink, and the difficulty is that S is
+//   unknown.
+//
+// C*_n (§3.5): nodes 0..2n. Source 0 connected to 1..n; every node of
+//   S ⊆ {1..n} connected to every node of R ⊆ {n+1..2n} (both hidden,
+//   non-empty). This variant keeps the lower bound valid even when
+//   spontaneous transmissions are allowed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "radiocast/graph/graph.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::graph {
+
+/// A C_n instance: the graph G_S plus the roles of its nodes.
+struct CnNetwork {
+  Graph g;
+  NodeId source = 0;     ///< always node 0
+  NodeId sink;           ///< always node n+1
+  std::vector<NodeId> s; ///< the hidden set S, sorted, each in 1..n
+
+  /// Number of second-layer nodes (the paper's n; the graph has n+2 nodes).
+  std::size_t n() const noexcept { return g.node_count() - 2; }
+};
+
+/// Builds G_S. Precondition: S non-empty, members in 1..n, no duplicates.
+CnNetwork make_cn(std::size_t n, std::span<const NodeId> s);
+
+/// Builds G_S for a uniformly random non-empty S ⊆ {1..n}.
+CnNetwork make_cn_random(std::size_t n, rng::Rng& rng);
+
+/// A C*_n instance: the graph G_{S,R} plus the node roles.
+struct CnStarNetwork {
+  Graph g;
+  NodeId source = 0;
+  std::vector<NodeId> s;      ///< hidden S ⊆ {1..n}
+  std::vector<NodeId> sinks;  ///< hidden R ⊆ {n+1..2n}
+
+  std::size_t n() const noexcept { return (g.node_count() - 1) / 2; }
+};
+
+/// Builds G_{S,R}. Preconditions: S ⊆ {1..n} and R ⊆ {n+1..2n}, both
+/// non-empty, sorted or not (stored sorted), no duplicates.
+CnStarNetwork make_cn_star(std::size_t n, std::span<const NodeId> s,
+                           std::span<const NodeId> r);
+
+/// Builds G_{S,R} for uniformly random non-empty S and R.
+CnStarNetwork make_cn_star_random(std::size_t n, rng::Rng& rng);
+
+/// Uniformly random non-empty subset of {lo..hi}, returned sorted.
+std::vector<NodeId> random_nonempty_subset(NodeId lo, NodeId hi,
+                                           rng::Rng& rng);
+
+/// Decodes a bitmask into a subset of {1..n}: bit i-1 set => i in S.
+/// Useful for exhaustively sweeping all S in tests (small n).
+std::vector<NodeId> subset_from_mask(std::size_t n, std::uint64_t mask);
+
+}  // namespace radiocast::graph

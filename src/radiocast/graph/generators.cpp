@@ -1,0 +1,276 @@
+#include "radiocast/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::graph {
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+Graph cycle(std::size_t n) {
+  RADIOCAST_CHECK_MSG(n >= 3, "a cycle needs at least 3 nodes");
+  Graph g = path(n);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  RADIOCAST_CHECK_MSG(n >= 1, "a star needs at least 1 node");
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    g.add_edge(0, i);
+  }
+  return g;
+}
+
+Graph clique(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (NodeId i = 0; i < a; ++i) {
+    for (NodeId j = 0; j < b; ++j) {
+      g.add_edge(i, static_cast<NodeId>(a + j));
+    }
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        g.add_edge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        g.add_edge(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return g;
+}
+
+Graph hypercube(unsigned dim) {
+  RADIOCAST_CHECK_MSG(dim < 26, "hypercube dimension unreasonably large");
+  const std::size_t n = std::size_t{1} << dim;
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dim; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_tree(std::size_t n, rng::Rng& rng) {
+  RADIOCAST_CHECK_MSG(n >= 1, "a tree needs at least 1 node");
+  Graph g(n);
+  if (n == 1) {
+    return g;
+  }
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Prüfer decoding: uniform over all n^(n-2) labelled trees.
+  std::vector<NodeId> pruefer(n - 2);
+  for (auto& x : pruefer) {
+    x = static_cast<NodeId>(rng.uniform(n));
+  }
+  std::vector<std::size_t> degree(n, 1);
+  for (const NodeId x : pruefer) {
+    ++degree[x];
+  }
+  // `leaf` walks the smallest-index candidate; `ptr` tracks progress.
+  NodeId ptr = 0;
+  while (degree[ptr] != 1) {
+    ++ptr;
+  }
+  NodeId leaf = ptr;
+  for (const NodeId v : pruefer) {
+    g.add_edge(leaf, v);
+    if (--degree[v] == 1 && v < ptr) {
+      leaf = v;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) {
+        ++ptr;
+      }
+      leaf = ptr;
+    }
+  }
+  g.add_edge(leaf, static_cast<NodeId>(n - 1));
+  return g;
+}
+
+Graph gnp(std::size_t n, double p, rng::Rng& rng) {
+  RADIOCAST_CHECK_MSG(p >= 0.0 && p <= 1.0, "p must be a probability");
+  Graph g(n);
+  if (p <= 0.0 || n < 2) {
+    return g;
+  }
+  if (p >= 1.0) {
+    return clique(n);
+  }
+  // Skip-sampling (Batagelj–Brandes): O(n + m) instead of O(n^2).
+  const double log1mp = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto sn = static_cast<std::int64_t>(n);
+  while (v < sn) {
+    const double r = rng.uniform01();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < sn) {
+      w -= v;
+      ++v;
+    }
+    if (v < sn) {
+      g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+    }
+  }
+  return g;
+}
+
+Graph connected_gnp(std::size_t n, double p, rng::Rng& rng) {
+  Graph g = gnp(n, p, rng);
+  const Graph tree = random_tree(n, rng);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : tree.out_neighbors(u)) {
+      if (u < v) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, rng::Rng& rng) {
+  RADIOCAST_CHECK_MSG(radius > 0.0, "radius must be positive");
+  struct Point {
+    double x, y;
+    NodeId id;
+  };
+  std::vector<Point> pts(n);
+  for (NodeId i = 0; i < n; ++i) {
+    pts[i] = {rng.uniform01(), rng.uniform01(), i};
+  }
+  Graph g(n);
+  const double r2 = radius * radius;
+  // Grid-bucket the points so neighbor search is O(n) in expectation.
+  const auto cells =
+      static_cast<std::size_t>(std::max(1.0, std::floor(1.0 / radius)));
+  std::vector<std::vector<std::size_t>> bucket(cells * cells);
+  const auto cell_of = [&](const Point& p) {
+    const auto cx = std::min(cells - 1, static_cast<std::size_t>(p.x * cells));
+    const auto cy = std::min(cells - 1, static_cast<std::size_t>(p.y * cells));
+    return cy * cells + cx;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    bucket[cell_of(pts[i])].push_back(i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cx =
+        std::min(cells - 1, static_cast<std::size_t>(pts[i].x * cells));
+    const auto cy =
+        std::min(cells - 1, static_cast<std::size_t>(pts[i].y * cells));
+    for (std::size_t dy = (cy == 0 ? 0 : cy - 1);
+         dy <= std::min(cells - 1, cy + 1); ++dy) {
+      for (std::size_t dx = (cx == 0 ? 0 : cx - 1);
+           dx <= std::min(cells - 1, cx + 1); ++dx) {
+        for (const std::size_t j : bucket[dy * cells + dx]) {
+          if (j <= i) {
+            continue;
+          }
+          const double ddx = pts[i].x - pts[j].x;
+          const double ddy = pts[i].y - pts[j].y;
+          if (ddx * ddx + ddy * ddy <= r2) {
+            g.add_edge(pts[i].id, pts[j].id);
+          }
+        }
+      }
+    }
+  }
+  // Guarantee connectivity: chain the points in x-order. Physically this is
+  // a thin wired backbone; it only matters for sparse radii.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
+    return pts[a].x < pts[b].x;
+  });
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(pts[order[i]].id, pts[order[i + 1]].id);
+  }
+  return g;
+}
+
+Graph path_of_cliques(std::size_t layers, std::size_t width) {
+  RADIOCAST_CHECK_MSG(layers >= 1 && width >= 1, "need layers, width >= 1");
+  const std::size_t n = layers * width;
+  Graph g(n);
+  const auto id = [width](std::size_t layer, std::size_t i) {
+    return static_cast<NodeId>(layer * width + i);
+  };
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t i = 0; i < width; ++i) {
+      for (std::size_t j = i + 1; j < width; ++j) {
+        g.add_edge(id(layer, i), id(layer, j));
+      }
+      if (layer + 1 < layers) {
+        for (std::size_t j = 0; j < width; ++j) {
+          g.add_edge(id(layer, i), id(layer + 1, j));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_strongly_reachable_digraph(std::size_t n, std::size_t extra_arcs,
+                                        rng::Rng& rng) {
+  RADIOCAST_CHECK_MSG(n >= 1, "need at least 1 node");
+  Graph g(n);
+  // Random out-arborescence rooted at 0: node i attaches under a uniformly
+  // random earlier node (random recursive tree), arcs pointing away from 0.
+  for (NodeId i = 1; i < n; ++i) {
+    const auto parent = static_cast<NodeId>(rng.uniform(i));
+    g.add_arc(parent, i);
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * (extra_arcs + 1);
+  while (added < extra_arcs && attempts < max_attempts && n >= 2) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.uniform(n));
+    const auto v = static_cast<NodeId>(rng.uniform(n));
+    if (u != v && g.add_arc(u, v)) {
+      ++added;
+    }
+  }
+  return g;
+}
+
+}  // namespace radiocast::graph

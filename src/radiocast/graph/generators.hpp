@@ -1,0 +1,67 @@
+// Topology generators for the experiment harness.
+//
+// Deterministic generators (path, grid, ...) are pure; randomized ones take
+// an rng::Rng so a (seed, parameters) pair always reproduces the same graph.
+// All generators that promise connectivity enforce it by construction rather
+// than by rejection sampling, so they are O(n + m) and never loop forever.
+#pragma once
+
+#include <cstddef>
+
+#include "radiocast/graph/graph.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::graph {
+
+/// 0 - 1 - 2 - ... - (n-1). Diameter n-1.
+Graph path(std::size_t n);
+
+/// Cycle on n >= 3 nodes. Diameter floor(n/2).
+Graph cycle(std::size_t n);
+
+/// Node 0 is the hub, connected to 1..n-1. The canonical Decay testbed:
+/// the hub has in-degree n-1.
+Graph star(std::size_t n);
+
+/// Complete graph K_n.
+Graph clique(std::size_t n);
+
+/// Complete bipartite graph: parts {0..a-1} and {a..a+b-1}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// rows x cols grid, 4-neighborhood. Node (r, c) has id r*cols + c.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// Hypercube on 2^dim nodes: ids adjacent iff they differ in one bit.
+Graph hypercube(unsigned dim);
+
+/// Uniformly random labelled tree on n nodes (Prüfer-sequence decoding).
+Graph random_tree(std::size_t n, rng::Rng& rng);
+
+/// Erdős–Rényi G(n, p): every undirected edge present independently with
+/// probability p. Not necessarily connected.
+Graph gnp(std::size_t n, double p, rng::Rng& rng);
+
+/// G(n, p) unioned with a uniformly random spanning tree, so the result is
+/// always connected while retaining G(n,p)-like density for p >> 1/n.
+Graph connected_gnp(std::size_t n, double p, rng::Rng& rng);
+
+/// Random geometric ("unit disk") graph: n points uniform in the unit
+/// square, edge iff Euclidean distance <= radius; a spanning chain over the
+/// points sorted by x is added if needed to guarantee connectivity.
+/// This models physical radio reachability.
+Graph random_geometric(std::size_t n, double radius, rng::Rng& rng);
+
+/// `layers` cliques of `width` nodes each, chained: every node of layer i is
+/// connected to every node of layer i+1 and to the rest of its own layer.
+/// Diameter = layers - 1 with n = layers * width: lets experiments sweep D
+/// and n independently (used for the Theorem 4 time-bound series).
+Graph path_of_cliques(std::size_t layers, std::size_t width);
+
+/// A directed graph where every node is reachable from node 0 but links are
+/// asymmetric: a random out-arborescence from 0 plus `extra_arcs` random
+/// one-way arcs. Models transmitters of unequal power (§2.2 property 4).
+Graph random_strongly_reachable_digraph(std::size_t n, std::size_t extra_arcs,
+                                        rng::Rng& rng);
+
+}  // namespace radiocast::graph

@@ -1,0 +1,115 @@
+#include "radiocast/graph/graph.hpp"
+
+#include <algorithm>
+
+namespace radiocast::graph {
+
+namespace {
+
+/// Inserts `v` into the sorted vector `vec` if absent; returns true if new.
+bool sorted_insert(std::vector<NodeId>& vec, NodeId v) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it != vec.end() && *it == v) {
+    return false;
+  }
+  vec.insert(it, v);
+  return true;
+}
+
+/// Removes `v` from the sorted vector `vec` if present; returns true if so.
+bool sorted_erase(std::vector<NodeId>& vec, NodeId v) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it == vec.end() || *it != v) {
+    return false;
+  }
+  vec.erase(it);
+  return true;
+}
+
+bool sorted_contains(const std::vector<NodeId>& vec, NodeId v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+}  // namespace
+
+Graph::Graph(std::size_t n) : out_(n), in_(n) {}
+
+void Graph::check_node(NodeId v) const {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+}
+
+bool Graph::add_arc(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  RADIOCAST_CHECK_MSG(u != v, "radio networks have no self-loops");
+  if (!sorted_insert(out_[u], v)) {
+    return false;
+  }
+  sorted_insert(in_[v], u);
+  ++arc_count_;
+  return true;
+}
+
+bool Graph::remove_arc(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (!sorted_erase(out_[u], v)) {
+    return false;
+  }
+  sorted_erase(in_[v], u);
+  --arc_count_;
+  return true;
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  const bool a = add_arc(u, v);
+  const bool b = add_arc(v, u);
+  return a || b;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  const bool a = remove_arc(u, v);
+  const bool b = remove_arc(v, u);
+  return a || b;
+}
+
+bool Graph::has_arc(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  return sorted_contains(out_[u], v);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return has_arc(u, v) && has_arc(v, u);
+}
+
+std::span<const NodeId> Graph::out_neighbors(NodeId u) const {
+  check_node(u);
+  return out_[u];
+}
+
+std::span<const NodeId> Graph::in_neighbors(NodeId u) const {
+  check_node(u);
+  return in_[u];
+}
+
+std::size_t Graph::max_in_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& nbrs : in_) {
+    best = std::max(best, nbrs.size());
+  }
+  return best;
+}
+
+bool Graph::is_symmetric() const {
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : out_[u]) {
+      if (!sorted_contains(out_[v], u)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,79 @@
+// A small directed-graph type tailored to radio-network simulation.
+//
+// Nodes are dense indices 0..n-1. Arcs are directed: the arc (u, v) means
+// "a transmission by u can be heard by v" (the paper's §2.2 property 4
+// explicitly allows asymmetric links). Undirected radio networks are simply
+// graphs where every arc has its reverse; `add_edge` inserts both arcs.
+//
+// Neighbor lists are kept sorted, which makes iteration order — and hence
+// every simulation — deterministic, and membership queries O(log deg).
+// Mutation (add/remove) is O(deg) per call; the dynamic-topology experiments
+// mutate a few arcs per slot, so this is never a bottleneck.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::graph {
+
+class Graph {
+ public:
+  /// An empty graph on `n` nodes (no arcs).
+  explicit Graph(std::size_t n);
+
+  std::size_t node_count() const noexcept { return out_.size(); }
+
+  /// Number of directed arcs (an undirected edge counts as two arcs).
+  std::size_t arc_count() const noexcept { return arc_count_; }
+
+  /// Inserts the arc u -> v. Returns false if it was already present.
+  /// Precondition: u != v (the radio model has no self-loops), both valid.
+  bool add_arc(NodeId u, NodeId v);
+
+  /// Removes the arc u -> v. Returns false if it was not present.
+  bool remove_arc(NodeId u, NodeId v);
+
+  /// Inserts both u -> v and v -> u. Returns true if either was new.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes both u -> v and v -> u. Returns true if either was present.
+  bool remove_edge(NodeId u, NodeId v);
+
+  bool has_arc(NodeId u, NodeId v) const;
+
+  /// True iff both directions are present.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Nodes that can hear u's transmissions, in increasing id order.
+  std::span<const NodeId> out_neighbors(NodeId u) const;
+
+  /// Nodes whose transmissions u can hear, in increasing id order.
+  std::span<const NodeId> in_neighbors(NodeId u) const;
+
+  std::size_t out_degree(NodeId u) const { return out_neighbors(u).size(); }
+  std::size_t in_degree(NodeId u) const { return in_neighbors(u).size(); }
+
+  /// Maximum in-degree over all nodes (the paper's Δ: an upper bound on the
+  /// number of potential competing transmitters at any receiver). 0 for
+  /// arc-free graphs.
+  std::size_t max_in_degree() const noexcept;
+
+  /// True iff for every arc u -> v the reverse arc v -> u is present.
+  bool is_symmetric() const;
+
+  /// Equality of node count and arc sets (used by tests).
+  friend bool operator==(const Graph& a, const Graph& b) noexcept = default;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t arc_count_ = 0;
+};
+
+}  // namespace radiocast::graph

@@ -1,0 +1,100 @@
+#include "radiocast/graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::graph {
+
+namespace {
+constexpr const char* kMagic = "radiocast-graph";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << kMagic << " " << kVersion << "\n";
+  os << "nodes " << g.node_count() << "\n";
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const NodeId v : g.out_neighbors(u)) {
+      os << "arc " << u << " " << v << "\n";
+    }
+  }
+}
+
+Graph read_graph(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  RADIOCAST_CHECK_MSG(static_cast<bool>(is >> magic >> version),
+                      "truncated graph header");
+  RADIOCAST_CHECK_MSG(magic == kMagic, "bad magic in graph file");
+  RADIOCAST_CHECK_MSG(version == kVersion, "unsupported graph version");
+
+  std::string keyword;
+  std::size_t n = 0;
+  RADIOCAST_CHECK_MSG(static_cast<bool>(is >> keyword >> n) &&
+                          keyword == "nodes",
+                      "expected 'nodes <n>'");
+  Graph g(n);
+  while (is >> keyword) {
+    RADIOCAST_CHECK_MSG(keyword == "arc", "expected 'arc <u> <v>'");
+    NodeId u = 0;
+    NodeId v = 0;
+    RADIOCAST_CHECK_MSG(static_cast<bool>(is >> u >> v),
+                        "truncated arc line");
+    g.add_arc(u, v);  // validates range and self-loops
+  }
+  return g;
+}
+
+std::string to_string(const Graph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+Graph from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& options) {
+  const auto label = [&](NodeId v) -> std::string {
+    if (v < options.node_labels.size() &&
+        !options.node_labels[v].empty()) {
+      return options.node_labels[v];
+    }
+    return std::to_string(v);
+  };
+  // Collapsing only makes sense when every rendered pair is symmetric;
+  // mixed graphs fall back to the digraph form for one-way arcs.
+  os << (options.collapse_symmetric ? "graph" : "digraph")
+     << " radiocast {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << label(v) << "\"];\n";
+  }
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const NodeId v : g.out_neighbors(u)) {
+      const bool mutual = g.has_arc(v, u);
+      if (options.collapse_symmetric) {
+        if (mutual) {
+          if (u < v) {
+            os << "  n" << u << " -- n" << v << ";\n";
+          }
+        } else {
+          os << "  n" << u << " -- n" << v << " [dir=forward];\n";
+        }
+      } else {
+        os << "  n" << u << " -> n" << v << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const Graph& g) {
+  write_dot(os, g, DotOptions{});
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,45 @@
+// Graph (de)serialization: a plain edge-list text format for saving and
+// reloading experiment topologies, and a Graphviz DOT exporter for
+// eyeballing them. The text format is:
+//
+//   radiocast-graph 1
+//   nodes <n>
+//   arc <u> <v>        # one line per directed arc
+//
+// Undirected edges appear as their two arcs; round-tripping any Graph is
+// exact (including asymmetric ones).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Writes `g` in the edge-list format.
+void write_graph(std::ostream& os, const Graph& g);
+
+/// Parses the edge-list format. Throws ContractViolation on malformed
+/// input (bad magic, out-of-range ids, self-loops, trailing junk).
+Graph read_graph(std::istream& is);
+
+/// Convenience: serialize to / parse from a string.
+std::string to_string(const Graph& g);
+Graph from_string(const std::string& text);
+
+struct DotOptions {
+  /// Render mutual arc pairs as one undirected edge (graph/“--”) instead
+  /// of two directed ones (digraph/“->”). One-way arcs always render as
+  /// directed edges with the `dir=forward` attribute.
+  bool collapse_symmetric = true;
+  /// Optional per-node labels (index-aligned); empty = plain ids.
+  std::vector<std::string> node_labels;
+};
+
+/// Writes `g` as a Graphviz DOT document.
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& options);
+void write_dot(std::ostream& os, const Graph& g);
+
+}  // namespace radiocast::graph

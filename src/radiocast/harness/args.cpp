@@ -1,0 +1,91 @@
+#include "radiocast/harness/args.hpp"
+
+#include <cstdlib>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::harness {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    RADIOCAST_CHECK_MSG(!body.empty(), "bare '--' is not an option");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // Lookahead: a following token that is not an option is this option's
+    // value.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[i + 1];
+      ++i;
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  return options_.contains(key);
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  RADIOCAST_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                      "option --" + key + " expects an integer");
+  return v;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  RADIOCAST_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                      "option --" + key + " expects a number");
+  return v;
+}
+
+bool Args::get_flag(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return false;
+  }
+  RADIOCAST_CHECK_MSG(it->second.empty() || it->second == "true" ||
+                          it->second == "false",
+                      "option --" + key + " is a flag");
+  return it->second != "false";
+}
+
+std::vector<std::string> Args::unknown_keys(
+    const std::set<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) {
+    if (!known.contains(key)) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace radiocast::harness

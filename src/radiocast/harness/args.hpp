@@ -1,0 +1,45 @@
+// A minimal command-line option parser for the CLI example and any
+// downstream tools: GNU-ish "--key value" / "--flag" options plus
+// positional arguments, with typed accessors and unknown-option checking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace radiocast::harness {
+
+class Args {
+ public:
+  /// Parses argv. "--key value" binds a value; "--key" followed by
+  /// another option (or nothing) is a boolean flag; everything else is a
+  /// positional argument. "--key=value" is also accepted.
+  Args(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has(const std::string& key) const;
+
+  /// Typed accessors; return `fallback` when absent. Throw
+  /// ContractViolation when present but malformed.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key) const;
+
+  /// Returns the set of provided option keys that are NOT in `known` —
+  /// call after reading everything to reject typos.
+  std::vector<std::string> unknown_keys(
+      const std::set<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> options_;  ///< "" = bare flag
+  std::vector<std::string> positional_;
+};
+
+}  // namespace radiocast::harness

@@ -1,0 +1,69 @@
+#include "radiocast/harness/csv.hpp"
+
+#include <fstream>
+#include <iostream>
+
+namespace radiocast::harness {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::string dir, std::string name)
+    : enabled_(!dir.empty()) {
+  if (enabled_) {
+    path_ = dir + "/" + name + ".csv";
+  }
+}
+
+void CsvWriter::append(const std::vector<std::string>& cells) {
+  if (!enabled_) {
+    return;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      buffer_ += ",";
+    }
+    buffer_ += escape(cells[i]);
+  }
+  buffer_ += "\n";
+}
+
+void CsvWriter::header(const std::vector<std::string>& cells) {
+  append(cells);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) { append(cells); }
+
+void CsvWriter::flush() {
+  if (!enabled_ || flushed_) {
+    return;
+  }
+  flushed_ = true;
+  std::ofstream out(path_);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path_ << "\n";
+    return;
+  }
+  out << buffer_;
+}
+
+CsvWriter::~CsvWriter() { flush(); }
+
+}  // namespace radiocast::harness

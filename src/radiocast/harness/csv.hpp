@@ -1,0 +1,35 @@
+// Minimal CSV export for bench tables: when REPRO_CSV_DIR is set, each
+// bench mirrors every printed table into `<dir>/<name>.csv` so the series
+// can be re-plotted without re-running the simulations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace radiocast::harness {
+
+class CsvWriter {
+ public:
+  /// `dir` empty disables writing entirely (all calls become no-ops).
+  CsvWriter(std::string dir, std::string name);
+
+  void header(const std::vector<std::string>& cells);
+  void row(const std::vector<std::string>& cells);
+
+  /// Flushes to `<dir>/<name>.csv`. Called by the destructor as well.
+  void flush();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void append(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::string buffer_;
+  bool enabled_;
+  bool flushed_ = false;
+};
+
+}  // namespace radiocast::harness

@@ -1,0 +1,239 @@
+#include "radiocast/harness/experiment.hpp"
+
+#include <algorithm>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/proto/bfs.hpp"
+#include "radiocast/proto/dfs_broadcast.hpp"
+#include "radiocast/proto/round_robin.hpp"
+
+namespace radiocast::harness {
+
+namespace {
+
+sim::Message broadcast_payload(NodeId origin) {
+  sim::Message m;
+  m.origin = origin;
+  m.tag = 0xB0ADCA57;
+  return m;
+}
+
+bool contains(std::span<const NodeId> xs, NodeId v) {
+  return std::ranges::find(xs, v) != xs.end();
+}
+
+}  // namespace
+
+namespace {
+
+BroadcastOutcome run_bgi_impl(const graph::Graph& g,
+                              std::span<const NodeId> sources,
+                              const proto::BroadcastParams& params,
+                              std::uint64_t seed, Slot max_slots,
+                              std::vector<sim::TopologyEvent> events,
+                              bool stop_at_completion) {
+  RADIOCAST_CHECK_MSG(!sources.empty(), "need at least one initiator");
+  sim::Simulator simulator(g, sim::SimOptions{seed, false, false});
+  for (const sim::TopologyEvent& e : events) {
+    simulator.network().schedule(e);
+  }
+  const std::size_t n = g.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    if (contains(sources, v)) {
+      simulator.emplace_protocol<proto::BgiBroadcast>(
+          v, params, broadcast_payload(sources.front()));
+    } else {
+      simulator.emplace_protocol<proto::BgiBroadcast>(v, params);
+    }
+  }
+
+  const auto all_informed = [n](const sim::Simulator& s) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!s.protocol_as<proto::BgiBroadcast>(v).informed()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Communication dies out once every informed node has exhausted its
+  // Decay phases; past that point nothing can change.
+  const auto dead = [n](const sim::Simulator& s) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& p = s.protocol_as<proto::BgiBroadcast>(v);
+      if (p.informed() && !p.terminated()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  BroadcastOutcome outcome;
+  simulator.run_until(
+      [&](const sim::Simulator& s) {
+        if (s.now() == 0) {
+          return false;
+        }
+        return (stop_at_completion && all_informed(s)) || dead(s);
+      },
+      max_slots);
+  outcome.slots_run = simulator.now();
+  outcome.transmissions = simulator.trace().total_transmissions();
+  outcome.all_informed = all_informed(simulator);
+  if (outcome.all_informed) {
+    Slot worst = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      worst = std::max(
+          worst, simulator.protocol_as<proto::BgiBroadcast>(v).informed_at());
+    }
+    outcome.completion_slot = worst;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+BroadcastOutcome run_bgi_broadcast(const graph::Graph& g,
+                                   std::span<const NodeId> sources,
+                                   const proto::BroadcastParams& params,
+                                   std::uint64_t seed, Slot max_slots,
+                                   std::vector<sim::TopologyEvent> events) {
+  return run_bgi_impl(g, sources, params, seed, max_slots, std::move(events),
+                      /*stop_at_completion=*/true);
+}
+
+BroadcastOutcome run_bgi_broadcast_to_termination(
+    const graph::Graph& g, std::span<const NodeId> sources,
+    const proto::BroadcastParams& params, std::uint64_t seed,
+    Slot max_slots) {
+  return run_bgi_impl(g, sources, params, seed, max_slots, {},
+                      /*stop_at_completion=*/false);
+}
+
+BfsOutcome run_bgi_bfs(const graph::Graph& g, NodeId root,
+                       const proto::BroadcastParams& params,
+                       std::uint64_t seed, Slot max_slots) {
+  sim::Simulator simulator(g, sim::SimOptions{seed, false, false});
+  const std::size_t n = g.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) {
+      simulator.emplace_protocol<proto::BgiBfs>(v, params,
+                                                broadcast_payload(root));
+    } else {
+      simulator.emplace_protocol<proto::BgiBfs>(v, params);
+    }
+  }
+  // Run until the protocol is globally quiescent: every node informed and
+  // finished, or stuck (some node uninformed but no transmitter left).
+  simulator.run_until(
+      [n](const sim::Simulator& s) {
+        if (s.now() == 0) {
+          return false;
+        }
+        for (NodeId v = 0; v < n; ++v) {
+          const auto& p = s.protocol_as<proto::BgiBfs>(v);
+          if (p.informed() && !p.terminated()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      max_slots);
+
+  BfsOutcome outcome;
+  outcome.node_count = n;
+  outcome.slots_run = simulator.now();
+  const auto truth = graph::bfs_distances(g, root);
+  outcome.all_informed = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = simulator.protocol_as<proto::BgiBfs>(v);
+    if (!p.informed()) {
+      outcome.all_informed = false;
+      continue;
+    }
+    if (truth[v] != graph::kUnreachable && p.distance() == truth[v]) {
+      ++outcome.correct_labels;
+    }
+  }
+  outcome.labels_correct =
+      outcome.all_informed && outcome.correct_labels == n;
+  return outcome;
+}
+
+namespace {
+
+DeterministicOutcome finish_deterministic(const sim::Simulator& simulator,
+                                          NodeId source, std::size_t n) {
+  DeterministicOutcome outcome;
+  outcome.slots_run = simulator.now();
+  outcome.transmissions = simulator.trace().total_transmissions();
+  Slot worst = 0;
+  bool all = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) {
+      continue;
+    }
+    const Slot s = simulator.trace().first_delivery(v);
+    if (s == kNever) {
+      all = false;
+    } else {
+      worst = std::max(worst, s);
+    }
+  }
+  outcome.all_heard = all;
+  if (all) {
+    outcome.completion_slot = worst;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+DeterministicOutcome run_dfs_broadcast(const graph::Graph& g, NodeId source,
+                                       Slot max_slots) {
+  RADIOCAST_CHECK_MSG(g.is_symmetric(),
+                      "DFS broadcast needs an undirected network");
+  sim::Simulator simulator(g, sim::SimOptions{});
+  const std::size_t n = g.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) {
+      simulator.emplace_protocol<proto::DfsBroadcast>(
+          v, broadcast_payload(source));
+    } else {
+      simulator.emplace_protocol<proto::DfsBroadcast>(v);
+    }
+  }
+  simulator.run_until(
+      [source](const sim::Simulator& s) {
+        return s.protocol_as<proto::DfsBroadcast>(source)
+            .traversal_complete();
+      },
+      max_slots);
+  return finish_deterministic(simulator, source, n);
+}
+
+DeterministicOutcome run_round_robin(const graph::Graph& g, NodeId source,
+                                     Slot max_slots) {
+  sim::Simulator simulator(g, sim::SimOptions{});
+  const std::size_t n = g.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) {
+      simulator.emplace_protocol<proto::RoundRobinBroadcast>(
+          v, n, broadcast_payload(source));
+    } else {
+      simulator.emplace_protocol<proto::RoundRobinBroadcast>(v, n);
+    }
+  }
+  simulator.run_until(
+      [n](const sim::Simulator& s) {
+        for (NodeId v = 0; v < n; ++v) {
+          if (!s.protocol_as<proto::RoundRobinBroadcast>(v).informed()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      max_slots);
+  return finish_deterministic(simulator, source, n);
+}
+
+}  // namespace radiocast::harness

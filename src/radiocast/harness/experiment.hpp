@@ -1,0 +1,76 @@
+// Reusable trial runners: one function = one Monte-Carlo trial of a
+// protocol on a topology, returning the observables the paper's claims are
+// stated in (success, completion slot, transmission count, label accuracy).
+// Benches and integration tests are thin loops over these.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "radiocast/graph/graph.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/sim/events.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::harness {
+
+struct BroadcastOutcome {
+  bool all_informed = false;
+  /// Largest informed_at over all nodes (0 for initiators); kNever on
+  /// failure.
+  Slot completion_slot = kNever;
+  /// Slot at which every informed node had finished its Decay phases.
+  Slot slots_run = 0;
+  std::uint64_t transmissions = 0;
+};
+
+/// One execution of Broadcast_scheme (all of `sources` hold the same
+/// message at slot 0 — pass one source for the plain scheme, several for
+/// the multi-initiator Remark). Runs until every node is informed, until
+/// communication has died out, or until `max_slots`.
+BroadcastOutcome run_bgi_broadcast(
+    const graph::Graph& g, std::span<const NodeId> sources,
+    const proto::BroadcastParams& params, std::uint64_t seed, Slot max_slots,
+    std::vector<sim::TopologyEvent> events = {});
+
+/// Like run_bgi_broadcast but always runs until communication dies out
+/// (every informed node has finished its t Decay phases), even after every
+/// node is informed. Use when measuring the full protocol's transmission
+/// count against the §2.2 message-complexity bound.
+BroadcastOutcome run_bgi_broadcast_to_termination(
+    const graph::Graph& g, std::span<const NodeId> sources,
+    const proto::BroadcastParams& params, std::uint64_t seed,
+    Slot max_slots);
+
+struct BfsOutcome {
+  bool all_informed = false;
+  bool labels_correct = false;   ///< every label equals the BFS distance
+  std::size_t correct_labels = 0;
+  std::size_t node_count = 0;
+  Slot slots_run = 0;
+};
+
+/// One execution of the BFS protocol rooted at `root`; labels are checked
+/// against the true hop distances of `g`.
+BfsOutcome run_bgi_bfs(const graph::Graph& g, NodeId root,
+                       const proto::BroadcastParams& params,
+                       std::uint64_t seed, Slot max_slots);
+
+struct DeterministicOutcome {
+  bool all_heard = false;
+  /// Last slot in which some node first received a message; kNever if a
+  /// node never heard anything.
+  Slot completion_slot = kNever;
+  Slot slots_run = 0;
+  std::uint64_t transmissions = 0;
+};
+
+/// DFS token broadcast from `source` (undirected g required).
+DeterministicOutcome run_dfs_broadcast(const graph::Graph& g, NodeId source,
+                                       Slot max_slots);
+
+/// Round-robin broadcast from `source`.
+DeterministicOutcome run_round_robin(const graph::Graph& g, NodeId source,
+                                     Slot max_slots);
+
+}  // namespace radiocast::harness

@@ -1,0 +1,46 @@
+#include "radiocast/harness/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace radiocast::harness {
+
+namespace {
+
+const char* env_or_null(const char* name) { return std::getenv(name); }
+
+}  // namespace
+
+RunOptions run_options() {
+  RunOptions opt;
+  if (const char* v = env_or_null("REPRO_TRIALS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) {
+      opt.trials = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (const char* v = env_or_null("REPRO_SCALE")) {
+    const double parsed = std::strtod(v, nullptr);
+    if (parsed > 0.0) {
+      opt.scale = parsed;
+    }
+  }
+  if (const char* v = env_or_null("REPRO_SEED")) {
+    const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+    if (parsed > 0) {
+      opt.seed = parsed;
+    }
+  }
+  if (const char* v = env_or_null("REPRO_CSV_DIR")) {
+    opt.csv_dir = v;
+  }
+  return opt;
+}
+
+std::size_t scaled(std::size_t base, const RunOptions& opt) {
+  const auto s =
+      static_cast<std::size_t>(static_cast<double>(base) * opt.scale);
+  return std::max<std::size_t>(s, 1);
+}
+
+}  // namespace radiocast::harness

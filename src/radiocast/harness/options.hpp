@@ -1,0 +1,29 @@
+// Environment-driven knobs shared by every bench binary, so CI and a quick
+// laptop run can use the same executables:
+//
+//   REPRO_TRIALS  — base Monte-Carlo trial count (default 200)
+//   REPRO_SCALE   — multiplier applied to problem sizes (default 1.0)
+//   REPRO_SEED    — master seed (default 20260704)
+//   REPRO_CSV_DIR — when set, benches also write their tables as CSV there
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace radiocast::harness {
+
+struct RunOptions {
+  std::size_t trials = 200;
+  double scale = 1.0;
+  std::uint64_t seed = 20260704;
+  std::string csv_dir;  ///< empty = CSV output disabled
+};
+
+/// Reads the options from the environment (values above are the defaults).
+RunOptions run_options();
+
+/// `base` scaled by REPRO_SCALE, at least 1.
+std::size_t scaled(std::size_t base, const RunOptions& opt);
+
+}  // namespace radiocast::harness

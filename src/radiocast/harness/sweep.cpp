@@ -1,0 +1,41 @@
+#include "radiocast/harness/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::harness {
+
+std::vector<std::size_t> geometric_steps(std::size_t lo, std::size_t hi,
+                                         double factor) {
+  RADIOCAST_CHECK_MSG(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
+  RADIOCAST_CHECK_MSG(factor > 1.0, "factor must exceed 1");
+  std::vector<std::size_t> out;
+  double x = static_cast<double>(lo);
+  while (static_cast<std::size_t>(std::llround(x)) < hi) {
+    const auto v = static_cast<std::size_t>(std::llround(x));
+    if (out.empty() || v > out.back()) {
+      out.push_back(v);
+    }
+    x *= factor;
+  }
+  if (out.empty() || out.back() != hi) {
+    out.push_back(hi);
+  }
+  return out;
+}
+
+std::vector<std::size_t> linear_steps(std::size_t lo, std::size_t hi,
+                                      std::size_t step) {
+  RADIOCAST_CHECK_MSG(lo <= hi, "need lo <= hi");
+  RADIOCAST_CHECK_MSG(step >= 1, "step must be positive");
+  std::vector<std::size_t> out;
+  for (std::size_t x = lo; x < hi; x += step) {
+    out.push_back(x);
+  }
+  out.push_back(hi);
+  return out;
+}
+
+}  // namespace radiocast::harness

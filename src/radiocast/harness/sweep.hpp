@@ -1,0 +1,18 @@
+// Parameter-sweep helpers for the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace radiocast::harness {
+
+/// Geometric progression from `lo` to at most `hi`: lo, lo*factor, ...
+/// (rounded, strictly increasing, hi always included). factor > 1.
+std::vector<std::size_t> geometric_steps(std::size_t lo, std::size_t hi,
+                                         double factor = 2.0);
+
+/// Arithmetic progression lo, lo+step, ..., capped at hi (hi included).
+std::vector<std::size_t> linear_steps(std::size_t lo, std::size_t hi,
+                                      std::size_t step);
+
+}  // namespace radiocast::harness

@@ -1,0 +1,75 @@
+#include "radiocast/harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RADIOCAST_CHECK_MSG(!headers_.empty(), "a table needs headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RADIOCAST_CHECK_MSG(cells.size() == headers_.size(),
+                      "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::inum(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::yes_no(bool b) { return b ? "yes" : "no"; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (const std::size_t w : width) {
+    out.append(w + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    emit_row(row, out);
+  }
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+void Table::print() const { print(std::cout); }
+
+void print_banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace radiocast::harness

@@ -1,0 +1,39 @@
+// Column-aligned ASCII tables: the output format of every bench binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radiocast::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Fixed-point decimal with `precision` digits.
+  static std::string num(double v, int precision = 2);
+  /// Integer rendering (use for all integral types).
+  static std::string inum(std::uint64_t v);
+  /// "yes"/"no".
+  static std::string yes_no(bool b);
+
+  std::string render() const;
+  void print(std::ostream& os) const;
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner:  === title ===
+void print_banner(const std::string& title);
+
+}  // namespace radiocast::harness

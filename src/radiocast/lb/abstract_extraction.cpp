@@ -1,0 +1,89 @@
+#include "radiocast/lb/abstract_extraction.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::lb {
+
+namespace {
+
+/// Second-layer members of `transmitters` (sorted in, sorted out).
+std::vector<NodeId> second_layer_only(const std::vector<NodeId>& transmitters,
+                                      const graph::CnNetwork& net) {
+  std::vector<NodeId> out;
+  for (const NodeId v : transmitters) {
+    if (v != net.source && v != net.sink) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// What `listener` heard in this sub-slot, as an abstract RoundOutcome:
+/// successful iff exactly one of its in-neighbors transmitted, in which
+/// case the transmitter and its S-indicator are recorded.
+RoundOutcome endpoint_view(const sim::SlotRecord& record,
+                           const graph::CnNetwork& net, NodeId listener) {
+  std::size_t audible = 0;
+  NodeId heard = kNoNode;
+  for (const NodeId u : record.transmitters) {
+    if (u == listener) {
+      return RoundOutcome{};  // it was transmitting, not listening
+    }
+    if (net.g.has_arc(u, listener)) {
+      ++audible;
+      heard = u;
+    }
+  }
+  if (audible != 1) {
+    return RoundOutcome{};
+  }
+  const bool indicator = std::ranges::binary_search(net.s, heard);
+  return RoundOutcome{true, heard, indicator};
+}
+
+}  // namespace
+
+ExtractedHistory extract_abstract_history(const graph::CnNetwork& net,
+                                          const sim::Trace& trace) {
+  RADIOCAST_CHECK_MSG(trace.records_slots(),
+                      "extraction needs a slot-recorded trace");
+  const auto& slots = trace.slots();
+  RADIOCAST_CHECK_MSG(slots.size() % 2 == 0,
+                      "restricted executions pair slots two per round");
+
+  ExtractedHistory history;
+  for (std::size_t i = 0; i + 1 < slots.size(); i += 2) {
+    const sim::SlotRecord& sub_a = slots[i];      // sink inactive
+    const sim::SlotRecord& sub_b = slots[i + 1];  // source inactive
+    RADIOCAST_CHECK_MSG(
+        !std::ranges::binary_search(sub_a.transmitters, net.sink),
+        "sink transmitted in a source sub-slot: not a restricted run");
+    RADIOCAST_CHECK_MSG(
+        !std::ranges::binary_search(sub_b.transmitters, net.source),
+        "source transmitted in a sink sub-slot: not a restricted run");
+
+    ExtractedRound round;
+    // The second-layer transmitter set (identical across sub-slots under
+    // the Lemma-5 construction; take the union to stay total).
+    round.transmitters = second_layer_only(sub_a.transmitters, net);
+    for (const NodeId v : second_layer_only(sub_b.transmitters, net)) {
+      if (!std::ranges::binary_search(round.transmitters, v)) {
+        round.transmitters.insert(
+            std::ranges::lower_bound(round.transmitters, v), v);
+      }
+    }
+    round.source_view = endpoint_view(sub_a, net, net.source);
+    round.sink_view = endpoint_view(sub_b, net, net.sink);
+    if (round.sink_view.successful && !history.completed()) {
+      // Anything the sink hears comes from S: completion (Definition 4(5)).
+      RADIOCAST_DCHECK(round.sink_view.indicator);
+      history.completion_round = history.rounds.size();
+    }
+    history.rounds.push_back(std::move(round));
+  }
+  return history;
+}
+
+}  // namespace radiocast::lb

@@ -1,0 +1,59 @@
+// Lemma 6, executable: from a *restricted* radio execution on C_n
+// (recorded by the simulator's per-slot trace) extract the corresponding
+// abstract-model history (Definition 4) — per virtual round, the
+// second-layer transmitter set, the listening endpoint, and whether the
+// round was successful, with the transmitter's S-indicator.
+//
+// Together with lb::RestrictedAdapter (Lemma 5) and lb::ProtocolExplorer /
+// foil_strategy (Lemma 7 + Lemmas 9, 10), this makes every step of the
+// paper's §3.2 reduction chain an executable, testable artifact:
+//
+//   radio protocol  --RestrictedAdapter-->  restricted protocol
+//                   --extract_abstract_history-->  abstract execution
+//                   --ProtocolExplorer-->  hitting-game strategy
+//                   --find_foiling_set-->  adversarial S
+//
+// The extraction checks the paper's claims about the correspondence: the
+// abstract run completes (first success with indicator 1) exactly when
+// the restricted radio run first delivers a message across an S-sink
+// link.
+#pragma once
+
+#include <vector>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/lb/abstract_protocol.hpp"
+#include "radiocast/sim/trace.hpp"
+
+namespace radiocast::lb {
+
+/// One virtual round (= two real slots of the restricted execution).
+struct ExtractedRound {
+  /// Second-layer nodes that transmitted (identical in both sub-slots for
+  /// a Lemma-5 adapter; the union otherwise).
+  std::vector<NodeId> transmitters;
+  /// Did the listening endpoint of either sub-slot hear exactly one
+  /// second-layer transmitter?
+  RoundOutcome source_view;  ///< what the source heard (sub-slot A)
+  RoundOutcome sink_view;    ///< what the sink heard (sub-slot B)
+};
+
+struct ExtractedHistory {
+  std::vector<ExtractedRound> rounds;
+  /// First round whose sink_view is successful (the heard transmitter is
+  /// then necessarily in S); kNever-like sentinel if none.
+  std::size_t completion_round = static_cast<std::size_t>(-1);
+
+  bool completed() const {
+    return completion_round != static_cast<std::size_t>(-1);
+  }
+};
+
+/// Reads a slot-recorded trace of a restricted execution on `net` and
+/// reconstructs the abstract history. Requires the trace to have been
+/// recorded with SimOptions::trace_slots = true and to contain an even
+/// number of slots (one virtual round per pair).
+ExtractedHistory extract_abstract_history(const graph::CnNetwork& net,
+                                          const sim::Trace& trace);
+
+}  // namespace radiocast::lb

@@ -1,0 +1,127 @@
+#include "radiocast/lb/abstract_protocol.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::lb {
+
+AbstractRunResult run_abstract(AbstractBroadcastProtocol& protocol,
+                               std::size_t n, std::span<const NodeId> s,
+                               std::size_t max_rounds) {
+  RADIOCAST_CHECK_MSG(!s.empty(), "S must be non-empty");
+  std::vector<char> in_s(n + 1, 0);
+  for (const NodeId x : s) {
+    RADIOCAST_CHECK_MSG(x >= 1 && x <= n, "S member out of range");
+    in_s[x] = 1;
+  }
+
+  protocol.reset(n);
+  AbstractRunResult result;
+  while (result.rounds < max_rounds) {
+    const Receiver rcv = protocol.receiver(result.history);
+    // T = set of transmitting second-layer processors.
+    std::size_t heard_count = 0;  // transmitters audible to the listener
+    NodeId heard = kNoNode;
+    for (NodeId p = 1; p <= n; ++p) {
+      const bool chi = in_s[p] != 0;
+      if (!protocol.transmits(p, chi, result.history)) {
+        continue;
+      }
+      if (rcv == Receiver::kSink && !chi) {
+        continue;  // the sink hears only its neighbors, i.e. S
+      }
+      ++heard_count;
+      heard = p;
+      if (heard_count > 1) {
+        // Early exit is safe: >1 already means an unsuccessful round.
+        break;
+      }
+    }
+    ++result.rounds;
+    RoundOutcome outcome;
+    if (heard_count == 1) {
+      outcome = RoundOutcome{true, heard, in_s[heard] != 0};
+    }
+    result.history.push_back(outcome);
+    if (outcome.successful && outcome.indicator) {
+      result.completed = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+// --- RoundRobinAbstract -----------------------------------------------------
+
+bool RoundRobinAbstract::transmits(NodeId p, bool /*chi*/,
+                                   const History& h) const {
+  return p == h.size() % n_ + 1;
+}
+
+Receiver RoundRobinAbstract::receiver(const History& /*h*/) const {
+  return Receiver::kSink;
+}
+
+// --- BitSplitAbstract --------------------------------------------------------
+
+bool BitSplitAbstract::transmits(NodeId p, bool /*chi*/,
+                                 const History& h) const {
+  const std::size_t round = h.size();
+  const std::size_t mask_rounds = 2 * std::max(1U, ceil_log2(n_));
+  if (round < mask_rounds) {
+    const unsigned bit = static_cast<unsigned>(round / 2);
+    const unsigned value = round % 2;
+    return (((p - 1) >> bit) & 1U) == value;
+  }
+  return p == (round - mask_rounds) % n_ + 1;
+}
+
+Receiver BitSplitAbstract::receiver(const History& /*h*/) const {
+  return Receiver::kSink;
+}
+
+// --- AdaptiveSplitAbstract ----------------------------------------------------
+
+std::pair<NodeId, NodeId> AdaptiveSplitAbstract::window(
+    const History& h) const {
+  if (h.size() < cached_len_) {
+    // A fresh (shorter) history: restart the replay.
+    cached_len_ = 0;
+    cached_lo_ = 1;
+    cached_hi_ = static_cast<NodeId>(n_);
+  }
+  if (cached_len_ == 0) {
+    cached_lo_ = 1;
+    cached_hi_ = static_cast<NodeId>(n_);
+  }
+  // With the sink listening, every history entry is a failure; each one
+  // shrinks or advances the window deterministically.
+  for (; cached_len_ < h.size(); ++cached_len_) {
+    if (cached_lo_ < cached_hi_) {
+      // Silence: halve the suspect window.
+      cached_hi_ = cached_lo_ + (cached_hi_ - cached_lo_) / 2;
+    } else {
+      // A lone candidate stayed silent-looking: it is not in S; move on.
+      cached_lo_ = static_cast<NodeId>(cached_lo_ % n_ + 1);
+      cached_hi_ = static_cast<NodeId>(n_);
+    }
+  }
+  return {cached_lo_, cached_hi_};
+}
+
+bool AdaptiveSplitAbstract::transmits(NodeId p, bool chi,
+                                      const History& h) const {
+  if (!chi) {
+    return false;  // only S-members volunteer
+  }
+  const auto [lo, hi] = window(h);
+  return lo <= p && p <= hi;
+}
+
+Receiver AdaptiveSplitAbstract::receiver(const History& /*h*/) const {
+  return Receiver::kSink;
+}
+
+}  // namespace radiocast::lb

@@ -1,0 +1,125 @@
+// The abstract broadcast model of Definition 4 — the simplified setting the
+// lower-bound reduction passes through (real radio protocol -> restricted
+// protocol [Lemma 5] -> abstract protocol [Lemma 6] -> hitting-game
+// strategy [Lemma 7]).
+//
+// Rounds: only second-layer processors (1..n) transmit; one of
+// {source, sink} listens. Messages are (p, χ_p) where χ_p = [p ∈ S]. A
+// round is successful iff the listener hears exactly one transmitter — the
+// source hears all of {1..n}, the sink hears only S. All second-layer
+// processors share the history of successful rounds. Broadcast completes
+// the first time a received message has indicator 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::lb {
+
+enum class Receiver : std::uint8_t { kSource, kSink };
+
+/// What the common knowledge records about one round.
+struct RoundOutcome {
+  bool successful = false;
+  NodeId heard = kNoNode;   ///< transmitter whose message got through
+  bool indicator = false;   ///< its S-indicator χ
+
+  friend bool operator==(const RoundOutcome&, const RoundOutcome&) = default;
+};
+
+using History = std::vector<RoundOutcome>;
+
+class AbstractBroadcastProtocol {
+ public:
+  virtual ~AbstractBroadcastProtocol() = default;
+
+  /// Called before a run on universe {1..n}.
+  virtual void reset(std::size_t /*n*/) {}
+
+  /// The predicate π(p, χ, H): does processor p, whose S-indicator is χ,
+  /// transmit in the round following history `h`?
+  virtual bool transmits(NodeId p, bool chi, const History& h) const = 0;
+
+  /// Who listens in the round following history `h`.
+  virtual Receiver receiver(const History& h) const = 0;
+
+  virtual const char* name() const = 0;
+
+  /// True iff π and receiver() ignore the history. For oblivious protocols
+  /// the find_set adversary applies verbatim (its predetermined answers
+  /// cannot diverge from the real run).
+  virtual bool is_oblivious() const { return false; }
+};
+
+struct AbstractRunResult {
+  bool completed = false;
+  std::size_t rounds = 0;  ///< rounds executed; completion round if completed
+  History history;
+};
+
+/// Executes `protocol` on the network G_S for at most `max_rounds` rounds.
+/// Preconditions: s non-empty, sorted, members in 1..n.
+AbstractRunResult run_abstract(AbstractBroadcastProtocol& protocol,
+                               std::size_t n, std::span<const NodeId> s,
+                               std::size_t max_rounds);
+
+// --- bundled protocols -------------------------------------------------------
+
+/// Oblivious: processor (i mod n) + 1 transmits in round i, the sink
+/// listens. Completes exactly at round min(S) — the natural Θ(n)
+/// deterministic broadcast on C_n.
+class RoundRobinAbstract final : public AbstractBroadcastProtocol {
+ public:
+  void reset(std::size_t n) override { n_ = n; }
+  bool transmits(NodeId p, bool chi, const History& h) const override;
+  Receiver receiver(const History& h) const override;
+  const char* name() const override { return "round-robin"; }
+  bool is_oblivious() const override { return true; }
+
+ private:
+  std::size_t n_ = 0;
+};
+
+/// Oblivious: cycles over bit-masks — round (2b + v) has every p whose
+/// b-th ID bit equals v transmit, sink listening; after all 2*ceil(log n)
+/// mask rounds it falls back to round-robin. The "binary splitting" idea
+/// that works against *random* S but is destroyed by the adversary.
+class BitSplitAbstract final : public AbstractBroadcastProtocol {
+ public:
+  void reset(std::size_t n) override { n_ = n; }
+  bool transmits(NodeId p, bool chi, const History& h) const override;
+  Receiver receiver(const History& h) const override;
+  const char* name() const override { return "bit-split"; }
+  bool is_oblivious() const override { return true; }
+
+ private:
+  std::size_t n_ = 0;
+};
+
+/// Adaptive: S-members volunteer in halving waves — in wave w each p ∈ S
+/// transmits with the sink listening iff p falls in the current window of
+/// width n/2^w; successful reveals shrink future windows. Representative of
+/// adaptive conflict-resolution attempts.
+class AdaptiveSplitAbstract final : public AbstractBroadcastProtocol {
+ public:
+  void reset(std::size_t n) override { n_ = n; }
+  bool transmits(NodeId p, bool chi, const History& h) const override;
+  Receiver receiver(const History& h) const override;
+  const char* name() const override { return "adaptive-split"; }
+
+ private:
+  // Window of IDs allowed to transmit in round h.size(), derived by
+  // replaying the history. Incrementally memoized: histories only grow
+  // during a run, so consecutive calls replay just the new suffix.
+  std::pair<NodeId, NodeId> window(const History& h) const;
+
+  std::size_t n_ = 0;
+  mutable std::size_t cached_len_ = 0;
+  mutable NodeId cached_lo_ = 1;
+  mutable NodeId cached_hi_ = 1;
+};
+
+}  // namespace radiocast::lb

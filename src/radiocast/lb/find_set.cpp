@@ -1,0 +1,118 @@
+#include "radiocast/lb/find_set.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::lb {
+
+std::optional<std::vector<NodeId>> find_foiling_set(
+    std::size_t n, std::span<const Move> moves) {
+  RADIOCAST_CHECK_MSG(n >= 1, "need a non-empty universe");
+
+  const std::size_t t = moves.size();
+  std::vector<char> in_s(n + 1, 1);
+  std::size_t removed = 0;
+
+  // Incremental bookkeeping: |M_i ∩ S| per move, and for every element the
+  // moves containing it, so a removal only touches affected moves.
+  std::vector<std::size_t> count(t);
+  std::vector<char> extra_removed(t, 0);
+  std::vector<std::vector<std::size_t>> containing(n + 1);
+  for (std::size_t i = 0; i < t; ++i) {
+    count[i] = moves[i].size();
+    for (const NodeId x : moves[i]) {
+      RADIOCAST_CHECK_MSG(x >= 1 && x <= n, "move element out of range");
+      containing[x].push_back(i);
+    }
+  }
+
+  std::deque<std::size_t> worklist;
+  for (std::size_t i = 0; i < t; ++i) {
+    worklist.push_back(i);
+  }
+
+  const auto remove_element = [&](NodeId x) {
+    if (in_s[x] == 0) {
+      return;
+    }
+    in_s[x] = 0;
+    ++removed;
+    for (const std::size_t j : containing[x]) {
+      --count[j];
+      worklist.push_back(j);
+    }
+  };
+
+  const auto first_member_in_s = [&](const Move& m) -> NodeId {
+    for (const NodeId x : m) {
+      if (in_s[x] != 0) {
+        return x;
+      }
+    }
+    return kNoNode;
+  };
+
+  while (!worklist.empty() && removed < n) {
+    const std::size_t i = worklist.front();
+    worklist.pop_front();
+    const Move& m = moves[i];
+    if (count[i] == 1) {
+      // Outer rule: |M_i ∩ S| is a singleton — expel it.
+      remove_element(first_member_in_s(m));
+    } else if (m.size() > 1 && count[i] + 1 == m.size() &&
+               extra_removed[i] == 0 && count[i] >= 1) {
+      // Inner rule: a non-singleton move just lost its first element to S̄;
+      // remove one more so |M_i ∩ S̄| reaches 2 and can never be 1 again.
+      extra_removed[i] = 1;
+      remove_element(first_member_in_s(m));
+    }
+  }
+
+  if (removed >= n) {
+    return std::nullopt;  // possible only for t > n/2 (Lemma 10)
+  }
+  std::vector<NodeId> s;
+  s.reserve(n - removed);
+  for (NodeId x = 1; x <= n; ++x) {
+    if (in_s[x] != 0) {
+      s.push_back(x);
+    }
+  }
+  return s;
+}
+
+bool is_foiling_set(std::size_t n, std::span<const NodeId> s,
+                    std::span<const Move> moves) {
+  std::vector<char> in_s(n + 1, 0);
+  for (const NodeId x : s) {
+    RADIOCAST_CHECK_MSG(x >= 1 && x <= n, "set element out of range");
+    in_s[x] = 1;
+  }
+  for (const Move& m : moves) {
+    std::size_t inside = 0;
+    for (const NodeId x : m) {
+      if (in_s[x] != 0) {
+        ++inside;
+      }
+    }
+    const std::size_t outside = m.size() - inside;
+    if (inside == 1) {
+      return false;  // condition (1) violated
+    }
+    if ((outside == 1) != (m.size() == 1)) {
+      return false;  // condition (2) violated
+    }
+  }
+  return true;
+}
+
+RefereeAnswer predetermined_answer(const Move& m) {
+  if (m.size() == 1) {
+    return RefereeAnswer{RefereeAnswer::Kind::kComplement, m.front()};
+  }
+  return RefereeAnswer{};
+}
+
+}  // namespace radiocast::lb

@@ -1,0 +1,47 @@
+// The paper's adversary procedure find_set (§3.3).
+//
+// Given a sequence of moves M_1..M_t, constructs a non-empty S ⊆ {1..n}
+// that "foils" them:
+//   Lemma 9 : for every i, M_i ∩ S is not a singleton, and M_i ∩ S̄ is a
+//             singleton iff M_i itself is a singleton;
+//   Lemma 10: whenever t <= n/2 the procedure outputs a non-empty S.
+//
+// Under such an S the referee's answers are determined by the moves alone
+// (silence for every non-singleton move, the element itself for every
+// singleton move), so the explorer learns nothing — which is exactly why
+// the construction also defeats adaptive strategies: collect their moves
+// while feeding them those predetermined answers, then build S.
+//
+// Construction: start from S = {1..n}; while some |M_i ∩ S| == 1 remove
+// that element; whenever a non-singleton move first loses an element to S̄,
+// remove one more of its elements (pushing |M_i ∩ S̄| to 2). Each singleton
+// move is charged one removal and each non-singleton at most two, hence at
+// most 2t - 1 < n removals for t <= n/2.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "radiocast/lb/hitting_game.hpp"
+
+namespace radiocast::lb {
+
+/// Runs find_set. Returns the foiling set, or nullopt if the procedure
+/// exhausted {1..n} (possible only when moves.size() > n/2).
+/// Precondition: each move is normalized (sorted, unique, members in 1..n).
+std::optional<std::vector<NodeId>> find_foiling_set(
+    std::size_t n, std::span<const Move> moves);
+
+/// Checks the two Lemma-9 conditions of `s` against `moves`:
+///   (1) no M_i ∩ S is a singleton;
+///   (2) M_i ∩ S̄ is a singleton iff M_i is a singleton.
+bool is_foiling_set(std::size_t n, std::span<const NodeId> s,
+                    std::span<const Move> moves);
+
+/// The predetermined referee answer a foiling set induces for `m`
+/// (Lemma 9): silence unless `m` is a singleton, in which case its element
+/// is revealed as a non-member.
+RefereeAnswer predetermined_answer(const Move& m);
+
+}  // namespace radiocast::lb

@@ -1,0 +1,74 @@
+#include "radiocast/lb/hitting_game.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::lb {
+
+Move normalize_move(Move m, std::size_t n) {
+  std::ranges::sort(m);
+  m.erase(std::unique(m.begin(), m.end()), m.end());
+  if (!m.empty()) {
+    RADIOCAST_CHECK_MSG(m.front() >= 1 && m.back() <= n,
+                        "move element outside the universe {1..n}");
+  }
+  return m;
+}
+
+HittingGame::HittingGame(std::size_t n, std::vector<NodeId> s)
+    : n_(n), s_(normalize_move(std::move(s), n)) {
+  RADIOCAST_CHECK_MSG(!s_.empty(), "the hidden set S must be non-empty");
+}
+
+RefereeAnswer HittingGame::answer(const Move& m) const {
+  // Count |M ∩ S| and find the unique members of each intersection lazily.
+  std::size_t in_s = 0;
+  NodeId in_s_elem = kNoNode;
+  for (const NodeId x : m) {
+    if (std::ranges::binary_search(s_, x)) {
+      ++in_s;
+      in_s_elem = x;
+      if (in_s > 1) {
+        break;
+      }
+    }
+  }
+  if (in_s == 1) {
+    return RefereeAnswer{RefereeAnswer::Kind::kHit, in_s_elem};
+  }
+  // |M ∩ S̄| == |M| - |M ∩ S|; recount fully when needed.
+  std::size_t member_count = 0;
+  NodeId out_elem = kNoNode;
+  for (const NodeId x : m) {
+    if (std::ranges::binary_search(s_, x)) {
+      ++member_count;
+    } else {
+      out_elem = x;
+    }
+  }
+  if (m.size() - member_count == 1) {
+    return RefereeAnswer{RefereeAnswer::Kind::kComplement, out_elem};
+  }
+  return RefereeAnswer{};
+}
+
+GameResult HittingGame::play(ExplorerStrategy& strategy,
+                             std::size_t max_moves) const {
+  strategy.reset(n_);
+  GameResult result;
+  while (result.moves < max_moves) {
+    const Move m = normalize_move(strategy.next_move(), n_);
+    ++result.moves;
+    const RefereeAnswer a = answer(m);
+    if (a.kind == RefereeAnswer::Kind::kHit) {
+      result.won = true;
+      result.hit = a.revealed;
+      return result;
+    }
+    strategy.observe(a);
+  }
+  return result;
+}
+
+}  // namespace radiocast::lb

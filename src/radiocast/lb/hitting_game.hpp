@@ -1,0 +1,90 @@
+// The n-th hitting game (paper, Definition 5).
+//
+// Played on a hidden non-empty S ⊆ {1..n}. Each move the explorer names a
+// set M:
+//   |M ∩ S|  == 1  ->  the referee reveals that element; the game ends
+//                      (the explorer "hit" S and won);
+//   |M ∩ S̄| == 1  ->  the referee reveals that element; the game goes on;
+//   otherwise      ->  the referee says nothing.
+//
+// Proposition 11 (reproduced by lb::find_foiling_set + bench_lower_bound):
+// winning requires more than n/2 moves in the worst case.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::lb {
+
+/// A move: a subset of {1..n}, kept sorted and duplicate-free.
+using Move = std::vector<NodeId>;
+
+/// Normalizes (sorts, dedups) and validates a move against universe size n.
+Move normalize_move(Move m, std::size_t n);
+
+struct RefereeAnswer {
+  enum class Kind : std::uint8_t {
+    kSilent,        ///< neither intersection is a singleton
+    kComplement,    ///< |M ∩ S̄| == 1: revealed a non-member; game goes on
+    kHit            ///< |M ∩ S| == 1: revealed a member; explorer wins
+  };
+  Kind kind = Kind::kSilent;
+  NodeId revealed = kNoNode;  ///< valid unless kSilent
+
+  friend bool operator==(const RefereeAnswer&, const RefereeAnswer&) =
+      default;
+};
+
+/// An explorer. Implementations may be adaptive: next_move() may depend on
+/// every answer observed so far. Determinism is not required (strategies
+/// may carry their own rng), but the library's bundled strategies are
+/// deterministic given their construction arguments.
+class ExplorerStrategy {
+ public:
+  virtual ~ExplorerStrategy() = default;
+
+  /// Begins a fresh game on universe {1..n}.
+  virtual void reset(std::size_t n) = 0;
+
+  /// The next move. Called once per move, alternating with observe().
+  virtual Move next_move() = 0;
+
+  /// Feedback for the move just made. Not called after a kHit (the game is
+  /// over).
+  virtual void observe(const RefereeAnswer& answer) = 0;
+
+  /// Human-readable name for tables.
+  virtual const char* name() const = 0;
+};
+
+struct GameResult {
+  bool won = false;
+  std::size_t moves = 0;      ///< moves made (including the winning one)
+  NodeId hit = kNoNode;       ///< the member of S handed over, if won
+};
+
+/// The referee: binds a universe size and the hidden set.
+class HittingGame {
+ public:
+  /// Preconditions: S non-empty, sorted will be enforced, members in 1..n.
+  HittingGame(std::size_t n, std::vector<NodeId> s);
+
+  /// The referee's answer to `m` — a pure function of (S, m).
+  RefereeAnswer answer(const Move& m) const;
+
+  /// Plays `strategy` against this referee for at most `max_moves` moves.
+  GameResult play(ExplorerStrategy& strategy, std::size_t max_moves) const;
+
+  std::size_t n() const noexcept { return n_; }
+  const std::vector<NodeId>& s() const noexcept { return s_; }
+
+ private:
+  std::size_t n_;
+  std::vector<NodeId> s_;
+};
+
+}  // namespace radiocast::lb

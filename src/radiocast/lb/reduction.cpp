@@ -1,0 +1,149 @@
+#include "radiocast/lb/reduction.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::lb {
+
+std::optional<FoilOutcome> foil_strategy(ExplorerStrategy& strategy,
+                                         std::size_t n, std::size_t t) {
+  // Phase 1: collect the move sequence the strategy produces when every
+  // answer follows the predetermined rule (silence for non-singletons, the
+  // element itself for singletons).
+  strategy.reset(n);
+  std::vector<Move> moves;
+  moves.reserve(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    Move m = normalize_move(strategy.next_move(), n);
+    const RefereeAnswer a = predetermined_answer(m);
+    moves.push_back(std::move(m));
+    strategy.observe(a);
+  }
+
+  // Phase 2: build the foiling set.
+  auto s = find_foiling_set(n, moves);
+  if (!s.has_value()) {
+    return std::nullopt;
+  }
+
+  FoilOutcome outcome;
+  outcome.s = *s;
+  outcome.moves_collected = moves.size();
+  outcome.lemma9_holds = is_foiling_set(n, outcome.s, moves);
+
+  // Phase 3: replay against the real referee. Lemma 9 implies the answers
+  // match the predetermined ones move for move, so the (deterministic)
+  // strategy retraces its steps and never scores a hit.
+  const HittingGame game(n, outcome.s);
+  strategy.reset(n);
+  bool consistent = true;
+  for (std::size_t i = 0; i < t && consistent; ++i) {
+    const Move m = normalize_move(strategy.next_move(), n);
+    if (m != moves[i]) {
+      consistent = false;
+      break;
+    }
+    const RefereeAnswer a = game.answer(m);
+    if (a.kind == RefereeAnswer::Kind::kHit ||
+        a != predetermined_answer(m)) {
+      consistent = false;
+      break;
+    }
+    strategy.observe(a);
+  }
+  outcome.replay_consistent = consistent;
+  return outcome;
+}
+
+// --- ProtocolExplorer ---------------------------------------------------------
+
+void ProtocolExplorer::reset(std::size_t n) {
+  n_ = n;
+  history_.clear();
+  expecting_t0_ = false;
+  protocol_->reset(n);
+}
+
+Move ProtocolExplorer::next_move() {
+  // Round i of the protocol = game moves 2i-1 and 2i:
+  //   T(1) = {p : π(p, 1, H)}   (what the S-members would send)
+  //   T(0) = {p : π(p, 0, H)}   (what the non-members would send)
+  const bool chi = !expecting_t0_;
+  Move m;
+  for (NodeId p = 1; p <= n_; ++p) {
+    if (protocol_->transmits(p, chi, history_)) {
+      m.push_back(p);
+    }
+  }
+  return m;
+}
+
+void ProtocolExplorer::observe(const RefereeAnswer& answer) {
+  if (!expecting_t0_) {
+    t1_answer_ = answer;
+    expecting_t0_ = true;
+    return;
+  }
+  expecting_t0_ = false;
+  // The rule g: a round registers as successful iff the union of the two
+  // revealed sets is a single element p; a complement reveal means χ_p = 0.
+  const RefereeAnswer& a = t1_answer_;
+  const RefereeAnswer& b = answer;
+  const bool a_revealed = a.kind == RefereeAnswer::Kind::kComplement;
+  const bool b_revealed = b.kind == RefereeAnswer::Kind::kComplement;
+  RoundOutcome outcome;
+  if (a_revealed && b_revealed && a.revealed == b.revealed) {
+    outcome = RoundOutcome{true, a.revealed, false};
+  } else if (a_revealed != b_revealed) {
+    outcome = RoundOutcome{true, a_revealed ? a.revealed : b.revealed, false};
+  }
+  history_.push_back(outcome);
+}
+
+std::optional<ProtocolFoilOutcome> foil_abstract_protocol(
+    AbstractBroadcastProtocol& protocol, std::size_t n, std::size_t t,
+    std::size_t max_rounds) {
+  ProtocolExplorer explorer(protocol);
+  const auto foil = foil_strategy(explorer, n, 2 * t);
+  if (!foil.has_value()) {
+    return std::nullopt;
+  }
+  const AbstractRunResult run =
+      run_abstract(protocol, n, foil->s, max_rounds);
+  ProtocolFoilOutcome outcome;
+  outcome.s = foil->s;
+  outcome.rounds_survived = run.completed ? run.rounds - 1 : run.rounds;
+  outcome.completed = run.completed;
+  return outcome;
+}
+
+WorstCase exhaustive_worst_case(AbstractBroadcastProtocol& protocol,
+                                std::size_t n, std::size_t max_rounds) {
+  RADIOCAST_CHECK_MSG(n >= 1 && n <= 20,
+                      "exhaustive sweep limited to n <= 20");
+  WorstCase worst;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    std::vector<NodeId> s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1U) {
+        s.push_back(static_cast<NodeId>(i + 1));
+      }
+    }
+    const AbstractRunResult run = run_abstract(protocol, n, s, max_rounds);
+    if (!run.completed) {
+      worst.all_completed = false;
+      worst.rounds = max_rounds;
+      worst.argmax_s = std::move(s);
+      continue;
+    }
+    if (run.rounds > worst.rounds) {
+      worst.rounds = run.rounds;
+      worst.argmax_s = std::move(s);
+    }
+  }
+  return worst;
+}
+
+}  // namespace radiocast::lb

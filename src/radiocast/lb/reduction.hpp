@@ -1,0 +1,83 @@
+// The executable form of the paper's §3.2–3.3 reduction chain and its
+// adversary:
+//
+//   * foil_strategy        — Lemmas 9+10 against an arbitrary explorer:
+//                            collect its moves under the predetermined
+//                            answers, build S with find_set, verify by
+//                            replay. Succeeds for every t <= n/2.
+//   * ProtocolExplorer     — Appendix A3: an abstract broadcast protocol
+//                            played as a game explorer (two moves per
+//                            round: T_i(1), then T_i(0)), history rebuilt
+//                            from the referee's answers via the rule g.
+//   * foil_abstract_protocol — the composed adversary for a protocol; the
+//                            survival count is exact for oblivious
+//                            protocols and empirical for adaptive ones
+//                            (see DESIGN.md §4 note 6 for the subtlety).
+//   * exhaustive_worst_case — ground truth for small n: max completion
+//                            rounds over every non-empty S ⊆ {1..n}.
+#pragma once
+
+#include <optional>
+
+#include "radiocast/lb/abstract_protocol.hpp"
+#include "radiocast/lb/find_set.hpp"
+#include "radiocast/lb/hitting_game.hpp"
+
+namespace radiocast::lb {
+
+struct FoilOutcome {
+  std::vector<NodeId> s;          ///< the foiling set produced by find_set
+  std::size_t moves_collected = 0;
+  bool lemma9_holds = false;      ///< is_foiling_set re-check
+  bool replay_consistent = false; ///< replay reproduced the moves, no hit
+};
+
+/// Runs the adversary against `strategy` for `t` moves. Returns nullopt
+/// only if find_set exhausts the universe, which Lemma 10 rules out for
+/// t <= n/2. The strategy must be deterministic across reset() calls
+/// (all bundled strategies are).
+std::optional<FoilOutcome> foil_strategy(ExplorerStrategy& strategy,
+                                         std::size_t n, std::size_t t);
+
+/// Appendix A3's explorer induced by an abstract broadcast protocol.
+class ProtocolExplorer final : public ExplorerStrategy {
+ public:
+  explicit ProtocolExplorer(AbstractBroadcastProtocol& protocol)
+      : protocol_(&protocol) {}
+
+  void reset(std::size_t n) override;
+  Move next_move() override;
+  void observe(const RefereeAnswer& answer) override;
+  const char* name() const override { return protocol_->name(); }
+
+ private:
+  AbstractBroadcastProtocol* protocol_;
+  std::size_t n_ = 0;
+  History history_;
+  bool expecting_t0_ = false;  ///< next move is T(0) of the current round
+  RefereeAnswer t1_answer_;
+};
+
+struct ProtocolFoilOutcome {
+  std::vector<NodeId> s;
+  std::size_t rounds_survived = 0;  ///< actual rounds on G_S before success
+  bool completed = false;           ///< did it complete within max_rounds?
+};
+
+/// Builds the foiling S from 2t induced game moves, then actually executes
+/// the protocol on G_S for up to `max_rounds` rounds.
+std::optional<ProtocolFoilOutcome> foil_abstract_protocol(
+    AbstractBroadcastProtocol& protocol, std::size_t n, std::size_t t,
+    std::size_t max_rounds);
+
+struct WorstCase {
+  std::size_t rounds = 0;        ///< worst completion time observed
+  std::vector<NodeId> argmax_s;  ///< an S attaining it
+  bool all_completed = true;     ///< false if some S never completed
+};
+
+/// Exact worst case over all 2^n - 1 hidden sets (n <= 20 enforced).
+WorstCase exhaustive_worst_case(AbstractBroadcastProtocol& protocol,
+                                std::size_t n, std::size_t max_rounds);
+
+}  // namespace radiocast::lb

@@ -1,0 +1,75 @@
+#include "radiocast/lb/restricted.hpp"
+
+#include <utility>
+
+namespace radiocast::lb {
+
+RestrictedAdapter::RestrictedAdapter(std::unique_ptr<sim::Protocol> inner,
+                                     CnRole role)
+    : inner_(std::move(inner)), role_(role) {
+  RADIOCAST_CHECK_MSG(inner_ != nullptr, "inner protocol must not be null");
+}
+
+sim::NodeContext RestrictedAdapter::virtual_context(sim::NodeContext& real,
+                                                    Slot virtual_now) const {
+  return sim::NodeContext(real.id(), virtual_now, real.rng(),
+                          real.neighbors_out(), real.neighbors_in(),
+                          real.collision_detection());
+}
+
+void RestrictedAdapter::on_start(sim::NodeContext& ctx) {
+  sim::NodeContext vctx = virtual_context(ctx, 0);
+  inner_->on_start(vctx);
+}
+
+void RestrictedAdapter::flush_pending_reception(sim::NodeContext& real,
+                                                Slot virtual_now) {
+  // Lemma 5's merge rule: both sub-slots -> record nothing (in the plain
+  // execution that slot was a source+sink collision); exactly one -> that
+  // message; none -> nothing.
+  if (got_a_.has_value() && got_b_.has_value()) {
+    ++double_receptions_;
+  } else if (got_a_.has_value() || got_b_.has_value()) {
+    sim::NodeContext vctx = virtual_context(real, virtual_now);
+    inner_->on_receive(vctx, got_a_.has_value() ? *got_a_ : *got_b_);
+  }
+  got_a_.reset();
+  got_b_.reset();
+}
+
+sim::Action RestrictedAdapter::on_slot(sim::NodeContext& ctx) {
+  const Slot now = ctx.now();
+  const Slot vnow = now / 2;
+  if (now % 2 == 0) {
+    // Start of a virtual slot: deliver the previous slot's merged
+    // reception (this mirrors the plain schedule, where on_receive of
+    // slot i-1 precedes on_slot of slot i), then ask the inner protocol
+    // for its action once.
+    if (vnow > 0) {
+      flush_pending_reception(ctx, vnow - 1);
+    }
+    sim::NodeContext vctx = virtual_context(ctx, vnow);
+    pending_action_ = inner_->on_slot(vctx);
+    // Sub-slot A: the sink is inactive.
+    if (role_ == CnRole::kSink) {
+      return sim::Action::idle();
+    }
+    return pending_action_;
+  }
+  // Sub-slot B: the source is inactive; everyone else repeats the action.
+  if (role_ == CnRole::kSource) {
+    return sim::Action::idle();
+  }
+  return pending_action_;
+}
+
+void RestrictedAdapter::on_receive(sim::NodeContext& ctx,
+                                   const sim::Message& m) {
+  if (ctx.now() % 2 == 0) {
+    got_a_ = m;
+  } else {
+    got_b_ = m;
+  }
+}
+
+}  // namespace radiocast::lb

@@ -1,0 +1,77 @@
+// Lemma 5, executable (paper §3.2 / Appendix A1).
+//
+// A *restricted* broadcast protocol never has the source and the sink
+// active in the same slot. The lemma constructs, from ANY protocol Π, a
+// restricted Π' at a 2x slowdown: virtual slot i of Π becomes real slots
+// 2i (sink inactive) and 2i+1 (source inactive); second-layer processors
+// repeat their slot-i action in both; a processor that received messages
+// in BOTH sub-slots records nothing (on C_n this can only happen to
+// members of S, whose two neighbors are exactly the source and the sink —
+// and in Π that slot was a collision), otherwise it records the one
+// message it got.
+//
+// RestrictedAdapter wraps an arbitrary sim::Protocol and performs exactly
+// this transformation at runtime; the wrapped protocol observes a
+// *virtual* clock (ctx.now() halved) and cannot tell the difference: on
+// C_n, running the adapted node set for 2t slots reproduces, node for
+// node and draw for draw, the plain execution of t slots (tests verify
+// this bit-for-bit, including for randomized protocols).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::lb {
+
+/// A node's role in a C_n execution.
+enum class CnRole : std::uint8_t { kSource, kSecondLayer, kSink };
+
+class RestrictedAdapter : public sim::Protocol {
+ public:
+  RestrictedAdapter(std::unique_ptr<sim::Protocol> inner, CnRole role);
+
+  void on_start(sim::NodeContext& ctx) override;
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+  bool terminated() const override { return inner_->terminated(); }
+
+  sim::Protocol& inner() noexcept { return *inner_; }
+  const sim::Protocol& inner() const noexcept { return *inner_; }
+
+  /// Typed access to the wrapped protocol.
+  template <typename P>
+  P& inner_as() {
+    auto* p = dynamic_cast<P*>(inner_.get());
+    RADIOCAST_CHECK_MSG(p != nullptr, "inner protocol type mismatch");
+    return *p;
+  }
+  template <typename P>
+  const P& inner_as() const {
+    const auto* p = dynamic_cast<const P*>(inner_.get());
+    RADIOCAST_CHECK_MSG(p != nullptr, "inner protocol type mismatch");
+    return *p;
+  }
+
+  /// How many virtual receptions were cancelled by the received-in-both-
+  /// sub-slots rule (diagnostics; only S members can ever be affected).
+  std::size_t double_receptions() const noexcept {
+    return double_receptions_;
+  }
+
+ private:
+  sim::NodeContext virtual_context(sim::NodeContext& real,
+                                   Slot virtual_now) const;
+  void flush_pending_reception(sim::NodeContext& real, Slot virtual_now);
+
+  std::unique_ptr<sim::Protocol> inner_;
+  CnRole role_;
+  sim::Action pending_action_;  ///< inner's action for this virtual slot
+  std::optional<sim::Message> got_a_;  ///< received in the source sub-slot
+  std::optional<sim::Message> got_b_;  ///< received in the sink sub-slot
+  std::size_t double_receptions_ = 0;
+};
+
+}  // namespace radiocast::lb

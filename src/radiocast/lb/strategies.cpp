@@ -1,0 +1,134 @@
+#include "radiocast/lb/strategies.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::lb {
+
+// --- ScanSingletonsStrategy -----------------------------------------------
+
+void ScanSingletonsStrategy::reset(std::size_t n) {
+  n_ = n;
+  next_ = 1;
+}
+
+Move ScanSingletonsStrategy::next_move() {
+  const NodeId x = next_;
+  // Wrap around so the strategy stays well-defined past n moves (the
+  // adversary benches run it for more moves than it "should" need).
+  next_ = (next_ >= n_) ? 1 : next_ + 1;
+  return Move{x};
+}
+
+void ScanSingletonsStrategy::observe(const RefereeAnswer& /*answer*/) {}
+
+// --- HalvingStrategy --------------------------------------------------------
+
+void HalvingStrategy::reset(std::size_t n) {
+  pool_.clear();
+  for (NodeId x = 1; x <= n; ++x) {
+    pool_.push_back(x);
+  }
+  pending_blocks_.clear();
+  pending_blocks_.push_back(pool_);
+  last_.clear();
+}
+
+Move HalvingStrategy::next_move() {
+  if (pending_blocks_.empty()) {
+    // Everything explored without a hit (possible against the adversary):
+    // fall back to rescanning the pool as singletons.
+    if (pool_.empty()) {
+      pool_.push_back(1);  // degenerate fallback; keeps the game total
+    }
+    for (const NodeId x : pool_) {
+      pending_blocks_.push_back(Move{x});
+    }
+  }
+  last_ = pending_blocks_.back();
+  pending_blocks_.pop_back();
+  return last_;
+}
+
+void HalvingStrategy::observe(const RefereeAnswer& answer) {
+  if (answer.kind == RefereeAnswer::Kind::kComplement) {
+    // Revealed non-member: prune it everywhere.
+    const NodeId x = answer.revealed;
+    std::erase(pool_, x);
+    for (Move& b : pending_blocks_) {
+      std::erase(b, x);
+    }
+    std::erase(last_, x);
+  }
+  // Silence on a non-singleton block: split it and try both halves.
+  if (last_.size() > 1) {
+    const auto half = static_cast<std::ptrdiff_t>(last_.size() / 2);
+    Move lo(last_.begin(), last_.begin() + half);
+    Move hi(last_.begin() + half, last_.end());
+    if (!hi.empty()) {
+      pending_blocks_.push_back(std::move(hi));
+    }
+    if (!lo.empty()) {
+      pending_blocks_.push_back(std::move(lo));
+    }
+  }
+}
+
+// --- DoublingWindowStrategy -------------------------------------------------
+
+void DoublingWindowStrategy::reset(std::size_t n) {
+  n_ = n;
+  width_ = 1;
+  start_ = 1;
+}
+
+Move DoublingWindowStrategy::next_move() {
+  Move m;
+  for (std::size_t x = start_; x < start_ + width_ && x <= n_; ++x) {
+    m.push_back(static_cast<NodeId>(x));
+  }
+  start_ += width_;
+  if (start_ > n_) {
+    start_ = 1;
+    width_ = (2 * width_ > n_) ? 1 : 2 * width_;
+  }
+  if (m.empty()) {
+    m.push_back(1);
+  }
+  return m;
+}
+
+void DoublingWindowStrategy::observe(const RefereeAnswer& /*answer*/) {}
+
+// --- RandomSubsetStrategy -----------------------------------------------------
+
+void RandomSubsetStrategy::reset(std::size_t n) {
+  rng_ = rng::Rng(seed_);
+  pool_.clear();
+  for (NodeId x = 1; x <= n; ++x) {
+    pool_.push_back(x);
+  }
+}
+
+Move RandomSubsetStrategy::next_move() {
+  RADIOCAST_CHECK_MSG(!pool_.empty(), "pool exhausted");
+  // Geometric size: half the moves are singletons, a quarter pairs, ...
+  std::size_t size = 1 + rng_.geometric(0.5);
+  size = std::min(size, pool_.size());
+  Move m;
+  std::vector<NodeId> scratch = pool_;
+  rng_.shuffle(scratch);
+  m.assign(scratch.begin(),
+           scratch.begin() + static_cast<std::ptrdiff_t>(size));
+  std::ranges::sort(m);
+  return m;
+}
+
+void RandomSubsetStrategy::observe(const RefereeAnswer& answer) {
+  if (answer.kind == RefereeAnswer::Kind::kComplement && pool_.size() > 1) {
+    std::erase(pool_, answer.revealed);
+  }
+}
+
+}  // namespace radiocast::lb

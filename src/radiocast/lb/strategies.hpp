@@ -1,0 +1,79 @@
+// A zoo of explorer strategies for the hitting game. None of them (nor any
+// other strategy — Proposition 11) can beat the find_set adversary in n/2
+// moves; the bundled ones give the benches concrete opponents and exercise
+// both oblivious and adaptive behaviour.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "radiocast/lb/hitting_game.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::lb {
+
+/// Queries {1}, {2}, ..., {n}. Always wins by move min(S); the canonical
+/// O(n) upper bound for the game.
+class ScanSingletonsStrategy final : public ExplorerStrategy {
+ public:
+  void reset(std::size_t n) override;
+  Move next_move() override;
+  void observe(const RefereeAnswer& answer) override;
+  const char* name() const override { return "scan-singletons"; }
+
+ private:
+  std::size_t n_ = 0;
+  NodeId next_ = 1;
+};
+
+/// Adaptive halving, in the spirit of binary-search group testing: keeps a
+/// candidate pool (initially {1..n}), queries its first half, and uses
+/// complement reveals to prune. When a query goes silent it recurses into
+/// smaller blocks; blocks of size one are definitive.
+class HalvingStrategy final : public ExplorerStrategy {
+ public:
+  void reset(std::size_t n) override;
+  Move next_move() override;
+  void observe(const RefereeAnswer& answer) override;
+  const char* name() const override { return "adaptive-halving"; }
+
+ private:
+  std::vector<NodeId> pool_;
+  std::vector<Move> pending_blocks_;
+  Move last_;
+};
+
+/// Oblivious sliding windows of doubling width: {1}, {1,2}, {3,4},
+/// {1..4}, {5..8}, ... . Exercises find_set on highly structured inputs.
+class DoublingWindowStrategy final : public ExplorerStrategy {
+ public:
+  void reset(std::size_t n) override;
+  Move next_move() override;
+  void observe(const RefereeAnswer& answer) override;
+  const char* name() const override { return "doubling-windows"; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t width_ = 1;
+  std::size_t start_ = 1;
+};
+
+/// Random subsets with geometrically distributed sizes; adaptive only in
+/// that it removes revealed non-members from its sampling pool.
+class RandomSubsetStrategy final : public ExplorerStrategy {
+ public:
+  explicit RandomSubsetStrategy(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  void reset(std::size_t n) override;
+  Move next_move() override;
+  void observe(const RefereeAnswer& answer) override;
+  const char* name() const override { return "random-subsets"; }
+
+ private:
+  std::uint64_t seed_;
+  rng::Rng rng_;
+  std::vector<NodeId> pool_;
+};
+
+}  // namespace radiocast::lb

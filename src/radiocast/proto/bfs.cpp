@@ -1,0 +1,79 @@
+#include "radiocast/proto/bfs.hpp"
+
+#include <utility>
+
+namespace radiocast::proto {
+
+BgiBfs::BgiBfs(BroadcastParams params, BfsSchedule schedule)
+    : params_(params),
+      k_(params.phase_length()),
+      t_(params.repetitions()),
+      schedule_(schedule) {}
+
+BgiBfs::BgiBfs(BroadcastParams params, sim::Message initial,
+               BfsSchedule schedule)
+    : BgiBfs(params, schedule) {
+  message_ = std::move(initial);
+  distance_ = 0;
+  transmit_phase_ = 0;
+}
+
+std::uint64_t BgiBfs::distance() const {
+  RADIOCAST_CHECK_MSG(informed(), "node has no distance label yet");
+  return distance_;
+}
+
+sim::Action BgiBfs::on_slot(sim::NodeContext& ctx) {
+  if (!informed() || done_) {
+    return sim::Action::receive();
+  }
+  const std::uint64_t phase = ctx.now() / phase_length();
+  if (phase < transmit_phase_) {
+    return sim::Action::receive();  // waiting for our layer's turn
+  }
+  if (sub_rounds_done_ >= t_) {
+    done_ = true;
+    return sim::Action::receive();
+  }
+  if (schedule_ == BfsSchedule::kBlockPerLayer && phase > transmit_phase_) {
+    // Our one transmit phase is over (t sub-rounds exactly fill it).
+    done_ = true;
+    return sim::Action::receive();
+  }
+  if (!run_.has_value()) {
+    const bool start =
+        schedule_ == BfsSchedule::kBlockPerLayer
+            // Back-to-back sub-rounds, aligned at multiples of k within
+            // the phase; every layer member entered at the phase boundary,
+            // so the runs stay synchronized (Theorem 1's hypothesis per
+            // sub-round).
+            ? ctx.now() % k_ == 0
+            // Literal pseudocode: a single Decay at each phase boundary.
+            : ctx.now() % phase_length() == 0;
+    if (!start) {
+      return sim::Action::receive();
+    }
+    run_.emplace(k_, *message_, params_.stop_probability,
+                 params_.send_before_flip);
+  }
+  const sim::Action action = run_->tick(ctx.rng());
+  if (run_->phase_over()) {
+    run_.reset();
+    ++sub_rounds_done_;
+  }
+  return action;
+}
+
+void BgiBfs::on_receive(sim::NodeContext& ctx, const sim::Message& m) {
+  if (!informed()) {
+    message_ = m;
+    // First reception during 0-based phase i: the transmitters of phase i
+    // are (w.h.p.) exactly the nodes at distance i, so we are at i + 1 —
+    // and it is our turn to transmit from the next phase on.
+    const std::uint64_t phase = ctx.now() / phase_length();
+    distance_ = phase + 1;
+    transmit_phase_ = phase + 1;
+  }
+}
+
+}  // namespace radiocast::proto

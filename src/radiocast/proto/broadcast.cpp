@@ -1,0 +1,56 @@
+#include "radiocast/proto/broadcast.hpp"
+
+#include <utility>
+
+namespace radiocast::proto {
+
+BgiBroadcast::BgiBroadcast(BroadcastParams params)
+    : params_(params),
+      k_(params.phase_length()),
+      t_(params.repetitions()) {}
+
+BgiBroadcast::BgiBroadcast(BroadcastParams params, sim::Message initial)
+    : BgiBroadcast(params) {
+  message_ = std::move(initial);
+  informed_at_ = 0;
+}
+
+const sim::Message& BgiBroadcast::message() const {
+  RADIOCAST_CHECK_MSG(message_.has_value(), "node is not informed yet");
+  return *message_;
+}
+
+sim::Action BgiBroadcast::on_slot(sim::NodeContext& ctx) {
+  if (!informed() || phases_done_ >= t_) {
+    return sim::Action::receive();
+  }
+  // Start a Decay run only on a phase boundary, so every competing
+  // transmitter in the network is synchronized (Theorem 1's hypothesis).
+  // The ablation variant starts immediately and shows why that matters.
+  if (!run_.has_value()) {
+    if (params_.align_phases && ctx.now() % k_ != 0) {
+      return sim::Action::receive();
+    }
+    run_.emplace(k_, *message_, params_.stop_probability,
+                 params_.send_before_flip);
+  }
+  const sim::Action action = run_->tick(ctx.rng());
+  if (run_->phase_over()) {
+    run_.reset();
+    ++phases_done_;
+  }
+  return action;
+}
+
+void BgiBroadcast::on_receive(sim::NodeContext& ctx, const sim::Message& m) {
+  if (!informed()) {
+    message_ = m;
+    informed_at_ = ctx.now();
+  }
+}
+
+bool BgiBroadcast::terminated() const {
+  return informed() && phases_done_ >= t_;
+}
+
+}  // namespace radiocast::proto

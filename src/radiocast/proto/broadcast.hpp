@@ -1,0 +1,93 @@
+// The paper's randomized broadcast protocol (§2.2):
+//
+//   procedure Broadcast;
+//     k := 2*ceil(log Δ); t := ceil(log(N/ε));
+//     Wait until receiving a message, say m;
+//     do t times
+//       Wait until (Time mod k) = 0;
+//       Decay(k, m);
+//     od
+//
+// Broadcast_scheme = every node runs Broadcast; the source holds the
+// message at Time 0 and enters the loop immediately, so its phase-0 Decay
+// transmission is the paper's "initial transmission". The Remark after
+// Theorem 4 (multi-source initiation) is obtained by constructing several
+// nodes with `initially_informed`.
+//
+// Guarantees reproduced by the benches:
+//   Lemma 2  : Pr[all nodes receive m] >= 1 - ε.
+//   Theorem 4: with probability 1-2ε all nodes receive m within
+//              2*ceil(log Δ) * T slots, T = 2D + 5*max(sqrt(D)*sqrt(M), M),
+//              M = ceil(log(n/ε)); and all terminate by
+//              2*ceil(log Δ) * (T + ceil(log(N/ε))).
+//
+// The protocol uses no IDs, no neighbor knowledge, and no topology
+// knowledge — only N, Δ and ε — which is what makes it robust to dynamic
+// topology (§2.2 property 3) and directed links (property 4).
+#pragma once
+
+#include <optional>
+
+#include "radiocast/proto/decay.hpp"
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+struct BroadcastParams {
+  std::size_t network_size_bound;  ///< the paper's N (upper bound on n)
+  std::size_t degree_bound;        ///< the paper's Δ (bound on max in-degree)
+  double epsilon = 0.1;            ///< target failure probability ε
+  double stop_probability = 0.5;   ///< Decay coin bias (Hofri ablation)
+
+  // --- ablation switches (the paper's design is the default) ------------
+  /// Start Decay only at Time mod k == 0 (synchronizing competitors, the
+  /// hypothesis of Theorem 1). false = start immediately when informed.
+  bool align_phases = true;
+  /// The Decay transmit-then-toss order ("at least once!"). false = toss
+  /// first, so a node may stay silent for a whole phase.
+  bool send_before_flip = true;
+
+  unsigned phase_length() const {
+    return decay_phase_length(degree_bound);
+  }
+  unsigned repetitions() const {
+    return decay_repetitions(network_size_bound, epsilon);
+  }
+};
+
+class BgiBroadcast : public sim::Protocol {
+ public:
+  /// A non-source node: waits for a message, then relays it for t phases.
+  explicit BgiBroadcast(BroadcastParams params);
+
+  /// A source (initiator): holds `initial` from Time 0 and relays it.
+  BgiBroadcast(BroadcastParams params, sim::Message initial);
+
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+
+  /// Terminated == informed and all t Decay phases performed. Uninformed
+  /// nodes never terminate (they are still waiting).
+  bool terminated() const override;
+
+  bool informed() const noexcept { return message_.has_value(); }
+  const sim::Message& message() const;
+
+  /// Slot at which the message was first obtained (0 for initiators);
+  /// kNever while uninformed.
+  Slot informed_at() const noexcept { return informed_at_; }
+
+  unsigned phases_completed() const noexcept { return phases_done_; }
+  const BroadcastParams& params() const noexcept { return params_; }
+
+ private:
+  BroadcastParams params_;
+  unsigned k_;
+  unsigned t_;
+  std::optional<sim::Message> message_;
+  Slot informed_at_ = kNever;
+  std::optional<DecayRun> run_;
+  unsigned phases_done_ = 0;
+};
+
+}  // namespace radiocast::proto

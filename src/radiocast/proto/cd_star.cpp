@@ -1,0 +1,91 @@
+#include "radiocast/proto/cd_star.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+CdStarBroadcast::CdStarBroadcast(std::size_t n,
+                                 std::optional<sim::Message> payload)
+    : n_(n), message_(std::move(payload)) {
+  RADIOCAST_CHECK_MSG(n >= 1, "C_n needs n >= 1");
+  if (message_.has_value()) {
+    informed_at_ = 0;
+  }
+}
+
+void CdStarBroadcast::on_start(sim::NodeContext& ctx) {
+  RADIOCAST_CHECK_MSG(ctx.collision_detection(),
+                      "CdStarBroadcast requires the CD model variant");
+  const NodeId sink_id = static_cast<NodeId>(n_ + 1);
+  if (ctx.id() == 0) {
+    role_ = Role::kSource;
+    RADIOCAST_CHECK_MSG(message_.has_value(),
+                        "the source must carry the payload");
+  } else if (ctx.id() == sink_id) {
+    role_ = Role::kSink;
+  } else {
+    role_ = Role::kSecondLayer;
+    in_s_ = std::ranges::count(ctx.neighbors_out(), sink_id) > 0;
+  }
+}
+
+sim::Action CdStarBroadcast::on_slot(sim::NodeContext& ctx) {
+  const Slot t = ctx.now();
+  if (t >= 4) {
+    terminated_ = true;
+    return sim::Action::receive();
+  }
+  switch (role_) {
+    case Role::kSource:
+      if (t == 0) {
+        return sim::Action::transmit(*message_);
+      }
+      break;
+    case Role::kSecondLayer:
+      if (t == 1 && in_s_ && informed()) {
+        return sim::Action::transmit(*message_);
+      }
+      if (t == 3 && nominated_ && informed()) {
+        return sim::Action::transmit(*message_);
+      }
+      break;
+    case Role::kSink:
+      if (t == 2 && sink_collided_ && !informed()) {
+        // The collision in slot 1 licenses this transmission: S has >= 2
+        // members, so name the smallest (the sink knows its neighbors).
+        sim::Message nominate;
+        nominate.origin = ctx.id();
+        nominate.tag = kNominateTag;
+        nominate.data.push_back(ctx.neighbors_out().front());
+        return sim::Action::transmit(nominate);
+      }
+      break;
+  }
+  return sim::Action::receive();
+}
+
+void CdStarBroadcast::on_receive(sim::NodeContext& ctx,
+                                 const sim::Message& m) {
+  if (m.tag == kNominateTag) {
+    if (role_ == Role::kSecondLayer && !m.data.empty() &&
+        m.data.front() == ctx.id()) {
+      nominated_ = true;
+    }
+    return;
+  }
+  if (!informed()) {
+    message_ = m;
+    informed_at_ = ctx.now();
+  }
+}
+
+void CdStarBroadcast::on_collision(sim::NodeContext& ctx) {
+  if (role_ == Role::kSink && ctx.now() == 1) {
+    sink_collided_ = true;
+  }
+}
+
+}  // namespace radiocast::proto

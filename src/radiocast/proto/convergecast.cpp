@@ -1,0 +1,99 @@
+#include "radiocast/proto/convergecast.hpp"
+
+#include <algorithm>
+
+namespace radiocast::proto {
+
+namespace {
+constexpr std::uint64_t kBfsTag = 0xA67;
+
+sim::Message bfs_probe() {
+  sim::Message m;
+  m.origin = kNoNode;
+  m.tag = kBfsTag;
+  return m;
+}
+}  // namespace
+
+Convergecast::Convergecast(ConvergecastParams params, bool is_root,
+                           std::uint64_t value)
+    : params_(params),
+      k_(params.base.phase_length()),
+      t_(params.base.repetitions()),
+      bfs_(is_root ? BgiBfs(params.base, bfs_probe())
+                   : BgiBfs(params.base)),
+      value_(value),
+      aggregate_(value) {
+  RADIOCAST_CHECK_MSG(params.depth_bound >= 1,
+                      "convergecast needs a depth bound >= 1");
+  RADIOCAST_CHECK_MSG(params.sweeps >= 1, "need at least one sweep");
+}
+
+sim::Message Convergecast::aggregate_message(NodeId self) const {
+  sim::Message m;
+  m.origin = self;
+  m.tag = kAggregateTag;
+  m.data = {bfs_.informed() ? bfs_.distance() : ~std::uint64_t{0},
+            aggregate_};
+  return m;
+}
+
+sim::Action Convergecast::on_slot(sim::NodeContext& ctx) {
+  const Slot now = ctx.now();
+  if (now < params_.bfs_horizon()) {
+    return bfs_.on_slot(ctx);  // stage 1: establish layers
+  }
+  if (now >= params_.horizon()) {
+    done_ = true;
+    return sim::Action::receive();
+  }
+  if (!bfs_.informed()) {
+    return sim::Action::receive();  // unlabelled (prob <= ε): listen only
+  }
+  // Stage 2: which layer's round is this? Rounds sweep depth_bound..0,
+  // repeated `sweeps` times.
+  const Slot stage2 = now - params_.bfs_horizon();
+  const std::uint64_t round = stage2 / params_.round_length();
+  const std::uint64_t layer_of_round =
+      params_.depth_bound - (round % (params_.depth_bound + 1));
+  if (bfs_.distance() != layer_of_round || bfs_.distance() == 0) {
+    // Not our turn (or we are the root, which only collects).
+    if (run_.has_value() && relaying_round_ != round) {
+      run_.reset();  // round rolled over mid-run safety (should not occur)
+    }
+    return sim::Action::receive();
+  }
+  if (!run_.has_value() || relaying_round_ != round) {
+    if (now % k_ != 0) {
+      return sim::Action::receive();
+    }
+    run_.emplace(k_, aggregate_message(ctx.id()),
+                 params_.base.stop_probability);
+    relaying_round_ = round;
+  }
+  const sim::Action action = run_->tick(ctx.rng());
+  if (run_->phase_over()) {
+    // Re-arm within our round so all t phases are used, with a fresh
+    // snapshot (the aggregate may have grown from same-layer traffic).
+    run_.reset();
+  }
+  return action;
+}
+
+void Convergecast::on_receive(sim::NodeContext& ctx,
+                              const sim::Message& m) {
+  if (ctx.now() < params_.bfs_horizon()) {
+    if (m.tag == kBfsTag) {
+      bfs_.on_receive(ctx, m);
+    }
+    return;
+  }
+  if (m.tag != kAggregateTag || m.data.size() != 2) {
+    return;
+  }
+  // Merging is idempotent and monotone, so anything heard is safe to take
+  // — the layer schedule only matters for guaranteeing coverage.
+  aggregate_ = std::max(aggregate_, m.data[1]);
+}
+
+}  // namespace radiocast::proto

@@ -1,0 +1,86 @@
+// Convergecast: aggregation toward a root — the upstream counterpart of
+// broadcast, and the canonical use of the §2.3 BFS layering ("BFS can be
+// used for the construction of shortest routing paths").
+//
+//   stage 1: the BFS protocol labels every node with its distance to the
+//     root (layers 0..D).
+//   stage 2: layer-scheduled ascent. Rounds of W = k*t slots sweep the
+//     layers from the deepest bound upward; in a layer's round exactly its
+//     members relay (t aligned Decay phases) their current aggregate, and
+//     everyone else listens — so per phase the only competitors at any
+//     receiver are same-layer nodes, the cleanest possible Decay setting.
+//     Listeners merge every aggregate they hear. The sweep repeats
+//     `sweeps` times (default 2): values a parent missed in the first
+//     pass get another chance, and merging is idempotent.
+//
+// Only idempotent, commutative aggregates are sound in a radio network
+// (several parents may hear the same child): we provide max. After the
+// final sweep the root's aggregate equals the true maximum over all nodes
+// w.h.p.
+#pragma once
+
+#include <optional>
+
+#include "radiocast/proto/bfs.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/proto/decay.hpp"
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+struct ConvergecastParams {
+  BroadcastParams base;
+  /// Upper bound on the root's eccentricity (deepest layer).
+  std::size_t depth_bound = 0;
+  /// How many deep-to-shallow sweeps stage 2 performs.
+  std::size_t sweeps = 2;
+
+  Slot round_length() const {
+    return static_cast<Slot>(base.phase_length()) * base.repetitions();
+  }
+  /// Stage 1 budget: (depth_bound + 2) BFS phases.
+  Slot bfs_horizon() const {
+    return static_cast<Slot>(depth_bound + 2) * round_length();
+  }
+  /// Total slots after which everything is quiescent.
+  Slot horizon() const {
+    return bfs_horizon() +
+           static_cast<Slot>(sweeps) * (depth_bound + 1) * round_length();
+  }
+};
+
+class Convergecast : public sim::Protocol {
+ public:
+  static constexpr std::uint64_t kAggregateTag = 0xA66;
+
+  /// `value` is this node's reading; the root's role is implied by
+  /// is_root (it is also the BFS origin).
+  Convergecast(ConvergecastParams params, bool is_root,
+               std::uint64_t value);
+
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+  bool terminated() const override { return done_; }
+
+  std::uint64_t value() const noexcept { return value_; }
+  /// Running max of everything seen (== the answer, at the root, at the
+  /// end).
+  std::uint64_t aggregate() const noexcept { return aggregate_; }
+  bool labelled() const noexcept { return bfs_.informed(); }
+  std::uint64_t label() const { return bfs_.distance(); }
+
+ private:
+  sim::Message aggregate_message(NodeId self) const;
+
+  ConvergecastParams params_;
+  unsigned k_;
+  unsigned t_;
+  BgiBfs bfs_;
+  std::uint64_t value_;
+  std::uint64_t aggregate_;
+  std::optional<DecayRun> run_;
+  std::uint64_t relaying_round_ = kNever;  ///< round the active run is for
+  bool done_ = false;
+};
+
+}  // namespace radiocast::proto

@@ -1,0 +1,66 @@
+#include "radiocast/proto/decay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::proto {
+
+DecayRun::DecayRun(unsigned k, sim::Message m, double stop_probability,
+                   bool send_before_flip)
+    : k_(k),
+      message_(std::move(m)),
+      stop_probability_(stop_probability),
+      send_before_flip_(send_before_flip) {
+  RADIOCAST_CHECK_MSG(k >= 1, "Decay needs k >= 1");
+  RADIOCAST_CHECK_MSG(stop_probability >= 0.0 && stop_probability <= 1.0,
+                      "stop probability must be in [0,1]");
+}
+
+bool DecayRun::flip_stops(rng::Rng& rng) {
+  if (stop_probability_ == 0.5) {
+    return !rng.fair_coin();  // coin = 0 stops
+  }
+  return rng.bernoulli(stop_probability_);
+}
+
+sim::Action DecayRun::tick(rng::Rng& rng) {
+  RADIOCAST_CHECK_MSG(ticks_ < k_, "DecayRun ticked past its phase");
+  ++ticks_;
+  if (transmissions_done()) {
+    // Already out of the coin game: listen out the rest of the phase.
+    return sim::Action::receive();
+  }
+  if (!send_before_flip_) {
+    // Ablation variant: toss first, so a node may send zero times.
+    if (flip_stops(rng)) {
+      stopped_ = true;
+      return sim::Action::receive();
+    }
+    ++sent_;
+    return sim::Action::transmit(message_);
+  }
+  ++sent_;
+  // The paper's order: send first, then flip — the procedure transmits at
+  // least once and the coin decides whether to continue.
+  stopped_ = flip_stops(rng);
+  return sim::Action::transmit(message_);
+}
+
+unsigned decay_phase_length(std::size_t degree_bound) noexcept {
+  const std::size_t clamped = std::max<std::size_t>(degree_bound, 2);
+  return std::max(2U, 2 * ceil_log2(clamped));
+}
+
+unsigned decay_repetitions(std::size_t network_size_bound, double epsilon) {
+  RADIOCAST_CHECK_MSG(network_size_bound >= 1, "need N >= 1");
+  RADIOCAST_CHECK_MSG(epsilon > 0.0 && epsilon <= 1.0,
+                      "epsilon must be in (0,1]");
+  const double ratio = static_cast<double>(network_size_bound) / epsilon;
+  const auto t =
+      static_cast<unsigned>(std::ceil(std::log2(std::max(ratio, 1.0))));
+  return std::max(t, 1U);
+}
+
+}  // namespace radiocast::proto

@@ -1,0 +1,79 @@
+// The paper's basic transmission procedure (§2.1):
+//
+//   procedure Decay(k, m);
+//     repeat at most k times (but at least once!)
+//       send m to all neighbors;
+//       set coin to 0 or 1 with equal probability
+//     until coin = 0.
+//
+// DecayRun is the per-node state machine for one invocation: it occupies
+// exactly k slots; the node transmits in a prefix of them (at least the
+// first) and listens for the remainder. Theorem 1: if d >= 2 neighbors of a
+// receiver y all start Decay in the same slot, y receives a message within
+// k slots with probability > 1/2 whenever k >= 2*log2(d), and the k -> inf
+// limit is >= 2/3.
+//
+// The coin's stop probability is a parameter (default 1/2) to support the
+// bias ablation the paper attributes to Hofri [H87].
+#pragma once
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/rng/rng.hpp"
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+class DecayRun {
+ public:
+  /// A run of Decay(k, m). stop_probability is Pr[coin = 0].
+  /// Preconditions: k >= 1, stop_probability in [0, 1].
+  ///
+  /// `send_before_flip` reproduces the paper's order (transmit, then toss;
+  /// hence "at least once"). Setting it false gives the flip-first variant
+  /// used by the ablation bench: a node may then send zero times, and
+  /// Theorem 1's guarantees degrade measurably (a receiver can be starved
+  /// by every neighbor bowing out in round one).
+  DecayRun(unsigned k, sim::Message m, double stop_probability = 0.5,
+           bool send_before_flip = true);
+
+  /// Produces this slot's action and advances the state. Call exactly once
+  /// per slot for k consecutive slots.
+  sim::Action tick(rng::Rng& rng);
+
+  /// True once the node will not transmit again in this run (coin came up
+  /// 0, or k transmissions were made).
+  bool transmissions_done() const noexcept { return stopped_ || sent_ == k_; }
+
+  /// True after k ticks: the phase this run occupies is over.
+  bool phase_over() const noexcept { return ticks_ == k_; }
+
+  unsigned transmissions_sent() const noexcept { return sent_; }
+  unsigned k() const noexcept { return k_; }
+  const sim::Message& message() const noexcept { return message_; }
+
+ private:
+  bool flip_stops(rng::Rng& rng);
+
+  unsigned k_;
+  sim::Message message_;
+  double stop_probability_;
+  bool send_before_flip_;
+  unsigned sent_ = 0;
+  unsigned ticks_ = 0;
+  bool stopped_ = false;
+};
+
+/// The phase length the broadcast/BFS protocols use: k = 2 * ceil(log2(Δ))
+/// where Δ is the known upper bound on maximum in-degree, clamped so that
+/// k >= 2 (Theorem 1 needs d >= 2 competitors to be meaningful and the
+/// procedure needs at least one slot).
+unsigned decay_phase_length(std::size_t degree_bound) noexcept;
+
+/// The paper's repetition count t = ceil(log2(N / eps)): how many Decay
+/// phases each informed node performs (Lemma 2's union bound needs
+/// (1/2)^t <= eps / N). Precondition: N >= 1, 0 < eps <= 1.
+unsigned decay_repetitions(std::size_t network_size_bound, double epsilon);
+
+}  // namespace radiocast::proto

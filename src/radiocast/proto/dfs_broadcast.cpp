@@ -1,0 +1,108 @@
+#include "radiocast/proto/dfs_broadcast.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+namespace {
+
+/// Token layout inside Message::data:
+///   [0] target node, [1] sender node, [2] payload word count P,
+///   [3 .. 3+P) payload words, [3+P ..] visited list (sorted).
+constexpr std::size_t kTarget = 0;
+constexpr std::size_t kSender = 1;
+constexpr std::size_t kPayloadCount = 2;
+constexpr std::size_t kPayloadStart = 3;
+
+void sorted_insert(std::vector<NodeId>& vec, NodeId v) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it == vec.end() || *it != v) {
+    vec.insert(it, v);
+  }
+}
+
+bool sorted_contains(const std::vector<NodeId>& vec, NodeId v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+}  // namespace
+
+DfsBroadcast::DfsBroadcast(sim::Message payload)
+    : is_source_(true),
+      informed_(true),
+      holds_token_(true),
+      payload_words_(std::move(payload.data)),
+      payload_origin_(payload.origin) {}
+
+sim::Message DfsBroadcast::make_token(NodeId self, NodeId target) const {
+  sim::Message m;
+  m.origin = static_cast<NodeId>(payload_origin_);
+  m.tag = kTokenTag;
+  m.data.reserve(kPayloadStart + payload_words_.size() + visited_.size());
+  m.data.push_back(target);
+  m.data.push_back(self);
+  m.data.push_back(payload_words_.size());
+  m.data.insert(m.data.end(), payload_words_.begin(), payload_words_.end());
+  m.data.insert(m.data.end(), visited_.begin(), visited_.end());
+  return m;
+}
+
+sim::Action DfsBroadcast::on_slot(sim::NodeContext& ctx) {
+  if (!holds_token_) {
+    return sim::Action::receive();
+  }
+  if (visited_.empty()) {
+    // First act of the source: mark itself visited.
+    RADIOCAST_CHECK(is_source_);
+    visited_.push_back(ctx.id());
+  }
+  // Descend to the smallest unvisited neighbor, if any.
+  for (const NodeId v : ctx.neighbors_out()) {
+    if (!sorted_contains(visited_, v)) {
+      sorted_insert(visited_, v);
+      holds_token_ = false;
+      return sim::Action::transmit(make_token(ctx.id(), v));
+    }
+  }
+  // Nothing left below us: backtrack, or finish at the source.
+  holds_token_ = false;
+  done_ = true;
+  if (is_source_) {
+    return sim::Action::receive();
+  }
+  RADIOCAST_CHECK_MSG(parent_ != kNoNode, "non-source node with no parent");
+  return sim::Action::transmit(make_token(ctx.id(), parent_));
+}
+
+void DfsBroadcast::on_receive(sim::NodeContext& ctx, const sim::Message& m) {
+  if (m.tag != kTokenTag || m.data.size() < kPayloadStart) {
+    return;
+  }
+  const auto payload_count = static_cast<std::size_t>(m.data[kPayloadCount]);
+  RADIOCAST_CHECK_MSG(m.data.size() >= kPayloadStart + payload_count,
+                      "malformed DFS token");
+  if (!informed_) {
+    informed_ = true;
+    payload_origin_ = m.origin;
+    payload_words_.assign(m.data.begin() + kPayloadStart,
+                          m.data.begin() + kPayloadStart +
+                              static_cast<std::ptrdiff_t>(payload_count));
+  }
+  if (m.data[kTarget] != ctx.id()) {
+    return;  // overheard the token; the payload is all we take
+  }
+  holds_token_ = true;
+  done_ = false;  // we may have been re-entered on backtrack
+  if (parent_ == kNoNode && !is_source_) {
+    parent_ = static_cast<NodeId>(m.data[kSender]);
+  }
+  // Adopt the (strictly newer) global visited list from the token.
+  visited_.assign(m.data.begin() + kPayloadStart +
+                      static_cast<std::ptrdiff_t>(payload_count),
+                  m.data.end());
+}
+
+}  // namespace radiocast::proto

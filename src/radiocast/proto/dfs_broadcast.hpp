@@ -1,0 +1,59 @@
+// The paper's deterministic upper bound (§3.4): "one may reach all n
+// processors in a network within 2n time-slots, by having the current
+// transmitter traverse the network in a Depth-First-Search manner."
+//
+// Token-passing DFS. Exactly one node (the token holder) transmits in any
+// slot, so there are never collisions and every neighbor of the holder
+// hears the token — in particular every node hears the payload by the time
+// DFS has visited it. The token message carries the intended next holder,
+// the sender, and the visited list; a node becoming holder for the first
+// time records the sender as its DFS parent for backtracking.
+//
+// Model requirements (Definition 1): nodes know their own ID and their
+// neighbors' IDs; the network must be undirected (symmetric). Completes in
+// at most 2n - 1 slots: at most n - 1 forward moves, n - 1 backtracks, and
+// the root's first transmission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+class DfsBroadcast : public sim::Protocol {
+ public:
+  /// Message tag identifying DFS token transmissions.
+  static constexpr std::uint64_t kTokenTag = 0xDF5;
+
+  /// A non-source node.
+  DfsBroadcast() = default;
+
+  /// The source: starts holding the token and the payload.
+  explicit DfsBroadcast(sim::Message payload);
+
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+  bool terminated() const override { return done_; }
+
+  bool informed() const noexcept { return informed_; }
+
+  /// True on the source once the token has returned with nothing left to
+  /// explore (the traversal is complete).
+  bool traversal_complete() const noexcept { return done_ && is_source_; }
+
+ private:
+  sim::Message make_token(NodeId self, NodeId target) const;
+
+  bool is_source_ = false;
+  bool informed_ = false;
+  bool holds_token_ = false;
+  bool done_ = false;
+  NodeId parent_ = kNoNode;
+  std::vector<std::uint64_t> payload_words_;
+  std::uint64_t payload_origin_ = kNoNode;
+  std::vector<NodeId> visited_;  // sorted; carried with the token
+};
+
+}  // namespace radiocast::proto

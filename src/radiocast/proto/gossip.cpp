@@ -1,0 +1,76 @@
+#include "radiocast/proto/gossip.hpp"
+
+#include <algorithm>
+
+namespace radiocast::proto {
+
+Gossip::Gossip(GossipParams params)
+    : params_(params),
+      k_(params.base.phase_length()),
+      t_(params.base.repetitions()) {
+  RADIOCAST_CHECK_MSG(params.diameter_bound >= 1 ||
+                          params.base.network_size_bound == 1,
+                      "diameter bound must be at least 1");
+}
+
+void Gossip::on_start(sim::NodeContext& ctx) { rumors_ = {ctx.id()}; }
+
+bool Gossip::knows(NodeId rumor) const {
+  return std::ranges::binary_search(rumors_, rumor);
+}
+
+sim::Message Gossip::round_message(NodeId self) const {
+  sim::Message m;
+  m.origin = self;
+  m.tag = kRumorTag;
+  m.data.assign(round_rumors_.begin(), round_rumors_.end());
+  return m;
+}
+
+sim::Action Gossip::on_slot(sim::NodeContext& ctx) {
+  const Slot now = ctx.now();
+  const Slot round_len = params_.round_length();
+  const std::uint64_t round = now / round_len;
+  if (round >= params_.rounds()) {
+    done_ = true;
+    return sim::Action::receive();
+  }
+  if (round != current_round_) {
+    // Round boundary: snapshot the set to relay this whole round, so
+    // every transmitter of a given phase is sub-round aligned and the
+    // contents are stable for analysis.
+    current_round_ = round;
+    round_rumors_ = rumors_;
+    run_.reset();
+  }
+  if (!run_.has_value()) {
+    RADIOCAST_DCHECK(now % k_ == 0);
+    run_.emplace(k_, round_message(ctx.id()),
+                 params_.base.stop_probability);
+  }
+  const sim::Action action = run_->tick(ctx.rng());
+  if (run_->phase_over()) {
+    run_.reset();
+  }
+  return action;
+}
+
+void Gossip::on_receive(sim::NodeContext& ctx, const sim::Message& m) {
+  if (m.tag != kRumorTag) {
+    return;
+  }
+  bool grew = false;
+  for (const std::uint64_t word : m.data) {
+    const auto rumor = static_cast<NodeId>(word);
+    const auto it = std::lower_bound(rumors_.begin(), rumors_.end(), rumor);
+    if (it == rumors_.end() || *it != rumor) {
+      rumors_.insert(it, rumor);
+      grew = true;
+    }
+  }
+  if (grew) {
+    last_learned_at_ = ctx.now();
+  }
+}
+
+}  // namespace radiocast::proto

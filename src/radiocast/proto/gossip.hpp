@@ -1,0 +1,82 @@
+// Gossiping (all-to-all broadcast): every node starts with its own rumor
+// and everyone must learn all n rumors — the other classic communication
+// primitive in the radio-network literature that grew out of this paper's
+// broadcast problem (cf. the [BII89] line of work and the later gossiping
+// results it seeded).
+//
+// We implement round-synchronized combined-message gossip, the same
+// structure as proto::LeaderElection (which is in fact the special case
+// that only tracks the maximum): R rounds of W = k*t slots; within a
+// round every node relays the rumor set it knew at the round boundary
+// (t aligned Decay phases), merging everything it hears for the next
+// round. Messages carry whole rumor sets (the model's §1 semantics place
+// no bound on message contents). Known-set growth is monotone and every
+// node transmits every round, so no wavefront can starve. Unlike a single
+// broadcast, all-to-all needs every rumor to first WIN a slot at its
+// origin (a coupon-collector start-up over the origin's neighborhood), so
+// the round budget carries the log factor twice:
+// R = D_bound + 2*ceil(log2(N/ε)) + 2. With it, all sets converge to
+// {0..n-1} w.h.p. and the protocol is silent afterwards.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/proto/decay.hpp"
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+struct GossipParams {
+  BroadcastParams base;
+  /// Upper bound on the network diameter (<= N - 1 always works).
+  std::size_t diameter_bound = 0;
+
+  std::size_t rounds() const {
+    return diameter_bound + 2 * base.repetitions() + 2;
+  }
+  Slot round_length() const {
+    return static_cast<Slot>(base.phase_length()) * base.repetitions();
+  }
+  Slot horizon() const { return rounds() * round_length(); }
+};
+
+class Gossip : public sim::Protocol {
+ public:
+  static constexpr std::uint64_t kRumorTag = 0x6055;
+
+  explicit Gossip(GossipParams params);
+
+  void on_start(sim::NodeContext& ctx) override;
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+
+  /// True once all R rounds have elapsed.
+  bool terminated() const override { return done_; }
+
+  /// Sorted ids of the rumors this node knows (ids == originating nodes).
+  const std::vector<NodeId>& rumors() const noexcept { return rumors_; }
+  bool knows(NodeId rumor) const;
+  std::size_t rumor_count() const noexcept { return rumors_.size(); }
+
+  /// Slot at which the last new rumor arrived (0 = only its own so far).
+  Slot last_learned_at() const noexcept { return last_learned_at_; }
+
+  const GossipParams& params() const noexcept { return params_; }
+
+ private:
+  sim::Message round_message(NodeId self) const;
+
+  GossipParams params_;
+  unsigned k_;
+  unsigned t_;
+  std::vector<NodeId> rumors_;        ///< sorted; grows monotonically
+  std::vector<NodeId> round_rumors_;  ///< snapshot relayed this round
+  std::uint64_t current_round_ = kNever;
+  Slot last_learned_at_ = 0;
+  std::optional<DecayRun> run_;
+  bool done_ = false;
+};
+
+}  // namespace radiocast::proto

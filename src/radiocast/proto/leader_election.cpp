@@ -1,0 +1,76 @@
+#include "radiocast/proto/leader_election.hpp"
+
+namespace radiocast::proto {
+
+LeaderElection::LeaderElection(LeaderElectionParams params)
+    : params_(params),
+      k_(params.base.phase_length()),
+      t_(params.base.repetitions()) {
+  RADIOCAST_CHECK_MSG(params.diameter_bound >= 1 ||
+                          params.base.network_size_bound == 1,
+                      "diameter bound must be at least 1");
+}
+
+void LeaderElection::on_start(sim::NodeContext& ctx) {
+  // Drawing from the node's own stream keeps runs reproducible; 64 bits
+  // make priority ties astronomically unlikely, and the (priority, id)
+  // pair breaks even those.
+  own_priority_ = ctx.rng().generator().next();
+  best_priority_ = own_priority_;
+  best_owner_ = ctx.id();
+}
+
+sim::Message LeaderElection::round_message(NodeId self) const {
+  sim::Message m;
+  m.origin = self;
+  m.tag = kPriorityTag;
+  m.data = {round_priority_, round_owner_};
+  return m;
+}
+
+sim::Action LeaderElection::on_slot(sim::NodeContext& ctx) {
+  const Slot now = ctx.now();
+  const Slot round_len = params_.round_length();
+  const std::uint64_t round = now / round_len;
+  if (round >= params_.rounds()) {
+    done_ = true;
+    return sim::Action::receive();
+  }
+  if (round != current_round_) {
+    // Round boundary: freeze the value to relay for this whole round.
+    current_round_ = round;
+    round_priority_ = best_priority_;
+    round_owner_ = best_owner_;
+    run_.reset();
+  }
+  if (!run_.has_value()) {
+    // Decay runs tile the round back-to-back (round_len == k * t), so
+    // within a round every transmitter in the network is sub-round
+    // aligned — Theorem 1's hypothesis at every phase.
+    RADIOCAST_DCHECK(now % k_ == 0);
+    run_.emplace(k_, round_message(ctx.id()),
+                 params_.base.stop_probability);
+  }
+  const sim::Action action = run_->tick(ctx.rng());
+  if (run_->phase_over()) {
+    run_.reset();
+  }
+  return action;
+}
+
+void LeaderElection::on_receive(sim::NodeContext& /*ctx*/,
+                                const sim::Message& m) {
+  if (m.tag != kPriorityTag || m.data.size() != 2) {
+    return;
+  }
+  const std::uint64_t priority = m.data[0];
+  const auto owner = static_cast<NodeId>(m.data[1]);
+  if (priority > best_priority_ ||
+      (priority == best_priority_ && owner > best_owner_)) {
+    best_priority_ = priority;
+    best_owner_ = owner;
+    // Takes effect (is relayed) from the next round boundary.
+  }
+}
+
+}  // namespace radiocast::proto

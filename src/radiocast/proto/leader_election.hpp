@@ -1,0 +1,93 @@
+// Leader election on arbitrary multi-hop radio networks WITHOUT collision
+// detection — the application the paper's preliminary version [BGI87]
+// stated and [BGI89] developed, built directly on Decay.
+//
+// Mechanism: round-synchronized max-propagation. Every node draws a random
+// 64-bit priority. Time is divided into R rounds of W = k*t slots each
+// (k = 2 ceil(log Δ) slots per Decay, t = ceil(log(N/ε)) Decays per
+// round). Within a round every node relays the largest (priority, id) pair
+// it knew AT THE ROUND'S START — t back-to-back Decay phases, network-wide
+// aligned — while recording any larger pair it hears for the next round.
+//
+// Freezing the relayed value per round makes the holder set of the global
+// maximum monotone: each round, every neighbor of a holder hears some
+// transmitter ~0.7*t times (Theorem 1 per phase) and each success is
+// uniform-ish over its in-neighbors, so the holder set absorbs its whole
+// boundary within a few rounds; R = D_bound + ceil(log2(N/ε)) + 2 rounds
+// suffice w.h.p. After R rounds everyone is silent; the unique node whose
+// own pair survived everywhere believes it is the leader.
+//
+// Cost: R*W slots, <= 2*t transmissions per node per round — the price of
+// not having collision detection, matching the Θ(log^2) factors of the
+// broadcast protocol per diameter unit.
+#pragma once
+
+#include <optional>
+
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/proto/decay.hpp"
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+struct LeaderElectionParams {
+  BroadcastParams base;
+  /// Upper bound on the network diameter (<= N - 1 always works; a tighter
+  /// bound shortens the election proportionally).
+  std::size_t diameter_bound = 0;
+
+  /// Rounds executed: D_bound + ceil(log2(N/ε)) + 2.
+  std::size_t rounds() const {
+    return diameter_bound + base.repetitions() + 2;
+  }
+  /// Slots per round: k * t.
+  Slot round_length() const {
+    return static_cast<Slot>(base.phase_length()) * base.repetitions();
+  }
+  /// Total slots until every node is silent.
+  Slot horizon() const { return rounds() * round_length(); }
+};
+
+class LeaderElection : public sim::Protocol {
+ public:
+  static constexpr std::uint64_t kPriorityTag = 0x1EAD;
+
+  explicit LeaderElection(LeaderElectionParams params);
+
+  void on_start(sim::NodeContext& ctx) override;
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+
+  /// True once all R rounds have elapsed.
+  bool terminated() const override { return done_; }
+
+  std::uint64_t own_priority() const noexcept { return own_priority_; }
+  std::uint64_t best_priority() const noexcept { return best_priority_; }
+  NodeId best_owner() const noexcept { return best_owner_; }
+
+  /// True iff, as far as this node knows, it is the leader.
+  bool believes_leader(NodeId self) const noexcept {
+    return best_owner_ == self;
+  }
+
+  const LeaderElectionParams& params() const noexcept { return params_; }
+
+ private:
+  sim::Message round_message(NodeId self) const;
+
+  LeaderElectionParams params_;
+  unsigned k_;
+  unsigned t_;
+  std::uint64_t own_priority_ = 0;
+  // Best pair known (updated immediately on hearing something larger).
+  std::uint64_t best_priority_ = 0;
+  NodeId best_owner_ = kNoNode;
+  // Pair relayed during the current round (frozen at the round boundary).
+  std::uint64_t round_priority_ = 0;
+  NodeId round_owner_ = kNoNode;
+  std::uint64_t current_round_ = kNever;
+  std::optional<DecayRun> run_;
+  bool done_ = false;
+};
+
+}  // namespace radiocast::proto

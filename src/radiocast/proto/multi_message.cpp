@@ -1,0 +1,73 @@
+#include "radiocast/proto/multi_message.hpp"
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+namespace {
+
+Slot round_up_to_multiple(Slot value, Slot unit) {
+  return ((value + unit - 1) / unit) * unit;
+}
+
+}  // namespace
+
+MultiMessageBroadcast::MultiMessageBroadcast(MultiMessageParams params)
+    : params_(params) {
+  RADIOCAST_CHECK_MSG(params_.message_count >= 1, "need >= 1 message");
+  const Slot k = params_.base.phase_length();
+  RADIOCAST_CHECK_MSG(params_.epoch_length >= k,
+                      "epoch must fit at least one Decay phase");
+  params_.epoch_length = round_up_to_multiple(params_.epoch_length, k);
+}
+
+MultiMessageBroadcast::MultiMessageBroadcast(MultiMessageParams params,
+                                             std::vector<sim::Message> messages)
+    : MultiMessageBroadcast(params) {
+  RADIOCAST_CHECK_MSG(messages.size() == params_.message_count,
+                      "source must carry message_count messages");
+  is_source_ = true;
+  outgoing_ = std::move(messages);
+}
+
+void MultiMessageBroadcast::roll_epoch(std::size_t epoch) {
+  // Harvest the message obtained in the finished epoch (if any).
+  if (inner_.has_value() && !is_source_ && inner_->informed()) {
+    delivered_.push_back(inner_->message());
+  }
+  current_epoch_ = epoch;
+  if (epoch >= params_.message_count) {
+    inner_.reset();
+    terminated_ = true;
+    return;
+  }
+  if (is_source_) {
+    inner_.emplace(params_.base, outgoing_[epoch]);
+    delivered_.push_back(outgoing_[epoch]);
+  } else {
+    inner_.emplace(params_.base);
+  }
+}
+
+sim::Action MultiMessageBroadcast::on_slot(sim::NodeContext& ctx) {
+  const auto epoch =
+      static_cast<std::size_t>(ctx.now() / params_.epoch_length);
+  if (epoch != current_epoch_) {
+    roll_epoch(epoch);
+  }
+  if (!inner_.has_value()) {
+    return sim::Action::receive();
+  }
+  return inner_->on_slot(ctx);
+}
+
+void MultiMessageBroadcast::on_receive(sim::NodeContext& ctx,
+                                       const sim::Message& m) {
+  if (inner_.has_value()) {
+    inner_->on_receive(ctx, m);
+  }
+}
+
+}  // namespace radiocast::proto

@@ -1,0 +1,34 @@
+#include "radiocast/proto/round_robin.hpp"
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+RoundRobinBroadcast::RoundRobinBroadcast(std::size_t n) : n_(n) {
+  RADIOCAST_CHECK_MSG(n >= 1, "need n >= 1");
+}
+
+RoundRobinBroadcast::RoundRobinBroadcast(std::size_t n, sim::Message initial)
+    : RoundRobinBroadcast(n) {
+  message_ = std::move(initial);
+  informed_at_ = 0;
+}
+
+sim::Action RoundRobinBroadcast::on_slot(sim::NodeContext& ctx) {
+  if (informed() && ctx.now() % n_ == ctx.id()) {
+    return sim::Action::transmit(*message_);
+  }
+  return sim::Action::receive();
+}
+
+void RoundRobinBroadcast::on_receive(sim::NodeContext& ctx,
+                                     const sim::Message& m) {
+  if (!informed()) {
+    message_ = m;
+    informed_at_ = ctx.now();
+  }
+}
+
+}  // namespace radiocast::proto

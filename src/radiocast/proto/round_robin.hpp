@@ -1,0 +1,41 @@
+// Deterministic round-robin broadcast: a simple, collision-free baseline.
+//
+// In slot t, the unique node with id == t mod n transmits — if it holds the
+// message. At most one transmitter per slot network-wide, so every round of
+// n slots advances the informed frontier by at least one BFS layer:
+// broadcast completes within n * (D + 1) slots on any connected n-node
+// network. Requires each node to know its ID and n, but no topology.
+//
+// This is the natural "Θ(n)-per-layer" deterministic strawman the paper's
+// randomized protocol is contrasted against: on C_n (diameter ~2, n
+// second-layer nodes) it still pays Θ(n), matching the Ω(n) lower bound's
+// prediction that determinism cannot exploit the tiny diameter.
+#pragma once
+
+#include <optional>
+
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+class RoundRobinBroadcast : public sim::Protocol {
+ public:
+  /// A non-source node of a network with `n` nodes.
+  explicit RoundRobinBroadcast(std::size_t n);
+
+  /// The source: holds `initial` from slot 0.
+  RoundRobinBroadcast(std::size_t n, sim::Message initial);
+
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+
+  bool informed() const noexcept { return message_.has_value(); }
+  Slot informed_at() const noexcept { return informed_at_; }
+
+ private:
+  std::size_t n_;
+  std::optional<sim::Message> message_;
+  Slot informed_at_ = kNever;
+};
+
+}  // namespace radiocast::proto

@@ -1,0 +1,118 @@
+#include "radiocast/proto/routing.hpp"
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+namespace {
+
+constexpr std::uint64_t kBfsTag = 0x907F;
+/// Label stamped by a source that failed to obtain a BFS label (possible
+/// with probability <= ε): everyone accepts, degrading gracefully to a
+/// plain flood.
+constexpr std::uint64_t kUnlabelled = ~std::uint64_t{0};
+
+sim::Message bfs_probe() {
+  sim::Message m;
+  m.origin = kNoNode;
+  m.tag = kBfsTag;
+  return m;
+}
+
+}  // namespace
+
+PointToPointRouting::PointToPointRouting(RoutingParams params, Role role,
+                                         std::vector<std::uint64_t> payload)
+    : params_(params),
+      role_(role),
+      k_(params.base.phase_length()),
+      t_(params.base.repetitions()),
+      bfs_(role == Role::kDestination ? BgiBfs(params.base, bfs_probe())
+                                      : BgiBfs(params.base)),
+      payload_(std::move(payload)) {
+  RADIOCAST_CHECK_MSG(params.diameter_bound >= 1,
+                      "routing needs a diameter bound >= 1");
+  if (role_ == Role::kSource) {
+    has_packet_ = true;  // the packet exists from the start...
+  }
+}
+
+sim::Message PointToPointRouting::packet_message(NodeId self) const {
+  sim::Message m;
+  m.origin = self;
+  m.tag = kPacketTag;
+  m.data.reserve(1 + payload_.size());
+  m.data.push_back(bfs_.informed() ? bfs_.distance() : kUnlabelled);
+  m.data.insert(m.data.end(), payload_.begin(), payload_.end());
+  return m;
+}
+
+sim::Action PointToPointRouting::on_slot(sim::NodeContext& ctx) {
+  const Slot now = ctx.now();
+  if (now < params_.bfs_horizon()) {
+    return bfs_.on_slot(ctx);  // stage 1: label the gradient
+  }
+  if (now == params_.bfs_horizon() && role_ == Role::kSource) {
+    packet_at_ = now;  // ...but only starts moving now
+    relay_phases_left_ = t_;
+  }
+  if (now >= params_.horizon()) {
+    return sim::Action::receive();
+  }
+  // Stage 2: gradient descent. The destination never relays; a relay
+  // transmits for t aligned Decay phases after picking the packet up.
+  if (role_ == Role::kDestination || !has_packet_ ||
+      (relay_phases_left_ == 0 && !run_.has_value())) {
+    return sim::Action::receive();
+  }
+  if (!run_.has_value()) {
+    if (now % k_ != 0) {
+      return sim::Action::receive();
+    }
+    run_.emplace(k_, packet_message(ctx.id()),
+                 params_.base.stop_probability);
+  }
+  const sim::Action action = run_->tick(ctx.rng());
+  if (run_->phase_over()) {
+    run_.reset();
+    if (relay_phases_left_ > 0) {
+      --relay_phases_left_;
+    }
+  }
+  return action;
+}
+
+void PointToPointRouting::on_receive(sim::NodeContext& ctx,
+                                     const sim::Message& m) {
+  if (ctx.now() < params_.bfs_horizon()) {
+    if (m.tag == kBfsTag) {
+      bfs_.on_receive(ctx, m);
+    }
+    return;
+  }
+  if (m.tag != kPacketTag || m.data.empty() || has_packet_) {
+    return;
+  }
+  const std::uint64_t sender_label = m.data.front();
+  // Accept only when strictly closer to the destination than the sender —
+  // the packet may only descend the gradient.
+  if (!bfs_.informed() || bfs_.distance() >= sender_label) {
+    return;
+  }
+  has_packet_ = true;
+  packet_at_ = ctx.now();
+  payload_.assign(m.data.begin() + 1, m.data.end());
+  if (role_ != Role::kDestination) {
+    relay_phases_left_ = t_;
+  }
+}
+
+bool PointToPointRouting::terminated() const {
+  // Conservative: quiescent once the relay budget is spent; the harness
+  // uses the fixed params_.horizon() anyway.
+  return has_packet_ && relay_phases_left_ == 0 && !run_.has_value();
+}
+
+}  // namespace radiocast::proto

@@ -1,0 +1,87 @@
+// Point-to-point routing over a multi-hop radio network without collision
+// detection — the second application the paper attributes to [BII89]
+// ("efficient protocols for ... point-to-point routing of messages in
+// multi-hop radio networks"), built from the two primitives this library
+// already reproduces:
+//
+//   stage 1 (slots [0, bfs_horizon)): the §2.3 BFS protocol rooted at the
+//     DESTINATION labels every node with its hop distance to it;
+//   stage 2 (afterwards): the source injects the packet; it travels down
+//     the label gradient — a node relays the packet (t aligned Decay
+//     phases, §2.1) iff its own label is strictly smaller than the
+//     sender's, and every node forwards at most once. The packet therefore
+//     floods only the cone of shortest paths toward the destination,
+//     reaching it in ~dist(source, destination) phases w.h.p. while
+//     leaving the rest of the network silent.
+//
+// This is the natural label-guided scheme, not BII89's protocol (whose
+// details are in that paper); see DESIGN.md §6.
+#pragma once
+
+#include <optional>
+
+#include "radiocast/proto/bfs.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/proto/decay.hpp"
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+struct RoutingParams {
+  BroadcastParams base;
+  /// Upper bound on the network diameter; sizes the BFS stage.
+  std::size_t diameter_bound = 0;
+
+  /// Slots spent in the BFS stage: (D_bound + 2) BFS phases.
+  Slot bfs_horizon() const {
+    return static_cast<Slot>(diameter_bound + 2) * base.phase_length() *
+           base.repetitions();
+  }
+  /// Total slots after which everything is quiescent: BFS stage plus a
+  /// routing stage of (D_bound + 2) relay windows of t phases each.
+  Slot horizon() const { return 2 * bfs_horizon(); }
+};
+
+class PointToPointRouting : public sim::Protocol {
+ public:
+  static constexpr std::uint64_t kPacketTag = 0x907E;
+
+  enum class Role : std::uint8_t { kSource, kDestination, kRelay };
+
+  /// The source's payload words are carried to the destination.
+  PointToPointRouting(RoutingParams params, Role role,
+                      std::vector<std::uint64_t> payload = {});
+
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+  bool terminated() const override;
+
+  /// Destination only: has the packet arrived?
+  bool delivered() const noexcept { return has_packet_ && role_ == Role::kDestination; }
+  bool has_packet() const noexcept { return has_packet_; }
+  Slot packet_at() const noexcept { return packet_at_; }
+  const std::vector<std::uint64_t>& payload() const noexcept {
+    return payload_;
+  }
+
+  /// The BFS label this node computed in stage 1 (distance to the
+  /// destination); meaningful only if labelled().
+  bool labelled() const noexcept { return bfs_.informed(); }
+  std::uint64_t label() const { return bfs_.distance(); }
+
+ private:
+  sim::Message packet_message(NodeId self) const;
+
+  RoutingParams params_;
+  Role role_;
+  unsigned k_;
+  unsigned t_;
+  BgiBfs bfs_;
+  std::vector<std::uint64_t> payload_;
+  bool has_packet_ = false;
+  Slot packet_at_ = kNever;
+  unsigned relay_phases_left_ = 0;
+  std::optional<DecayRun> run_;
+};
+
+}  // namespace radiocast::proto

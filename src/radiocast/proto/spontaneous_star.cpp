@@ -1,0 +1,77 @@
+#include "radiocast/proto/spontaneous_star.hpp"
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+SpontaneousStarBroadcast::SpontaneousStarBroadcast(
+    std::size_t n, std::optional<sim::Message> payload)
+    : n_(n), message_(std::move(payload)) {
+  RADIOCAST_CHECK_MSG(n >= 1, "C_n needs n >= 1");
+  if (message_.has_value()) {
+    informed_at_ = 0;
+  }
+}
+
+void SpontaneousStarBroadcast::on_start(sim::NodeContext& ctx) {
+  const NodeId sink_id = static_cast<NodeId>(n_ + 1);
+  if (ctx.id() == 0) {
+    role_ = Role::kSource;
+    RADIOCAST_CHECK_MSG(message_.has_value(),
+                        "the source must carry the payload");
+  } else if (ctx.id() == sink_id) {
+    role_ = Role::kSink;
+  } else {
+    role_ = Role::kSecondLayer;
+  }
+}
+
+sim::Action SpontaneousStarBroadcast::on_slot(sim::NodeContext& ctx) {
+  const Slot t = ctx.now();
+  if (t >= 3) {
+    terminated_ = true;
+    return sim::Action::receive();
+  }
+  switch (role_) {
+    case Role::kSource:
+      if (t == 0) {
+        return sim::Action::transmit(*message_);
+      }
+      break;
+    case Role::kSink:
+      if (t == 1) {
+        // Spontaneous wake-up: name the smallest neighbor.
+        sim::Message nominate;
+        nominate.origin = ctx.id();
+        nominate.tag = kNominateTag;
+        nominate.data.push_back(ctx.neighbors_out().front());
+        return sim::Action::transmit(nominate);
+      }
+      break;
+    case Role::kSecondLayer:
+      if (t == 2 && nominated_ && informed()) {
+        return sim::Action::transmit(*message_);
+      }
+      break;
+  }
+  return sim::Action::receive();
+}
+
+void SpontaneousStarBroadcast::on_receive(sim::NodeContext& ctx,
+                                          const sim::Message& m) {
+  if (m.tag == kNominateTag) {
+    if (role_ == Role::kSecondLayer && !m.data.empty() &&
+        m.data.front() == ctx.id()) {
+      nominated_ = true;
+    }
+    return;
+  }
+  if (!informed()) {
+    message_ = m;
+    informed_at_ = ctx.now();
+  }
+}
+
+}  // namespace radiocast::proto

@@ -1,0 +1,50 @@
+// The paper's §3.5 observation: if processors may transmit spontaneously
+// (without having received a message first), C_n admits a trivial 3-round
+// deterministic broadcast — which is why the stronger family C*_n is needed
+// to sustain the lower bound in that model.
+//
+//   round 0: the source transmits m (all second-layer nodes receive it).
+//   round 1: the sink spontaneously "awakes" and transmits the smallest of
+//            its neighbors' IDs (it knows them).
+//   round 2: that named node transmits m; the sink, its only listener with
+//            a single active in-neighbor, receives it. Broadcast complete.
+//
+// No collision detection is needed; the only departure from Definition 1
+// is the spontaneous transmission in round 1.
+#pragma once
+
+#include <optional>
+
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+class SpontaneousStarBroadcast : public sim::Protocol {
+ public:
+  static constexpr std::uint64_t kNominateTag = 0x5A;
+
+  /// `n` = number of second-layer nodes; role deduced from the node id
+  /// (0 = source, n+1 = sink). The source carries the payload.
+  SpontaneousStarBroadcast(std::size_t n,
+                           std::optional<sim::Message> payload);
+
+  void on_start(sim::NodeContext& ctx) override;
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+  bool terminated() const override { return terminated_; }
+
+  bool informed() const noexcept { return message_.has_value(); }
+  Slot informed_at() const noexcept { return informed_at_; }
+
+ private:
+  enum class Role { kSource, kSecondLayer, kSink };
+
+  std::size_t n_;
+  Role role_ = Role::kSecondLayer;
+  bool nominated_ = false;
+  std::optional<sim::Message> message_;
+  Slot informed_at_ = kNever;
+  bool terminated_ = false;
+};
+
+}  // namespace radiocast::proto

@@ -1,0 +1,97 @@
+// Leader election on a single-hop radio network WITH collision detection —
+// in the spirit of Willard [W86], whose protocol the paper's preliminary
+// version emulated on multi-hop networks (§2.3, later published as
+// [BGI89]).
+//
+// We implement the classic geometric-backoff election (the simple variant;
+// Willard's full protocol adds a doubly-logarithmic contention search):
+// rounds r = 0, 1, 2, ...; every still-active candidate transmits its id
+// with probability 2^-(r mod R). Because the channel is single-hop with
+// CD, every node learns each round's outcome:
+//   exactly one transmitter  -> that id wins; everyone records the leader;
+//   collision or silence     -> continue.
+// Expected O(log n) rounds; each round is one slot.
+#pragma once
+
+#include <optional>
+
+#include "radiocast/sim/protocol.hpp"
+
+namespace radiocast::proto {
+
+class WillardElection : public sim::Protocol {
+ public:
+  /// `candidate_bound` is an upper bound on the number of candidates (the
+  /// paper's N); the backoff probability cycles through
+  /// 1, 1/2, ..., 2^-ceil(log N) and wraps.
+  explicit WillardElection(std::size_t candidate_bound);
+
+  void on_start(sim::NodeContext& ctx) override;
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+  void on_collision(sim::NodeContext& ctx) override;
+  bool terminated() const override { return leader_.has_value(); }
+
+  bool has_leader() const noexcept { return leader_.has_value(); }
+  NodeId leader() const;
+  bool is_leader(NodeId self) const {
+    return leader_.has_value() && *leader_ == self;
+  }
+
+ private:
+  unsigned cycle_;  ///< number of probability levels before wrapping
+  bool transmitted_this_slot_ = false;  ///< sent in the last contention slot
+  bool ack_due_ = false;  ///< learned the leader; owe one echo
+  std::optional<NodeId> leader_;
+};
+
+/// Willard's actual contention-estimation idea [W86]: binary search over
+/// the backoff levels, steered by the collision-detection feedback every
+/// node shares on a single-hop channel:
+///   collision -> too many transmitters: search higher suppression levels;
+///   silence   -> too few: search lower levels;
+///   success   -> done.
+/// The level interval halves each round, so the search part takes
+/// O(log log N) rounds (vs the geometric protocol's O(log N)); when the
+/// interval collapses without a winner, it restarts on the full range
+/// (each restart succeeds with constant probability).
+///
+/// Rounds take 3 slots, because in our strict radio model transmitters
+/// hear nothing — the shared ternary feedback [W86] assumes has to be
+/// reconstructed explicitly:
+///   slot 3r   : contention at the probed level;
+///   slot 3r+1 : ack — everyone who received the candidate id echoes, so
+///               the winner (who could not listen) learns it won;
+///   slot 3r+2 : collision echo — everyone whose detector fired echoes,
+///               so the colliding transmitters (who could not listen)
+///               learn the slot was a collision rather than silence.
+/// With n = 2 a both-transmit round has no listener at all and is misread
+/// as silence; the periodic restart keeps the protocol live anyway.
+class WillardBinarySearchElection : public sim::Protocol {
+ public:
+  explicit WillardBinarySearchElection(std::size_t candidate_bound);
+
+  void on_start(sim::NodeContext& ctx) override;
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override;
+  void on_collision(sim::NodeContext& ctx) override;
+  bool terminated() const override { return leader_.has_value(); }
+
+  bool has_leader() const noexcept { return leader_.has_value(); }
+  NodeId leader() const;
+
+ private:
+  void observe_round(bool collision, bool success);
+
+  unsigned max_level_;   ///< ceil(log2 N): strongest suppression level
+  unsigned lo_ = 0;      ///< binary-search interval over levels [lo, hi]
+  unsigned hi_;
+  bool transmitted_this_slot_ = false;
+  bool ack_due_ = false;
+  bool saw_collision_ = false;   ///< in the current contention slot
+  bool saw_success_ = false;     ///< heard a candidate id this round
+  bool pending_update_ = false;  ///< awaiting the echo slot's verdict
+  std::optional<NodeId> leader_;
+};
+
+}  // namespace radiocast::proto

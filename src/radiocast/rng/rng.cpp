@@ -1,0 +1,119 @@
+#include "radiocast/rng/rng.hpp"
+
+#include <cmath>
+
+namespace radiocast::rng {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31U);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept { return splitmix64(x); }
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed, std::uint64_t stream) noexcept
+    : Xoshiro256(mix64(mix64(seed) ^ mix64(stream ^ 0xD1B54A32D192ED03ULL))) {
+  // The (seed, stream) pair is collapsed into a fresh 64-bit seed through
+  // nonlinear splitmix mixing and then expanded into the full state.
+  // Deliberately NOT implemented by XOR-perturbing a common state:
+  // xoshiro's transition is linear over GF(2), so states x^P1 and x^P2
+  // would stay correlated forever and per-node coin flips in one
+  // simulation would not be independent.
+}
+
+Xoshiro256::result_type Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17U;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((word & (std::uint64_t{1} << bit)) != 0) {
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i] ^= state_[i];
+        }
+      }
+      (void)next();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  RADIOCAST_CHECK_MSG(bound > 0, "uniform bound must be positive");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = gen_.next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  RADIOCAST_CHECK_MSG(lo <= hi, "uniform_range requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(gen_.next());
+  }
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() noexcept {
+  // Top 53 bits -> double in [0,1).
+  return static_cast<double>(gen_.next() >> 11U) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform01() < p;
+}
+
+bool Rng::fair_coin() noexcept { return (gen_.next() >> 63U) != 0; }
+
+std::uint64_t Rng::geometric(double p) {
+  RADIOCAST_CHECK_MSG(p > 0.0 && p <= 1.0, "geometric requires p in (0,1]");
+  if (p == 1.0) {
+    return 0;
+  }
+  // Inversion: floor(log(U) / log(1-p)).
+  const double u = 1.0 - uniform01();  // in (0,1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace radiocast::rng

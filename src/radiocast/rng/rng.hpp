@@ -1,0 +1,103 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// radiocast never uses std::mt19937 / std::uniform_* because their streams
+// are implementation-defined in places and slow to seed per node. Instead we
+// ship splitmix64 (for seeding) and xoshiro256** (for generation), both with
+// fixed, documented output sequences, so simulation results are reproducible
+// bit-for-bit across compilers and platforms.
+//
+// Sub-streams: every node in a simulation gets its own statistically
+// independent stream derived from (master seed, stream id). This makes the
+// results independent of the order in which the simulator polls nodes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::rng {
+
+/// One step of the splitmix64 generator (Steele, Lea & Flood). Used for
+/// seed expansion; also a decent 64-bit mixer/hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix: the output of splitmix64 after advancing from `x` once.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna): fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via splitmix64 expansion.
+  explicit Xoshiro256(std::uint64_t seed = 0) noexcept;
+
+  /// Seeds from (seed, stream): distinct streams are independent for all
+  /// practical purposes. Used to give each node its own generator.
+  Xoshiro256(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+  /// Next 64 uniformly random bits.
+  result_type next() noexcept;
+
+  result_type operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Advances the stream by 2^128 steps; yields a non-overlapping substream.
+  void jump() noexcept;
+
+  /// The raw 256-bit state (for tests of reproducibility).
+  const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Convenience wrapper bundling a Xoshiro256 with the distributions the
+/// simulator needs. All methods are O(1) and allocation-free.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) noexcept : gen_(seed) {}
+  Rng(std::uint64_t seed, std::uint64_t stream) noexcept : gen_(seed, stream) {}
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Unbiased (rejection).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// A fair coin (probability exactly 1/2) using one fresh random bit.
+  /// This is the coin of the paper's Decay procedure.
+  bool fair_coin() noexcept;
+
+  /// Geometric: number of failures before the first success with success
+  /// probability p in (0, 1]. Mean (1-p)/p.
+  std::uint64_t geometric(double p);
+
+  /// Fisher-Yates shuffle of [first, last) indices stored in a container
+  /// supporting operator[] and size().
+  template <typename Container>
+  void shuffle(Container& c) {
+    const std::size_t n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  Xoshiro256& generator() noexcept { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace radiocast::rng

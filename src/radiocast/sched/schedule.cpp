@@ -1,0 +1,182 @@
+#include "radiocast/sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/graph/algorithms.hpp"
+
+namespace radiocast::sched {
+
+ScheduleCheck verify_schedule(const graph::Graph& g, NodeId source,
+                              const BroadcastSchedule& schedule) {
+  const std::size_t n = g.node_count();
+  RADIOCAST_CHECK_MSG(source < n, "source out of range");
+  std::vector<char> informed(n, 0);
+  informed[source] = 1;
+  std::size_t informed_count = 1;
+
+  ScheduleCheck check;
+  std::vector<char> transmitting(n, 0);
+  std::vector<std::uint32_t> hears(n, 0);
+  for (std::size_t t = 0; t < schedule.slots.size(); ++t) {
+    const auto& txs = schedule.slots[t];
+    std::fill(transmitting.begin(), transmitting.end(), 0);
+    for (const NodeId u : txs) {
+      RADIOCAST_CHECK_MSG(u < n, "scheduled node out of range");
+      if (informed[u] == 0) {
+        return check;  // invalid: transmitting before holding the message
+      }
+      transmitting[u] = 1;
+    }
+    std::fill(hears.begin(), hears.end(), 0);
+    for (const NodeId u : txs) {
+      ++check.transmissions;
+      for (const NodeId v : g.out_neighbors(u)) {
+        ++hears[v];
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (transmitting[v] == 0 && hears[v] == 1 && informed[v] == 0) {
+        informed[v] = 1;
+        ++informed_count;
+        if (informed_count == n && check.completion_slot == kNever) {
+          check.completion_slot = t;
+        }
+      }
+    }
+  }
+  check.valid = informed_count == n;
+  return check;
+}
+
+namespace {
+
+/// Nodes of `layer` that hear exactly one member of `t` (their count in
+/// `hear`), where `hear` is maintained incrementally by the caller.
+std::size_t covered_count(const std::vector<NodeId>& layer,
+                          const std::vector<std::uint32_t>& hear,
+                          const std::vector<char>& still_uncovered) {
+  std::size_t covered = 0;
+  for (const NodeId v : layer) {
+    if (still_uncovered[v] != 0 && hear[v] == 1) {
+      ++covered;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+BroadcastSchedule greedy_cover_schedule(const graph::Graph& g,
+                                        NodeId source) {
+  const std::size_t n = g.node_count();
+  const auto dist = graph::bfs_distances(g, source);
+  graph::Dist depth = 0;
+  for (const auto d : dist) {
+    RADIOCAST_CHECK_MSG(d != graph::kUnreachable,
+                        "broadcast schedule needs a reachable graph");
+    depth = std::max(depth, d);
+  }
+
+  std::vector<std::vector<NodeId>> layers(depth + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    layers[dist[v]].push_back(v);
+  }
+
+  BroadcastSchedule schedule;
+  std::vector<char> uncovered(n, 0);
+  std::vector<std::uint32_t> hear(n, 0);
+  for (graph::Dist layer = 1; layer <= depth; ++layer) {
+    const auto& targets = layers[layer];
+    const auto& senders = layers[layer - 1];
+    std::size_t remaining = targets.size();
+    for (const NodeId v : targets) {
+      uncovered[v] = 1;
+    }
+    while (remaining > 0) {
+      // Build one slot: greedily add previous-layer transmitters while the
+      // exactly-one coverage of the remaining targets improves.
+      std::vector<NodeId> slot;
+      std::vector<char> in_slot(n, 0);
+      std::fill(hear.begin(), hear.end(), 0);
+      std::size_t best_cover = 0;
+      for (;;) {
+        NodeId best = kNoNode;
+        std::size_t best_gain_cover = best_cover;
+        for (const NodeId u : senders) {
+          if (in_slot[u] != 0) {
+            continue;
+          }
+          // Tentatively add u.
+          for (const NodeId v : g.out_neighbors(u)) {
+            ++hear[v];
+          }
+          const std::size_t c = covered_count(targets, hear, uncovered);
+          if (c > best_gain_cover) {
+            best_gain_cover = c;
+            best = u;
+          }
+          for (const NodeId v : g.out_neighbors(u)) {
+            --hear[v];
+          }
+        }
+        if (best == kNoNode) {
+          break;
+        }
+        in_slot[best] = 1;
+        slot.push_back(best);
+        best_cover = best_gain_cover;
+        for (const NodeId v : g.out_neighbors(best)) {
+          ++hear[v];
+        }
+      }
+      RADIOCAST_CHECK_MSG(!slot.empty(),
+                          "greedy slot made no progress (disconnected?)");
+      // Commit: mark the exactly-one hearers covered.
+      for (const NodeId v : targets) {
+        if (uncovered[v] != 0 && hear[v] == 1) {
+          uncovered[v] = 0;
+          --remaining;
+        }
+      }
+      std::ranges::sort(slot);
+      schedule.slots.push_back(std::move(slot));
+    }
+  }
+  return schedule;
+}
+
+BroadcastSchedule naive_schedule(const graph::Graph& g, NodeId source) {
+  const std::size_t n = g.node_count();
+  const auto dist = graph::bfs_distances(g, source);
+  graph::Dist depth = 0;
+  for (const auto d : dist) {
+    RADIOCAST_CHECK_MSG(d != graph::kUnreachable,
+                        "broadcast schedule needs a reachable graph");
+    depth = std::max(depth, d);
+  }
+  std::vector<std::vector<NodeId>> layers(depth + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    layers[dist[v]].push_back(v);
+  }
+  BroadcastSchedule schedule;
+  std::vector<char> covered(n, 0);
+  covered[source] = 1;
+  for (graph::Dist layer = 1; layer <= depth; ++layer) {
+    for (const NodeId u : layers[layer - 1]) {
+      bool useful = false;
+      for (const NodeId v : g.out_neighbors(u)) {
+        if (dist[v] == layer && covered[v] == 0) {
+          useful = true;
+          covered[v] = 1;
+        }
+      }
+      if (useful) {
+        schedule.slots.push_back({u});
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace radiocast::sched

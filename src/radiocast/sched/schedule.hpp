@@ -1,0 +1,57 @@
+// Centralized broadcast schedules (paper §1.3, related work).
+//
+// Chlamtac & Kutten [CK85] showed computing an optimal schedule is
+// NP-hard; Chlamtac & Weinstein [CW87] gave a centralized polynomial
+// algorithm producing O(D log^2 n)-slot schedules. This module provides
+// the schedule abstraction, an exact validity checker against the radio
+// semantics, a CW-style greedy scheduler, and the naive one-transmitter-
+// per-slot baseline — the comparison point the paper contrasts its
+// distributed protocol with.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/graph/graph.hpp"
+
+namespace radiocast::sched {
+
+/// slots[t] = the set of nodes scheduled to transmit in slot t (sorted).
+struct BroadcastSchedule {
+  std::vector<std::vector<NodeId>> slots;
+
+  std::size_t length() const noexcept { return slots.size(); }
+};
+
+struct ScheduleCheck {
+  bool valid = false;           ///< informs every node, transmitters informed
+  Slot completion_slot = kNever;  ///< slot after which all nodes hold m
+  std::size_t transmissions = 0;
+};
+
+/// Replays `schedule` on `g` under the exact radio semantics (a node
+/// receives in slot t iff exactly one in-neighbor transmits then) and
+/// checks that (a) only already-informed nodes are ever scheduled, and
+/// (b) every node is informed by the end.
+ScheduleCheck verify_schedule(const graph::Graph& g, NodeId source,
+                              const BroadcastSchedule& schedule);
+
+/// CW87-spirit greedy scheduler: processes BFS layers in order; for each
+/// layer boundary, repeatedly builds a transmitter set by greedily adding
+/// informed previous-layer nodes while the number of next-layer nodes that
+/// hear *exactly one* transmitter grows; emits the slot, marks the covered
+/// nodes, and repeats until the layer is covered. Produces valid schedules
+/// of length O(D log^2 n) in practice (each greedy slot covers a constant
+/// fraction of what remains).
+BroadcastSchedule greedy_cover_schedule(const graph::Graph& g,
+                                        NodeId source);
+
+/// The trivial baseline: one informed transmitter per slot, layer by
+/// layer (every second-layer node gets its own slot). Always valid;
+/// length <= n - 1. This is the schedule-world analogue of the paper's
+/// DFS 2n upper bound.
+BroadcastSchedule naive_schedule(const graph::Graph& g, NodeId source);
+
+}  // namespace radiocast::sched

@@ -1,0 +1,47 @@
+#include "radiocast/sched/scheduled_broadcast.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace radiocast::sched {
+
+ScheduledBroadcast::ScheduledBroadcast(const BroadcastSchedule& schedule,
+                                       NodeId self,
+                                       std::optional<sim::Message> payload)
+    : horizon_(schedule.slots.size()), message_(std::move(payload)) {
+  if (message_.has_value()) {
+    informed_at_ = 0;
+  }
+  for (Slot t = 0; t < schedule.slots.size(); ++t) {
+    if (std::ranges::binary_search(schedule.slots[t], self)) {
+      my_slots_.push_back(t);
+    }
+  }
+}
+
+sim::Action ScheduledBroadcast::on_slot(sim::NodeContext& ctx) {
+  const Slot now = ctx.now();
+  if (now >= horizon_) {
+    done_ = true;
+    return sim::Action::receive();
+  }
+  if (next_ < my_slots_.size() && my_slots_[next_] == now) {
+    ++next_;
+    if (!informed()) {
+      violation_ = true;  // scheduled to speak without holding the message
+      return sim::Action::receive();
+    }
+    return sim::Action::transmit(*message_);
+  }
+  return sim::Action::receive();
+}
+
+void ScheduledBroadcast::on_receive(sim::NodeContext& ctx,
+                                    const sim::Message& m) {
+  if (!informed()) {
+    message_ = m;
+    informed_at_ = ctx.now();
+  }
+}
+
+}  // namespace radiocast::sched

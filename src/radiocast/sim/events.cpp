@@ -1,0 +1,40 @@
+#include "radiocast/sim/events.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::sim {
+
+void EventQueue::push(TopologyEvent e) {
+  RADIOCAST_CHECK_MSG(next_ == 0 || events_.empty() ||
+                          e.at >= events_[next_ - 1].at,
+                      "cannot schedule an event in the past");
+  if (!events_.empty() && e.at < events_.back().at) {
+    sorted_ = false;
+  }
+  events_.push_back(e);
+}
+
+void EventQueue::ensure_sorted() {
+  if (!sorted_) {
+    std::stable_sort(events_.begin() + static_cast<std::ptrdiff_t>(next_),
+                     events_.end(),
+                     [](const TopologyEvent& a, const TopologyEvent& b) {
+                       return a.at < b.at;
+                     });
+    sorted_ = true;
+  }
+}
+
+std::vector<TopologyEvent> EventQueue::pop_due(Slot now) {
+  ensure_sorted();
+  std::vector<TopologyEvent> due;
+  while (next_ < events_.size() && events_[next_].at <= now) {
+    due.push_back(events_[next_]);
+    ++next_;
+  }
+  return due;
+}
+
+}  // namespace radiocast::sim

@@ -1,0 +1,52 @@
+// Scheduled topology/fault events for the dynamic-network experiments
+// (paper §2.2 property 3: "edges may be added or deleted at any time,
+// provided that the network of unchanged edges remains connected").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::sim {
+
+enum class EventKind : std::uint8_t {
+  kAddEdge,     ///< add u<->v (both arcs)
+  kRemoveEdge,  ///< remove u<->v (both arcs)
+  kAddArc,      ///< add u->v
+  kRemoveArc,   ///< remove u->v
+  kCrashNode,   ///< node u stops transmitting and receiving (fail-stop)
+  kReviveNode   ///< node u resumes operating (state preserved)
+};
+
+struct TopologyEvent {
+  Slot at = 0;  ///< applied before the actions of slot `at` are requested
+  EventKind kind = EventKind::kAddEdge;
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;  ///< unused for node events
+
+  friend bool operator==(const TopologyEvent&, const TopologyEvent&) =
+      default;
+};
+
+/// A time-ordered queue of events. Events with equal `at` apply in
+/// insertion order.
+class EventQueue {
+ public:
+  void push(TopologyEvent e);
+
+  /// Pops and returns all events scheduled at or before `now`, in order.
+  std::vector<TopologyEvent> pop_due(Slot now);
+
+  bool empty() const noexcept { return next_ >= events_.size(); }
+  std::size_t pending() const noexcept { return events_.size() - next_; }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<TopologyEvent> events_;
+  std::size_t next_ = 0;
+  bool sorted_ = true;
+};
+
+}  // namespace radiocast::sim

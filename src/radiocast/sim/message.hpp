@@ -1,0 +1,28 @@
+// The unit of radio communication.
+//
+// The model (paper §1) treats message contents abstractly: a slot delivers
+// whatever the unique transmitter sent. We carry an origin id, a small
+// protocol-defined tag, and an optional word payload (the DFS token uses it
+// for its visited list; BFS for the root's start time; broadcast leaves it
+// empty).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::sim {
+
+struct Message {
+  /// The node that originated the payload (e.g. the broadcast source).
+  NodeId origin = kNoNode;
+  /// Protocol-defined discriminator (e.g. message id, token type).
+  std::uint64_t tag = 0;
+  /// Optional protocol-defined payload words.
+  std::vector<std::uint64_t> data;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace radiocast::sim

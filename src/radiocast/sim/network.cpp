@@ -1,0 +1,66 @@
+#include "radiocast/sim/network.hpp"
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::sim {
+
+Network::Network(graph::Graph g)
+    : graph_(std::move(g)),
+      alive_(graph_.node_count(), 1),
+      alive_count_(graph_.node_count()) {}
+
+bool Network::is_alive(NodeId v) const {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  return alive_[v] != 0;
+}
+
+void Network::crash(NodeId v) {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  if (alive_[v] != 0) {
+    alive_[v] = 0;
+    --alive_count_;
+  }
+}
+
+void Network::revive(NodeId v) {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  if (alive_[v] == 0) {
+    alive_[v] = 1;
+    ++alive_count_;
+  }
+}
+
+std::size_t Network::apply_due_events(Slot now) {
+  const auto due = events_.pop_due(now);
+  for (const TopologyEvent& e : due) {
+    apply(e);
+  }
+  return due.size();
+}
+
+void Network::apply(const TopologyEvent& e) {
+  switch (e.kind) {
+    case EventKind::kAddEdge:
+      graph_.add_edge(e.u, e.v);
+      break;
+    case EventKind::kRemoveEdge:
+      graph_.remove_edge(e.u, e.v);
+      break;
+    case EventKind::kAddArc:
+      graph_.add_arc(e.u, e.v);
+      break;
+    case EventKind::kRemoveArc:
+      graph_.remove_arc(e.u, e.v);
+      break;
+    case EventKind::kCrashNode:
+      crash(e.u);
+      break;
+    case EventKind::kReviveNode:
+      revive(e.u);
+      break;
+  }
+}
+
+}  // namespace radiocast::sim

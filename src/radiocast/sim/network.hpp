@@ -1,0 +1,44 @@
+// Network = topology + node liveness + the event machinery that mutates
+// both while a simulation runs. The Simulator owns one Network and applies
+// due events at the start of every slot.
+#pragma once
+
+#include <vector>
+
+#include "radiocast/graph/graph.hpp"
+#include "radiocast/sim/events.hpp"
+
+namespace radiocast::sim {
+
+class Network {
+ public:
+  explicit Network(graph::Graph g);
+
+  const graph::Graph& topology() const noexcept { return graph_; }
+  graph::Graph& topology() noexcept { return graph_; }
+
+  std::size_t node_count() const noexcept { return graph_.node_count(); }
+
+  bool is_alive(NodeId v) const;
+  void crash(NodeId v);
+  void revive(NodeId v);
+  std::size_t alive_count() const noexcept { return alive_count_; }
+
+  /// Schedules `e` for application at slot e.at.
+  void schedule(TopologyEvent e) { events_.push(e); }
+
+  /// Applies every event due at or before `now`. Returns how many applied.
+  std::size_t apply_due_events(Slot now);
+
+  std::size_t pending_events() const noexcept { return events_.pending(); }
+
+ private:
+  void apply(const TopologyEvent& e);
+
+  graph::Graph graph_;
+  std::vector<char> alive_;
+  std::size_t alive_count_;
+  EventQueue events_;
+};
+
+}  // namespace radiocast::sim

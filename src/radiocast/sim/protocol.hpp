@@ -1,0 +1,104 @@
+// The per-node protocol interface.
+//
+// Each slot the simulator asks every live node for an Action (transmit,
+// receive, or idle), resolves the radio semantics, then delivers receive /
+// collision callbacks. Protocols are synchronous state machines; they see
+// the global clock through NodeContext::now() (the model is synchronous, so
+// a common clock is part of the model, cf. the paper's `Time mod k` tests).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/rng/rng.hpp"
+#include "radiocast/sim/message.hpp"
+
+namespace radiocast::sim {
+
+enum class ActionKind : std::uint8_t {
+  kIdle,     ///< neither transmits nor listens this slot
+  kReceive,  ///< listens; hears a message iff exactly one in-neighbor sends
+  kTransmit  ///< sends; cannot hear anything this slot
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kIdle;
+  Message message;  ///< meaningful only when kind == kTransmit
+
+  static Action idle() noexcept { return {}; }
+  static Action receive() noexcept { return {ActionKind::kReceive, {}}; }
+  static Action transmit(Message m) {
+    return {ActionKind::kTransmit, std::move(m)};
+  }
+};
+
+/// Everything a node may legitimately see, bundled per callback.
+///
+/// Which accessors a protocol uses determines which model it lives in:
+/// randomized BGI protocols use only id/now/rng (topology-oblivious);
+/// the deterministic protocols of §3 additionally use neighbors() — the
+/// paper's Definition 1(4) gives them their own ID plus neighbor IDs.
+class NodeContext {
+ public:
+  NodeContext(NodeId id, Slot now, rng::Rng& rng,
+              std::span<const NodeId> neighbors_out,
+              std::span<const NodeId> neighbors_in,
+              bool collision_detection) noexcept
+      : id_(id),
+        now_(now),
+        rng_(rng),
+        neighbors_out_(neighbors_out),
+        neighbors_in_(neighbors_in),
+        collision_detection_(collision_detection) {}
+
+  NodeId id() const noexcept { return id_; }
+  Slot now() const noexcept { return now_; }
+  rng::Rng& rng() noexcept { return rng_; }
+
+  /// IDs of nodes that can hear this node (sorted).
+  std::span<const NodeId> neighbors_out() const noexcept {
+    return neighbors_out_;
+  }
+  /// IDs of nodes this node can hear (sorted). Equal to neighbors_out() in
+  /// undirected networks.
+  std::span<const NodeId> neighbors_in() const noexcept {
+    return neighbors_in_;
+  }
+
+  bool collision_detection() const noexcept { return collision_detection_; }
+
+ private:
+  NodeId id_;
+  Slot now_;
+  rng::Rng& rng_;
+  std::span<const NodeId> neighbors_out_;
+  std::span<const NodeId> neighbors_in_;
+  bool collision_detection_;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once, before slot 0 actions are requested.
+  virtual void on_start(NodeContext& /*ctx*/) {}
+
+  /// Decide this slot's action. Called exactly once per slot per live node.
+  virtual Action on_slot(NodeContext& ctx) = 0;
+
+  /// Exactly one in-neighbor transmitted while this node was receiving.
+  virtual void on_receive(NodeContext& /*ctx*/, const Message& /*m*/) {}
+
+  /// Two or more in-neighbors transmitted while this node was receiving.
+  /// Only ever called when the simulator runs with collision detection
+  /// enabled; in the default (no-CD) model a collision is indistinguishable
+  /// from silence and no callback fires.
+  virtual void on_collision(NodeContext& /*ctx*/) {}
+
+  /// True once this node's protocol will never transmit again. Used by the
+  /// harness's run-to-quiescence helper; has no effect on the semantics.
+  virtual bool terminated() const { return false; }
+};
+
+}  // namespace radiocast::sim

@@ -1,0 +1,157 @@
+#include "radiocast/sim/simulator.hpp"
+
+#include <utility>
+
+namespace radiocast::sim {
+
+Simulator::Simulator(graph::Graph g, SimOptions options)
+    : network_(std::move(g)),
+      options_(options),
+      trace_(network_.node_count(), options.trace_slots),
+      protocols_(network_.node_count()),
+      actions_(network_.node_count()),
+      hear_count_(network_.node_count(), 0),
+      heard_from_(network_.node_count(), kNoNode) {
+  node_rngs_.reserve(network_.node_count());
+  for (NodeId v = 0; v < network_.node_count(); ++v) {
+    node_rngs_.emplace_back(options_.seed, /*stream=*/v);
+  }
+}
+
+void Simulator::set_protocol(NodeId v, std::unique_ptr<Protocol> p) {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  RADIOCAST_CHECK_MSG(!started_, "cannot replace protocols after start");
+  RADIOCAST_CHECK_MSG(p != nullptr, "protocol must not be null");
+  protocols_[v] = std::move(p);
+}
+
+void Simulator::install_all(
+    const std::function<std::unique_ptr<Protocol>(NodeId)>& factory) {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    set_protocol(v, factory(v));
+  }
+}
+
+Protocol& Simulator::protocol(NodeId v) {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  RADIOCAST_CHECK_MSG(protocols_[v] != nullptr, "no protocol installed");
+  return *protocols_[v];
+}
+
+const Protocol& Simulator::protocol(NodeId v) const {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  RADIOCAST_CHECK_MSG(protocols_[v] != nullptr, "no protocol installed");
+  return *protocols_[v];
+}
+
+NodeContext Simulator::make_context(NodeId v) {
+  const graph::Graph& g = network_.topology();
+  return NodeContext(v, now_, node_rngs_[v], g.out_neighbors(v),
+                     g.in_neighbors(v), options_.collision_detection);
+}
+
+void Simulator::step() {
+  if (!started_) {
+    for (NodeId v = 0; v < node_count(); ++v) {
+      RADIOCAST_CHECK_MSG(protocols_[v] != nullptr,
+                          "every node needs a protocol before step()");
+    }
+    started_ = true;
+    for (NodeId v = 0; v < node_count(); ++v) {
+      NodeContext ctx = make_context(v);
+      protocols_[v]->on_start(ctx);
+    }
+  }
+
+  network_.apply_due_events(now_);
+  trace_.begin_slot(now_);
+
+  const std::size_t n = node_count();
+  const graph::Graph& g = network_.topology();
+
+  // Phase 1: collect actions.
+  for (NodeId v = 0; v < n; ++v) {
+    if (!network_.is_alive(v)) {
+      actions_[v] = Action::idle();
+      continue;
+    }
+    NodeContext ctx = make_context(v);
+    actions_[v] = protocols_[v]->on_slot(ctx);
+  }
+
+  // Phase 2: propagate transmissions into per-receiver counters.
+  std::fill(hear_count_.begin(), hear_count_.end(), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (actions_[u].kind != ActionKind::kTransmit) {
+      continue;
+    }
+    trace_.record_transmission(u);
+    for (const NodeId v : g.out_neighbors(u)) {
+      if (!network_.is_alive(v) ||
+          actions_[v].kind != ActionKind::kReceive) {
+        continue;
+      }
+      if (++hear_count_[v] == 1) {
+        heard_from_[v] = u;
+      }
+    }
+  }
+
+  // Phase 3: deliveries and collisions.
+  for (NodeId v = 0; v < n; ++v) {
+    if (actions_[v].kind != ActionKind::kReceive || hear_count_[v] == 0) {
+      continue;
+    }
+    if (hear_count_[v] == 1) {
+      const NodeId sender = heard_from_[v];
+      trace_.record_delivery(now_, v, sender);
+      NodeContext ctx = make_context(v);
+      protocols_[v]->on_receive(ctx, actions_[sender].message);
+    } else {
+      trace_.record_collision(v);
+      if (options_.collision_detection) {
+        // An unreliable detector misses this collision with the configured
+        // probability — the receiver then experiences plain silence.
+        if (options_.cd_false_negative_rate > 0.0 &&
+            node_rngs_[v].bernoulli(options_.cd_false_negative_rate)) {
+          continue;
+        }
+        NodeContext ctx = make_context(v);
+        protocols_[v]->on_collision(ctx);
+      }
+    }
+  }
+
+  ++now_;
+}
+
+Slot Simulator::run_until(const std::function<bool(const Simulator&)>& pred,
+                          Slot max_slots) {
+  while (now_ < max_slots && !pred(*this)) {
+    step();
+  }
+  return now_;
+}
+
+Slot Simulator::run_to_quiescence(Slot max_slots) {
+  // At least one step so on_start effects are observable even for
+  // protocols that are terminated from the outset.
+  while (now_ < max_slots) {
+    if (now_ > 0 && all_terminated()) {
+      break;
+    }
+    step();
+  }
+  return now_;
+}
+
+bool Simulator::all_terminated() const {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (network_.is_alive(v) && !protocols_[v]->terminated()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace radiocast::sim

@@ -1,0 +1,125 @@
+// The synchronous slot engine.
+//
+// Semantics per slot t (paper §1):
+//   1. Due topology/fault events are applied.
+//   2. Every live node's protocol chooses an Action.
+//   3. For every node v that chose kReceive: count the live in-neighbors of
+//      v that chose kTransmit. Exactly one  -> on_receive(v, its message).
+//      Two or more                          -> nothing (collision; with
+//      collision detection enabled, on_collision(v) fires instead).
+//      Zero                                 -> nothing.
+//   4. The clock advances.
+//
+// A transmitting node hears nothing in that slot (it is not a receiver),
+// and never hears itself. Crashed nodes neither transmit nor receive.
+//
+// Determinism: node i draws randomness from its own substream seeded by
+// (options.seed, i); two runs with equal seeds, graphs, protocols and event
+// schedules produce identical traces.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/graph/graph.hpp"
+#include "radiocast/sim/network.hpp"
+#include "radiocast/sim/protocol.hpp"
+#include "radiocast/sim/trace.hpp"
+
+namespace radiocast::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  /// Enables the collision-detection model variant (paper §4): receivers
+  /// with >= 2 transmitting in-neighbors get on_collision instead of
+  /// silence.
+  bool collision_detection = false;
+  /// Probability that a collision goes UNDETECTED (no on_collision fires;
+  /// the receiver hears silence). Models the paper's §1 concern: "the
+  /// protocol will not fail in case of undetected collision" is exactly
+  /// the property CD-reliant protocols lack. Only meaningful with
+  /// collision_detection = true.
+  double cd_false_negative_rate = 0.0;
+  /// Record per-slot transmitter/delivery detail in the trace.
+  bool trace_slots = false;
+};
+
+class Simulator {
+ public:
+  Simulator(graph::Graph g, SimOptions options = {});
+
+  /// Installs `p` at node `v`. Must happen before the first step().
+  void set_protocol(NodeId v, std::unique_ptr<Protocol> p);
+
+  /// Constructs a protocol of type P in place at node `v`; returns it.
+  template <typename P, typename... Args>
+  P& emplace_protocol(NodeId v, Args&&... args) {
+    auto owned = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *owned;
+    set_protocol(v, std::move(owned));
+    return ref;
+  }
+
+  /// Installs factory(v) at every node. Convenient for uniform protocols.
+  void install_all(
+      const std::function<std::unique_ptr<Protocol>(NodeId)>& factory);
+
+  /// Runs one slot. Precondition: every node has a protocol.
+  void step();
+
+  /// Steps until `pred(*this)` holds or `max_slots` slots have run.
+  /// Returns the slot count at exit (== now()).
+  Slot run_until(const std::function<bool(const Simulator&)>& pred,
+                 Slot max_slots);
+
+  /// Steps until every live node's protocol reports terminated() or
+  /// `max_slots` elapse. Returns now().
+  Slot run_to_quiescence(Slot max_slots);
+
+  Slot now() const noexcept { return now_; }
+  std::size_t node_count() const noexcept { return network_.node_count(); }
+
+  Network& network() noexcept { return network_; }
+  const Network& network() const noexcept { return network_; }
+  const Trace& trace() const noexcept { return trace_; }
+
+  Protocol& protocol(NodeId v);
+  const Protocol& protocol(NodeId v) const;
+
+  /// Typed access to a node's protocol. Throws ContractViolation on
+  /// type mismatch (always a harness bug).
+  template <typename P>
+  P& protocol_as(NodeId v) {
+    auto* p = dynamic_cast<P*>(&protocol(v));
+    RADIOCAST_CHECK_MSG(p != nullptr, "protocol type mismatch");
+    return *p;
+  }
+  template <typename P>
+  const P& protocol_as(NodeId v) const {
+    const auto* p = dynamic_cast<const P*>(&protocol(v));
+    RADIOCAST_CHECK_MSG(p != nullptr, "protocol type mismatch");
+    return *p;
+  }
+
+  bool all_terminated() const;
+
+ private:
+  NodeContext make_context(NodeId v);
+
+  Network network_;
+  SimOptions options_;
+  Trace trace_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::vector<rng::Rng> node_rngs_;
+  Slot now_ = 0;
+  bool started_ = false;
+
+  // Scratch buffers reused across slots to avoid per-slot allocation.
+  std::vector<Action> actions_;
+  std::vector<std::uint32_t> hear_count_;
+  std::vector<NodeId> heard_from_;
+};
+
+}  // namespace radiocast::sim

@@ -1,0 +1,77 @@
+#include "radiocast/sim/trace.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::sim {
+
+Trace::Trace(std::size_t n, bool record_slots)
+    : record_slots_(record_slots),
+      first_delivery_(n, kNever),
+      tx_count_(n, 0),
+      rx_count_(n, 0) {}
+
+Slot Trace::first_delivery(NodeId v) const {
+  RADIOCAST_CHECK_MSG(v < first_delivery_.size(), "node id out of range");
+  return first_delivery_[v];
+}
+
+bool Trace::all_delivered(const std::vector<NodeId>& nodes) const {
+  return std::ranges::all_of(
+      nodes, [this](NodeId v) { return first_delivery(v) != kNever; });
+}
+
+Slot Trace::last_first_delivery(const std::vector<NodeId>& nodes) const {
+  Slot worst = 0;
+  for (const NodeId v : nodes) {
+    const Slot s = first_delivery(v);
+    if (s == kNever) {
+      return kNever;
+    }
+    worst = std::max(worst, s);
+  }
+  return worst;
+}
+
+std::uint64_t Trace::transmissions_of(NodeId v) const {
+  RADIOCAST_CHECK_MSG(v < tx_count_.size(), "node id out of range");
+  return tx_count_[v];
+}
+
+std::uint64_t Trace::deliveries_to(NodeId v) const {
+  RADIOCAST_CHECK_MSG(v < rx_count_.size(), "node id out of range");
+  return rx_count_[v];
+}
+
+void Trace::begin_slot(Slot now) {
+  if (record_slots_) {
+    slots_.push_back(SlotRecord{now, {}, {}, {}});
+  }
+}
+
+void Trace::record_transmission(NodeId sender) {
+  ++tx_count_[sender];
+  ++total_tx_;
+  if (record_slots_) {
+    slots_.back().transmitters.push_back(sender);
+  }
+}
+
+void Trace::record_delivery(Slot now, NodeId receiver, NodeId sender) {
+  ++rx_count_[receiver];
+  ++total_rx_;
+  first_delivery_[receiver] = std::min(first_delivery_[receiver], now);
+  if (record_slots_) {
+    slots_.back().deliveries.push_back(Delivery{receiver, sender});
+  }
+}
+
+void Trace::record_collision(NodeId receiver) {
+  ++total_coll_;
+  if (record_slots_) {
+    slots_.back().collision_receivers.push_back(receiver);
+  }
+}
+
+}  // namespace radiocast::sim

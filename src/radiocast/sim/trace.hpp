@@ -1,0 +1,73 @@
+// Omniscient observation of a run. The trace is the experimenter's view —
+// protocols never see it. Aggregate counters are always maintained;
+// per-slot records are optional (they cost memory proportional to run
+// length) and are enabled through SimOptions::trace_slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/sim/message.hpp"
+
+namespace radiocast::sim {
+
+/// One delivered message: `receiver` heard `sender` in some slot.
+struct Delivery {
+  NodeId receiver = kNoNode;
+  NodeId sender = kNoNode;
+
+  friend bool operator==(const Delivery&, const Delivery&) = default;
+};
+
+/// Full record of a single slot (only with trace_slots enabled).
+struct SlotRecord {
+  Slot slot = 0;
+  std::vector<NodeId> transmitters;  ///< sorted
+  std::vector<Delivery> deliveries;
+  std::vector<NodeId> collision_receivers;  ///< receivers with >= 2 senders
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t n, bool record_slots);
+
+  // --- observation API ---------------------------------------------------
+
+  /// Slot in which `v` first received any message; kNever if it has not.
+  Slot first_delivery(NodeId v) const;
+
+  /// True iff every node in `nodes` has received at least one message.
+  bool all_delivered(const std::vector<NodeId>& nodes) const;
+
+  /// Latest first_delivery among `nodes`; kNever if any has not received.
+  Slot last_first_delivery(const std::vector<NodeId>& nodes) const;
+
+  std::uint64_t total_transmissions() const noexcept { return total_tx_; }
+  std::uint64_t total_deliveries() const noexcept { return total_rx_; }
+  std::uint64_t total_collisions() const noexcept { return total_coll_; }
+  std::uint64_t transmissions_of(NodeId v) const;
+  std::uint64_t deliveries_to(NodeId v) const;
+
+  bool records_slots() const noexcept { return record_slots_; }
+  const std::vector<SlotRecord>& slots() const noexcept { return slots_; }
+
+  // --- recording API (called by the Simulator) ---------------------------
+
+  void begin_slot(Slot now);
+  void record_transmission(NodeId sender);
+  void record_delivery(Slot now, NodeId receiver, NodeId sender);
+  void record_collision(NodeId receiver);
+
+ private:
+  bool record_slots_;
+  std::vector<Slot> first_delivery_;
+  std::vector<std::uint64_t> tx_count_;
+  std::vector<std::uint64_t> rx_count_;
+  std::uint64_t total_tx_ = 0;
+  std::uint64_t total_rx_ = 0;
+  std::uint64_t total_coll_ = 0;
+  std::vector<SlotRecord> slots_;
+};
+
+}  // namespace radiocast::sim

@@ -1,0 +1,64 @@
+#include "radiocast/stats/chernoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/common/types.hpp"
+#include "radiocast/proto/decay.hpp"
+
+namespace radiocast::stats {
+
+double binomial_lower_tail_bound(double t, double p, double threshold) {
+  RADIOCAST_CHECK_MSG(t > 0 && p >= 0.0 && p <= 1.0, "bad tail arguments");
+  const double mean = t * p;
+  if (threshold >= mean) {
+    return 1.0;
+  }
+  const double gap = mean - threshold;
+  return std::exp(-2.0 * gap * gap / t);
+}
+
+unsigned lemma3_m(std::size_t n, double epsilon) {
+  return proto::decay_repetitions(n, epsilon);
+}
+
+double lemma3_t(std::size_t diameter, std::size_t n, double epsilon) {
+  const double d = static_cast<double>(diameter);
+  const double m = lemma3_m(n, epsilon);
+  return 2.0 * d + 5.0 * std::max(std::sqrt(d * m), m);
+}
+
+double theorem4_delivery_slots(std::size_t diameter, std::size_t n,
+                               std::size_t degree_bound, double epsilon) {
+  const unsigned k = proto::decay_phase_length(degree_bound);
+  return k * lemma3_t(diameter, n, epsilon);
+}
+
+double theorem4_termination_slots(std::size_t diameter, std::size_t n,
+                                  std::size_t network_size_bound,
+                                  std::size_t degree_bound, double epsilon) {
+  const unsigned k = proto::decay_phase_length(degree_bound);
+  const unsigned reps =
+      proto::decay_repetitions(network_size_bound, epsilon);
+  return k * (lemma3_t(diameter, n, epsilon) + reps);
+}
+
+double message_complexity_bound(std::size_t n,
+                                std::size_t network_size_bound,
+                                double epsilon) {
+  return 2.0 * static_cast<double>(n) *
+         proto::decay_repetitions(network_size_bound, epsilon);
+}
+
+double bfs_slot_bound(std::size_t diameter, std::size_t network_size_bound,
+                      std::size_t degree_bound, double epsilon) {
+  // D BFS phases of k * reps slots each; k = 2*ceil(log Δ) already carries
+  // the paper's factor 2, so this is 2 D ceil(log Δ) ceil(log(N/ε)).
+  const unsigned k = proto::decay_phase_length(degree_bound);
+  const unsigned reps =
+      proto::decay_repetitions(network_size_bound, epsilon);
+  return static_cast<double>(std::max<std::size_t>(diameter, 1)) * k * reps;
+}
+
+}  // namespace radiocast::stats

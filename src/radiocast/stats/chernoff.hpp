@@ -1,0 +1,51 @@
+// The quantitative bounds of Lemma 3 / Theorem 4, as evaluable functions,
+// plus the Hoeffding/Chernoff tail the proof uses.
+//
+// Notation (paper §2.2):
+//   M(ε) = ceil(log2(n/ε))
+//   T(ε) = 2D + 5*max(sqrt(D*M), M)
+//     — with this T, Pr[Binomial(T,1/2) < D] <= exp(-2 (T/2 - D)^2 / T)
+//       <= 2^{-M} <= ε/n, which is the per-node failure bound in the
+//       layer-progress argument. (The preprint's typesetting of T is
+//       partially garbled; this reconstruction satisfies the same Chernoff
+//       inequality the proof requires — see EXPERIMENTS.md.)
+//   Theorem 4: with probability 1 - 2ε all nodes receive the message by
+//   slot 2*ceil(log Δ) * T, and terminate by
+//   2*ceil(log Δ) * (T + ceil(log2(N/ε))).
+#pragma once
+
+#include <cstddef>
+
+namespace radiocast::stats {
+
+/// Hoeffding upper bound on Pr[Binomial(t, p) <= threshold] for
+/// threshold < t*p: exp(-2 (t*p - threshold)^2 / t). Returns 1 when the
+/// threshold is at or above the mean.
+double binomial_lower_tail_bound(double t, double p, double threshold);
+
+/// M(ε) = ceil(log2(n/ε)), at least 1.
+unsigned lemma3_m(std::size_t n, double epsilon);
+
+/// T(ε) = 2D + 5*max(sqrt(D*M), M) (in Decay phases).
+double lemma3_t(std::size_t diameter, std::size_t n, double epsilon);
+
+/// Theorem 4 delivery bound, in slots: 2*ceil(log2 Δ) * T(ε).
+double theorem4_delivery_slots(std::size_t diameter, std::size_t n,
+                               std::size_t degree_bound, double epsilon);
+
+/// Theorem 4 termination bound, in slots:
+/// 2*ceil(log2 Δ) * (T(ε) + ceil(log2(N/ε))).
+double theorem4_termination_slots(std::size_t diameter, std::size_t n,
+                                  std::size_t network_size_bound,
+                                  std::size_t degree_bound, double epsilon);
+
+/// §2.2 property 2: expected total transmissions <= 2 n ceil(log2(N/ε)).
+double message_complexity_bound(std::size_t n,
+                                std::size_t network_size_bound,
+                                double epsilon);
+
+/// §2.3: BFS slot bound 2 D ceil(log2 Δ) ceil(log2(N/ε)).
+double bfs_slot_bound(std::size_t diameter, std::size_t network_size_bound,
+                      std::size_t degree_bound, double epsilon);
+
+}  // namespace radiocast::stats

@@ -1,0 +1,130 @@
+#include "radiocast/stats/decay_analysis.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::stats {
+
+namespace {
+
+/// Fills `pmf[j]` = C(a, j) cont^j (1-cont)^{a-j} for j = 0..a, computed
+/// with the multiplicative recurrence (no factorial overflow).
+void binomial_pmf(std::size_t a, double cont, std::vector<double>& pmf) {
+  pmf.assign(a + 1, 0.0);
+  const double stay = cont;
+  const double stop = 1.0 - cont;
+  if (stay == 0.0) {
+    pmf[0] = 1.0;
+    return;
+  }
+  if (stop == 0.0) {
+    pmf[a] = 1.0;
+    return;
+  }
+  // Start at j = 0 and walk up: pmf[j+1]/pmf[j] = (a-j)/(j+1) * stay/stop.
+  // For numerical robustness start from the mode-side by computing in log
+  // space would be overkill; stop^a underflows only for a ~> 1000 with
+  // cont = 0.5, so accumulate from the larger end when needed.
+  double base = 1.0;
+  for (std::size_t i = 0; i < a; ++i) {
+    base *= stop;
+  }
+  if (base > 0.0) {
+    pmf[0] = base;
+    for (std::size_t j = 0; j < a; ++j) {
+      pmf[j + 1] = pmf[j] * static_cast<double>(a - j) /
+                   static_cast<double>(j + 1) * (stay / stop);
+    }
+    return;
+  }
+  // Underflow path: anchor at the mode, then renormalize.
+  const auto mode = static_cast<std::size_t>(
+      static_cast<double>(a + 1) * stay);
+  const std::size_t m = std::min(mode, a);
+  pmf[m] = 1.0;
+  for (std::size_t j = m; j < a; ++j) {
+    pmf[j + 1] = pmf[j] * static_cast<double>(a - j) /
+                 static_cast<double>(j + 1) * (stay / stop);
+  }
+  for (std::size_t j = m; j > 0; --j) {
+    pmf[j - 1] = pmf[j] * static_cast<double>(j) /
+                 static_cast<double>(a - j + 1) * (stop / stay);
+  }
+  double total = 0.0;
+  for (const double x : pmf) {
+    total += x;
+  }
+  for (double& x : pmf) {
+    x /= total;
+  }
+}
+
+void check_cont(double cont) {
+  RADIOCAST_CHECK_MSG(cont >= 0.0 && cont <= 1.0,
+                      "continue probability must be in [0,1]");
+}
+
+}  // namespace
+
+std::vector<double> decay_success_probabilities(unsigned k, std::size_t d,
+                                                double cont) {
+  check_cont(cont);
+  // g[r][a] = success probability with a active and r slots left;
+  // g[0][*] = 0, g[r][1] = 1, g[r][0] = 0,
+  // g[r][a] = Σ_j pmf_a[j] g[r-1][j]  for a >= 2.
+  std::vector<double> prev(d + 1, 0.0);
+  std::vector<double> cur(d + 1, 0.0);
+  std::vector<double> pmf;
+  for (unsigned r = 1; r <= k; ++r) {
+    cur[0] = 0.0;
+    if (d >= 1) {
+      cur[1] = 1.0;
+    }
+    for (std::size_t a = 2; a <= d; ++a) {
+      binomial_pmf(a, cont, pmf);
+      double acc = 0.0;
+      for (std::size_t j = 0; j <= a; ++j) {
+        acc += pmf[j] * prev[j];
+      }
+      cur[a] = acc;
+    }
+    std::swap(prev, cur);
+  }
+  return prev;
+}
+
+double decay_success_probability(unsigned k, std::size_t d, double cont) {
+  return decay_success_probabilities(k, d, cont)[d];
+}
+
+std::vector<double> decay_limit_probabilities(std::size_t d, double cont) {
+  check_cont(cont);
+  std::vector<double> p(d + 1, 0.0);
+  if (d >= 1) {
+    p[1] = 1.0;
+  }
+  std::vector<double> pmf;
+  for (std::size_t a = 2; a <= d; ++a) {
+    binomial_pmf(a, cont, pmf);
+    // p[a] (1 - pmf[a]) = Σ_{j<a} pmf[j] p[j]; pmf[a] = cont^a < 1 unless
+    // cont == 1, in which case the chain never leaves a and p[a] = 0.
+    const double self = pmf[a];
+    if (self >= 1.0) {
+      p[a] = 0.0;
+      continue;
+    }
+    double acc = 0.0;
+    for (std::size_t j = 1; j < a; ++j) {
+      acc += pmf[j] * p[j];
+    }
+    p[a] = acc / (1.0 - self);
+  }
+  return p;
+}
+
+double decay_limit_probability(std::size_t d, double cont) {
+  return decay_limit_probabilities(d, cont)[d];
+}
+
+}  // namespace radiocast::stats

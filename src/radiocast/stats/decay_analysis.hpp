@@ -1,0 +1,43 @@
+// Exact analysis of the Decay procedure (paper §2.1, Theorem 1).
+//
+// Model: d neighbors of a receiver y all start Decay at slot 0. While
+// active they all transmit each slot; after transmitting, each stays
+// active with probability `cont` (the paper's coin = 1, cont = 1/2). y
+// receives in the first slot where exactly one neighbor is active.
+//
+//   P(k, d)  = Pr[some slot in 0..k-1 has exactly one active neighbor]
+//   P(∞, d) = lim_{k→∞} P(k, d)   — recurrence (1) of the paper:
+//              P(∞,d) = Σ_{j} C(d,j) cont^j (1-cont)^{d-j} P(∞,j),
+//              P(∞,0) = 0, P(∞,1) = 1.
+//
+// Theorem 1 (verified in tests and reproduced by bench_decay):
+//   (i)  P(∞,d) >= 2/3 for every d >= 2 (with cont = 1/2);
+//   (ii) P(k,d) > 1/2 whenever k >= 2*log2(d), d >= 2.
+//
+// Everything is O(k d^2) / O(d^2) double-precision dynamic programming:
+// the number of active neighbors is a Markov chain with binomial
+// transitions, absorbed at 1 (success) and 0 (failure).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace radiocast::stats {
+
+/// Exact P(k, d) for continue-probability `cont` (default: the paper's
+/// fair coin). Preconditions: cont in [0,1].
+double decay_success_probability(unsigned k, std::size_t d,
+                                 double cont = 0.5);
+
+/// Exact P(k, j) for every j = 0..d in one DP pass (cheaper than d calls).
+std::vector<double> decay_success_probabilities(unsigned k, std::size_t d,
+                                                double cont = 0.5);
+
+/// Exact limit P(∞, d).
+double decay_limit_probability(std::size_t d, double cont = 0.5);
+
+/// P(∞, j) for every j = 0..d in one pass.
+std::vector<double> decay_limit_probabilities(std::size_t d,
+                                              double cont = 0.5);
+
+}  // namespace radiocast::stats

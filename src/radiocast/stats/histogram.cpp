@@ -1,0 +1,72 @@
+#include "radiocast/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RADIOCAST_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  RADIOCAST_CHECK_MSG(bins >= 1, "need at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(frac *
+                                      static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  RADIOCAST_CHECK_MSG(bin < counts_.size(), "bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  RADIOCAST_CHECK_MSG(bin < counts_.size(), "bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  RADIOCAST_CHECK_MSG(bin < counts_.size(), "bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::ranges::max_element(counts_);
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    std::snprintf(line, sizeof(line), "  [%10.1f, %10.1f) %8zu |",
+                  bin_lo(b), bin_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "  underflow %zu, overflow %zu\n",
+                  underflow_, overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace radiocast::stats

@@ -1,0 +1,77 @@
+#include "radiocast/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::stats {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  RADIOCAST_CHECK_MSG(!samples_.empty(), "no samples");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::variance() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  return std::max(0.0, (sum_sq_ - n * m * m) / (n - 1.0));
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  RADIOCAST_CHECK_MSG(!samples_.empty(), "no samples");
+  return *std::ranges::min_element(samples_);
+}
+
+double Summary::max() const {
+  RADIOCAST_CHECK_MSG(!samples_.empty(), "no samples");
+  return *std::ranges::max_element(samples_);
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::ranges::sort(sorted_);
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::quantile(double q) const {
+  RADIOCAST_CHECK_MSG(!samples_.empty(), "no samples");
+  RADIOCAST_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z) {
+  RADIOCAST_CHECK_MSG(trials > 0, "need at least one trial");
+  RADIOCAST_CHECK_MSG(successes <= trials, "successes exceed trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return Interval{std::max(0.0, (center - margin) / denom),
+                  std::min(1.0, (center + margin) / denom)};
+}
+
+}  // namespace radiocast::stats

@@ -1,0 +1,49 @@
+// Sample summaries for the experiment harness: moments, order statistics,
+// and binomial (success-rate) confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace radiocast::stats {
+
+/// Accumulates double-valued samples; keeps them all so exact quantiles are
+/// available (experiment sample counts are small).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  double variance() const;  ///< unbiased sample variance; 0 for count < 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Exact sample quantile with linear interpolation, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// `z` defaults to the 95% two-sided normal quantile.
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.959964);
+
+}  // namespace radiocast::stats

@@ -1,0 +1,251 @@
+// Tests for the ablation switches: each design choice the paper makes is
+// paired with its broken variant, and the tests pin down both that the
+// variant runs and that it is measurably worse (which is exactly why the
+// paper's choice is the default).
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/proto/bfs.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/decay_analysis.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+TEST(DecayAblation, FlipFirstCanStaySilent) {
+  rng::Rng rng(1);
+  sim::Message m;
+  m.origin = 0;
+  int silent_runs = 0;
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    DecayRun run(6, m, 0.5, /*send_before_flip=*/false);
+    while (!run.phase_over()) {
+      (void)run.tick(rng);
+    }
+    silent_runs += run.transmissions_sent() == 0 ? 1 : 0;
+  }
+  // Pr[first flip stops] = 1/2: about half the runs never transmit.
+  EXPECT_NEAR(static_cast<double>(silent_runs) / trials, 0.5, 0.05);
+}
+
+TEST(DecayAblation, SendFirstNeverSilent) {
+  rng::Rng rng(2);
+  sim::Message m;
+  m.origin = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    DecayRun run(6, m, 0.5, /*send_before_flip=*/true);
+    while (!run.phase_over()) {
+      (void)run.tick(rng);
+    }
+    EXPECT_GE(run.transmissions_sent(), 1U);
+  }
+}
+
+TEST(DecayAblation, FlipFirstLosesToPaperOrderOnAStar) {
+  // d=1 competitor: paper order always succeeds; flip-first fails half the
+  // time. That's the whole point of "but at least once!".
+  const graph::Graph g = graph::star(2);
+  int paper_ok = 0;
+  int ablated_ok = 0;
+  const int trials = 600;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (const bool send_first : {true, false}) {
+      class OneShot final : public sim::Protocol {
+       public:
+        OneShot(bool sf) : run_(4, sim::Message{1, 0, {}}, 0.5, sf) {}
+        sim::Action on_slot(sim::NodeContext& ctx) override {
+          return run_.phase_over() ? sim::Action::receive()
+                                   : run_.tick(ctx.rng());
+        }
+        DecayRun run_;
+      };
+      class Hub final : public sim::Protocol {
+       public:
+        sim::Action on_slot(sim::NodeContext&) override {
+          return sim::Action::receive();
+        }
+        void on_receive(sim::NodeContext&, const sim::Message&) override {
+          got = true;
+        }
+        bool got = false;
+      };
+      sim::Simulator s(g, sim::SimOptions{100u * trial + send_first});
+      auto& hub = s.emplace_protocol<Hub>(0);
+      s.emplace_protocol<OneShot>(1, send_first);
+      for (int i = 0; i < 4; ++i) {
+        s.step();
+      }
+      (send_first ? paper_ok : ablated_ok) += hub.got ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(paper_ok, trials);  // the lone neighbor always gets through
+  EXPECT_LT(ablated_ok, trials);
+  EXPECT_GT(ablated_ok, 0);
+}
+
+TEST(AlignmentAblation, UnalignedBroadcastStillRunsButSlower) {
+  // Phase alignment is Theorem 1's hypothesis. The unaligned variant is
+  // not *wrong* on easy graphs, but on collision-heavy topologies (a
+  // clique) it loses the synchronized halving and pays measurably more
+  // slots at equal success.
+  const graph::Graph g = graph::clique(24);
+  const int trials = 40;
+  auto median_completion = [&](bool aligned) {
+    stats::Summary s;
+    for (int trial = 0; trial < trials; ++trial) {
+      BroadcastParams params{
+          .network_size_bound = g.node_count(),
+          .degree_bound = g.max_in_degree(),
+          .epsilon = 0.1,
+      };
+      params.align_phases = aligned;
+      const NodeId sources[] = {0};
+      const auto out = harness::run_bgi_broadcast(
+          g, sources, params, 3000 + trial, Slot{1} << 20);
+      if (out.all_informed) {
+        s.add(static_cast<double>(out.completion_slot));
+      }
+    }
+    return s;
+  };
+  const auto aligned = median_completion(true);
+  const auto unaligned = median_completion(false);
+  // Both succeed usually; the aligned variant must not be worse.
+  EXPECT_GT(aligned.count(), static_cast<std::size_t>(trials * 3 / 4));
+  EXPECT_GT(unaligned.count(), 0U);
+  EXPECT_LE(aligned.median(), unaligned.median() + 1.0);
+}
+
+TEST(BfsAblation, LiteralPseudocodeDegradesLabels) {
+  // The literal reading (one Decay per phase) gives each node only ONE
+  // conflict-resolution attempt in the phase that determines its label:
+  // per-node correctness drops toward P(k, d) ~ 0.7 instead of 1 - ε/N,
+  // so on a deep path some label is almost always wrong.
+  const graph::Graph g = graph::grid(5, 5);
+  const BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.05,
+  };
+  const auto run_mode = [&](BfsSchedule schedule, std::uint64_t seed) {
+    sim::Simulator s(g, sim::SimOptions{seed});
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == 0) {
+        sim::Message m;
+        m.origin = 0;
+        s.emplace_protocol<BgiBfs>(v, params, m, schedule);
+      } else {
+        s.emplace_protocol<BgiBfs>(v, params, schedule);
+      }
+    }
+    for (int i = 0; i < 30000; ++i) {
+      s.step();
+    }
+    const auto truth = graph::bfs_distances(g, 0);
+    std::size_t correct = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto& p = s.protocol_as<BgiBfs>(v);
+      if (p.informed() && p.distance() == truth[v]) {
+        ++correct;
+      }
+    }
+    return correct == g.node_count();
+  };
+  int block_perfect = 0;
+  int literal_perfect = 0;
+  const int trials = 25;
+  for (int trial = 0; trial < trials; ++trial) {
+    block_perfect += run_mode(BfsSchedule::kBlockPerLayer, 10 + trial);
+    literal_perfect += run_mode(BfsSchedule::kLiteralPseudocode, 10 + trial);
+  }
+  EXPECT_GE(block_perfect, trials * 4 / 5);
+  EXPECT_LT(literal_perfect, block_perfect);
+}
+
+TEST(BroadcastAblation, FlipFirstLowersEndToEndSuccess) {
+  // End-to-end on a path: the flip-first variant loses reliability because
+  // a layer can go completely silent through a phase.
+  const graph::Graph g = graph::path(16);
+  const int trials = 60;
+  auto success_rate = [&](bool send_first) {
+    int ok = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      BroadcastParams params{
+          .network_size_bound = g.node_count(),
+          .degree_bound = g.max_in_degree(),
+          .epsilon = 0.3,
+      };
+      params.send_before_flip = send_first;
+      const NodeId sources[] = {0};
+      const auto out = harness::run_bgi_broadcast(
+          g, sources, params, 7000 + trial, Slot{1} << 20);
+      ok += out.all_informed ? 1 : 0;
+    }
+    return static_cast<double>(ok) / trials;
+  };
+  const double paper = success_rate(true);
+  const double ablated = success_rate(false);
+  EXPECT_GE(paper, 0.7);  // 1 - ε = 0.7 target
+  EXPECT_LT(ablated, paper);
+}
+
+TEST(ParameterSensitivity, DegreeUnderestimateCollapsesAtTheSink) {
+  // Theorem 1 needs k >= 2 log2(d). On C_n with S = {1..n} the sink faces
+  // n competitors; configuring Δ = 2 gives k = 2 and the sink essentially
+  // never resolves the conflict, while the true Δ works.
+  const std::size_t n = 32;
+  std::vector<NodeId> all;
+  for (NodeId x = 1; x <= n; ++x) {
+    all.push_back(x);
+  }
+  const auto net = graph::make_cn(n, all);
+  const auto run_with_delta = [&](std::size_t delta) {
+    int ok = 0;
+    const int trials = 30;
+    for (int trial = 0; trial < trials; ++trial) {
+      const BroadcastParams params{
+          .network_size_bound = net.g.node_count(),
+          .degree_bound = delta,
+          .epsilon = 0.1,
+          .stop_probability = 0.5,
+      };
+      const NodeId sources[] = {net.source};
+      const auto out = harness::run_bgi_broadcast(
+          net.g, sources, params, 4000 + trial, Slot{1} << 18);
+      ok += out.all_informed ? 1 : 0;
+    }
+    return ok;
+  };
+  EXPECT_LE(run_with_delta(2), 3);                           // collapse
+  EXPECT_GE(run_with_delta(net.g.max_in_degree()), 27);      // healthy
+}
+
+TEST(ParameterSensitivity, PolynomialNOverestimateKeepsSuccess) {
+  // §1.1: N = n^2 only multiplies t by a constant; success unaffected.
+  rng::Rng topo(31);
+  const graph::Graph g = graph::connected_gnp(40, 0.12, topo);
+  int ok = 0;
+  const int trials = 25;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BroadcastParams params{
+        .network_size_bound = g.node_count() * g.node_count(),
+        .degree_bound = g.max_in_degree(),
+        .epsilon = 0.1,
+        .stop_probability = 0.5,
+    };
+    const NodeId sources[] = {0};
+    const auto out = harness::run_bgi_broadcast(g, sources, params,
+                                                6000 + trial, Slot{1} << 20);
+    ok += out.all_informed ? 1 : 0;
+  }
+  EXPECT_GE(ok, 22);
+}
+
+}  // namespace
+}  // namespace radiocast::proto

@@ -1,0 +1,177 @@
+#include "radiocast/lb/abstract_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::lb {
+namespace {
+
+TEST(RunAbstract, RejectsEmptyS) {
+  RoundRobinAbstract rr;
+  EXPECT_THROW(run_abstract(rr, 5, {}, 10), radiocast::ContractViolation);
+}
+
+TEST(RoundRobinAbstract, CompletesAtMinS) {
+  RoundRobinAbstract rr;
+  const std::vector<NodeId> s{4, 7};
+  const AbstractRunResult r = run_abstract(rr, 9, s, 100);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.rounds, 4U);  // processor 4 transmits in round 3 (0-based)
+  EXPECT_TRUE(r.history.back().successful);
+  EXPECT_EQ(r.history.back().heard, 4U);
+  EXPECT_TRUE(r.history.back().indicator);
+}
+
+TEST(RoundRobinAbstract, WorstCaseIsN) {
+  RoundRobinAbstract rr;
+  const std::vector<NodeId> s{9};
+  const AbstractRunResult r = run_abstract(rr, 9, s, 100);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.rounds, 9U);
+}
+
+TEST(RoundRobinAbstract, EarlierRoundsAreFailures) {
+  RoundRobinAbstract rr;
+  const std::vector<NodeId> s{3};
+  const AbstractRunResult r = run_abstract(rr, 5, s, 100);
+  ASSERT_EQ(r.rounds, 3U);
+  // Rounds 0 and 1 (processors 1, 2 ∉ S, sink hears nothing): unsuccessful.
+  EXPECT_FALSE(r.history[0].successful);
+  EXPECT_FALSE(r.history[1].successful);
+}
+
+TEST(RoundRobinAbstract, HonorsMaxRounds) {
+  RoundRobinAbstract rr;
+  const std::vector<NodeId> s{5};
+  const AbstractRunResult r = run_abstract(rr, 5, s, 3);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rounds, 3U);
+}
+
+TEST(BitSplitAbstract, SingletonSFoundFast) {
+  // |S| = 1: some mask round isolates the lone member long before the
+  // round-robin fallback — in fact the very first round ({p : bit0 = 0})
+  // or the second catches it.
+  BitSplitAbstract bs;
+  const std::vector<NodeId> s{11};
+  const AbstractRunResult r = run_abstract(bs, 16, s, 100);
+  EXPECT_TRUE(r.completed);
+  EXPECT_LE(r.rounds, 2U);
+}
+
+TEST(BitSplitAbstract, DenseSFallsThroughToRobin) {
+  // With S = everything, every mask move has |T ∩ S| = n/2 >= 2: all mask
+  // rounds fail; the fallback round-robin completes at its first round.
+  BitSplitAbstract bs;
+  std::vector<NodeId> s;
+  for (NodeId x = 1; x <= 8; ++x) {
+    s.push_back(x);
+  }
+  const AbstractRunResult r = run_abstract(bs, 8, s, 100);
+  EXPECT_TRUE(r.completed);
+  const std::size_t mask_rounds = 2 * 3;  // 2*ceil(log2 8)
+  EXPECT_EQ(r.rounds, mask_rounds + 1);
+}
+
+TEST(BitSplitAbstract, IsObliviousFlag) {
+  BitSplitAbstract bs;
+  RoundRobinAbstract rr;
+  AdaptiveSplitAbstract as;
+  EXPECT_TRUE(bs.is_oblivious());
+  EXPECT_TRUE(rr.is_oblivious());
+  EXPECT_FALSE(as.is_oblivious());
+}
+
+TEST(AdaptiveSplitAbstract, SingletonSIsBinarySearchFast) {
+  AdaptiveSplitAbstract as;
+  const std::vector<NodeId> s{1};
+  // Window halves toward the low end: {1..16} -> {1..8} -> ... -> {1}.
+  const AbstractRunResult r = run_abstract(as, 16, s, 100);
+  EXPECT_TRUE(r.completed);
+  EXPECT_LE(r.rounds, 6U);
+}
+
+TEST(AdaptiveSplitAbstract, CompletesOnEveryS) {
+  AdaptiveSplitAbstract as;
+  const std::size_t n = 7;
+  for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    std::vector<NodeId> s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1U) {
+        s.push_back(static_cast<NodeId>(i + 1));
+      }
+    }
+    const AbstractRunResult r = run_abstract(as, n, s, 5000);
+    EXPECT_TRUE(r.completed) << "mask=" << mask;
+  }
+}
+
+TEST(AbstractModel, SourceReceiverHearsNonMembers) {
+  // A protocol where only non-members transmit and the source listens:
+  // the source can hear a χ=0 message; the run must record it as
+  // successful but NOT completed.
+  class NonMembersOnly final : public AbstractBroadcastProtocol {
+   public:
+    bool transmits(NodeId p, bool chi, const History&) const override {
+      return !chi && p == 2;
+    }
+    Receiver receiver(const History&) const override {
+      return Receiver::kSource;
+    }
+    const char* name() const override { return "non-members-only"; }
+  };
+  NonMembersOnly proto;
+  const std::vector<NodeId> s{5};
+  const AbstractRunResult r = run_abstract(proto, 5, s, 3);
+  EXPECT_FALSE(r.completed);
+  ASSERT_EQ(r.rounds, 3U);
+  EXPECT_TRUE(r.history[0].successful);
+  EXPECT_EQ(r.history[0].heard, 2U);
+  EXPECT_FALSE(r.history[0].indicator);
+}
+
+TEST(AbstractModel, SinkDoesNotHearNonMembers) {
+  // Same transmit rule, sink listening: non-members are not the sink's
+  // neighbors, so every round is silent.
+  class NonMembersOnly final : public AbstractBroadcastProtocol {
+   public:
+    bool transmits(NodeId p, bool chi, const History&) const override {
+      return !chi && p == 2;
+    }
+    Receiver receiver(const History&) const override {
+      return Receiver::kSink;
+    }
+    const char* name() const override { return "non-members-sink"; }
+  };
+  NonMembersOnly proto;
+  const std::vector<NodeId> s{5};
+  const AbstractRunResult r = run_abstract(proto, 5, s, 3);
+  EXPECT_FALSE(r.completed);
+  for (const RoundOutcome& o : r.history) {
+    EXPECT_FALSE(o.successful);
+  }
+}
+
+TEST(AbstractModel, SourceCollisionWhenMixedPair) {
+  // Two transmitters (one member, one non-member) with the source
+  // listening: collision, unsuccessful.
+  class Pair final : public AbstractBroadcastProtocol {
+   public:
+    bool transmits(NodeId p, bool, const History&) const override {
+      return p == 1 || p == 2;
+    }
+    Receiver receiver(const History&) const override {
+      return Receiver::kSource;
+    }
+    const char* name() const override { return "pair"; }
+  };
+  Pair proto;
+  const std::vector<NodeId> s{1};
+  const AbstractRunResult r = run_abstract(proto, 4, s, 2);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.history[0].successful);
+}
+
+}  // namespace
+}  // namespace radiocast::lb

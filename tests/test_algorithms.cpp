@@ -1,0 +1,132 @@
+#include "radiocast/graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/generators.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(BfsDistances, Path) {
+  const Graph g = path(5);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(d[v], v);
+  }
+}
+
+TEST(BfsDistances, FromMiddle) {
+  const Graph g = path(5);
+  const auto d = bfs_distances(g, 2);
+  EXPECT_EQ(d[0], 2U);
+  EXPECT_EQ(d[4], 2U);
+  EXPECT_EQ(d[2], 0U);
+}
+
+TEST(BfsDistances, RespectsDirection) {
+  Graph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], 2U);
+  const auto back = bfs_distances(g, 2);
+  EXPECT_EQ(back[0], kUnreachable);
+}
+
+TEST(BfsDistances, MultiSource) {
+  const Graph g = path(7);
+  const NodeId sources[] = {0, 6};
+  const auto d = bfs_distances_multi(g, sources);
+  EXPECT_EQ(d[0], 0U);
+  EXPECT_EQ(d[6], 0U);
+  EXPECT_EQ(d[3], 3U);
+  EXPECT_EQ(d[1], 1U);
+  EXPECT_EQ(d[5], 1U);
+}
+
+TEST(BfsDistances, DuplicateSourcesOk) {
+  const Graph g = path(4);
+  const NodeId sources[] = {1, 1};
+  const auto d = bfs_distances_multi(g, sources);
+  EXPECT_EQ(d[1], 0U);
+  EXPECT_EQ(d[3], 2U);
+}
+
+TEST(Eccentricity, StarCenterVsLeaf) {
+  const Graph g = star(8);
+  EXPECT_EQ(eccentricity(g, 0), 1U);
+  EXPECT_EQ(eccentricity(g, 3), 2U);
+}
+
+TEST(Eccentricity, UnreachableIsSentinel) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(eccentricity(g, 0), kUnreachable);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path(10)), 9U);
+  EXPECT_EQ(diameter(cycle(10)), 5U);
+  EXPECT_EQ(diameter(clique(7)), 1U);
+  EXPECT_EQ(diameter(grid(4, 4)), 6U);
+  EXPECT_EQ(diameter(hypercube(5)), 5U);
+}
+
+TEST(Diameter, SingleNodeIsZero) { EXPECT_EQ(diameter(path(1)), 0U); }
+
+TEST(Diameter, DisconnectedIsSentinel) {
+  const Graph g(4);
+  EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(Reachability, AllReachable) {
+  EXPECT_TRUE(all_reachable_from(path(6), 0));
+  Graph g(3);
+  g.add_arc(0, 1);
+  EXPECT_FALSE(all_reachable_from(g, 0));
+  EXPECT_FALSE(all_reachable_from(g, 2));
+}
+
+TEST(Connectivity, Undirected) {
+  EXPECT_TRUE(is_connected_undirected(path(5)));
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected_undirected(g));
+  EXPECT_TRUE(is_connected_undirected(Graph(1)));
+  EXPECT_TRUE(is_connected_undirected(Graph(0)));
+}
+
+TEST(Connectivity, OneWayArcCountsAsConnecting) {
+  Graph g(2);
+  g.add_arc(0, 1);
+  EXPECT_TRUE(is_connected_undirected(g));
+}
+
+TEST(Connectivity, SymmetricCore) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_arc(1, 2);  // one-way only
+  EXPECT_TRUE(is_connected_undirected(g));
+  EXPECT_FALSE(is_symmetric_core_connected(g));
+  g.add_arc(2, 1);
+  EXPECT_TRUE(is_symmetric_core_connected(g));
+}
+
+TEST(DegreeStats, Values) {
+  const Graph g = star(5);  // hub 0 with 4 leaves
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max_in, 4U);
+  EXPECT_EQ(s.min_in, 1U);
+  EXPECT_EQ(s.max_out, 4U);
+  EXPECT_DOUBLE_EQ(s.mean_in, 8.0 / 5.0);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const DegreeStats s = degree_stats(Graph(0));
+  EXPECT_EQ(s.max_in, 0U);
+  EXPECT_DOUBLE_EQ(s.mean_in, 0.0);
+}
+
+}  // namespace
+}  // namespace radiocast::graph

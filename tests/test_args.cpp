@@ -1,0 +1,88 @@
+#include "radiocast/harness/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::harness {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Args, Empty) {
+  const Args a = parse({});
+  EXPECT_TRUE(a.positional().empty());
+  EXPECT_FALSE(a.has("x"));
+  EXPECT_EQ(a.get("x", "d"), "d");
+}
+
+TEST(Args, PositionalAndOptions) {
+  const Args a = parse({"run", "--n", "100", "--eps", "0.1", "target"});
+  EXPECT_EQ(a.positional(),
+            (std::vector<std::string>{"run", "target"}));
+  EXPECT_EQ(a.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(a.get_double("eps", 0), 0.1);
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args a = parse({"--n=42", "--name=alpha"});
+  EXPECT_EQ(a.get_int("n", 0), 42);
+  EXPECT_EQ(a.get("name", ""), "alpha");
+}
+
+TEST(Args, BareFlag) {
+  const Args a = parse({"--verbose", "--n", "3"});
+  EXPECT_TRUE(a.get_flag("verbose"));
+  EXPECT_FALSE(a.get_flag("quiet"));
+  EXPECT_EQ(a.get_int("n", 0), 3);
+}
+
+TEST(Args, FlagBeforeAnotherOption) {
+  const Args a = parse({"--dry-run", "--out", "x.csv"});
+  EXPECT_TRUE(a.get_flag("dry-run"));
+  EXPECT_EQ(a.get("out", ""), "x.csv");
+}
+
+TEST(Args, FlagFalseValue) {
+  const Args a = parse({"--feature", "false"});
+  EXPECT_FALSE(a.get_flag("feature"));
+}
+
+TEST(Args, MalformedIntThrows) {
+  const Args a = parse({"--n", "12x"});
+  EXPECT_THROW(a.get_int("n", 0), ContractViolation);
+}
+
+TEST(Args, MalformedDoubleThrows) {
+  const Args a = parse({"--eps", "zero"});
+  EXPECT_THROW(a.get_double("eps", 0), ContractViolation);
+}
+
+TEST(Args, FlagWithArbitraryValueThrows) {
+  const Args a = parse({"--feature", "banana"});
+  EXPECT_THROW(a.get_flag("feature"), ContractViolation);
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // A "-5" does not start with "--", so it binds as the value.
+  const Args a = parse({"--delta", "-5"});
+  EXPECT_EQ(a.get_int("delta", 0), -5);
+}
+
+TEST(Args, UnknownKeyDetection) {
+  const Args a = parse({"--n", "1", "--oops", "2"});
+  const auto unknown = a.unknown_keys({"n"});
+  ASSERT_EQ(unknown.size(), 1U);
+  EXPECT_EQ(unknown[0], "oops");
+}
+
+TEST(Args, BareDoubleDashRejected) {
+  EXPECT_THROW(parse({"--"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::harness

@@ -1,0 +1,135 @@
+#include "radiocast/proto/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/stats/chernoff.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+BroadcastParams params_for(const graph::Graph& g, double epsilon = 0.1) {
+  return BroadcastParams{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = epsilon,
+      .stop_probability = 0.5,
+  };
+}
+
+TEST(BgiBfs, RootHasDistanceZero) {
+  sim::Message m;
+  m.origin = 0;
+  const BgiBfs root(params_for(graph::path(4)), m);
+  EXPECT_TRUE(root.informed());
+  EXPECT_EQ(root.distance(), 0U);
+}
+
+TEST(BgiBfs, UninformedHasNoLabel) {
+  const BgiBfs node(params_for(graph::path(4)));
+  EXPECT_FALSE(node.informed());
+  EXPECT_THROW(node.distance(), ContractViolation);
+}
+
+TEST(BgiBfs, PhaseLengthIsKTimesT) {
+  const auto params = params_for(graph::star(9), 0.25);
+  const BgiBfs node(params);
+  EXPECT_EQ(node.phase_length(),
+            params.phase_length() * params.repetitions());
+}
+
+TEST(BgiBfs, CorrectLabelsOnAPath) {
+  const graph::Graph g = graph::path(8);
+  int correct_runs = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto out =
+        harness::run_bgi_bfs(g, 0, params_for(g, 0.1), 100 + trial, 100000);
+    correct_runs += out.labels_correct ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(correct_runs) / trials, 0.8);
+}
+
+TEST(BgiBfs, CorrectLabelsOnAGrid) {
+  const graph::Graph g = graph::grid(5, 5);
+  int correct_runs = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto out =
+        harness::run_bgi_bfs(g, 12, params_for(g, 0.1), 200 + trial, 100000);
+    correct_runs += out.labels_correct ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(correct_runs) / trials, 0.8);
+}
+
+TEST(BgiBfs, CorrectLabelsOnRandomTrees) {
+  rng::Rng topo(5);
+  int correct_runs = 0;
+  const int trials = 25;
+  for (int trial = 0; trial < trials; ++trial) {
+    const graph::Graph g = graph::random_tree(40, topo);
+    const auto out =
+        harness::run_bgi_bfs(g, 0, params_for(g, 0.1), 300 + trial, 200000);
+    correct_runs += out.labels_correct ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(correct_runs) / trials, 0.8);
+}
+
+TEST(BgiBfs, FinishesWithinPaperSlotBound) {
+  const graph::Graph g = graph::path(6);
+  const auto d = graph::diameter(g);
+  const auto params = params_for(g, 0.1);
+  const double bound = stats::bfs_slot_bound(d, g.node_count(),
+                                             g.max_in_degree(), 0.1);
+  int within = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto out =
+        harness::run_bgi_bfs(g, 0, params, 400 + trial, 1000000);
+    if (out.labels_correct) {
+      // Every label was assigned by phase D, i.e. within D phase lengths,
+      // plus the trailing repetitions of the deepest layer.
+      const double slack =
+          bound + static_cast<double>(params.phase_length()) *
+                      params.repetitions() * params.repetitions();
+      EXPECT_LE(static_cast<double>(out.slots_run), slack);
+      ++within;
+    }
+  }
+  EXPECT_GE(within, 14);
+}
+
+TEST(BgiBfs, LabelsNeverUnderestimate) {
+  // A node at true distance L cannot possibly be labelled < L: the message
+  // physically needs L hops and every hop costs at least one phase.
+  rng::Rng topo(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::Graph g = graph::connected_gnp(30, 0.1, topo);
+    const auto truth = graph::bfs_distances(g, 0);
+    const auto params = params_for(g, 0.2);
+    sim::Simulator s(g, sim::SimOptions{900u + trial});
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == 0) {
+        sim::Message m;
+        m.origin = 0;
+        s.emplace_protocol<BgiBfs>(v, params, m);
+      } else {
+        s.emplace_protocol<BgiBfs>(v, params);
+      }
+    }
+    for (int i = 0; i < 20000; ++i) {
+      s.step();
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto& p = s.protocol_as<BgiBfs>(v);
+      if (p.informed()) {
+        EXPECT_GE(p.distance(), truth[v]) << "node " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::proto

@@ -1,0 +1,213 @@
+#include "radiocast/proto/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/chernoff.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+BroadcastParams params_for(const graph::Graph& g, double epsilon = 0.1) {
+  return BroadcastParams{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = epsilon,
+      .stop_probability = 0.5,
+  };
+}
+
+sim::Message payload() {
+  sim::Message m;
+  m.origin = 0;
+  m.tag = 0xFEED;
+  return m;
+}
+
+TEST(BgiBroadcast, SourceIsInformedFromSlotZero) {
+  const BgiBroadcast p(params_for(graph::path(4)), payload());
+  EXPECT_TRUE(p.informed());
+  EXPECT_EQ(p.informed_at(), 0U);
+  EXPECT_FALSE(p.terminated());
+}
+
+TEST(BgiBroadcast, NonSourceStartsUninformed) {
+  const BgiBroadcast p(params_for(graph::path(4)));
+  EXPECT_FALSE(p.informed());
+  EXPECT_EQ(p.informed_at(), kNever);
+  EXPECT_THROW(p.message(), ContractViolation);
+}
+
+TEST(BgiBroadcast, TwoNodeDelivery) {
+  const graph::Graph g = graph::path(2);
+  const auto params = params_for(g);
+  sim::Simulator s(g, sim::SimOptions{1});
+  s.emplace_protocol<BgiBroadcast>(0, params, payload());
+  auto& receiver = s.emplace_protocol<BgiBroadcast>(1, params);
+  // Slot 0: the source's Decay always transmits in its first slot, and it
+  // is the only transmitter, so node 1 must be informed immediately.
+  s.step();
+  EXPECT_TRUE(receiver.informed());
+  EXPECT_EQ(receiver.informed_at(), 0U);
+  EXPECT_EQ(receiver.message(), payload());
+}
+
+TEST(BgiBroadcast, TerminatesAfterAllPhases) {
+  const graph::Graph g = graph::path(2);
+  const auto params = params_for(g);
+  sim::Simulator s(g, sim::SimOptions{1});
+  auto& source = s.emplace_protocol<BgiBroadcast>(0, params, payload());
+  s.emplace_protocol<BgiBroadcast>(1, params);
+  const Slot horizon =
+      static_cast<Slot>(params.phase_length()) * (params.repetitions() + 2);
+  for (Slot i = 0; i < horizon; ++i) {
+    s.step();
+  }
+  EXPECT_TRUE(source.terminated());
+  EXPECT_EQ(source.phases_completed(), params.repetitions());
+}
+
+TEST(BgiBroadcast, UninformedNeverTransmits) {
+  // A lone uninformed node in an empty network never transmits.
+  sim::Simulator s(graph::Graph(1), sim::SimOptions{1});
+  s.emplace_protocol<BgiBroadcast>(
+      0, BroadcastParams{.network_size_bound = 4, .degree_bound = 2,
+                         .epsilon = 0.5, .stop_probability = 0.5});
+  for (int i = 0; i < 50; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(s.trace().total_transmissions(), 0U);
+}
+
+TEST(BgiBroadcast, NodesJoinOnlyAtPhaseBoundaries) {
+  // On a path 0-1-2, node 1 is informed at slot 0. It must not transmit
+  // before the next multiple of k.
+  const graph::Graph g = graph::path(3);
+  const auto params = params_for(g);
+  const unsigned k = params.phase_length();
+  sim::Simulator s(g, sim::SimOptions{3, false, true});
+  s.emplace_protocol<BgiBroadcast>(0, params, payload());
+  s.emplace_protocol<BgiBroadcast>(1, params);
+  s.emplace_protocol<BgiBroadcast>(2, params);
+  s.step();
+  ASSERT_TRUE(s.protocol_as<BgiBroadcast>(1).informed());
+  // Slots 1..k-1: node 1 may not transmit yet.
+  for (Slot t = 1; t < k; ++t) {
+    s.step();
+    for (const auto& rec : s.trace().slots()) {
+      if (rec.slot >= 1 && rec.slot < k) {
+        for (const NodeId tx : rec.transmitters) {
+          EXPECT_NE(tx, 1U) << "node 1 transmitted mid-phase at slot "
+                            << rec.slot;
+        }
+      }
+    }
+  }
+}
+
+TEST(BgiBroadcast, CompletesOnPathWithHighProbability) {
+  const graph::Graph g = graph::path(12);
+  const auto params = params_for(g, 0.2);
+  int successes = 0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    const NodeId sources[] = {0};
+    const auto out = harness::run_bgi_broadcast(
+        g, sources, params, 1000 + trial, 200000);
+    successes += out.all_informed ? 1 : 0;
+  }
+  // Lemma 2: success probability >= 1 - ε = 0.8. With 60 trials a rate
+  // below 0.7 would be a > 2-sigma miss.
+  EXPECT_GE(static_cast<double>(successes) / trials, 0.7);
+}
+
+TEST(BgiBroadcast, CompletesOnCliqueDespiteConflicts) {
+  const graph::Graph g = graph::clique(24);
+  const auto params = params_for(g, 0.1);
+  const NodeId sources[] = {0};
+  int successes = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto out = harness::run_bgi_broadcast(
+        g, sources, params, 5000 + trial, 100000);
+    successes += out.all_informed ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(successes) / trials, 0.8);
+}
+
+TEST(BgiBroadcast, MeetsTheorem4BoundTypically) {
+  rng::Rng topo(11);
+  const graph::Graph g = graph::connected_gnp(80, 0.08, topo);
+  const auto d = graph::diameter(g);
+  ASSERT_NE(d, graph::kUnreachable);
+  const auto params = params_for(g, 0.1);
+  const double bound = stats::theorem4_delivery_slots(
+      d, g.node_count(), g.max_in_degree(), 0.1);
+  const NodeId sources[] = {0};
+  int within = 0;
+  const int trials = 25;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto out =
+        harness::run_bgi_broadcast(g, sources, params, 31 + trial, 200000);
+    if (out.all_informed &&
+        static_cast<double>(out.completion_slot) <= bound) {
+      ++within;
+    }
+  }
+  // Theorem 4 promises probability >= 1 - 2ε = 0.8; in practice the bound
+  // is loose and essentially every run lands inside it.
+  EXPECT_GE(within, 20);
+}
+
+TEST(BgiBroadcast, MultiSourceRemark) {
+  // Remark after Theorem 4: several initiators with the same message.
+  const graph::Graph g = graph::grid(6, 6);
+  const auto params = params_for(g, 0.1);
+  const NodeId sources[] = {0, 35};
+  const auto out = harness::run_bgi_broadcast(g, sources, params, 7, 100000);
+  EXPECT_TRUE(out.all_informed);
+}
+
+TEST(BgiBroadcast, WorksOnDirectedNetworks) {
+  // §2.2 property 4: no acknowledgements, so asymmetric links are fine.
+  rng::Rng topo(13);
+  const graph::Graph g =
+      graph::random_strongly_reachable_digraph(50, 100, topo);
+  ASSERT_TRUE(graph::all_reachable_from(g, 0));
+  const auto params = params_for(g, 0.1);
+  const NodeId sources[] = {0};
+  int successes = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto out =
+        harness::run_bgi_broadcast(g, sources, params, 600 + trial, 200000);
+    successes += out.all_informed ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(successes) / trials, 0.8);
+}
+
+TEST(BgiBroadcast, ActivityDiesOutAfterTermination) {
+  const graph::Graph g = graph::path(6);
+  const auto params = params_for(g, 0.2);
+  const NodeId sources[] = {0};
+  const auto out = harness::run_bgi_broadcast(g, sources, params, 17, 200000);
+  // run_bgi_broadcast stops at completion or death; afterwards re-running
+  // the simulation longer must not change transmission counts once all
+  // nodes terminated. Here we simply sanity-check the run ended before the
+  // hard horizon (the protocol always terminates, Lemma 2's "always
+  // terminates" clause).
+  EXPECT_LT(out.slots_run, 200000U);
+}
+
+TEST(BroadcastParams, DerivedQuantities) {
+  const BroadcastParams p{.network_size_bound = 1000, .degree_bound = 17,
+                          .epsilon = 0.01, .stop_probability = 0.5};
+  EXPECT_EQ(p.phase_length(), 10U);  // 2*ceil(log2 17) = 10
+  EXPECT_EQ(p.repetitions(), 17U);   // ceil(log2 1e5)
+}
+
+}  // namespace
+}  // namespace radiocast::proto

@@ -1,0 +1,147 @@
+// Tests for the collision-detector false-negative fault model (paper §1's
+// reliability argument): CD-reliant protocols break when collisions go
+// undetected; the CD-free randomized protocol does not care.
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/proto/cd_star.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast {
+namespace {
+
+/// Transmits every slot.
+class Beacon final : public sim::Protocol {
+ public:
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    sim::Message m;
+    m.origin = ctx.id();
+    return sim::Action::transmit(m);
+  }
+};
+
+class Listener final : public sim::Protocol {
+ public:
+  sim::Action on_slot(sim::NodeContext&) override {
+    return sim::Action::receive();
+  }
+  void on_collision(sim::NodeContext&) override { ++collisions; }
+  int collisions = 0;
+};
+
+graph::Graph triangle() {
+  graph::Graph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  return g;
+}
+
+TEST(CdFalseNegatives, ZeroRateDetectsEverything) {
+  sim::Simulator s(triangle(),
+                   sim::SimOptions{.seed = 1,
+                                   .collision_detection = true,
+                                   .cd_false_negative_rate = 0.0});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Beacon>(1);
+  auto& listener = s.emplace_protocol<Listener>(2);
+  for (int i = 0; i < 50; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(listener.collisions, 50);
+}
+
+TEST(CdFalseNegatives, FullRateDetectsNothing) {
+  sim::Simulator s(triangle(),
+                   sim::SimOptions{.seed = 1,
+                                   .collision_detection = true,
+                                   .cd_false_negative_rate = 1.0});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Beacon>(1);
+  auto& listener = s.emplace_protocol<Listener>(2);
+  for (int i = 0; i < 50; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(listener.collisions, 0);
+  // The collisions still happened physically — the trace sees them.
+  EXPECT_EQ(s.trace().total_collisions(), 50U);
+}
+
+TEST(CdFalseNegatives, PartialRateIsBernoulli) {
+  sim::Simulator s(triangle(),
+                   sim::SimOptions{.seed = 3,
+                                   .collision_detection = true,
+                                   .cd_false_negative_rate = 0.3});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Beacon>(1);
+  auto& listener = s.emplace_protocol<Listener>(2);
+  const int slots = 4000;
+  for (int i = 0; i < slots; ++i) {
+    s.step();
+  }
+  EXPECT_NEAR(static_cast<double>(listener.collisions) / slots, 0.7, 0.04);
+}
+
+TEST(CdFalseNegatives, BreaksTheFourSlotProtocol) {
+  // With fnr = 1, |S| >= 2 instances never inform the sink: the slot-1
+  // collision is the protocol's only trigger.
+  const NodeId members[] = {1, 3};
+  const auto net = graph::make_cn(4, members);
+  sim::Simulator s(net.g,
+                   sim::SimOptions{.seed = 5,
+                                   .collision_detection = true,
+                                   .cd_false_negative_rate = 1.0});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (v == net.source) {
+      sim::Message m;
+      m.origin = 0;
+      s.emplace_protocol<proto::CdStarBroadcast>(v, net.n(), m);
+    } else {
+      s.emplace_protocol<proto::CdStarBroadcast>(v, net.n(), std::nullopt);
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    s.step();
+  }
+  EXPECT_FALSE(s.protocol_as<proto::CdStarBroadcast>(net.sink).informed());
+}
+
+TEST(CdFalseNegatives, BgiBroadcastIndifferent) {
+  // The randomized protocol never calls the detector; success is
+  // unaffected even at fnr = 1.
+  const NodeId members[] = {1, 3};
+  const auto net = graph::make_cn(4, members);
+  const proto::BroadcastParams params{
+      .network_size_bound = net.g.node_count(),
+      .degree_bound = net.g.max_in_degree(),
+      .epsilon = 0.05,
+      .stop_probability = 0.5,
+  };
+  int ok = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId sources[] = {net.source};
+    const auto out = harness::run_bgi_broadcast(
+        net.g, sources, params, 700 + trial, Slot{1} << 20);
+    ok += out.all_informed ? 1 : 0;
+  }
+  EXPECT_GE(ok, 18);
+}
+
+TEST(CdFalseNegatives, IgnoredWithoutCdMode) {
+  // Without collision_detection, the rate knob has no observable effect.
+  sim::Simulator s(triangle(),
+                   sim::SimOptions{.seed = 1,
+                                   .collision_detection = false,
+                                   .cd_false_negative_rate = 0.5});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Beacon>(1);
+  auto& listener = s.emplace_protocol<Listener>(2);
+  for (int i = 0; i < 20; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(listener.collisions, 0);
+}
+
+}  // namespace
+}  // namespace radiocast

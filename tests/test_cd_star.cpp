@@ -1,0 +1,131 @@
+#include "radiocast/proto/cd_star.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+sim::Message payload() {
+  sim::Message m;
+  m.origin = 0;
+  m.tag = 0xCAFE;
+  return m;
+}
+
+struct RunResult {
+  bool sink_informed = false;
+  Slot sink_informed_at = kNever;
+  bool all_informed = false;
+};
+
+RunResult run_cd(const graph::CnNetwork& net) {
+  sim::Simulator s(net.g,
+                   sim::SimOptions{.seed = 1, .collision_detection = true});
+  const std::size_t n = net.n();
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (v == net.source) {
+      s.emplace_protocol<CdStarBroadcast>(v, n, payload());
+    } else {
+      s.emplace_protocol<CdStarBroadcast>(v, n, std::nullopt);
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    s.step();
+  }
+  RunResult r;
+  const auto& sink = s.protocol_as<CdStarBroadcast>(net.sink);
+  r.sink_informed = sink.informed();
+  r.sink_informed_at = sink.informed_at();
+  r.all_informed = true;
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (!s.protocol_as<CdStarBroadcast>(v).informed()) {
+      r.all_informed = false;
+    }
+  }
+  return r;
+}
+
+TEST(CdStar, SingletonSFinishesInTwoSlots) {
+  const NodeId s_members[] = {3};
+  const auto net = graph::make_cn(5, s_members);
+  const RunResult r = run_cd(net);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_EQ(r.sink_informed_at, 1U);  // slots 0 and 1 = "2 time-slots"
+}
+
+TEST(CdStar, MultiMemberSFinishesInFourSlots) {
+  const NodeId s_members[] = {1, 2, 4};
+  const auto net = graph::make_cn(5, s_members);
+  const RunResult r = run_cd(net);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_EQ(r.sink_informed_at, 3U);  // slots 0..3 = "4 time-slots"
+}
+
+TEST(CdStar, FullSWorks) {
+  const NodeId s_members[] = {1, 2, 3, 4, 5};
+  const auto net = graph::make_cn(5, s_members);
+  const RunResult r = run_cd(net);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_EQ(r.sink_informed_at, 3U);
+}
+
+TEST(CdStar, AllSubsetsOfSmallUniverse) {
+  // Exhaustive: every non-empty S ⊆ {1..6} must finish within 4 slots —
+  // the §4 claim that collision detection collapses the Ω(n) bound.
+  const std::size_t n = 6;
+  for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    const auto s_members = graph::subset_from_mask(n, mask);
+    const auto net = graph::make_cn(n, s_members);
+    const RunResult r = run_cd(net);
+    EXPECT_TRUE(r.all_informed) << "mask=" << mask;
+    EXPECT_LE(r.sink_informed_at, 3U) << "mask=" << mask;
+  }
+}
+
+TEST(CdStar, RequiresCollisionDetectionMode) {
+  const NodeId s_members[] = {1, 2};
+  const auto net = graph::make_cn(4, s_members);
+  sim::Simulator s(net.g, sim::SimOptions{.seed = 1,
+                                          .collision_detection = false});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (v == net.source) {
+      s.emplace_protocol<CdStarBroadcast>(v, net.n(), payload());
+    } else {
+      s.emplace_protocol<CdStarBroadcast>(v, net.n(), std::nullopt);
+    }
+  }
+  EXPECT_THROW(s.step(), ContractViolation);
+}
+
+TEST(CdStar, SourceMustCarryPayload) {
+  const NodeId s_members[] = {1};
+  const auto net = graph::make_cn(3, s_members);
+  sim::Simulator s(net.g,
+                   sim::SimOptions{.seed = 1, .collision_detection = true});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    s.emplace_protocol<CdStarBroadcast>(v, net.n(), std::nullopt);
+  }
+  EXPECT_THROW(s.step(), ContractViolation);
+}
+
+TEST(CdStar, TerminatesAfterFourSlots) {
+  const NodeId s_members[] = {1, 3};
+  const auto net = graph::make_cn(4, s_members);
+  sim::Simulator s(net.g,
+                   sim::SimOptions{.seed = 1, .collision_detection = true});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    if (v == net.source) {
+      s.emplace_protocol<CdStarBroadcast>(v, net.n(), payload());
+    } else {
+      s.emplace_protocol<CdStarBroadcast>(v, net.n(), std::nullopt);
+    }
+  }
+  const Slot end = s.run_to_quiescence(100);
+  EXPECT_LE(end, 6U);
+}
+
+}  // namespace
+}  // namespace radiocast::proto

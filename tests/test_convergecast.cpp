@@ -1,0 +1,141 @@
+#include "radiocast/proto/convergecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+ConvergecastParams params_for(const graph::Graph& g, NodeId root,
+                              double eps = 0.05) {
+  const auto ecc = graph::eccentricity(g, root);
+  return ConvergecastParams{
+      BroadcastParams{
+          .network_size_bound = g.node_count(),
+          .degree_bound = g.max_in_degree(),
+          .epsilon = eps,
+          .stop_probability = 0.5,
+      },
+      std::max<std::size_t>(ecc, 1),
+      /*sweeps=*/2};
+}
+
+struct CastResult {
+  std::uint64_t root_aggregate = 0;
+  std::uint64_t true_max = 0;
+  bool exact = false;
+};
+
+CastResult run_cast(const graph::Graph& g, NodeId root,
+                    std::uint64_t seed) {
+  const auto params = params_for(g, root);
+  sim::Simulator s(g, sim::SimOptions{seed});
+  rng::Rng values(seed * 77 + 5);
+  std::uint64_t true_max = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::uint64_t value = values.uniform(1 << 30);
+    true_max = std::max(true_max, value);
+    s.emplace_protocol<Convergecast>(v, params, v == root, value);
+  }
+  s.run_until([&](const sim::Simulator& sim) {
+    return sim.now() >= params.horizon();
+  }, params.horizon());
+  CastResult r;
+  r.root_aggregate = s.protocol_as<Convergecast>(root).aggregate();
+  r.true_max = true_max;
+  r.exact = r.root_aggregate == true_max;
+  return r;
+}
+
+TEST(Convergecast, PathRootLearnsTheMax) {
+  int exact = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    exact += run_cast(graph::path(10), 0, seed).exact ? 1 : 0;
+  }
+  EXPECT_GE(exact, 8);
+}
+
+TEST(Convergecast, GridRootLearnsTheMax) {
+  int exact = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    exact += run_cast(graph::grid(5, 5), 12, seed).exact ? 1 : 0;
+  }
+  EXPECT_GE(exact, 8);
+}
+
+TEST(Convergecast, TreeRootLearnsTheMax) {
+  rng::Rng topo(9);
+  int exact = 0;
+  const int trials = 12;
+  for (int trial = 0; trial < trials; ++trial) {
+    const graph::Graph g = graph::random_tree(25, topo);
+    exact += run_cast(g, 0, 40 + trial).exact ? 1 : 0;
+  }
+  EXPECT_GE(exact, trials * 3 / 4);
+}
+
+TEST(Convergecast, AggregateNeverExceedsTrueMax) {
+  // Soundness: the aggregate is a max of real values, never an invention.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const CastResult r = run_cast(graph::cycle(12), 0, seed);
+    EXPECT_LE(r.root_aggregate, r.true_max);
+  }
+}
+
+TEST(Convergecast, RootWithMaxValueIsTrivial) {
+  // If the root itself holds the max it needs nobody.
+  const graph::Graph g = graph::path(6);
+  const auto params = params_for(g, 0);
+  sim::Simulator s(g, sim::SimOptions{3});
+  for (NodeId v = 0; v < 6; ++v) {
+    s.emplace_protocol<Convergecast>(v, params, v == 0,
+                                     v == 0 ? 1000000U : v);
+  }
+  s.run_until([&](const sim::Simulator& sim) {
+    return sim.now() >= params.horizon();
+  }, params.horizon());
+  EXPECT_EQ(s.protocol_as<Convergecast>(0).aggregate(), 1000000U);
+}
+
+TEST(Convergecast, OnlyOneLayerTransmitsPerRound) {
+  const graph::Graph g = graph::path(8);
+  const auto params = params_for(g, 0);
+  sim::Simulator s(g, sim::SimOptions{.seed = 4,
+                                      .collision_detection = false,
+                                      .trace_slots = true});
+  for (NodeId v = 0; v < 8; ++v) {
+    s.emplace_protocol<Convergecast>(v, params, v == 0, v);
+  }
+  s.run_until([&](const sim::Simulator& sim) {
+    return sim.now() >= params.horizon();
+  }, params.horizon());
+  const auto truth = graph::bfs_distances(g, 0);
+  for (const auto& rec : s.trace().slots()) {
+    if (rec.slot < params.bfs_horizon() || rec.transmitters.empty()) {
+      continue;
+    }
+    // All transmitters of a stage-2 slot share one BFS layer.
+    const auto first_layer = truth[rec.transmitters.front()];
+    for (const NodeId u : rec.transmitters) {
+      EXPECT_EQ(truth[u], first_layer) << "slot " << rec.slot;
+    }
+  }
+}
+
+TEST(Convergecast, ParamsValidation) {
+  const graph::Graph g = graph::path(4);
+  auto params = params_for(g, 0);
+  params.depth_bound = 0;
+  EXPECT_THROW(Convergecast(params, true, 1), ContractViolation);
+  auto zero_sweeps = params_for(g, 0);
+  zero_sweeps.sweeps = 0;
+  EXPECT_THROW(Convergecast(zero_sweeps, true, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::proto

@@ -1,0 +1,183 @@
+#include "radiocast/proto/decay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/decay_analysis.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+sim::Message msg() {
+  sim::Message m;
+  m.origin = 0;
+  m.tag = 1;
+  return m;
+}
+
+TEST(DecayRun, RejectsBadArguments) {
+  EXPECT_THROW(DecayRun(0, msg()), ContractViolation);
+  EXPECT_THROW(DecayRun(3, msg(), -0.1), ContractViolation);
+  EXPECT_THROW(DecayRun(3, msg(), 1.1), ContractViolation);
+}
+
+TEST(DecayRun, AlwaysTransmitsAtLeastOnce) {
+  rng::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    DecayRun run(4, msg());
+    const sim::Action first = run.tick(rng);
+    EXPECT_EQ(first.kind, sim::ActionKind::kTransmit);
+    EXPECT_GE(run.transmissions_sent(), 1U);
+  }
+}
+
+TEST(DecayRun, StopProbabilityOneSendsExactlyOnce) {
+  rng::Rng rng(2);
+  DecayRun run(5, msg(), 1.0);
+  EXPECT_EQ(run.tick(rng).kind, sim::ActionKind::kTransmit);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(run.tick(rng).kind, sim::ActionKind::kReceive);
+  }
+  EXPECT_EQ(run.transmissions_sent(), 1U);
+  EXPECT_TRUE(run.phase_over());
+}
+
+TEST(DecayRun, StopProbabilityZeroSendsAllSlots) {
+  rng::Rng rng(3);
+  DecayRun run(6, msg(), 0.0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(run.tick(rng).kind, sim::ActionKind::kTransmit);
+  }
+  EXPECT_EQ(run.transmissions_sent(), 6U);
+  EXPECT_TRUE(run.transmissions_done());
+}
+
+TEST(DecayRun, TickPastPhaseThrows) {
+  rng::Rng rng(4);
+  DecayRun run(2, msg());
+  run.tick(rng);
+  run.tick(rng);
+  EXPECT_TRUE(run.phase_over());
+  EXPECT_THROW(run.tick(rng), ContractViolation);
+}
+
+TEST(DecayRun, TransmitsThePayload) {
+  rng::Rng rng(5);
+  sim::Message m;
+  m.origin = 7;
+  m.tag = 42;
+  m.data = {9, 9, 9};
+  DecayRun run(3, m);
+  const sim::Action a = run.tick(rng);
+  ASSERT_EQ(a.kind, sim::ActionKind::kTransmit);
+  EXPECT_EQ(a.message, m);
+}
+
+TEST(DecayRun, GeometricTransmissionCount) {
+  // Number of transmissions = min(k, 1 + Geometric(1/2)); its mean for
+  // large k is 2.
+  rng::Rng rng(6);
+  double total = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    DecayRun run(30, msg());
+    while (!run.phase_over()) {
+      (void)run.tick(rng);
+    }
+    total += run.transmissions_sent();
+  }
+  EXPECT_NEAR(total / trials, 2.0, 0.05);
+}
+
+TEST(DecayParams, PhaseLength) {
+  EXPECT_EQ(decay_phase_length(1), 2U);  // clamped to d = 2
+  EXPECT_EQ(decay_phase_length(2), 2U);
+  EXPECT_EQ(decay_phase_length(3), 4U);
+  EXPECT_EQ(decay_phase_length(4), 4U);
+  EXPECT_EQ(decay_phase_length(5), 6U);
+  EXPECT_EQ(decay_phase_length(1024), 20U);
+  EXPECT_EQ(decay_phase_length(1025), 22U);
+}
+
+TEST(DecayParams, Repetitions) {
+  EXPECT_EQ(decay_repetitions(8, 1.0), 3U);
+  EXPECT_EQ(decay_repetitions(1000, 0.01), 17U);  // ceil(log2 1e5)
+  EXPECT_EQ(decay_repetitions(1, 1.0), 1U);       // clamped to >= 1
+  EXPECT_THROW(decay_repetitions(0, 0.5), ContractViolation);
+  EXPECT_THROW(decay_repetitions(10, 0.0), ContractViolation);
+  EXPECT_THROW(decay_repetitions(10, 1.5), ContractViolation);
+}
+
+/// d competitors around a hub, all starting Decay at slot 0: the Monte
+/// Carlo success frequency must match the exact DP of
+/// stats::decay_success_probability.
+class DecayNode final : public sim::Protocol {
+ public:
+  DecayNode(unsigned k, double stop) : run_(k, msg(), stop) {}
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    if (run_.phase_over()) {
+      return sim::Action::receive();
+    }
+    return run_.tick(ctx.rng());
+  }
+
+ private:
+  DecayRun run_;
+};
+
+class CountingHub final : public sim::Protocol {
+ public:
+  sim::Action on_slot(sim::NodeContext&) override {
+    return sim::Action::receive();
+  }
+  void on_receive(sim::NodeContext&, const sim::Message&) override {
+    received = true;
+  }
+  bool received = false;
+};
+
+double monte_carlo_decay(std::size_t d, unsigned k, double stop,
+                         int trials) {
+  int successes = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    sim::Simulator s(graph::star(d + 1),
+                     sim::SimOptions{static_cast<std::uint64_t>(trial) + 1});
+    auto& hub = s.emplace_protocol<CountingHub>(0);
+    for (NodeId v = 1; v <= d; ++v) {
+      s.emplace_protocol<DecayNode>(v, k, stop);
+    }
+    for (unsigned t = 0; t < k; ++t) {
+      s.step();
+    }
+    successes += hub.received ? 1 : 0;
+  }
+  return static_cast<double>(successes) / trials;
+}
+
+TEST(DecaySimVsExact, MatchesDynamicProgram) {
+  const int trials = 4000;
+  for (const std::size_t d : {2U, 3U, 5U, 8U}) {
+    const unsigned k = decay_phase_length(d);
+    const double exact = stats::decay_success_probability(k, d);
+    const double mc = monte_carlo_decay(d, k, 0.5, trials);
+    // 4000 trials: 4-sigma band is about 0.032.
+    EXPECT_NEAR(mc, exact, 0.04) << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(DecaySimVsExact, BiasedCoinMatches) {
+  const int trials = 4000;
+  const std::size_t d = 4;
+  const unsigned k = 6;
+  for (const double stop : {0.3, 0.7}) {
+    const double exact = stats::decay_success_probability(k, d, 1.0 - stop);
+    const double mc = monte_carlo_decay(d, k, stop, trials);
+    EXPECT_NEAR(mc, exact, 0.04) << "stop=" << stop;
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::proto

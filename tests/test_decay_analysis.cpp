@@ -1,0 +1,158 @@
+#include "radiocast/stats/decay_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::stats {
+namespace {
+
+TEST(DecayLimit, BaseCases) {
+  EXPECT_DOUBLE_EQ(decay_limit_probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(decay_limit_probability(1), 1.0);
+}
+
+TEST(DecayLimit, TwoCompetitorsIsTwoThirds) {
+  // The paper's induction basis: P(∞,2) = 2/3.
+  EXPECT_NEAR(decay_limit_probability(2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DecayLimit, Theorem1PartI) {
+  // Theorem 1(i): P(∞,d) >= 2/3 for all d >= 2.
+  const auto p = decay_limit_probabilities(2048);
+  for (std::size_t d = 2; d <= 2048; ++d) {
+    EXPECT_GE(p[d], 2.0 / 3.0 - 1e-12) << "d=" << d;
+    EXPECT_LE(p[d], 1.0 + 1e-12);
+  }
+}
+
+TEST(DecayLimit, SatisfiesRecurrence) {
+  // Spot-check recurrence (1): P(∞,d) = Σ_j C(d,j) 2^-d P(∞,j).
+  const std::size_t d = 7;
+  const auto p = decay_limit_probabilities(d);
+  double rhs = 0.0;
+  double binom = 1.0;  // C(7,0)
+  for (std::size_t j = 0; j <= d; ++j) {
+    rhs += binom / 128.0 * p[j];
+    binom = binom * static_cast<double>(d - j) / static_cast<double>(j + 1);
+  }
+  EXPECT_NEAR(p[d], rhs, 1e-12);
+}
+
+TEST(DecayFinite, BaseCases) {
+  EXPECT_DOUBLE_EQ(decay_success_probability(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(decay_success_probability(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(decay_success_probability(1, 2), 0.0);
+}
+
+TEST(DecayFinite, HandComputedSmallCases) {
+  // d=2, k=2: success iff exactly one of the two competitors survives the
+  // first coin flip: probability 1/2.
+  EXPECT_NEAR(decay_success_probability(2, 2), 0.5, 1e-12);
+  // d=2, k=3: fail needs A_1 in {0,2} and then A_2 != 1.
+  // Pr = 1/2 (A_1=1) + 1/4 * Pr[A_2=1 | A_1=2] = 1/2 + 1/4*1/2 = 5/8.
+  EXPECT_NEAR(decay_success_probability(3, 2), 0.625, 1e-12);
+}
+
+TEST(DecayFinite, MonotoneInK) {
+  for (const std::size_t d : {2U, 5U, 16U, 100U}) {
+    double prev = 0.0;
+    for (unsigned k = 1; k <= 30; ++k) {
+      const double p = decay_success_probability(k, d);
+      EXPECT_GE(p, prev - 1e-12) << "d=" << d << " k=" << k;
+      prev = p;
+    }
+  }
+}
+
+TEST(DecayFinite, ConvergesToLimit) {
+  for (const std::size_t d : {2U, 4U, 10U}) {
+    const double lim = decay_limit_probability(d);
+    const double p60 = decay_success_probability(60, d);
+    EXPECT_NEAR(p60, lim, 1e-6) << "d=" << d;
+    EXPECT_LE(p60, lim + 1e-12);
+  }
+}
+
+TEST(DecayFinite, Theorem1PartII) {
+  // Theorem 1(ii): P(k,d) > 1/2 for k >= 2 log2 d. At the exact boundary
+  // d = 2, k = 2 the DP value is exactly 1/2 (the paper's "by Time=k"
+  // convention reads as one extra observation slot; see EXPERIMENTS.md);
+  // every other case is strictly above.
+  for (std::size_t d = 2; d <= 1024; d *= 2) {
+    const unsigned k = 2 * ceil_log2(d);
+    const double p = decay_success_probability(k, d);
+    if (d == 2) {
+      EXPECT_NEAR(p, 0.5, 1e-12);
+    } else {
+      EXPECT_GT(p, 0.5) << "d=" << d << " k=" << k;
+    }
+  }
+  // Non-power-of-two d (k strictly exceeds 2 log2 d): strictly better.
+  for (const std::size_t d : {3U, 5U, 9U, 33U, 100U, 1000U}) {
+    const unsigned k = 2 * ceil_log2(d);
+    EXPECT_GT(decay_success_probability(k, d), 0.5) << "d=" << d;
+  }
+}
+
+TEST(DecayFinite, VectorVersionConsistent) {
+  const unsigned k = 8;
+  const auto all = decay_success_probabilities(k, 32);
+  for (const std::size_t d : {0U, 1U, 2U, 7U, 32U}) {
+    EXPECT_DOUBLE_EQ(all[d], decay_success_probability(k, d));
+  }
+}
+
+TEST(DecayFinite, LargeDNoUnderflowBlowup) {
+  // Exercises the renormalizing binomial path (0.5^4096 underflows).
+  const double p = decay_success_probability(24, 4096);
+  EXPECT_GT(p, 0.5);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(DecayBiased, ContinueZeroMeansOneShot) {
+  // cont = 0: everybody stops after one transmission; success iff d == 1.
+  EXPECT_DOUBLE_EQ(decay_success_probability(5, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(decay_success_probability(5, 1, 0.0), 1.0);
+}
+
+TEST(DecayBiased, ContinueOneNeverResolves) {
+  // cont = 1: nobody ever stops; d >= 2 never resolves.
+  EXPECT_DOUBLE_EQ(decay_success_probability(50, 4, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(decay_limit_probability(4, 1.0), 0.0);
+}
+
+TEST(DecayBiased, FairCoinWinsAtTheProtocolHorizon) {
+  // Hofri [H87] studied other biases. Within the protocol's window
+  // k = 2 log2 d the fair coin beats strong biases in either direction:
+  // dying too fast rarely passes through 1; dying too slowly does not get
+  // there within k slots.
+  const std::size_t d = 64;
+  const unsigned k = 2 * ceil_log2(d);
+  const double fair = decay_success_probability(k, d, 0.5);
+  EXPECT_GT(fair, decay_success_probability(k, d, 0.15));
+  EXPECT_GT(fair, decay_success_probability(k, d, 0.9));
+}
+
+TEST(DecayBiased, SlowDecayWinsOnlyWithUnboundedTime) {
+  // The flip side of the ablation: with no time bound, a stickier coin
+  // (higher continue probability) has a *higher* limit success
+  // probability — the active-count chain moves slower and is more likely
+  // to pass through 1 — but it is useless at the protocol's horizon.
+  const std::size_t d = 64;
+  EXPECT_GT(decay_limit_probability(d, 0.9), decay_limit_probability(d, 0.5));
+  const unsigned k = 2 * ceil_log2(d);
+  EXPECT_LT(decay_success_probability(k, d, 0.9),
+            decay_success_probability(k, d, 0.5));
+}
+
+TEST(DecayAnalysis, RejectsBadCont) {
+  EXPECT_THROW(decay_success_probability(3, 2, -0.1),
+               radiocast::ContractViolation);
+  EXPECT_THROW(decay_limit_probability(2, 1.5),
+               radiocast::ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::stats

@@ -1,0 +1,149 @@
+#include "radiocast/proto/dfs_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+TEST(DfsBroadcast, SingleNodeFinishesImmediately) {
+  const auto out = harness::run_dfs_broadcast(graph::path(1), 0, 10);
+  EXPECT_TRUE(out.all_heard);             // vacuous: no non-source nodes
+  EXPECT_EQ(out.completion_slot, 0U);     // vacuously complete at slot 0
+  EXPECT_EQ(out.transmissions, 0U);
+}
+
+TEST(DfsBroadcast, TwoNodes) {
+  const auto out = harness::run_dfs_broadcast(graph::path(2), 0, 10);
+  EXPECT_TRUE(out.all_heard);
+  EXPECT_EQ(out.completion_slot, 0U);
+  EXPECT_LE(out.slots_run, 4U);  // 2n = 4
+}
+
+TEST(DfsBroadcast, PathCompletesWithin2n) {
+  for (const std::size_t n : {3U, 5U, 10U, 25U}) {
+    const auto out =
+        harness::run_dfs_broadcast(graph::path(n), 0, 4 * n);
+    EXPECT_TRUE(out.all_heard) << "n=" << n;
+    EXPECT_LE(out.slots_run, 2 * n) << "n=" << n;
+  }
+}
+
+TEST(DfsBroadcast, CliqueCompletesWithin2n) {
+  const std::size_t n = 12;
+  const auto out = harness::run_dfs_broadcast(graph::clique(n), 0, 4 * n);
+  EXPECT_TRUE(out.all_heard);
+  EXPECT_LE(out.slots_run, 2 * n);
+  // In a clique one forward transmission informs everyone.
+  EXPECT_EQ(out.completion_slot, 0U);
+}
+
+TEST(DfsBroadcast, GridFromCorner) {
+  const auto g = graph::grid(5, 6);
+  const auto out = harness::run_dfs_broadcast(g, 0, 4 * g.node_count());
+  EXPECT_TRUE(out.all_heard);
+  EXPECT_LE(out.slots_run, 2 * g.node_count());
+}
+
+TEST(DfsBroadcast, RandomGraphsAlwaysWithin2n) {
+  rng::Rng topo(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = graph::connected_gnp(40, 0.08, topo);
+    const auto out = harness::run_dfs_broadcast(g, 0, 4 * g.node_count());
+    EXPECT_TRUE(out.all_heard);
+    EXPECT_LE(out.slots_run, 2 * g.node_count());
+  }
+}
+
+TEST(DfsBroadcast, TreesTakeNearly2n) {
+  // On a path from an end, DFS must walk down and back: ~2n slots. This is
+  // the worst case that makes the deterministic bound tight.
+  const std::size_t n = 30;
+  const auto out = harness::run_dfs_broadcast(graph::path(n), 0, 4 * n);
+  EXPECT_TRUE(out.all_heard);
+  EXPECT_GE(out.slots_run, n);  // definitely linear
+}
+
+TEST(DfsBroadcast, NeverCollides) {
+  // Only the token holder transmits: the trace must show zero collisions.
+  rng::Rng topo(4);
+  const auto g = graph::connected_gnp(30, 0.15, topo);
+  sim::Simulator s(g, sim::SimOptions{});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      sim::Message m;
+      m.origin = 0;
+      s.emplace_protocol<DfsBroadcast>(v, m);
+    } else {
+      s.emplace_protocol<DfsBroadcast>(v);
+    }
+  }
+  s.run_until(
+      [](const sim::Simulator& sim) {
+        return sim.protocol_as<DfsBroadcast>(0).traversal_complete();
+      },
+      static_cast<Slot>(4 * g.node_count()));
+  EXPECT_EQ(s.trace().total_collisions(), 0U);
+  // And at most one transmitter per slot (transmissions == slots used with
+  // a transmitter): total transmissions <= slots run.
+  EXPECT_LE(s.trace().total_transmissions(), s.now());
+}
+
+TEST(DfsBroadcast, SourceReportsTraversalComplete) {
+  const auto g = graph::cycle(8);
+  sim::Simulator s(g, sim::SimOptions{});
+  sim::Message m;
+  m.origin = 0;
+  auto& source = s.emplace_protocol<DfsBroadcast>(0, m);
+  for (NodeId v = 1; v < 8; ++v) {
+    s.emplace_protocol<DfsBroadcast>(v);
+  }
+  EXPECT_FALSE(source.traversal_complete());
+  for (int i = 0; i < 32; ++i) {
+    s.step();
+  }
+  EXPECT_TRUE(source.traversal_complete());
+}
+
+TEST(DfsBroadcast, PayloadSurvivesTheTraversal) {
+  const auto g = graph::path(5);
+  sim::Simulator s(g, sim::SimOptions{});
+  sim::Message m;
+  m.origin = 0;
+  m.data = {0xABCD, 0x1234};
+  s.emplace_protocol<DfsBroadcast>(0, m);
+  for (NodeId v = 1; v < 5; ++v) {
+    s.emplace_protocol<DfsBroadcast>(v);
+  }
+  for (int i = 0; i < 20; ++i) {
+    s.step();
+  }
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_TRUE(s.protocol_as<DfsBroadcast>(v).informed()) << "node " << v;
+  }
+}
+
+TEST(DfsBroadcast, WorksOnCnWorstCase) {
+  // On C_n the DFS pays Θ(n) even though the diameter is 3 — the behaviour
+  // Theorem 12 says is unavoidable for deterministic protocols.
+  const std::size_t n = 20;
+  const NodeId s_members[] = {static_cast<NodeId>(n)};  // sink behind node n
+  const auto net = graph::make_cn(n, s_members);
+  const auto out =
+      harness::run_dfs_broadcast(net.g, net.source, 8 * (n + 2));
+  EXPECT_TRUE(out.all_heard);
+  EXPECT_GE(out.completion_slot, n - 2);  // had to walk most of layer 2
+}
+
+TEST(DfsBroadcast, RequiresSymmetricNetwork) {
+  graph::Graph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  EXPECT_THROW(harness::run_dfs_broadcast(g, 0, 100), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::proto

@@ -1,0 +1,135 @@
+#include "radiocast/sim/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/sim/network.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push({5, EventKind::kAddEdge, 0, 1});
+  q.push({2, EventKind::kRemoveEdge, 1, 2});
+  q.push({2, EventKind::kCrashNode, 3, kNoNode});
+  EXPECT_EQ(q.pending(), 3U);
+  const auto due2 = q.pop_due(2);
+  ASSERT_EQ(due2.size(), 2U);
+  EXPECT_EQ(due2[0].kind, EventKind::kRemoveEdge);  // insertion order kept
+  EXPECT_EQ(due2[1].kind, EventKind::kCrashNode);
+  EXPECT_TRUE(q.pop_due(4).empty());
+  const auto due5 = q.pop_due(5);
+  ASSERT_EQ(due5.size(), 1U);
+  EXPECT_EQ(due5[0].at, 5U);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.push({5, EventKind::kAddEdge, 0, 1});
+  (void)q.pop_due(5);
+  EXPECT_THROW(q.push({3, EventKind::kAddEdge, 0, 2}), ContractViolation);
+}
+
+TEST(Network, ApplyEdgeEvents) {
+  Network net(graph::path(3));
+  net.schedule({1, EventKind::kRemoveEdge, 0, 1});
+  net.schedule({2, EventKind::kAddEdge, 0, 2});
+  EXPECT_EQ(net.apply_due_events(0), 0U);
+  EXPECT_TRUE(net.topology().has_edge(0, 1));
+  EXPECT_EQ(net.apply_due_events(1), 1U);
+  EXPECT_FALSE(net.topology().has_edge(0, 1));
+  EXPECT_EQ(net.apply_due_events(2), 1U);
+  EXPECT_TRUE(net.topology().has_edge(0, 2));
+}
+
+TEST(Network, ApplyArcEvents) {
+  Network net(graph::Graph(3));
+  net.schedule({0, EventKind::kAddArc, 0, 1});
+  net.apply_due_events(0);
+  EXPECT_TRUE(net.topology().has_arc(0, 1));
+  EXPECT_FALSE(net.topology().has_arc(1, 0));
+  net.schedule({1, EventKind::kRemoveArc, 0, 1});
+  net.apply_due_events(1);
+  EXPECT_EQ(net.topology().arc_count(), 0U);
+}
+
+TEST(Network, CrashAndRevive) {
+  Network net(graph::path(3));
+  EXPECT_EQ(net.alive_count(), 3U);
+  net.schedule({0, EventKind::kCrashNode, 1, kNoNode});
+  net.schedule({4, EventKind::kReviveNode, 1, kNoNode});
+  net.apply_due_events(0);
+  EXPECT_FALSE(net.is_alive(1));
+  EXPECT_EQ(net.alive_count(), 2U);
+  net.apply_due_events(4);
+  EXPECT_TRUE(net.is_alive(1));
+}
+
+TEST(Network, CrashIsIdempotent) {
+  Network net(graph::path(2));
+  net.crash(0);
+  net.crash(0);
+  EXPECT_EQ(net.alive_count(), 1U);
+  net.revive(0);
+  net.revive(0);
+  EXPECT_EQ(net.alive_count(), 2U);
+}
+
+/// Transmits every slot.
+class Beacon final : public Protocol {
+ public:
+  Action on_slot(NodeContext& ctx) override {
+    Message m;
+    m.origin = ctx.id();
+    return Action::transmit(m);
+  }
+};
+
+class Listener final : public Protocol {
+ public:
+  Action on_slot(NodeContext&) override { return Action::receive(); }
+  void on_receive(NodeContext&, const Message&) override { ++received; }
+  int received = 0;
+};
+
+TEST(SimulatorEvents, EdgeRemovalTakesEffectAtItsSlot) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  auto& listener = s.emplace_protocol<Listener>(1);
+  s.network().schedule({2, EventKind::kRemoveEdge, 0, 1});
+  for (int i = 0; i < 4; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(listener.received, 2);  // slots 0, 1 only
+}
+
+TEST(SimulatorEvents, EdgeAdditionEnablesDelivery) {
+  Simulator s(graph::Graph(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  auto& listener = s.emplace_protocol<Listener>(1);
+  s.network().schedule({3, EventKind::kAddEdge, 0, 1});
+  for (int i = 0; i < 5; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(listener.received, 2);  // slots 3, 4
+}
+
+TEST(SimulatorEvents, CrashSilencesTransmitter) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  auto& listener = s.emplace_protocol<Listener>(1);
+  s.network().schedule({1, EventKind::kCrashNode, 0, kNoNode});
+  s.network().schedule({3, EventKind::kReviveNode, 0, kNoNode});
+  for (int i = 0; i < 4; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(listener.received, 2);  // slots 0 and 3
+}
+
+}  // namespace
+}  // namespace radiocast::sim

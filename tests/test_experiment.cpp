@@ -1,0 +1,125 @@
+// Unit coverage for the harness trial runners themselves (the benches lean
+// on them, so their observables must be trustworthy).
+#include "radiocast/harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/proto/broadcast.hpp"
+
+namespace radiocast::harness {
+namespace {
+
+proto::BroadcastParams params_for(const graph::Graph& g, double eps = 0.1) {
+  return proto::BroadcastParams{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = eps,
+      .stop_probability = 0.5,
+  };
+}
+
+TEST(RunBgiBroadcast, RequiresAnInitiator) {
+  const graph::Graph g = graph::path(3);
+  EXPECT_THROW(
+      run_bgi_broadcast(g, {}, params_for(g), 1, 1000),
+      ContractViolation);
+}
+
+TEST(RunBgiBroadcast, OutcomeFieldsConsistent) {
+  const graph::Graph g = graph::path(5);
+  const NodeId sources[] = {0};
+  const auto out = run_bgi_broadcast(g, sources, params_for(g), 3, 100000);
+  if (out.all_informed) {
+    EXPECT_NE(out.completion_slot, kNever);
+    EXPECT_LE(out.completion_slot, out.slots_run);
+    EXPECT_GT(out.transmissions, 0U);
+  } else {
+    EXPECT_EQ(out.completion_slot, kNever);
+  }
+}
+
+TEST(RunBgiBroadcast, SingleNodeGraphIsTriviallyComplete) {
+  const graph::Graph g(1);
+  const NodeId sources[] = {0};
+  const auto out = run_bgi_broadcast(g, sources, params_for(g), 1, 1000);
+  EXPECT_TRUE(out.all_informed);
+  EXPECT_EQ(out.completion_slot, 0U);
+}
+
+TEST(RunBgiBroadcast, DisconnectedTargetEndsByActivityDeath) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);  // node 2, 3 unreachable
+  const NodeId sources[] = {0};
+  const auto out = run_bgi_broadcast(g, sources, params_for(g), 1, 1 << 20);
+  EXPECT_FALSE(out.all_informed);
+  EXPECT_LT(out.slots_run, Slot{1} << 20);  // stopped early, not timeout
+}
+
+TEST(RunBgiBroadcast, HonorsMaxSlots) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const NodeId sources[] = {0};
+  const auto out = run_bgi_broadcast(g, sources, params_for(g), 1, 2);
+  EXPECT_EQ(out.slots_run, 2U);
+}
+
+TEST(RunToTermination, RunsLongerAndTransmitsMore) {
+  const graph::Graph g = graph::clique(12);
+  const NodeId sources[] = {0};
+  const auto params = params_for(g);
+  const auto quick = run_bgi_broadcast(g, sources, params, 9, 1 << 20);
+  const auto full =
+      run_bgi_broadcast_to_termination(g, sources, params, 9, 1 << 20);
+  ASSERT_TRUE(quick.all_informed);
+  ASSERT_TRUE(full.all_informed);
+  // Same seed: identical dynamics, but the full run keeps going until all
+  // t phases are spent.
+  EXPECT_EQ(quick.completion_slot, full.completion_slot);
+  EXPECT_GE(full.slots_run, quick.slots_run);
+  EXPECT_GE(full.transmissions, quick.transmissions);
+  // After termination every node performed its full phase budget.
+  const double expected_min =
+      static_cast<double>(g.node_count()) * params.repetitions();
+  EXPECT_GE(static_cast<double>(full.transmissions), expected_min);
+}
+
+TEST(RunBgiBfs, OutcomeFieldsConsistent) {
+  const graph::Graph g = graph::grid(3, 3);
+  const auto out = run_bgi_bfs(g, 0, params_for(g, 0.05), 4, 1 << 22);
+  EXPECT_EQ(out.node_count, 9U);
+  EXPECT_LE(out.correct_labels, out.node_count);
+  if (out.labels_correct) {
+    EXPECT_EQ(out.correct_labels, out.node_count);
+    EXPECT_TRUE(out.all_informed);
+  }
+}
+
+TEST(RunDfs, TransmissionsMatchTokenMoves) {
+  const graph::Graph g = graph::path(7);
+  const auto out = run_dfs_broadcast(g, 0, 100);
+  ASSERT_TRUE(out.all_heard);
+  // Token protocol: one transmission per slot, except the final slot in
+  // which the source discovers it is done and stays silent.
+  EXPECT_EQ(out.transmissions + 1, out.slots_run);
+}
+
+TEST(RunRoundRobin, SlotOrderDeterminesSpeed) {
+  // Round-robin is id-ordered, so on a path from node 0 the frontier
+  // rides the schedule (node t transmits in slot t: done at slot n-2),
+  // while the descending direction waits a full round per hop.
+  const graph::Graph g = graph::path(9);
+  const auto ascending = run_round_robin(g, 0, 1000);
+  const auto from_mid = run_round_robin(g, 4, 1000);
+  ASSERT_TRUE(ascending.all_heard);
+  ASSERT_TRUE(from_mid.all_heard);
+  EXPECT_EQ(ascending.completion_slot, 7U);
+  const auto d = graph::diameter(g);
+  EXPECT_LE(from_mid.completion_slot, g.node_count() * (d + 1));
+  EXPECT_GT(from_mid.completion_slot, ascending.completion_slot);
+}
+
+}  // namespace
+}  // namespace radiocast::harness

@@ -1,0 +1,133 @@
+#include "radiocast/graph/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "radiocast/graph/algorithms.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(CnFamily, Structure) {
+  const NodeId s[] = {2, 5};
+  const CnNetwork net = make_cn(6, s);
+  EXPECT_EQ(net.n(), 6U);
+  EXPECT_EQ(net.g.node_count(), 8U);
+  EXPECT_EQ(net.source, 0U);
+  EXPECT_EQ(net.sink, 7U);
+  // Source connected to the entire second layer.
+  for (NodeId i = 1; i <= 6; ++i) {
+    EXPECT_TRUE(net.g.has_edge(0, i));
+  }
+  // Sink connected exactly to S.
+  EXPECT_TRUE(net.g.has_edge(2, 7));
+  EXPECT_TRUE(net.g.has_edge(5, 7));
+  EXPECT_EQ(net.g.in_degree(7), 2U);
+  // No source-sink edge, no intra-layer edges.
+  EXPECT_FALSE(net.g.has_edge(0, 7));
+  EXPECT_FALSE(net.g.has_edge(1, 2));
+}
+
+TEST(CnFamily, DiameterIsAtMostThree) {
+  const NodeId s[] = {1};
+  EXPECT_EQ(diameter(make_cn(5, s).g), 3U);
+  const NodeId all[] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(diameter(make_cn(5, all).g), 2U);
+}
+
+TEST(CnFamily, UnsortedInputIsSorted) {
+  const NodeId s[] = {4, 1, 3};
+  const CnNetwork net = make_cn(5, s);
+  EXPECT_TRUE(std::ranges::is_sorted(net.s));
+  EXPECT_EQ(net.s.size(), 3U);
+}
+
+TEST(CnFamily, RejectsBadS) {
+  const std::vector<NodeId> empty;
+  EXPECT_THROW(make_cn(5, empty), ContractViolation);
+  const NodeId zero[] = {0};
+  EXPECT_THROW(make_cn(5, zero), ContractViolation);
+  const NodeId big[] = {6};
+  EXPECT_THROW(make_cn(5, big), ContractViolation);
+  const NodeId dup[] = {2, 2};
+  EXPECT_THROW(make_cn(5, dup), ContractViolation);
+}
+
+TEST(CnFamily, RandomSIsValid) {
+  rng::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const CnNetwork net = make_cn_random(10, rng);
+    EXPECT_FALSE(net.s.empty());
+    EXPECT_GE(net.s.front(), 1U);
+    EXPECT_LE(net.s.back(), 10U);
+  }
+}
+
+TEST(CnStarFamily, Structure) {
+  const NodeId s[] = {1, 3};
+  const NodeId r[] = {5, 6, 8};
+  const CnStarNetwork net = make_cn_star(4, s, r);
+  EXPECT_EQ(net.n(), 4U);
+  EXPECT_EQ(net.g.node_count(), 9U);
+  for (NodeId i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(net.g.has_edge(0, i));
+  }
+  for (const NodeId i : net.s) {
+    for (const NodeId j : net.sinks) {
+      EXPECT_TRUE(net.g.has_edge(i, j));
+    }
+  }
+  // Non-S second layer not connected to sinks.
+  EXPECT_FALSE(net.g.has_edge(2, 5));
+  // Sink 7 not in R: isolated.
+  EXPECT_EQ(net.g.in_degree(7), 0U);
+}
+
+TEST(CnStarFamily, RejectsBadRanges) {
+  const NodeId s[] = {1};
+  const NodeId r_low[] = {4};  // must be >= n+1 = 5
+  EXPECT_THROW(make_cn_star(4, s, r_low), ContractViolation);
+  const NodeId r_ok[] = {5};
+  const NodeId s_high[] = {5};
+  EXPECT_THROW(make_cn_star(4, s_high, r_ok), ContractViolation);
+}
+
+TEST(CnStarFamily, RandomInstance) {
+  rng::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const CnStarNetwork net = make_cn_star_random(8, rng);
+    EXPECT_FALSE(net.s.empty());
+    EXPECT_FALSE(net.sinks.empty());
+    EXPECT_GE(net.sinks.front(), 9U);
+    EXPECT_LE(net.sinks.back(), 16U);
+  }
+}
+
+TEST(Subsets, RandomNonemptySubsetBounds) {
+  rng::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = random_nonempty_subset(3, 9, rng);
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(std::ranges::is_sorted(s));
+    EXPECT_GE(s.front(), 3U);
+    EXPECT_LE(s.back(), 9U);
+  }
+}
+
+TEST(Subsets, SingletonRange) {
+  rng::Rng rng(4);
+  const auto s = random_nonempty_subset(5, 5, rng);
+  ASSERT_EQ(s.size(), 1U);
+  EXPECT_EQ(s[0], 5U);
+}
+
+TEST(Subsets, FromMask) {
+  const auto s = subset_from_mask(6, 0b101001);
+  const std::vector<NodeId> expected{1, 4, 6};
+  EXPECT_EQ(s, expected);
+  EXPECT_TRUE(subset_from_mask(6, 0).empty());
+}
+
+}  // namespace
+}  // namespace radiocast::graph

@@ -1,0 +1,176 @@
+#include "radiocast/lb/find_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::lb {
+namespace {
+
+TEST(FindSet, NoMovesKeepsFullUniverse) {
+  const auto s = find_foiling_set(5, {});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, (std::vector<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(FindSet, NonSingletonMovesNeedNoRemovals) {
+  // With S = {1..n}: every |M ∩ S| = |M| >= 2 and |M ∩ S̄| = 0 — already
+  // consistent, so find_set removes nothing.
+  const std::vector<Move> moves{{1, 2}, {3, 4, 5}, {1, 5}};
+  const auto s = find_foiling_set(5, moves);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->size(), 5U);
+  EXPECT_TRUE(is_foiling_set(5, *s, moves));
+}
+
+TEST(FindSet, SingletonMoveIsExpelled) {
+  const std::vector<Move> moves{{3}};
+  const auto s = find_foiling_set(5, moves);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(is_foiling_set(5, *s, moves));
+  EXPECT_EQ(std::ranges::count(*s, 3U), 0);
+}
+
+TEST(FindSet, PairLosingOneElementLosesASecond) {
+  // {3} expels 3; then {3,4} ∩ S̄ = {3} is a singleton, so one more member
+  // of {3,4} (namely 4) must go, leaving |{3,4} ∩ S̄| = 2.
+  const std::vector<Move> moves{{3}, {3, 4}};
+  const auto s = find_foiling_set(5, moves);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(is_foiling_set(5, *s, moves));
+  EXPECT_EQ(std::ranges::count(*s, 3U), 0);
+  EXPECT_EQ(std::ranges::count(*s, 4U), 0);
+  EXPECT_EQ(s->size(), 3U);
+}
+
+TEST(FindSet, CascadingRemovals) {
+  // {1}, then {1,2} drops 2, then {2,3} has a singleton S̄-intersection...
+  const std::vector<Move> moves{{1}, {1, 2}, {2, 3}, {3, 4}};
+  const auto s = find_foiling_set(9, moves);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(is_foiling_set(9, *s, moves));
+  EXPECT_FALSE(s->empty());
+}
+
+TEST(FindSet, ScanStrategySequence) {
+  // The singleton scan {1},{2},...,{t}: each is expelled; with t = n/2 the
+  // set S = {t+1..n} remains and answers are all "non-member revealed".
+  const std::size_t n = 12;
+  std::vector<Move> moves;
+  for (NodeId x = 1; x <= n / 2; ++x) {
+    moves.push_back({x});
+  }
+  const auto s = find_foiling_set(n, moves);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, (std::vector<NodeId>{7, 8, 9, 10, 11, 12}));
+  EXPECT_TRUE(is_foiling_set(n, *s, moves));
+}
+
+TEST(FindSet, Lemma10NonEmptyForHalfNMoves) {
+  // Lemma 10: any t <= n/2 moves leave a non-empty S. Adversarial-ish
+  // random move sets, many trials.
+  rng::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 6 + rng.uniform(20);
+    const std::size_t t = n / 2;
+    std::vector<Move> moves;
+    for (std::size_t i = 0; i < t; ++i) {
+      // Geometric sizes biased toward singletons — the worst inputs.
+      const std::size_t size =
+          1 + std::min<std::size_t>(rng.geometric(0.6), n - 1);
+      Move m;
+      while (m.size() < size) {
+        m.push_back(static_cast<NodeId>(1 + rng.uniform(n)));
+      }
+      moves.push_back(normalize_move(std::move(m), n));
+    }
+    const auto s = find_foiling_set(n, moves);
+    ASSERT_TRUE(s.has_value()) << "n=" << n << " trial=" << trial;
+    EXPECT_FALSE(s->empty());
+    EXPECT_TRUE(is_foiling_set(n, *s, moves)) << "n=" << n;
+  }
+}
+
+TEST(FindSet, AllSingletonsPastHalfCanExhaust) {
+  // n singleton moves covering the whole universe force S empty — the
+  // procedure reports failure (only possible when t > n/2).
+  const std::size_t n = 4;
+  std::vector<Move> moves;
+  for (NodeId x = 1; x <= n; ++x) {
+    moves.push_back({x});
+  }
+  EXPECT_FALSE(find_foiling_set(n, moves).has_value());
+}
+
+TEST(FindSet, DuplicateMovesAreHarmless) {
+  const std::vector<Move> moves{{2}, {2}, {2}};
+  const auto s = find_foiling_set(5, moves);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(is_foiling_set(5, *s, moves));
+  EXPECT_EQ(s->size(), 4U);
+}
+
+TEST(FindSet, EmptyMovesAreIgnored) {
+  const std::vector<Move> moves{{}, {1, 2}, {}};
+  const auto s = find_foiling_set(4, moves);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->size(), 4U);
+}
+
+TEST(IsFoilingSet, DetectsCondition1Violation) {
+  const std::vector<Move> moves{{1, 2}};
+  const std::vector<NodeId> s{2, 3};  // {1,2} ∩ S = {2}: singleton
+  EXPECT_FALSE(is_foiling_set(4, s, moves));
+}
+
+TEST(IsFoilingSet, DetectsCondition2Violation) {
+  const std::vector<Move> moves{{1, 2, 3}};
+  const std::vector<NodeId> s{2, 3};  // M ∩ S̄ = {1}: singleton, |M| > 1
+  EXPECT_FALSE(is_foiling_set(4, s, moves));
+}
+
+TEST(IsFoilingSet, SingletonMoveMustBeOutside) {
+  const std::vector<Move> moves{{2}};
+  const std::vector<NodeId> in{2};     // M ∩ S = {2}: violates (1)
+  const std::vector<NodeId> out{3};    // M ∩ S̄ = {2}: exactly right
+  EXPECT_FALSE(is_foiling_set(4, in, moves));
+  EXPECT_TRUE(is_foiling_set(4, out, moves));
+}
+
+TEST(PredeterminedAnswer, MatchesLemma9Rule) {
+  EXPECT_EQ(predetermined_answer({4}).kind,
+            RefereeAnswer::Kind::kComplement);
+  EXPECT_EQ(predetermined_answer({4}).revealed, 4U);
+  EXPECT_EQ(predetermined_answer({1, 2}).kind, RefereeAnswer::Kind::kSilent);
+  EXPECT_EQ(predetermined_answer({}).kind, RefereeAnswer::Kind::kSilent);
+}
+
+TEST(FindSet, AnswersUnderFoilingSetMatchPredetermined) {
+  // The whole point of Lemma 9: under the constructed S, the real referee
+  // gives exactly the predetermined answers.
+  rng::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 8 + rng.uniform(12);
+    std::vector<Move> moves;
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const std::size_t size = 1 + rng.uniform(4);
+      Move m;
+      for (std::size_t j = 0; j < size; ++j) {
+        m.push_back(static_cast<NodeId>(1 + rng.uniform(n)));
+      }
+      moves.push_back(normalize_move(std::move(m), n));
+    }
+    const auto s = find_foiling_set(n, moves);
+    ASSERT_TRUE(s.has_value());
+    const HittingGame game(n, *s);
+    for (const Move& m : moves) {
+      EXPECT_EQ(game.answer(m), predetermined_answer(m));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::lb

@@ -1,0 +1,167 @@
+#include "radiocast/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radiocast/graph/algorithms.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.node_count(), 5U);
+  EXPECT_EQ(g.arc_count(), 8U);  // 4 edges
+  EXPECT_EQ(diameter(g), 4U);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Generators, PathSingleNode) {
+  const Graph g = path(1);
+  EXPECT_EQ(g.arc_count(), 0U);
+  EXPECT_EQ(diameter(g), 0U);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle(6);
+  EXPECT_EQ(g.arc_count(), 12U);
+  EXPECT_EQ(diameter(g), 3U);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.out_degree(v), 2U);
+  }
+}
+
+TEST(Generators, CycleRejectsTiny) {
+  EXPECT_THROW(cycle(2), ContractViolation);
+}
+
+TEST(Generators, Star) {
+  const Graph g = star(10);
+  EXPECT_EQ(g.in_degree(0), 9U);
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1U);
+    EXPECT_TRUE(g.has_edge(0, v));
+  }
+  EXPECT_EQ(diameter(g), 2U);
+}
+
+TEST(Generators, Clique) {
+  const Graph g = clique(6);
+  EXPECT_EQ(g.arc_count(), 30U);
+  EXPECT_EQ(diameter(g), 1U);
+  EXPECT_EQ(g.max_in_degree(), 5U);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.node_count(), 7U);
+  EXPECT_EQ(g.arc_count(), 24U);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_EQ(diameter(g), 2U);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12U);
+  // edges: 3*3 horizontal + 2*4 vertical = 17
+  EXPECT_EQ(g.arc_count(), 34U);
+  EXPECT_EQ(diameter(g), 5U);  // (3-1)+(4-1)
+  EXPECT_EQ(g.max_in_degree(), 4U);
+}
+
+TEST(Generators, GridDegenerate) {
+  const Graph g = grid(1, 5);
+  EXPECT_EQ(diameter(g), 4U);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.node_count(), 16U);
+  EXPECT_EQ(g.arc_count(), 16U * 4U);
+  EXPECT_EQ(diameter(g), 4U);
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(g.out_degree(v), 4U);
+  }
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  rng::Rng rng(1);
+  for (const std::size_t n : {1U, 2U, 3U, 10U, 57U, 200U}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.arc_count(), 2 * (n - (n > 0 ? 1 : 0)));
+    EXPECT_TRUE(is_connected_undirected(g));
+  }
+}
+
+TEST(Generators, RandomTreeVaries) {
+  rng::Rng rng(2);
+  const Graph a = random_tree(30, rng);
+  const Graph b = random_tree(30, rng);
+  EXPECT_NE(a, b);  // same seed stream, consecutive draws differ
+}
+
+TEST(Generators, GnpDensity) {
+  rng::Rng rng(3);
+  const std::size_t n = 300;
+  const double p = 0.05;
+  const Graph g = gnp(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1));
+  // arc_count counts both directions: mean p*n*(n-1); allow 5 sigma.
+  const double sigma = std::sqrt(expected / 2.0) * 2.0;
+  EXPECT_NEAR(static_cast<double>(g.arc_count()), expected, 5 * sigma);
+}
+
+TEST(Generators, GnpEdgeCases) {
+  rng::Rng rng(4);
+  EXPECT_EQ(gnp(50, 0.0, rng).arc_count(), 0U);
+  EXPECT_EQ(gnp(10, 1.0, rng).arc_count(), 90U);
+}
+
+TEST(Generators, ConnectedGnpIsConnected) {
+  rng::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = connected_gnp(100, 0.005, rng);  // p well below log n / n
+    EXPECT_TRUE(is_connected_undirected(g));
+  }
+}
+
+TEST(Generators, RandomGeometricConnectedAndSymmetric) {
+  rng::Rng rng(6);
+  const Graph g = random_geometric(150, 0.12, rng);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(is_connected_undirected(g));
+}
+
+TEST(Generators, PathOfCliques) {
+  const Graph g = path_of_cliques(5, 4);
+  EXPECT_EQ(g.node_count(), 20U);
+  EXPECT_EQ(diameter(g), 4U);
+  // in-degree: own layer (3) + up to two adjacent layers (4+4).
+  EXPECT_EQ(g.max_in_degree(), 11U);
+}
+
+TEST(Generators, PathOfCliquesWidthOneIsPath) {
+  const Graph g = path_of_cliques(6, 1);
+  EXPECT_EQ(g, path(6));
+}
+
+TEST(Generators, RandomDigraphReachable) {
+  rng::Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = random_strongly_reachable_digraph(80, 40, rng);
+    EXPECT_TRUE(all_reachable_from(g, 0));
+    EXPECT_FALSE(g.is_symmetric());
+  }
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  rng::Rng a(42);
+  rng::Rng b(42);
+  EXPECT_EQ(connected_gnp(60, 0.1, a), connected_gnp(60, 0.1, b));
+}
+
+}  // namespace
+}  // namespace radiocast::graph

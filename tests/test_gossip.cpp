@@ -1,0 +1,158 @@
+#include "radiocast/proto/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+GossipParams params_for(const graph::Graph& g, double eps = 0.05) {
+  const auto d = graph::diameter(g);
+  return GossipParams{
+      BroadcastParams{
+          .network_size_bound = g.node_count(),
+          .degree_bound = g.max_in_degree(),
+          .epsilon = eps,
+          .stop_probability = 0.5,
+      },
+      std::max<std::size_t>(d, g.node_count() > 1 ? 1 : 0)};
+}
+
+struct GossipResult {
+  bool complete = false;         ///< everyone knows everything
+  std::size_t min_rumors = 0;
+  Slot last_learning_slot = 0;
+  Slot slots = 0;
+};
+
+GossipResult run_gossip(const graph::Graph& g, std::uint64_t seed) {
+  const auto params = params_for(g);
+  sim::Simulator s(g, sim::SimOptions{seed});
+  const std::size_t n = g.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    s.emplace_protocol<Gossip>(v, params);
+  }
+  s.run_to_quiescence(params.horizon() + 2);
+  GossipResult r;
+  r.slots = s.now();
+  r.complete = true;
+  r.min_rumors = n;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = s.protocol_as<Gossip>(v);
+    r.min_rumors = std::min(r.min_rumors, p.rumor_count());
+    r.last_learning_slot =
+        std::max(r.last_learning_slot, p.last_learned_at());
+    if (p.rumor_count() != n) {
+      r.complete = false;
+    }
+  }
+  return r;
+}
+
+TEST(Gossip, SingleNodeKnowsItself) {
+  const GossipResult r = run_gossip(graph::Graph(1), 1);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Gossip, TwoNodesExchange) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_TRUE(run_gossip(graph::path(2), seed).complete)
+        << "seed=" << seed;
+  }
+}
+
+TEST(Gossip, CompletesOnPath) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const GossipResult r = run_gossip(graph::path(12), seed);
+    EXPECT_TRUE(r.complete) << "seed=" << seed;
+  }
+}
+
+TEST(Gossip, CompletesOnGrid) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_TRUE(run_gossip(graph::grid(4, 5), seed).complete)
+        << "seed=" << seed;
+  }
+}
+
+TEST(Gossip, CompletesOnClique) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_TRUE(run_gossip(graph::clique(16), seed).complete)
+        << "seed=" << seed;
+  }
+}
+
+TEST(Gossip, MostRandomGraphsComplete) {
+  rng::Rng topo(3);
+  int complete = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const graph::Graph g = graph::connected_gnp(30, 0.12, topo);
+    complete += run_gossip(g, 100 + trial).complete ? 1 : 0;
+  }
+  EXPECT_GE(complete, trials * 8 / 10);
+}
+
+TEST(Gossip, RumorSetsAreMonotoneAndSound) {
+  // A node can only know rumors that exist, always knows its own, and
+  // set sizes never shrink over observation points.
+  const graph::Graph g = graph::cycle(10);
+  const auto params = params_for(g);
+  sim::Simulator s(g, sim::SimOptions{5});
+  for (NodeId v = 0; v < 10; ++v) {
+    s.emplace_protocol<Gossip>(v, params);
+  }
+  std::vector<std::size_t> previous(10, 0);
+  for (int checkpoint = 0; checkpoint < 10; ++checkpoint) {
+    for (Slot i = 0; i < params.horizon() / 10; ++i) {
+      s.step();
+    }
+    for (NodeId v = 0; v < 10; ++v) {
+      const auto& p = s.protocol_as<Gossip>(v);
+      EXPECT_TRUE(p.knows(v));
+      EXPECT_GE(p.rumor_count(), previous[v]);
+      previous[v] = p.rumor_count();
+      for (const NodeId rumor : p.rumors()) {
+        EXPECT_LT(rumor, 10U);
+      }
+    }
+  }
+}
+
+TEST(Gossip, QuiescentAfterHorizon) {
+  const graph::Graph g = graph::path(6);
+  const auto params = params_for(g);
+  sim::Simulator s(g, sim::SimOptions{7});
+  for (NodeId v = 0; v < 6; ++v) {
+    s.emplace_protocol<Gossip>(v, params);
+  }
+  for (Slot i = 0; i < params.horizon() + 1; ++i) {
+    s.step();
+  }
+  EXPECT_TRUE(s.all_terminated());
+  const auto tx_before = s.trace().total_transmissions();
+  for (int i = 0; i < 20; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(s.trace().total_transmissions(), tx_before);
+}
+
+TEST(Gossip, LearningFinishesWellBeforeTheHorizon) {
+  // The horizon is a safety budget; actual convergence is much earlier.
+  const graph::Graph g = graph::grid(4, 4);
+  const GossipResult r = run_gossip(g, 11);
+  ASSERT_TRUE(r.complete);
+  EXPECT_LT(r.last_learning_slot, params_for(g).horizon() / 2);
+}
+
+TEST(Gossip, RejectsZeroDiameterBoundOnMultiNode) {
+  GossipParams params = params_for(graph::path(4));
+  params.diameter_bound = 0;
+  EXPECT_THROW(Gossip{params}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::proto

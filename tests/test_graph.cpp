@@ -1,0 +1,127 @@
+#include "radiocast/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(5);
+  EXPECT_EQ(g.node_count(), 5U);
+  EXPECT_EQ(g.arc_count(), 0U);
+  EXPECT_EQ(g.max_in_degree(), 0U);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Graph, AddArcIsDirected) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_FALSE(g.is_symmetric());
+  EXPECT_EQ(g.arc_count(), 1U);
+}
+
+TEST(Graph, AddArcDuplicateReturnsFalse) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_arc(0, 1));
+  EXPECT_FALSE(g.add_arc(0, 1));
+  EXPECT_EQ(g.arc_count(), 1U);
+}
+
+TEST(Graph, AddEdgeAddsBothArcs) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 2));
+  EXPECT_TRUE(g.has_arc(0, 2));
+  EXPECT_TRUE(g.has_arc(2, 0));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.arc_count(), 2U);
+}
+
+TEST(Graph, RemoveArc) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.remove_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+  EXPECT_FALSE(g.remove_arc(0, 1));
+  EXPECT_EQ(g.arc_count(), 1U);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(4);
+  g.add_edge(1, 3);
+  EXPECT_TRUE(g.remove_edge(1, 3));
+  EXPECT_EQ(g.arc_count(), 0U);
+  EXPECT_FALSE(g.remove_edge(1, 3));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph g(6);
+  g.add_arc(0, 4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 3);
+  const auto nbrs = g.out_neighbors(0);
+  const std::vector<NodeId> expected{1, 3, 4};
+  EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), expected.begin(),
+                         expected.end()));
+}
+
+TEST(Graph, InNeighborsTrackReverseDirection) {
+  Graph g(4);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  g.add_arc(0, 3);
+  const auto in = g.in_neighbors(0);
+  ASSERT_EQ(in.size(), 2U);
+  EXPECT_EQ(in[0], 1U);
+  EXPECT_EQ(in[1], 2U);
+  EXPECT_EQ(g.in_degree(3), 1U);
+  EXPECT_EQ(g.out_degree(0), 1U);
+}
+
+TEST(Graph, MaxInDegree) {
+  Graph g(5);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  g.add_arc(3, 0);
+  g.add_arc(0, 4);
+  EXPECT_EQ(g.max_in_degree(), 3U);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(3);
+  EXPECT_THROW(g.add_arc(1, 1), ContractViolation);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_arc(0, 3), ContractViolation);
+  EXPECT_THROW((void)g.has_arc(5, 0), ContractViolation);
+  EXPECT_THROW((void)g.out_neighbors(3), ContractViolation);
+}
+
+TEST(Graph, EqualityComparesStructure) {
+  Graph a(3);
+  Graph b(3);
+  a.add_edge(0, 1);
+  EXPECT_NE(a, b);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Graph, RemoveThenReAdd) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.remove_edge(0, 1);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+}  // namespace
+}  // namespace radiocast::graph

@@ -1,0 +1,126 @@
+#include "radiocast/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "radiocast/graph/generators.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(GraphIo, RoundTripEmpty) {
+  const Graph g(5);
+  EXPECT_EQ(from_string(to_string(g)), g);
+}
+
+TEST(GraphIo, RoundTripUndirected) {
+  rng::Rng rng(1);
+  const Graph g = connected_gnp(40, 0.1, rng);
+  EXPECT_EQ(from_string(to_string(g)), g);
+}
+
+TEST(GraphIo, RoundTripDirected) {
+  rng::Rng rng(2);
+  const Graph g = random_strongly_reachable_digraph(30, 50, rng);
+  const Graph back = from_string(to_string(g));
+  EXPECT_EQ(back, g);
+  EXPECT_FALSE(back.is_symmetric());
+}
+
+TEST(GraphIo, FormatIsStable) {
+  Graph g(3);
+  g.add_arc(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(to_string(g),
+            "radiocast-graph 1\n"
+            "nodes 3\n"
+            "arc 0 1\n"
+            "arc 1 2\n"
+            "arc 2 1\n");
+}
+
+TEST(GraphIo, RejectsBadMagic) {
+  std::istringstream is("wrong-magic 1\nnodes 2\n");
+  EXPECT_THROW(read_graph(is), ContractViolation);
+}
+
+TEST(GraphIo, RejectsBadVersion) {
+  std::istringstream is("radiocast-graph 9\nnodes 2\n");
+  EXPECT_THROW(read_graph(is), ContractViolation);
+}
+
+TEST(GraphIo, RejectsMissingNodesLine) {
+  std::istringstream is("radiocast-graph 1\narcs 2\n");
+  EXPECT_THROW(read_graph(is), ContractViolation);
+}
+
+TEST(GraphIo, RejectsOutOfRangeArc) {
+  std::istringstream is("radiocast-graph 1\nnodes 2\narc 0 5\n");
+  EXPECT_THROW(read_graph(is), ContractViolation);
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  std::istringstream is("radiocast-graph 1\nnodes 2\narc 1 1\n");
+  EXPECT_THROW(read_graph(is), ContractViolation);
+}
+
+TEST(GraphIo, RejectsTruncatedArc) {
+  std::istringstream is("radiocast-graph 1\nnodes 2\narc 0\n");
+  EXPECT_THROW(read_graph(is), ContractViolation);
+}
+
+TEST(GraphIo, RejectsJunkKeyword) {
+  std::istringstream is("radiocast-graph 1\nnodes 2\nedge 0 1\n");
+  EXPECT_THROW(read_graph(is), ContractViolation);
+}
+
+TEST(GraphDot, UndirectedCollapsed) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph radiocast {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);
+  // Each edge exactly once.
+  EXPECT_EQ(dot.find("n1 -- n0"), std::string::npos);
+}
+
+TEST(GraphDot, OneWayArcKeepsDirection) {
+  Graph g(2);
+  g.add_arc(0, 1);
+  std::ostringstream os;
+  write_dot(os, g);
+  EXPECT_NE(os.str().find("[dir=forward]"), std::string::npos);
+}
+
+TEST(GraphDot, DigraphMode) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  std::ostringstream os;
+  DotOptions options;
+  options.collapse_symmetric = false;
+  write_dot(os, g, options);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0;"), std::string::npos);
+}
+
+TEST(GraphDot, CustomLabels) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  std::ostringstream os;
+  DotOptions options;
+  options.node_labels = {"source", "sink"};
+  write_dot(os, g, options);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("label=\"source\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"sink\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radiocast::graph

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/sweep.hpp"
+#include "radiocast/harness/table.hpp"
+
+namespace radiocast::harness {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  // Every line has the same length.
+  std::stringstream ss(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(ss, line)) {
+    if (len == 0) {
+      len = line.size();
+    }
+    EXPECT_EQ(line.size(), len);
+  }
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::inum(42), "42");
+  EXPECT_EQ(Table::yes_no(true), "yes");
+  EXPECT_EQ(Table::yes_no(false), "no");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0U);
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1U);
+}
+
+TEST(Sweep, GeometricSteps) {
+  EXPECT_EQ(geometric_steps(1, 16, 2.0),
+            (std::vector<std::size_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(geometric_steps(10, 10), (std::vector<std::size_t>{10}));
+  // hi not on the grid: still included.
+  EXPECT_EQ(geometric_steps(1, 10, 2.0),
+            (std::vector<std::size_t>{1, 2, 4, 8, 10}));
+}
+
+TEST(Sweep, GeometricValidation) {
+  EXPECT_THROW(geometric_steps(0, 10), ContractViolation);
+  EXPECT_THROW(geometric_steps(5, 4), ContractViolation);
+  EXPECT_THROW(geometric_steps(1, 10, 1.0), ContractViolation);
+}
+
+TEST(Sweep, LinearSteps) {
+  EXPECT_EQ(linear_steps(0, 10, 5), (std::vector<std::size_t>{0, 5, 10}));
+  EXPECT_EQ(linear_steps(0, 9, 5), (std::vector<std::size_t>{0, 5, 9}));
+  EXPECT_EQ(linear_steps(3, 3, 1), (std::vector<std::size_t>{3}));
+}
+
+TEST(Options, DefaultsWithoutEnv) {
+  unsetenv("REPRO_TRIALS");
+  unsetenv("REPRO_SCALE");
+  unsetenv("REPRO_SEED");
+  unsetenv("REPRO_CSV_DIR");
+  const RunOptions opt = run_options();
+  EXPECT_EQ(opt.trials, 200U);
+  EXPECT_DOUBLE_EQ(opt.scale, 1.0);
+  EXPECT_EQ(opt.seed, 20260704U);
+  EXPECT_TRUE(opt.csv_dir.empty());
+}
+
+TEST(Options, ReadsEnvironment) {
+  setenv("REPRO_TRIALS", "50", 1);
+  setenv("REPRO_SCALE", "0.5", 1);
+  setenv("REPRO_SEED", "99", 1);
+  setenv("REPRO_CSV_DIR", "/tmp", 1);
+  const RunOptions opt = run_options();
+  EXPECT_EQ(opt.trials, 50U);
+  EXPECT_DOUBLE_EQ(opt.scale, 0.5);
+  EXPECT_EQ(opt.seed, 99U);
+  EXPECT_EQ(opt.csv_dir, "/tmp");
+  unsetenv("REPRO_TRIALS");
+  unsetenv("REPRO_SCALE");
+  unsetenv("REPRO_SEED");
+  unsetenv("REPRO_CSV_DIR");
+}
+
+TEST(Options, IgnoresGarbageEnv) {
+  setenv("REPRO_TRIALS", "not-a-number", 1);
+  setenv("REPRO_SCALE", "-2", 1);
+  const RunOptions opt = run_options();
+  EXPECT_EQ(opt.trials, 200U);
+  EXPECT_DOUBLE_EQ(opt.scale, 1.0);
+  unsetenv("REPRO_TRIALS");
+  unsetenv("REPRO_SCALE");
+}
+
+TEST(Options, ScaledClampsToOne) {
+  RunOptions opt;
+  opt.scale = 0.001;
+  EXPECT_EQ(scaled(100, opt), 1U);
+  opt.scale = 2.0;
+  EXPECT_EQ(scaled(100, opt), 200U);
+}
+
+TEST(Csv, DisabledWhenDirEmpty) {
+  CsvWriter w("", "t");
+  w.header({"a"});
+  w.row({"1"});
+  w.flush();  // no crash, no file
+  SUCCEED();
+}
+
+TEST(Csv, WritesEscapedFile) {
+  CsvWriter w("/tmp", "radiocast_csv_test");
+  w.header({"name", "note"});
+  w.row({"x,y", "say \"hi\""});
+  w.flush();
+  std::ifstream in("/tmp/radiocast_csv_test.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"say \"\"hi\"\"\"");
+  std::remove("/tmp/radiocast_csv_test.csv");
+}
+
+TEST(Csv, FlushIsIdempotent) {
+  CsvWriter w("/tmp", "radiocast_csv_test2");
+  w.row({"1"});
+  w.flush();
+  w.flush();
+  std::ifstream in("/tmp/radiocast_csv_test2.csv");
+  std::string all;
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1);
+  std::remove("/tmp/radiocast_csv_test2.csv");
+}
+
+}  // namespace
+}  // namespace radiocast::harness

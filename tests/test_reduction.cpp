@@ -1,0 +1,139 @@
+#include "radiocast/lb/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "radiocast/lb/strategies.hpp"
+
+namespace radiocast::lb {
+namespace {
+
+TEST(FoilStrategy, DefeatsScanForHalfN) {
+  // Proposition 11 in executable form: the adversary survives n/2 moves of
+  // the singleton scan.
+  ScanSingletonsStrategy scan;
+  for (const std::size_t n : {8U, 16U, 40U, 100U}) {
+    const auto outcome = foil_strategy(scan, n, n / 2);
+    ASSERT_TRUE(outcome.has_value()) << "n=" << n;
+    EXPECT_TRUE(outcome->lemma9_holds);
+    EXPECT_TRUE(outcome->replay_consistent);
+    EXPECT_FALSE(outcome->s.empty());
+  }
+}
+
+TEST(FoilStrategy, DefeatsAllBundledStrategies) {
+  const std::size_t n = 60;
+  ScanSingletonsStrategy scan;
+  HalvingStrategy halving;
+  DoublingWindowStrategy windows;
+  RandomSubsetStrategy random(77);
+  ExplorerStrategy* strategies[] = {&scan, &halving, &windows, &random};
+  for (ExplorerStrategy* strategy : strategies) {
+    const auto outcome = foil_strategy(*strategy, n, n / 2);
+    ASSERT_TRUE(outcome.has_value()) << strategy->name();
+    EXPECT_TRUE(outcome->lemma9_holds) << strategy->name();
+    EXPECT_TRUE(outcome->replay_consistent) << strategy->name();
+  }
+}
+
+TEST(FoilStrategy, SurvivingSetLosesEventually) {
+  // Consistency check on the machinery: with the foiling S fixed, the scan
+  // strategy — run far past n/2 — does win in the end (the bound is n/2,
+  // not infinity).
+  const std::size_t n = 20;
+  ScanSingletonsStrategy scan;
+  const auto outcome = foil_strategy(scan, n, n / 2);
+  ASSERT_TRUE(outcome.has_value());
+  const HittingGame game(n, outcome->s);
+  const GameResult r = game.play(scan, 2 * n);
+  EXPECT_TRUE(r.won);
+  EXPECT_GT(r.moves, n / 2);
+}
+
+TEST(ProtocolExplorer, EmitsTwoMovesPerRound) {
+  RoundRobinAbstract rr;
+  ProtocolExplorer explorer(rr);
+  explorer.reset(5);
+  // Round 0: T(1) = T(0) = {1} (round-robin ignores χ).
+  EXPECT_EQ(explorer.next_move(), (Move{1}));
+  explorer.observe(RefereeAnswer{});
+  EXPECT_EQ(explorer.next_move(), (Move{1}));
+  explorer.observe(RefereeAnswer{});
+  // Round 1: processor 2.
+  EXPECT_EQ(explorer.next_move(), (Move{2}));
+}
+
+TEST(FoilAbstractProtocol, RoundRobinSurvivesHalfN) {
+  RoundRobinAbstract rr;
+  for (const std::size_t n : {10U, 30U, 64U}) {
+    const auto outcome = foil_abstract_protocol(rr, n, n / 4, 10 * n);
+    ASSERT_TRUE(outcome.has_value()) << "n=" << n;
+    // The constructed S excludes the first n/2-ish ids probed by the
+    // round-robin, so the protocol needs more than n/4 rounds on G_S.
+    EXPECT_GE(outcome->rounds_survived, n / 4) << "n=" << n;
+  }
+}
+
+TEST(FoilAbstractProtocol, BitSplitForcedLinear) {
+  // The oblivious bit-splitting protocol is exactly what the adversary
+  // eats for breakfast: its clever mask rounds all go silent and it
+  // degenerates to round-robin, surviving ~linear rounds.
+  BitSplitAbstract bs;
+  const std::size_t n = 64;
+  const auto outcome = foil_abstract_protocol(bs, n, n / 4, 10 * n);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_GE(outcome->rounds_survived, n / 4);
+}
+
+TEST(FoilAbstractProtocol, AdaptiveSplitDelayed) {
+  AdaptiveSplitAbstract as;
+  const std::size_t n = 40;
+  const auto outcome = foil_abstract_protocol(as, n, n / 4, 100 * n);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_GE(outcome->rounds_survived, n / 4);
+}
+
+TEST(ExhaustiveWorstCase, RoundRobinIsExactlyN) {
+  RoundRobinAbstract rr;
+  const WorstCase w = exhaustive_worst_case(rr, 8, 100);
+  EXPECT_TRUE(w.all_completed);
+  EXPECT_EQ(w.rounds, 8U);
+  EXPECT_EQ(w.argmax_s, (std::vector<NodeId>{8}));
+}
+
+TEST(ExhaustiveWorstCase, BitSplitStillLinear) {
+  // Even with its log n mask rounds, the worst S forces the fallback scan:
+  // worst case >= n/2 over all hidden sets (Theorem 12's message: no
+  // deterministic cleverness beats Ω(n)).
+  BitSplitAbstract bs;
+  const std::size_t n = 10;
+  const WorstCase w = exhaustive_worst_case(bs, n, 1000);
+  EXPECT_TRUE(w.all_completed);
+  EXPECT_GE(w.rounds, n / 2);
+}
+
+TEST(ExhaustiveWorstCase, AdaptiveSplitLinearToo) {
+  AdaptiveSplitAbstract as;
+  const std::size_t n = 9;
+  const WorstCase w = exhaustive_worst_case(as, n, 5000);
+  EXPECT_TRUE(w.all_completed);
+  EXPECT_GE(w.rounds, n / 2);
+}
+
+TEST(ExhaustiveWorstCase, RejectsLargeN) {
+  RoundRobinAbstract rr;
+  EXPECT_THROW(exhaustive_worst_case(rr, 21, 10),
+               radiocast::ContractViolation);
+}
+
+TEST(FoilStrategy, TooManyMovesMayExhaust) {
+  // Past n/2 the guarantee lapses; with the full singleton scan of length
+  // n the universe is exhausted and the adversary reports failure.
+  ScanSingletonsStrategy scan;
+  const auto outcome = foil_strategy(scan, 6, 6);
+  EXPECT_FALSE(outcome.has_value());
+}
+
+}  // namespace
+}  // namespace radiocast::lb

@@ -1,0 +1,232 @@
+// Lemma 5 executable: the RestrictedAdapter's 2x-slowed execution on C_n
+// reproduces the plain execution node for node — including randomized
+// protocols, draw for draw — while never having source and sink active in
+// the same real slot.
+#include "radiocast/lb/restricted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/proto/round_robin.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::lb {
+namespace {
+
+CnRole role_of(const graph::CnNetwork& net, NodeId v) {
+  if (v == net.source) {
+    return CnRole::kSource;
+  }
+  if (v == net.sink) {
+    return CnRole::kSink;
+  }
+  return CnRole::kSecondLayer;
+}
+
+sim::Message payload() {
+  sim::Message m;
+  m.origin = 0;
+  m.tag = 0xAB;
+  return m;
+}
+
+TEST(RestrictedAdapter, RoundRobinMatchesPlainExecution) {
+  const NodeId s_members[] = {3, 7};
+  const auto net = graph::make_cn(8, s_members);
+  const std::size_t n = net.g.node_count();
+  const Slot virtual_slots = 40;
+
+  // Plain run.
+  sim::Simulator plain(net.g, sim::SimOptions{5});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == net.source) {
+      plain.emplace_protocol<proto::RoundRobinBroadcast>(v, n, payload());
+    } else {
+      plain.emplace_protocol<proto::RoundRobinBroadcast>(v, n);
+    }
+  }
+  for (Slot i = 0; i < virtual_slots; ++i) {
+    plain.step();
+  }
+
+  // Restricted run: same seeds, twice the slots.
+  sim::Simulator restricted(net.g, sim::SimOptions{5});
+  for (NodeId v = 0; v < n; ++v) {
+    auto inner = v == net.source
+                     ? std::make_unique<proto::RoundRobinBroadcast>(
+                           n, payload())
+                     : std::make_unique<proto::RoundRobinBroadcast>(n);
+    restricted.emplace_protocol<RestrictedAdapter>(v, std::move(inner),
+                                                   role_of(net, v));
+  }
+  for (Slot i = 0; i < 2 * virtual_slots + 2; ++i) {
+    restricted.step();
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = plain.protocol_as<proto::RoundRobinBroadcast>(v);
+    const auto& r = restricted.protocol_as<RestrictedAdapter>(v)
+                        .inner_as<proto::RoundRobinBroadcast>();
+    EXPECT_EQ(p.informed(), r.informed()) << "node " << v;
+    if (p.informed() && p.informed_at() < virtual_slots) {
+      EXPECT_EQ(p.informed_at(), r.informed_at()) << "node " << v;
+    }
+  }
+}
+
+TEST(RestrictedAdapter, RandomizedProtocolMatchesDrawForDraw) {
+  // The adapter queries the inner protocol once per virtual slot with the
+  // same per-node rng stream, so even the randomized BGI broadcast runs
+  // identically under the transformation.
+  const NodeId s_members[] = {2, 5, 6};
+  const auto net = graph::make_cn(6, s_members);
+  const std::size_t n = net.g.node_count();
+  const proto::BroadcastParams params{
+      .network_size_bound = n,
+      .degree_bound = net.g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  const Slot virtual_slots = 200;
+
+  sim::Simulator plain(net.g, sim::SimOptions{9});
+  sim::Simulator restricted(net.g, sim::SimOptions{9});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == net.source) {
+      plain.emplace_protocol<proto::BgiBroadcast>(v, params, payload());
+      restricted.emplace_protocol<RestrictedAdapter>(
+          v, std::make_unique<proto::BgiBroadcast>(params, payload()),
+          role_of(net, v));
+    } else {
+      plain.emplace_protocol<proto::BgiBroadcast>(v, params);
+      restricted.emplace_protocol<RestrictedAdapter>(
+          v, std::make_unique<proto::BgiBroadcast>(params),
+          role_of(net, v));
+    }
+  }
+  for (Slot i = 0; i < virtual_slots; ++i) {
+    plain.step();
+  }
+  for (Slot i = 0; i < 2 * virtual_slots + 2; ++i) {
+    restricted.step();
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = plain.protocol_as<proto::BgiBroadcast>(v);
+    const auto& r = restricted.protocol_as<RestrictedAdapter>(v)
+                        .inner_as<proto::BgiBroadcast>();
+    EXPECT_EQ(p.informed(), r.informed()) << "node " << v;
+    if (p.informed() && p.informed_at() < virtual_slots) {
+      EXPECT_EQ(p.informed_at(), r.informed_at()) << "node " << v;
+    }
+  }
+}
+
+TEST(RestrictedAdapter, SourceAndSinkNeverCoActive) {
+  // The defining property of a restricted protocol (Definition 2).
+  const NodeId s_members[] = {1, 2, 3, 4};
+  const auto net = graph::make_cn(4, s_members);
+  const std::size_t n = net.g.node_count();
+  const proto::BroadcastParams params{
+      .network_size_bound = n,
+      .degree_bound = net.g.max_in_degree(),
+      .epsilon = 0.2,
+      .stop_probability = 0.5,
+  };
+  sim::Simulator s(net.g, sim::SimOptions{.seed = 3,
+                                          .collision_detection = false,
+                                          .trace_slots = true});
+  for (NodeId v = 0; v < n; ++v) {
+    auto inner = v == net.source
+                     ? std::make_unique<proto::BgiBroadcast>(params, payload())
+                     : std::make_unique<proto::BgiBroadcast>(params);
+    s.emplace_protocol<RestrictedAdapter>(v, std::move(inner),
+                                          role_of(net, v));
+  }
+  for (int i = 0; i < 100; ++i) {
+    s.step();
+  }
+  for (const auto& rec : s.trace().slots()) {
+    const bool source_active =
+        std::ranges::binary_search(rec.transmitters, net.source);
+    const bool sink_active =
+        std::ranges::binary_search(rec.transmitters, net.sink);
+    EXPECT_FALSE(source_active && sink_active) << "slot " << rec.slot;
+    if (rec.slot % 2 == 0) {
+      EXPECT_FALSE(sink_active) << "sink transmitted in an even sub-slot";
+    } else {
+      EXPECT_FALSE(source_active)
+          << "source transmitted in an odd sub-slot";
+    }
+  }
+}
+
+TEST(RestrictedAdapter, DoubleReceptionCancelsLikeACollision) {
+  // Source and sink both beacon: in the plain run an S member hears a
+  // collision (nothing); restricted, it hears one message per sub-slot
+  // and must record none (Lemma 5's merge rule).
+  class Beacon final : public sim::Protocol {
+   public:
+    sim::Action on_slot(sim::NodeContext& ctx) override {
+      sim::Message m;
+      m.origin = ctx.id();
+      return sim::Action::transmit(m);
+    }
+  };
+  class Recorder final : public sim::Protocol {
+   public:
+    sim::Action on_slot(sim::NodeContext&) override {
+      return sim::Action::receive();
+    }
+    void on_receive(sim::NodeContext&, const sim::Message&) override {
+      ++received;
+    }
+    int received = 0;
+  };
+
+  const NodeId s_members[] = {1, 2};
+  const auto net = graph::make_cn(3, s_members);
+  sim::Simulator s(net.g, sim::SimOptions{1});
+  for (NodeId v = 0; v < net.g.node_count(); ++v) {
+    std::unique_ptr<sim::Protocol> inner;
+    if (v == net.source || v == net.sink) {
+      inner = std::make_unique<Beacon>();
+    } else {
+      inner = std::make_unique<Recorder>();
+    }
+    s.emplace_protocol<RestrictedAdapter>(v, std::move(inner),
+                                          role_of(net, v));
+  }
+  for (int i = 0; i < 20; ++i) {
+    s.step();
+  }
+  // S members (1, 2): double receptions cancelled, inner saw nothing.
+  for (const NodeId v : {1U, 2U}) {
+    const auto& adapter = s.protocol_as<RestrictedAdapter>(v);
+    EXPECT_GT(adapter.double_receptions(), 0U) << "node " << v;
+    EXPECT_EQ(adapter.inner_as<Recorder>().received, 0) << "node " << v;
+  }
+  // The non-S second-layer node (3) hears only the source: records it.
+  const auto& outside = s.protocol_as<RestrictedAdapter>(3);
+  EXPECT_EQ(outside.double_receptions(), 0U);
+  EXPECT_GT(outside.inner_as<Recorder>().received, 0);
+}
+
+TEST(RestrictedAdapter, RejectsNullInner) {
+  EXPECT_THROW(RestrictedAdapter(nullptr, CnRole::kSource),
+               ContractViolation);
+}
+
+TEST(RestrictedAdapter, InnerAsTypeChecks) {
+  RestrictedAdapter adapter(
+      std::make_unique<proto::RoundRobinBroadcast>(4),
+      CnRole::kSecondLayer);
+  EXPECT_NO_THROW(adapter.inner_as<proto::RoundRobinBroadcast>());
+  EXPECT_THROW(adapter.inner_as<proto::BgiBroadcast>(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::lb

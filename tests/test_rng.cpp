@@ -1,0 +1,191 @@
+#include "radiocast/rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace radiocast::rng {
+namespace {
+
+TEST(Splitmix64, KnownSequence) {
+  // Reference values for seed 0 from the splitmix64 reference
+  // implementation (Steele, Lea & Flood).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06C45D188009454FULL);
+}
+
+TEST(Splitmix64, Mix64IsStateless) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, StreamsAreIndependent) {
+  Xoshiro256 a(7, 0);
+  Xoshiro256 b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, JumpChangesState) {
+  Xoshiro256 a(7);
+  const auto before = a.state();
+  a.jump();
+  EXPECT_NE(a.state(), before);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17U);
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform(1), 0U);
+  }
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(0), ContractViolation);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(1234);
+  std::array<int, 8> bucket{};
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) {
+    ++bucket[rng.uniform(8)];
+  }
+  for (const int b : bucket) {
+    EXPECT_NEAR(b, trials / 8, 500);  // ~5 sigma
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(77);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    heads += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, FairCoinFrequency) {
+  Rng rng(10);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    heads += rng.fair_coin() ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(11);
+  double total = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(rng.geometric(0.5));
+  }
+  EXPECT_NEAR(total / trials, 1.0, 0.05);  // mean (1-p)/p = 1
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.geometric(1.0), 0U);
+  }
+}
+
+TEST(Rng, GeometricRejectsBadP) {
+  Rng rng(13);
+  EXPECT_THROW(rng.geometric(0.0), ContractViolation);
+  EXPECT_THROW(rng.geometric(1.5), ContractViolation);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::ranges::sort(w);
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(15);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) {
+    v[i] = i;
+  }
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // probability of identity is astronomically small
+}
+
+}  // namespace
+}  // namespace radiocast::rng

@@ -1,0 +1,87 @@
+#include "radiocast/proto/round_robin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/algorithms.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+TEST(RoundRobin, CompletesOnPath) {
+  const std::size_t n = 10;
+  const auto out =
+      harness::run_round_robin(graph::path(n), 0, n * (n + 2));
+  EXPECT_TRUE(out.all_heard);
+}
+
+TEST(RoundRobin, BoundNDPlusOne) {
+  for (const std::size_t n : {4U, 9U, 16U}) {
+    const auto g = graph::grid(n / 2, (n + 1) / 2 + 1);
+    const auto d = graph::diameter(g);
+    const auto out = harness::run_round_robin(
+        g, 0, g.node_count() * (d + 2));
+    EXPECT_TRUE(out.all_heard) << "n=" << n;
+    EXPECT_LE(out.completion_slot, g.node_count() * (d + 1));
+  }
+}
+
+TEST(RoundRobin, NoCollisionsEver) {
+  rng::Rng topo(1);
+  const auto g = graph::connected_gnp(25, 0.2, topo);
+  sim::Simulator s(g, sim::SimOptions{});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == 0) {
+      sim::Message m;
+      m.origin = 0;
+      s.emplace_protocol<RoundRobinBroadcast>(v, g.node_count(), m);
+    } else {
+      s.emplace_protocol<RoundRobinBroadcast>(v, g.node_count());
+    }
+  }
+  for (int i = 0; i < 500; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(s.trace().total_collisions(), 0U);
+}
+
+TEST(RoundRobin, PaysLinearOnCnDespiteTinyDiameter) {
+  // The deterministic Θ(n) behaviour on C_n: with S = {n}, the sink hears
+  // its only neighbor when that node's slot comes around: slot n-1 of some
+  // round — linear in n even though the diameter is 3.
+  const std::size_t n = 30;
+  const NodeId s_members[] = {static_cast<NodeId>(n)};
+  const auto net = graph::make_cn(n, s_members);
+  const auto out = harness::run_round_robin(net.g, net.source,
+                                            10 * net.g.node_count());
+  EXPECT_TRUE(out.all_heard);
+  EXPECT_GE(out.completion_slot, n - 1);
+}
+
+TEST(RoundRobin, InformedAtTracksFirstReceipt) {
+  const auto g = graph::path(3);
+  sim::Simulator s(g, sim::SimOptions{});
+  sim::Message m;
+  m.origin = 0;
+  s.emplace_protocol<RoundRobinBroadcast>(0, 3, m);
+  auto& mid = s.emplace_protocol<RoundRobinBroadcast>(1, 3);
+  auto& far = s.emplace_protocol<RoundRobinBroadcast>(2, 3);
+  // Slot 0: node 0 transmits; node 1 hears. Slot 1: node 1 transmits;
+  // nodes 0 and 2 hear.
+  s.step();
+  EXPECT_TRUE(mid.informed());
+  EXPECT_EQ(mid.informed_at(), 0U);
+  EXPECT_FALSE(far.informed());
+  s.step();
+  EXPECT_TRUE(far.informed());
+  EXPECT_EQ(far.informed_at(), 1U);
+}
+
+TEST(RoundRobin, RejectsZeroNodes) {
+  EXPECT_THROW(RoundRobinBroadcast(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::proto

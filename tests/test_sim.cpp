@@ -1,0 +1,286 @@
+#include "radiocast/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "radiocast/graph/generators.hpp"
+
+namespace radiocast::sim {
+namespace {
+
+/// Transmits every slot; tag = own id.
+class Beacon final : public Protocol {
+ public:
+  Action on_slot(NodeContext& ctx) override {
+    Message m;
+    m.origin = ctx.id();
+    m.tag = ctx.id();
+    return Action::transmit(m);
+  }
+};
+
+/// Always listens; records everything.
+class Listener final : public Protocol {
+ public:
+  Action on_slot(NodeContext&) override { return Action::receive(); }
+  void on_receive(NodeContext& ctx, const Message& m) override {
+    heard.emplace_back(ctx.now(), m);
+  }
+  void on_collision(NodeContext&) override { ++collisions; }
+
+  std::vector<std::pair<Slot, Message>> heard;
+  int collisions = 0;
+};
+
+/// Transmits exactly on the given slots, otherwise listens.
+class Scripted final : public Protocol {
+ public:
+  explicit Scripted(std::set<Slot> when) : when_(std::move(when)) {}
+  Action on_slot(NodeContext& ctx) override {
+    if (when_.contains(ctx.now())) {
+      Message m;
+      m.origin = ctx.id();
+      m.tag = 100 + ctx.id();
+      return Action::transmit(m);
+    }
+    return Action::receive();
+  }
+  void on_receive(NodeContext& ctx, const Message& m) override {
+    heard.emplace_back(ctx.now(), m);
+  }
+
+  std::vector<std::pair<Slot, Message>> heard;
+
+ private:
+  std::set<Slot> when_;
+};
+
+class Idler final : public Protocol {
+ public:
+  Action on_slot(NodeContext&) override { return Action::idle(); }
+  void on_receive(NodeContext&, const Message&) override { ++received; }
+  int received = 0;
+};
+
+graph::Graph triangle() {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  return g;
+}
+
+TEST(Simulator, SingleTransmitterDelivers) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  auto& listener = s.emplace_protocol<Listener>(1);
+  s.step();
+  ASSERT_EQ(listener.heard.size(), 1U);
+  EXPECT_EQ(listener.heard[0].first, 0U);
+  EXPECT_EQ(listener.heard[0].second.tag, 0U);
+}
+
+TEST(Simulator, TwoTransmittersCollide) {
+  Simulator s(triangle(), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Beacon>(1);
+  auto& listener = s.emplace_protocol<Listener>(2);
+  s.step();
+  EXPECT_TRUE(listener.heard.empty());
+  // Without CD the collision callback must NOT fire.
+  EXPECT_EQ(listener.collisions, 0);
+  EXPECT_EQ(s.trace().total_collisions(), 1U);
+}
+
+TEST(Simulator, CollisionDetectionCallback) {
+  Simulator s(triangle(), SimOptions{.seed = 1, .collision_detection = true});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Beacon>(1);
+  auto& listener = s.emplace_protocol<Listener>(2);
+  s.step();
+  EXPECT_EQ(listener.collisions, 1);
+}
+
+TEST(Simulator, TransmitterHearsNothing) {
+  // 0 and 1 both transmit at slot 0; although each is the other's sole
+  // transmitting neighbor, neither is receiving.
+  Simulator s(graph::path(2), SimOptions{});
+  auto& a = s.emplace_protocol<Scripted>(0, std::set<Slot>{0});
+  auto& b = s.emplace_protocol<Scripted>(1, std::set<Slot>{0});
+  s.step();
+  EXPECT_TRUE(a.heard.empty());
+  EXPECT_TRUE(b.heard.empty());
+  EXPECT_EQ(s.trace().total_deliveries(), 0U);
+}
+
+TEST(Simulator, IdleNodeHearsNothing) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  auto& idler = s.emplace_protocol<Idler>(1);
+  s.step();
+  EXPECT_EQ(idler.received, 0);
+}
+
+TEST(Simulator, DeliveryFollowsArcDirection) {
+  graph::Graph g(2);
+  g.add_arc(0, 1);  // 0 can be heard by 1, not vice versa
+  {
+    Simulator s(g, SimOptions{});
+    s.emplace_protocol<Beacon>(0);
+    auto& listener = s.emplace_protocol<Listener>(1);
+    s.step();
+    EXPECT_EQ(listener.heard.size(), 1U);
+  }
+  {
+    Simulator s(g, SimOptions{});
+    auto& listener = s.emplace_protocol<Listener>(0);
+    s.emplace_protocol<Beacon>(1);
+    s.step();
+    EXPECT_TRUE(listener.heard.empty());
+  }
+}
+
+TEST(Simulator, NonNeighborNotHeard) {
+  Simulator s(graph::path(3), SimOptions{});  // 0-1-2
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Idler>(1);
+  auto& far = s.emplace_protocol<Listener>(2);
+  s.step();
+  EXPECT_TRUE(far.heard.empty());
+}
+
+TEST(Simulator, CrashedNodeIsDeafAndMute) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  auto& listener = s.emplace_protocol<Listener>(1);
+  s.network().crash(0);
+  s.step();
+  EXPECT_TRUE(listener.heard.empty());
+  s.network().revive(0);
+  s.step();
+  EXPECT_EQ(listener.heard.size(), 1U);
+}
+
+TEST(Simulator, TraceCounters) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Listener>(1);
+  for (int i = 0; i < 5; ++i) {
+    s.step();
+  }
+  EXPECT_EQ(s.trace().total_transmissions(), 5U);
+  EXPECT_EQ(s.trace().transmissions_of(0), 5U);
+  EXPECT_EQ(s.trace().total_deliveries(), 5U);
+  EXPECT_EQ(s.trace().deliveries_to(1), 5U);
+  EXPECT_EQ(s.trace().first_delivery(1), 0U);
+  EXPECT_EQ(s.trace().first_delivery(0), kNever);
+}
+
+TEST(Simulator, SlotRecordsWhenEnabled) {
+  Simulator s(triangle(), SimOptions{.seed = 1, .collision_detection = false,
+                                     .trace_slots = true});
+  s.emplace_protocol<Scripted>(0, std::set<Slot>{0, 1});
+  s.emplace_protocol<Scripted>(1, std::set<Slot>{1});
+  s.emplace_protocol<Listener>(2);
+  s.step();
+  s.step();
+  const auto& slots = s.trace().slots();
+  ASSERT_EQ(slots.size(), 2U);
+  EXPECT_EQ(slots[0].transmitters, (std::vector<NodeId>{0}));
+  ASSERT_EQ(slots[0].deliveries.size(), 2U);  // nodes 1 and 2 hear 0
+  EXPECT_EQ(slots[1].transmitters, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(slots[1].collision_receivers, (std::vector<NodeId>{2}));
+}
+
+TEST(Simulator, RunUntilStopsOnPredicate) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Listener>(1);
+  const Slot end = s.run_until(
+      [](const Simulator& sim) { return sim.trace().total_deliveries() >= 3; },
+      100);
+  EXPECT_EQ(end, 3U);
+}
+
+TEST(Simulator, RunUntilHonorsMaxSlots) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Idler>(0);
+  s.emplace_protocol<Idler>(1);
+  const Slot end = s.run_until([](const Simulator&) { return false; }, 17);
+  EXPECT_EQ(end, 17U);
+}
+
+TEST(Simulator, StepRequiresAllProtocols) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  EXPECT_THROW(s.step(), ContractViolation);
+}
+
+TEST(Simulator, ProtocolAsTypeChecks) {
+  Simulator s(graph::path(2), SimOptions{});
+  s.emplace_protocol<Beacon>(0);
+  s.emplace_protocol<Listener>(1);
+  EXPECT_NO_THROW(s.protocol_as<Beacon>(0));
+  EXPECT_THROW(s.protocol_as<Listener>(0), ContractViolation);
+}
+
+TEST(Simulator, InstallAll) {
+  Simulator s(graph::path(3), SimOptions{});
+  s.install_all([](NodeId) { return std::make_unique<Idler>(); });
+  s.step();
+  EXPECT_EQ(s.now(), 1U);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const auto run = [](std::uint64_t seed) {
+    rng::Rng topo(9);
+    Simulator s(graph::connected_gnp(30, 0.1, topo), SimOptions{seed});
+    // Every node transmits with probability 1/2 each slot: exercises the
+    // per-node rng streams.
+    class Flipper final : public Protocol {
+     public:
+      Action on_slot(NodeContext& ctx) override {
+        if (ctx.rng().fair_coin()) {
+          Message m;
+          m.origin = ctx.id();
+          return Action::transmit(m);
+        }
+        return Action::receive();
+      }
+    };
+    s.install_all([](NodeId) { return std::make_unique<Flipper>(); });
+    for (int i = 0; i < 50; ++i) {
+      s.step();
+    }
+    return std::pair{s.trace().total_transmissions(),
+                     s.trace().total_deliveries()};
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Simulator, MessageContentDeliveredVerbatim) {
+  Simulator s(graph::path(2), SimOptions{});
+  class PayloadBeacon final : public Protocol {
+   public:
+    Action on_slot(NodeContext& ctx) override {
+      Message m;
+      m.origin = ctx.id();
+      m.tag = 77;
+      m.data = {1, 2, 3};
+      return Action::transmit(m);
+    }
+  };
+  s.emplace_protocol<PayloadBeacon>(0);
+  auto& listener = s.emplace_protocol<Listener>(1);
+  s.step();
+  ASSERT_EQ(listener.heard.size(), 1U);
+  EXPECT_EQ(listener.heard[0].second.tag, 77U);
+  EXPECT_EQ(listener.heard[0].second.data, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace radiocast::sim

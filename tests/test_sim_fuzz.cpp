@@ -1,0 +1,156 @@
+// Randomized differential testing of the slot engine: drive random
+// protocols over random (mutating) topologies and check, slot by slot,
+// that the simulator's deliveries match an independent recomputation of
+// the radio semantics from the per-slot trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::sim {
+namespace {
+
+/// Transmits with a node-specific probability; records everything it
+/// hears and its own actions.
+class FuzzNode final : public Protocol {
+ public:
+  explicit FuzzNode(double p) : p_(p) {}
+
+  Action on_slot(NodeContext& ctx) override {
+    if (ctx.rng().bernoulli(p_)) {
+      tx_slots.push_back(ctx.now());
+      Message m;
+      m.origin = ctx.id();
+      m.tag = ctx.now();
+      return Action::transmit(m);
+    }
+    if (ctx.rng().bernoulli(0.1)) {
+      idle_slots.insert(ctx.now());
+      return Action::idle();
+    }
+    return Action::receive();
+  }
+
+  void on_receive(NodeContext& ctx, const Message& m) override {
+    heard.emplace_back(ctx.now(), m.origin);
+    // The tag is the slot the sender transmitted in: must be *this* slot.
+    EXPECT_EQ(m.tag, ctx.now());
+  }
+
+  std::vector<Slot> tx_slots;
+  std::set<Slot> idle_slots;
+  std::vector<std::pair<Slot, NodeId>> heard;
+
+ private:
+  double p_;
+};
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzz, TraceSelfConsistent) {
+  const std::uint64_t seed = GetParam();
+  rng::Rng meta(seed);
+  const std::size_t n = 8 + meta.uniform(25);
+  graph::Graph g = graph::connected_gnp(
+      n, 2.5 / static_cast<double>(n), meta);
+
+  Simulator s(std::move(g), SimOptions{.seed = seed + 1,
+                                       .collision_detection = false,
+                                       .trace_slots = true});
+  std::vector<FuzzNode*> nodes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    nodes[v] = &s.emplace_protocol<FuzzNode>(
+        v, 0.1 + 0.8 * meta.uniform01());
+  }
+  // Sprinkle topology churn and crashes.
+  const std::size_t events = 5 + meta.uniform(10);
+  for (std::size_t i = 0; i < events; ++i) {
+    const Slot at = meta.uniform(100);
+    const auto u = static_cast<NodeId>(meta.uniform(n));
+    auto v = static_cast<NodeId>(meta.uniform(n));
+    if (u == v) {
+      v = (v + 1) % n;
+    }
+    switch (meta.uniform(4)) {
+      case 0:
+        s.network().schedule({at, EventKind::kAddEdge, u, v});
+        break;
+      case 1:
+        s.network().schedule({at, EventKind::kRemoveEdge, u, v});
+        break;
+      case 2:
+        s.network().schedule({at, EventKind::kCrashNode, u, kNoNode});
+        break;
+      default:
+        s.network().schedule({at, EventKind::kReviveNode, u, kNoNode});
+        break;
+    }
+  }
+
+  const int slots = 120;
+  for (int i = 0; i < slots; ++i) {
+    s.step();
+  }
+
+  // 1. Per-slot recomputation: for every recorded slot, re-derive who
+  //    must have heard what from the transmitter set alone.
+  const auto& records = s.trace().slots();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(slots));
+  std::uint64_t expected_deliveries = 0;
+  for (const SlotRecord& rec : records) {
+    // Transmitter lists are sorted and duplicate-free.
+    EXPECT_TRUE(std::ranges::is_sorted(rec.transmitters));
+    EXPECT_TRUE(std::ranges::adjacent_find(rec.transmitters) ==
+                rec.transmitters.end());
+    // Every delivery's sender must be in the slot's transmitter set, and
+    // the receiver must not be.
+    for (const Delivery& d : rec.deliveries) {
+      EXPECT_TRUE(std::ranges::binary_search(rec.transmitters, d.sender));
+      EXPECT_FALSE(
+          std::ranges::binary_search(rec.transmitters, d.receiver));
+      ++expected_deliveries;
+    }
+    // A node cannot be both a collision victim and a delivery receiver.
+    for (const NodeId v : rec.collision_receivers) {
+      for (const Delivery& d : rec.deliveries) {
+        EXPECT_NE(d.receiver, v);
+      }
+    }
+  }
+  EXPECT_EQ(s.trace().total_deliveries(), expected_deliveries);
+
+  // 2. Protocol-side vs trace-side agreement: everything a node heard is
+  //    in the trace and vice versa.
+  std::uint64_t heard_total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    heard_total += nodes[v]->heard.size();
+    EXPECT_EQ(nodes[v]->heard.size(), s.trace().deliveries_to(v));
+    // Nodes never hear anything in slots where they transmitted or idled.
+    std::set<Slot> tx(nodes[v]->tx_slots.begin(), nodes[v]->tx_slots.end());
+    for (const auto& [slot, sender] : nodes[v]->heard) {
+      EXPECT_FALSE(tx.contains(slot));
+      EXPECT_FALSE(nodes[v]->idle_slots.contains(slot));
+      EXPECT_NE(sender, v);  // never hears itself
+    }
+  }
+  EXPECT_EQ(heard_total, s.trace().total_deliveries());
+
+  // 3. Transmission bookkeeping.
+  std::uint64_t tx_total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(nodes[v]->tx_slots.size(), s.trace().transmissions_of(v));
+    tx_total += nodes[v]->tx_slots.size();
+  }
+  EXPECT_EQ(tx_total, s.trace().total_transmissions());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace radiocast::sim

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/stats/chernoff.hpp"
+#include "radiocast/stats/histogram.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace radiocast::stats {
+namespace {
+
+TEST(Summary, MomentsOfKnownSample) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, QuantilesInterpolate) {
+  Summary s;
+  for (int i = 1; i <= 5; ++i) {
+    s.add(i);  // 1..5
+  }
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.375), 2.5);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.5);
+}
+
+TEST(Summary, EmptyThrows) {
+  const Summary s;
+  EXPECT_THROW(s.mean(), radiocast::ContractViolation);
+  EXPECT_THROW(s.min(), radiocast::ContractViolation);
+  EXPECT_THROW(s.quantile(0.5), radiocast::ContractViolation);
+}
+
+TEST(Summary, QuantileAfterMoreAdds) {
+  // The sorted cache must invalidate on add().
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Wilson, CoversTrueRate) {
+  const Interval i = wilson_interval(80, 100);
+  EXPECT_LT(i.lo, 0.8);
+  EXPECT_GT(i.hi, 0.8);
+  EXPECT_GT(i.lo, 0.70);
+  EXPECT_LT(i.hi, 0.88);
+}
+
+TEST(Wilson, ExtremesStayInUnitInterval) {
+  const Interval zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const Interval all = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(Wilson, Validation) {
+  EXPECT_THROW(wilson_interval(1, 0), radiocast::ContractViolation);
+  EXPECT_THROW(wilson_interval(5, 4), radiocast::ContractViolation);
+}
+
+TEST(ChernoffTail, AboveMeanIsOne) {
+  EXPECT_DOUBLE_EQ(binomial_lower_tail_bound(100, 0.5, 60), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_lower_tail_bound(100, 0.5, 50), 1.0);
+}
+
+TEST(ChernoffTail, MatchesHoeffdingFormula) {
+  const double b = binomial_lower_tail_bound(100, 0.5, 30);
+  EXPECT_NEAR(b, std::exp(-2.0 * 20.0 * 20.0 / 100.0), 1e-12);
+}
+
+TEST(Lemma3, MIsCeilLog) {
+  EXPECT_EQ(lemma3_m(1000, 0.01), 17U);
+  EXPECT_EQ(lemma3_m(8, 1.0), 3U);
+}
+
+TEST(Lemma3, TDominatedByDiameterWhenDLarge) {
+  // For D >> M, T ≈ 2D + 5 sqrt(D M).
+  const double t = lemma3_t(10000, 100, 0.1);
+  const double m = lemma3_m(100, 0.1);
+  EXPECT_NEAR(t, 2.0 * 10000 + 5.0 * std::sqrt(10000 * m), 1e-9);
+}
+
+TEST(Lemma3, TDominatedByLogWhenDSmall) {
+  // For D << M, T = 2D + 5M.
+  const double t = lemma3_t(1, 1 << 20, 0.001);
+  const double m = lemma3_m(1 << 20, 0.001);
+  EXPECT_NEAR(t, 2.0 + 5.0 * m, 1e-9);
+}
+
+TEST(Lemma3, ChernoffClosesTheProof) {
+  // The reconstructed T must actually satisfy the inequality the proof of
+  // Lemma 3 needs: Pr[Bin(T, 1/2) < D] <= ε/n for a healthy range.
+  for (const std::size_t n : {10U, 100U, 10000U}) {
+    for (const double eps : {0.5, 0.1, 0.001}) {
+      for (const std::size_t d : {1U, 3U, 10U, 100U, 2000U}) {
+        const double t = lemma3_t(d, n, eps);
+        const double tail = binomial_lower_tail_bound(t, 0.5, d);
+        EXPECT_LE(tail, eps / static_cast<double>(n))
+            << "n=" << n << " eps=" << eps << " D=" << d;
+      }
+    }
+  }
+}
+
+TEST(Theorem4, SlotBoundsScale) {
+  const double deliver = theorem4_delivery_slots(10, 1000, 16, 0.1);
+  const double terminate =
+      theorem4_termination_slots(10, 1000, 1000, 16, 0.1);
+  EXPECT_GT(terminate, deliver);
+  // k = 2*ceil(log2 16) = 8; termination adds k * reps.
+  EXPECT_NEAR(terminate - deliver, 8.0 * lemma3_m(1000, 0.1), 1e-9);
+}
+
+TEST(MessageComplexity, Formula) {
+  EXPECT_DOUBLE_EQ(message_complexity_bound(100, 1000, 0.1),
+                   2.0 * 100 * 14);  // ceil(log2 1e4) = 14
+}
+
+TEST(BfsBound, Formula) {
+  // D * k * reps with k = 2 ceil(log Δ).
+  EXPECT_DOUBLE_EQ(bfs_slot_bound(5, 256, 8, 1.0), 5.0 * 6.0 * 8.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 2U);
+  EXPECT_EQ(h.count(0), 2U);  // 0.0 and 1.9
+  EXPECT_EQ(h.count(1), 1U);  // 2.0
+  EXPECT_EQ(h.count(4), 1U);  // 9.999
+  EXPECT_EQ(h.total(), 7U);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_THROW(h.bin_lo(4), radiocast::ContractViolation);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), radiocast::ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), radiocast::ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::stats

@@ -1,0 +1,134 @@
+#include "radiocast/lb/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "radiocast/lb/hitting_game.hpp"
+
+namespace radiocast::lb {
+namespace {
+
+/// Every bundled strategy must eventually win against every S when the
+/// referee is honest — they are complete search procedures, just not fast
+/// ones.
+template <typename S>
+void expect_wins_everywhere(S&& strategy, std::size_t n,
+                            std::size_t budget) {
+  for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    std::vector<NodeId> s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1U) {
+        s.push_back(static_cast<NodeId>(i + 1));
+      }
+    }
+    const HittingGame game(n, s);
+    const GameResult r = game.play(strategy, budget);
+    EXPECT_TRUE(r.won) << "mask=" << mask;
+    EXPECT_TRUE(std::ranges::binary_search(s, r.hit));
+  }
+}
+
+TEST(ScanSingletons, WinsEverywhereWithinN) {
+  ScanSingletonsStrategy scan;
+  expect_wins_everywhere(scan, 7, 7);
+}
+
+TEST(ScanSingletons, MoveSequence) {
+  ScanSingletonsStrategy scan;
+  scan.reset(3);
+  EXPECT_EQ(scan.next_move(), (Move{1}));
+  scan.observe(RefereeAnswer{});
+  EXPECT_EQ(scan.next_move(), (Move{2}));
+  scan.observe(RefereeAnswer{});
+  EXPECT_EQ(scan.next_move(), (Move{3}));
+  scan.observe(RefereeAnswer{});
+  EXPECT_EQ(scan.next_move(), (Move{1}));  // wraps around
+}
+
+TEST(Halving, WinsEverywhereSmall) {
+  HalvingStrategy halving;
+  expect_wins_everywhere(halving, 6, 200);
+}
+
+TEST(Halving, FastOnSingletonS) {
+  // With |S| = 1 the halving explorer behaves like binary search *when the
+  // referee reveals complement singletons*; it should be comfortably under
+  // n moves on this friendly instance.
+  HalvingStrategy halving;
+  const HittingGame game(64, {37});
+  const GameResult r = game.play(halving, 1000);
+  EXPECT_TRUE(r.won);
+  EXPECT_EQ(r.hit, 37U);
+  EXPECT_LT(r.moves, 64U);
+}
+
+TEST(DoublingWindows, WinsEverywhereSmall) {
+  DoublingWindowStrategy windows;
+  expect_wins_everywhere(windows, 6, 400);
+}
+
+TEST(DoublingWindows, FirstMovesAreWindows) {
+  DoublingWindowStrategy windows;
+  windows.reset(8);
+  EXPECT_EQ(windows.next_move(), (Move{1}));
+  windows.observe(RefereeAnswer{});
+  EXPECT_EQ(windows.next_move(), (Move{2}));
+  windows.observe(RefereeAnswer{});
+  // ... singles first, then width-2 windows once start passes n.
+  for (int i = 0; i < 6; ++i) {
+    (void)windows.next_move();
+    windows.observe(RefereeAnswer{});
+  }
+  EXPECT_EQ(windows.next_move(), (Move{1, 2}));
+}
+
+TEST(RandomSubsets, WinsEverywhereSmall) {
+  RandomSubsetStrategy random(1234);
+  expect_wins_everywhere(random, 5, 3000);
+}
+
+TEST(RandomSubsets, DeterministicAcrossResets) {
+  RandomSubsetStrategy a(99);
+  RandomSubsetStrategy b(99);
+  a.reset(20);
+  b.reset(20);
+  for (int i = 0; i < 30; ++i) {
+    const Move ma = a.next_move();
+    const Move mb = b.next_move();
+    EXPECT_EQ(ma, mb);
+    a.observe(RefereeAnswer{});
+    b.observe(RefereeAnswer{});
+  }
+  // reset() rewinds the stream completely.
+  a.reset(20);
+  b.reset(20);
+  EXPECT_EQ(a.next_move(), b.next_move());
+}
+
+TEST(RandomSubsets, PrunesRevealedNonMembers) {
+  RandomSubsetStrategy random(5);
+  random.reset(10);
+  (void)random.next_move();
+  random.observe(RefereeAnswer{RefereeAnswer::Kind::kComplement, 7});
+  // 7 must never appear again.
+  for (int i = 0; i < 50; ++i) {
+    const Move m = random.next_move();
+    EXPECT_EQ(std::ranges::count(m, 7U), 0) << "move " << i;
+    random.observe(RefereeAnswer{});
+  }
+}
+
+TEST(Strategies, NamesAreStable) {
+  ScanSingletonsStrategy scan;
+  HalvingStrategy halving;
+  DoublingWindowStrategy windows;
+  RandomSubsetStrategy random(1);
+  EXPECT_STREQ(scan.name(), "scan-singletons");
+  EXPECT_STREQ(halving.name(), "adaptive-halving");
+  EXPECT_STREQ(windows.name(), "doubling-windows");
+  EXPECT_STREQ(random.name(), "random-subsets");
+}
+
+}  // namespace
+}  // namespace radiocast::lb

@@ -1,0 +1,90 @@
+// Direct tests of the Trace observation API (most other suites exercise
+// it only indirectly through the simulator).
+#include "radiocast/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::sim {
+namespace {
+
+TEST(Trace, FreshTraceIsEmpty) {
+  const Trace t(4, false);
+  EXPECT_EQ(t.total_transmissions(), 0U);
+  EXPECT_EQ(t.total_deliveries(), 0U);
+  EXPECT_EQ(t.total_collisions(), 0U);
+  EXPECT_EQ(t.first_delivery(2), kNever);
+  EXPECT_FALSE(t.records_slots());
+  EXPECT_TRUE(t.slots().empty());
+}
+
+TEST(Trace, FirstDeliveryKeepsTheEarliest) {
+  Trace t(3, false);
+  t.begin_slot(5);
+  t.record_delivery(5, 1, 0);
+  t.begin_slot(9);
+  t.record_delivery(9, 1, 2);
+  EXPECT_EQ(t.first_delivery(1), 5U);
+  EXPECT_EQ(t.deliveries_to(1), 2U);
+}
+
+TEST(Trace, AllDeliveredAndLastFirstDelivery) {
+  Trace t(4, false);
+  t.begin_slot(0);
+  t.record_delivery(0, 1, 0);
+  t.begin_slot(3);
+  t.record_delivery(3, 2, 1);
+  const std::vector<NodeId> both{1, 2};
+  const std::vector<NodeId> more{1, 2, 3};
+  EXPECT_TRUE(t.all_delivered(both));
+  EXPECT_FALSE(t.all_delivered(more));
+  EXPECT_EQ(t.last_first_delivery(both), 3U);
+  EXPECT_EQ(t.last_first_delivery(more), kNever);
+  EXPECT_EQ(t.last_first_delivery({}), 0U);  // vacuous
+}
+
+TEST(Trace, TransmissionCounters) {
+  Trace t(2, false);
+  t.begin_slot(0);
+  t.record_transmission(0);
+  t.record_transmission(0);
+  t.record_transmission(1);
+  EXPECT_EQ(t.transmissions_of(0), 2U);
+  EXPECT_EQ(t.transmissions_of(1), 1U);
+  EXPECT_EQ(t.total_transmissions(), 3U);
+}
+
+TEST(Trace, CollisionCounter) {
+  Trace t(2, false);
+  t.begin_slot(0);
+  t.record_collision(1);
+  t.record_collision(1);
+  EXPECT_EQ(t.total_collisions(), 2U);
+}
+
+TEST(Trace, SlotRecordsCaptureDetail) {
+  Trace t(3, true);
+  t.begin_slot(0);
+  t.record_transmission(2);
+  t.record_delivery(0, 1, 2);
+  t.begin_slot(1);
+  t.record_collision(0);
+  ASSERT_TRUE(t.records_slots());
+  ASSERT_EQ(t.slots().size(), 2U);
+  EXPECT_EQ(t.slots()[0].slot, 0U);
+  EXPECT_EQ(t.slots()[0].transmitters, (std::vector<NodeId>{2}));
+  ASSERT_EQ(t.slots()[0].deliveries.size(), 1U);
+  EXPECT_EQ(t.slots()[0].deliveries[0], (Delivery{1, 2}));
+  EXPECT_EQ(t.slots()[1].collision_receivers, (std::vector<NodeId>{0}));
+}
+
+TEST(Trace, RangeChecks) {
+  const Trace t(2, false);
+  EXPECT_THROW((void)t.first_delivery(2), ContractViolation);
+  EXPECT_THROW((void)t.transmissions_of(9), ContractViolation);
+  EXPECT_THROW((void)t.deliveries_to(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::sim

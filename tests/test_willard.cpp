@@ -1,0 +1,186 @@
+#include "radiocast/proto/willard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::proto {
+namespace {
+
+struct ElectionResult {
+  bool everyone_agrees = false;
+  NodeId leader = kNoNode;
+  Slot slots = 0;
+};
+
+ElectionResult run_election(std::size_t n, std::uint64_t seed,
+                            Slot max_slots) {
+  sim::Simulator s(graph::clique(n),
+                   sim::SimOptions{.seed = seed, .collision_detection = true});
+  for (NodeId v = 0; v < n; ++v) {
+    s.emplace_protocol<WillardElection>(v, n);
+  }
+  s.run_to_quiescence(max_slots);
+  ElectionResult r;
+  r.slots = s.now();
+  r.everyone_agrees = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = s.protocol_as<WillardElection>(v);
+    if (!p.has_leader()) {
+      r.everyone_agrees = false;
+      return r;
+    }
+    if (v == 0) {
+      r.leader = p.leader();
+    } else if (p.leader() != r.leader) {
+      r.everyone_agrees = false;
+      return r;
+    }
+  }
+  return r;
+}
+
+TEST(Willard, TwoNodes) {
+  const ElectionResult r = run_election(2, 1, 1000);
+  EXPECT_TRUE(r.everyone_agrees);
+  EXPECT_LT(r.leader, 2U);
+}
+
+TEST(Willard, ElectsUniqueLeaderAcrossSizes) {
+  for (const std::size_t n : {2U, 3U, 5U, 16U, 64U}) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const ElectionResult r = run_election(n, seed, 100000);
+      EXPECT_TRUE(r.everyone_agrees) << "n=" << n << " seed=" << seed;
+      EXPECT_LT(r.leader, n) << "n=" << n;
+    }
+  }
+}
+
+TEST(Willard, FastInExpectation) {
+  // Geometric backoff finds a lone transmitter in O(log n) expected
+  // rounds; with 2 slots per round, runs should end far below the n-slot
+  // mark for n = 256.
+  double total = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const ElectionResult r = run_election(256, 100 + trial, 100000);
+    ASSERT_TRUE(r.everyone_agrees);
+    total += static_cast<double>(r.slots);
+  }
+  EXPECT_LT(total / trials, 200.0);
+}
+
+TEST(Willard, RequiresCollisionDetection) {
+  sim::Simulator s(graph::clique(3), sim::SimOptions{.seed = 1});
+  for (NodeId v = 0; v < 3; ++v) {
+    s.emplace_protocol<WillardElection>(v, 3);
+  }
+  EXPECT_THROW(s.step(), ContractViolation);
+}
+
+TEST(Willard, LoneNodeRejected) {
+  sim::Simulator s(graph::Graph(1),
+                   sim::SimOptions{.seed = 1, .collision_detection = true});
+  s.emplace_protocol<WillardElection>(0, 1);
+  EXPECT_THROW(s.step(), ContractViolation);
+}
+
+TEST(Willard, LeaderAccessorGuard) {
+  const WillardElection p(4);
+  EXPECT_FALSE(p.has_leader());
+  EXPECT_THROW(p.leader(), ContractViolation);
+}
+
+TEST(Willard, DifferentSeedsElectDifferentLeaders) {
+  // Sanity: the winner is random, not structurally fixed.
+  std::set<NodeId> winners;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const ElectionResult r = run_election(16, seed, 100000);
+    ASSERT_TRUE(r.everyone_agrees);
+    winners.insert(r.leader);
+  }
+  EXPECT_GT(winners.size(), 2U);
+}
+
+// --- binary-search variant --------------------------------------------------
+
+ElectionResult run_bs_election(std::size_t n, std::uint64_t seed,
+                               Slot max_slots) {
+  sim::Simulator s(graph::clique(n),
+                   sim::SimOptions{.seed = seed, .collision_detection = true});
+  for (NodeId v = 0; v < n; ++v) {
+    s.emplace_protocol<WillardBinarySearchElection>(v, n);
+  }
+  s.run_to_quiescence(max_slots);
+  ElectionResult r;
+  r.slots = s.now();
+  r.everyone_agrees = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = s.protocol_as<WillardBinarySearchElection>(v);
+    if (!p.has_leader()) {
+      r.everyone_agrees = false;
+      return r;
+    }
+    if (v == 0) {
+      r.leader = p.leader();
+    } else if (p.leader() != r.leader) {
+      r.everyone_agrees = false;
+      return r;
+    }
+  }
+  return r;
+}
+
+TEST(WillardBinarySearch, ElectsUniqueLeaderAcrossSizes) {
+  for (const std::size_t n : {2U, 3U, 5U, 16U, 64U, 256U}) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const ElectionResult r = run_bs_election(n, seed, 200000);
+      EXPECT_TRUE(r.everyone_agrees) << "n=" << n << " seed=" << seed;
+      EXPECT_LT(r.leader, n) << "n=" << n;
+    }
+  }
+}
+
+TEST(WillardBinarySearch, FasterThanGeometricAtScale) {
+  // The point of the binary search: O(log log n) rounds instead of
+  // O(log n). Compare means at n = 1024.
+  double geometric = 0;
+  double binary = 0;
+  const int trials = 15;
+  for (int trial = 0; trial < trials; ++trial) {
+    const ElectionResult g = run_election(1024, 300 + trial, 200000);
+    const ElectionResult b = run_bs_election(1024, 300 + trial, 200000);
+    ASSERT_TRUE(g.everyone_agrees);
+    ASSERT_TRUE(b.everyone_agrees);
+    geometric += static_cast<double>(g.slots);
+    binary += static_cast<double>(b.slots);
+  }
+  EXPECT_LT(binary, geometric);
+}
+
+TEST(WillardBinarySearch, TinyNetworkDoesNotDeadlock) {
+  // n = 2 has rounds with no listener at all (both transmit); the
+  // level-0-silence-is-a-collision rule keeps the search moving.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ElectionResult r = run_bs_election(2, seed, 50000);
+    EXPECT_TRUE(r.everyone_agrees) << "seed=" << seed;
+  }
+}
+
+TEST(WillardBinarySearch, RequiresCollisionDetection) {
+  sim::Simulator s(graph::clique(3), sim::SimOptions{.seed = 1});
+  for (NodeId v = 0; v < 3; ++v) {
+    s.emplace_protocol<WillardBinarySearchElection>(v, 3);
+  }
+  EXPECT_THROW(s.step(), ContractViolation);
+}
+
+TEST(WillardBinarySearch, LeaderAccessorGuard) {
+  const WillardBinarySearchElection p(4);
+  EXPECT_FALSE(p.has_leader());
+  EXPECT_THROW(p.leader(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast::proto
