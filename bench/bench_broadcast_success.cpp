@@ -14,6 +14,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/summary.hpp"
 
@@ -73,19 +74,27 @@ int main() {
 
   for (const Family& family : families) {
     for (const double eps : {0.5, 0.1, 0.01}) {
+      // Each trial is fully determined by its index, so the worker pool
+      // reproduces the old serial loop's results bit for bit.
+      const auto outcomes = harness::run_trials(
+          trials,
+          [&family, eps, n, &opt](std::size_t trial) -> int {
+            const graph::Graph g = family.make(opt.seed + trial, n);
+            const proto::BroadcastParams params{
+                .network_size_bound = g.node_count(),
+                .degree_bound = g.max_in_degree(),
+                .epsilon = eps,
+                .stop_probability = 0.5,
+            };
+            const NodeId sources[] = {0};
+            const auto out = harness::run_bgi_broadcast(
+                g, sources, params, opt.seed * 1000 + trial, Slot{1} << 22);
+            return out.all_informed ? 1 : 0;
+          },
+          opt.threads);
       std::size_t successes = 0;
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        const graph::Graph g = family.make(opt.seed + trial, n);
-        const proto::BroadcastParams params{
-            .network_size_bound = g.node_count(),
-            .degree_bound = g.max_in_degree(),
-            .epsilon = eps,
-            .stop_probability = 0.5,
-        };
-        const NodeId sources[] = {0};
-        const auto out = harness::run_bgi_broadcast(
-            g, sources, params, opt.seed * 1000 + trial, Slot{1} << 22);
-        successes += out.all_informed ? 1 : 0;
+      for (const int ok : outcomes) {
+        successes += static_cast<std::size_t>(ok);
       }
       const double rate =
           static_cast<double>(successes) / static_cast<double>(trials);

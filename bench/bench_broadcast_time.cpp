@@ -16,6 +16,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/sweep.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/chernoff.hpp"
@@ -35,7 +36,7 @@ struct SeriesRow {
 };
 
 SeriesRow measure(const graph::Graph& g, double eps, std::size_t trials,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, std::size_t threads) {
   SeriesRow row;
   row.n = g.node_count();
   row.d = graph::diameter(g);
@@ -48,10 +49,17 @@ SeriesRow measure(const graph::Graph& g, double eps, std::size_t trials,
       .epsilon = eps,
       .stop_probability = 0.5,
   };
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const NodeId sources[] = {0};
-    const auto out = harness::run_bgi_broadcast(g, sources, params,
-                                                seed + trial, Slot{1} << 22);
+  // Trials fan out to the worker pool; the Summary is filled in trial
+  // order afterwards, so quantiles match the old serial loop exactly.
+  const auto outcomes = harness::run_trials(
+      trials,
+      [&g, &params, seed](std::size_t trial) {
+        const NodeId sources[] = {0};
+        return harness::run_bgi_broadcast(g, sources, params, seed + trial,
+                                          Slot{1} << 22);
+      },
+      threads);
+  for (const auto& out : outcomes) {
     if (out.all_informed) {
       ++row.successes;
       row.completion.add(static_cast<double>(out.completion_slot));
@@ -109,7 +117,7 @@ int main() {
     for (const std::size_t width : {2U, 4U, 8U, 16U, 32U, 64U}) {
       const std::size_t w = harness::scaled(width, opt);
       const graph::Graph g = graph::path_of_cliques(8, w);
-      rows.push_back(measure(g, eps, trials, opt.seed + width));
+      rows.push_back(measure(g, eps, trials, opt.seed + width, opt.threads));
     }
     print_series(
         "E3a / Theorem 4: fixed D = 7, growing n  (time should grow like "
@@ -126,7 +134,8 @@ int main() {
       const std::size_t width = 128 / layers;
       const graph::Graph g = graph::path_of_cliques(
           harness::scaled(layers, opt), std::max<std::size_t>(width, 1));
-      rows.push_back(measure(g, eps, trials, opt.seed + layers * 7));
+      rows.push_back(
+          measure(g, eps, trials, opt.seed + layers * 7, opt.threads));
     }
     print_series(
         "E3b / Theorem 4: fixed n ~ 128, growing D  (time should grow "

@@ -12,6 +12,7 @@
 #include "radiocast/graph/generators.hpp"
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/decay.hpp"
 #include "radiocast/sim/simulator.hpp"
@@ -30,9 +31,11 @@ sim::Message payload() {
 }
 
 /// d Decay transmitters around a listening hub; returns the fraction of
-/// trials in which the hub received a message within k slots.
+/// trials in which the hub received a message within k slots. Trials run
+/// on the worker pool (each one seeds its own simulator, so results are
+/// identical at any thread count).
 double monte_carlo(std::size_t d, unsigned k, std::size_t trials,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, std::size_t threads) {
   class DecayNode final : public sim::Protocol {
    public:
     explicit DecayNode(unsigned k_slots) : run_(k_slots, payload()) {}
@@ -56,17 +59,23 @@ double monte_carlo(std::size_t d, unsigned k, std::size_t trials,
   };
 
   const graph::Graph g = graph::star(d + 1);
+  const auto outcomes = harness::run_trials(
+      trials,
+      [&g, d, k, seed](std::size_t trial) -> int {
+        sim::Simulator s(g, sim::SimOptions{seed + trial});
+        auto& hub = s.emplace_protocol<Hub>(0);
+        for (NodeId v = 1; v <= d; ++v) {
+          s.emplace_protocol<DecayNode>(v, k);
+        }
+        for (unsigned t = 0; t < k; ++t) {
+          s.step();
+        }
+        return hub.received ? 1 : 0;
+      },
+      threads);
   std::size_t successes = 0;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    sim::Simulator s(g, sim::SimOptions{seed + trial});
-    auto& hub = s.emplace_protocol<Hub>(0);
-    for (NodeId v = 1; v <= d; ++v) {
-      s.emplace_protocol<DecayNode>(v, k);
-    }
-    for (unsigned t = 0; t < k; ++t) {
-      s.step();
-    }
-    successes += hub.received ? 1 : 0;
+  for (const int ok : outcomes) {
+    successes += static_cast<std::size_t>(ok);
   }
   return static_cast<double>(successes) / static_cast<double>(trials);
 }
@@ -104,7 +113,7 @@ int main() {
     for (std::size_t d = 2; d <= 512; d *= 2) {
       const unsigned k = proto::decay_phase_length(d);
       const double exact = stats::decay_success_probability(k, d);
-      const double mc = monte_carlo(d, k, trials, opt.seed + d);
+      const double mc = monte_carlo(d, k, trials, opt.seed + d, opt.threads);
       const double half =
           1.96 * std::sqrt(exact * (1 - exact) /
                            static_cast<double>(trials));

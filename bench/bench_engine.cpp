@@ -1,0 +1,292 @@
+// E-engine — throughput tracker for the simulation engine itself.
+//
+// Unlike the other benches (which reproduce paper claims), this one tracks
+// the repo's own performance trajectory, so regressions in the hot path are
+// visible PR over PR. Three measurements:
+//
+//   1. trials/sec  — the E2 (bench_broadcast_success) workload, run once
+//      through the old-style serial loop and once through
+//      harness::run_trials with the configured worker pool. The two result
+//      sequences are compared element-wise: the pool must be bit-identical
+//      to the serial loop.
+//   2. slots/sec   — raw slot-engine throughput on fixed-horizon mixed
+//      transmit/receive workloads over G(n,p) topologies of several sizes
+//      (exercises the CSR snapshot + touched-list reset fast path).
+//   3. quiescence  — run_to_quiescence with staggered termination, the
+//      worst case for a naive all_terminated() scan.
+//
+// Results print as a table and are also written as JSON to
+// $RADIOCAST_BENCH_JSON (default: BENCH_engine.json in the cwd).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/parallel.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace {
+
+using namespace radiocast;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --- 1. trials/sec on the E2 workload ------------------------------------
+
+harness::BroadcastOutcome e2_trial(std::size_t n, std::uint64_t seed,
+                                   std::size_t trial) {
+  rng::Rng graph_rng(seed + trial);
+  const graph::Graph g =
+      graph::connected_gnp(n, 4.0 / static_cast<double>(n), graph_rng);
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  const NodeId sources[] = {0};
+  return harness::run_bgi_broadcast(g, sources, params, seed * 1000 + trial,
+                                    Slot{1} << 22);
+}
+
+struct TrialsResult {
+  double serial_sec = 0.0;
+  double parallel_sec = 0.0;
+  std::size_t trials = 0;
+  std::size_t threads = 0;
+  bool identical = false;
+};
+
+TrialsResult measure_trials(std::size_t n, std::size_t trials,
+                            std::uint64_t seed, std::size_t threads) {
+  TrialsResult r;
+  r.trials = trials;
+  r.threads = threads;
+
+  const auto t0 = Clock::now();
+  std::vector<harness::BroadcastOutcome> serial(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    serial[trial] = e2_trial(n, seed, trial);
+  }
+  r.serial_sec = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  const auto pooled = harness::run_trials(
+      trials, [n, seed](std::size_t trial) { return e2_trial(n, seed, trial); },
+      threads);
+  r.parallel_sec = seconds_since(t1);
+
+  r.identical = pooled == serial;
+  return r;
+}
+
+// --- 2. slots/sec on a fixed-horizon mixed workload -----------------------
+
+/// Transmits with probability p, idles with probability 0.1, else listens;
+/// never terminates. A stand-in for a protocol mid-broadcast.
+class MixNode final : public sim::Protocol {
+ public:
+  explicit MixNode(double p) : p_(p) {}
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    if (ctx.rng().bernoulli(p_)) {
+      sim::Message m;
+      m.origin = ctx.id();
+      return sim::Action::transmit(m);
+    }
+    if (ctx.rng().bernoulli(0.1)) {
+      return sim::Action::idle();
+    }
+    return sim::Action::receive();
+  }
+
+ private:
+  double p_;
+};
+
+struct SlotResult {
+  std::string name;
+  std::size_t n = 0;
+  std::size_t arcs = 0;
+  Slot slots = 0;
+  double sec = 0.0;
+  std::uint64_t deliveries = 0;
+};
+
+SlotResult measure_slots(std::size_t n, double tx_prob, Slot slots,
+                         std::uint64_t seed) {
+  rng::Rng graph_rng(seed);
+  graph::Graph g =
+      graph::connected_gnp(n, 8.0 / static_cast<double>(n), graph_rng);
+  SlotResult r;
+  r.n = n;
+  r.arcs = g.arc_count();
+  r.slots = slots;
+  sim::Simulator s(std::move(g), sim::SimOptions{.seed = seed + 1});
+  for (NodeId v = 0; v < n; ++v) {
+    s.emplace_protocol<MixNode>(v, tx_prob);
+  }
+  const auto t0 = Clock::now();
+  for (Slot i = 0; i < slots; ++i) {
+    s.step();
+  }
+  r.sec = seconds_since(t0);
+  r.deliveries = s.trace().total_deliveries();
+  return r;
+}
+
+// --- 3. run_to_quiescence with staggered termination ----------------------
+
+/// Idles forever; reports terminated from `when` onward. Node n-1 holds out
+/// until the horizon, so a naive all_terminated() rescans every node every
+/// slot even though n-1 nodes finished long ago.
+class LateTerminator final : public sim::Protocol {
+ public:
+  explicit LateTerminator(Slot when) : when_(when) {}
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    now_ = ctx.now() + 1;
+    return sim::Action::idle();
+  }
+  bool terminated() const override { return now_ >= when_; }
+
+ private:
+  Slot when_;
+  Slot now_ = 0;
+};
+
+struct QuiescenceResult {
+  std::size_t n = 0;
+  Slot horizon = 0;
+  double sec = 0.0;
+};
+
+QuiescenceResult measure_quiescence(std::size_t n, Slot horizon) {
+  graph::Graph g(n);  // arc-free: isolates the termination-scan cost
+  sim::Simulator s(std::move(g), sim::SimOptions{.seed = 7});
+  for (NodeId v = 0; v < n; ++v) {
+    s.emplace_protocol<LateTerminator>(v, v + 1 < n ? Slot{1} : horizon - 1);
+  }
+  QuiescenceResult r;
+  r.n = n;
+  r.horizon = horizon;
+  const auto t0 = Clock::now();
+  s.run_to_quiescence(horizon);
+  r.sec = seconds_since(t0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const harness::RunOptions opt = harness::run_options();
+  const std::size_t n = harness::scaled(144, opt);
+  const std::size_t trials = opt.trials;
+
+  harness::print_banner("E-engine: simulator + trial-engine throughput");
+  std::printf("worker pool: %zu thread(s) (RADIOCAST_THREADS to override)\n",
+              opt.threads);
+
+  const TrialsResult tr = measure_trials(n, trials, opt.seed, opt.threads);
+  const double serial_tps = static_cast<double>(tr.trials) / tr.serial_sec;
+  const double parallel_tps =
+      static_cast<double>(tr.trials) / tr.parallel_sec;
+
+  harness::Table trials_table({"engine", "trials", "seconds", "trials/sec",
+                               "speedup", "bit-identical"});
+  trials_table.add_row({"serial loop", harness::Table::inum(tr.trials),
+                        harness::Table::num(tr.serial_sec, 3),
+                        harness::Table::num(serial_tps, 1), "1.00x", "-"});
+  trials_table.add_row(
+      {"run_trials x" + std::to_string(tr.threads),
+       harness::Table::inum(tr.trials),
+       harness::Table::num(tr.parallel_sec, 3),
+       harness::Table::num(parallel_tps, 1),
+       harness::Table::num(tr.serial_sec / tr.parallel_sec, 2) + "x",
+       harness::Table::yes_no(tr.identical)});
+  trials_table.print();
+
+  harness::Table slot_table(
+      {"workload", "n", "arcs", "slots", "seconds", "slots/sec"});
+  std::vector<SlotResult> slot_results;
+  const struct {
+    const char* name;
+    std::size_t n;
+    double tx_prob;
+    Slot slots;
+  } slot_cases[] = {
+      // dense: a quarter of all nodes transmit every slot (collision storm)
+      {"gnp-dense", 256, 0.25, 8000},
+      {"gnp-dense", 1024, 0.25, 3000},
+      {"gnp-dense", 4096, 0.25, 800},
+      // sparse: ~2% transmit — the regime Decay steers every broadcast
+      // into, and where the touched-list reset pays off
+      {"gnp-sparse", 1024, 0.02, 12000},
+      {"gnp-sparse", 4096, 0.02, 4000},
+  };
+  for (const auto& c : slot_cases) {
+    SlotResult sr =
+        measure_slots(harness::scaled(c.n, opt), c.tx_prob, c.slots, opt.seed);
+    sr.name = c.name;
+    slot_results.push_back(sr);
+    slot_table.add_row(
+        {sr.name, harness::Table::inum(sr.n), harness::Table::inum(sr.arcs),
+         harness::Table::inum(sr.slots), harness::Table::num(sr.sec, 3),
+         harness::Table::num(static_cast<double>(sr.slots) / sr.sec, 0)});
+  }
+  slot_table.print();
+
+  const QuiescenceResult q = measure_quiescence(harness::scaled(4096, opt),
+                                                Slot{20000});
+  std::printf("quiescence guard: n=%zu, %llu slots in %.3fs (%.0f slots/sec)\n",
+              q.n, static_cast<unsigned long long>(q.horizon), q.sec,
+              static_cast<double>(q.horizon) / q.sec);
+
+  if (!tr.identical) {
+    std::printf("FAIL: run_trials output differs from the serial loop\n");
+  }
+
+  // JSON record for the perf trajectory.
+  const char* json_env = std::getenv("RADIOCAST_BENCH_JSON");
+  const std::string json_path = json_env ? json_env : "BENCH_engine.json";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"threads\": %zu,\n", tr.threads);
+    std::fprintf(f,
+                 "  \"trials_workload\": {\"n\": %zu, \"trials\": %zu, "
+                 "\"serial_sec\": %.6f, \"serial_trials_per_sec\": %.2f, "
+                 "\"parallel_sec\": %.6f, \"parallel_trials_per_sec\": %.2f, "
+                 "\"speedup\": %.3f, \"bit_identical\": %s},\n",
+                 n, tr.trials, tr.serial_sec, serial_tps, tr.parallel_sec,
+                 parallel_tps, tr.serial_sec / tr.parallel_sec,
+                 tr.identical ? "true" : "false");
+    std::fprintf(f, "  \"slot_workloads\": [\n");
+    for (std::size_t i = 0; i < slot_results.size(); ++i) {
+      const SlotResult& sr = slot_results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"n\": %zu, \"arcs\": %zu, "
+                   "\"slots\": %llu, \"sec\": %.6f, \"slots_per_sec\": %.1f, "
+                   "\"deliveries\": %llu}%s\n",
+                   sr.name.c_str(), sr.n, sr.arcs,
+                   static_cast<unsigned long long>(sr.slots), sr.sec,
+                   static_cast<double>(sr.slots) / sr.sec,
+                   static_cast<unsigned long long>(sr.deliveries),
+                   i + 1 < slot_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"quiescence\": {\"n\": %zu, \"horizon\": %llu, "
+                 "\"sec\": %.6f, \"slots_per_sec\": %.1f}\n",
+                 q.n, static_cast<unsigned long long>(q.horizon), q.sec,
+                 static_cast<double>(q.horizon) / q.sec);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return tr.identical ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/summary.hpp"
 
@@ -65,10 +66,18 @@ int main() {
     };
     stats::Summary randomized;
     std::size_t successes = 0;
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      const NodeId sources[] = {net.source};
-      const auto out = harness::run_bgi_broadcast(
-          net.g, sources, params, opt.seed + 31 * n + trial, Slot{1} << 22);
+    // Trials run on the worker pool; the Summary is accumulated in trial
+    // order afterwards, matching the old serial loop bit for bit.
+    const auto outcomes = harness::run_trials(
+        trials,
+        [&net, &params, &opt, n](std::size_t trial) {
+          const NodeId sources[] = {net.source};
+          return harness::run_bgi_broadcast(net.g, sources, params,
+                                            opt.seed + 31 * n + trial,
+                                            Slot{1} << 22);
+        },
+        opt.threads);
+    for (const auto& out : outcomes) {
       if (out.all_informed) {
         ++successes;
         randomized.add(static_cast<double>(out.completion_slot) + 1);

@@ -10,17 +10,67 @@
 //   (c) ground truth for small n: exhaustive worst case over all 2^n - 1
 //       hidden sets per protocol, against n/2.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/lb/reduction.hpp"
 #include "radiocast/lb/strategies.hpp"
 
 namespace {
 using namespace radiocast;
+
+// Every (strategy|protocol, n) cell is independent, so the tables fan the
+// cells out to the worker pool. Each task constructs its own fresh
+// strategy/protocol object: all bundled ones are deterministic given
+// (constructor args, reset), so per-task construction reproduces the old
+// shared-object-plus-reset loop exactly while keeping tasks state-free.
+std::unique_ptr<lb::ExplorerStrategy> make_strategy(std::size_t index,
+                                                    std::uint64_t seed) {
+  switch (index) {
+    case 0:
+      return std::make_unique<lb::ScanSingletonsStrategy>();
+    case 1:
+      return std::make_unique<lb::HalvingStrategy>();
+    case 2:
+      return std::make_unique<lb::DoublingWindowStrategy>();
+    default:
+      return std::make_unique<lb::RandomSubsetStrategy>(seed);
+  }
+}
+
+std::unique_ptr<lb::AbstractBroadcastProtocol> make_protocol(
+    std::size_t index) {
+  switch (index) {
+    case 0:
+      return std::make_unique<lb::RoundRobinAbstract>();
+    case 1:
+      return std::make_unique<lb::BitSplitAbstract>();
+    default:
+      return std::make_unique<lb::AdaptiveSplitAbstract>();
+  }
+}
+
+struct Cell {
+  std::size_t index = 0;  ///< which strategy / protocol
+  std::size_t n = 0;
+};
+
+std::vector<Cell> cross(std::size_t count,
+                        std::initializer_list<std::size_t> ns) {
+  std::vector<Cell> cells;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const std::size_t n : ns) {
+      cells.push_back({i, n});
+    }
+  }
+  return cells;
+}
+
 }  // namespace
 
 int main() {
@@ -33,29 +83,31 @@ int main() {
                           "lemma 9 holds", "replay consistent"});
     harness::CsvWriter csv(opt.csv_dir, "e4a_find_set");
     csv.header({"strategy", "n", "moves", "set_size"});
-    lb::ScanSingletonsStrategy scan;
-    lb::HalvingStrategy halving;
-    lb::DoublingWindowStrategy windows;
-    lb::RandomSubsetStrategy random(opt.seed);
-    lb::ExplorerStrategy* strategies[] = {&scan, &halving, &windows,
-                                          &random};
-    for (lb::ExplorerStrategy* strategy : strategies) {
-      for (const std::size_t n : {16U, 64U, 256U, 1024U}) {
-        const auto outcome = lb::foil_strategy(*strategy, n, n / 2);
-        if (!outcome.has_value()) {
-          table.add_row({strategy->name(), harness::Table::inum(n),
-                         "FAILED", "-", "-", "-"});
-          continue;
-        }
-        table.add_row({strategy->name(), harness::Table::inum(n),
-                       harness::Table::inum(outcome->moves_collected),
-                       harness::Table::inum(outcome->s.size()),
-                       harness::Table::yes_no(outcome->lemma9_holds),
-                       harness::Table::yes_no(outcome->replay_consistent)});
-        csv.row({strategy->name(), std::to_string(n),
-                 std::to_string(outcome->moves_collected),
-                 std::to_string(outcome->s.size())});
+    const auto cells = cross(4, {16, 64, 256, 1024});
+    const auto outcomes = harness::run_trials(
+        cells.size(),
+        [&cells, &opt](std::size_t i) {
+          auto strategy = make_strategy(cells[i].index, opt.seed);
+          return lb::foil_strategy(*strategy, cells[i].n, cells[i].n / 2);
+        },
+        opt.threads);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t n = cells[i].n;
+      const char* name = make_strategy(cells[i].index, opt.seed)->name();
+      const auto& outcome = outcomes[i];
+      if (!outcome.has_value()) {
+        table.add_row({name, harness::Table::inum(n),
+                       "FAILED", "-", "-", "-"});
+        continue;
       }
+      table.add_row({name, harness::Table::inum(n),
+                     harness::Table::inum(outcome->moves_collected),
+                     harness::Table::inum(outcome->s.size()),
+                     harness::Table::yes_no(outcome->lemma9_holds),
+                     harness::Table::yes_no(outcome->replay_consistent)});
+      csv.row({name, std::to_string(n),
+               std::to_string(outcome->moves_collected),
+               std::to_string(outcome->s.size())});
     }
     table.print();
     std::printf("paper: no explorer wins the n-th hitting game in n/2 moves "
@@ -70,28 +122,32 @@ int main() {
                           "completed within horizon"});
     harness::CsvWriter csv(opt.csv_dir, "e4b_protocol_adversary");
     csv.header({"protocol", "n", "rounds", "floor"});
-    lb::RoundRobinAbstract rr;
-    lb::BitSplitAbstract bs;
-    lb::AdaptiveSplitAbstract as;
-    lb::AbstractBroadcastProtocol* protocols[] = {&rr, &bs, &as};
-    for (lb::AbstractBroadcastProtocol* protocol : protocols) {
-      for (const std::size_t n : {16U, 64U, 256U, 1024U}) {
-        const auto outcome =
-            lb::foil_abstract_protocol(*protocol, n, n / 4, 200 * n);
-        if (!outcome.has_value()) {
-          table.add_row({protocol->name(), harness::Table::inum(n), "FAILED",
-                         "-", "-"});
-          continue;
-        }
-        table.add_row(
-            {protocol->name(), harness::Table::inum(n),
-             harness::Table::inum(outcome->rounds_survived),
-             harness::Table::inum(n / 4),
-             harness::Table::yes_no(outcome->completed)});
-        csv.row({protocol->name(), std::to_string(n),
-                 std::to_string(outcome->rounds_survived),
-                 std::to_string(n / 4)});
+    const auto cells = cross(3, {16, 64, 256, 1024});
+    const auto outcomes = harness::run_trials(
+        cells.size(),
+        [&cells](std::size_t i) {
+          auto protocol = make_protocol(cells[i].index);
+          return lb::foil_abstract_protocol(*protocol, cells[i].n,
+                                            cells[i].n / 4,
+                                            200 * cells[i].n);
+        },
+        opt.threads);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t n = cells[i].n;
+      const char* name = make_protocol(cells[i].index)->name();
+      const auto& outcome = outcomes[i];
+      if (!outcome.has_value()) {
+        table.add_row({name, harness::Table::inum(n), "FAILED",
+                       "-", "-"});
+        continue;
       }
+      table.add_row({name, harness::Table::inum(n),
+                     harness::Table::inum(outcome->rounds_survived),
+                     harness::Table::inum(n / 4),
+                     harness::Table::yes_no(outcome->completed)});
+      csv.row({name, std::to_string(n),
+               std::to_string(outcome->rounds_survived),
+               std::to_string(n / 4)});
     }
     table.print();
     std::printf("every protocol — including the adaptive one — is forced "
@@ -105,21 +161,24 @@ int main() {
                           "worst S size"});
     harness::CsvWriter csv(opt.csv_dir, "e4c_exhaustive");
     csv.header({"protocol", "n", "worst_rounds"});
-    lb::RoundRobinAbstract rr;
-    lb::BitSplitAbstract bs;
-    lb::AdaptiveSplitAbstract as;
-    lb::AbstractBroadcastProtocol* protocols[] = {&rr, &bs, &as};
-    for (lb::AbstractBroadcastProtocol* protocol : protocols) {
-      for (const std::size_t n : {8U, 10U, 12U, 14U}) {
-        const lb::WorstCase w =
-            lb::exhaustive_worst_case(*protocol, n, 5000 * n);
-        table.add_row({protocol->name(), harness::Table::inum(n),
-                       harness::Table::inum(w.rounds),
-                       harness::Table::yes_no(w.rounds >= n / 2),
-                       harness::Table::inum(w.argmax_s.size())});
-        csv.row({protocol->name(), std::to_string(n),
-                 std::to_string(w.rounds)});
-      }
+    const auto cells = cross(3, {8, 10, 12, 14});
+    const auto outcomes = harness::run_trials(
+        cells.size(),
+        [&cells](std::size_t i) {
+          auto protocol = make_protocol(cells[i].index);
+          return lb::exhaustive_worst_case(*protocol, cells[i].n,
+                                           5000 * cells[i].n);
+        },
+        opt.threads);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t n = cells[i].n;
+      const char* name = make_protocol(cells[i].index)->name();
+      const lb::WorstCase& w = outcomes[i];
+      table.add_row({name, harness::Table::inum(n),
+                     harness::Table::inum(w.rounds),
+                     harness::Table::yes_no(w.rounds >= n / 2),
+                     harness::Table::inum(w.argmax_s.size())});
+      csv.row({name, std::to_string(n), std::to_string(w.rounds)});
     }
     table.print();
     std::printf("Theorem 12's message, exactly: over ALL hidden sets, every "

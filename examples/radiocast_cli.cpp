@@ -11,7 +11,8 @@
 //   radiocast_cli graph     --family geometric --n 60 --save g.txt [--dot g.dot]
 //
 // Common options: --family {path,cycle,grid,clique,star,hypercube,tree,
-// gnp,geometric,cn}, --n <nodes>, --eps <0..1>, --trials, --seed.
+// gnp,geometric,cn}, --n <nodes>, --eps <0..1>, --trials, --seed,
+// --threads <workers> (0 = auto; env RADIOCAST_THREADS also honored).
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -25,6 +26,7 @@
 #include "radiocast/graph/io.hpp"
 #include "radiocast/harness/args.hpp"
 #include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/convergecast.hpp"
 #include "radiocast/proto/gossip.hpp"
@@ -80,20 +82,30 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: radiocast_cli <broadcast|bfs|gap|election|route|gossip|"
-      "convergecast|schedule|graph> [--family F] [--n N] [--eps E] [--trials T] [--seed S] ...\n");
+      "convergecast|schedule|graph> [--family F] [--n N] [--eps E] "
+      "[--trials T] [--seed S] [--threads W] ...\n"
+      "  --threads W   run Monte-Carlo trials on W worker threads "
+      "(0 = auto:\n                RADIOCAST_THREADS if set, else all "
+      "hardware threads);\n                results are identical for "
+      "every W\n");
   return 2;
 }
 
 int cmd_broadcast(const graph::Graph& g, double eps, std::size_t trials,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, std::size_t threads) {
   const auto params = params_for(g, eps);
   std::size_t ok = 0;
   stats::Summary completion;
   stats::Summary tx;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const NodeId sources[] = {0};
-    const auto out = harness::run_bgi_broadcast(g, sources, params,
-                                                seed + trial, Slot{1} << 22);
+  const auto outcomes = harness::run_trials(
+      trials,
+      [&g, &params, seed](std::size_t trial) {
+        const NodeId sources[] = {0};
+        return harness::run_bgi_broadcast(g, sources, params, seed + trial,
+                                          Slot{1} << 22);
+      },
+      threads);
+  for (const auto& out : outcomes) {
     tx.add(static_cast<double>(out.transmissions));
     if (out.all_informed) {
       ++ok;
@@ -114,13 +126,19 @@ int cmd_broadcast(const graph::Graph& g, double eps, std::size_t trials,
 }
 
 int cmd_bfs(const graph::Graph& g, double eps, std::size_t trials,
-            std::uint64_t seed) {
+            std::uint64_t seed, std::size_t threads) {
   const auto params = params_for(g, eps);
+  const auto outcomes = harness::run_trials(
+      trials,
+      [&g, &params, seed](std::size_t trial) -> int {
+        const auto out =
+            harness::run_bgi_bfs(g, 0, params, seed + trial, Slot{1} << 24);
+        return out.labels_correct ? 1 : 0;
+      },
+      threads);
   std::size_t perfect = 0;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const auto out =
-        harness::run_bgi_bfs(g, 0, params, seed + trial, Slot{1} << 24);
-    perfect += out.labels_correct ? 1 : 0;
+  for (const int ok : outcomes) {
+    perfect += static_cast<std::size_t>(ok);
   }
   std::printf("bfs: n=%zu D=%u: all-labels-exact %zu/%zu (target >= %.3f)\n",
               g.node_count(), graph::diameter(g), perfect, trials, 1 - eps);
@@ -128,15 +146,20 @@ int cmd_bfs(const graph::Graph& g, double eps, std::size_t trials,
 }
 
 int cmd_gap(std::size_t n, double eps, std::size_t trials,
-            std::uint64_t seed) {
+            std::uint64_t seed, std::size_t threads) {
   const NodeId worst_s[] = {static_cast<NodeId>(n)};
   const auto net = graph::make_cn(n, worst_s);
   const auto params = params_for(net.g, eps);
   stats::Summary randomized;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const NodeId sources[] = {net.source};
-    const auto out = harness::run_bgi_broadcast(
-        net.g, sources, params, seed + trial, Slot{1} << 22);
+  const auto outcomes = harness::run_trials(
+      trials,
+      [&net, &params, seed](std::size_t trial) {
+        const NodeId sources[] = {net.source};
+        return harness::run_bgi_broadcast(net.g, sources, params,
+                                          seed + trial, Slot{1} << 22);
+      },
+      threads);
+  for (const auto& out : outcomes) {
     if (out.all_informed) {
       randomized.add(static_cast<double>(out.completion_slot) + 1);
     }
@@ -293,7 +316,7 @@ int main(int argc, char** argv) {
   }
   const std::set<std::string> known{"family", "n",    "eps",  "trials",
                                     "seed",   "dot",  "save", "source",
-                                    "dest",   "load"};
+                                    "dest",   "load", "threads"};
   for (const auto& key : args.unknown_keys(known)) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -305,6 +328,12 @@ int main(int argc, char** argv) {
   const double eps = args.get_double("eps", 0.1);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 30));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  // 0 means auto-detect (RADIOCAST_THREADS, else hardware concurrency);
+  // resolve it here so every command sees a concrete worker count.
+  auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  if (threads == 0) {
+    threads = harness::default_thread_count();
+  }
 
   const auto load_or_make = [&]() -> graph::Graph {
     const std::string load = args.get("load", "");
@@ -321,13 +350,13 @@ int main(int argc, char** argv) {
 
   try {
     if (cmd == "broadcast") {
-      return cmd_broadcast(load_or_make(), eps, trials, seed);
+      return cmd_broadcast(load_or_make(), eps, trials, seed, threads);
     }
     if (cmd == "bfs") {
-      return cmd_bfs(load_or_make(), eps, trials, seed);
+      return cmd_bfs(load_or_make(), eps, trials, seed, threads);
     }
     if (cmd == "gap") {
-      return cmd_gap(n, eps, trials, seed);
+      return cmd_gap(n, eps, trials, seed, threads);
     }
     if (cmd == "election") {
       return cmd_election(load_or_make(), eps, seed);

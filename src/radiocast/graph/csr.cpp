@@ -1,0 +1,26 @@
+#include "radiocast/graph/csr.hpp"
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/graph/graph.hpp"
+
+namespace radiocast::graph {
+
+CsrTopology::CsrTopology(const Graph& g)
+    : node_count_(g.node_count()), source_version_(g.version()) {
+  RADIOCAST_CHECK_MSG(g.arc_count() <= UINT32_MAX,
+                      "CSR snapshot supports at most 2^32-1 arcs");
+  out_offsets_.reserve(node_count_ + 1);
+  in_offsets_.reserve(node_count_ + 1);
+  out_arcs_.reserve(g.arc_count());
+  in_arcs_.reserve(g.arc_count());
+  for (NodeId u = 0; u < node_count_; ++u) {
+    const auto out = g.out_neighbors(u);
+    out_arcs_.insert(out_arcs_.end(), out.begin(), out.end());
+    out_offsets_.push_back(static_cast<std::uint32_t>(out_arcs_.size()));
+    const auto in = g.in_neighbors(u);
+    in_arcs_.insert(in_arcs_.end(), in.begin(), in.end());
+    in_offsets_.push_back(static_cast<std::uint32_t>(in_arcs_.size()));
+  }
+}
+
+}  // namespace radiocast::graph

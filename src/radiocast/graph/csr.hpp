@@ -1,0 +1,72 @@
+// A flat compressed-sparse-row snapshot of a Graph.
+//
+// Graph stores one std::vector per node, which is the right shape for
+// mutation (the dynamic-topology experiments add/remove a few arcs per
+// slot) but the wrong shape for the simulator's inner loop: iterating a
+// node's neighbors chases a pointer per node, and consecutive nodes'
+// adjacency lists live in unrelated heap blocks. CsrTopology packs all
+// arcs into two contiguous arrays (out- and in-adjacency), so a slot's
+// transmission sweep walks memory linearly.
+//
+// The snapshot is immutable. It remembers the Graph::version() it was
+// built from, so a holder can cheaply detect staleness after topology
+// events and rebuild (the Simulator does exactly this once per slot that
+// mutated the graph — never per arc).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+
+namespace radiocast::graph {
+
+class Graph;
+
+class CsrTopology {
+ public:
+  /// An empty snapshot (0 nodes). Assign a real one before use.
+  CsrTopology() = default;
+
+  /// Snapshots `g`: O(n + m), one pass, two allocations per direction.
+  explicit CsrTopology(const Graph& g);
+
+  std::size_t node_count() const noexcept { return node_count_; }
+  std::size_t arc_count() const noexcept { return out_arcs_.size(); }
+
+  /// Graph::version() of the source at snapshot time.
+  std::uint64_t source_version() const noexcept { return source_version_; }
+
+  /// Nodes that can hear u's transmissions, in increasing id order.
+  std::span<const NodeId> out_neighbors(NodeId u) const noexcept {
+    return {out_arcs_.data() + out_offsets_[u],
+            out_arcs_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Nodes whose transmissions u can hear, in increasing id order.
+  std::span<const NodeId> in_neighbors(NodeId u) const noexcept {
+    return {in_arcs_.data() + in_offsets_[u],
+            in_arcs_.data() + in_offsets_[u + 1]};
+  }
+
+  std::size_t out_degree(NodeId u) const noexcept {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  std::size_t in_degree(NodeId u) const noexcept {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+ private:
+  std::size_t node_count_ = 0;
+  std::uint64_t source_version_ = 0;
+  // offsets have n+1 entries; arcs_[offsets_[u] .. offsets_[u+1]) are u's
+  // neighbors. uint32 offsets cap a snapshot at ~4G arcs, far beyond any
+  // simulated topology (and half the cache traffic of size_t).
+  std::vector<std::uint32_t> out_offsets_ = {0};
+  std::vector<std::uint32_t> in_offsets_ = {0};
+  std::vector<NodeId> out_arcs_;
+  std::vector<NodeId> in_arcs_;
+};
+
+}  // namespace radiocast::graph

@@ -47,6 +47,7 @@ bool Graph::add_arc(NodeId u, NodeId v) {
   }
   sorted_insert(in_[v], u);
   ++arc_count_;
+  ++version_;
   return true;
 }
 
@@ -58,6 +59,7 @@ bool Graph::remove_arc(NodeId u, NodeId v) {
   }
   sorted_erase(in_[v], u);
   --arc_count_;
+  ++version_;
   return true;
 }
 

@@ -65,8 +65,16 @@ class Graph {
   /// True iff for every arc u -> v the reverse arc v -> u is present.
   bool is_symmetric() const;
 
-  /// Equality of node count and arc sets (used by tests).
-  friend bool operator==(const Graph& a, const Graph& b) noexcept = default;
+  /// Monotone counter bumped by every successful mutation (add/remove arc
+  /// or edge). Snapshot caches — notably sim::Simulator's CsrTopology —
+  /// compare versions to detect staleness without hooking every mutator.
+  std::uint64_t version() const noexcept { return version_; }
+
+  /// Equality of node count and arc sets (used by tests). Mutation history
+  /// (version()) deliberately does not participate.
+  friend bool operator==(const Graph& a, const Graph& b) noexcept {
+    return a.out_ == b.out_;
+  }
 
  private:
   void check_node(NodeId v) const;
@@ -74,6 +82,7 @@ class Graph {
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   std::size_t arc_count_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace radiocast::graph

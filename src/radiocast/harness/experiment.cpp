@@ -38,18 +38,22 @@ BroadcastOutcome run_bgi_impl(const graph::Graph& g,
     simulator.network().schedule(e);
   }
   const std::size_t n = g.node_count();
+  // Typed pointers cached at installation: the per-slot predicates below
+  // would otherwise pay a dynamic_cast (protocol_as) per node per slot,
+  // which dominated the whole trial at harness level.
+  std::vector<const proto::BgiBroadcast*> nodes(n);
   for (NodeId v = 0; v < n; ++v) {
     if (contains(sources, v)) {
-      simulator.emplace_protocol<proto::BgiBroadcast>(
+      nodes[v] = &simulator.emplace_protocol<proto::BgiBroadcast>(
           v, params, broadcast_payload(sources.front()));
     } else {
-      simulator.emplace_protocol<proto::BgiBroadcast>(v, params);
+      nodes[v] = &simulator.emplace_protocol<proto::BgiBroadcast>(v, params);
     }
   }
 
-  const auto all_informed = [n](const sim::Simulator& s) {
-    for (NodeId v = 0; v < n; ++v) {
-      if (!s.protocol_as<proto::BgiBroadcast>(v).informed()) {
+  const auto all_informed = [&nodes]() {
+    for (const proto::BgiBroadcast* p : nodes) {
+      if (!p->informed()) {
         return false;
       }
     }
@@ -57,10 +61,9 @@ BroadcastOutcome run_bgi_impl(const graph::Graph& g,
   };
   // Communication dies out once every informed node has exhausted its
   // Decay phases; past that point nothing can change.
-  const auto dead = [n](const sim::Simulator& s) {
-    for (NodeId v = 0; v < n; ++v) {
-      const auto& p = s.protocol_as<proto::BgiBroadcast>(v);
-      if (p.informed() && !p.terminated()) {
+  const auto dead = [&nodes]() {
+    for (const proto::BgiBroadcast* p : nodes) {
+      if (p->informed() && !p->terminated()) {
         return false;
       }
     }
@@ -73,17 +76,16 @@ BroadcastOutcome run_bgi_impl(const graph::Graph& g,
         if (s.now() == 0) {
           return false;
         }
-        return (stop_at_completion && all_informed(s)) || dead(s);
+        return (stop_at_completion && all_informed()) || dead();
       },
       max_slots);
   outcome.slots_run = simulator.now();
   outcome.transmissions = simulator.trace().total_transmissions();
-  outcome.all_informed = all_informed(simulator);
+  outcome.all_informed = all_informed();
   if (outcome.all_informed) {
     Slot worst = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      worst = std::max(
-          worst, simulator.protocol_as<proto::BgiBroadcast>(v).informed_at());
+    for (const proto::BgiBroadcast* p : nodes) {
+      worst = std::max(worst, p->informed_at());
     }
     outcome.completion_slot = worst;
   }
@@ -114,24 +116,24 @@ BfsOutcome run_bgi_bfs(const graph::Graph& g, NodeId root,
                        std::uint64_t seed, Slot max_slots) {
   sim::Simulator simulator(g, sim::SimOptions{seed, false, false});
   const std::size_t n = g.node_count();
+  std::vector<const proto::BgiBfs*> nodes(n);
   for (NodeId v = 0; v < n; ++v) {
     if (v == root) {
-      simulator.emplace_protocol<proto::BgiBfs>(v, params,
-                                                broadcast_payload(root));
+      nodes[v] = &simulator.emplace_protocol<proto::BgiBfs>(
+          v, params, broadcast_payload(root));
     } else {
-      simulator.emplace_protocol<proto::BgiBfs>(v, params);
+      nodes[v] = &simulator.emplace_protocol<proto::BgiBfs>(v, params);
     }
   }
   // Run until the protocol is globally quiescent: every node informed and
   // finished, or stuck (some node uninformed but no transmitter left).
   simulator.run_until(
-      [n](const sim::Simulator& s) {
+      [&nodes](const sim::Simulator& s) {
         if (s.now() == 0) {
           return false;
         }
-        for (NodeId v = 0; v < n; ++v) {
-          const auto& p = s.protocol_as<proto::BgiBfs>(v);
-          if (p.informed() && !p.terminated()) {
+        for (const proto::BgiBfs* p : nodes) {
+          if (p->informed() && !p->terminated()) {
             return false;
           }
         }
@@ -145,7 +147,7 @@ BfsOutcome run_bgi_bfs(const graph::Graph& g, NodeId root,
   const auto truth = graph::bfs_distances(g, root);
   outcome.all_informed = true;
   for (NodeId v = 0; v < n; ++v) {
-    const auto& p = simulator.protocol_as<proto::BgiBfs>(v);
+    const proto::BgiBfs& p = *nodes[v];
     if (!p.informed()) {
       outcome.all_informed = false;
       continue;
@@ -215,18 +217,19 @@ DeterministicOutcome run_round_robin(const graph::Graph& g, NodeId source,
                                      Slot max_slots) {
   sim::Simulator simulator(g, sim::SimOptions{});
   const std::size_t n = g.node_count();
+  std::vector<const proto::RoundRobinBroadcast*> nodes(n);
   for (NodeId v = 0; v < n; ++v) {
     if (v == source) {
-      simulator.emplace_protocol<proto::RoundRobinBroadcast>(
+      nodes[v] = &simulator.emplace_protocol<proto::RoundRobinBroadcast>(
           v, n, broadcast_payload(source));
     } else {
-      simulator.emplace_protocol<proto::RoundRobinBroadcast>(v, n);
+      nodes[v] = &simulator.emplace_protocol<proto::RoundRobinBroadcast>(v, n);
     }
   }
   simulator.run_until(
-      [n](const sim::Simulator& s) {
-        for (NodeId v = 0; v < n; ++v) {
-          if (!s.protocol_as<proto::RoundRobinBroadcast>(v).informed()) {
+      [&nodes](const sim::Simulator&) {
+        for (const proto::RoundRobinBroadcast* p : nodes) {
+          if (!p->informed()) {
             return false;
           }
         }

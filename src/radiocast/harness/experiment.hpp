@@ -22,6 +22,11 @@ struct BroadcastOutcome {
   /// Slot at which every informed node had finished its Decay phases.
   Slot slots_run = 0;
   std::uint64_t transmissions = 0;
+
+  /// Field-wise equality; the thread-count-invariance tests compare whole
+  /// outcome sequences across worker-pool sizes.
+  friend bool operator==(const BroadcastOutcome&,
+                         const BroadcastOutcome&) = default;
 };
 
 /// One execution of Broadcast_scheme (all of `sources` hold the same

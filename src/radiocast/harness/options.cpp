@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "radiocast/harness/parallel.hpp"
+
 namespace radiocast::harness {
 
 namespace {
@@ -34,6 +36,7 @@ RunOptions run_options() {
   if (const char* v = env_or_null("REPRO_CSV_DIR")) {
     opt.csv_dir = v;
   }
+  opt.threads = default_thread_count();
   return opt;
 }
 

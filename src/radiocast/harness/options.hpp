@@ -1,10 +1,13 @@
 // Environment-driven knobs shared by every bench binary, so CI and a quick
 // laptop run can use the same executables:
 //
-//   REPRO_TRIALS  — base Monte-Carlo trial count (default 200)
-//   REPRO_SCALE   — multiplier applied to problem sizes (default 1.0)
-//   REPRO_SEED    — master seed (default 20260704)
-//   REPRO_CSV_DIR — when set, benches also write their tables as CSV there
+//   REPRO_TRIALS      — base Monte-Carlo trial count (default 200)
+//   REPRO_SCALE       — multiplier applied to problem sizes (default 1.0)
+//   REPRO_SEED        — master seed (default 20260704)
+//   REPRO_CSV_DIR     — when set, benches also write their tables as CSV there
+//   RADIOCAST_THREADS — worker threads for parallel trial loops (default:
+//                       hardware_concurrency). Thread count never changes
+//                       results, only wall-clock time (see parallel.hpp).
 #pragma once
 
 #include <cstddef>
@@ -18,6 +21,10 @@ struct RunOptions {
   double scale = 1.0;
   std::uint64_t seed = 20260704;
   std::string csv_dir;  ///< empty = CSV output disabled
+  /// Worker threads for run_trials loops. run_options() resolves this to
+  /// RADIOCAST_THREADS if set, else hardware_concurrency(); benches pass it
+  /// straight to harness::run_trials. Results are thread-count invariant.
+  std::size_t threads = 0;
 };
 
 /// Reads the options from the environment (values above are the defaults).

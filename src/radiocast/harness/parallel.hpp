@@ -1,0 +1,66 @@
+// Parallel Monte-Carlo trial execution.
+//
+// Every bench in this repo estimates a paper claim by running many
+// independent seeded trials. The trials share nothing: each builds its own
+// graph, its own Simulator, and draws from its own seed-derived Rng. That
+// makes them embarrassingly parallel, and `run_trials` exploits it with a
+// worker pool over std::thread.
+//
+// Determinism contract: results are indexed by trial number, and a trial's
+// randomness depends only on its own index (callers derive the seed from
+// `trial` exactly as the old serial loops did). Output is therefore
+// bit-identical for any thread count, including 1 — the thread count only
+// changes wall-clock time, never a single result. The determinism
+// regression test (tests/test_parallel.cpp) pins this down.
+//
+// Thread count resolution, in priority order:
+//   1. the explicit `threads` argument when non-zero;
+//   2. the RADIOCAST_THREADS environment variable when set and positive;
+//   3. std::thread::hardware_concurrency() (at least 1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace radiocast::harness {
+
+/// Worker count used when `threads == 0` is passed to the functions below:
+/// RADIOCAST_THREADS if set and positive, else hardware_concurrency()
+/// (never less than 1).
+std::size_t default_thread_count();
+
+/// Invokes `fn(i)` exactly once for every i in [0, count), distributed
+/// across `threads` workers (0 = default_thread_count()). Work is handed
+/// out dynamically (an atomic cursor), so uneven trial durations balance
+/// automatically. `fn` must be safe to call concurrently for distinct i.
+/// If any invocation throws, the first exception (in completion order) is
+/// rethrown on the calling thread after all workers have stopped.
+/// With `threads <= 1` or `count <= 1` everything runs inline on the
+/// calling thread — no threads are spawned.
+void for_each_trial(std::size_t count, std::size_t threads,
+                    const std::function<void(std::size_t)>& fn);
+
+/// Runs `count` independent trials of `fn` and collects the results in
+/// trial order: result[i] == fn(i), regardless of which worker ran it or
+/// when. The result type must be default-constructible and must not be
+/// `bool` (std::vector<bool> packs bits, so concurrent writes to distinct
+/// indices would race — return an int or a struct instead).
+template <typename Fn>
+auto run_trials(std::size_t count, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(!std::is_same_v<R, bool>,
+                "run_trials cannot return bool (vector<bool> bit-packing "
+                "races across threads); return int or a struct instead");
+  static_assert(std::is_default_constructible_v<R>,
+                "run_trials results are preallocated, so the trial result "
+                "type must be default-constructible");
+  std::vector<R> results(count);
+  for_each_trial(count, threads,
+                 [&results, &fn](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace radiocast::harness

@@ -3,6 +3,7 @@
 // due events at the start of every slot.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "radiocast/graph/graph.hpp"
@@ -23,6 +24,11 @@ class Network {
   void crash(NodeId v);
   void revive(NodeId v);
   std::size_t alive_count() const noexcept { return alive_count_; }
+
+  /// Raw per-node liveness (1 = alive), indexed by NodeId. The simulator's
+  /// inner loop reads this directly instead of paying a bounds-checked
+  /// is_alive() call per arc.
+  std::span<const char> alive_mask() const noexcept { return alive_; }
 
   /// Schedules `e` for application at slot e.at.
   void schedule(TopologyEvent e) { events_.push(e); }

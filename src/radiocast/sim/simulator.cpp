@@ -1,5 +1,6 @@
 #include "radiocast/sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace radiocast::sim {
@@ -9,13 +10,18 @@ Simulator::Simulator(graph::Graph g, SimOptions options)
       options_(options),
       trace_(network_.node_count(), options.trace_slots),
       protocols_(network_.node_count()),
+      csr_(network_.topology()),
       actions_(network_.node_count()),
+      kind_(network_.node_count(),
+            static_cast<std::uint8_t>(ActionKind::kIdle)),
       hear_count_(network_.node_count(), 0),
       heard_from_(network_.node_count(), kNoNode) {
   node_rngs_.reserve(network_.node_count());
   for (NodeId v = 0; v < network_.node_count(); ++v) {
     node_rngs_.emplace_back(options_.seed, /*stream=*/v);
   }
+  transmitters_.reserve(network_.node_count());
+  touched_.reserve(network_.node_count());
 }
 
 void Simulator::set_protocol(NodeId v, std::unique_ptr<Protocol> p) {
@@ -45,12 +51,21 @@ const Protocol& Simulator::protocol(NodeId v) const {
 }
 
 NodeContext Simulator::make_context(NodeId v) {
-  const graph::Graph& g = network_.topology();
-  return NodeContext(v, now_, node_rngs_[v], g.out_neighbors(v),
-                     g.in_neighbors(v), options_.collision_detection);
+  return NodeContext(v, now_, node_rngs_[v], csr_.out_neighbors(v),
+                     csr_.in_neighbors(v), options_.collision_detection);
+}
+
+void Simulator::refresh_topology() {
+  if (csr_.source_version() != network_.topology().version()) {
+    csr_ = graph::CsrTopology(network_.topology());
+  }
 }
 
 void Simulator::step() {
+  // The topology may have been mutated directly (network().topology())
+  // since the last slot; catch up before handing out neighbor spans.
+  refresh_topology();
+
   if (!started_) {
     for (NodeId v = 0; v < node_count(); ++v) {
       RADIOCAST_CHECK_MSG(protocols_[v] != nullptr,
@@ -64,45 +79,72 @@ void Simulator::step() {
   }
 
   network_.apply_due_events(now_);
+  refresh_topology();
   trace_.begin_slot(now_);
 
   const std::size_t n = node_count();
-  const graph::Graph& g = network_.topology();
+  const std::span<const char> alive = network_.alive_mask();
 
-  // Phase 1: collect actions.
+  // Phase 1: collect actions (and this slot's transmitter set, which is
+  // naturally sorted because nodes are polled in id order). Dead nodes'
+  // Action records are left stale — only kind_ must be correct, because
+  // actions_[v] is read again solely for transmitters (phase 3's sender).
+  transmitters_.clear();
+  const std::uint8_t kReceiveByte =
+      static_cast<std::uint8_t>(ActionKind::kReceive);
   for (NodeId v = 0; v < n; ++v) {
-    if (!network_.is_alive(v)) {
-      actions_[v] = Action::idle();
+    if (alive[v] == 0) {
+      kind_[v] = static_cast<std::uint8_t>(ActionKind::kIdle);
       continue;
     }
     NodeContext ctx = make_context(v);
-    actions_[v] = protocols_[v]->on_slot(ctx);
+    Action a = protocols_[v]->on_slot(ctx);
+    kind_[v] = static_cast<std::uint8_t>(a.kind);
+    if (a.kind == ActionKind::kTransmit) {
+      // Only transmitters' Actions are ever read back (phase 3 delivers
+      // actions_[sender].message), so only they pay the 48-byte store.
+      actions_[v] = std::move(a);
+      transmitters_.push_back(v);
+    }
   }
 
-  // Phase 2: propagate transmissions into per-receiver counters.
-  std::fill(hear_count_.begin(), hear_count_.end(), 0);
-  for (NodeId u = 0; u < n; ++u) {
-    if (actions_[u].kind != ActionKind::kTransmit) {
-      continue;
-    }
+  // Phase 2: propagate transmissions into per-receiver counters. Only
+  // receivers actually reached this slot enter `touched_` (exactly once,
+  // when their counter leaves zero) — everyone else's counter is already
+  // zero and stays untouched, so there is no O(n) fill.
+  for (const NodeId u : transmitters_) {
     trace_.record_transmission(u);
-    for (const NodeId v : g.out_neighbors(u)) {
-      if (!network_.is_alive(v) ||
-          actions_[v].kind != ActionKind::kReceive) {
+    for (const NodeId v : csr_.out_neighbors(u)) {
+      if (kind_[v] != kReceiveByte) {
         continue;
       }
       if (++hear_count_[v] == 1) {
         heard_from_[v] = u;
+        touched_.push_back(v);
       }
     }
   }
 
-  // Phase 3: deliveries and collisions.
-  for (NodeId v = 0; v < n; ++v) {
-    if (actions_[v].kind != ActionKind::kReceive || hear_count_[v] == 0) {
-      continue;
-    }
-    if (hear_count_[v] == 1) {
+  // Phase 3: deliveries and collisions, in increasing receiver id — the
+  // same order the previous full 0..n-1 scan used, so traces and rng
+  // draws are bit-identical. Counters are reset as they are consumed.
+  //
+  // Two strategies with identical observable behavior:
+  //   sparse — sort the touched list and walk it: O(t log t), t = touched
+  //            receivers. The common case for radio broadcast, where most
+  //            slots reach few receivers (Decay thins transmitters, most
+  //            nodes idle or hear nothing).
+  //   dense  — when a large fraction of nodes was touched, a linear scan
+  //            over the (already zero elsewhere) counter array is cheaper
+  //            than sorting.
+  // A single transmitter's touched list is already sorted (its CSR
+  // neighbor span is), so that frequent case skips the sort outright.
+  const bool dense = touched_.size() >= n / 8 && transmitters_.size() > 1;
+  if (!dense && transmitters_.size() > 1) {
+    std::sort(touched_.begin(), touched_.end());
+  }
+  const auto deliver_or_collide = [&](NodeId v, std::uint32_t count) {
+    if (count == 1) {
       const NodeId sender = heard_from_[v];
       trace_.record_delivery(now_, v, sender);
       NodeContext ctx = make_context(v);
@@ -114,13 +156,30 @@ void Simulator::step() {
         // probability — the receiver then experiences plain silence.
         if (options_.cd_false_negative_rate > 0.0 &&
             node_rngs_[v].bernoulli(options_.cd_false_negative_rate)) {
-          continue;
+          return;
         }
         NodeContext ctx = make_context(v);
         protocols_[v]->on_collision(ctx);
       }
     }
+  };
+  if (dense) {
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t count = hear_count_[v];
+      if (count == 0) {
+        continue;
+      }
+      hear_count_[v] = 0;
+      deliver_or_collide(v, count);
+    }
+  } else {
+    for (const NodeId v : touched_) {
+      const std::uint32_t count = hear_count_[v];
+      hear_count_[v] = 0;
+      deliver_or_collide(v, count);
+    }
   }
+  touched_.clear();
 
   ++now_;
 }
@@ -146,7 +205,16 @@ Slot Simulator::run_to_quiescence(Slot max_slots) {
 }
 
 bool Simulator::all_terminated() const {
-  for (NodeId v = 0; v < node_count(); ++v) {
+  const std::size_t n = node_count();
+  // Advance the cursor past protocols already seen terminated: termination
+  // is monotone, so they never need a virtual dispatch again. Liveness is
+  // deliberately ignored here — a crashed-but-unterminated node must keep
+  // being rechecked in case it is revived.
+  while (terminated_prefix_ < n &&
+         protocols_[terminated_prefix_]->terminated()) {
+    ++terminated_prefix_;
+  }
+  for (NodeId v = terminated_prefix_; v < n; ++v) {
     if (network_.is_alive(v) && !protocols_[v]->terminated()) {
       return false;
     }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "radiocast/common/check.hpp"
+#include "radiocast/graph/csr.hpp"
 #include "radiocast/graph/graph.hpp"
 #include "radiocast/sim/network.hpp"
 #include "radiocast/sim/protocol.hpp"
@@ -108,6 +109,10 @@ class Simulator {
  private:
   NodeContext make_context(NodeId v);
 
+  /// Rebuilds the CSR snapshot iff the topology mutated since it was
+  /// taken (Graph::version() comparison — O(1) when nothing changed).
+  void refresh_topology();
+
   Network network_;
   SimOptions options_;
   Trace trace_;
@@ -116,10 +121,26 @@ class Simulator {
   Slot now_ = 0;
   bool started_ = false;
 
+  /// Flat snapshot of network_.topology(); the hot path iterates this
+  /// instead of the pointer-chasing vector<vector<NodeId>> graph.
+  graph::CsrTopology csr_;
+
   // Scratch buffers reused across slots to avoid per-slot allocation.
   std::vector<Action> actions_;
-  std::vector<std::uint32_t> hear_count_;
+  /// actions_[v].kind as a packed byte array (dead nodes folded to kIdle):
+  /// the per-arc receiver test in phase 2 reads one byte instead of
+  /// striding across 48-byte Action records plus the liveness vector.
+  std::vector<std::uint8_t> kind_;
+  std::vector<std::uint32_t> hear_count_;  ///< all-zero between slots
   std::vector<NodeId> heard_from_;
+  std::vector<NodeId> transmitters_;  ///< this slot's transmitters, by id
+  /// Receivers whose hear_count_ went nonzero this slot; resetting exactly
+  /// these makes the slot cost O(transmitters + touched edges), not O(n+m).
+  std::vector<NodeId> touched_;
+  /// Nodes 0..terminated_prefix_-1 have reported terminated(); since
+  /// termination is monotone (see Protocol::terminated), they need never
+  /// be polled again. Mutable: all_terminated() is logically const.
+  mutable NodeId terminated_prefix_ = 0;
 };
 
 }  // namespace radiocast::sim

@@ -1,0 +1,136 @@
+// The parallel trial engine's determinism contract: run_trials produces
+// bit-identical results at every thread count, covers every index exactly
+// once, and propagates worker exceptions to the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/parallel.hpp"
+
+namespace radiocast::harness {
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  for_each_trial(kCount, 8, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ResultsIndexedByTrial) {
+  const auto results = run_trials(
+      257, [](std::size_t i) { return i * i; }, 8);
+  ASSERT_EQ(results.size(), 257u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(Parallel, CountZeroReturnsEmpty) {
+  const auto results = run_trials(
+      0, [](std::size_t) { return 1; }, 8);
+  EXPECT_TRUE(results.empty());
+  bool called = false;
+  for_each_trial(0, 4, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SingleTrialRunsInline) {
+  // count <= 1 must not spawn a thread: observable because the lambda
+  // runs on the calling thread.
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  for_each_trial(1, 8, [&seen](std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(Parallel, ExceptionPropagatesInline) {
+  EXPECT_THROW(for_each_trial(4, 1,
+                              [](std::size_t i) {
+                                if (i == 2) {
+                                  throw std::runtime_error("boom");
+                                }
+                              }),
+               std::runtime_error);
+}
+
+TEST(Parallel, ExceptionPropagatesFromWorker) {
+  EXPECT_THROW(for_each_trial(64, 8,
+                              [](std::size_t i) {
+                                if (i == 40) {
+                                  throw std::runtime_error("boom");
+                                }
+                              }),
+               std::runtime_error);
+}
+
+TEST(Parallel, DefaultThreadCountHonorsEnv) {
+  ::setenv("RADIOCAST_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  // Zero and garbage fall through to hardware concurrency (>= 1).
+  ::setenv("RADIOCAST_THREADS", "0", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  ::setenv("RADIOCAST_THREADS", "banana", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  ::unsetenv("RADIOCAST_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+/// One full-protocol broadcast trial, seeded purely from its index — the
+/// exact shape every migrated bench uses.
+harness::BroadcastOutcome bgi_trial(std::size_t trial) {
+  rng::Rng graph_rng(100 + trial);
+  const graph::Graph g = graph::connected_gnp(48, 0.12, graph_rng);
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  const NodeId sources[] = {0};
+  return harness::run_bgi_broadcast(g, sources, params, 9000 + trial,
+                                    Slot{1} << 20);
+}
+
+TEST(Parallel, BroadcastOutcomesIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kTrials = 24;
+  const auto serial = run_trials(kTrials, bgi_trial, 1);
+  const auto two = run_trials(kTrials, bgi_trial, 2);
+  const auto eight = run_trials(kTrials, bgi_trial, 8);
+  ASSERT_EQ(serial.size(), kTrials);
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    EXPECT_EQ(serial[i], two[i]) << "trial " << i << " differs at 2 threads";
+    EXPECT_EQ(serial[i], eight[i])
+        << "trial " << i << " differs at 8 threads";
+  }
+  // Sanity: the workload is not degenerate (some trials must succeed).
+  std::size_t informed = 0;
+  for (const auto& out : serial) {
+    informed += out.all_informed ? 1 : 0;
+  }
+  EXPECT_GT(informed, 0u);
+}
+
+TEST(Parallel, ThreadsGreaterThanCountClamps) {
+  const auto results = run_trials(
+      3, [](std::size_t i) { return static_cast<int>(i) + 7; }, 64);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], 7);
+  EXPECT_EQ(results[1], 8);
+  EXPECT_EQ(results[2], 9);
+}
+
+}  // namespace
+}  // namespace radiocast::harness
