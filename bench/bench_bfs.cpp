@@ -14,6 +14,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/chernoff.hpp"
 #include "radiocast/stats/summary.hpp"
@@ -46,8 +47,9 @@ graph::Graph make_tree(std::uint64_t seed, std::size_t n) {
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_bfs", opt);
   const std::size_t n = harness::scaled(100, opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 4, 10);
   const double eps = 0.1;

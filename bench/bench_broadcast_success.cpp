@@ -14,6 +14,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/summary.hpp"
@@ -51,8 +52,9 @@ graph::Graph make_cn(std::uint64_t seed, std::size_t n) {
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_broadcast_success", opt);
   const std::size_t n = harness::scaled(144, opt);
   const std::size_t trials = opt.trials;
 
@@ -114,5 +116,7 @@ int main() {
   std::printf(
       "shape check: every row's success rate must sit at or above 1-eps\n"
       "(the guarantee is a lower bound; observed rates are typically ~1).\n");
-  return 0;
+  // A dropped CSV row must fail the run, not just warn: CI diffs these
+  // files across thread counts.
+  return csv.flush() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/sweep.hpp"
 #include "radiocast/harness/table.hpp"
@@ -106,8 +107,9 @@ void print_series(const char* title, const char* csv_name,
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_broadcast_time", opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 4, 10);
   const double eps = 0.1;
 

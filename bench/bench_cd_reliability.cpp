@@ -20,6 +20,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/cd_star.hpp"
 #include "radiocast/sim/simulator.hpp"
@@ -52,8 +53,9 @@ bool run_cd_protocol(const graph::CnNetwork& net, double fnr,
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_cd_reliability", opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials, 100);
   const std::size_t n = harness::scaled(24, opt);
 

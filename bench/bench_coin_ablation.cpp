@@ -17,6 +17,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/decay_analysis.hpp"
 #include "radiocast/stats/summary.hpp"
@@ -25,8 +26,9 @@ namespace {
 using namespace radiocast;
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_coin_ablation", opt);
   const double stops[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9};
 
   harness::print_banner(

@@ -12,6 +12,7 @@
 #include "radiocast/graph/generators.hpp"
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/decay.hpp"
@@ -82,8 +83,9 @@ double monte_carlo(std::size_t d, unsigned k, std::size_t trials,
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_decay", opt);
 
   harness::print_banner(
       "E1a / Theorem 1(i): limit success probability P(inf, d) >= 2/3");

@@ -15,6 +15,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/cd_star.hpp"
 #include "radiocast/sim/simulator.hpp"
@@ -44,8 +45,9 @@ Slot run_cd(const graph::CnNetwork& net) {
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_deterministic", opt);
 
   harness::print_banner(
       "E13a / DFS upper bound: deterministic broadcast within 2n slots on "

@@ -15,6 +15,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/summary.hpp"
 
@@ -22,8 +23,9 @@ namespace {
 using namespace radiocast;
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_directed", opt);
   const std::size_t n = harness::scaled(100, opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 4, 10);
   const double eps = 0.1;

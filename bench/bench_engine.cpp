@@ -25,6 +25,7 @@
 #include "radiocast/graph/generators.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/sim/simulator.hpp"
@@ -183,8 +184,9 @@ QuiescenceResult measure_quiescence(std::size_t n, Slot horizon) {
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_engine", opt);
   const std::size_t n = harness::scaled(144, opt);
   const std::size_t trials = opt.trials;
 
@@ -250,6 +252,19 @@ int main() {
   if (!tr.identical) {
     std::printf("FAIL: run_trials output differs from the serial loop\n");
   }
+
+  // Headline throughput gauges for the --json-out record, so
+  // scripts/bench_diff.py can compare engine runs metric by metric.
+  reporter.gauge("engine.serial_trials_per_sec", serial_tps);
+  reporter.gauge("engine.parallel_trials_per_sec", parallel_tps);
+  reporter.gauge("engine.speedup", tr.serial_sec / tr.parallel_sec);
+  for (const SlotResult& sr : slot_results) {
+    reporter.gauge(
+        "engine.slots_per_sec." + sr.name + ".n" + std::to_string(sr.n),
+        static_cast<double>(sr.slots) / sr.sec);
+  }
+  reporter.gauge("engine.quiescence_slots_per_sec",
+                 static_cast<double>(q.horizon) / q.sec);
 
   // JSON record for the perf trajectory.
   const char* json_env = std::getenv("RADIOCAST_BENCH_JSON");

@@ -18,6 +18,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/summary.hpp"
@@ -35,8 +36,9 @@ graph::CnNetwork worst_instance(std::size_t n) {
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_gap", opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 4, 10);
   const double eps = 0.1;
 
@@ -120,5 +122,7 @@ int main() {
       "shape: the randomized columns grow ~ log n * log(n/eps) (doubling n\n"
       "adds a few slots); the deterministic columns double with n and stay\n"
       "above the Theorem-12 floor n/8. That is the exponential gap.\n");
-  return 0;
+  // A dropped CSV row must fail the run, not just warn: CI diffs these
+  // files across thread counts.
+  return csv.flush() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "radiocast/graph/generators.hpp"
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/leader_election.hpp"
 #include "radiocast/proto/willard.hpp"
@@ -25,8 +26,9 @@ namespace {
 using namespace radiocast;
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_leader_election", opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 8, 8);
 
   harness::print_banner(

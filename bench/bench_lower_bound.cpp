@@ -16,6 +16,7 @@
 
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/lb/reduction.hpp"
@@ -73,8 +74,9 @@ std::vector<Cell> cross(std::size_t count,
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_lower_bound", opt);
 
   harness::print_banner(
       "E4a / Lemmas 9+10: find_set survives n/2 moves of every explorer");

@@ -16,6 +16,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/broadcast.hpp"
 #include "radiocast/sim/simulator.hpp"
@@ -39,8 +40,9 @@ std::vector<NodeId> pick_sources(std::size_t n, std::size_t count,
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_multisource", opt);
   const std::size_t n = harness::scaled(120, opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 4, 10);
   const double eps = 0.1;

@@ -22,6 +22,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/stats/summary.hpp"
 
@@ -73,8 +74,9 @@ Cell measure(const graph::Graph& g, std::size_t n_bound,
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_parameter_sensitivity", opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 2, 40);
   const double eps = 0.1;
 

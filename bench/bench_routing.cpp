@@ -13,6 +13,7 @@
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/routing.hpp"
 #include "radiocast/sim/simulator.hpp"
@@ -76,8 +77,9 @@ void run_route(const graph::Graph& g, NodeId source, NodeId dest,
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_routing", opt);
   const std::size_t trials = std::max<std::size_t>(opt.trials / 8, 10);
 
   harness::print_banner(

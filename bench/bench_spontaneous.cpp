@@ -15,6 +15,7 @@
 #include "radiocast/graph/families.hpp"
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/lb/reduction.hpp"
 #include "radiocast/lb/strategies.hpp"
@@ -49,8 +50,9 @@ Slot run_spontaneous(const graph::CnNetwork& net) {
 
 }  // namespace
 
-int main() {
-  const harness::RunOptions opt = harness::run_options();
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_spontaneous", opt);
 
   harness::print_banner(
       "E11a / spontaneous wake-up on C_n: 3 slots for every S (exhaustive "

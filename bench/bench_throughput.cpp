@@ -4,8 +4,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/lb/find_set.hpp"
 #include "radiocast/proto/broadcast.hpp"
 #include "radiocast/proto/decay.hpp"
@@ -97,4 +101,35 @@ BENCHMARK(BM_GraphGeneration)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: peel off the repo-wide
+// --json-out flag (google-benchmark would reject it as unrecognized)
+// before handing the remaining arguments to the benchmark runner, so this
+// binary emits the same run-record document as every other bench_*.
+int main(int argc, char** argv) {
+  harness::RunOptions opt = harness::run_options();  // env knobs only
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      opt.json_out = arg.substr(std::string("--json-out=").size());
+      continue;
+    }
+    if (arg == "--json-out" && i + 1 < argc) {
+      opt.json_out = argv[++i];
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  harness::RunReporter reporter("bench_throughput", opt);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@
 // --threads <workers> (0 = auto; env RADIOCAST_THREADS also honored).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -26,7 +27,9 @@
 #include "radiocast/graph/io.hpp"
 #include "radiocast/harness/args.hpp"
 #include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
 #include "radiocast/harness/parallel.hpp"
+#include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/convergecast.hpp"
 #include "radiocast/proto/gossip.hpp"
@@ -316,7 +319,7 @@ int main(int argc, char** argv) {
   }
   const std::set<std::string> known{"family", "n",    "eps",  "trials",
                                     "seed",   "dot",  "save", "source",
-                                    "dest",   "load", "threads"};
+                                    "dest",   "load", "threads", "json-out"};
   for (const auto& key : args.unknown_keys(known)) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -334,6 +337,21 @@ int main(int argc, char** argv) {
   if (threads == 0) {
     threads = harness::default_thread_count();
   }
+
+  // Provenance / metrics: --json-out (or RADIOCAST_JSON_OUT) makes the CLI
+  // emit the same run-record document as every bench_* binary.
+  harness::RunOptions report_opt;
+  report_opt.trials = trials;
+  report_opt.seed = seed;
+  report_opt.threads = threads;
+  report_opt.json_out = args.get("json-out", report_opt.json_out);
+  if (report_opt.json_out.empty()) {
+    if (const char* env = std::getenv("RADIOCAST_JSON_OUT")) {
+      report_opt.json_out = env;
+    }
+  }
+  harness::RunReporter reporter("radiocast_cli", report_opt);
+  reporter.extra("command", obs::JsonValue(cmd));
 
   const auto load_or_make = [&]() -> graph::Graph {
     const std::string load = args.get("load", "");

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare two radiocast benchmark JSON documents metric by metric.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold PCT] [--check]
+
+Both run-record documents (emitted by any bench_* binary via --json-out /
+RADIOCAST_JSON_OUT) and the legacy BENCH_engine.json layout are accepted;
+each is canonicalised to a flat {metric_name: value} map first, so a new
+run record can be diffed directly against a checked-in legacy baseline.
+
+For every metric present in both documents the script prints the baseline
+value, the current value and the relative delta.  Metrics whose name
+implies a direction (``*_per_sec`` and ``*speedup`` are higher-is-better,
+``*_sec`` / ``wall`` / ``cpu`` are lower-is-better) are classified as
+improvements or regressions; anything beyond --threshold percent in the
+bad direction is a REGRESSION.  With --check the exit status is 1 when at
+least one regression was found, which is how CI consumes this script.
+
+No third-party dependencies: stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _flatten(prefix: str, node, out: dict) -> None:
+    """Flattens numeric leaves into dotted paths.
+
+    List elements are keyed by their "name" (and "n", when present) fields
+    so reordering a workload table does not break the diff.
+    """
+    if _is_number(node):
+        out[prefix] = float(node)
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            _flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            key = str(index)
+            if isinstance(value, dict) and isinstance(value.get("name"), str):
+                key = value["name"]
+                if _is_number(value.get("n")):
+                    key += f".n{value['n']}"
+            _flatten(f"{prefix}.{key}" if prefix else key, value, out)
+
+
+# Legacy BENCH_engine.json paths -> the gauge names bench_engine publishes
+# in the new run-record format, so old baselines stay comparable.
+_LEGACY_RENAMES = {
+    "trials_workload.serial_trials_per_sec": "engine.serial_trials_per_sec",
+    "trials_workload.parallel_trials_per_sec":
+        "engine.parallel_trials_per_sec",
+    "trials_workload.speedup": "engine.speedup",
+    "quiescence.slots_per_sec": "engine.quiescence_slots_per_sec",
+}
+
+
+def canonicalize(doc: dict) -> dict:
+    """Returns {metric_name: float} with format differences ironed out."""
+    flat: dict = {}
+    if "schema_version" in doc and "metrics" in doc:
+        # Run-record format: gauges already carry their full dotted names;
+        # everything else keeps its section prefix.
+        _flatten("", doc.get("metrics", {}).get("gauges", {}), flat)
+        _flatten("counters", doc.get("metrics", {}).get("counters", {}), flat)
+        _flatten("hist", doc.get("metrics", {}).get("histograms", {}), flat)
+        _flatten("sim", doc.get("sim", {}), flat)
+        _flatten("resources", doc.get("resources", {}), flat)
+        _flatten("extra", doc.get("extra", {}), flat)
+        return flat
+    # Legacy layout (BENCH_engine.json).
+    _flatten("", doc, flat)
+    out = {}
+    for path, value in flat.items():
+        if path in _LEGACY_RENAMES:
+            out[_LEGACY_RENAMES[path]] = value
+        elif path.startswith("slot_workloads.") and path.endswith(
+                ".slots_per_sec"):
+            middle = path[len("slot_workloads."):-len(".slots_per_sec")]
+            out[f"engine.slots_per_sec.{middle}"] = value
+        else:
+            out[path] = value
+    return out
+
+
+def direction(name: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 when neutral."""
+    if "per_sec" in name or name.endswith("speedup"):
+        return 1
+    if name.endswith("_sec") or "wall" in name or "cpu" in name:
+        return -1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two radiocast benchmark JSON documents")
+    parser.add_argument("baseline", help="baseline JSON document")
+    parser.add_argument("current", help="current JSON document")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when any regression exceeds the "
+                             "threshold")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = canonicalize(json.load(f))
+    with open(args.current, encoding="utf-8") as f:
+        current = canonicalize(json.load(f))
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("bench_diff: no comparable metrics between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 2 if args.check else 0
+
+    regressions = []
+    name_width = max(len(n) for n in shared)
+    print(f"{'metric':<{name_width}}  {'baseline':>14}  {'current':>14}  "
+          f"{'delta':>9}  verdict")
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        if base == 0.0:
+            delta_pct = 0.0 if cur == 0.0 else float("inf")
+        else:
+            delta_pct = 100.0 * (cur - base) / abs(base)
+        sign = direction(name)
+        verdict = ""
+        if sign != 0 and delta_pct * sign < -args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, delta_pct))
+        elif sign != 0 and delta_pct * sign > args.threshold:
+            verdict = "improved"
+        print(f"{name:<{name_width}}  {base:>14.6g}  {cur:>14.6g}  "
+              f"{delta_pct:>+8.1f}%  {verdict}")
+
+    skipped = sorted((set(baseline) | set(current)) - set(shared))
+    if skipped:
+        print(f"({len(skipped)} metric(s) present in only one document "
+              "were skipped)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.1f}%:")
+        for name, delta_pct in regressions:
+            print(f"  {name}: {delta_pct:+.1f}%")
+        if args.check:
+            return 1
+    else:
+        print(f"\nno regressions beyond {args.threshold:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate JSON documents against the subset of JSON Schema the repo uses.
+
+Usage:
+    check_schema.py SCHEMA.json DOC.json [DOC2.json ...]
+
+Supports the draft-07 keywords scripts/bench_schema.json relies on:
+``type`` (object, string, integer, number, boolean, array, null),
+``required``, ``properties`` and ``additionalProperties``.  Everything
+else in a schema is ignored, which keeps this stdlib-only — CI must not
+pip-install a validator.
+
+Exit status is 0 when every document validates, 1 otherwise; each
+violation is printed with a JSON-pointer-ish path.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _type_ok(value, expected: str) -> bool:
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        # bool is an int subclass in Python; a JSON true is not an integer.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool)
+    if expected == "null":
+        return value is None
+    return True  # unknown type keyword: be permissive
+
+
+def validate(value, schema: dict, path: str, errors: list) -> None:
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(value, expected):
+        errors.append(f"{path or '$'}: expected {expected}, "
+                      f"got {type(value).__name__}")
+        return
+    if not isinstance(value, dict):
+        return
+    for key in schema.get("required", []):
+        if key not in value:
+            errors.append(f"{path or '$'}: missing required field '{key}'")
+    properties = schema.get("properties", {})
+    additional = schema.get("additionalProperties")
+    for key, child in value.items():
+        child_path = f"{path}.{key}" if path else key
+        if key in properties:
+            validate(child, properties[key], child_path, errors)
+        elif isinstance(additional, dict):
+            validate(child, additional, child_path, errors)
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    failed = False
+    for doc_path in sys.argv[2:]:
+        with open(doc_path, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"FAIL {doc_path}: not valid JSON ({e})")
+                failed = True
+                continue
+        errors: list = []
+        validate(doc, schema, "", errors)
+        if errors:
+            failed = True
+            print(f"FAIL {doc_path}:")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"ok   {doc_path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,11 +59,30 @@ Graph from_string(const std::string& text) {
   return read_graph(is);
 }
 
+namespace {
+
+// DOT double-quoted strings treat `"` and `\` specially; everything else
+// passes through. Without this a label like `a "b"` produced an invalid
+// file that Graphviz rejects.
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
 void write_dot(std::ostream& os, const Graph& g, const DotOptions& options) {
   const auto label = [&](NodeId v) -> std::string {
     if (v < options.node_labels.size() &&
         !options.node_labels[v].empty()) {
-      return options.node_labels[v];
+      return dot_escape(options.node_labels[v]);
     }
     return std::to_string(v);
   };

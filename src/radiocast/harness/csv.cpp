@@ -43,6 +43,7 @@ void CsvWriter::append(const std::vector<std::string>& cells) {
     buffer_ += escape(cells[i]);
   }
   buffer_ += "\n";
+  ++buffered_rows_;
 }
 
 void CsvWriter::header(const std::vector<std::string>& cells) {
@@ -51,19 +52,40 @@ void CsvWriter::header(const std::vector<std::string>& cells) {
 
 void CsvWriter::row(const std::vector<std::string>& cells) { append(cells); }
 
-void CsvWriter::flush() {
-  if (!enabled_ || flushed_) {
-    return;
+bool CsvWriter::flush() {
+  if (!enabled_) {
+    return true;
   }
-  flushed_ = true;
-  std::ofstream out(path_);
+  if (buffer_.empty()) {
+    return ok_;
+  }
+  std::ofstream out(path_, file_started_
+                               ? std::ios::out | std::ios::app
+                               : std::ios::out | std::ios::trunc);
   if (!out) {
-    std::cerr << "warning: cannot write " << path_ << "\n";
-    return;
+    ok_ = false;
+    return false;
   }
   out << buffer_;
+  out.flush();
+  if (!out) {
+    ok_ = false;
+    return false;
+  }
+  // Only forget rows that actually reached the file, so a failed attempt
+  // can be retried (e.g. after the caller creates the directory).
+  file_started_ = true;
+  ok_ = true;
+  buffer_.clear();
+  buffered_rows_ = 0;
+  return true;
 }
 
-CsvWriter::~CsvWriter() { flush(); }
+CsvWriter::~CsvWriter() {
+  if (!flush()) {
+    std::cerr << "warning: cannot write " << path_ << " (" << buffered_rows_
+              << " csv row(s) dropped)\n";
+  }
+}
 
 }  // namespace radiocast::harness

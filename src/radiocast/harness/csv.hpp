@@ -16,8 +16,18 @@ class CsvWriter {
   void header(const std::vector<std::string>& cells);
   void row(const std::vector<std::string>& cells);
 
-  /// Flushes to `<dir>/<name>.csv`. Called by the destructor as well.
-  void flush();
+  /// Writes every row buffered since the previous flush to
+  /// `<dir>/<name>.csv` (truncating on the first flush, appending after).
+  /// Idempotent-but-complete: rows appended after a flush are written by
+  /// the next one, nothing is ever silently dropped. Returns false — and
+  /// latches ok() false — when the file cannot be opened or written;
+  /// returns true when writing is disabled or succeeded.
+  bool flush();
+
+  /// False after a failed flush, until a retry succeeds. The destructor
+  /// warns on stderr (with the number of dropped rows) when the final
+  /// flush fails.
+  bool ok() const noexcept { return ok_; }
 
   ~CsvWriter();
   CsvWriter(const CsvWriter&) = delete;
@@ -28,8 +38,10 @@ class CsvWriter {
 
   std::string path_;
   std::string buffer_;
+  std::size_t buffered_rows_ = 0;
   bool enabled_;
-  bool flushed_ = false;
+  bool file_started_ = false;  ///< first flush truncates, later ones append
+  bool ok_ = true;
 };
 
 }  // namespace radiocast::harness

@@ -1,8 +1,11 @@
 #include "radiocast/harness/options.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <set>
 
+#include "radiocast/harness/args.hpp"
 #include "radiocast/harness/parallel.hpp"
 
 namespace radiocast::harness {
@@ -36,7 +39,49 @@ RunOptions run_options() {
   if (const char* v = env_or_null("REPRO_CSV_DIR")) {
     opt.csv_dir = v;
   }
+  if (const char* v = env_or_null("RADIOCAST_JSON_OUT")) {
+    opt.json_out = v;
+  }
   opt.threads = default_thread_count();
+  return opt;
+}
+
+RunOptions run_options(int argc, const char* const* argv) {
+  RunOptions opt = run_options();
+  const Args args(argc, argv);
+  static const std::set<std::string> known{"trials", "scale",    "seed",
+                                          "csv-dir", "json-out", "threads"};
+  const auto unknown = args.unknown_keys(known);
+  if (!unknown.empty() || !args.positional().empty()) {
+    for (const auto& key : unknown) {
+      std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+    }
+    for (const auto& pos : args.positional()) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", pos.c_str());
+    }
+    std::fprintf(stderr,
+                 "usage: %s [--trials N] [--scale F] [--seed S] "
+                 "[--threads W] [--csv-dir DIR] [--json-out PATH]\n",
+                 argc > 0 ? argv[0] : "bench");
+    std::exit(2);
+  }
+  const std::int64_t trials =
+      args.get_int("trials", static_cast<std::int64_t>(opt.trials));
+  if (trials > 0) {
+    opt.trials = static_cast<std::size_t>(trials);
+  }
+  const double scale = args.get_double("scale", opt.scale);
+  if (scale > 0.0) {
+    opt.scale = scale;
+  }
+  opt.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(opt.seed)));
+  opt.csv_dir = args.get("csv-dir", opt.csv_dir);
+  opt.json_out = args.get("json-out", opt.json_out);
+  const std::int64_t threads = args.get_int("threads", 0);
+  if (threads > 0) {
+    opt.threads = static_cast<std::size_t>(threads);
+  }
   return opt;
 }
 

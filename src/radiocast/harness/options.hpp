@@ -1,13 +1,19 @@
 // Environment-driven knobs shared by every bench binary, so CI and a quick
 // laptop run can use the same executables:
 //
-//   REPRO_TRIALS      — base Monte-Carlo trial count (default 200)
-//   REPRO_SCALE       — multiplier applied to problem sizes (default 1.0)
-//   REPRO_SEED        — master seed (default 20260704)
-//   REPRO_CSV_DIR     — when set, benches also write their tables as CSV there
-//   RADIOCAST_THREADS — worker threads for parallel trial loops (default:
-//                       hardware_concurrency). Thread count never changes
-//                       results, only wall-clock time (see parallel.hpp).
+//   REPRO_TRIALS       — base Monte-Carlo trial count (default 200)
+//   REPRO_SCALE        — multiplier applied to problem sizes (default 1.0)
+//   REPRO_SEED         — master seed (default 20260704)
+//   REPRO_CSV_DIR      — when set, benches also write their tables as CSV there
+//   RADIOCAST_JSON_OUT — when set, benches write a run-record JSON document
+//                        there (see docs/OBSERVABILITY.md)
+//   RADIOCAST_THREADS  — worker threads for parallel trial loops (default:
+//                        hardware_concurrency). Thread count never changes
+//                        results, only wall-clock time (see parallel.hpp).
+//
+// Every knob is also a command-line flag on every bench binary
+// (run_options(argc, argv)): --trials, --scale, --seed, --csv-dir,
+// --json-out, --threads. Flags win over the environment.
 #pragma once
 
 #include <cstddef>
@@ -20,7 +26,8 @@ struct RunOptions {
   std::size_t trials = 200;
   double scale = 1.0;
   std::uint64_t seed = 20260704;
-  std::string csv_dir;  ///< empty = CSV output disabled
+  std::string csv_dir;   ///< empty = CSV output disabled
+  std::string json_out;  ///< empty = run-record JSON output disabled
   /// Worker threads for run_trials loops. run_options() resolves this to
   /// RADIOCAST_THREADS if set, else hardware_concurrency(); benches pass it
   /// straight to harness::run_trials. Results are thread-count invariant.
@@ -29,6 +36,11 @@ struct RunOptions {
 
 /// Reads the options from the environment (values above are the defaults).
 RunOptions run_options();
+
+/// Environment options overridden by the command-line flags listed in the
+/// header comment. Unknown flags or positional arguments print a usage
+/// message and exit(2) — benches take no other arguments.
+RunOptions run_options(int argc, const char* const* argv);
 
 /// `base` scaled by REPRO_SCALE, at least 1.
 std::size_t scaled(std::size_t base, const RunOptions& opt);

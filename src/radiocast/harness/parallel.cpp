@@ -1,22 +1,72 @@
 #include "radiocast/harness/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "radiocast/obs/metrics.hpp"
+
 namespace radiocast::harness {
 
-std::size_t default_thread_count() {
-  if (const char* v = std::getenv("RADIOCAST_THREADS")) {
-    const long parsed = std::strtol(v, nullptr, 10);
-    if (parsed > 0) {
-      return static_cast<std::size_t>(parsed);
-    }
-  }
+namespace {
+
+std::size_t hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+void warn_threads_once(const char* value, const char* why) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "warning: RADIOCAST_THREADS='%s' %s; using default\n",
+                 value, why);
+  }
+}
+
+void warn_clamp_once(const char* value, std::size_t ceiling) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "warning: RADIOCAST_THREADS='%s' exceeds the sane ceiling; "
+                 "clamping to %zu (4x hardware threads)\n",
+                 value, ceiling);
+  }
+}
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  const std::size_t hw = hardware_threads();
+  if (const char* v = std::getenv("RADIOCAST_THREADS")) {
+    // Strict parse: the whole value must be a positive decimal number.
+    // "8x" or "1e3" silently truncating to 8 / 1 (or overflow saturating
+    // to LONG_MAX and spawning absurd worker counts) is exactly the bug
+    // this guard exists for.
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(v, &end, 10);
+    const bool overflowed = errno == ERANGE;
+    const bool fully_consumed = end != v && end != nullptr && *end == '\0';
+    if (!fully_consumed || overflowed || parsed <= 0) {
+      warn_threads_once(v, overflowed ? "overflows" : "is not a positive integer");
+      return hw;
+    }
+    // A worker pool far wider than the machine only adds scheduling noise;
+    // clamp to a generous oversubscription ceiling.
+    const std::size_t ceiling = 4 * hw;
+    if (static_cast<unsigned long>(parsed) > ceiling) {
+      warn_clamp_once(v, ceiling);
+      return ceiling;
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+  return hw;
 }
 
 void for_each_trial(std::size_t count, std::size_t threads,
@@ -30,9 +80,32 @@ void for_each_trial(std::size_t count, std::size_t threads,
   if (threads > count) {
     threads = count;
   }
+
+  // Per-trial wall-time metrics (mean/p50/p99 end up in the run record).
+  // The enabled check happens once per for_each_trial call; a disabled
+  // registry costs nothing per trial.
+  using Clock = std::chrono::steady_clock;
+  obs::Histogram* trial_hist = nullptr;
+  obs::Counter* trial_count = nullptr;
+  if (obs::metrics().enabled()) {
+    trial_hist = &obs::metrics().histogram("harness.trial_wall_sec");
+    trial_count = &obs::metrics().counter("harness.trials");
+  }
+  const auto run_one = [&fn, trial_hist, trial_count](std::size_t i) {
+    if (trial_hist == nullptr) {
+      fn(i);
+      return;
+    }
+    const auto t0 = Clock::now();
+    fn(i);
+    trial_hist->record(
+        std::chrono::duration<double>(Clock::now() - t0).count());
+    trial_count->add(1);
+  };
+
   if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
-      fn(i);
+      run_one(i);
     }
     return;
   }
@@ -49,7 +122,7 @@ void for_each_trial(std::size_t count, std::size_t threads,
         return;
       }
       try {
-        fn(i);
+        run_one(i);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);

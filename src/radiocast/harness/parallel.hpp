@@ -15,7 +15,9 @@
 //
 // Thread count resolution, in priority order:
 //   1. the explicit `threads` argument when non-zero;
-//   2. the RADIOCAST_THREADS environment variable when set and positive;
+//   2. the RADIOCAST_THREADS environment variable when it parses strictly
+//      as a positive integer (no trailing garbage, no overflow; rejected
+//      values warn once on stderr), clamped to 4x hardware_concurrency;
 //   3. std::thread::hardware_concurrency() (at least 1).
 #pragma once
 
@@ -27,8 +29,9 @@
 namespace radiocast::harness {
 
 /// Worker count used when `threads == 0` is passed to the functions below:
-/// RADIOCAST_THREADS if set and positive, else hardware_concurrency()
-/// (never less than 1).
+/// RADIOCAST_THREADS if it strictly parses as a positive integer (clamped
+/// to 4x hardware_concurrency; malformed values warn once and fall
+/// through), else hardware_concurrency() (never less than 1).
 std::size_t default_thread_count();
 
 /// Invokes `fn(i)` exactly once for every i in [0, count), distributed

@@ -1,0 +1,59 @@
+#include "radiocast/harness/report.hpp"
+
+#include <cstdio>
+
+#include "radiocast/obs/metrics.hpp"
+
+namespace radiocast::harness {
+
+RunReporter::RunReporter(std::string tool, const RunOptions& opt)
+    : tool_(std::move(tool)),
+      opt_(opt),
+      wall_start_(std::chrono::steady_clock::now()),
+      cpu_start_(std::clock()) {
+  if (enabled()) {
+    obs::metrics().set_enabled(true);
+  }
+}
+
+void RunReporter::gauge(const std::string& name, double value) {
+  if (obs::metrics().enabled()) {
+    obs::metrics().gauge(name).set(value);
+  }
+}
+
+void RunReporter::extra(const std::string& key, obs::JsonValue value) {
+  extra_.set(key, std::move(value));
+}
+
+bool RunReporter::write() {
+  written_ = true;
+  if (!enabled()) {
+    return true;
+  }
+  obs::RunRecord record = obs::RunRecord::for_tool(tool_);
+  record.seed = opt_.seed;
+  record.trials = opt_.trials;
+  record.scale = opt_.scale;
+  record.threads = opt_.threads;
+  record.wall_sec = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start_)
+                        .count();
+  record.cpu_sec = static_cast<double>(std::clock() - cpu_start_) /
+                   CLOCKS_PER_SEC;
+  record.capture_sim_totals(obs::metrics());
+  record.extra = extra_;
+  const bool ok = record.write(opt_.json_out, obs::metrics());
+  if (ok) {
+    std::printf("run record written to %s\n", opt_.json_out.c_str());
+  }
+  return ok;
+}
+
+RunReporter::~RunReporter() {
+  if (!written_) {
+    write();
+  }
+}
+
+}  // namespace radiocast::harness

@@ -1,0 +1,56 @@
+// RunReporter — the one-liner that gives a binary a machine-readable
+// trail. Construct it at the top of main with the tool name and the
+// resolved RunOptions; when --json-out / RADIOCAST_JSON_OUT is set it
+// enables the global metrics registry, and at scope exit (or an explicit
+// write()) it emits one obs::RunRecord JSON document covering the whole
+// run: provenance, configuration, wall/CPU time, simulator totals and
+// every registered metric. With no JSON path configured it does nothing —
+// the ASCII tables remain the only output and the metrics registry stays
+// disabled (zero overhead; see obs/metrics.hpp).
+#pragma once
+
+#include <chrono>
+#include <ctime>
+#include <string>
+
+#include "radiocast/harness/options.hpp"
+#include "radiocast/obs/run_record.hpp"
+
+namespace radiocast::harness {
+
+class RunReporter {
+ public:
+  /// Starts the wall/CPU clocks; enables obs::metrics() when
+  /// `opt.json_out` is non-empty.
+  RunReporter(std::string tool, const RunOptions& opt);
+
+  /// Records a tool-specific headline number as a gauge (no-op while the
+  /// registry is disabled), e.g. "engine.slots_per_sec.gnp-dense.n256".
+  void gauge(const std::string& name, double value);
+
+  /// Adds a tool-specific field to the record's "extra" object.
+  void extra(const std::string& key, obs::JsonValue value);
+
+  bool enabled() const noexcept { return !opt_.json_out.empty(); }
+
+  /// Builds the record and writes it to opt.json_out. Returns true when
+  /// reporting is disabled or the write succeeded; idempotent (the second
+  /// call rewrites the file with fresh totals).
+  bool write();
+
+  /// Writes if nobody called write() explicitly.
+  ~RunReporter();
+
+  RunReporter(const RunReporter&) = delete;
+  RunReporter& operator=(const RunReporter&) = delete;
+
+ private:
+  std::string tool_;
+  RunOptions opt_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::clock_t cpu_start_;
+  obs::JsonValue extra_ = obs::JsonValue::object();
+  bool written_ = false;
+};
+
+}  // namespace radiocast::harness

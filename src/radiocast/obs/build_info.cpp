@@ -1,0 +1,28 @@
+#include "radiocast/obs/build_info.hpp"
+
+// The two provenance macros are injected per-file from src/CMakeLists.txt
+// so a git state change only recompiles this translation unit.
+#ifndef RADIOCAST_GIT_DESCRIBE
+#define RADIOCAST_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RADIOCAST_BUILD_TYPE
+#define RADIOCAST_BUILD_TYPE "unknown"
+#endif
+
+namespace radiocast::obs {
+
+const char* git_describe() noexcept { return RADIOCAST_GIT_DESCRIBE; }
+
+const char* build_type() noexcept { return RADIOCAST_BUILD_TYPE; }
+
+const char* compiler() noexcept {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace radiocast::obs

@@ -1,0 +1,18 @@
+// Build provenance baked in at configure time (see src/CMakeLists.txt):
+// which commit, which build type, which compiler produced the binary that
+// emitted a given run record. Values fall back to "unknown" outside a git
+// checkout so the library never fails to build.
+#pragma once
+
+namespace radiocast::obs {
+
+/// `git describe --always --dirty` at configure time, or "unknown".
+const char* git_describe() noexcept;
+
+/// CMAKE_BUILD_TYPE at configure time, or "unknown".
+const char* build_type() noexcept;
+
+/// Compiler id + version string.
+const char* compiler() noexcept;
+
+}  // namespace radiocast::obs

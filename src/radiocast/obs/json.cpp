@@ -1,0 +1,463 @@
+#include "radiocast/obs/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::obs {
+
+namespace {
+
+/// Shortest representation that round-trips a double through strtod.
+std::string format_double(double d) {
+  RADIOCAST_CHECK_MSG(std::isfinite(d),
+                      "JSON cannot represent NaN or infinity");
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) {
+      break;
+    }
+  }
+  std::string s(buf);
+  // Keep a numeric marker so integers and doubles stay distinguishable
+  // after a parse round-trip.
+  if (s.find_first_of(".eE") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool JsonValue::is_integer() const noexcept {
+  switch (kind()) {
+    case Kind::kInt:
+    case Kind::kUint:
+      return true;
+    case Kind::kDouble: {
+      const double d = std::get<double>(value_);
+      return std::isfinite(d) && d == std::floor(d);
+    }
+    default:
+      return false;
+  }
+}
+
+bool JsonValue::as_bool() const {
+  RADIOCAST_CHECK_MSG(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t JsonValue::as_int() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return std::get<std::int64_t>(value_);
+    case Kind::kUint: {
+      const std::uint64_t u = std::get<std::uint64_t>(value_);
+      RADIOCAST_CHECK_MSG(u <= static_cast<std::uint64_t>(
+                                   std::numeric_limits<std::int64_t>::max()),
+                          "JSON integer out of int64 range");
+      return static_cast<std::int64_t>(u);
+    }
+    case Kind::kDouble: {
+      RADIOCAST_CHECK_MSG(is_integer(), "JSON number is not integral");
+      return static_cast<std::int64_t>(std::get<double>(value_));
+    }
+    default:
+      RADIOCAST_CHECK_MSG(false, "JSON value is not a number");
+      return 0;
+  }
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  const std::int64_t i = kind() == Kind::kUint
+                             ? 0  // handled below without sign check
+                             : as_int();
+  if (kind() == Kind::kUint) {
+    return std::get<std::uint64_t>(value_);
+  }
+  RADIOCAST_CHECK_MSG(i >= 0, "JSON integer is negative");
+  return static_cast<std::uint64_t>(i);
+}
+
+double JsonValue::as_double() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return static_cast<double>(std::get<std::int64_t>(value_));
+    case Kind::kUint:
+      return static_cast<double>(std::get<std::uint64_t>(value_));
+    case Kind::kDouble:
+      return std::get<double>(value_);
+    default:
+      RADIOCAST_CHECK_MSG(false, "JSON value is not a number");
+      return 0.0;
+  }
+}
+
+const std::string& JsonValue::as_string() const {
+  RADIOCAST_CHECK_MSG(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) {
+    return std::get<Array>(value_).size();
+  }
+  RADIOCAST_CHECK_MSG(is_object(), "JSON value has no size");
+  return std::get<Object>(value_).size();
+}
+
+void JsonValue::push_back(JsonValue v) {
+  RADIOCAST_CHECK_MSG(is_array(), "push_back on a non-array JSON value");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  RADIOCAST_CHECK_MSG(is_array(), "at() on a non-array JSON value");
+  const Array& a = std::get<Array>(value_);
+  RADIOCAST_CHECK_MSG(i < a.size(), "JSON array index out of range");
+  return a[i];
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  RADIOCAST_CHECK_MSG(is_object(), "set() on a non-object JSON value");
+  Object& o = std::get<Object>(value_);
+  for (auto& [k, existing] : o) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  o.emplace_back(key, std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  RADIOCAST_CHECK_MSG(is_object(), "find() on a non-object JSON value");
+  for (const auto& [k, v] : std::get<Object>(value_)) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::items()
+    const {
+  RADIOCAST_CHECK_MSG(is_object(), "items() on a non-object JSON value");
+  return std::get<Object>(value_);
+}
+
+void JsonValue::dump_to(std::string& out, int depth) const {
+  const auto indent = [&out](int d) { out.append(2 * static_cast<std::size_t>(d), ' '); };
+  switch (kind()) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += std::get<bool>(value_) ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(std::get<std::int64_t>(value_));
+      break;
+    case Kind::kUint:
+      out += std::to_string(std::get<std::uint64_t>(value_));
+      break;
+    case Kind::kDouble:
+      out += format_double(std::get<double>(value_));
+      break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(std::get<std::string>(value_));
+      out += '"';
+      break;
+    case Kind::kArray: {
+      const Array& a = std::get<Array>(value_);
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        indent(depth + 1);
+        a[i].dump_to(out, depth + 1);
+        out += i + 1 < a.size() ? ",\n" : "\n";
+      }
+      indent(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      const Object& o = std::get<Object>(value_);
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        indent(depth + 1);
+        out += '"';
+        out += json_escape(o[i].first);
+        out += "\": ";
+        o[i].second.dump_to(out, depth + 1);
+        out += i + 1 < o.size() ? ",\n" : "\n";
+      }
+      indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    RADIOCAST_CHECK_MSG(pos_ == text_.size(),
+                        "trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    RADIOCAST_CHECK_MSG(pos_ < text_.size(), "truncated JSON document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    RADIOCAST_CHECK_MSG(pos_ < text_.size() && text_[pos_] == c,
+                        std::string("expected '") + c + "' in JSON");
+    ++pos_;
+  }
+
+  bool try_consume(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue(parse_string());
+    if (try_consume("true")) return JsonValue(true);
+    if (try_consume("false")) return JsonValue(false);
+    if (try_consume("null")) return JsonValue(nullptr);
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      RADIOCAST_CHECK_MSG(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      RADIOCAST_CHECK_MSG(pos_ < text_.size(), "unterminated JSON escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          RADIOCAST_CHECK_MSG(pos_ + 4 <= text_.size(),
+                              "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else RADIOCAST_CHECK_MSG(false, "bad hex digit in \\u escape");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          RADIOCAST_CHECK_MSG(false, "unknown JSON escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    RADIOCAST_CHECK_MSG(pos_ > start && text_[start] != '\0',
+                        "malformed JSON number");
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    if (integral) {
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end && *end == '\0') {
+          return JsonValue(static_cast<std::int64_t>(v));
+        }
+      } else {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end && *end == '\0') {
+          return JsonValue(static_cast<std::uint64_t>(v));
+        }
+      }
+      errno = 0;  // out-of-range integer: fall through to double
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    RADIOCAST_CHECK_MSG(end && *end == '\0' && errno == 0,
+                        "malformed JSON number");
+    return JsonValue(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+  Parser p(text);
+  return p.parse_document();
+}
+
+}  // namespace radiocast::obs

@@ -1,0 +1,102 @@
+// A self-contained JSON document type for the observability layer: the
+// run-record serializer and the schema-validation tests need both a writer
+// (stable key order, exact integer rendering) and a reader, and the repo
+// takes no third-party dependencies. This is deliberately a small DOM, not
+// a streaming parser — run records are a few kilobytes.
+//
+// Numbers keep their C++ type: unsigned/signed 64-bit integers print
+// exactly (no double round-trip), doubles print with enough digits to
+// round-trip. Object keys preserve insertion order, so a document built
+// field-by-field serializes byte-stably across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace radiocast::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(std::int64_t i) : value_(i) {}
+  JsonValue(std::uint64_t u) : value_(u) {}
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(unsigned u) : value_(static_cast<std::uint64_t>(u)) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.value_ = Array{};
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.value_ = Object{};
+    return v;
+  }
+
+  Kind kind() const noexcept { return static_cast<Kind>(value_.index()); }
+  bool is_null() const noexcept { return kind() == Kind::kNull; }
+  bool is_bool() const noexcept { return kind() == Kind::kBool; }
+  bool is_string() const noexcept { return kind() == Kind::kString; }
+  bool is_array() const noexcept { return kind() == Kind::kArray; }
+  bool is_object() const noexcept { return kind() == Kind::kObject; }
+  /// Any numeric kind (int, uint or double).
+  bool is_number() const noexcept {
+    return kind() == Kind::kInt || kind() == Kind::kUint ||
+           kind() == Kind::kDouble;
+  }
+  /// A number with no fractional part (doubles count when integral).
+  bool is_integer() const noexcept;
+
+  // Accessors throw ContractViolation on kind mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;      ///< any integral number in range
+  std::uint64_t as_uint() const;    ///< any non-negative integral number
+  double as_double() const;         ///< any number
+  const std::string& as_string() const;
+
+  // --- array ---------------------------------------------------------------
+  std::size_t size() const;  ///< array or object element count
+  void push_back(JsonValue v);
+  const JsonValue& at(std::size_t i) const;
+
+  // --- object --------------------------------------------------------------
+  /// Sets (or replaces) a key; insertion order is the serialization order.
+  JsonValue& set(const std::string& key, JsonValue v);
+  /// nullptr when absent.
+  const JsonValue* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& items() const;
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level — the stable on-disk format of every run record.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws ContractViolation on syntax
+  /// errors or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+ private:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  void dump_to(std::string& out, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      value_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace radiocast::obs

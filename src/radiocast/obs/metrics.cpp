@@ -1,0 +1,124 @@
+#include "radiocast/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace radiocast::obs {
+
+void Histogram::record(double v) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::vector<double> samples;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples = samples_;
+  }
+  Snapshot s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double v : samples) {
+    s.sum += v;
+  }
+  s.min = samples.front();
+  s.max = samples.back();
+  s.mean = s.sum / static_cast<double>(samples.size());
+  const auto quantile = [&samples](double q) {
+    // Canonical nearest-rank (rank = ceil(q*N), 1-based): deterministic
+    // and exact for the small sample counts a run produces.
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    return samples[std::min(std::max<std::size_t>(rank, 1),
+                            samples.size()) - 1];
+  };
+  s.p50 = quantile(0.50);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue doc = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_) {  // std::map: sorted by name
+    counters.set(name, JsonValue(c->value()));
+  }
+  doc.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, JsonValue(g->value()));
+  }
+  doc.set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    JsonValue entry = JsonValue::object();
+    entry.set("count", JsonValue(s.count));
+    entry.set("sum", JsonValue(s.sum));
+    entry.set("min", JsonValue(s.min));
+    entry.set("max", JsonValue(s.max));
+    entry.set("mean", JsonValue(s.mean));
+    entry.set("p50", JsonValue(s.p50));
+    entry.set("p99", JsonValue(s.p99));
+    histograms.set(name, std::move(entry));
+  }
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace radiocast::obs

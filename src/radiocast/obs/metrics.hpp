@@ -1,0 +1,115 @@
+// Run-scoped metrics: counters, gauges and histograms collected into one
+// process-global registry and serialized into every run record.
+//
+// Cost model. The registry is DISABLED by default and instrumented code is
+// expected to check `metrics().enabled()` before touching it, so a
+// disabled run pays one relaxed atomic load per instrumentation *site
+// activation* (per trial, per trace, ...), never per slot — the simulator
+// hot path publishes aggregate totals once at end of run rather than
+// incrementing on every event. When enabled, counters are relaxed atomics
+// and histograms take a mutex per recorded sample; both are safe to hammer
+// from the parallel trial pool.
+//
+// Instrument names are dotted paths ("sim.transmissions",
+// "harness.trial_wall_sec"); references returned by the registry stay
+// valid for the registry's lifetime, so hot code can look an instrument up
+// once and keep the pointer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "radiocast/obs/json.hpp"
+
+namespace radiocast::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Retains every recorded sample (runs record at most a few hundred
+/// thousand trial timings) and answers count/sum/min/max/quantiles.
+class Histogram {
+ public:
+  void record(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  /// A consistent view of all samples recorded so far.
+  Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the named instrument. Thread-safe; the returned
+  /// reference is stable for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every existing instrument (names are kept registered).
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count,sum,min,max,mean,p50,p99}}}, each section sorted by name.
+  JsonValue to_json() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry every instrumented component reports to.
+MetricsRegistry& metrics();
+
+}  // namespace radiocast::obs

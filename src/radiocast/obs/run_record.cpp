@@ -1,0 +1,84 @@
+#include "radiocast/obs/run_record.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "radiocast/obs/build_info.hpp"
+
+namespace radiocast::obs {
+
+RunRecord RunRecord::for_tool(std::string tool_name) {
+  RunRecord r;
+  r.tool = std::move(tool_name);
+  r.git_describe = obs::git_describe();
+  r.build_type = obs::build_type();
+  r.compiler = obs::compiler();
+  r.timestamp_unix = static_cast<std::int64_t>(std::time(nullptr));
+  return r;
+}
+
+void RunRecord::capture_sim_totals(MetricsRegistry& registry) {
+  slots = registry.counter("sim.slots").value();
+  transmissions = registry.counter("sim.transmissions").value();
+  deliveries = registry.counter("sim.deliveries").value();
+  collisions = registry.counter("sim.collisions").value();
+}
+
+JsonValue RunRecord::to_json(const MetricsRegistry& registry) const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", JsonValue(kSchemaVersion));
+  doc.set("tool", JsonValue(tool));
+
+  JsonValue provenance = JsonValue::object();
+  provenance.set("git_describe", JsonValue(git_describe));
+  provenance.set("build_type", JsonValue(build_type));
+  provenance.set("compiler", JsonValue(compiler));
+  provenance.set("timestamp_unix", JsonValue(timestamp_unix));
+  doc.set("provenance", std::move(provenance));
+
+  JsonValue config = JsonValue::object();
+  config.set("seed", JsonValue(seed));
+  config.set("trials", JsonValue(trials));
+  config.set("scale", JsonValue(scale));
+  config.set("threads", JsonValue(threads));
+  doc.set("config", std::move(config));
+
+  JsonValue resources = JsonValue::object();
+  resources.set("wall_sec", JsonValue(wall_sec));
+  resources.set("cpu_sec", JsonValue(cpu_sec));
+  doc.set("resources", std::move(resources));
+
+  JsonValue sim = JsonValue::object();
+  sim.set("slots", JsonValue(slots));
+  sim.set("transmissions", JsonValue(transmissions));
+  sim.set("deliveries", JsonValue(deliveries));
+  sim.set("collisions", JsonValue(collisions));
+  doc.set("sim", std::move(sim));
+
+  doc.set("metrics", registry.to_json());
+  if (extra.is_object() && extra.size() > 0) {
+    doc.set("extra", extra);
+  }
+  return doc;
+}
+
+bool RunRecord::write(const std::string& path,
+                      const MetricsRegistry& registry) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open %s for the run record\n",
+                 path.c_str());
+    return false;
+  }
+  out << to_json(registry).dump();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "warning: short write of run record %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace radiocast::obs

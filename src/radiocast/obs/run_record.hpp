@@ -1,0 +1,66 @@
+// RunRecord — the provenance + results document every bench binary and
+// the CLI emit through --json-out / RADIOCAST_JSON_OUT. One run, one
+// self-describing JSON document, schema-stable across PRs so the BENCH_*
+// trajectory can accumulate and scripts/bench_diff.py can compare any two
+// runs. The schema is checked in at scripts/bench_schema.json and pinned
+// by tests/test_obs.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "radiocast/obs/json.hpp"
+#include "radiocast/obs/metrics.hpp"
+
+namespace radiocast::obs {
+
+/// Everything needed to reproduce and compare a run. The aggregate sim
+/// totals are snapshotted from the global metrics registry (fed by
+/// sim::Trace) at serialization time.
+struct RunRecord {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string tool;  ///< binary name, e.g. "bench_gap"
+
+  // Provenance (defaulted from build_info; override for tests).
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+  std::int64_t timestamp_unix = 0;
+
+  // Configuration.
+  std::uint64_t seed = 0;
+  std::uint64_t trials = 0;
+  double scale = 1.0;
+  std::uint64_t threads = 0;
+
+  // Resources.
+  double wall_sec = 0.0;
+  double cpu_sec = 0.0;
+
+  // Aggregate simulator totals (from the "sim.*" counters).
+  std::uint64_t slots = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+
+  /// Optional tool-specific section appended as "extra" (must be an
+  /// object when non-null).
+  JsonValue extra = JsonValue::object();
+
+  /// Fills provenance from build_info + the current wall clock.
+  static RunRecord for_tool(std::string tool_name);
+
+  /// Copies the "sim.*" counter totals out of `registry`.
+  void capture_sim_totals(MetricsRegistry& registry);
+
+  /// The full document, embedding `registry`'s snapshot under "metrics".
+  JsonValue to_json(const MetricsRegistry& registry) const;
+
+  /// Serializes to_json() to `path`; returns false (and prints a warning
+  /// to stderr) if the file cannot be written.
+  bool write(const std::string& path,
+             const MetricsRegistry& registry) const;
+};
+
+}  // namespace radiocast::obs

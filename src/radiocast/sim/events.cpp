@@ -7,8 +7,13 @@
 namespace radiocast::sim {
 
 void EventQueue::push(TopologyEvent e) {
-  RADIOCAST_CHECK_MSG(next_ == 0 || events_.empty() ||
-                          e.at >= events_[next_ - 1].at,
+  // Guard against scheduling in the past relative to the queue's clock.
+  // `last_popped_at_` is the largest `now` any pop_due has seen — NOT the
+  // time of the last popped event: after unsorted pushes, the slot before
+  // `next_` can hold an event earlier than the pop's `now`, and comparing
+  // against it used to let a stale event slip through and be applied (or
+  // reordered) slots later.
+  RADIOCAST_CHECK_MSG(e.at >= last_popped_at_,
                       "cannot schedule an event in the past");
   if (!events_.empty() && e.at < events_.back().at) {
     sorted_ = false;
@@ -29,6 +34,7 @@ void EventQueue::ensure_sorted() {
 
 std::vector<TopologyEvent> EventQueue::pop_due(Slot now) {
   ensure_sorted();
+  last_popped_at_ = std::max(last_popped_at_, now);
   std::vector<TopologyEvent> due;
   while (next_ < events_.size() && events_[next_].at <= now) {
     due.push_back(events_[next_]);

@@ -33,9 +33,15 @@ struct TopologyEvent {
 /// insertion order.
 class EventQueue {
  public:
+  /// Enqueues `e`. Throws ContractViolation when `e.at` lies before the
+  /// largest `now` already handed to pop_due — such an event would be in
+  /// the queue's past and could only be applied late or out of order.
+  /// Scheduling at exactly that time is allowed; it is delivered by the
+  /// next pop_due.
   void push(TopologyEvent e);
 
   /// Pops and returns all events scheduled at or before `now`, in order.
+  /// Advances the queue's clock to `now` (see push).
   std::vector<TopologyEvent> pop_due(Slot now);
 
   bool empty() const noexcept { return next_ >= events_.size(); }
@@ -47,6 +53,8 @@ class EventQueue {
   std::vector<TopologyEvent> events_;
   std::size_t next_ = 0;
   bool sorted_ = true;
+  /// Largest `now` any pop_due call has seen — the queue's clock.
+  Slot last_popped_at_ = 0;
 };
 
 }  // namespace radiocast::sim

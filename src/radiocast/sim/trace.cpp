@@ -1,8 +1,10 @@
 #include "radiocast/sim/trace.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "radiocast/common/check.hpp"
+#include "radiocast/obs/metrics.hpp"
 
 namespace radiocast::sim {
 
@@ -11,6 +13,57 @@ Trace::Trace(std::size_t n, bool record_slots)
       first_delivery_(n, kNever),
       tx_count_(n, 0),
       rx_count_(n, 0) {}
+
+namespace {
+
+/// End-of-life publication into the global registry: one enabled check
+/// per Trace, nothing per slot. Totals accumulate across every simulator
+/// a process runs (the parallel trial pool included — counters are
+/// atomic), so a run record reports whole-run simulation volume.
+void publish_totals(std::uint64_t slots, std::uint64_t tx, std::uint64_t rx,
+                    std::uint64_t coll) {
+  auto& registry = obs::metrics();
+  if (!registry.enabled() || (slots | tx | rx | coll) == 0) {
+    return;
+  }
+  registry.counter("sim.slots").add(slots);
+  registry.counter("sim.transmissions").add(tx);
+  registry.counter("sim.deliveries").add(rx);
+  registry.counter("sim.collisions").add(coll);
+}
+
+}  // namespace
+
+Trace::~Trace() {
+  publish_totals(total_slots_, total_tx_, total_rx_, total_coll_);
+}
+
+Trace::Trace(Trace&& other) noexcept
+    : record_slots_(other.record_slots_),
+      first_delivery_(std::move(other.first_delivery_)),
+      tx_count_(std::move(other.tx_count_)),
+      rx_count_(std::move(other.rx_count_)),
+      total_slots_(std::exchange(other.total_slots_, 0)),
+      total_tx_(std::exchange(other.total_tx_, 0)),
+      total_rx_(std::exchange(other.total_rx_, 0)),
+      total_coll_(std::exchange(other.total_coll_, 0)),
+      slots_(std::move(other.slots_)) {}
+
+Trace& Trace::operator=(Trace&& other) noexcept {
+  if (this != &other) {
+    publish_totals(total_slots_, total_tx_, total_rx_, total_coll_);
+    record_slots_ = other.record_slots_;
+    first_delivery_ = std::move(other.first_delivery_);
+    tx_count_ = std::move(other.tx_count_);
+    rx_count_ = std::move(other.rx_count_);
+    total_slots_ = std::exchange(other.total_slots_, 0);
+    total_tx_ = std::exchange(other.total_tx_, 0);
+    total_rx_ = std::exchange(other.total_rx_, 0);
+    total_coll_ = std::exchange(other.total_coll_, 0);
+    slots_ = std::move(other.slots_);
+  }
+  return *this;
+}
 
 Slot Trace::first_delivery(NodeId v) const {
   RADIOCAST_CHECK_MSG(v < first_delivery_.size(), "node id out of range");
@@ -45,6 +98,7 @@ std::uint64_t Trace::deliveries_to(NodeId v) const {
 }
 
 void Trace::begin_slot(Slot now) {
+  ++total_slots_;
   if (record_slots_) {
     slots_.push_back(SlotRecord{now, {}, {}, {}});
   }

@@ -32,6 +32,17 @@ class Trace {
  public:
   explicit Trace(std::size_t n, bool record_slots);
 
+  /// Publishes aggregate totals (slots, transmissions, deliveries,
+  /// collisions) into the global obs::metrics() registry when it is
+  /// enabled — once, at end of life, so the per-slot path carries no
+  /// metrics cost. Copying a Trace is forbidden precisely so totals are
+  /// never published twice.
+  ~Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+  Trace(Trace&&) noexcept;
+  Trace& operator=(Trace&&) noexcept;
+
   // --- observation API ---------------------------------------------------
 
   /// Slot in which `v` first received any message; kNever if it has not.
@@ -43,6 +54,8 @@ class Trace {
   /// Latest first_delivery among `nodes`; kNever if any has not received.
   Slot last_first_delivery(const std::vector<NodeId>& nodes) const;
 
+  /// Number of slots recorded (begin_slot calls), i.e. slots simulated.
+  std::uint64_t total_slots() const noexcept { return total_slots_; }
   std::uint64_t total_transmissions() const noexcept { return total_tx_; }
   std::uint64_t total_deliveries() const noexcept { return total_rx_; }
   std::uint64_t total_collisions() const noexcept { return total_coll_; }
@@ -64,6 +77,7 @@ class Trace {
   std::vector<Slot> first_delivery_;
   std::vector<std::uint64_t> tx_count_;
   std::vector<std::uint64_t> rx_count_;
+  std::uint64_t total_slots_ = 0;
   std::uint64_t total_tx_ = 0;
   std::uint64_t total_rx_ = 0;
   std::uint64_t total_coll_ = 0;

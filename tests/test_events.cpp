@@ -35,6 +35,41 @@ TEST(EventQueue, RejectsSchedulingInThePast) {
   EXPECT_THROW(q.push({3, EventKind::kAddEdge, 0, 2}), ContractViolation);
 }
 
+// Regression: the past-guard used to compare against the last *stored*
+// event (events_[next_-1].at), which after unsorted pushes is not the
+// queue's clock. Pushing {10} then {3}, popping through slot 5 and then
+// pushing {4} slipped a stale event past the guard.
+TEST(EventQueue, RejectsPastEventAfterUnsortedPushes) {
+  EventQueue q;
+  q.push({10, EventKind::kAddEdge, 0, 1});
+  q.push({3, EventKind::kRemoveEdge, 1, 2});  // out of order on purpose
+  const auto due = q.pop_due(5);
+  ASSERT_EQ(due.size(), 1U);
+  EXPECT_EQ(due[0].at, 3U);
+  // The queue's clock is now 5: slot 4 is the past even though the last
+  // popped event sat at slot 3.
+  EXPECT_THROW(q.push({4, EventKind::kAddEdge, 0, 2}), ContractViolation);
+  // Scheduling at exactly the clock or later is still fine, and delivery
+  // order stays correct around the still-pending {10}.
+  q.push({5, EventKind::kCrashNode, 2, kNoNode});
+  q.push({7, EventKind::kReviveNode, 2, kNoNode});
+  const auto rest = q.pop_due(10);
+  ASSERT_EQ(rest.size(), 3U);
+  EXPECT_EQ(rest[0].at, 5U);
+  EXPECT_EQ(rest[1].at, 7U);
+  EXPECT_EQ(rest[2].at, 10U);
+}
+
+// The clock advances even when a pop returns nothing: time passed, so
+// earlier slots are still the past.
+TEST(EventQueue, EmptyPopStillAdvancesTheClock) {
+  EventQueue q;
+  EXPECT_TRUE(q.pop_due(6).empty());
+  EXPECT_THROW(q.push({2, EventKind::kAddEdge, 0, 1}), ContractViolation);
+  q.push({6, EventKind::kAddEdge, 0, 1});  // at the clock: allowed
+  EXPECT_EQ(q.pending(), 1U);
+}
+
 TEST(Network, ApplyEdgeEvents) {
   Network net(graph::path(3));
   net.schedule({1, EventKind::kRemoveEdge, 0, 1});

@@ -122,5 +122,21 @@ TEST(GraphDot, CustomLabels) {
   EXPECT_NE(dot.find("label=\"sink\""), std::string::npos);
 }
 
+// Regression: labels containing `"` or `\` used to be emitted verbatim,
+// producing DOT files Graphviz rejects (or worse, parses differently).
+TEST(GraphDot, HostileLabelsAreEscaped) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  std::ostringstream os;
+  DotOptions options;
+  options.node_labels = {"say \"hi\"", "back\\slash"};
+  write_dot(os, g, options);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("label=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"back\\\\slash\""), std::string::npos);
+  // No raw unescaped quote may survive inside a label.
+  EXPECT_EQ(dot.find("label=\"say \"hi"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace radiocast::graph

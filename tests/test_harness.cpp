@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "radiocast/common/check.hpp"
 #include "radiocast/harness/csv.hpp"
@@ -146,8 +148,8 @@ TEST(Csv, WritesEscapedFile) {
 TEST(Csv, FlushIsIdempotent) {
   CsvWriter w("/tmp", "radiocast_csv_test2");
   w.row({"1"});
-  w.flush();
-  w.flush();
+  EXPECT_TRUE(w.flush());
+  EXPECT_TRUE(w.flush());
   std::ifstream in("/tmp/radiocast_csv_test2.csv");
   std::string all;
   std::string line;
@@ -157,6 +159,49 @@ TEST(Csv, FlushIsIdempotent) {
   }
   EXPECT_EQ(lines, 1);
   std::remove("/tmp/radiocast_csv_test2.csv");
+}
+
+// Regression: flush() used to be a one-shot latch — rows appended after
+// the first flush were silently dropped. Now every flush writes whatever
+// is buffered (first truncates, later ones append).
+TEST(Csv, RowsAfterFlushAreNotDropped) {
+  CsvWriter w("/tmp", "radiocast_csv_test3");
+  w.header({"n"});
+  w.row({"1"});
+  EXPECT_TRUE(w.flush());
+  w.row({"2"});
+  EXPECT_TRUE(w.flush());
+  w.row({"3"});  // left to the destructor's flush
+  {
+    // Destructor must flush the tail row too.
+    CsvWriter tail("/tmp", "radiocast_csv_test3_tail");
+    tail.row({"x"});
+  }
+  EXPECT_TRUE(w.flush());
+  std::ifstream in("/tmp/radiocast_csv_test3.csv");
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  EXPECT_EQ(lines, (std::vector<std::string>{"n", "1", "2", "3"}));
+  std::ifstream tail_in("/tmp/radiocast_csv_test3_tail.csv");
+  ASSERT_TRUE(tail_in.good());
+  std::getline(tail_in, line);
+  EXPECT_EQ(line, "x");
+  std::remove("/tmp/radiocast_csv_test3.csv");
+  std::remove("/tmp/radiocast_csv_test3_tail.csv");
+}
+
+// Open/write failures surface through the return value (and ok()), and a
+// failed flush keeps the rows so a retry can still deliver them.
+TEST(Csv, FlushReportsFailureAndKeepsRows) {
+  CsvWriter w("/tmp/radiocast_no_such_dir_12345", "t");
+  w.row({"1"});
+  EXPECT_FALSE(w.flush());
+  EXPECT_FALSE(w.ok());
+  // The writer still holds the row; pointing at a bad dir forever means
+  // the destructor warns instead of crashing (covered implicitly here).
 }
 
 }  // namespace

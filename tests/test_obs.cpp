@@ -1,0 +1,382 @@
+// The observability layer: JSON round-trips, the metrics registry, the
+// run-record document, and the contract between sim::Trace and the
+// "sim.*" counters. Also pins the run-record schema to the checked-in
+// scripts/bench_schema.json via a mini JSON-Schema validator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/obs/build_info.hpp"
+#include "radiocast/obs/json.hpp"
+#include "radiocast/obs/metrics.hpp"
+#include "radiocast/obs/run_record.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::obs {
+namespace {
+
+// --- JsonValue -----------------------------------------------------------
+
+TEST(Json, ScalarsRenderExactly) {
+  EXPECT_EQ(JsonValue(true).dump(), "true\n");
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null\n");
+  EXPECT_EQ(JsonValue(std::int64_t{-42}).dump(), "-42\n");
+  // 2^64 - 1 must not round-trip through a double.
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ULL}).dump(),
+            "18446744073709551615\n");
+  EXPECT_EQ(JsonValue("he\"llo\\").dump(), "\"he\\\"llo\\\\\"\n");
+}
+
+TEST(Json, DoublesRoundTrip) {
+  for (const double d : {0.1, 1.0 / 3.0, 1e-300, 12345.678901234567, 2.0}) {
+    const JsonValue parsed = JsonValue::parse(JsonValue(d).dump());
+    EXPECT_DOUBLE_EQ(parsed.as_double(), d);
+  }
+  // Integral doubles keep a decimal point so the type survives the trip.
+  EXPECT_EQ(JsonValue(2.0).dump(), "2.0\n");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zeta", JsonValue(1));
+  obj.set("alpha", JsonValue(2));
+  const std::string text = obj.dump();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  // set() on an existing key replaces in place.
+  obj.set("zeta", JsonValue(3));
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.find("zeta")->as_int(), 3);
+}
+
+TEST(Json, ParseRoundTripsNestedDocument) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue("radiocast"));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue(1));
+  arr.push_back(JsonValue(nullptr));
+  arr.push_back(JsonValue("x\ny"));
+  doc.set("items", std::move(arr));
+  JsonValue inner = JsonValue::object();
+  inner.set("pi", JsonValue(3.25));
+  doc.set("inner", std::move(inner));
+
+  const JsonValue back = JsonValue::parse(doc.dump());
+  EXPECT_EQ(back.dump(), doc.dump());
+  EXPECT_EQ(back.find("items")->at(2).as_string(), "x\ny");
+  EXPECT_DOUBLE_EQ(back.find("inner")->find("pi")->as_double(), 3.25);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW(JsonValue::parse("{"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("[1,]"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("true false"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ContractViolation);
+  EXPECT_THROW(JsonValue::parse(""), ContractViolation);
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  const JsonValue v = JsonValue::parse("\"a\\u00e9b\"");
+  EXPECT_EQ(v.as_string(), "a\xc3\xa9"
+                           "b");
+}
+
+// --- MetricsRegistry -----------------------------------------------------
+
+TEST(Metrics, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  reg.counter("c").add();
+  reg.counter("c").add(4);
+  EXPECT_EQ(reg.counter("c").value(), 5u);
+  reg.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+  for (int i = 1; i <= 100; ++i) {
+    reg.histogram("h").record(static_cast<double>(i));
+  }
+  const auto snap = reg.histogram("h").snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.mean, 50.5);
+  EXPECT_DOUBLE_EQ(snap.p50, 50.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 99.0);
+}
+
+TEST(Metrics, ReferencesAreStable) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("stable");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  c.add(7);
+  EXPECT_EQ(reg.counter("stable").value(), 7u);
+}
+
+TEST(Metrics, ResetZeroesButKeepsNames) {
+  MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.gauge("b").set(1.0);
+  reg.histogram("c").record(2.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("a").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("b").value(), 0.0);
+  EXPECT_EQ(reg.histogram("c").snapshot().count, 0u);
+  const JsonValue j = reg.to_json();
+  EXPECT_NE(j.find("counters")->find("a"), nullptr);
+}
+
+TEST(Metrics, ToJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("z.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("speed").set(10.0);
+  reg.histogram("lat").record(1.0);
+  const JsonValue j = reg.to_json();
+  ASSERT_TRUE(j.is_object());
+  const JsonValue* counters = j.find("counters");
+  ASSERT_NE(counters, nullptr);
+  // Sections are sorted by name for byte-stable output.
+  EXPECT_EQ(counters->items()[0].first, "a.count");
+  EXPECT_EQ(counters->items()[1].first, "z.count");
+  EXPECT_EQ(j.find("gauges")->find("speed")->as_double(), 10.0);
+  const JsonValue* lat = j.find("histograms")->find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_uint(), 1u);
+}
+
+TEST(Metrics, GlobalRegistryDisabledByDefault) {
+  EXPECT_FALSE(metrics().enabled());
+}
+
+// --- Trace -> metrics ----------------------------------------------------
+
+/// Transmits every slot.
+class Beacon final : public sim::Protocol {
+ public:
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    sim::Message m;
+    m.origin = ctx.id();
+    return sim::Action::transmit(m);
+  }
+};
+
+class Listener final : public sim::Protocol {
+ public:
+  sim::Action on_slot(sim::NodeContext&) override {
+    return sim::Action::receive();
+  }
+};
+
+// The registry's "sim.*" counters must equal the Trace's own totals after
+// the simulator dies — the totals are published exactly once, by the
+// Trace destructor.
+TEST(Metrics, TraceTotalsReachRegistryOnce) {
+  MetricsRegistry& reg = metrics();
+  reg.set_enabled(true);
+  reg.reset();
+  std::uint64_t slots = 0, tx = 0, rx = 0, coll = 0;
+  {
+    // path(4): beacons at both ends, listeners at 1 and 2. Node 1 hears
+    // only node 0 (delivery); node 2 hears only node 3 (delivery).
+    sim::Simulator s(graph::path(4), sim::SimOptions{});
+    s.emplace_protocol<Beacon>(0);
+    s.emplace_protocol<Listener>(1);
+    s.emplace_protocol<Listener>(2);
+    s.emplace_protocol<Beacon>(3);
+    for (int i = 0; i < 5; ++i) {
+      s.step();
+    }
+    slots = s.trace().total_slots();
+    tx = s.trace().total_transmissions();
+    rx = s.trace().total_deliveries();
+    coll = s.trace().total_collisions();
+    EXPECT_EQ(slots, 5u);
+    EXPECT_EQ(tx, 10u);
+    // Totals are published at destruction, not during the run.
+    EXPECT_EQ(reg.counter("sim.slots").value(), 0u);
+  }
+  EXPECT_EQ(reg.counter("sim.slots").value(), slots);
+  EXPECT_EQ(reg.counter("sim.transmissions").value(), tx);
+  EXPECT_EQ(reg.counter("sim.deliveries").value(), rx);
+  EXPECT_EQ(reg.counter("sim.collisions").value(), coll);
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+// Several simulators accumulate; a disabled registry stays untouched.
+TEST(Metrics, TraceTotalsAccumulateAcrossRuns) {
+  MetricsRegistry& reg = metrics();
+  reg.set_enabled(true);
+  reg.reset();
+  for (int run = 0; run < 3; ++run) {
+    sim::Simulator s(graph::path(2), sim::SimOptions{});
+    s.emplace_protocol<Beacon>(0);
+    s.emplace_protocol<Listener>(1);
+    s.step();
+    s.step();
+  }
+  EXPECT_EQ(reg.counter("sim.slots").value(), 6u);
+  EXPECT_EQ(reg.counter("sim.transmissions").value(), 6u);
+  reg.reset();
+  reg.set_enabled(false);
+  {
+    sim::Simulator s(graph::path(2), sim::SimOptions{});
+    s.emplace_protocol<Beacon>(0);
+    s.emplace_protocol<Listener>(1);
+    s.step();
+  }
+  EXPECT_EQ(reg.counter("sim.slots").value(), 0u);
+}
+
+// --- RunRecord + schema --------------------------------------------------
+
+/// Just enough JSON-Schema (type / required / properties /
+/// additionalProperties) to pin run records to scripts/bench_schema.json —
+/// the same subset scripts/check_schema.py implements for CI.
+void validate(const JsonValue& value, const JsonValue& schema,
+              const std::string& path, std::vector<std::string>& errors) {
+  if (const JsonValue* type = schema.find("type")) {
+    const std::string& t = type->as_string();
+    const bool ok =
+        (t == "object" && value.is_object()) ||
+        (t == "array" && value.is_array()) ||
+        (t == "string" && value.is_string()) ||
+        (t == "boolean" && value.is_bool()) ||
+        (t == "integer" && value.is_integer()) ||
+        (t == "number" && value.is_number()) || (t == "null" && value.is_null());
+    if (!ok) {
+      errors.push_back(path + ": expected " + t);
+      return;
+    }
+  }
+  if (!value.is_object()) {
+    return;
+  }
+  if (const JsonValue* required = schema.find("required")) {
+    for (std::size_t i = 0; i < required->size(); ++i) {
+      if (value.find(required->at(i).as_string()) == nullptr) {
+        errors.push_back(path + ": missing " + required->at(i).as_string());
+      }
+    }
+  }
+  const JsonValue* properties = schema.find("properties");
+  const JsonValue* additional = schema.find("additionalProperties");
+  for (const auto& [key, child] : value.items()) {
+    const JsonValue* child_schema =
+        properties != nullptr ? properties->find(key) : nullptr;
+    if (child_schema == nullptr && additional != nullptr &&
+        additional->is_object()) {
+      child_schema = additional;
+    }
+    if (child_schema != nullptr) {
+      validate(child, *child_schema, path + "." + key, errors);
+    }
+  }
+}
+
+JsonValue load_schema() {
+  const std::string path =
+      std::string(RADIOCAST_SOURCE_DIR) + "/scripts/bench_schema.json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return JsonValue::parse(ss.str());
+}
+
+TEST(RunRecord, ForToolFillsProvenance) {
+  const RunRecord r = RunRecord::for_tool("test_obs");
+  EXPECT_EQ(r.tool, "test_obs");
+  EXPECT_FALSE(r.git_describe.empty());
+  EXPECT_FALSE(r.compiler.empty());
+  EXPECT_GT(r.timestamp_unix, 0);
+}
+
+// Property: however the record and registry are populated, the emitted
+// document validates against the checked-in schema.
+TEST(RunRecord, DocumentsValidateAgainstCheckedInSchema) {
+  const JsonValue schema = load_schema();
+  for (int variant = 0; variant < 4; ++variant) {
+    MetricsRegistry reg;
+    RunRecord r = RunRecord::for_tool("variant_" + std::to_string(variant));
+    r.seed = 11u * static_cast<std::uint64_t>(variant);
+    r.trials = 100u + static_cast<std::uint64_t>(variant);
+    r.scale = 0.25 * (variant + 1);
+    r.threads = static_cast<std::uint64_t>(variant);
+    r.wall_sec = 0.5 * variant;
+    if (variant >= 1) {
+      reg.counter("sim.slots").add(1000u * static_cast<unsigned>(variant));
+      reg.counter("sim.transmissions").add(7);
+      r.capture_sim_totals(reg);
+    }
+    if (variant >= 2) {
+      reg.gauge("engine.slots_per_sec.gnp.n256").set(12345.6);
+      reg.histogram("harness.trial_wall_sec").record(0.01);
+      reg.histogram("harness.trial_wall_sec").record(0.02);
+    }
+    if (variant >= 3) {
+      r.extra.set("command", JsonValue("broadcast"));
+      r.extra.set("note", JsonValue(nullptr));
+    }
+    const JsonValue doc = r.to_json(reg);
+    std::vector<std::string> errors;
+    validate(doc, schema, "$", errors);
+    EXPECT_TRUE(errors.empty()) << "variant " << variant << ": " << [&] {
+      std::string all;
+      for (const auto& e : errors) {
+        all += e + "; ";
+      }
+      return all;
+    }();
+    // And the document survives a parse round-trip byte-for-byte.
+    EXPECT_EQ(JsonValue::parse(doc.dump()).dump(), doc.dump());
+  }
+}
+
+TEST(RunRecord, CaptureSimTotalsReadsRegistry) {
+  MetricsRegistry reg;
+  reg.counter("sim.slots").add(5);
+  reg.counter("sim.transmissions").add(10);
+  reg.counter("sim.deliveries").add(8);
+  reg.counter("sim.collisions").add(2);
+  RunRecord r;
+  r.capture_sim_totals(reg);
+  EXPECT_EQ(r.slots, 5u);
+  EXPECT_EQ(r.transmissions, 10u);
+  EXPECT_EQ(r.deliveries, 8u);
+  EXPECT_EQ(r.collisions, 2u);
+  const JsonValue doc = r.to_json(reg);
+  EXPECT_EQ(doc.find("sim")->find("slots")->as_uint(), 5u);
+}
+
+TEST(RunRecord, WriteFailureReturnsFalse) {
+  MetricsRegistry reg;
+  const RunRecord r = RunRecord::for_tool("t");
+  EXPECT_FALSE(r.write("/tmp/radiocast_no_such_dir_9876/x.json", reg));
+}
+
+TEST(RunRecord, WriteRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("sim.slots").add(3);
+  RunRecord r = RunRecord::for_tool("t");
+  r.capture_sim_totals(reg);
+  const std::string path = "/tmp/radiocast_test_record.json";
+  ASSERT_TRUE(r.write(path, reg));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(ss.str());
+  EXPECT_EQ(doc.find("tool")->as_string(), "t");
+  EXPECT_EQ(doc.find("sim")->find("slots")->as_uint(), 3u);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), RunRecord::kSchemaVersion);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace radiocast::obs

@@ -3,9 +3,11 @@
 // once, and propagates worker exceptions to the caller.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -86,6 +88,38 @@ TEST(Parallel, DefaultThreadCountHonorsEnv) {
   EXPECT_GE(default_thread_count(), 1u);
   ::unsetenv("RADIOCAST_THREADS");
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+// Regression: "8x" used to parse as 8 (atoi semantics) and a value like
+// "99999999999999999999" overflowed silently. The env parse is now
+// all-or-nothing: any trailing garbage or overflow falls back to
+// hardware concurrency.
+TEST(Parallel, DefaultThreadCountRejectsTrailingGarbage) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  ::setenv("RADIOCAST_THREADS", "8x", 1);
+  EXPECT_EQ(default_thread_count(), hw);
+  ::setenv("RADIOCAST_THREADS", "3 4", 1);
+  EXPECT_EQ(default_thread_count(), hw);
+  ::setenv("RADIOCAST_THREADS", "-2", 1);
+  EXPECT_EQ(default_thread_count(), hw);
+  ::setenv("RADIOCAST_THREADS", "", 1);
+  EXPECT_EQ(default_thread_count(), hw);
+  ::setenv("RADIOCAST_THREADS", "99999999999999999999", 1);  // overflows
+  EXPECT_EQ(default_thread_count(), hw);
+  ::unsetenv("RADIOCAST_THREADS");
+}
+
+// An absurd-but-parseable request is clamped to 4x the hardware threads
+// instead of spawning thousands of workers.
+TEST(Parallel, DefaultThreadCountClampsHugeRequests) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  ::setenv("RADIOCAST_THREADS", "1000000", 1);
+  EXPECT_EQ(default_thread_count(), 4u * hw);
+  // A large-but-sane request below the cap is honored verbatim.
+  const unsigned sane = 2u * hw;
+  ::setenv("RADIOCAST_THREADS", std::to_string(sane).c_str(), 1);
+  EXPECT_EQ(default_thread_count(), sane);
+  ::unsetenv("RADIOCAST_THREADS");
 }
 
 /// One full-protocol broadcast trial, seeded purely from its index — the
