@@ -1,0 +1,265 @@
+// E-faults — broadcast robustness under channel impairments (docs/FAULTS.md).
+//
+// The paper's model (§2.2) lets the topology change mid-execution and BGI's
+// Decay never uses topology knowledge, so its success guarantee should
+// degrade gracefully under faults that silently re-shape the network. The
+// deterministic baselines (DFS token, round-robin) hold the opposite end of
+// the spectrum: a single lost token kills a DFS traversal. Three sweeps on
+// the same G(n,p) topology, all through harness::run_bgi_broadcast /
+// run_dfs_broadcast / run_round_robin with a per-trial fault::FaultPlan:
+//
+//   1. Bernoulli loss rate   p in {0 .. 0.3}   (erasures)
+//   2. reactive jammer budget B in {0 .. 512}  (adversarial noise)
+//   3. crash fraction        f in {0 .. 0.3}   (fail-stop + recovery)
+//
+// Per cell: success fraction over the trial count, median completion slot
+// among successes, mean transmissions. Under --json-out the RunRecord
+// carries one gauge per cell plus the whole-run fault.* counters the
+// FaultPlans publish (fault.jammed_slots, fault.dropped_deliveries, ...).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "radiocast/fault/config.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/csv.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/parallel.hpp"
+#include "radiocast/harness/report.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/rng/rng.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+struct Cell {
+  std::string label;
+  double bgi_success = 0.0;
+  double bgi_median_completion = -1.0;
+  double bgi_mean_tx = 0.0;
+  double dfs_success = 0.0;
+  double rr_success = 0.0;
+};
+
+/// One sweep cell: every protocol runs `trials` times on `g`, each trial
+/// with its own FaultPlan derived from (fault_seed, cell_salt, trial) —
+/// the same per-trial seed discipline as the simulation itself, which is
+/// what keeps this bench bit-identical at any --threads.
+Cell run_cell(const graph::Graph& g, const proto::BroadcastParams& params,
+              const fault::FaultConfig& base, const harness::RunOptions& opt,
+              std::uint64_t cell_salt) {
+  const std::uint64_t fault_base =
+      rng::mix64(harness::resolved_fault_seed(opt) ^ cell_salt);
+  const bool faulty = base.any();
+  const Slot det_budget = 64 * (g.node_count() + 2);
+  Cell cell;
+
+  const auto outcomes = harness::run_trials(
+      opt.trials,
+      [&](std::size_t trial) {
+        const NodeId sources[] = {0};
+        const fault::FaultConfig fc =
+            base.with_seed(rng::mix64(fault_base ^ trial));
+        return harness::run_bgi_broadcast(g, sources, params,
+                                          opt.seed + trial, Slot{1} << 20,
+                                          {}, faulty ? &fc : nullptr);
+      },
+      opt.threads);
+  stats::Summary completion;
+  stats::Summary tx;
+  std::size_t ok = 0;
+  for (const auto& out : outcomes) {
+    tx.add(static_cast<double>(out.transmissions));
+    if (out.all_informed) {
+      ++ok;
+      completion.add(static_cast<double>(out.completion_slot));
+    }
+  }
+  cell.bgi_success = static_cast<double>(ok) /
+                     static_cast<double>(opt.trials);
+  cell.bgi_median_completion =
+      completion.count() > 0 ? completion.median() : -1.0;
+  cell.bgi_mean_tx = tx.mean();
+
+  // The deterministic controls have no protocol randomness; only the fault
+  // draw varies between trials, so they still need the Monte-Carlo loop.
+  const auto dfs_ok = harness::run_trials(
+      opt.trials,
+      [&](std::size_t trial) -> int {
+        const fault::FaultConfig fc =
+            base.with_seed(rng::mix64(fault_base ^ (trial + 0x1000000)));
+        return harness::run_dfs_broadcast(g, 0, det_budget,
+                                          faulty ? &fc : nullptr)
+                   .all_heard
+               ? 1
+               : 0;
+      },
+      opt.threads);
+  const auto rr_ok = harness::run_trials(
+      opt.trials,
+      [&](std::size_t trial) -> int {
+        const fault::FaultConfig fc =
+            base.with_seed(rng::mix64(fault_base ^ (trial + 0x2000000)));
+        return harness::run_round_robin(g, 0, det_budget,
+                                        faulty ? &fc : nullptr)
+                   .all_heard
+               ? 1
+               : 0;
+      },
+      opt.threads);
+  std::size_t dfs_n = 0;
+  std::size_t rr_n = 0;
+  for (std::size_t i = 0; i < opt.trials; ++i) {
+    dfs_n += static_cast<std::size_t>(dfs_ok[i]);
+    rr_n += static_cast<std::size_t>(rr_ok[i]);
+  }
+  cell.dfs_success = static_cast<double>(dfs_n) /
+                     static_cast<double>(opt.trials);
+  cell.rr_success = static_cast<double>(rr_n) /
+                    static_cast<double>(opt.trials);
+  return cell;
+}
+
+void print_sweep(const char* title, const std::vector<Cell>& cells) {
+  harness::print_banner(title);
+  harness::Table t({"setting", "BGI success", "BGI median slot",
+                    "BGI mean tx", "DFS success", "RR success"});
+  for (const Cell& c : cells) {
+    t.add_row({c.label, harness::Table::num(c.bgi_success, 3),
+               c.bgi_median_completion < 0
+                   ? "-"
+                   : harness::Table::num(c.bgi_median_completion, 0),
+               harness::Table::num(c.bgi_mean_tx, 0),
+               harness::Table::num(c.dfs_success, 3),
+               harness::Table::num(c.rr_success, 3)});
+  }
+  t.print();
+}
+
+void csv_sweep(harness::CsvWriter& csv, const std::string& sweep,
+               const std::vector<Cell>& cells) {
+  for (const Cell& c : cells) {
+    csv.row({sweep, c.label, harness::Table::num(c.bgi_success, 3),
+             harness::Table::num(c.bgi_median_completion, 0),
+             harness::Table::num(c.bgi_mean_tx, 0),
+             harness::Table::num(c.dfs_success, 3),
+             harness::Table::num(c.rr_success, 3)});
+  }
+}
+
+void report_sweep(harness::RunReporter& reporter, const std::string& prefix,
+                  const std::vector<Cell>& cells) {
+  for (const Cell& c : cells) {
+    reporter.gauge("faults." + prefix + "." + c.label + ".bgi_success",
+                   c.bgi_success);
+    reporter.gauge("faults." + prefix + "." + c.label + ".dfs_success",
+                   c.dfs_success);
+    reporter.gauge("faults." + prefix + "." + c.label + ".rr_success",
+                   c.rr_success);
+    if (c.bgi_median_completion >= 0) {
+      reporter.gauge(
+          "faults." + prefix + "." + c.label + ".bgi_median_completion",
+          c.bgi_median_completion);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_faults", opt);
+  harness::CsvWriter csv(opt.csv_dir, "e22_faults");
+  csv.header({"sweep", "setting", "bgi_success", "bgi_median_completion",
+              "bgi_mean_tx", "dfs_success", "rr_success"});
+
+  const std::size_t n = harness::scaled(96, opt);
+  rng::Rng graph_rng(opt.seed);
+  const graph::Graph g =
+      graph::connected_gnp(n, 4.0 / static_cast<double>(n), graph_rng);
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  std::printf("E-faults: n=%zu arcs=%zu trials=%zu threads=%zu "
+              "fault_seed=%llu\n",
+              g.node_count(), g.arc_count(), opt.trials, opt.threads,
+              static_cast<unsigned long long>(
+                  harness::resolved_fault_seed(opt)));
+
+  // --- 1. Bernoulli loss-rate sweep ---------------------------------------
+  const double loss_rates[] = {0.0, 0.05, 0.1, 0.2, 0.3};
+  std::vector<Cell> loss_cells;
+  for (std::size_t i = 0; i < std::size(loss_rates); ++i) {
+    fault::FaultConfig base;
+    if (loss_rates[i] > 0.0) {
+      base.loss = fault::LossModel::bernoulli(loss_rates[i]);
+    }
+    Cell c = run_cell(g, params, base, opt, 0x1057'0000 + i);
+    char label[32];
+    std::snprintf(label, sizeof label, "loss%.2f", loss_rates[i]);
+    c.label = label;
+    loss_cells.push_back(std::move(c));
+  }
+  print_sweep("E-faults 1: i.i.d. Bernoulli loss", loss_cells);
+  report_sweep(reporter, "bernoulli", loss_cells);
+  csv_sweep(csv, "bernoulli", loss_cells);
+
+  // --- 2. reactive jammer budget sweep ------------------------------------
+  const std::uint64_t budgets[] = {0, 8, 32, 128, 512};
+  std::vector<Cell> jam_cells;
+  for (std::size_t i = 0; i < std::size(budgets); ++i) {
+    fault::FaultConfig base;
+    if (budgets[i] > 0) {
+      base.jammers.push_back(fault::JammerSpec::reactive(budgets[i]));
+    }
+    Cell c = run_cell(g, params, base, opt, 0x4A4D'0000 + i);
+    c.label = "budget" + std::to_string(budgets[i]);
+    jam_cells.push_back(std::move(c));
+  }
+  print_sweep("E-faults 2: reactive jammer (budget = slots it may jam)",
+              jam_cells);
+  report_sweep(reporter, "reactive", jam_cells);
+  csv_sweep(csv, "reactive", jam_cells);
+
+  // --- 3. crash + recovery sweep ------------------------------------------
+  // The source is immune (a dead source fails every protocol trivially);
+  // everyone else crashes within the first 4n slots and comes back after
+  // n..4n slots — long enough to sit out whole Decay phases.
+  const double crash_fractions[] = {0.0, 0.1, 0.2, 0.3};
+  std::vector<Cell> crash_cells;
+  for (std::size_t i = 0; i < std::size(crash_fractions); ++i) {
+    fault::FaultConfig base;
+    if (crash_fractions[i] > 0.0) {
+      base.crashes.fraction = crash_fractions[i];
+      base.crashes.window = 4 * n;
+      base.crashes.min_downtime = n;
+      base.crashes.max_downtime = 4 * n;
+      base.crashes.immune = {0};
+    }
+    Cell c = run_cell(g, params, base, opt, 0xC4A5'0000 + i);
+    char label[32];
+    std::snprintf(label, sizeof label, "crash%.2f", crash_fractions[i]);
+    c.label = label;
+    crash_cells.push_back(std::move(c));
+  }
+  print_sweep("E-faults 3: fail-stop crash + recovery (source immune)",
+              crash_cells);
+  report_sweep(reporter, "crash", crash_cells);
+  csv_sweep(csv, "crash", crash_cells);
+
+  // Sanity guard for CI: the clean cells must behave like the fault-free
+  // repo baseline (BGI target 1 - eps, deterministic protocols perfect).
+  const bool clean_ok = loss_cells.front().bgi_success >= 0.85 &&
+                        loss_cells.front().dfs_success == 1.0 &&
+                        loss_cells.front().rr_success == 1.0;
+  if (!clean_ok) {
+    std::printf("FAIL: fault-free control cell degraded\n");
+  }
+  return clean_ok && csv.flush() ? 0 : 1;
+}

@@ -13,6 +13,13 @@
 // Common options: --family {path,cycle,grid,clique,star,hypercube,tree,
 // gnp,geometric,cn}, --n <nodes>, --eps <0..1>, --trials, --seed,
 // --threads <workers> (0 = auto; env RADIOCAST_THREADS also honored).
+//
+// Fault injection (broadcast and gap commands; see docs/FAULTS.md):
+//   --loss P              i.i.d. Bernoulli loss with P(drop) = P, or
+//   --loss ge:PGB:PBG     Gilbert–Elliott bursty loss (good->bad, bad->good)
+//   --jammers SPECS       comma-separated jammers: oblivious:P[:BUDGET],
+//                         periodic:T[:PHASE[:BUDGET]], reactive:BUDGET
+//   --fault-seed S        fault randomness stream (0 = derive from --seed)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +28,7 @@
 #include <set>
 #include <string>
 
+#include "radiocast/fault/config.hpp"
 #include "radiocast/graph/algorithms.hpp"
 #include "radiocast/graph/families.hpp"
 #include "radiocast/graph/generators.hpp"
@@ -35,6 +43,7 @@
 #include "radiocast/proto/gossip.hpp"
 #include "radiocast/proto/leader_election.hpp"
 #include "radiocast/proto/routing.hpp"
+#include "radiocast/rng/rng.hpp"
 #include "radiocast/sched/schedule.hpp"
 #include "radiocast/sim/simulator.hpp"
 #include "radiocast/stats/summary.hpp"
@@ -72,6 +81,90 @@ graph::Graph make_family(const std::string& family, std::size_t n,
   std::exit(2);
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void bad_spec(const char* flag, const std::string& spec) {
+  std::fprintf(stderr, "cannot parse --%s '%s' (see docs/FAULTS.md)\n", flag,
+               spec.c_str());
+  std::exit(2);
+}
+
+// --loss P | --loss ge:PGB:PBG
+double strict_prob(const std::string& s, const char* flag,
+                   const std::string& spec) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || v < 0.0 || v > 1.0) {
+    bad_spec(flag, spec);
+  }
+  return v;
+}
+
+fault::LossModel parse_loss(const std::string& spec) {
+  if (spec.empty()) {
+    return fault::LossModel::none();
+  }
+  if (spec.rfind("ge:", 0) == 0) {
+    const auto parts = split(spec.substr(3), ':');
+    if (parts.size() != 2) {
+      bad_spec("loss", spec);
+    }
+    fault::GilbertElliott ge;
+    ge.p_good_to_bad = strict_prob(parts[0], "loss", spec);
+    ge.p_bad_to_good = strict_prob(parts[1], "loss", spec);
+    return fault::LossModel::gilbert_elliott(ge);
+  }
+  return fault::LossModel::bernoulli(strict_prob(spec, "loss", spec));
+}
+
+// --jammers oblivious:P[:BUDGET],periodic:T[:PHASE[:BUDGET]],reactive:BUDGET
+std::vector<fault::JammerSpec> parse_jammers(const std::string& specs) {
+  std::vector<fault::JammerSpec> out;
+  if (specs.empty()) {
+    return out;
+  }
+  for (const std::string& spec : split(specs, ',')) {
+    const auto parts = split(spec, ':');
+    const std::string& kind = parts.front();
+    if (kind == "oblivious" && (parts.size() == 2 || parts.size() == 3)) {
+      const double p = std::strtod(parts[1].c_str(), nullptr);
+      const std::uint64_t budget =
+          parts.size() == 3 ? std::strtoull(parts[2].c_str(), nullptr, 10)
+                            : fault::kUnlimitedBudget;
+      out.push_back(fault::JammerSpec::oblivious(p, budget));
+    } else if (kind == "periodic" &&
+               (parts.size() >= 2 && parts.size() <= 4)) {
+      const Slot period = std::strtoull(parts[1].c_str(), nullptr, 10);
+      const Slot phase =
+          parts.size() >= 3 ? std::strtoull(parts[2].c_str(), nullptr, 10)
+                            : 0;
+      const std::uint64_t budget =
+          parts.size() == 4 ? std::strtoull(parts[3].c_str(), nullptr, 10)
+                            : fault::kUnlimitedBudget;
+      out.push_back(fault::JammerSpec::periodic(period, phase, budget));
+    } else if (kind == "reactive" && parts.size() == 2) {
+      out.push_back(fault::JammerSpec::reactive(
+          std::strtoull(parts[1].c_str(), nullptr, 10)));
+    } else {
+      bad_spec("jammers", spec);
+    }
+  }
+  return out;
+}
+
 proto::BroadcastParams params_for(const graph::Graph& g, double eps) {
   return proto::BroadcastParams{
       .network_size_bound = g.node_count(),
@@ -86,7 +179,8 @@ int usage() {
       stderr,
       "usage: radiocast_cli <broadcast|bfs|gap|election|route|gossip|"
       "convergecast|schedule|graph> [--family F] [--n N] [--eps E] "
-      "[--trials T] [--seed S] [--threads W] ...\n"
+      "[--trials T] [--seed S] [--threads W] [--loss SPEC] "
+      "[--jammers SPECS] [--fault-seed S] ...\n"
       "  --threads W   run Monte-Carlo trials on W worker threads "
       "(0 = auto:\n                RADIOCAST_THREADS if set, else all "
       "hardware threads);\n                results are identical for "
@@ -95,17 +189,24 @@ int usage() {
 }
 
 int cmd_broadcast(const graph::Graph& g, double eps, std::size_t trials,
-                  std::uint64_t seed, std::size_t threads) {
+                  std::uint64_t seed, std::size_t threads,
+                  const fault::FaultConfig& fault_base,
+                  std::uint64_t fault_seed) {
   const auto params = params_for(g, eps);
   std::size_t ok = 0;
   stats::Summary completion;
   stats::Summary tx;
+  const bool faulty = fault_base.any();
   const auto outcomes = harness::run_trials(
       trials,
-      [&g, &params, seed](std::size_t trial) {
+      [&g, &params, seed, &fault_base, faulty,
+       fault_seed](std::size_t trial) {
         const NodeId sources[] = {0};
+        const fault::FaultConfig fc =
+            fault_base.with_seed(rng::mix64(fault_seed ^ trial));
         return harness::run_bgi_broadcast(g, sources, params, seed + trial,
-                                          Slot{1} << 22);
+                                          Slot{1} << 22, {},
+                                          faulty ? &fc : nullptr);
       },
       threads);
   for (const auto& out : outcomes) {
@@ -149,17 +250,24 @@ int cmd_bfs(const graph::Graph& g, double eps, std::size_t trials,
 }
 
 int cmd_gap(std::size_t n, double eps, std::size_t trials,
-            std::uint64_t seed, std::size_t threads) {
+            std::uint64_t seed, std::size_t threads,
+            const fault::FaultConfig& fault_base,
+            std::uint64_t fault_seed) {
   const NodeId worst_s[] = {static_cast<NodeId>(n)};
   const auto net = graph::make_cn(n, worst_s);
   const auto params = params_for(net.g, eps);
+  const bool faulty = fault_base.any();
   stats::Summary randomized;
   const auto outcomes = harness::run_trials(
       trials,
-      [&net, &params, seed](std::size_t trial) {
+      [&net, &params, seed, &fault_base, faulty,
+       fault_seed](std::size_t trial) {
         const NodeId sources[] = {net.source};
+        const fault::FaultConfig fc =
+            fault_base.with_seed(rng::mix64(fault_seed ^ trial));
         return harness::run_bgi_broadcast(net.g, sources, params,
-                                          seed + trial, Slot{1} << 22);
+                                          seed + trial, Slot{1} << 22, {},
+                                          faulty ? &fc : nullptr);
       },
       threads);
   for (const auto& out : outcomes) {
@@ -167,9 +275,12 @@ int cmd_gap(std::size_t n, double eps, std::size_t trials,
       randomized.add(static_cast<double>(out.completion_slot) + 1);
     }
   }
-  const auto dfs =
-      harness::run_dfs_broadcast(net.g, net.source, 8 * (n + 2));
-  const auto rr = harness::run_round_robin(net.g, net.source, 8 * (n + 2));
+  const fault::FaultConfig det_fc =
+      fault_base.with_seed(rng::mix64(fault_seed));
+  const auto dfs = harness::run_dfs_broadcast(net.g, net.source, 8 * (n + 2),
+                                              faulty ? &det_fc : nullptr);
+  const auto rr = harness::run_round_robin(net.g, net.source, 8 * (n + 2),
+                                           faulty ? &det_fc : nullptr);
   std::printf("C_%zu (diameter 3): randomized median %.0f slots, "
               "DFS %llu, round-robin %llu, Thm12 floor %.1f\n",
               n, randomized.count() ? randomized.median() : -1.0,
@@ -317,9 +428,10 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     return usage();
   }
-  const std::set<std::string> known{"family", "n",    "eps",  "trials",
-                                    "seed",   "dot",  "save", "source",
-                                    "dest",   "load", "threads", "json-out"};
+  const std::set<std::string> known{
+      "family", "n",       "eps",     "trials",   "seed",
+      "dot",    "save",    "source",  "dest",     "load",
+      "threads", "json-out", "loss",  "jammers",  "fault-seed"};
   for (const auto& key : args.unknown_keys(known)) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -336,6 +448,16 @@ int main(int argc, char** argv) {
   auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
   if (threads == 0) {
     threads = harness::default_thread_count();
+  }
+
+  // Channel impairments (broadcast/gap only): a base FaultConfig built
+  // from the flags; each trial re-seeds it (docs/FAULTS.md).
+  fault::FaultConfig fault_base;
+  fault_base.loss = parse_loss(args.get("loss", ""));
+  fault_base.jammers = parse_jammers(args.get("jammers", ""));
+  auto fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  if (fault_seed == 0) {
+    fault_seed = seed ^ 0xFA17'5EED'0000'0001ULL;
   }
 
   // Provenance / metrics: --json-out (or RADIOCAST_JSON_OUT) makes the CLI
@@ -368,13 +490,14 @@ int main(int argc, char** argv) {
 
   try {
     if (cmd == "broadcast") {
-      return cmd_broadcast(load_or_make(), eps, trials, seed, threads);
+      return cmd_broadcast(load_or_make(), eps, trials, seed, threads,
+                           fault_base, fault_seed);
     }
     if (cmd == "bfs") {
       return cmd_bfs(load_or_make(), eps, trials, seed, threads);
     }
     if (cmd == "gap") {
-      return cmd_gap(n, eps, trials, seed, threads);
+      return cmd_gap(n, eps, trials, seed, threads, fault_base, fault_seed);
     }
     if (cmd == "election") {
       return cmd_election(load_or_make(), eps, seed);

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Documentation link and path checker.
+
+Usage:
+    check_docs.py [REPO_ROOT]
+
+Scans every ``*.md`` file in the repository (skipping build output and
+third-party directories) and verifies that
+
+1. every relative Markdown link ``[text](target)`` resolves to a file or
+   directory in the tree (anchors and ``http(s)://`` / ``mailto:`` links
+   are ignored), and
+2. every mention of a C++ source file (``foo.cpp`` / ``foo.hpp``) refers
+   to a file that exists: mentions containing a ``/`` must resolve
+   relative to the repo root or to the referencing document, bare file
+   names must match some file of that basename anywhere in the tree.
+
+Exit status is 0 when everything resolves, 1 otherwise; each dangling
+reference is printed as ``file:line: message``.  Stdlib-only, like every
+script in this repo — CI must not pip-install anything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "third_party", "external", ".cache"}
+# Repo-growth driver metadata, not shipped documentation: they quote
+# placeholder names and code from *other* repositories.
+SKIP_FILES = {"ISSUE.md", "SNIPPETS.md", "PAPERS.md"}
+
+# [text](target) — non-greedy target, no nested parens.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Path-ish mentions of C++ sources: optional dirs, then name.cpp/.hpp.
+CPP_RE = re.compile(r"[A-Za-z0-9_./-]*[A-Za-z0-9_-]+\.[ch]pp\b")
+
+
+def md_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.name in SKIP_FILES:
+            continue
+        yield path
+
+
+def strip_code_fences(text: str) -> list:
+    """Lines of `text` with fenced code blocks kept (paths in examples
+    should resolve too) but fence markers themselves blanked."""
+    return text.splitlines()
+
+
+def check_link(target: str, doc: pathlib.Path, root: pathlib.Path):
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return None
+    # Drop anchors and trailing punctuation that markdown allows.
+    target = target.split("#", 1)[0]
+    if not target:
+        return None
+    candidate = (doc.parent / target).resolve()
+    if candidate.exists():
+        return None
+    from_root = (root / target).resolve()
+    if from_root.exists():
+        return None
+    return f"dangling link '{target}'"
+
+
+def check_cpp_mention(mention: str, doc: pathlib.Path, root: pathlib.Path,
+                      basenames: set):
+    mention = mention.lstrip("./")
+    if "/" in mention:
+        if (root / mention).exists() or (doc.parent / mention).exists():
+            return None
+        # A path under src/ may be written from the include root.
+        if (root / "src" / mention).exists():
+            return None
+        return f"dangling source path '{mention}'"
+    if mention in basenames:
+        return None
+    return f"unknown source file '{mention}'"
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    basenames = set()
+    for ext in ("*.cpp", "*.hpp"):
+        for path in root.rglob(ext):
+            if any(part in SKIP_DIRS for part in path.parts):
+                continue
+            basenames.add(path.name)
+
+    failures = 0
+    docs = 0
+    for doc in md_files(root):
+        docs += 1
+        rel = doc.relative_to(root)
+        for lineno, line in enumerate(strip_code_fences(
+                doc.read_text(encoding="utf-8")), start=1):
+            for match in LINK_RE.finditer(line):
+                err = check_link(match.group(1), doc, root)
+                if err:
+                    failures += 1
+                    print(f"{rel}:{lineno}: {err}")
+            for match in CPP_RE.finditer(line):
+                err = check_cpp_mention(match.group(0), doc, root, basenames)
+                if err:
+                    failures += 1
+                    print(f"{rel}:{lineno}: {err}")
+    if failures:
+        print(f"{failures} dangling reference(s) across {docs} documents")
+        return 1
+    print(f"ok: {docs} markdown documents, all links and source paths "
+          f"resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

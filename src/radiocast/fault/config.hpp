@@ -1,0 +1,165 @@
+// Fault & channel-impairment configuration (the *what*).
+//
+// A FaultConfig is a declarative description of every impairment a run
+// should suffer: fail-stop crashes with optional recovery, per-link
+// probabilistic loss (i.i.d. Bernoulli or Gilbert–Elliott bursty), and
+// jammer adversaries. It is cheap to copy and carries its own seed, so a
+// Monte-Carlo harness derives one config per trial (`with_seed`) exactly
+// like it derives per-trial simulation seeds — which is what keeps fault
+// outcomes bit-identical at any worker-thread count.
+//
+// The paper connection (see docs/FAULTS.md for the full mapping): §2.2
+// property 3 allows topology change mid-run and BGI's Decay is oblivious
+// to it; crashes + loss probe exactly that robustness claim, and jammers
+// model the adversarial-noise arguments of the collision-detection
+// literature (Ghaffari–Haeupler–Khabbazian; Newport's jamming-style lower
+// bounds).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/sim/events.hpp"
+
+namespace radiocast::fault {
+
+/// Jammer budgets use this to mean "no limit".
+inline constexpr std::uint64_t kUnlimitedBudget =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Two-state bursty-loss channel (Gilbert–Elliott): a hidden good/bad
+/// state per link, flipping with the given per-slot probabilities, and a
+/// state-dependent loss probability per delivery. The classic model for
+/// fading links where losses cluster instead of arriving i.i.d.
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;  ///< per-slot P(good -> bad)
+  double p_bad_to_good = 1.0;  ///< per-slot P(bad -> good)
+  double loss_good = 0.0;      ///< P(drop delivery | link good)
+  double loss_bad = 1.0;       ///< P(drop delivery | link bad)
+
+  friend bool operator==(const GilbertElliott&,
+                         const GilbertElliott&) = default;
+};
+
+/// Per-link loss applied at delivery time (only a message that would have
+/// been received — exactly one transmitting in-neighbor — can be lost;
+/// collisions are already noise).
+struct LossModel {
+  enum class Kind : std::uint8_t { kNone, kBernoulli, kGilbertElliott };
+
+  Kind kind = Kind::kNone;
+  double p = 0.0;          ///< Bernoulli: i.i.d. P(drop) per delivery
+  GilbertElliott gilbert;  ///< Gilbert–Elliott parameters
+
+  static LossModel none() { return {}; }
+  static LossModel bernoulli(double p) {
+    return {Kind::kBernoulli, p, {}};
+  }
+  static LossModel gilbert_elliott(const GilbertElliott& ge) {
+    return {Kind::kGilbertElliott, 0.0, ge};
+  }
+
+  bool any() const noexcept { return kind != Kind::kNone; }
+
+  friend bool operator==(const LossModel&, const LossModel&) = default;
+};
+
+/// One jammer adversary. Jamming is channel-wide: in a jammed slot every
+/// would-be delivery becomes noise (a collision from the receivers' point
+/// of view). Every kind can be budget-limited (total slots it may jam).
+struct JammerSpec {
+  enum class Kind : std::uint8_t {
+    kOblivious,  ///< jams each slot independently with `probability`
+    kPeriodic,   ///< jams slots where now % period == phase
+    kReactive    ///< senses the channel: jams a slot iff some receiver
+                 ///< would otherwise hear exactly one transmitter
+  };
+
+  Kind kind = Kind::kOblivious;
+  double probability = 0.0;  ///< oblivious only
+  Slot period = 0;           ///< periodic only (0 = never)
+  Slot phase = 0;            ///< periodic only
+  std::uint64_t budget = kUnlimitedBudget;  ///< max slots jammed, total
+
+  static JammerSpec oblivious(double probability,
+                              std::uint64_t budget = kUnlimitedBudget) {
+    JammerSpec j;
+    j.kind = Kind::kOblivious;
+    j.probability = probability;
+    j.budget = budget;
+    return j;
+  }
+  static JammerSpec periodic(Slot period, Slot phase = 0,
+                             std::uint64_t budget = kUnlimitedBudget) {
+    JammerSpec j;
+    j.kind = Kind::kPeriodic;
+    j.period = period;
+    j.phase = phase;
+    j.budget = budget;
+    return j;
+  }
+  static JammerSpec reactive(std::uint64_t budget) {
+    JammerSpec j;
+    j.kind = Kind::kReactive;
+    j.budget = budget;
+    return j;
+  }
+
+  friend bool operator==(const JammerSpec&, const JammerSpec&) = default;
+};
+
+/// Seed-derived fail-stop crash (and optional recovery) schedule. A
+/// `fraction` of the non-immune nodes crash once each, at a slot drawn
+/// uniformly from [1, window] (slot 0 always runs clean so on_start
+/// semantics stay trivial); with max_downtime > 0 each crashed node
+/// recovers after a downtime drawn uniformly from
+/// [min_downtime, max_downtime]. State is preserved across the outage
+/// (fail-stop, not fail-reset).
+struct CrashSpec {
+  double fraction = 0.0;
+  Slot window = 0;
+  Slot min_downtime = 0;
+  Slot max_downtime = 0;  ///< 0 = crashed nodes never recover
+  /// Nodes exempt from random crashes (e.g. the broadcast source, without
+  /// which every trial trivially fails).
+  std::vector<NodeId> immune;
+
+  bool any() const noexcept { return fraction > 0.0 && window > 0; }
+
+  friend bool operator==(const CrashSpec&, const CrashSpec&) = default;
+};
+
+/// The full impairment description for one run. Everything the compiled
+/// FaultPlan does is a deterministic function of this struct (including
+/// `seed`) plus the node count — see fault/plan.hpp.
+struct FaultConfig {
+  /// Fault randomness stream, deliberately separate from the simulation
+  /// seed so "same protocol randomness, different faults" (and vice
+  /// versa) experiments are expressible.
+  std::uint64_t seed = 0;
+  LossModel loss;
+  std::vector<JammerSpec> jammers;
+  CrashSpec crashes;
+  /// Extra scripted topology events injected verbatim (on top of the
+  /// compiled crash/recover schedule).
+  std::vector<sim::TopologyEvent> extra_events;
+
+  bool any() const noexcept {
+    return loss.any() || !jammers.empty() || crashes.any() ||
+           !extra_events.empty();
+  }
+
+  /// Copy with the seed replaced — the per-trial derivation helper:
+  /// `config.with_seed(rng::mix64(fault_seed ^ trial))`.
+  FaultConfig with_seed(std::uint64_t s) const {
+    FaultConfig c = *this;
+    c.seed = s;
+    return c;
+  }
+
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
+};
+
+}  // namespace radiocast::fault

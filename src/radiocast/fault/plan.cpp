@@ -1,0 +1,250 @@
+#include "radiocast/fault/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/obs/metrics.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::fault {
+
+namespace {
+
+// Domain-separation salts for the counter-based draws. Arbitrary odd
+// constants; changing one changes every fault trajectory, so they are
+// part of the determinism contract.
+constexpr std::uint64_t kSaltJam = 0x4A4D4A4D'00000001ULL;
+constexpr std::uint64_t kSaltBernoulli = 0x10550001'00000003ULL;
+constexpr std::uint64_t kSaltGeState = 0x6E5F5701'00000005ULL;
+constexpr std::uint64_t kSaltGeLoss = 0x6E5F5702'00000007ULL;
+/// rng stream id for the crash-schedule compiler.
+constexpr std::uint64_t kCrashStream = 0xC4A5'0001ULL;
+
+std::uint64_t link_key(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+void check_probability(double p, const char* what) {
+  RADIOCAST_CHECK_MSG(p >= 0.0 && p <= 1.0, what);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config, std::size_t node_count)
+    : config_(std::move(config)), node_count_(node_count) {
+  // Validate the declarative parts once, here, so every later decision
+  // can assume a well-formed config.
+  switch (config_.loss.kind) {
+    case LossModel::Kind::kNone:
+      break;
+    case LossModel::Kind::kBernoulli:
+      check_probability(config_.loss.p, "Bernoulli loss p must be in [0,1]");
+      break;
+    case LossModel::Kind::kGilbertElliott: {
+      const GilbertElliott& ge = config_.loss.gilbert;
+      check_probability(ge.p_good_to_bad, "GE p_good_to_bad in [0,1]");
+      check_probability(ge.p_bad_to_good, "GE p_bad_to_good in [0,1]");
+      check_probability(ge.loss_good, "GE loss_good in [0,1]");
+      check_probability(ge.loss_bad, "GE loss_bad in [0,1]");
+      break;
+    }
+  }
+  jammers_.reserve(config_.jammers.size());
+  for (const JammerSpec& spec : config_.jammers) {
+    if (spec.kind == JammerSpec::Kind::kOblivious) {
+      check_probability(spec.probability,
+                        "oblivious jammer probability in [0,1]");
+    }
+    jammers_.push_back(JammerState{spec, spec.budget});
+  }
+
+  // Compile the crash/recover schedule. Node choice, crash slots and
+  // downtimes come from a dedicated rng substream of the fault seed, so
+  // the schedule is a pure function of (config, node_count).
+  const CrashSpec& cs = config_.crashes;
+  if (cs.any()) {
+    RADIOCAST_CHECK_MSG(cs.fraction <= 1.0, "crash fraction in [0,1]");
+    RADIOCAST_CHECK_MSG(cs.min_downtime <= cs.max_downtime ||
+                            cs.max_downtime == 0,
+                        "crash min_downtime must not exceed max_downtime");
+    std::vector<char> immune(node_count_, 0);
+    for (const NodeId v : cs.immune) {
+      RADIOCAST_CHECK_MSG(v < node_count_, "immune node id out of range");
+      immune[v] = 1;
+    }
+    std::vector<NodeId> eligible;
+    eligible.reserve(node_count_);
+    for (NodeId v = 0; v < node_count_; ++v) {
+      if (immune[v] == 0) {
+        eligible.push_back(v);
+      }
+    }
+    rng::Rng r(config_.seed, kCrashStream);
+    r.shuffle(eligible);
+    const auto victims = std::min(
+        eligible.size(),
+        static_cast<std::size_t>(
+            cs.fraction * static_cast<double>(eligible.size()) + 0.5));
+    for (std::size_t i = 0; i < victims; ++i) {
+      const NodeId v = eligible[i];
+      const Slot at = 1 + r.uniform(cs.window);
+      events_.push_back({at, sim::EventKind::kCrashNode, v, kNoNode});
+      ++counters_.crash_events;
+      if (cs.max_downtime > 0) {
+        const Slot down =
+            cs.min_downtime +
+            r.uniform(cs.max_downtime - cs.min_downtime + 1);
+        events_.push_back({at + down, sim::EventKind::kRecoverNode, v,
+                           kNoNode});
+        ++counters_.recover_events;
+      }
+    }
+  }
+  for (const sim::TopologyEvent& e : config_.extra_events) {
+    events_.push_back(e);
+    if (e.kind == sim::EventKind::kCrashNode) {
+      ++counters_.crash_events;
+    } else if (e.kind == sim::EventKind::kRecoverNode ||
+               e.kind == sim::EventKind::kReviveNode) {
+      ++counters_.recover_events;
+    }
+  }
+}
+
+FaultPlan::~FaultPlan() {
+  auto& registry = obs::metrics();
+  const Counters& c = counters_;
+  const std::uint64_t total = c.jammed_slots | c.jammed_deliveries |
+                              c.dropped_deliveries | c.crashed_node_slots |
+                              c.crash_events | c.recover_events;
+  if (!registry.enabled() || total == 0) {
+    return;
+  }
+  registry.counter("fault.jammed_slots").add(c.jammed_slots);
+  registry.counter("fault.jammed_deliveries").add(c.jammed_deliveries);
+  registry.counter("fault.dropped_deliveries").add(c.dropped_deliveries);
+  registry.counter("fault.crashed_node_slots").add(c.crashed_node_slots);
+  registry.counter("fault.crash_events").add(c.crash_events);
+  registry.counter("fault.recover_events").add(c.recover_events);
+}
+
+std::vector<sim::TopologyEvent> FaultPlan::scheduled_events() {
+  return events_;
+}
+
+double FaultPlan::unit_draw(std::uint64_t salt, std::uint64_t a,
+                            std::uint64_t b) const {
+  std::uint64_t x = rng::mix64(config_.seed ^ salt);
+  x = rng::mix64(x ^ a);
+  x = rng::mix64(x ^ b);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+void FaultPlan::begin_slot(Slot now, std::size_t dead_nodes) {
+  counters_.crashed_node_slots += dead_nodes;
+  slot_jammed_ = false;
+  reactive_armed_ = false;
+  for (std::size_t i = 0; i < jammers_.size(); ++i) {
+    JammerState& j = jammers_[i];
+    if (j.remaining == 0) {
+      continue;
+    }
+    bool active = false;
+    switch (j.spec.kind) {
+      case JammerSpec::Kind::kOblivious:
+        active = unit_draw(kSaltJam, i, now) < j.spec.probability;
+        break;
+      case JammerSpec::Kind::kPeriodic:
+        active = j.spec.period > 0 &&
+                 now % j.spec.period == j.spec.phase % j.spec.period;
+        break;
+      case JammerSpec::Kind::kReactive:
+        // Decides lazily, at the first would-be delivery of the slot.
+        reactive_armed_ = true;
+        continue;
+    }
+    if (active) {
+      // Every jammer that fires spends budget, even when the slot is
+      // already noise — a jammer cannot observe its peers.
+      if (j.remaining != kUnlimitedBudget) {
+        --j.remaining;
+      }
+      slot_jammed_ = true;
+    }
+  }
+  if (slot_jammed_) {
+    ++counters_.jammed_slots;
+  }
+}
+
+bool FaultPlan::loss_drops(Slot now, NodeId u, NodeId v) {
+  switch (config_.loss.kind) {
+    case LossModel::Kind::kNone:
+      return false;
+    case LossModel::Kind::kBernoulli:
+      return unit_draw(kSaltBernoulli, link_key(u, v), now) < config_.loss.p;
+    case LossModel::Kind::kGilbertElliott:
+      break;
+  }
+  // Gilbert–Elliott: sample the chain state at `now` conditioned on the
+  // state at the link's previous use, via the closed-form k-step
+  // transition probability of the 2-state chain —
+  //   P(bad at t+k | state at t) = pi_bad + (delta_bad - pi_bad) * lambda^k
+  // with lambda = 1 - p_gb - p_bg and pi_bad = p_gb / (p_gb + p_bg).
+  // Advancing only on use keeps per-delivery cost O(1) regardless of how
+  // long the link sat idle.
+  const GilbertElliott& ge = config_.loss.gilbert;
+  LinkState& link = links_[link_key(u, v)];
+  const double denom = ge.p_good_to_bad + ge.p_bad_to_good;
+  const double pi_bad = denom > 0.0 ? ge.p_good_to_bad / denom : 0.0;
+  double p_bad = pi_bad;  // unseen link: stationary start
+  if (link.seen) {
+    const double lambda = 1.0 - denom;
+    const double delta = link.bad ? 1.0 : 0.0;
+    const auto k = static_cast<double>(now - link.last);
+    p_bad = pi_bad + (delta - pi_bad) * std::pow(lambda, k);
+  }
+  link.bad = unit_draw(kSaltGeState, link_key(u, v), now) < p_bad;
+  link.last = now;
+  link.seen = true;
+  const double loss = link.bad ? ge.loss_bad : ge.loss_good;
+  return unit_draw(kSaltGeLoss, link_key(u, v), now) < loss;
+}
+
+sim::DeliveryFate FaultPlan::on_delivery(Slot now, NodeId u, NodeId v) {
+  if (!slot_jammed_ && reactive_armed_) {
+    // First would-be delivery of the slot: this is exactly the signal a
+    // channel-sensing jammer reacts to ("a slot where exactly one
+    // neighbor transmits"). One reactive jammer spends one budget unit
+    // and the whole slot becomes noise; its peers keep their budgets.
+    for (JammerState& j : jammers_) {
+      if (j.spec.kind == JammerSpec::Kind::kReactive && j.remaining > 0) {
+        if (j.remaining != kUnlimitedBudget) {
+          --j.remaining;
+        }
+        slot_jammed_ = true;
+        ++counters_.jammed_slots;
+        break;
+      }
+    }
+    reactive_armed_ = false;
+  }
+  if (slot_jammed_) {
+    ++counters_.jammed_deliveries;
+    return sim::DeliveryFate::kJam;
+  }
+  if (loss_drops(now, u, v)) {
+    ++counters_.dropped_deliveries;
+    return sim::DeliveryFate::kDrop;
+  }
+  return sim::DeliveryFate::kDeliver;
+}
+
+std::uint64_t FaultPlan::remaining_budget(std::size_t i) const {
+  RADIOCAST_CHECK_MSG(i < jammers_.size(), "jammer index out of range");
+  return jammers_[i].remaining;
+}
+
+}  // namespace radiocast::fault

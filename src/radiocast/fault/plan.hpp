@@ -1,0 +1,103 @@
+// FaultPlan — a FaultConfig compiled against one simulation (the *how*).
+//
+// Compilation happens once, at construction: the crash/recover schedule
+// is drawn and frozen into a TopologyEvent list, jammer budgets are
+// materialized, and loss state is set up. The per-slot hooks then stay
+// branch-cheap: slot-level jamming is resolved once per slot, and every
+// per-delivery random decision is a *counter-based* draw — a pure hash of
+// (plan seed, link, slot) — so outcomes never depend on scheduling or
+// thread count, only on the config. The one stateful piece, the
+// Gilbert–Elliott per-link chain, advances only when a link is used, in
+// the simulator's deterministic increasing-receiver-id delivery order.
+//
+// One FaultPlan serves exactly one Simulator (it is stateful: budgets,
+// link states, counters). Monte-Carlo harnesses build one per trial from
+// `config.with_seed(f(fault_seed, trial))`, which is what the
+// thread-count-invariance guarantee rests on (docs/PARALLELISM.md rules).
+//
+// Like sim::Trace, a dying plan publishes its counters into the global
+// obs::metrics() registry (fault.jammed_slots, fault.dropped_deliveries,
+// fault.jammed_deliveries, fault.crashed_node_slots, fault.crash_events,
+// fault.recover_events) — once, at end of life, only when the registry is
+// enabled, so record-emitting runs see whole-run fault totals for free.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "radiocast/fault/config.hpp"
+#include "radiocast/sim/fault_hook.hpp"
+
+namespace radiocast::fault {
+
+class FaultPlan final : public sim::FaultHook {
+ public:
+  /// Compiles `config` for a `node_count`-node simulation. Throws
+  /// ContractViolation on out-of-range probabilities/fractions or crash
+  /// schedules referencing nodes >= node_count.
+  FaultPlan(FaultConfig config, std::size_t node_count);
+
+  /// Publishes the counters below into obs::metrics() when enabled.
+  ~FaultPlan() override;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // --- sim::FaultHook -----------------------------------------------------
+  void begin_slot(Slot now, std::size_t dead_nodes) override;
+  sim::DeliveryFate on_delivery(Slot now, NodeId u, NodeId v) override;
+  std::vector<sim::TopologyEvent> scheduled_events() override;
+
+  // --- observation --------------------------------------------------------
+  struct Counters {
+    std::uint64_t jammed_slots = 0;       ///< slots with an active jammer
+    std::uint64_t jammed_deliveries = 0;  ///< deliveries turned into noise
+    std::uint64_t dropped_deliveries = 0; ///< deliveries lost (erasure)
+    std::uint64_t crashed_node_slots = 0; ///< sum over slots of dead nodes
+    std::uint64_t crash_events = 0;       ///< kCrashNode events compiled
+    std::uint64_t recover_events = 0;     ///< kRecoverNode events compiled
+
+    friend bool operator==(const Counters&, const Counters&) = default;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  /// The compiled crash/recover (+ extra) schedule, time-ordered per node.
+  const std::vector<sim::TopologyEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Remaining jam budget of jammer `i` (kUnlimitedBudget if unlimited).
+  std::uint64_t remaining_budget(std::size_t i) const;
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  struct JammerState {
+    JammerSpec spec;
+    std::uint64_t remaining = kUnlimitedBudget;
+  };
+  /// Lazily-advanced Gilbert–Elliott chain for one directed link.
+  struct LinkState {
+    Slot last = 0;
+    bool bad = false;
+    bool seen = false;
+  };
+
+  /// Counter-based uniform in [0, 1): a pure function of the plan seed
+  /// and the salts — no sequential rng state, so draw order is irrelevant.
+  double unit_draw(std::uint64_t salt, std::uint64_t a,
+                   std::uint64_t b) const;
+
+  bool loss_drops(Slot now, NodeId u, NodeId v);
+
+  FaultConfig config_;
+  std::size_t node_count_ = 0;
+  std::vector<sim::TopologyEvent> events_;
+  std::vector<JammerState> jammers_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
+  bool slot_jammed_ = false;     ///< an oblivious/periodic jammer fired
+  bool reactive_armed_ = false;  ///< a reactive jammer has budget this slot
+  Counters counters_;
+};
+
+}  // namespace radiocast::fault

@@ -1,7 +1,10 @@
 #include "radiocast/harness/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
+#include "radiocast/fault/plan.hpp"
 #include "radiocast/graph/algorithms.hpp"
 #include "radiocast/proto/bfs.hpp"
 #include "radiocast/proto/dfs_broadcast.hpp"
@@ -22,6 +25,16 @@ bool contains(std::span<const NodeId> xs, NodeId v) {
   return std::ranges::find(xs, v) != xs.end();
 }
 
+// Compiles a FaultPlan for this trial when fault injection is requested.
+// The returned optional must outlive the Simulator that points at it.
+std::optional<fault::FaultPlan> make_fault_plan(
+    const fault::FaultConfig* fault, std::size_t node_count) {
+  if (fault == nullptr || !fault->any()) {
+    return std::nullopt;
+  }
+  return std::make_optional<fault::FaultPlan>(*fault, node_count);
+}
+
 }  // namespace
 
 namespace {
@@ -31,9 +44,14 @@ BroadcastOutcome run_bgi_impl(const graph::Graph& g,
                               const proto::BroadcastParams& params,
                               std::uint64_t seed, Slot max_slots,
                               std::vector<sim::TopologyEvent> events,
-                              bool stop_at_completion) {
+                              bool stop_at_completion,
+                              const fault::FaultConfig* fault) {
   RADIOCAST_CHECK_MSG(!sources.empty(), "need at least one initiator");
-  sim::Simulator simulator(g, sim::SimOptions{seed, false, false});
+  std::optional<fault::FaultPlan> plan = make_fault_plan(fault,
+                                                         g.node_count());
+  sim::SimOptions options{seed, false, false};
+  options.fault = plan ? &*plan : nullptr;
+  sim::Simulator simulator(g, options);
   for (const sim::TopologyEvent& e : events) {
     simulator.network().schedule(e);
   }
@@ -98,9 +116,10 @@ BroadcastOutcome run_bgi_broadcast(const graph::Graph& g,
                                    std::span<const NodeId> sources,
                                    const proto::BroadcastParams& params,
                                    std::uint64_t seed, Slot max_slots,
-                                   std::vector<sim::TopologyEvent> events) {
+                                   std::vector<sim::TopologyEvent> events,
+                                   const fault::FaultConfig* fault) {
   return run_bgi_impl(g, sources, params, seed, max_slots, std::move(events),
-                      /*stop_at_completion=*/true);
+                      /*stop_at_completion=*/true, fault);
 }
 
 BroadcastOutcome run_bgi_broadcast_to_termination(
@@ -108,7 +127,7 @@ BroadcastOutcome run_bgi_broadcast_to_termination(
     const proto::BroadcastParams& params, std::uint64_t seed,
     Slot max_slots) {
   return run_bgi_impl(g, sources, params, seed, max_slots, {},
-                      /*stop_at_completion=*/false);
+                      /*stop_at_completion=*/false, nullptr);
 }
 
 BfsOutcome run_bgi_bfs(const graph::Graph& g, NodeId root,
@@ -191,10 +210,15 @@ DeterministicOutcome finish_deterministic(const sim::Simulator& simulator,
 }  // namespace
 
 DeterministicOutcome run_dfs_broadcast(const graph::Graph& g, NodeId source,
-                                       Slot max_slots) {
+                                       Slot max_slots,
+                                       const fault::FaultConfig* fault) {
   RADIOCAST_CHECK_MSG(g.is_symmetric(),
                       "DFS broadcast needs an undirected network");
-  sim::Simulator simulator(g, sim::SimOptions{});
+  std::optional<fault::FaultPlan> plan = make_fault_plan(fault,
+                                                         g.node_count());
+  sim::SimOptions options{};
+  options.fault = plan ? &*plan : nullptr;
+  sim::Simulator simulator(g, options);
   const std::size_t n = g.node_count();
   for (NodeId v = 0; v < n; ++v) {
     if (v == source) {
@@ -214,8 +238,13 @@ DeterministicOutcome run_dfs_broadcast(const graph::Graph& g, NodeId source,
 }
 
 DeterministicOutcome run_round_robin(const graph::Graph& g, NodeId source,
-                                     Slot max_slots) {
-  sim::Simulator simulator(g, sim::SimOptions{});
+                                     Slot max_slots,
+                                     const fault::FaultConfig* fault) {
+  std::optional<fault::FaultPlan> plan = make_fault_plan(fault,
+                                                         g.node_count());
+  sim::SimOptions options{};
+  options.fault = plan ? &*plan : nullptr;
+  sim::Simulator simulator(g, options);
   const std::size_t n = g.node_count();
   std::vector<const proto::RoundRobinBroadcast*> nodes(n);
   for (NodeId v = 0; v < n; ++v) {

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "radiocast/fault/config.hpp"
 #include "radiocast/graph/graph.hpp"
 #include "radiocast/proto/broadcast.hpp"
 #include "radiocast/sim/events.hpp"
@@ -32,11 +33,15 @@ struct BroadcastOutcome {
 /// One execution of Broadcast_scheme (all of `sources` hold the same
 /// message at slot 0 — pass one source for the plain scheme, several for
 /// the multi-initiator Remark). Runs until every node is informed, until
-/// communication has died out, or until `max_slots`.
+/// communication has died out, or until `max_slots`. When `fault` is
+/// non-null and `fault->any()`, a fault::FaultPlan is compiled from it
+/// for this trial (callers make the config per-trial with
+/// FaultConfig::with_seed) and attached to the simulator.
 BroadcastOutcome run_bgi_broadcast(
     const graph::Graph& g, std::span<const NodeId> sources,
     const proto::BroadcastParams& params, std::uint64_t seed, Slot max_slots,
-    std::vector<sim::TopologyEvent> events = {});
+    std::vector<sim::TopologyEvent> events = {},
+    const fault::FaultConfig* fault = nullptr);
 
 /// Like run_bgi_broadcast but always runs until communication dies out
 /// (every informed node has finished its t Decay phases), even after every
@@ -70,12 +75,20 @@ struct DeterministicOutcome {
   std::uint64_t transmissions = 0;
 };
 
-/// DFS token broadcast from `source` (undirected g required).
+/// DFS token broadcast from `source` (undirected g required). Optional
+/// fault injection as in run_bgi_broadcast — the deterministic baselines
+/// are the controls in the fault benches (bench_faults), where their
+/// single-token fragility shows.
 DeterministicOutcome run_dfs_broadcast(const graph::Graph& g, NodeId source,
-                                       Slot max_slots);
+                                       Slot max_slots,
+                                       const fault::FaultConfig* fault =
+                                           nullptr);
 
-/// Round-robin broadcast from `source`.
+/// Round-robin broadcast from `source`. Optional fault injection as in
+/// run_bgi_broadcast.
 DeterministicOutcome run_round_robin(const graph::Graph& g, NodeId source,
-                                     Slot max_slots);
+                                     Slot max_slots,
+                                     const fault::FaultConfig* fault =
+                                         nullptr);
 
 }  // namespace radiocast::harness

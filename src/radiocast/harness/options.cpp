@@ -42,6 +42,9 @@ RunOptions run_options() {
   if (const char* v = env_or_null("RADIOCAST_JSON_OUT")) {
     opt.json_out = v;
   }
+  if (const char* v = env_or_null("RADIOCAST_FAULT_SEED")) {
+    opt.fault_seed = std::strtoull(v, nullptr, 10);
+  }
   opt.threads = default_thread_count();
   return opt;
 }
@@ -49,8 +52,9 @@ RunOptions run_options() {
 RunOptions run_options(int argc, const char* const* argv) {
   RunOptions opt = run_options();
   const Args args(argc, argv);
-  static const std::set<std::string> known{"trials", "scale",    "seed",
-                                          "csv-dir", "json-out", "threads"};
+  static const std::set<std::string> known{
+      "trials", "scale", "seed", "csv-dir", "json-out", "threads",
+      "fault-seed"};
   const auto unknown = args.unknown_keys(known);
   if (!unknown.empty() || !args.positional().empty()) {
     for (const auto& key : unknown) {
@@ -61,7 +65,8 @@ RunOptions run_options(int argc, const char* const* argv) {
     }
     std::fprintf(stderr,
                  "usage: %s [--trials N] [--scale F] [--seed S] "
-                 "[--threads W] [--csv-dir DIR] [--json-out PATH]\n",
+                 "[--threads W] [--csv-dir DIR] [--json-out PATH] "
+                 "[--fault-seed S]\n",
                  argc > 0 ? argv[0] : "bench");
     std::exit(2);
   }
@@ -82,7 +87,18 @@ RunOptions run_options(int argc, const char* const* argv) {
   if (threads > 0) {
     opt.threads = static_cast<std::size_t>(threads);
   }
+  opt.fault_seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", static_cast<std::int64_t>(opt.fault_seed)));
   return opt;
+}
+
+std::uint64_t resolved_fault_seed(const RunOptions& opt) {
+  if (opt.fault_seed != 0) {
+    return opt.fault_seed;
+  }
+  // Arbitrary odd constant: keeps the derived fault stream disjoint from
+  // the protocol rng streams seeded directly from opt.seed.
+  return opt.seed ^ 0xFA17'5EED'0000'0001ULL;
 }
 
 std::size_t scaled(std::size_t base, const RunOptions& opt) {

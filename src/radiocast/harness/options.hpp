@@ -10,10 +10,12 @@
 //   RADIOCAST_THREADS  — worker threads for parallel trial loops (default:
 //                        hardware_concurrency). Thread count never changes
 //                        results, only wall-clock time (see parallel.hpp).
+//   RADIOCAST_FAULT_SEED — base seed for fault-injection plans (default 0 =
+//                        derive from the master seed; see docs/FAULTS.md)
 //
 // Every knob is also a command-line flag on every bench binary
 // (run_options(argc, argv)): --trials, --scale, --seed, --csv-dir,
-// --json-out, --threads. Flags win over the environment.
+// --json-out, --threads, --fault-seed. Flags win over the environment.
 #pragma once
 
 #include <cstddef>
@@ -32,7 +34,16 @@ struct RunOptions {
   /// RADIOCAST_THREADS if set, else hardware_concurrency(); benches pass it
   /// straight to harness::run_trials. Results are thread-count invariant.
   std::size_t threads = 0;
+  /// Base seed for fault-injection plans (docs/FAULTS.md). 0 means "derive
+  /// from `seed`", so fault trajectories move with the master seed unless
+  /// pinned explicitly.
+  std::uint64_t fault_seed = 0;
 };
+
+/// The fault-plan base seed a run should actually use: `fault_seed` when
+/// set, otherwise a fixed mix of the master seed. Benches derive per-trial
+/// plan seeds from this (FaultConfig::with_seed).
+std::uint64_t resolved_fault_seed(const RunOptions& opt);
 
 /// Reads the options from the environment (values above are the defaults).
 RunOptions run_options();

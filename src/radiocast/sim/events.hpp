@@ -16,7 +16,12 @@ enum class EventKind : std::uint8_t {
   kAddArc,      ///< add u->v
   kRemoveArc,   ///< remove u->v
   kCrashNode,   ///< node u stops transmitting and receiving (fail-stop)
-  kReviveNode   ///< node u resumes operating (state preserved)
+  kReviveNode,  ///< node u resumes operating (state preserved)
+  /// Node u resumes operating after a fail-stop crash (state preserved).
+  /// Semantically identical to kReviveNode; kept distinct so fault-plan
+  /// provenance can tell scripted revivals from fault-layer recoveries
+  /// (fault.recover_events counts only these).
+  kRecoverNode
 };
 
 struct TopologyEvent {

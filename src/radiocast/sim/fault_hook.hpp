@@ -1,0 +1,53 @@
+// The simulator's fault-injection extension point.
+//
+// sim stays the bottom of the stack: it defines this abstract hook and
+// radiocast::fault implements it (fault/plan.hpp), so the slot engine
+// never includes a fault header. A Simulator with options.fault == nullptr
+// pays exactly one pointer test per slot and one per delivery-candidate —
+// nothing else — which is what keeps the disabled-fault hot path inside
+// run-to-run noise (see docs/FAULTS.md for the measurement).
+//
+// Channel semantics of the three fates (paper §1: a receiver cannot tell
+// silence from collision):
+//   kDeliver — the message arrives; normal on_receive.
+//   kDrop    — erasure (packet loss): the receiver hears *silence*. With
+//              collision detection enabled nothing fires either — loss is
+//              indistinguishable from "nobody transmitted".
+//   kJam     — noise (jamming): the receiver hears a *collision*. Without
+//              CD that is silence too; with CD, on_collision fires (subject
+//              to SimOptions::cd_false_negative_rate, like any collision).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/sim/events.hpp"
+
+namespace radiocast::sim {
+
+enum class DeliveryFate : std::uint8_t { kDeliver, kDrop, kJam };
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called once per slot, after due topology events were applied and
+  /// before any delivery is resolved. `dead_nodes` is the number of
+  /// currently crashed nodes (for the fault.crashed_node_slots counter).
+  virtual void begin_slot(Slot now, std::size_t dead_nodes) = 0;
+
+  /// Called for every would-be delivery — receiver `v` with *exactly one*
+  /// transmitting in-neighbor `u` in slot `now`, in increasing receiver-id
+  /// order. Never called for collisions (>= 2 transmitters), which are
+  /// already noise. Must be deterministic given the hook's own seed and
+  /// the call sequence; one Simulator calls it from a single thread.
+  virtual DeliveryFate on_delivery(Slot now, NodeId u, NodeId v) = 0;
+
+  /// Crash/recover (or any other) topology events the hook wants applied;
+  /// drained once, when the Simulator the hook is attached to is
+  /// constructed, into the network's event queue.
+  virtual std::vector<TopologyEvent> scheduled_events() = 0;
+};
+
+}  // namespace radiocast::sim

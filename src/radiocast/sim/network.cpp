@@ -24,7 +24,7 @@ void Network::crash(NodeId v) {
   }
 }
 
-void Network::revive(NodeId v) {
+void Network::recover(NodeId v) {
   RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
   if (alive_[v] == 0) {
     alive_[v] = 1;
@@ -58,7 +58,8 @@ void Network::apply(const TopologyEvent& e) {
       crash(e.u);
       break;
     case EventKind::kReviveNode:
-      revive(e.u);
+    case EventKind::kRecoverNode:
+      recover(e.u);
       break;
   }
 }

@@ -22,8 +22,16 @@ class Network {
 
   bool is_alive(NodeId v) const;
   void crash(NodeId v);
-  void revive(NodeId v);
+  /// Brings a crashed node back (fail-stop recovery: protocol state is
+  /// preserved, the node just resumes acting). No-op when already alive.
+  void recover(NodeId v);
+  /// Synonym for recover(), kept for the scripted-event vocabulary
+  /// (kReviveNode predates the fault layer's kRecoverNode).
+  void revive(NodeId v) { recover(v); }
   std::size_t alive_count() const noexcept { return alive_count_; }
+  std::size_t dead_count() const noexcept {
+    return node_count() - alive_count_;
+  }
 
   /// Raw per-node liveness (1 = alive), indexed by NodeId. The simulator's
   /// inner loop reads this directly instead of paying a bounds-checked

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "radiocast/sim/fault_hook.hpp"
+
 namespace radiocast::sim {
 
 Simulator::Simulator(graph::Graph g, SimOptions options)
@@ -22,6 +24,11 @@ Simulator::Simulator(graph::Graph g, SimOptions options)
   }
   transmitters_.reserve(network_.node_count());
   touched_.reserve(network_.node_count());
+  if (options_.fault != nullptr) {
+    for (const TopologyEvent& e : options_.fault->scheduled_events()) {
+      network_.schedule(e);
+    }
+  }
 }
 
 void Simulator::set_protocol(NodeId v, std::unique_ptr<Protocol> p) {
@@ -80,6 +87,10 @@ void Simulator::step() {
 
   network_.apply_due_events(now_);
   refresh_topology();
+  FaultHook* const fault = options_.fault;
+  if (fault != nullptr) {
+    fault->begin_slot(now_, network_.dead_count());
+  }
   trace_.begin_slot(now_);
 
   const std::size_t n = node_count();
@@ -143,24 +154,41 @@ void Simulator::step() {
   if (!dense && transmitters_.size() > 1) {
     std::sort(touched_.begin(), touched_.end());
   }
+  const auto collide = [&](NodeId v) {
+    trace_.record_collision(v);
+    if (options_.collision_detection) {
+      // An unreliable detector misses this collision with the configured
+      // probability — the receiver then experiences plain silence.
+      if (options_.cd_false_negative_rate > 0.0 &&
+          node_rngs_[v].bernoulli(options_.cd_false_negative_rate)) {
+        return;
+      }
+      NodeContext ctx = make_context(v);
+      protocols_[v]->on_collision(ctx);
+    }
+  };
   const auto deliver_or_collide = [&](NodeId v, std::uint32_t count) {
     if (count == 1) {
       const NodeId sender = heard_from_[v];
+      if (fault != nullptr) {
+        // Channel impairments intercept the would-be delivery: kDrop is an
+        // erasure (the receiver hears silence — recorded nowhere), kJam is
+        // noise (the receiver experiences a collision).
+        switch (fault->on_delivery(now_, sender, v)) {
+          case DeliveryFate::kDeliver:
+            break;
+          case DeliveryFate::kDrop:
+            return;
+          case DeliveryFate::kJam:
+            collide(v);
+            return;
+        }
+      }
       trace_.record_delivery(now_, v, sender);
       NodeContext ctx = make_context(v);
       protocols_[v]->on_receive(ctx, actions_[sender].message);
     } else {
-      trace_.record_collision(v);
-      if (options_.collision_detection) {
-        // An unreliable detector misses this collision with the configured
-        // probability — the receiver then experiences plain silence.
-        if (options_.cd_false_negative_rate > 0.0 &&
-            node_rngs_[v].bernoulli(options_.cd_false_negative_rate)) {
-          return;
-        }
-        NodeContext ctx = make_context(v);
-        protocols_[v]->on_collision(ctx);
-      }
+      collide(v);
     }
   };
   if (dense) {

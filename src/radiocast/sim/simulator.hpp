@@ -31,6 +31,8 @@
 
 namespace radiocast::sim {
 
+class FaultHook;  // sim/fault_hook.hpp; implemented by fault::FaultPlan
+
 struct SimOptions {
   std::uint64_t seed = 1;
   /// Enables the collision-detection model variant (paper §4): receivers
@@ -45,6 +47,12 @@ struct SimOptions {
   double cd_false_negative_rate = 0.0;
   /// Record per-slot transmitter/delivery detail in the trace.
   bool trace_slots = false;
+  /// Fault-injection hook (channel loss, jamming, crash/recover plans —
+  /// see fault::FaultPlan and docs/FAULTS.md). Not owned; must outlive the
+  /// Simulator. nullptr (the default) disables fault injection entirely:
+  /// the slot loop then pays one pointer test per slot plus one per
+  /// delivery candidate, nothing more.
+  FaultHook* fault = nullptr;
 };
 
 class Simulator {

@@ -1,0 +1,267 @@
+// Unit tests for the fault layer (fault::FaultConfig -> fault::FaultPlan)
+// plus the tentpole determinism guarantee: a broadcast with crashes AND
+// recoveries mid-Decay is bit-identical at any worker-thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "radiocast/fault/plan.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/parallel.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::fault {
+namespace {
+
+// --- crash/recover schedule compilation -----------------------------------
+
+FaultConfig crashes_config(double fraction, Slot window, Slot min_down,
+                           Slot max_down, std::vector<NodeId> immune = {}) {
+  FaultConfig fc;
+  fc.seed = 42;
+  fc.crashes.fraction = fraction;
+  fc.crashes.window = window;
+  fc.crashes.min_downtime = min_down;
+  fc.crashes.max_downtime = max_down;
+  fc.crashes.immune = std::move(immune);
+  return fc;
+}
+
+TEST(FaultPlanCrash, ScheduleIsAFunctionOfConfigAndNodeCount) {
+  const FaultConfig fc = crashes_config(0.5, 100, 10, 50);
+  FaultPlan a(fc, 64);
+  FaultPlan b(fc, 64);
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_FALSE(a.events().empty());
+
+  FaultPlan c(fc.with_seed(43), 64);
+  EXPECT_NE(a.events(), c.events());
+}
+
+TEST(FaultPlanCrash, VictimCountWindowAndDowntimeRespected) {
+  const std::size_t n = 40;
+  const FaultConfig fc = crashes_config(0.25, 64, 8, 16, {0, 1});
+  FaultPlan plan(fc, n);
+
+  std::size_t crashes = 0;
+  std::vector<Slot> crash_at(n, 0);
+  for (const sim::TopologyEvent& e : plan.events()) {
+    if (e.kind == sim::EventKind::kCrashNode) {
+      ++crashes;
+      EXPECT_NE(e.u, 0u);  // immune
+      EXPECT_NE(e.u, 1u);
+      EXPECT_GE(e.at, 1u);  // slot 0 always runs clean
+      EXPECT_LE(e.at, 64u);
+      crash_at[e.u] = e.at;
+    }
+  }
+  // round(0.25 * 38) victims among the 38 non-immune nodes.
+  EXPECT_EQ(crashes, 10u);
+  EXPECT_EQ(plan.counters().crash_events, 10u);
+  EXPECT_EQ(plan.counters().recover_events, 10u);
+  for (const sim::TopologyEvent& e : plan.events()) {
+    if (e.kind == sim::EventKind::kRecoverNode) {
+      const Slot down = e.at - crash_at[e.u];
+      EXPECT_GE(down, 8u);
+      EXPECT_LE(down, 16u);
+    }
+  }
+}
+
+TEST(FaultPlanCrash, ZeroMaxDowntimeMeansNoRecovery) {
+  FaultPlan plan(crashes_config(1.0, 10, 0, 0), 16);
+  EXPECT_EQ(plan.counters().crash_events, 16u);
+  EXPECT_EQ(plan.counters().recover_events, 0u);
+  for (const sim::TopologyEvent& e : plan.events()) {
+    EXPECT_EQ(e.kind, sim::EventKind::kCrashNode);
+  }
+}
+
+// --- jammers ---------------------------------------------------------------
+
+TEST(FaultPlanJammer, ObliviousBudgetExhausts) {
+  FaultConfig fc;
+  fc.seed = 7;
+  fc.jammers.push_back(JammerSpec::oblivious(1.0, 5));
+  FaultPlan plan(fc, 8);
+  for (Slot t = 0; t < 20; ++t) {
+    plan.begin_slot(t, 0);
+  }
+  // p = 1 jams every slot until the budget runs dry.
+  EXPECT_EQ(plan.counters().jammed_slots, 5u);
+  EXPECT_EQ(plan.remaining_budget(0), 0u);
+}
+
+TEST(FaultPlanJammer, PeriodicJamsExactlyItsPhase) {
+  FaultConfig fc;
+  fc.seed = 7;
+  fc.jammers.push_back(JammerSpec::periodic(4, 1));
+  FaultPlan plan(fc, 8);
+  for (Slot t = 0; t < 16; ++t) {
+    plan.begin_slot(t, 0);
+    const sim::DeliveryFate fate = plan.on_delivery(t, 0, 1);
+    if (t % 4 == 1) {
+      EXPECT_EQ(fate, sim::DeliveryFate::kJam) << "slot " << t;
+    } else {
+      EXPECT_EQ(fate, sim::DeliveryFate::kDeliver) << "slot " << t;
+    }
+  }
+  EXPECT_EQ(plan.counters().jammed_slots, 4u);
+  EXPECT_EQ(plan.remaining_budget(0), kUnlimitedBudget);
+}
+
+TEST(FaultPlanJammer, ReactiveSpendsOnlyOnSingletonSlots) {
+  FaultConfig fc;
+  fc.seed = 7;
+  fc.jammers.push_back(JammerSpec::reactive(2));
+  FaultPlan plan(fc, 8);
+
+  // Slots without a would-be delivery cost nothing.
+  plan.begin_slot(0, 0);
+  plan.begin_slot(1, 0);
+  EXPECT_EQ(plan.remaining_budget(0), 2u);
+  EXPECT_EQ(plan.counters().jammed_slots, 0u);
+
+  // First singleton delivery of a slot triggers the jam; the whole slot
+  // (including later deliveries) is noise, for one budget unit.
+  plan.begin_slot(2, 0);
+  EXPECT_EQ(plan.on_delivery(2, 0, 1), sim::DeliveryFate::kJam);
+  EXPECT_EQ(plan.on_delivery(2, 3, 4), sim::DeliveryFate::kJam);
+  EXPECT_EQ(plan.remaining_budget(0), 1u);
+  EXPECT_EQ(plan.counters().jammed_slots, 1u);
+
+  plan.begin_slot(3, 0);
+  EXPECT_EQ(plan.on_delivery(3, 0, 1), sim::DeliveryFate::kJam);
+  EXPECT_EQ(plan.remaining_budget(0), 0u);
+
+  // Budget gone: deliveries pass.
+  plan.begin_slot(4, 0);
+  EXPECT_EQ(plan.on_delivery(4, 0, 1), sim::DeliveryFate::kDeliver);
+  EXPECT_EQ(plan.counters().jammed_slots, 2u);
+  EXPECT_EQ(plan.counters().jammed_deliveries, 3u);
+}
+
+// --- loss ------------------------------------------------------------------
+
+TEST(FaultPlanLoss, BernoulliDrawsAreOrderIndependent) {
+  FaultConfig fc;
+  fc.seed = 99;
+  fc.loss = LossModel::bernoulli(0.5);
+  FaultPlan forward(fc, 8);
+  FaultPlan backward(fc, 8);
+
+  std::vector<sim::DeliveryFate> fwd;
+  for (Slot t = 0; t < 50; ++t) {
+    forward.begin_slot(t, 0);
+    fwd.push_back(forward.on_delivery(t, 2, 3));
+  }
+  std::vector<sim::DeliveryFate> bwd(50, sim::DeliveryFate::kDeliver);
+  for (Slot t = 50; t-- > 0;) {
+    backward.begin_slot(t, 0);
+    bwd[t] = backward.on_delivery(t, 2, 3);
+  }
+  EXPECT_EQ(fwd, bwd);
+  const auto drops = static_cast<std::size_t>(
+      std::count(fwd.begin(), fwd.end(), sim::DeliveryFate::kDrop));
+  EXPECT_EQ(forward.counters().dropped_deliveries, drops);
+  EXPECT_GT(drops, 10u);  // p = 0.5 over 50 draws
+  EXPECT_LT(drops, 40u);
+}
+
+TEST(FaultPlanLoss, GilbertElliottExtremes) {
+  // Chain pinned to the good state with loss_good = 0: nothing drops.
+  FaultConfig good;
+  good.seed = 5;
+  good.loss = LossModel::gilbert_elliott(
+      {.p_good_to_bad = 0.0, .p_bad_to_good = 1.0,
+       .loss_good = 0.0, .loss_bad = 1.0});
+  FaultPlan good_plan(good, 4);
+  // Chain pinned to the bad state (stationary start) with loss_bad = 1:
+  // everything drops.
+  FaultConfig bad;
+  bad.seed = 5;
+  bad.loss = LossModel::gilbert_elliott(
+      {.p_good_to_bad = 1.0, .p_bad_to_good = 0.0,
+       .loss_good = 0.0, .loss_bad = 1.0});
+  FaultPlan bad_plan(bad, 4);
+  for (Slot t = 0; t < 30; ++t) {
+    good_plan.begin_slot(t, 0);
+    bad_plan.begin_slot(t, 0);
+    EXPECT_EQ(good_plan.on_delivery(t, 0, 1), sim::DeliveryFate::kDeliver);
+    EXPECT_EQ(bad_plan.on_delivery(t, 0, 1), sim::DeliveryFate::kDrop);
+  }
+  EXPECT_EQ(good_plan.counters().dropped_deliveries, 0u);
+  EXPECT_EQ(bad_plan.counters().dropped_deliveries, 30u);
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(FaultPlanConfig, RejectsMalformedConfigs) {
+  FaultConfig bad_loss;
+  bad_loss.loss = LossModel::bernoulli(1.5);
+  EXPECT_THROW(FaultPlan(bad_loss, 4), ContractViolation);
+
+  FaultConfig bad_immune = crashes_config(0.5, 10, 0, 0, {99});
+  EXPECT_THROW(FaultPlan(bad_immune, 4), ContractViolation);
+
+  FaultConfig bad_down = crashes_config(0.5, 10, 9, 3);
+  EXPECT_THROW(FaultPlan(bad_down, 4), ContractViolation);
+}
+
+// --- the tentpole guarantee -------------------------------------------------
+// A BGI broadcast where nodes crash AND recover mid-Decay must produce the
+// same outcome sequence on 1 worker thread and on 8 (docs/PARALLELISM.md:
+// thread count changes wall-clock only, never results).
+
+TEST(FaultThreading, CrashRecoveryMidDecayBitIdenticalAcrossThreads) {
+  rng::Rng graph_rng(2026);
+  const std::size_t n = 48;
+  const graph::Graph g =
+      graph::connected_gnp(n, 4.0 / static_cast<double>(n), graph_rng);
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+
+  FaultConfig base;
+  base.loss = LossModel::bernoulli(0.05);
+  base.jammers.push_back(JammerSpec::reactive(16));
+  base.crashes.fraction = 0.3;
+  base.crashes.window = 2 * n;       // inside the broadcast's Decay phases
+  base.crashes.min_downtime = 4;
+  base.crashes.max_downtime = 3 * n; // recoveries also land mid-run
+  base.crashes.immune = {0};
+
+  const std::size_t trials = 24;
+  const auto trial_fn = [&](std::size_t trial) {
+    const NodeId sources[] = {0};
+    const FaultConfig fc = base.with_seed(rng::mix64(0xFA17 + trial));
+    return harness::run_bgi_broadcast(g, sources, params, 1000 + trial,
+                                      Slot{1} << 18, {}, &fc);
+  };
+
+  const auto one = harness::run_trials(trials, trial_fn, 1);
+  const auto eight = harness::run_trials(trials, trial_fn, 8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < trials; ++i) {
+    EXPECT_EQ(one[i], eight[i]) << "trial " << i;
+  }
+
+  // The faults must actually bite for this test to mean anything: some
+  // trial should differ from the fault-free run of the same seed.
+  bool any_difference = false;
+  for (std::size_t trial = 0; trial < trials && !any_difference; ++trial) {
+    const NodeId sources[] = {0};
+    const auto clean = harness::run_bgi_broadcast(
+        g, sources, params, 1000 + trial, Slot{1} << 18);
+    any_difference = !(clean == one[trial]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace radiocast::fault

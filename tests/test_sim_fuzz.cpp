@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "radiocast/fault/plan.hpp"
 #include "radiocast/graph/generators.hpp"
 #include "radiocast/sim/simulator.hpp"
 
@@ -223,6 +224,10 @@ class ReferenceStepper {
 
   void schedule(const TopologyEvent& e) { events_.push_back(e); }
 
+  /// Attach an independent FaultHook instance (same config as the
+  /// simulator's, never shared — each side owns its full fault state).
+  void set_fault(FaultHook* fault) { fault_ = fault; }
+
   /// Mirrors Network::apply for one event.
   void apply(const TopologyEvent& e) {
     switch (e.kind) {
@@ -242,9 +247,15 @@ class ReferenceStepper {
         alive_[e.u] = 0;
         break;
       case EventKind::kReviveNode:
+      case EventKind::kRecoverNode:
         alive_[e.u] = 1;
         break;
     }
+  }
+
+  std::size_t dead_count() const {
+    return static_cast<std::size_t>(std::count(alive_.begin(), alive_.end(),
+                                               0));
   }
 
   /// The expected observable content of one slot.
@@ -268,6 +279,9 @@ class ReferenceStepper {
     }
 
     const std::size_t n = g_.node_count();
+    if (fault_ != nullptr) {
+      fault_->begin_slot(now, dead_count());
+    }
     ExpectedSlot out;
     for (NodeId u = 0; u < n; ++u) {
       if (alive_[u] != 0 &&
@@ -277,6 +291,8 @@ class ReferenceStepper {
     }
     // O(n * m): every receiver tests every node for "transmitting
     // in-neighbor" via arc membership — no CSR, no scratch lists.
+    // Receivers go in increasing id order — the order the engine promises
+    // to consult the fault hook in, on both its sparse and dense paths.
     for (NodeId v = 0; v < n; ++v) {
       if (alive_[v] == 0 ||
           scripted_kind(salt_, v, now) != ActionKind::kReceive) {
@@ -292,8 +308,16 @@ class ReferenceStepper {
         }
       }
       if (count == 1) {
-        out.deliveries.push_back(Delivery{v, sender});
-        expected_heard_[v].emplace_back(now, sender);
+        DeliveryFate fate = DeliveryFate::kDeliver;
+        if (fault_ != nullptr) {
+          fate = fault_->on_delivery(now, sender, v);
+        }
+        if (fate == DeliveryFate::kDeliver) {
+          out.deliveries.push_back(Delivery{v, sender});
+          expected_heard_[v].emplace_back(now, sender);
+        } else if (fate == DeliveryFate::kJam) {
+          out.collisions.push_back(v);
+        }  // kDrop: pure erasure, the receiver sees silence
       } else if (count >= 2) {
         out.collisions.push_back(v);
       }
@@ -310,6 +334,7 @@ class ReferenceStepper {
   graph::Graph g_;
   std::vector<char> alive_;
   std::uint64_t salt_;
+  FaultHook* fault_ = nullptr;
   std::vector<TopologyEvent> events_;
   std::size_t next_ = 0;
   std::map<NodeId, std::vector<std::pair<Slot, NodeId>>> expected_heard_;
@@ -393,6 +418,132 @@ TEST_P(SimVsReference, SlotTracesMatchNaiveSemantics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimVsReference,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// ---------------------------------------------------------------------------
+// Same differential setup, now with a random FaultPlan attached to both
+// machines. Two independent plan instances are compiled from an identical
+// config (plans are stateful — budgets, Gilbert–Elliott chains — so they
+// must never be shared); if the engine consults its hook in any slot or
+// order the reference does not, deliveries, collisions or the plans'
+// counters diverge.
+// ---------------------------------------------------------------------------
+
+fault::FaultConfig random_fault_config(rng::Rng& meta) {
+  fault::FaultConfig fc;
+  fc.seed = meta.generator().next();
+  switch (meta.uniform(3)) {
+    case 0:
+      break;  // lossless
+    case 1:
+      fc.loss = fault::LossModel::bernoulli(0.05 + 0.3 * meta.uniform01());
+      break;
+    default: {
+      fault::GilbertElliott ge;
+      ge.p_good_to_bad = 0.05 + 0.2 * meta.uniform01();
+      ge.p_bad_to_good = 0.1 + 0.5 * meta.uniform01();
+      ge.loss_bad = 0.5 + 0.5 * meta.uniform01();
+      fc.loss = fault::LossModel::gilbert_elliott(ge);
+      break;
+    }
+  }
+  if (meta.uniform(2) == 0) {
+    fc.jammers.push_back(fault::JammerSpec::oblivious(
+        0.1 * meta.uniform01(), 5 + meta.uniform(20)));
+  }
+  if (meta.uniform(2) == 0) {
+    fc.jammers.push_back(fault::JammerSpec::reactive(3 + meta.uniform(10)));
+  }
+  if (meta.uniform(2) == 0) {
+    fc.jammers.push_back(
+        fault::JammerSpec::periodic(2 + meta.uniform(9), meta.uniform(5)));
+  }
+  if (meta.uniform(2) == 0) {
+    fc.crashes.fraction = 0.1 + 0.3 * meta.uniform01();
+    fc.crashes.window = 60;
+    fc.crashes.min_downtime = 5;
+    // Every other config leaves some nodes down for good.
+    fc.crashes.max_downtime = meta.uniform(2) == 0 ? 0 : 5 + meta.uniform(40);
+  }
+  return fc;
+}
+
+class SimVsReferenceFaults : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimVsReferenceFaults, FaultyTracesMatchNaiveSemantics) {
+  const std::uint64_t seed = GetParam();
+  rng::Rng meta(seed * 7919 + 13);
+  const std::size_t n = 6 + meta.uniform(30);
+  const graph::Graph g = graph::connected_gnp(
+      n, 3.0 / static_cast<double>(n), meta);
+  const std::uint64_t salt = mix64(seed ^ 0xFA17u);
+
+  const fault::FaultConfig fc = random_fault_config(meta);
+  fault::FaultPlan plan_sim(fc, n);
+  fault::FaultPlan plan_ref(fc, n);
+  ASSERT_EQ(plan_sim.events(), plan_ref.events());
+
+  SimOptions options{.seed = seed, .collision_detection = false,
+                     .trace_slots = true};
+  options.fault = &plan_sim;
+  Simulator s(g, options);  // ctor drains plan_sim.scheduled_events()
+  ReferenceStepper ref(g, salt);
+  ref.set_fault(&plan_ref);
+  for (const TopologyEvent& e : plan_ref.scheduled_events()) {
+    ref.schedule(e);
+  }
+  std::vector<ScriptedNode*> nodes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    nodes[v] = &s.emplace_protocol<ScriptedNode>(v, salt);
+  }
+
+  // Plain topology churn on top of the compiled crash/recover schedule.
+  const std::size_t events = 4 + meta.uniform(8);
+  for (std::size_t i = 0; i < events; ++i) {
+    TopologyEvent e;
+    e.at = meta.uniform(90);
+    e.u = static_cast<NodeId>(meta.uniform(n));
+    e.v = static_cast<NodeId>(meta.uniform(n));
+    if (e.u == e.v) {
+      e.v = (e.v + 1) % n;
+    }
+    e.kind = meta.uniform(2) == 0 ? EventKind::kAddEdge
+                                  : EventKind::kRemoveEdge;
+    s.network().schedule(e);
+    ref.schedule(e);
+  }
+
+  const Slot slots = 100;
+  for (Slot t = 0; t < slots; ++t) {
+    const auto expected = ref.step(t);
+    s.step();
+
+    const SlotRecord& rec = s.trace().slots().at(t);
+    ASSERT_EQ(rec.slot, t);
+    EXPECT_EQ(rec.transmitters, expected.transmitters) << "slot " << t;
+    EXPECT_EQ(rec.deliveries, expected.deliveries) << "slot " << t;
+    EXPECT_EQ(rec.collision_receivers, expected.collisions) << "slot " << t;
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto it = ref.expected_heard().find(v);
+    const std::vector<std::pair<Slot, NodeId>> want =
+        it == ref.expected_heard().end()
+            ? std::vector<std::pair<Slot, NodeId>>{}
+            : it->second;
+    EXPECT_EQ(nodes[v]->heard, want) << "node " << v;
+  }
+
+  // Both plans saw the exact same decision sequence.
+  EXPECT_EQ(plan_sim.counters(), plan_ref.counters());
+  for (std::size_t i = 0; i < fc.jammers.size(); ++i) {
+    EXPECT_EQ(plan_sim.remaining_budget(i), plan_ref.remaining_budget(i))
+        << "jammer " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimVsReferenceFaults,
                          ::testing::Range<std::uint64_t>(1, 26));
 
 }  // namespace
