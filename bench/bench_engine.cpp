@@ -2,7 +2,7 @@
 //
 // Unlike the other benches (which reproduce paper claims), this one tracks
 // the repo's own performance trajectory, so regressions in the hot path are
-// visible PR over PR. Three measurements:
+// visible PR over PR. Four measurements:
 //
 //   1. trials/sec  — the E2 (bench_broadcast_success) workload, run once
 //      through the old-style serial loop and once through
@@ -14,15 +14,25 @@
 //      (exercises the CSR snapshot + touched-list reset fast path).
 //   3. quiescence  — run_to_quiescence with staggered termination, the
 //      worst case for a naive all_terminated() scan.
+//   4. batched     — the 64-lane bit-parallel engine vs its scalar
+//      counter-RNG twin on one shared topology, single-threaded (the pure
+//      lane-parallel speedup) and with the worker pool (threads x lanes).
+//      The outcome sequences must match element-wise.
+//
+// --repeat K (or REPRO_REPEAT) runs every timed measurement K times after
+// one untimed warmup and keeps the best, for low-noise trajectory points.
 //
 // Results print as a table and are also written as JSON to
 // $RADIOCAST_BENCH_JSON (default: BENCH_engine.json in the cwd).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/batch_runner.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
 #include "radiocast/harness/report.hpp"
@@ -37,6 +47,23 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Best-of-K timing: `timed_run()` performs one full measurement and
+/// returns its wall-clock seconds. With repeat > 1 one extra untimed
+/// warmup run absorbs cold caches and lazy page-ins; the minimum over the
+/// K timed runs is the low-noise estimate. repeat == 1 is the historical
+/// single-run behavior (no warmup).
+template <typename Fn>
+double best_of(std::size_t repeat, Fn&& timed_run) {
+  if (repeat > 1) {
+    (void)timed_run();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < std::max<std::size_t>(repeat, 1); ++i) {
+    best = std::min(best, timed_run());
+  }
+  return best;
 }
 
 // --- 1. trials/sec on the E2 workload ------------------------------------
@@ -66,23 +93,30 @@ struct TrialsResult {
 };
 
 TrialsResult measure_trials(std::size_t n, std::size_t trials,
-                            std::uint64_t seed, std::size_t threads) {
+                            std::uint64_t seed, std::size_t threads,
+                            std::size_t repeat) {
   TrialsResult r;
   r.trials = trials;
   r.threads = threads;
 
-  const auto t0 = Clock::now();
   std::vector<harness::BroadcastOutcome> serial(trials);
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    serial[trial] = e2_trial(n, seed, trial);
-  }
-  r.serial_sec = seconds_since(t0);
+  r.serial_sec = best_of(repeat, [&] {
+    const auto t0 = Clock::now();
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      serial[trial] = e2_trial(n, seed, trial);
+    }
+    return seconds_since(t0);
+  });
 
-  const auto t1 = Clock::now();
-  const auto pooled = harness::run_trials(
-      trials, [n, seed](std::size_t trial) { return e2_trial(n, seed, trial); },
-      threads);
-  r.parallel_sec = seconds_since(t1);
+  std::vector<harness::BroadcastOutcome> pooled;
+  r.parallel_sec = best_of(repeat, [&] {
+    const auto t1 = Clock::now();
+    pooled = harness::run_trials(
+        trials,
+        [n, seed](std::size_t trial) { return e2_trial(n, seed, trial); },
+        threads);
+    return seconds_since(t1);
+  });
 
   r.identical = pooled == serial;
   return r;
@@ -121,24 +155,29 @@ struct SlotResult {
 };
 
 SlotResult measure_slots(std::size_t n, double tx_prob, Slot slots,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, std::size_t repeat) {
   rng::Rng graph_rng(seed);
-  graph::Graph g =
+  const graph::Graph g =
       graph::connected_gnp(n, 8.0 / static_cast<double>(n), graph_rng);
   SlotResult r;
   r.n = n;
   r.arcs = g.arc_count();
   r.slots = slots;
-  sim::Simulator s(std::move(g), sim::SimOptions{.seed = seed + 1});
-  for (NodeId v = 0; v < n; ++v) {
-    s.emplace_protocol<MixNode>(v, tx_prob);
-  }
-  const auto t0 = Clock::now();
-  for (Slot i = 0; i < slots; ++i) {
-    s.step();
-  }
-  r.sec = seconds_since(t0);
-  r.deliveries = s.trace().total_deliveries();
+  r.sec = best_of(repeat, [&] {
+    // A fresh simulator per repetition, so every timed run steps the same
+    // slot range from the same state (and deliveries stay comparable).
+    sim::Simulator s(g, sim::SimOptions{.seed = seed + 1});
+    for (NodeId v = 0; v < n; ++v) {
+      s.emplace_protocol<MixNode>(v, tx_prob);
+    }
+    const auto t0 = Clock::now();
+    for (Slot i = 0; i < slots; ++i) {
+      s.step();
+    }
+    const double sec = seconds_since(t0);
+    r.deliveries = s.trace().total_deliveries();
+    return sec;
+  });
   return r;
 }
 
@@ -167,18 +206,87 @@ struct QuiescenceResult {
   double sec = 0.0;
 };
 
-QuiescenceResult measure_quiescence(std::size_t n, Slot horizon) {
-  graph::Graph g(n);  // arc-free: isolates the termination-scan cost
-  sim::Simulator s(std::move(g), sim::SimOptions{.seed = 7});
-  for (NodeId v = 0; v < n; ++v) {
-    s.emplace_protocol<LateTerminator>(v, v + 1 < n ? Slot{1} : horizon - 1);
-  }
+QuiescenceResult measure_quiescence(std::size_t n, Slot horizon,
+                                    std::size_t repeat) {
   QuiescenceResult r;
   r.n = n;
   r.horizon = horizon;
-  const auto t0 = Clock::now();
-  s.run_to_quiescence(horizon);
-  r.sec = seconds_since(t0);
+  r.sec = best_of(repeat, [&] {
+    graph::Graph g(n);  // arc-free: isolates the termination-scan cost
+    sim::Simulator s(std::move(g), sim::SimOptions{.seed = 7});
+    for (NodeId v = 0; v < n; ++v) {
+      s.emplace_protocol<LateTerminator>(v, v + 1 < n ? Slot{1} : horizon - 1);
+    }
+    const auto t0 = Clock::now();
+    s.run_to_quiescence(horizon);
+    return seconds_since(t0);
+  });
+  return r;
+}
+
+// --- 4. batched engine vs its scalar counter-RNG twin ---------------------
+
+// One shared topology for all trials (batched lanes share the CSR), the E2
+// parameter point. Unlike e2_trial above, the graph is NOT per-trial: the
+// bit-parallel engine amortizes the slot loop across lanes of one graph.
+
+struct BatchResult {
+  std::size_t n = 0;
+  std::size_t trials = 0;
+  std::size_t threads = 0;
+  double scalar_sec = 0.0;   ///< kScalarCounter, 1 thread
+  double batched_sec = 0.0;  ///< kBatched, 1 thread (pure lane speedup)
+  double pooled_sec = 0.0;   ///< kBatched, worker pool (threads x lanes)
+  bool identical = false;    ///< batched outcomes == scalar, both runs
+};
+
+BatchResult measure_batched(std::size_t n, std::size_t trials,
+                            std::uint64_t seed, std::size_t threads,
+                            std::size_t repeat) {
+  BatchResult r;
+  r.trials = trials;
+  r.threads = threads;
+  rng::Rng graph_rng(seed);
+  const graph::Graph g =
+      graph::connected_gnp(n, 4.0 / static_cast<double>(n), graph_rng);
+  r.n = g.node_count();
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+  const NodeId sources[] = {0};
+  const Slot horizon = Slot{1} << 22;
+
+  std::vector<harness::BroadcastOutcome> scalar;
+  r.scalar_sec = best_of(repeat, [&] {
+    const auto t0 = Clock::now();
+    scalar = harness::run_bgi_broadcast_trials(
+        g, sources, params, seed, trials, horizon,
+        harness::TrialEngine::kScalarCounter, /*threads=*/1);
+    return seconds_since(t0);
+  });
+
+  std::vector<harness::BroadcastOutcome> batched;
+  r.batched_sec = best_of(repeat, [&] {
+    const auto t0 = Clock::now();
+    batched = harness::run_bgi_broadcast_trials(
+        g, sources, params, seed, trials, horizon,
+        harness::TrialEngine::kBatched, /*threads=*/1);
+    return seconds_since(t0);
+  });
+
+  std::vector<harness::BroadcastOutcome> pooled;
+  r.pooled_sec = best_of(repeat, [&] {
+    const auto t0 = Clock::now();
+    pooled = harness::run_bgi_broadcast_trials(
+        g, sources, params, seed, trials, horizon,
+        harness::TrialEngine::kBatched, threads);
+    return seconds_since(t0);
+  });
+
+  r.identical = batched == scalar && pooled == batched;
   return r;
 }
 
@@ -193,8 +301,13 @@ int main(int argc, char** argv) {
   harness::print_banner("E-engine: simulator + trial-engine throughput");
   std::printf("worker pool: %zu thread(s) (RADIOCAST_THREADS to override)\n",
               opt.threads);
+  if (opt.repeat > 1) {
+    std::printf("timing: best of %zu runs after one warmup (--repeat)\n",
+                opt.repeat);
+  }
 
-  const TrialsResult tr = measure_trials(n, trials, opt.seed, opt.threads);
+  const TrialsResult tr =
+      measure_trials(n, trials, opt.seed, opt.threads, opt.repeat);
   const double serial_tps = static_cast<double>(tr.trials) / tr.serial_sec;
   const double parallel_tps =
       static_cast<double>(tr.trials) / tr.parallel_sec;
@@ -232,8 +345,8 @@ int main(int argc, char** argv) {
       {"gnp-sparse", 4096, 0.02, 4000},
   };
   for (const auto& c : slot_cases) {
-    SlotResult sr =
-        measure_slots(harness::scaled(c.n, opt), c.tx_prob, c.slots, opt.seed);
+    SlotResult sr = measure_slots(harness::scaled(c.n, opt), c.tx_prob,
+                                  c.slots, opt.seed, opt.repeat);
     sr.name = c.name;
     slot_results.push_back(sr);
     slot_table.add_row(
@@ -244,13 +357,46 @@ int main(int argc, char** argv) {
   slot_table.print();
 
   const QuiescenceResult q = measure_quiescence(harness::scaled(4096, opt),
-                                                Slot{20000});
+                                                Slot{20000}, opt.repeat);
   std::printf("quiescence guard: n=%zu, %llu slots in %.3fs (%.0f slots/sec)\n",
               q.n, static_cast<unsigned long long>(q.horizon), q.sec,
               static_cast<double>(q.horizon) / q.sec);
 
+  const BatchResult br =
+      measure_batched(n, trials, opt.seed, opt.threads, opt.repeat);
+  const double batch_scalar_tps =
+      static_cast<double>(br.trials) / br.scalar_sec;
+  const double batch_tps = static_cast<double>(br.trials) / br.batched_sec;
+  const double batch_pool_tps =
+      static_cast<double>(br.trials) / br.pooled_sec;
+  harness::Table batch_table({"engine", "trials", "seconds", "trials/sec",
+                              "speedup", "bit-identical"});
+  batch_table.add_row({"scalar counter-rng x1",
+                       harness::Table::inum(br.trials),
+                       harness::Table::num(br.scalar_sec, 3),
+                       harness::Table::num(batch_scalar_tps, 1), "1.00x",
+                       "-"});
+  batch_table.add_row({"batched 64-lane x1", harness::Table::inum(br.trials),
+                       harness::Table::num(br.batched_sec, 3),
+                       harness::Table::num(batch_tps, 1),
+                       harness::Table::num(br.scalar_sec / br.batched_sec, 2) +
+                           "x",
+                       harness::Table::yes_no(br.identical)});
+  batch_table.add_row(
+      {"batched x" + std::to_string(br.threads),
+       harness::Table::inum(br.trials), harness::Table::num(br.pooled_sec, 3),
+       harness::Table::num(batch_pool_tps, 1),
+       harness::Table::num(br.scalar_sec / br.pooled_sec, 2) + "x",
+       harness::Table::yes_no(br.identical)});
+  batch_table.print();
+
   if (!tr.identical) {
     std::printf("FAIL: run_trials output differs from the serial loop\n");
+  }
+  if (!br.identical) {
+    std::printf(
+        "FAIL: batched engine outcomes differ from the scalar "
+        "counter-RNG replay\n");
   }
 
   // Headline throughput gauges for the --json-out record, so
@@ -265,6 +411,10 @@ int main(int argc, char** argv) {
   }
   reporter.gauge("engine.quiescence_slots_per_sec",
                  static_cast<double>(q.horizon) / q.sec);
+  reporter.gauge("engine.batch_scalar_trials_per_sec", batch_scalar_tps);
+  reporter.gauge("engine.batch_trials_per_sec", batch_tps);
+  reporter.gauge("engine.batch_speedup", br.scalar_sec / br.batched_sec);
+  reporter.gauge("engine.batch_pool_trials_per_sec", batch_pool_tps);
 
   // JSON record for the perf trajectory.
   const char* json_env = std::getenv("RADIOCAST_BENCH_JSON");
@@ -272,6 +422,7 @@ int main(int argc, char** argv) {
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"threads\": %zu,\n", tr.threads);
+    std::fprintf(f, "  \"repeat\": %zu,\n", opt.repeat);
     std::fprintf(f,
                  "  \"trials_workload\": {\"n\": %zu, \"trials\": %zu, "
                  "\"serial_sec\": %.6f, \"serial_trials_per_sec\": %.2f, "
@@ -296,12 +447,23 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
                  "  \"quiescence\": {\"n\": %zu, \"horizon\": %llu, "
-                 "\"sec\": %.6f, \"slots_per_sec\": %.1f}\n",
+                 "\"sec\": %.6f, \"slots_per_sec\": %.1f},\n",
                  q.n, static_cast<unsigned long long>(q.horizon), q.sec,
                  static_cast<double>(q.horizon) / q.sec);
+    std::fprintf(f,
+                 "  \"batched_workload\": {\"n\": %zu, \"trials\": %zu, "
+                 "\"scalar_sec\": %.6f, \"scalar_trials_per_sec\": %.2f, "
+                 "\"batched_sec\": %.6f, \"batched_trials_per_sec\": %.2f, "
+                 "\"speedup\": %.3f, "
+                 "\"pooled_sec\": %.6f, \"pooled_trials_per_sec\": %.2f, "
+                 "\"bit_identical\": %s}\n",
+                 br.n, br.trials, br.scalar_sec, batch_scalar_tps,
+                 br.batched_sec, batch_tps, br.scalar_sec / br.batched_sec,
+                 br.pooled_sec, batch_pool_tps,
+                 br.identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("json written to %s\n", json_path.c_str());
   }
-  return tr.identical ? 0 : 1;
+  return tr.identical && br.identical ? 0 : 1;
 }

@@ -2,7 +2,8 @@
 """Compare two radiocast benchmark JSON documents metric by metric.
 
 Usage:
-    bench_diff.py BASELINE.json CURRENT.json [--threshold PCT] [--check]
+    bench_diff.py BASELINE.json CURRENT.json [--tolerance PCT] [--check]
+                  [--only PREFIX]
 
 Both run-record documents (emitted by any bench_* binary via --json-out /
 RADIOCAST_JSON_OUT) and the legacy BENCH_engine.json layout are accepted;
@@ -13,9 +14,12 @@ For every metric present in both documents the script prints the baseline
 value, the current value and the relative delta.  Metrics whose name
 implies a direction (``*_per_sec`` and ``*speedup`` are higher-is-better,
 ``*_sec`` / ``wall`` / ``cpu`` are lower-is-better) are classified as
-improvements or regressions; anything beyond --threshold percent in the
-bad direction is a REGRESSION.  With --check the exit status is 1 when at
-least one regression was found, which is how CI consumes this script.
+improvements or regressions; anything beyond --tolerance percent in the
+bad direction is a REGRESSION (--threshold is an accepted alias).  With
+--check the exit status is 1 when at least one regression was found, which
+is how CI consumes this script.  --only PREFIX restricts the comparison to
+metrics whose canonical name starts with PREFIX (e.g. ``engine.batch``),
+so a partial rerun can be diffed against a full baseline.
 
 No third-party dependencies: stdlib only.
 """
@@ -60,6 +64,13 @@ _LEGACY_RENAMES = {
         "engine.parallel_trials_per_sec",
     "trials_workload.speedup": "engine.speedup",
     "quiescence.slots_per_sec": "engine.quiescence_slots_per_sec",
+    "batched_workload.scalar_trials_per_sec":
+        "engine.batch_scalar_trials_per_sec",
+    "batched_workload.batched_trials_per_sec":
+        "engine.batch_trials_per_sec",
+    "batched_workload.speedup": "engine.batch_speedup",
+    "batched_workload.pooled_trials_per_sec":
+        "engine.batch_pool_trials_per_sec",
 }
 
 
@@ -105,11 +116,16 @@ def main() -> int:
         description="diff two radiocast benchmark JSON documents")
     parser.add_argument("baseline", help="baseline JSON document")
     parser.add_argument("current", help="current JSON document")
-    parser.add_argument("--threshold", type=float, default=10.0,
-                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--tolerance", "--threshold", type=float,
+                        default=10.0, dest="tolerance",
+                        help="regression tolerance in percent (default 10); "
+                             "--threshold is an accepted alias")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 when any regression exceeds the "
-                             "threshold")
+                             "tolerance")
+    parser.add_argument("--only", default="",
+                        help="compare only metrics whose canonical name "
+                             "starts with this prefix")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -117,10 +133,13 @@ def main() -> int:
     with open(args.current, encoding="utf-8") as f:
         current = canonicalize(json.load(f))
 
-    shared = sorted(set(baseline) & set(current))
+    shared = sorted(name for name in set(baseline) & set(current)
+                    if name.startswith(args.only))
     if not shared:
         print("bench_diff: no comparable metrics between "
-              f"{args.baseline} and {args.current}", file=sys.stderr)
+              f"{args.baseline} and {args.current}"
+              + (f" under prefix '{args.only}'" if args.only else ""),
+              file=sys.stderr)
         return 2 if args.check else 0
 
     regressions = []
@@ -135,10 +154,10 @@ def main() -> int:
             delta_pct = 100.0 * (cur - base) / abs(base)
         sign = direction(name)
         verdict = ""
-        if sign != 0 and delta_pct * sign < -args.threshold:
+        if sign != 0 and delta_pct * sign < -args.tolerance:
             verdict = "REGRESSION"
             regressions.append((name, delta_pct))
-        elif sign != 0 and delta_pct * sign > args.threshold:
+        elif sign != 0 and delta_pct * sign > args.tolerance:
             verdict = "improved"
         print(f"{name:<{name_width}}  {base:>14.6g}  {cur:>14.6g}  "
               f"{delta_pct:>+8.1f}%  {verdict}")
@@ -150,13 +169,13 @@ def main() -> int:
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
-              f"{args.threshold:.1f}%:")
+              f"{args.tolerance:.1f}%:")
         for name, delta_pct in regressions:
             print(f"  {name}: {delta_pct:+.1f}%")
         if args.check:
             return 1
     else:
-        print(f"\nno regressions beyond {args.threshold:.1f}%")
+        print(f"\nno regressions beyond {args.tolerance:.1f}%")
     return 0
 
 

@@ -33,7 +33,9 @@ void check_probability(double p, const char* what) {
 }  // namespace
 
 FaultPlan::FaultPlan(FaultConfig config, std::size_t node_count)
-    : config_(std::move(config)), node_count_(node_count) {
+    : config_(std::move(config)),
+      draws_(config_.seed),
+      node_count_(node_count) {
   // Validate the declarative parts once, here, so every later decision
   // can assume a well-formed config.
   switch (config_.loss.kind) {
@@ -134,14 +136,6 @@ std::vector<sim::TopologyEvent> FaultPlan::scheduled_events() {
   return events_;
 }
 
-double FaultPlan::unit_draw(std::uint64_t salt, std::uint64_t a,
-                            std::uint64_t b) const {
-  std::uint64_t x = rng::mix64(config_.seed ^ salt);
-  x = rng::mix64(x ^ a);
-  x = rng::mix64(x ^ b);
-  return static_cast<double>(x >> 11) * 0x1.0p-53;
-}
-
 void FaultPlan::begin_slot(Slot now, std::size_t dead_nodes) {
   counters_.crashed_node_slots += dead_nodes;
   slot_jammed_ = false;
@@ -154,7 +148,7 @@ void FaultPlan::begin_slot(Slot now, std::size_t dead_nodes) {
     bool active = false;
     switch (j.spec.kind) {
       case JammerSpec::Kind::kOblivious:
-        active = unit_draw(kSaltJam, i, now) < j.spec.probability;
+        active = draws_.unit(kSaltJam, i, now) < j.spec.probability;
         break;
       case JammerSpec::Kind::kPeriodic:
         active = j.spec.period > 0 &&
@@ -184,7 +178,7 @@ bool FaultPlan::loss_drops(Slot now, NodeId u, NodeId v) {
     case LossModel::Kind::kNone:
       return false;
     case LossModel::Kind::kBernoulli:
-      return unit_draw(kSaltBernoulli, link_key(u, v), now) < config_.loss.p;
+      return draws_.unit(kSaltBernoulli, link_key(u, v), now) < config_.loss.p;
     case LossModel::Kind::kGilbertElliott:
       break;
   }
@@ -206,11 +200,11 @@ bool FaultPlan::loss_drops(Slot now, NodeId u, NodeId v) {
     const auto k = static_cast<double>(now - link.last);
     p_bad = pi_bad + (delta - pi_bad) * std::pow(lambda, k);
   }
-  link.bad = unit_draw(kSaltGeState, link_key(u, v), now) < p_bad;
+  link.bad = draws_.unit(kSaltGeState, link_key(u, v), now) < p_bad;
   link.last = now;
   link.seen = true;
   const double loss = link.bad ? ge.loss_bad : ge.loss_good;
-  return unit_draw(kSaltGeLoss, link_key(u, v), now) < loss;
+  return draws_.unit(kSaltGeLoss, link_key(u, v), now) < loss;
 }
 
 sim::DeliveryFate FaultPlan::on_delivery(Slot now, NodeId u, NodeId v) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "radiocast/fault/config.hpp"
+#include "radiocast/rng/counter_rng.hpp"
 #include "radiocast/sim/fault_hook.hpp"
 
 namespace radiocast::fault {
@@ -83,14 +84,12 @@ class FaultPlan final : public sim::FaultHook {
     bool seen = false;
   };
 
-  /// Counter-based uniform in [0, 1): a pure function of the plan seed
-  /// and the salts — no sequential rng state, so draw order is irrelevant.
-  double unit_draw(std::uint64_t salt, std::uint64_t a,
-                   std::uint64_t b) const;
-
   bool loss_drops(Slot now, NodeId u, NodeId v);
 
   FaultConfig config_;
+  /// Counter-based draws keyed on the plan seed (rng::CounterRng): pure
+  /// functions of the salts, so draw order is irrelevant.
+  rng::CounterRng draws_;
   std::size_t node_count_ = 0;
   std::vector<sim::TopologyEvent> events_;
   std::vector<JammerState> jammers_;

@@ -1,0 +1,206 @@
+#include "radiocast/harness/batch_runner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/graph/csr.hpp"
+#include "radiocast/harness/parallel.hpp"
+#include "radiocast/proto/broadcast_batch.hpp"
+#include "radiocast/rng/rng.hpp"
+#include "radiocast/sim/batch/batch_simulator.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast::harness {
+
+namespace {
+
+using sim::batch::kLanes;
+using sim::batch::LaneMask;
+
+sim::Message broadcast_payload(NodeId origin) {
+  sim::Message m;
+  m.origin = origin;
+  m.tag = 0xB0ADCA57;
+  return m;
+}
+
+bool contains(std::span<const NodeId> xs, NodeId v) {
+  return std::ranges::find(xs, v) != xs.end();
+}
+
+// Stop/success bookkeeping shared by both counter-RNG paths. The scalar
+// harness stops at the first slot s >= 1 whose pre-step predicate holds,
+// so on success the final delivery happened in the previous slot:
+// completion_slot == slots_run - 1 (and 0 when no slot ran at all, which
+// happens only when every node is a source and max_slots == 0).
+void record_outcome(BroadcastOutcome& o, bool all_informed, Slot slots_run) {
+  o.all_informed = all_informed;
+  o.slots_run = slots_run;
+  o.completion_slot =
+      all_informed ? (slots_run == 0 ? Slot{0} : slots_run - 1) : kNever;
+}
+
+// --- batched path ---------------------------------------------------------
+
+void run_block(const graph::CsrTopology& csr, std::span<const NodeId> sources,
+               const proto::BroadcastParams& params, std::uint64_t seed,
+               std::uint64_t block, std::size_t lane_count, Slot max_slots,
+               std::span<BroadcastOutcome> results) {
+  sim::batch::BatchSimulator simulator(csr);
+  proto::BatchBgiBroadcast proto(params, csr.node_count(), sources, seed,
+                                 block);
+  LaneMask active = sim::batch::lane_prefix(lane_count);
+  while (simulator.now() < max_slots && active != 0) {
+    simulator.step(proto, active);
+    const Slot now = simulator.now();
+    // The scalar run_until predicate, vectorized: a lane stops when every
+    // node is informed or when no informed node has phases left (dead).
+    const LaneMask fin = proto.all_informed_lanes() & active;
+    const LaneMask dead = ~proto.live_relayer_lanes() & active;
+    LaneMask retire = fin | dead;
+    while (retire != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(retire));
+      retire &= retire - 1;
+      record_outcome(results[lane], ((fin >> lane) & 1U) != 0, now);
+    }
+    active &= ~(fin | dead);
+  }
+  if (active != 0) {
+    // Horizon reached: like the scalar loop running out of max_slots, the
+    // success flag is still evaluated on the final state.
+    const LaneMask fin = proto.all_informed_lanes();
+    for (std::size_t lane = 0; lane < lane_count; ++lane) {
+      if (((active >> lane) & 1U) != 0) {
+        record_outcome(results[lane], ((fin >> lane) & 1U) != 0,
+                       simulator.now());
+      }
+    }
+  }
+  for (std::size_t lane = 0; lane < lane_count; ++lane) {
+    results[lane].transmissions = simulator.transmissions(lane);
+  }
+}
+
+// --- scalar counter-RNG path ----------------------------------------------
+
+BroadcastOutcome run_counter_trial(const graph::Graph& g,
+                                   std::span<const NodeId> sources,
+                                   const proto::BroadcastParams& params,
+                                   std::uint64_t seed, std::size_t trial,
+                                   Slot max_slots) {
+  const std::uint64_t block = trial / kLanes;
+  const std::size_t lane = trial % kLanes;
+  sim::Simulator simulator(g, sim::SimOptions{seed, false, false});
+  const std::size_t n = g.node_count();
+  std::vector<const proto::BgiBroadcast*> nodes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (contains(sources, v)) {
+      nodes[v] = &simulator.emplace_protocol<proto::CounterCoinBgiBroadcast>(
+          v, params, broadcast_payload(sources.front()), seed, block, lane);
+    } else {
+      nodes[v] = &simulator.emplace_protocol<proto::CounterCoinBgiBroadcast>(
+          v, params, seed, block, lane);
+    }
+  }
+  const auto all_informed = [&nodes]() {
+    for (const proto::BgiBroadcast* p : nodes) {
+      if (!p->informed()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto dead = [&nodes]() {
+    for (const proto::BgiBroadcast* p : nodes) {
+      if (p->informed() && !p->terminated()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  simulator.run_until(
+      [&](const sim::Simulator& s) {
+        if (s.now() == 0) {
+          return false;
+        }
+        return all_informed() || dead();
+      },
+      max_slots);
+  BroadcastOutcome outcome;
+  record_outcome(outcome, all_informed(), simulator.now());
+  outcome.transmissions = simulator.trace().total_transmissions();
+  return outcome;
+}
+
+}  // namespace
+
+bool batched_bgi_supported(const proto::BroadcastParams& params,
+                           const fault::FaultConfig* fault) {
+  return proto::batchable(params) && (fault == nullptr || !fault->any());
+}
+
+std::vector<BroadcastOutcome> run_bgi_broadcast_trials(
+    const graph::Graph& g, std::span<const NodeId> sources,
+    const proto::BroadcastParams& params, std::uint64_t seed,
+    std::size_t trials, Slot max_slots, TrialEngine engine,
+    std::size_t threads, const fault::FaultConfig* fault) {
+  RADIOCAST_CHECK_MSG(!sources.empty(), "need at least one initiator");
+  if (engine == TrialEngine::kAuto) {
+    engine = batched_bgi_supported(params, fault) ? TrialEngine::kBatched
+                                                  : TrialEngine::kScalarClassic;
+  }
+  if (engine != TrialEngine::kScalarClassic) {
+    RADIOCAST_CHECK_MSG(fault == nullptr || !fault->any(),
+                        "fault injection needs the classic scalar engine");
+  }
+  switch (engine) {
+    case TrialEngine::kBatched: {
+      RADIOCAST_CHECK_MSG(proto::batchable(params),
+                          "parameter set is not batchable "
+                          "(fair coin, aligned phases, t < 256)");
+      std::vector<BroadcastOutcome> results(trials);
+      const graph::CsrTopology csr(g);
+      const std::size_t blocks = (trials + kLanes - 1) / kLanes;
+      for_each_trial(blocks, threads, [&](std::size_t block) {
+        const std::size_t first = block * kLanes;
+        const std::size_t lane_count = std::min(kLanes, trials - first);
+        run_block(csr, sources, params, seed, block, lane_count, max_slots,
+                  std::span(results).subspan(first, lane_count));
+      });
+      return results;
+    }
+    case TrialEngine::kScalarCounter:
+      RADIOCAST_CHECK_MSG(params.stop_probability == 0.5,
+                          "counter-RNG coins are fair by construction");
+      return run_trials(
+          trials,
+          [&](std::size_t trial) {
+            return run_counter_trial(g, sources, params, seed, trial,
+                                     max_slots);
+          },
+          threads);
+    case TrialEngine::kScalarClassic:
+      return run_trials(
+          trials,
+          [&](std::size_t trial) {
+            // The bench convention for independent scalar trials: one
+            // mixed seed per trial, one fault-plan seed per trial.
+            std::optional<fault::FaultConfig> trial_fault;
+            if (fault != nullptr && fault->any()) {
+              trial_fault = fault->with_seed(rng::mix64(fault->seed ^ trial));
+            }
+            return run_bgi_broadcast(
+                g, sources, params, rng::mix64(seed ^ (trial + 1)), max_slots,
+                {}, trial_fault ? &*trial_fault : nullptr);
+          },
+          threads);
+    case TrialEngine::kAuto:
+      break;  // resolved above
+  }
+  RADIOCAST_CHECK_MSG(false, "unreachable trial engine");
+  return {};
+}
+
+}  // namespace radiocast::harness

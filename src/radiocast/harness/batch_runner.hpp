@@ -1,0 +1,75 @@
+// Engine-dispatching Monte-Carlo trial runner for Broadcast_scheme.
+//
+// run_bgi_broadcast_trials runs `trials` independent executions of the
+// paper's randomized broadcast and returns their outcomes in trial order.
+// Three interchangeable engines produce those outcomes:
+//
+//   kBatched       — the bit-parallel engine: trials are grouped into
+//                    blocks of 64 lanes (sim::batch::BatchSimulator +
+//                    proto::BatchBgiBroadcast), and the worker pool
+//                    distributes blocks, so the parallelism is
+//                    threads x 64 lanes. Trial t lives in lane t % 64 of
+//                    block t / 64.
+//   kScalarCounter — one classic Simulator per trial, with Decay coins
+//                    drawn from the same counter-RNG words as the batched
+//                    lanes (proto::CounterCoinBgiBroadcast, block t / 64,
+//                    lane t % 64). Outcome-identical to kBatched trial by
+//                    trial — this is the reference the differential tests
+//                    compare the batched engine against, and the scalar
+//                    baseline the batched speedup is measured against.
+//   kScalarClassic — the pre-existing path: harness::run_bgi_broadcast
+//                    with the per-node sequential xoshiro streams, trial
+//                    seed rng::mix64(seed ^ (t + 1)), and optional fault
+//                    injection (per-trial plan seed
+//                    rng::mix64(fault->seed ^ t), the bench convention).
+//
+// kAuto picks kBatched whenever the request is batchable — fair coin,
+// aligned phases, t < 256, no faults — and kScalarClassic otherwise, so
+// callers get the fast path for the paper's canonical parameters without
+// giving up faults or ablations. Note the two sides of kAuto sample
+// DIFFERENT random executions (counter-RNG vs xoshiro coins): identical
+// distribution, different draws. Fixed-engine calls are deterministic
+// functions of (g, sources, params, seed, trials).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "radiocast/fault/config.hpp"
+#include "radiocast/graph/graph.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/proto/broadcast.hpp"
+
+namespace radiocast::harness {
+
+enum class TrialEngine {
+  kAuto,           ///< kBatched when supported, else kScalarClassic
+  kBatched,        ///< 64-lane bit-parallel engine
+  kScalarCounter,  ///< scalar engine, counter-RNG coins (replay/reference)
+  kScalarClassic,  ///< scalar engine, sequential xoshiro coins
+};
+
+/// True when the batched engine can run this request: batchable protocol
+/// parameters (proto::batchable) and no fault injection (the batch engine
+/// has no fault hook — every lane must stay a pure function of
+/// (seed, lane, slot, node)).
+bool batched_bgi_supported(const proto::BroadcastParams& params,
+                           const fault::FaultConfig* fault = nullptr);
+
+/// `trials` executions of Broadcast_scheme on `g` (every node in `sources`
+/// holds the message at slot 0), stopping each trial at completion, death
+/// or `max_slots` exactly like run_bgi_broadcast. Results are indexed by
+/// trial and invariant under `threads` (0 = default_thread_count()).
+///
+/// Preconditions: kBatched and kScalarCounter require
+/// params.stop_probability == 0.5 and fault == nullptr/inactive; kBatched
+/// additionally requires batchable params (checked).
+std::vector<BroadcastOutcome> run_bgi_broadcast_trials(
+    const graph::Graph& g, std::span<const NodeId> sources,
+    const proto::BroadcastParams& params, std::uint64_t seed,
+    std::size_t trials, Slot max_slots,
+    TrialEngine engine = TrialEngine::kAuto, std::size_t threads = 0,
+    const fault::FaultConfig* fault = nullptr);
+
+}  // namespace radiocast::harness

@@ -45,6 +45,12 @@ RunOptions run_options() {
   if (const char* v = env_or_null("RADIOCAST_FAULT_SEED")) {
     opt.fault_seed = std::strtoull(v, nullptr, 10);
   }
+  if (const char* v = env_or_null("REPRO_REPEAT")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) {
+      opt.repeat = static_cast<std::size_t>(parsed);
+    }
+  }
   opt.threads = default_thread_count();
   return opt;
 }
@@ -54,7 +60,7 @@ RunOptions run_options(int argc, const char* const* argv) {
   const Args args(argc, argv);
   static const std::set<std::string> known{
       "trials", "scale", "seed", "csv-dir", "json-out", "threads",
-      "fault-seed"};
+      "fault-seed", "repeat"};
   const auto unknown = args.unknown_keys(known);
   if (!unknown.empty() || !args.positional().empty()) {
     for (const auto& key : unknown) {
@@ -65,8 +71,8 @@ RunOptions run_options(int argc, const char* const* argv) {
     }
     std::fprintf(stderr,
                  "usage: %s [--trials N] [--scale F] [--seed S] "
-                 "[--threads W] [--csv-dir DIR] [--json-out PATH] "
-                 "[--fault-seed S]\n",
+                 "[--repeat K] [--threads W] [--csv-dir DIR] "
+                 "[--json-out PATH] [--fault-seed S]\n",
                  argc > 0 ? argv[0] : "bench");
     std::exit(2);
   }
@@ -89,6 +95,11 @@ RunOptions run_options(int argc, const char* const* argv) {
   }
   opt.fault_seed = static_cast<std::uint64_t>(
       args.get_int("fault-seed", static_cast<std::int64_t>(opt.fault_seed)));
+  const std::int64_t repeat =
+      args.get_int("repeat", static_cast<std::int64_t>(opt.repeat));
+  if (repeat > 0) {
+    opt.repeat = static_cast<std::size_t>(repeat);
+  }
   return opt;
 }
 

@@ -4,6 +4,10 @@
 //   REPRO_TRIALS       — base Monte-Carlo trial count (default 200)
 //   REPRO_SCALE        — multiplier applied to problem sizes (default 1.0)
 //   REPRO_SEED         — master seed (default 20260704)
+//   REPRO_REPEAT       — timing repetitions for throughput benches: each
+//                        timed measurement runs REPRO_REPEAT times after
+//                        one untimed warmup and reports the best (default
+//                        1 = single run, no warmup)
 //   REPRO_CSV_DIR      — when set, benches also write their tables as CSV there
 //   RADIOCAST_JSON_OUT — when set, benches write a run-record JSON document
 //                        there (see docs/OBSERVABILITY.md)
@@ -14,8 +18,9 @@
 //                        derive from the master seed; see docs/FAULTS.md)
 //
 // Every knob is also a command-line flag on every bench binary
-// (run_options(argc, argv)): --trials, --scale, --seed, --csv-dir,
-// --json-out, --threads, --fault-seed. Flags win over the environment.
+// (run_options(argc, argv)): --trials, --scale, --seed, --repeat,
+// --csv-dir, --json-out, --threads, --fault-seed. Flags win over the
+// environment.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +43,10 @@ struct RunOptions {
   /// from `seed`", so fault trajectories move with the master seed unless
   /// pinned explicitly.
   std::uint64_t fault_seed = 0;
+  /// Timing repetitions for throughput benches (best-of-K with one untimed
+  /// warmup when K > 1; K = 1 keeps the historical single-run behavior).
+  /// Only affects wall-clock measurements, never simulation results.
+  std::size_t repeat = 1;
 };
 
 /// The fault-plan base seed a run should actually use: `fault_seed` when

@@ -34,12 +34,16 @@ sim::Action BgiBroadcast::on_slot(sim::NodeContext& ctx) {
     run_.emplace(k_, *message_, params_.stop_probability,
                  params_.send_before_flip);
   }
-  const sim::Action action = run_->tick(ctx.rng());
+  const sim::Action action = tick_run(ctx);
   if (run_->phase_over()) {
     run_.reset();
     ++phases_done_;
   }
   return action;
+}
+
+sim::Action BgiBroadcast::tick_run(sim::NodeContext& ctx) {
+  return run_->tick(ctx.rng());
 }
 
 void BgiBroadcast::on_receive(sim::NodeContext& ctx, const sim::Message& m) {

@@ -80,7 +80,14 @@ class BgiBroadcast : public sim::Protocol {
   unsigned phases_completed() const noexcept { return phases_done_; }
   const BroadcastParams& params() const noexcept { return params_; }
 
- private:
+ protected:
+  /// Advances the current Decay run by one slot, flipping its coin. The
+  /// base class draws the flip from the node's sequential rng stream; the
+  /// counter-RNG engine (proto/broadcast_batch.hpp) overrides this with a
+  /// pure (seed, lane, slot, node)-keyed draw so a batched lane can replay
+  /// the exact same coins. Only ever called with an in-progress run.
+  virtual sim::Action tick_run(sim::NodeContext& ctx);
+
   BroadcastParams params_;
   unsigned k_;
   unsigned t_;

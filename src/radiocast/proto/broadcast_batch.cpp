@@ -1,0 +1,141 @@
+#include "radiocast/proto/broadcast_batch.hpp"
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+using sim::batch::kAllLanes;
+using sim::batch::LaneMask;
+
+bool batchable(const BroadcastParams& params) {
+  return params.stop_probability == 0.5 && params.align_phases &&
+         params.repetitions() < (1U << BatchBgiBroadcast::kPhasePlanes);
+}
+
+BatchBgiBroadcast::BatchBgiBroadcast(const BroadcastParams& params,
+                                     std::size_t node_count,
+                                     std::span<const NodeId> sources,
+                                     std::uint64_t seed, std::uint64_t block)
+    : k_(params.phase_length()),
+      t_(params.repetitions()),
+      rng_(seed),
+      block_(block),
+      decay_(node_count, params.phase_length(), params.send_before_flip),
+      informed_(node_count, 0),
+      done_(node_count, 0),
+      phase_planes_(node_count * kPhasePlanes, 0),
+      starters_(node_count, 0) {
+  RADIOCAST_CHECK_MSG(batchable(params),
+                      "BatchBgiBroadcast needs a batchable parameter set "
+                      "(fair coin, aligned phases, t < 256)");
+  RADIOCAST_CHECK_MSG(!sources.empty(), "need at least one initiator");
+  for (const NodeId s : sources) {
+    RADIOCAST_CHECK_MSG(s < node_count, "source id out of range");
+    informed_[s] = kAllLanes;
+  }
+}
+
+void BatchBgiBroadcast::emit(Slot now, LaneMask lanes,
+                             std::span<LaneMask> tx) {
+  if (now % k_ == 0) {
+    // Phase boundary: exactly the scalar protocol's start condition —
+    // informed, phases left. Lanes informed mid-phase wait here, like a
+    // scalar node waiting for Time mod k = 0 (align_phases is a batchable
+    // precondition, so this grid is global).
+    const std::size_t n = informed_.size();
+    for (NodeId v = 0; v < n; ++v) {
+      starters_[v] = informed_[v] & ~done_[v];
+    }
+    decay_.begin_phase(starters_);
+  }
+  decay_.tick(now, rng_, block_, lanes, tx);
+  if (now % k_ == k_ - 1) {
+    credit_phase();
+  }
+}
+
+void BatchBgiBroadcast::credit_phase() {
+  const std::size_t n = informed_.size();
+  const std::span<const LaneMask> runs = decay_.runs();
+  for (NodeId v = 0; v < n; ++v) {
+    const LaneMask credit = runs[v];
+    if (credit == 0) {
+      continue;
+    }
+    LaneMask* const planes = &phase_planes_[v * kPhasePlanes];
+    LaneMask carry = credit;
+    for (std::size_t p = 0; carry != 0 && p < kPhasePlanes; ++p) {
+      const LaneMask sum = planes[p] ^ carry;
+      carry &= planes[p];
+      planes[p] = sum;
+    }
+    RADIOCAST_CHECK_MSG(carry == 0, "phase counter overflow (t too large)");
+    // Lanes whose count just reached t_ are done; only credited lanes can
+    // newly reach it (starters exclude done lanes, so counts are <= t_).
+    LaneMask eq = credit;
+    for (std::size_t p = 0; eq != 0 && p < kPhasePlanes; ++p) {
+      eq &= ((t_ >> p) & 1U) != 0 ? planes[p] : ~planes[p];
+    }
+    done_[v] |= eq;
+  }
+}
+
+void BatchBgiBroadcast::absorb(Slot /*now*/,
+                               std::span<const LaneMask> delivered,
+                               std::span<const NodeId> touched) {
+  for (const NodeId v : touched) {
+    informed_[v] |= delivered[v];
+  }
+}
+
+LaneMask BatchBgiBroadcast::all_informed_lanes() const {
+  LaneMask all = kAllLanes;
+  for (const LaneMask m : informed_) {
+    all &= m;
+    if (all == 0) {
+      break;
+    }
+  }
+  return all;
+}
+
+LaneMask BatchBgiBroadcast::live_relayer_lanes() const {
+  LaneMask live = 0;
+  const std::size_t n = informed_.size();
+  for (NodeId v = 0; v < n; ++v) {
+    live |= informed_[v] & ~done_[v];
+    if (live == kAllLanes) {
+      break;
+    }
+  }
+  return live;
+}
+
+CounterCoinBgiBroadcast::CounterCoinBgiBroadcast(const BroadcastParams& params,
+                                                 std::uint64_t seed,
+                                                 std::uint64_t block,
+                                                 std::size_t lane)
+    : BgiBroadcast(params), rng_(seed), block_(block), lane_(lane) {
+  RADIOCAST_CHECK_MSG(params.stop_probability == 0.5,
+                      "counter-RNG coins are fair by construction");
+  RADIOCAST_CHECK_MSG(lane < sim::batch::kLanes, "lane index out of range");
+}
+
+CounterCoinBgiBroadcast::CounterCoinBgiBroadcast(const BroadcastParams& params,
+                                                 sim::Message initial,
+                                                 std::uint64_t seed,
+                                                 std::uint64_t block,
+                                                 std::size_t lane)
+    : CounterCoinBgiBroadcast(params, seed, block, lane) {
+  message_ = std::move(initial);
+  informed_at_ = 0;
+}
+
+sim::Action CounterCoinBgiBroadcast::tick_run(sim::NodeContext& ctx) {
+  const std::uint64_t w = decay_coin_word(rng_, block_, ctx.now(), ctx.id());
+  return run_->tick(decay_coin_stops(w, lane_));
+}
+
+}  // namespace radiocast::proto

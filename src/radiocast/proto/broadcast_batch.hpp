@@ -1,0 +1,115 @@
+// Broadcast_scheme on the bit-parallel engine: 64 trials per word.
+//
+// Two protocol variants live here, and they are two views of the same
+// random experiment:
+//
+//   BatchBgiBroadcast     — all 64 lanes of a block at once, driven by a
+//                           sim::batch::BatchSimulator. Per-node state is
+//                           one LaneMask per kind (informed, done) plus a
+//                           bit-sliced phase counter (8 planes per node).
+//   CounterCoinBgiBroadcast — one scalar trial on the classic Simulator,
+//                           but drawing its Decay coins from the SAME
+//                           (seed, block, slot, node)-keyed counter-RNG
+//                           words, bit `lane` of each. Lane k of block b
+//                           therefore equals scalar trial 64*b + k
+//                           bit-for-bit — the differential suite in
+//                           tests/test_batch.cpp compares full outcome
+//                           sequences between the two.
+//
+// Supported regime (batched_bgi_supported in harness/batch_runner.hpp):
+// fair coin (stop_probability == 0.5), aligned phases, t < 256, no faults.
+// Everything else falls back to the classic scalar engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/proto/decay_batch.hpp"
+#include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/sim/batch/batch_simulator.hpp"
+
+namespace radiocast::proto {
+
+/// True when BatchBgiBroadcast reproduces the scalar protocol exactly:
+/// fair coin (one random bit per flip — a biased coin cannot be drawn as
+/// a single lane bit), aligned phases (all lanes share the global phase
+/// grid; the start-immediately ablation gives every node its own phase
+/// offset), and a repetition count the 8-plane phase counters can hold.
+bool batchable(const BroadcastParams& params);
+
+class BatchBgiBroadcast final : public sim::batch::BatchedProtocol {
+ public:
+  /// One lane block (number `block`) of Broadcast_scheme trials on a
+  /// `node_count`-node topology: every node in `sources` holds the message
+  /// at slot 0 in every lane. Precondition: batchable(params).
+  BatchBgiBroadcast(const BroadcastParams& params, std::size_t node_count,
+                    std::span<const NodeId> sources, std::uint64_t seed,
+                    std::uint64_t block);
+
+  void emit(Slot now, sim::batch::LaneMask lanes,
+            std::span<sim::batch::LaneMask> tx) override;
+  void absorb(Slot now, std::span<const sim::batch::LaneMask> delivered,
+              std::span<const NodeId> touched) override;
+
+  /// Lanes in which every node is informed (AND-reduction, early exit).
+  sim::batch::LaneMask all_informed_lanes() const;
+
+  /// Lanes in which some informed node still has Decay phases left — the
+  /// complement of the scalar harness's dead() predicate: once a lane has
+  /// no live relayer, nothing in it can ever change.
+  sim::batch::LaneMask live_relayer_lanes() const;
+
+  unsigned k() const noexcept { return k_; }
+  unsigned t() const noexcept { return t_; }
+
+  /// Bit-sliced per-(node, lane) count of completed Decay phases: plane p
+  /// of node v holds bit p of each lane's count. Counts never exceed t_;
+  /// batchable() gates t < 2^kPhasePlanes.
+  static constexpr std::size_t kPhasePlanes = 8;
+
+ private:
+  /// Credits one finished Decay phase to every lane that ran it, and marks
+  /// lanes reaching t phases as done. Called after the k-th tick of the
+  /// phase — the same slot in which the scalar protocol increments
+  /// phases_done_, so the harness's per-slot dead() check sees the credit
+  /// at the same clock value in both engines.
+  void credit_phase();
+
+  unsigned k_;
+  unsigned t_;
+  rng::CounterRng rng_;
+  std::uint64_t block_;
+  BatchDecay decay_;
+  std::vector<sim::batch::LaneMask> informed_;
+  std::vector<sim::batch::LaneMask> done_;
+  std::vector<sim::batch::LaneMask> phase_planes_;
+  std::vector<sim::batch::LaneMask> starters_;  ///< per-boundary scratch
+};
+
+/// The scalar protocol with its coins rerouted through the counter RNG:
+/// behaves exactly like BgiBroadcast except that each Decay flip is bit
+/// `lane` of decay_coin_word(seed, block, slot, node) instead of a draw
+/// from the node's sequential xoshiro stream. This is the replay view of
+/// batched lane (block, lane) — and the reference implementation the
+/// batched engine is differentially tested against.
+class CounterCoinBgiBroadcast final : public BgiBroadcast {
+ public:
+  CounterCoinBgiBroadcast(const BroadcastParams& params, std::uint64_t seed,
+                          std::uint64_t block, std::size_t lane);
+  /// Source (initiator) variant: holds `initial` from slot 0.
+  CounterCoinBgiBroadcast(const BroadcastParams& params, sim::Message initial,
+                          std::uint64_t seed, std::uint64_t block,
+                          std::size_t lane);
+
+ protected:
+  sim::Action tick_run(sim::NodeContext& ctx) override;
+
+ private:
+  rng::CounterRng rng_;
+  std::uint64_t block_;
+  std::size_t lane_;
+};
+
+}  // namespace radiocast::proto

@@ -27,14 +27,29 @@ bool DecayRun::flip_stops(rng::Rng& rng) {
 
 sim::Action DecayRun::tick(rng::Rng& rng) {
   RADIOCAST_CHECK_MSG(ticks_ < k_, "DecayRun ticked past its phase");
-  ++ticks_;
   if (transmissions_done()) {
     // Already out of the coin game: listen out the rest of the phase.
+    // No flip is drawn, so the node's rng stream is untouched.
+    ++ticks_;
     return sim::Action::receive();
   }
+  return advance(flip_stops(rng));
+}
+
+sim::Action DecayRun::tick(bool stop_flip) {
+  RADIOCAST_CHECK_MSG(ticks_ < k_, "DecayRun ticked past its phase");
+  if (transmissions_done()) {
+    ++ticks_;
+    return sim::Action::receive();
+  }
+  return advance(stop_flip);
+}
+
+sim::Action DecayRun::advance(bool stops) {
+  ++ticks_;
   if (!send_before_flip_) {
     // Ablation variant: toss first, so a node may send zero times.
-    if (flip_stops(rng)) {
+    if (stops) {
       stopped_ = true;
       return sim::Action::receive();
     }
@@ -44,7 +59,7 @@ sim::Action DecayRun::tick(rng::Rng& rng) {
   ++sent_;
   // The paper's order: send first, then flip — the procedure transmits at
   // least once and the coin decides whether to continue.
-  stopped_ = flip_stops(rng);
+  stopped_ = stops;
   return sim::Action::transmit(message_);
 }
 

@@ -42,6 +42,13 @@ class DecayRun {
   /// per slot for k consecutive slots.
   sim::Action tick(rng::Rng& rng);
 
+  /// Like tick(rng), but the coin's outcome is supplied by the caller:
+  /// `stop_flip` is consumed only when a flip is actually due this slot
+  /// (i.e. while transmissions are not done). Counter-RNG engines use this
+  /// to feed the (seed, lane, slot, node)-keyed coin that the batched
+  /// simulator draws, so a scalar replay is bit-identical to a lane.
+  sim::Action tick(bool stop_flip);
+
   /// True once the node will not transmit again in this run (coin came up
   /// 0, or k transmissions were made).
   bool transmissions_done() const noexcept { return stopped_ || sent_ == k_; }
@@ -55,6 +62,8 @@ class DecayRun {
 
  private:
   bool flip_stops(rng::Rng& rng);
+  /// Common tick body once the coin outcome is known.
+  sim::Action advance(bool stops);
 
   unsigned k_;
   sim::Message message_;

@@ -1,0 +1,54 @@
+#include "radiocast/proto/decay_batch.hpp"
+
+#include <algorithm>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::proto {
+
+using sim::batch::LaneMask;
+
+BatchDecay::BatchDecay(std::size_t node_count, unsigned k,
+                       bool send_before_flip)
+    : k_(k),
+      send_before_flip_(send_before_flip),
+      active_(node_count, 0),
+      runs_(node_count, 0) {
+  RADIOCAST_CHECK_MSG(k >= 1, "Decay needs k >= 1");
+}
+
+void BatchDecay::begin_phase(std::span<const LaneMask> starters) {
+  RADIOCAST_CHECK_MSG(starters.size() == runs_.size(),
+                      "starter mask count must match node count");
+  std::copy(starters.begin(), starters.end(), runs_.begin());
+  std::copy(starters.begin(), starters.end(), active_.begin());
+}
+
+void BatchDecay::tick(Slot now, const rng::CounterRng& rng,
+                      std::uint64_t block, LaneMask lanes,
+                      std::span<LaneMask> tx) {
+  const std::size_t n = active_.size();
+  RADIOCAST_CHECK_MSG(tx.size() == n, "tx mask count must match node count");
+  for (NodeId v = 0; v < n; ++v) {
+    LaneMask a = active_[v];
+    if (a == 0) {
+      tx[v] = 0;
+      continue;
+    }
+    // Bit k of the word is lane k's coin: 1 continues, 0 stops. Exactly
+    // the bit the scalar CounterCoinBgiBroadcast feeds DecayRun::tick.
+    const LaneMask coins = decay_coin_word(rng, block, now, v);
+    if (send_before_flip_) {
+      // Paper order: transmit, then flip ("at least once!").
+      tx[v] = a & lanes;
+      active_[v] = a & coins;
+    } else {
+      // Flip-first ablation: a lane may bow out before ever transmitting.
+      a &= coins;
+      tx[v] = a & lanes;
+      active_[v] = a;
+    }
+  }
+}
+
+}  // namespace radiocast::proto

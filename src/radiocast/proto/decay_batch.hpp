@@ -1,0 +1,89 @@
+// 64 lanes of the paper's Decay procedure, one bit per Monte-Carlo trial.
+//
+// BatchDecay is the lane-parallel counterpart of DecayRun: every node
+// carries an `active` lane mask (lanes still in the coin game of the
+// current phase) and a `runs` mask (lanes that started the phase). One
+// slot costs two bitwise ops per node plus one counter-RNG word per node
+// that is active in at least one lane — the silent majority costs a load
+// and a store.
+//
+// The coin: bit k of CounterRng::word(kSaltDecayCoin, block, slot, node)
+// is lane k's flip at (slot, node) — 1 continues, 0 stops, matching the
+// paper's "until coin = 0". One 64-bit hash serves all 64 lanes, and the
+// scalar counter-RNG protocol (CounterCoinBgiBroadcast) replays single
+// bits of the very same words, which is what makes the batched and scalar
+// engines bit-identical rather than merely statistically equivalent.
+//
+// Supported regime: the fair coin only (stop probability 1/2 — one random
+// bit per flip). Biased-coin ablations need a full uniform draw per lane
+// and stay on the scalar engine (harness::batched_bgi_supported gates
+// this). Both transmit-then-flip (the paper's "at least once!") and the
+// flip-first ablation order are supported.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/sim/batch/batch_simulator.hpp"
+
+namespace radiocast::proto {
+
+/// Domain-separation salt for the Decay coin words. Part of the
+/// determinism contract: changing it changes every counter-RNG/batched
+/// trajectory (but never the classic per-node xoshiro streams).
+inline constexpr std::uint64_t kSaltDecayCoin = 0xDECA'C019'0000'0009ULL;
+
+/// The 64-lane Decay coin word at (slot, node) for one lane block. Bit k
+/// (lane k): 1 = coin 1 (continue), 0 = coin 0 (stop).
+constexpr std::uint64_t decay_coin_word(const rng::CounterRng& rng,
+                                        std::uint64_t block, Slot slot,
+                                        NodeId node) noexcept {
+  return rng.word(kSaltDecayCoin, block, slot, node);
+}
+
+/// One lane's flip extracted from its block's coin word: true = the coin
+/// came up 0 and the scalar DecayRun must stop transmitting.
+constexpr bool decay_coin_stops(std::uint64_t coin_word,
+                                std::size_t lane) noexcept {
+  return ((coin_word >> lane) & 1U) == 0;
+}
+
+class BatchDecay {
+ public:
+  /// Lane-parallel Decay(k) state for `node_count` nodes. Preconditions:
+  /// k >= 1. `send_before_flip` selects the paper's transmit-then-flip
+  /// order (true) or the flip-first ablation (false), as in DecayRun.
+  BatchDecay(std::size_t node_count, unsigned k, bool send_before_flip);
+
+  unsigned k() const noexcept { return k_; }
+
+  /// Starts a phase: lane set starters[v] of node v begins a fresh
+  /// Decay(k) run (they all transmit first slot under the paper's order).
+  /// Lanes outside starters stay silent for the whole phase.
+  void begin_phase(std::span<const sim::batch::LaneMask> starters);
+
+  /// One slot of the current phase: writes tx[v] for every node (lanes
+  /// transmitting this slot, masked by the engine-active `lanes`) and
+  /// advances the coin game with the (block, now, node)-keyed words.
+  void tick(Slot now, const rng::CounterRng& rng, std::uint64_t block,
+            sim::batch::LaneMask lanes,
+            std::span<sim::batch::LaneMask> tx);
+
+  /// runs()[v] = lanes of node v that started the current phase. The
+  /// caller (BatchBgiBroadcast) credits these lanes' phase counters when
+  /// the phase's k-th slot has run.
+  std::span<const sim::batch::LaneMask> runs() const noexcept {
+    return runs_;
+  }
+
+ private:
+  unsigned k_;
+  bool send_before_flip_;
+  std::vector<sim::batch::LaneMask> active_;
+  std::vector<sim::batch::LaneMask> runs_;
+};
+
+}  // namespace radiocast::proto

@@ -1,0 +1,17 @@
+#include "radiocast/rng/counter_rng.hpp"
+
+namespace radiocast::rng {
+
+double CounterRng::unit(std::uint64_t salt, std::uint64_t a,
+                        std::uint64_t b) const noexcept {
+  // Top 53 bits scaled into [0, 1) — the same construction Rng::uniform01
+  // uses, and bit-identical to the fault layer's historical unit_draw.
+  return static_cast<double>(word(salt, a, b) >> 11) * 0x1.0p-53;
+}
+
+bool CounterRng::bernoulli(double p, std::uint64_t salt, std::uint64_t a,
+                           std::uint64_t b) const noexcept {
+  return unit(salt, a, b) < p;
+}
+
+}  // namespace radiocast::rng

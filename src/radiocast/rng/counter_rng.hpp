@@ -1,0 +1,70 @@
+// Counter-based ("random-access") pseudo-random draws.
+//
+// A CounterRng has no sequential state: every draw is a pure function of
+// the seed plus a salt and up to three counters, evaluated as a chain of
+// splitmix64 finalizer steps. That purity is what the deterministic layers
+// of this repo are built on:
+//
+//   * the fault layer keys per-delivery loss/jam decisions on
+//     (plan seed, link, slot), so outcomes never depend on the order in
+//     which deliveries are resolved or on the worker-thread count;
+//   * the batched trial engine (sim/batch) keys the Decay coin on
+//     (seed, lane block, slot, node) and hands each of the 64 lanes one
+//     bit of the same word — and the scalar counter-RNG engine replays the
+//     exact same draws one lane at a time, which is what makes the two
+//     engines bit-identical rather than merely statistically equivalent.
+//
+// Salts are arbitrary odd constants owned by the caller; they separate
+// domains, so two subsystems sharing a seed never consume the same draw.
+// Changing a salt changes every trajectory keyed under it — salts are part
+// of the determinism contract exactly like the seed is.
+//
+// `word` is header-inline: the batched simulator calls it once per
+// transmitting node per slot. The floating-point conveniences live in
+// counter_rng.cpp; they are per-delivery cost at worst (fault layer).
+#pragma once
+
+#include <cstdint>
+
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::rng {
+
+class CounterRng {
+ public:
+  constexpr CounterRng() noexcept = default;
+  constexpr explicit CounterRng(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+  /// 64 uniformly random bits, a pure function of (seed, salt, a, b).
+  constexpr std::uint64_t word(std::uint64_t salt, std::uint64_t a,
+                               std::uint64_t b) const noexcept {
+    std::uint64_t x = mix64(seed_ ^ salt);
+    x = mix64(x ^ a);
+    return mix64(x ^ b);
+  }
+
+  /// 64 uniformly random bits keyed on one more counter — the batched
+  /// engine's (salt, lane block, slot, node) coin draw.
+  constexpr std::uint64_t word(std::uint64_t salt, std::uint64_t a,
+                               std::uint64_t b,
+                               std::uint64_t c) const noexcept {
+    return mix64(word(salt, a, b) ^ c);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision. Bit-compatible
+  /// with the draw the fault layer shipped before CounterRng existed.
+  double unit(std::uint64_t salt, std::uint64_t a, std::uint64_t b) const
+      noexcept;
+
+  /// True with probability `p` (clamped by comparison semantics: p <= 0
+  /// is never, p >= 1 is always).
+  bool bernoulli(double p, std::uint64_t salt, std::uint64_t a,
+                 std::uint64_t b) const noexcept;
+
+ private:
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace radiocast::rng

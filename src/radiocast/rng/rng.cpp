@@ -4,16 +4,6 @@
 
 namespace radiocast::rng {
 
-std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  state += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31U);
-}
-
-std::uint64_t mix64(std::uint64_t x) noexcept { return splitmix64(x); }
-
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -19,11 +19,21 @@
 namespace radiocast::rng {
 
 /// One step of the splitmix64 generator (Steele, Lea & Flood). Used for
-/// seed expansion; also a decent 64-bit mixer/hash.
-std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+/// seed expansion; also a decent 64-bit mixer/hash. Inline because the
+/// counter-based generator (counter_rng.hpp) invokes it per draw on the
+/// batched simulator's hot path.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31U);
+}
 
 /// Stateless mix: the output of splitmix64 after advancing from `x` once.
-std::uint64_t mix64(std::uint64_t x) noexcept;
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  return splitmix64(x);
+}
 
 /// xoshiro256** 1.0 (Blackman & Vigna): fast, 256-bit state, passes BigCrush.
 class Xoshiro256 {

@@ -1,0 +1,77 @@
+#include "radiocast/sim/batch/batch_simulator.hpp"
+
+#include <utility>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::sim::batch {
+
+BatchSimulator::BatchSimulator(const graph::Graph& g)
+    : BatchSimulator(graph::CsrTopology(g)) {}
+
+BatchSimulator::BatchSimulator(graph::CsrTopology csr)
+    : csr_(std::move(csr)),
+      tx_(csr_.node_count(), 0),
+      seen_(csr_.node_count(), 0),
+      twice_(csr_.node_count(), 0),
+      delivered_(csr_.node_count(), 0) {
+  touched_.reserve(csr_.node_count());
+}
+
+void BatchSimulator::step(BatchedProtocol& proto, LaneMask lanes) {
+  const std::size_t n = csr_.node_count();
+  proto.emit(now_, lanes, tx_);
+
+  // Fold every transmitter into its out-neighbors' carry-save
+  // accumulators. A receiver enters touched_ exactly once, when its
+  // seen word leaves zero — there is no O(n) reset afterwards.
+  for (NodeId u = 0; u < n; ++u) {
+    const LaneMask t = tx_[u];
+    if (t == 0) {
+      continue;
+    }
+    // Bit-sliced transmission counting: add 1 to every lane in t.
+    LaneMask carry = t;
+    for (std::size_t p = 0; carry != 0 && p < kTxPlanes; ++p) {
+      const LaneMask sum = tx_planes_[p] ^ carry;
+      carry &= tx_planes_[p];
+      tx_planes_[p] = sum;
+    }
+    RADIOCAST_CHECK_MSG(carry == 0, "per-lane transmission counter overflow");
+
+    for (const NodeId v : csr_.out_neighbors(u)) {
+      const LaneMask s = seen_[v];
+      if (s == 0) {
+        touched_.push_back(v);
+      }
+      twice_[v] = twice_[v] | (s & t);
+      seen_[v] = s | t;
+    }
+  }
+
+  // delivered = heard >= once, not >= twice, and was not itself
+  // transmitting (a transmitter hears nothing in its slot).
+  for (const NodeId v : touched_) {
+    delivered_[v] = seen_[v] & ~twice_[v] & ~tx_[v];
+  }
+  proto.absorb(now_, delivered_, touched_);
+  for (const NodeId v : touched_) {
+    seen_[v] = 0;
+    twice_[v] = 0;
+    delivered_[v] = 0;
+  }
+  touched_.clear();
+
+  ++now_;
+}
+
+std::uint64_t BatchSimulator::transmissions(std::size_t lane) const {
+  RADIOCAST_CHECK_MSG(lane < kLanes, "lane index out of range");
+  std::uint64_t count = 0;
+  for (std::size_t p = 0; p < kTxPlanes; ++p) {
+    count |= ((tx_planes_[p] >> lane) & 1U) << p;
+  }
+  return count;
+}
+
+}  // namespace radiocast::sim::batch

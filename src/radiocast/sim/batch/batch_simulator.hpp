@@ -1,0 +1,125 @@
+// The bit-parallel batched slot engine: 64 Monte-Carlo trials per word.
+//
+// A scalar Simulator steps one trial at a time; a BatchSimulator steps a
+// *lane block* of 64 independent trials of the same protocol on the same
+// topology simultaneously. Per-node state is structure-of-arrays: every
+// node owns one std::uint64_t per state kind, and bit k of each word
+// belongs to trial lane k. All 64 lanes share the slot loop, the CSR
+// neighbor walks, and the cache lines — the per-slot cost is the same as
+// one scalar trial's, amortized 64 ways.
+//
+// The radio semantics ("receive iff exactly one in-neighbor transmits")
+// reduce to a two-word carry-save accumulator per receiver:
+//
+//   twice |= seen & tx;   // lanes hearing a 2nd transmitter -> collision
+//   seen  |= tx;          // lanes hearing a 1st (or later) transmitter
+//
+// After all transmitters are folded in, `seen & ~twice` is exactly the
+// "heard exactly one" lane set, and masking with ~tx[v] removes lanes in
+// which v itself transmitted (a transmitter hears nothing). Two bitwise
+// ops per (transmitter, out-neighbor) arc resolve the rule for all 64
+// trials at once.
+//
+// What the batch engine deliberately does NOT support — faults, collision
+// detection, per-slot traces, topology events — is what keeps every lane
+// a pure function of (seed, lane, slot, node); harness::run_bgi_broadcast_
+// trials falls back to the scalar Simulator whenever any of those is
+// requested (see harness/batch_runner.hpp and docs/PARALLELISM.md).
+//
+// Determinism: a BatchSimulator never draws randomness itself. Protocols
+// draw counter-based coins (rng::CounterRng) keyed on (seed, lane block,
+// slot, node), so lane k of block b is bit-identical to scalar trial
+// 64*b + k replayed through the counter-RNG protocol variant — the
+// differential suite (tests/test_batch.cpp) pins this down outcome by
+// outcome.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/graph/csr.hpp"
+#include "radiocast/graph/graph.hpp"
+
+namespace radiocast::sim::batch {
+
+/// One bit per trial lane; bit k belongs to lane k of the block.
+using LaneMask = std::uint64_t;
+
+/// Lanes per block == bits per machine word.
+inline constexpr std::size_t kLanes = 64;
+
+/// All 64 lanes.
+inline constexpr LaneMask kAllLanes = ~LaneMask{0};
+
+/// The first `count` lanes (count <= 64); ragged tail blocks use this.
+constexpr LaneMask lane_prefix(std::size_t count) noexcept {
+  return count >= kLanes ? kAllLanes : (LaneMask{1} << count) - 1;
+}
+
+/// A protocol that can advance 64 trial lanes of every node at once.
+///
+/// Contract per slot: the engine calls emit(), resolves the exactly-one
+/// rule, then calls absorb() with the delivered lanes. Implementations
+/// keep all per-node state as LaneMask SoA (see proto/broadcast_batch).
+class BatchedProtocol {
+ public:
+  virtual ~BatchedProtocol() = default;
+
+  /// Writes tx[v] = lanes in which node v transmits at `now`, for every
+  /// node (stale entries must be overwritten). `lanes` is the engine's
+  /// still-active lane set; bits outside it must be 0 in tx so retired
+  /// lanes stop contributing work and statistics.
+  virtual void emit(Slot now, LaneMask lanes, std::span<LaneMask> tx) = 0;
+
+  /// delivered[v] = lanes in which v heard exactly one in-neighbor at
+  /// `now`. Only entries for nodes in `touched` are meaningful (all other
+  /// nodes heard nothing in every lane).
+  virtual void absorb(Slot now, std::span<const LaneMask> delivered,
+                      std::span<const NodeId> touched) = 0;
+};
+
+class BatchSimulator {
+ public:
+  /// Snapshots `g` (the lanes share one immutable topology).
+  explicit BatchSimulator(const graph::Graph& g);
+
+  /// Adopts an existing CSR snapshot (no Graph needed).
+  explicit BatchSimulator(graph::CsrTopology csr);
+
+  std::size_t node_count() const noexcept { return csr_.node_count(); }
+  Slot now() const noexcept { return now_; }
+
+  /// Runs one slot for the lanes in `lanes`: asks `proto` to emit
+  /// transmit masks, resolves the exactly-one rule for all lanes via the
+  /// carry-save accumulator, then hands the delivered masks back through
+  /// absorb(). Advances the clock.
+  void step(BatchedProtocol& proto, LaneMask lanes);
+
+  /// Transmissions accumulated in `lane` over all step() calls in which
+  /// the lane was active (bit-sliced counters, folded here on demand).
+  std::uint64_t transmissions(std::size_t lane) const;
+
+ private:
+  graph::CsrTopology csr_;
+  Slot now_ = 0;
+
+  // Per-node lane masks, reused across slots. seen_/twice_/delivered_
+  // are all-zero between slots except during step() (touched_ tracks
+  // exactly which entries were dirtied, so resets are O(touched)).
+  std::vector<LaneMask> tx_;
+  std::vector<LaneMask> seen_;
+  std::vector<LaneMask> twice_;
+  std::vector<LaneMask> delivered_;
+  std::vector<NodeId> touched_;
+
+  /// Bit-sliced per-lane transmission totals: plane p holds bit p of each
+  /// lane's count. A transmitter's tx word is folded in by ripple-carry
+  /// (amortized ~2 word ops), so counting never loops over lanes.
+  static constexpr std::size_t kTxPlanes = 48;
+  std::array<LaneMask, kTxPlanes> tx_planes_{};
+};
+
+}  // namespace radiocast::sim::batch

@@ -1,0 +1,338 @@
+// Differential suite for the bit-parallel trial engine.
+//
+// The batched engine's correctness claim is not statistical but exact:
+// lane k of block b must produce the SAME BroadcastOutcome as scalar trial
+// 64*b + k replayed through the counter-RNG protocol — same success flag,
+// same completion slot, same slots_run, same transmission count. These
+// tests pin that equivalence on the paper's topologies, across ragged
+// trial counts (partial final blocks), across thread counts, and on the
+// retirement edge cases (every lane finishing in the same slot, stragglers,
+// n = 1, horizon clamps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/batch_runner.hpp"
+#include "radiocast/proto/broadcast_batch.hpp"
+#include "radiocast/proto/decay_batch.hpp"
+#include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/sim/batch/batch_simulator.hpp"
+
+namespace radiocast {
+namespace {
+
+using harness::BroadcastOutcome;
+using harness::TrialEngine;
+
+// --- counter RNG ----------------------------------------------------------
+
+TEST(CounterRng, WordIsAPureFunctionOfItsKey) {
+  const rng::CounterRng a(42);
+  const rng::CounterRng b(42);
+  EXPECT_EQ(a.word(1, 2, 3), b.word(1, 2, 3));
+  EXPECT_EQ(a.word(1, 2, 3), a.word(1, 2, 3));  // no hidden state
+  EXPECT_NE(a.word(1, 2, 3), a.word(1, 2, 4));
+  EXPECT_NE(a.word(1, 2, 3), a.word(1, 3, 3));
+  EXPECT_NE(a.word(1, 2, 3), a.word(2, 2, 3));
+  EXPECT_NE(a.word(1, 2, 3), rng::CounterRng(43).word(1, 2, 3));
+  EXPECT_NE(a.word(1, 2, 3, 4), a.word(1, 2, 3, 5));
+}
+
+TEST(CounterRng, UnitUsesTheTop53Bits) {
+  const rng::CounterRng rng(7);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const double u = rng.unit(1, i, 0);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    // The documented derivation, bit for bit (the FaultPlan streams were
+    // migrated onto this and must not move).
+    EXPECT_EQ(u, static_cast<double>(rng.word(1, i, 0) >> 11) * 0x1.0p-53);
+  }
+}
+
+TEST(CounterRng, DecayCoinBitMatchesScalarExtraction) {
+  const rng::CounterRng rng(99);
+  const std::uint64_t w = proto::decay_coin_word(rng, 3, 17, 5);
+  for (std::size_t lane = 0; lane < sim::batch::kLanes; ++lane) {
+    EXPECT_EQ(proto::decay_coin_stops(w, lane), ((w >> lane) & 1U) == 0);
+  }
+}
+
+TEST(BatchSimulator, LanePrefixShapes) {
+  EXPECT_EQ(sim::batch::lane_prefix(0), 0U);
+  EXPECT_EQ(sim::batch::lane_prefix(1), 1U);
+  EXPECT_EQ(sim::batch::lane_prefix(5), 0x1FU);
+  EXPECT_EQ(sim::batch::lane_prefix(64), sim::batch::kAllLanes);
+}
+
+// --- differential harness -------------------------------------------------
+
+proto::BroadcastParams params_for(const graph::Graph& g) {
+  return proto::BroadcastParams{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = 0.1,
+      .stop_probability = 0.5,
+  };
+}
+
+void expect_batched_equals_scalar(const graph::Graph& g,
+                                  std::span<const NodeId> sources,
+                                  std::size_t trials,
+                                  Slot horizon = Slot{1} << 20) {
+  const proto::BroadcastParams params = params_for(g);
+  ASSERT_TRUE(harness::batched_bgi_supported(params));
+  const auto scalar = harness::run_bgi_broadcast_trials(
+      g, sources, params, 0xB17BA7C4, trials, horizon,
+      TrialEngine::kScalarCounter, /*threads=*/1);
+  const auto batched = harness::run_bgi_broadcast_trials(
+      g, sources, params, 0xB17BA7C4, trials, horizon, TrialEngine::kBatched,
+      /*threads=*/1);
+  ASSERT_EQ(scalar.size(), trials);
+  ASSERT_EQ(batched.size(), trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    EXPECT_EQ(batched[t], scalar[t])
+        << "trial " << t << " (block " << t / 64 << ", lane " << t % 64
+        << "): batched {informed=" << batched[t].all_informed
+        << ", completion=" << batched[t].completion_slot
+        << ", slots=" << batched[t].slots_run
+        << ", tx=" << batched[t].transmissions << "} vs scalar {informed="
+        << scalar[t].all_informed
+        << ", completion=" << scalar[t].completion_slot
+        << ", slots=" << scalar[t].slots_run
+        << ", tx=" << scalar[t].transmissions << "}";
+  }
+}
+
+// Ragged trial counts around the 64-lane block size: a lone lane, a
+// one-short block, exactly one block, a one-over block, and a ragged
+// multi-block count.
+constexpr std::size_t kRaggedCounts[] = {1, 63, 64, 65, 130};
+
+TEST(BatchDifferential, GnpMatchesScalarAtEveryRaggedCount) {
+  rng::Rng graph_rng(2026);
+  const graph::Graph g = graph::connected_gnp(48, 0.12, graph_rng);
+  const NodeId sources[] = {0};
+  for (const std::size_t trials : kRaggedCounts) {
+    SCOPED_TRACE(trials);
+    expect_batched_equals_scalar(g, sources, trials);
+  }
+}
+
+TEST(BatchDifferential, CnLowerBoundFamilyMatchesScalar) {
+  const NodeId s[] = {2, 5, 6, 11};
+  const graph::CnNetwork net = graph::make_cn(12, s);
+  const NodeId sources[] = {net.source};
+  expect_batched_equals_scalar(net.g, sources, 130);
+}
+
+TEST(BatchDifferential, RandomTreeMatchesScalar) {
+  rng::Rng graph_rng(7);
+  const graph::Graph g = graph::random_tree(40, graph_rng);
+  const NodeId sources[] = {0};
+  expect_batched_equals_scalar(g, sources, 96);
+}
+
+TEST(BatchDifferential, MultiSourceMatchesScalar) {
+  rng::Rng graph_rng(11);
+  const graph::Graph g = graph::connected_gnp(32, 0.15, graph_rng);
+  const NodeId sources[] = {0, 7, 19};
+  expect_batched_equals_scalar(g, sources, 70);
+}
+
+TEST(BatchDifferential, HorizonClampMatchesScalar) {
+  // A path is slow to cover, so a tight horizon leaves lanes unfinished:
+  // the truncated outcomes (slots_run == horizon, partial success flags)
+  // must still agree lane by lane.
+  const graph::Graph g = graph::path(24);
+  const NodeId sources[] = {0};
+  expect_batched_equals_scalar(g, sources, 66, /*horizon=*/Slot{40});
+}
+
+// --- retirement edge cases ------------------------------------------------
+
+TEST(BatchRetirement, SingleNodeNetworkFinishesInOneSlot) {
+  // n = 1, the source is the whole network: all_informed from slot 0, so
+  // every lane retires after the mandatory first step with completion 0.
+  const graph::Graph g(1);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  for (const std::size_t trials : {std::size_t{1}, std::size_t{65}}) {
+    const auto batched = harness::run_bgi_broadcast_trials(
+        g, sources, params, 5, trials, Slot{1} << 20, TrialEngine::kBatched,
+        1);
+    for (const BroadcastOutcome& o : batched) {
+      EXPECT_TRUE(o.all_informed);
+      EXPECT_EQ(o.completion_slot, 0U);
+      EXPECT_EQ(o.slots_run, 1U);
+    }
+  }
+  expect_batched_equals_scalar(g, sources, 65);
+}
+
+TEST(BatchRetirement, AllLanesFinishingTheSameSlotRetireTogether) {
+  // Every node is a source: lane-independent, deterministic completion at
+  // the first predicate check — the all-lanes-retire-at-once edge.
+  const graph::Graph g = graph::clique(6);
+  const NodeId sources[] = {0, 1, 2, 3, 4, 5};
+  const proto::BroadcastParams params = params_for(g);
+  const auto batched = harness::run_bgi_broadcast_trials(
+      g, sources, params, 77, 64, Slot{1} << 20, TrialEngine::kBatched, 1);
+  for (const BroadcastOutcome& o : batched) {
+    EXPECT_TRUE(o.all_informed);
+    EXPECT_EQ(o.completion_slot, 0U);
+    EXPECT_EQ(o.slots_run, 1U);
+  }
+  expect_batched_equals_scalar(g, sources, 64);
+}
+
+TEST(BatchRetirement, StragglerLanesKeepRunningAfterOthersRetire) {
+  // Multi-hop topology with relayer contention: collision luck differs
+  // per lane, so lanes retire at different slots; retired lanes' counters
+  // must freeze while stragglers continue.
+  rng::Rng graph_rng(606);
+  const graph::Graph g = graph::connected_gnp(40, 0.1, graph_rng);
+  const NodeId sources[] = {0};
+  expect_batched_equals_scalar(g, sources, 128);
+  const proto::BroadcastParams params = params_for(g);
+  const auto batched = harness::run_bgi_broadcast_trials(
+      g, sources, params, 0xB17BA7C4, 128, Slot{1} << 20,
+      TrialEngine::kBatched, 1);
+  Slot min_run = kNever;
+  Slot max_run = 0;
+  for (const BroadcastOutcome& o : batched) {
+    min_run = std::min(min_run, o.slots_run);
+    max_run = std::max(max_run, o.slots_run);
+  }
+  EXPECT_LT(min_run, max_run) << "workload degenerate: every lane retired "
+                                 "in the same slot, straggler path untested";
+}
+
+// --- thread-count invariance ---------------------------------------------
+
+TEST(BatchThreads, OutcomesInvariantAcrossWorkerCounts) {
+  rng::Rng graph_rng(404);
+  const graph::Graph g = graph::connected_gnp(40, 0.12, graph_rng);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  const auto run = [&](std::size_t threads) {
+    return harness::run_bgi_broadcast_trials(
+        g, sources, params, 31337, 200, Slot{1} << 20, TrialEngine::kBatched,
+        threads);
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  const auto native = run(hw);
+  ASSERT_EQ(one.size(), 200u);
+  for (std::size_t t = 0; t < one.size(); ++t) {
+    EXPECT_EQ(one[t], four[t]) << "trial " << t << " differs at 4 threads";
+    EXPECT_EQ(one[t], native[t])
+        << "trial " << t << " differs at " << hw << " threads";
+  }
+}
+
+TEST(BatchThreads, EnvThreadOverrideDoesNotChangeOutcomes) {
+  // threads = 0 resolves through RADIOCAST_THREADS; outcomes must not move.
+  rng::Rng graph_rng(405);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  const auto run_with_env = [&](const char* value) {
+    ::setenv("RADIOCAST_THREADS", value, /*overwrite=*/1);
+    auto r = harness::run_bgi_broadcast_trials(g, sources, params, 9, 130,
+                                               Slot{1} << 20,
+                                               TrialEngine::kBatched,
+                                               /*threads=*/0);
+    ::unsetenv("RADIOCAST_THREADS");
+    return r;
+  };
+  EXPECT_EQ(run_with_env("1"), run_with_env("4"));
+}
+
+// --- engine selection -----------------------------------------------------
+
+TEST(BatchDispatch, AutoPicksTheBatchedEngineWhenSupported) {
+  rng::Rng graph_rng(12);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  ASSERT_TRUE(harness::batched_bgi_supported(params));
+  const auto autoed = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 70, Slot{1} << 20, TrialEngine::kAuto, 1);
+  const auto batched = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 70, Slot{1} << 20, TrialEngine::kBatched, 1);
+  EXPECT_EQ(autoed, batched);
+}
+
+TEST(BatchDispatch, AutoFallsBackToClassicForUnbatchableParams) {
+  rng::Rng graph_rng(13);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  proto::BroadcastParams params = params_for(g);
+  params.stop_probability = 0.75;  // the Hofri biased-coin ablation
+  EXPECT_FALSE(harness::batched_bgi_supported(params));
+  const auto autoed = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 40, Slot{1} << 20, TrialEngine::kAuto, 1);
+  const auto classic = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 40, Slot{1} << 20, TrialEngine::kScalarClassic,
+      1);
+  EXPECT_EQ(autoed, classic);
+}
+
+TEST(BatchDispatch, SupportGateCoversEveryFallbackTrigger) {
+  rng::Rng graph_rng(14);
+  const graph::Graph g = graph::connected_gnp(16, 0.3, graph_rng);
+  const proto::BroadcastParams base = params_for(g);
+  EXPECT_TRUE(harness::batched_bgi_supported(base));
+  EXPECT_TRUE(proto::batchable(base));
+
+  proto::BroadcastParams biased = base;
+  biased.stop_probability = 0.6;
+  EXPECT_FALSE(proto::batchable(biased));
+
+  proto::BroadcastParams unaligned = base;
+  unaligned.align_phases = false;
+  EXPECT_FALSE(proto::batchable(unaligned));
+
+  // t = ceil(log2(N/eps)) >= 256 overflows the 8-plane phase counters.
+  proto::BroadcastParams huge_t = base;
+  huge_t.epsilon = 1e-300;
+  ASSERT_GE(huge_t.repetitions(), 256u);
+  EXPECT_FALSE(proto::batchable(huge_t));
+
+  // The flip-first ablation IS batchable (order handled per lane).
+  proto::BroadcastParams flip_first = base;
+  flip_first.send_before_flip = false;
+  EXPECT_TRUE(proto::batchable(flip_first));
+
+  fault::FaultConfig faults;
+  faults.loss = fault::LossModel::bernoulli(0.1);
+  EXPECT_FALSE(harness::batched_bgi_supported(base, &faults));
+  const fault::FaultConfig no_faults;
+  EXPECT_TRUE(harness::batched_bgi_supported(base, &no_faults));
+}
+
+TEST(BatchDifferential, FlipFirstAblationMatchesScalar) {
+  rng::Rng graph_rng(15);
+  const graph::Graph g = graph::connected_gnp(32, 0.15, graph_rng);
+  const NodeId sources[] = {0};
+  proto::BroadcastParams params = params_for(g);
+  params.send_before_flip = false;
+  const auto scalar = harness::run_bgi_broadcast_trials(
+      g, sources, params, 1234, 70, Slot{1} << 20,
+      TrialEngine::kScalarCounter, 1);
+  const auto batched = harness::run_bgi_broadcast_trials(
+      g, sources, params, 1234, 70, Slot{1} << 20, TrialEngine::kBatched, 1);
+  EXPECT_EQ(batched, scalar);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -166,5 +166,36 @@ TEST(Parallel, ThreadsGreaterThanCountClamps) {
   EXPECT_EQ(results[2], 9);
 }
 
+// Work is handed out through an atomic cursor, not static per-worker
+// chunks, so a ragged count (not a multiple of the worker count, or of
+// the batched engine's 64-lane blocks) can neither strand a tail index
+// nor run one twice. Pinned explicitly for the counts the batched trial
+// runner produces: a lone trial, one-short / exact / one-over a 64-lane
+// block, and a ragged multi-block count.
+TEST(Parallel, RaggedTrialCountsCoverEveryIndexExactlyOnce) {
+  for (const std::size_t count :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{130}}) {
+    std::vector<std::atomic<int>> hits(count);
+    for_each_trial(count, 8, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "count " << count << ", index " << i;
+    }
+  }
+}
+
+// count < threads: the pool clamps to one worker per trial and results
+// still land at their own indices.
+TEST(Parallel, RaggedCountBelowThreadsIndexedCorrectly) {
+  const auto results = run_trials(
+      5, [](std::size_t i) { return 100 + i; }, 16);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], 100 + i);
+  }
+}
+
 }  // namespace
 }  // namespace radiocast::harness
