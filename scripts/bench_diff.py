@@ -111,6 +111,36 @@ def direction(name: str) -> int:
     return 0
 
 
+def load_metrics(path: str, label: str) -> dict:
+    """Reads and canonicalises one document, or exits with a one-line
+    diagnostic.  A missing file, unparsable JSON, a non-object document or
+    a document with no numeric metric keys at all used to surface as a
+    stack trace (or as a silent empty diff), which made CI gate failures
+    hard to read.  Input errors exit 2, like usage errors -- distinct from
+    the regression exit status 1."""
+    def bail(why: str) -> None:
+        print(f"bench_diff: error: {why}", file=sys.stderr)
+        raise SystemExit(2)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as err:
+        bail(f"cannot read {label} '{path}': {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        bail(f"{label} '{path}' is not valid JSON "
+             f"(line {err.lineno}: {err.msg})")
+    if not isinstance(doc, dict):
+        bail(f"{label} '{path}' is not a JSON object "
+             f"(got {type(doc).__name__})")
+    flat = canonicalize(doc)
+    if not flat:
+        bail(f"{label} '{path}' contains no numeric metrics -- expected a "
+             "run-record document (schema_version/metrics) or the legacy "
+             "BENCH layout")
+    return flat
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="diff two radiocast benchmark JSON documents")
@@ -128,10 +158,8 @@ def main() -> int:
                              "starts with this prefix")
     args = parser.parse_args()
 
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = canonicalize(json.load(f))
-    with open(args.current, encoding="utf-8") as f:
-        current = canonicalize(json.load(f))
+    baseline = load_metrics(args.baseline, "baseline")
+    current = load_metrics(args.current, "current")
 
     shared = sorted(name for name in set(baseline) & set(current)
                     if name.startswith(args.only))

@@ -13,7 +13,11 @@ third-party directories) and verifies that
 2. every mention of a C++ source file (``foo.cpp`` / ``foo.hpp``) refers
    to a file that exists: mentions containing a ``/`` must resolve
    relative to the repo root or to the referencing document, bare file
-   names must match some file of that basename anywhere in the tree.
+   names must match some file of that basename anywhere in the tree, and
+3. the lint rule catalog cannot drift from its documentation: every rule
+   id (``R1``, ``R2``, ...) mentioned in ``docs/STATIC_ANALYSIS.md``
+   must exist in ``scripts/radiocast_lint.py``'s RULES table, and every
+   implemented rule must be documented.
 
 Exit status is 0 when everything resolves, 1 otherwise; each dangling
 reference is printed as ``file:line: message``.  Stdlib-only, like every
@@ -83,6 +87,38 @@ def check_cpp_mention(mention: str, doc: pathlib.Path, root: pathlib.Path,
     return f"unknown source file '{mention}'"
 
 
+LINT_SCRIPT = "scripts/radiocast_lint.py"
+STATIC_DOC = "docs/STATIC_ANALYSIS.md"
+RULE_ID_RE = re.compile(r"\bR\d+\b")
+
+
+def check_rule_sync(root: pathlib.Path) -> list:
+    """Rule ids in docs/STATIC_ANALYSIS.md <-> radiocast_lint.py RULES."""
+    lint = root / LINT_SCRIPT
+    doc = root / STATIC_DOC
+    errors = []
+    for path in (lint, doc):
+        if not path.is_file():
+            errors.append(f"{path.relative_to(root)}:1: missing (the lint "
+                          "rule set and its documentation travel together)")
+    if errors:
+        return errors
+    table = re.search(r"RULES\s*=\s*\{(.*?)\n\}", lint.read_text(
+        encoding="utf-8"), re.S)
+    implemented = set(
+        re.findall(r'"(R\d+)"\s*:', table.group(1))) if table else set()
+    documented = set(RULE_ID_RE.findall(doc.read_text(encoding="utf-8")))
+    if not implemented:
+        errors.append(f"{LINT_SCRIPT}:1: could not locate the RULES table")
+    for rule in sorted(documented - implemented):
+        errors.append(f"{STATIC_DOC}:1: rule {rule} is documented but not "
+                      f"implemented in {LINT_SCRIPT}")
+    for rule in sorted(implemented - documented):
+        errors.append(f"{LINT_SCRIPT}:1: rule {rule} is implemented but "
+                      f"not documented in {STATIC_DOC}")
+    return errors
+
+
 def main() -> int:
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     basenames = set()
@@ -109,11 +145,14 @@ def main() -> int:
                 if err:
                     failures += 1
                     print(f"{rel}:{lineno}: {err}")
+    for error in check_rule_sync(root):
+        failures += 1
+        print(error)
     if failures:
         print(f"{failures} dangling reference(s) across {docs} documents")
         return 1
     print(f"ok: {docs} markdown documents, all links and source paths "
-          f"resolve")
+          f"resolve; lint rule catalog and {STATIC_DOC} agree")
     return 0
 
 

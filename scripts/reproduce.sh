@@ -10,6 +10,15 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Determinism/invariant lint pass (docs/STATIC_ANALYSIS.md). A violation
+# invalidates the reproduction's independence assumptions, so it fails
+# the run; if python3 is missing we say so in one line and move on.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/radiocast_lint.py --root .
+else
+  echo "notice: radiocast-lint pass skipped (python3 not found on PATH)"
+fi
+
 mkdir -p results
 export REPRO_CSV_DIR="${REPRO_CSV_DIR:-$PWD/results}"
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -93,6 +93,11 @@ class FaultPlan final : public sim::FaultHook {
   std::size_t node_count_ = 0;
   std::vector<sim::TopologyEvent> events_;
   std::vector<JammerState> jammers_;
+  // Keyed lookup only — nothing ever iterates this map (audited: every
+  // access is links_[link_key(u, v)]), and each chain advances in the
+  // simulator's deterministic increasing-receiver-id delivery order, so
+  // bucket order cannot leak into any result.
+  // RADIOCAST_LINT_OK(R3): lookup-only map, never iterated; per-link state
   std::unordered_map<std::uint64_t, LinkState> links_;
   bool slot_jammed_ = false;     ///< an oblivious/periodic jammer fired
   bool reactive_armed_ = false;  ///< a reactive jammer has budget this slot

@@ -12,6 +12,10 @@ namespace radiocast::harness {
 
 namespace {
 
+// Environment reads happen once, at startup, before the first trial is
+// drawn; the values they configure (trials/scale/seed/...) are part of
+// the experiment definition, never of a trial's trajectory.
+// RADIOCAST_LINT_OK(R2): startup-only config read, outside any trial
 const char* env_or_null(const char* name) { return std::getenv(name); }
 
 }  // namespace

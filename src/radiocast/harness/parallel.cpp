@@ -43,6 +43,9 @@ void warn_clamp_once(const char* value, std::size_t ceiling) {
 
 std::size_t default_thread_count() {
   const std::size_t hw = hardware_threads();
+  // Worker-pool sizing only; results are thread-count-invariant by the
+  // docs/PARALLELISM.md contract, so this read cannot touch a trajectory.
+  // RADIOCAST_LINT_OK(R2): pool sizing; results are thread-count-invariant
   if (const char* v = std::getenv("RADIOCAST_THREADS")) {
     // Strict parse: the whole value must be a positive decimal number.
     // "8x" or "1e3" silently truncating to 8 / 1 (or overflow saturating

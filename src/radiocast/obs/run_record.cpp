@@ -14,6 +14,10 @@ RunRecord RunRecord::for_tool(std::string tool_name) {
   r.git_describe = obs::git_describe();
   r.build_type = obs::build_type();
   r.compiler = obs::compiler();
+  // Provenance only: the timestamp labels the document and never feeds a
+  // result (obs/ is outside the R2 trial-path scope; everything the
+  // record serializes comes from the std::map-backed registry, so
+  // run-record output order is deterministic — see docs/STATIC_ANALYSIS.md).
   r.timestamp_unix = static_cast<std::int64_t>(std::time(nullptr));
   return r;
 }

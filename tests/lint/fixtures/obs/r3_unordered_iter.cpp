@@ -1,0 +1,15 @@
+// Fixture: R3 — an unordered container in a result-bearing directory
+// (violation on line 8). Iterating it feeds bucket order — a function of
+// libstdc++ version and insertion history — straight into a RunRecord.
+#include <string>
+#include <unordered_map>
+
+double total_of(int which) {
+  std::unordered_map<std::string, double> gauges;
+  gauges["a"] = static_cast<double>(which);
+  double sum = 0.0;
+  for (const auto& entry : gauges) {
+    sum += entry.second;
+  }
+  return sum;
+}

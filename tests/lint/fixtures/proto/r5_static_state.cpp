@@ -1,0 +1,10 @@
+// Fixture: R5 — static non-const state inside proto/ (violation on
+// line 8). The counter survives across trials, so trial k's trajectory
+// depends on how many trials ran before it — and on which thread.
+#include <cstdint>
+
+std::uint64_t next_token() {
+  // Looks innocent, breaks trial independence:
+  static std::uint64_t counter = 0;
+  return ++counter;
+}

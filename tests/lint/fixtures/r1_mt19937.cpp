@@ -1,0 +1,11 @@
+// Fixture: R1 — a sequential RNG engine outside src/radiocast/rng/.
+// The violation is on line 8 (the mt19937 member); the <random> include
+// itself is legal, which the driver relies on to pin exact line output.
+#include <random>
+
+struct BiasedCoin {
+  // Streams from engine types are neither portable nor counter-keyed:
+  std::mt19937 engine{42};
+
+  bool flip() { return (engine() & 1u) != 0u; }
+};

@@ -1,0 +1,9 @@
+// Fixture: R4 — two CounterRng salt constants sharing one value
+// (violation reported on line 9, the second definition). Draws keyed
+// under the two names would be bit-identical, silently correlating the
+// streams they were meant to separate.
+#include <cstdint>
+
+constexpr std::uint64_t kSaltCoinFlip = 0xC01F'F11F'0000'0001ULL;
+// Copy-pasted from the line above without re-rolling the constant:
+constexpr std::uint64_t kSaltBackoff = 0xC01F'F11F'0000'0001ULL;

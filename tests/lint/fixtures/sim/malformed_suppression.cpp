@@ -1,0 +1,9 @@
+// Fixture: a *malformed* suppression — the annotation on line 7 names a
+// rule that does not exist, so the tool must refuse it (exit 2) instead
+// of silently treating it as a comment.
+#include <cstdlib>
+
+const char* trace_dir() {
+  // RADIOCAST_LINT_OK(R9): no such rule
+  return std::getenv("RADIOCAST_TRACE_DIR");
+}

@@ -1,0 +1,11 @@
+// Fixture: a *valid* suppression — the R2 hit on line 10 carries a
+// well-formed annotation, so the file lints clean (exit 0) and the
+// summary counts exactly one suppression in use.
+#include <cstdlib>
+
+const char* trace_dir() {
+  // Debug-trace destination only; read once at startup, never inside a
+  // trial, and the value cannot influence any trajectory.
+  // RADIOCAST_LINT_OK(R2): startup-only trace destination, outside trials
+  return std::getenv("RADIOCAST_TRACE_DIR");
+}

@@ -1,0 +1,8 @@
+// Fixture: R2 — wall-clock read inside a sim/ trial path (violation on
+// line 7). A trial must be a pure function of the seed; time() makes two
+// runs of the same seed diverge.
+#include <ctime>
+
+long slot_stamp() {
+  return static_cast<long>(std::time(nullptr));
+}

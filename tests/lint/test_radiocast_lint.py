@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/radiocast_lint.py.
+
+Every rule R1-R5 is exercised against a fixture file containing exactly
+one deliberate violation; the assertions pin the *exact* rule id and
+``file:line`` output plus the exit-code contract (clean tree -> 0,
+violation -> 1, malformed suppression -> 2).  The regex engine is forced
+so the expectations do not depend on whether libclang is installed.
+
+Run directly (``python3 tests/lint/test_radiocast_lint.py``) or via
+ctest (registered as LintSelfTest).  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import unittest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+LINT = ROOT / "scripts" / "radiocast_lint.py"
+FIXTURES = pathlib.Path("tests/lint/fixtures")
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), "--root", str(ROOT),
+         "--engine", "regex", *args],
+        capture_output=True, text=True, cwd=ROOT, check=False)
+
+
+class CleanTree(unittest.TestCase):
+    def test_full_walk_is_clean(self):
+        proc = run_lint()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_summary_reports_suppression_count(self):
+        proc = run_lint()
+        self.assertRegex(proc.stdout, r"\d+ suppression\(s\) in use")
+
+    def test_rule_catalog_lists_all_five_rules(self):
+        proc = run_lint("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("R1", "R2", "R3", "R4", "R5"):
+            self.assertIn(rule, proc.stdout)
+
+
+class Fixtures(unittest.TestCase):
+    """One deliberate violation per rule, pinned to file:line: rule."""
+
+    # fixture path -> (line, rule)
+    EXPECTED = {
+        "r1_mt19937.cpp": (8, "R1"),
+        "sim/r2_wallclock.cpp": (7, "R2"),
+        "obs/r3_unordered_iter.cpp": (8, "R3"),
+        "r4_duplicate_salt.cpp": (9, "R4"),
+        "proto/r5_static_state.cpp": (8, "R5"),
+    }
+
+    def test_each_rule_has_a_failing_fixture(self):
+        for rel, (line, rule) in self.EXPECTED.items():
+            fixture = FIXTURES / rel
+            with self.subTest(fixture=str(fixture)):
+                proc = run_lint(str(fixture))
+                self.assertEqual(proc.returncode, 1,
+                                 proc.stdout + proc.stderr)
+                expected = f"{fixture.as_posix()}:{line}: {rule}:"
+                self.assertIn(expected, proc.stdout)
+
+    def test_violation_messages_name_only_their_rule(self):
+        # A fixture must not trip rules it was not built for.
+        for rel, (_, rule) in self.EXPECTED.items():
+            proc = run_lint(str(FIXTURES / rel))
+            with self.subTest(fixture=rel):
+                flagged = [ln for ln in proc.stdout.splitlines()
+                           if ": R" in ln]
+                self.assertEqual(len(flagged), 1, proc.stdout)
+                self.assertIn(f" {rule}: ", flagged[0])
+
+
+class Suppressions(unittest.TestCase):
+    def test_valid_suppression_lints_clean_and_is_counted(self):
+        proc = run_lint(str(FIXTURES / "sim/ok_suppressed.cpp"))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("1 suppression(s) in use", proc.stdout)
+
+    def test_malformed_suppression_exits_2(self):
+        fixture = FIXTURES / "sim/malformed_suppression.cpp"
+        proc = run_lint(str(fixture))
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn(f"{fixture.as_posix()}:7: SUPPRESSION:", proc.stdout)
+        self.assertIn("unknown rule 'R9'", proc.stdout)
+
+
+class EngineSelection(unittest.TestCase):
+    def test_explicit_clang_engine_errors_cleanly_when_unavailable(self):
+        try:
+            import clang.cindex  # noqa: F401
+            self.skipTest("libclang bindings are installed")
+        except ImportError:
+            pass
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(ROOT),
+             "--engine", "clang"],
+            capture_output=True, text=True, cwd=ROOT, check=False)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("libclang bindings are unavailable", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Unit test for scripts/bench_diff.py's input-error handling.
+
+A missing baseline file, unparsable JSON, a non-object document, or a
+document with no numeric metrics at all must exit 2 with a one-line
+``bench_diff: error: ...`` diagnostic — never a stack trace, which is
+what CI used to print and what made gate failures hard to read.  The
+regression exit status (1) and the clean exit (0) are pinned alongside
+so the three codes stay distinct.
+
+Run directly or via ctest (registered as BenchDiffSelfTest). Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH_DIFF = ROOT / "scripts" / "bench_diff.py"
+
+
+def run_diff(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(BENCH_DIFF), *args],
+                          capture_output=True, text=True, check=False)
+
+
+def record(slots_per_sec: float) -> dict:
+    return {
+        "schema_version": 1,
+        "metrics": {"gauges": {"engine.slots_per_sec": slots_per_sec}},
+    }
+
+
+class BenchDiffErrors(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+        self.base = self.write("base.json", record(100.0))
+
+    def write(self, name: str, doc) -> pathlib.Path:
+        path = pathlib.Path(self.dir.name) / name
+        path.write_text(doc if isinstance(doc, str) else json.dumps(doc),
+                        encoding="utf-8")
+        return path
+
+    def assert_clean_error(self, proc, *needles: str):
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("bench_diff: error:", proc.stderr)
+        for needle in needles:
+            self.assertIn(needle, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertNotIn("Traceback", proc.stdout)
+
+    def test_missing_baseline_file_is_a_distinct_error(self):
+        proc = run_diff(str(pathlib.Path(self.dir.name) / "nope.json"),
+                        str(self.base), "--check")
+        self.assert_clean_error(proc, "cannot read baseline")
+
+    def test_invalid_json_is_a_distinct_error(self):
+        bad = self.write("bad.json", "{not json")
+        proc = run_diff(str(bad), str(self.base))
+        self.assert_clean_error(proc, "not valid JSON")
+
+    def test_non_object_document_is_a_distinct_error(self):
+        arr = self.write("arr.json", [1, 2, 3])
+        proc = run_diff(str(arr), str(self.base))
+        self.assert_clean_error(proc, "not a JSON object")
+
+    def test_document_without_metric_keys_is_a_distinct_error(self):
+        empty = self.write("empty.json",
+                           {"schema_version": 1, "metrics": {}})
+        proc = run_diff(str(empty), str(self.base), "--check")
+        self.assert_clean_error(proc, "no numeric metrics")
+
+    def test_error_applies_to_current_document_too(self):
+        proc = run_diff(str(self.base),
+                        str(pathlib.Path(self.dir.name) / "nope.json"))
+        self.assert_clean_error(proc, "cannot read current")
+
+
+class BenchDiffVerdicts(unittest.TestCase):
+    """The pre-existing exit codes stay as they were."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name: str, doc) -> pathlib.Path:
+        path = pathlib.Path(self.dir.name) / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    def test_self_diff_is_clean(self):
+        base = self.write("a.json", record(100.0))
+        proc = run_diff(str(base), str(base), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_regression_exits_1_under_check(self):
+        base = self.write("a.json", record(100.0))
+        slow = self.write("b.json", record(50.0))
+        proc = run_diff(str(base), str(slow), "--threshold", "10",
+                        "--check")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
