@@ -14,10 +14,12 @@
 //      (exercises the CSR snapshot + touched-list reset fast path).
 //   3. quiescence  — run_to_quiescence with staggered termination, the
 //      worst case for a naive all_terminated() scan.
-//   4. batched     — the 64-lane bit-parallel engine vs its scalar
-//      counter-RNG twin on one shared topology, single-threaded (the pure
-//      lane-parallel speedup) and with the worker pool (threads x lanes).
-//      The outcome sequences must match element-wise.
+//   4. batched     — the bit-parallel engine vs its scalar counter-RNG
+//      twin on one shared topology: single-threaded at every lane width
+//      (1, 4, 8 words = 64/256/512 trials per block row, the pure
+//      lane-parallel + SIMD speedup) and with the worker pool at the
+//      auto-detected width (threads x 64 x width lanes). Every batched
+//      outcome sequence must match the scalar one element-wise.
 //
 // --repeat K (or REPRO_REPEAT) runs every timed measurement K times after
 // one untimed warmup and keeps the best, for low-noise trajectory points.
@@ -230,14 +232,27 @@ QuiescenceResult measure_quiescence(std::size_t n, Slot horizon,
 // parameter point. Unlike e2_trial above, the graph is NOT per-trial: the
 // bit-parallel engine amortizes the slot loop across lanes of one graph.
 
+constexpr std::size_t kBatchWidths[] = {1, 4, 8};
+
 struct BatchResult {
   std::size_t n = 0;
   std::size_t trials = 0;
   std::size_t threads = 0;
-  double scalar_sec = 0.0;   ///< kScalarCounter, 1 thread
-  double batched_sec = 0.0;  ///< kBatched, 1 thread (pure lane speedup)
-  double pooled_sec = 0.0;   ///< kBatched, worker pool (threads x lanes)
-  bool identical = false;    ///< batched outcomes == scalar, both runs
+  std::size_t auto_width = 0;  ///< default_lane_width() on this machine
+  double scalar_sec = 0.0;     ///< kScalarCounter, 1 thread
+  double width_sec[3] = {};    ///< kBatched, 1 thread, widths 1/4/8
+  double pooled_sec = 0.0;     ///< kBatched auto width, worker pool
+  bool identical = false;      ///< every batched sequence == scalar
+
+  /// The headline single-thread time: the auto-detected width's run.
+  double batched_sec() const {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (kBatchWidths[i] == auto_width) {
+        return width_sec[i];
+      }
+    }
+    return width_sec[0];
+  }
 };
 
 BatchResult measure_batched(std::size_t n, std::size_t trials,
@@ -246,6 +261,7 @@ BatchResult measure_batched(std::size_t n, std::size_t trials,
   BatchResult r;
   r.trials = trials;
   r.threads = threads;
+  r.auto_width = harness::default_lane_width();
   rng::Rng graph_rng(seed);
   const graph::Graph g =
       graph::connected_gnp(n, 4.0 / static_cast<double>(n), graph_rng);
@@ -268,25 +284,35 @@ BatchResult measure_batched(std::size_t n, std::size_t trials,
     return seconds_since(t0);
   });
 
-  std::vector<harness::BroadcastOutcome> batched;
-  r.batched_sec = best_of(repeat, [&] {
-    const auto t0 = Clock::now();
-    batched = harness::run_bgi_broadcast_trials(
-        g, sources, params, seed, trials, horizon,
-        harness::TrialEngine::kBatched, /*threads=*/1);
-    return seconds_since(t0);
-  });
+  r.identical = true;
+  for (std::size_t i = 0; i < 3; ++i) {
+    harness::TrialRunOptions batched_opt;
+    batched_opt.engine = harness::TrialEngine::kBatched;
+    batched_opt.threads = 1;
+    batched_opt.lane_width = kBatchWidths[i];
+    std::vector<harness::BroadcastOutcome> batched;
+    r.width_sec[i] = best_of(repeat, [&] {
+      const auto t0 = Clock::now();
+      batched = harness::run_bgi_broadcast_trials(g, sources, params, seed,
+                                                  trials, horizon,
+                                                  batched_opt);
+      return seconds_since(t0);
+    });
+    r.identical = r.identical && batched == scalar;
+  }
 
+  harness::TrialRunOptions pooled_opt;
+  pooled_opt.engine = harness::TrialEngine::kBatched;
+  pooled_opt.threads = threads;
+  pooled_opt.lane_width = r.auto_width;
   std::vector<harness::BroadcastOutcome> pooled;
   r.pooled_sec = best_of(repeat, [&] {
     const auto t0 = Clock::now();
-    pooled = harness::run_bgi_broadcast_trials(
-        g, sources, params, seed, trials, horizon,
-        harness::TrialEngine::kBatched, threads);
+    pooled = harness::run_bgi_broadcast_trials(g, sources, params, seed,
+                                               trials, horizon, pooled_opt);
     return seconds_since(t0);
   });
-
-  r.identical = batched == scalar && pooled == batched;
+  r.identical = r.identical && pooled == scalar;
   return r;
 }
 
@@ -366,7 +392,7 @@ int main(int argc, char** argv) {
       measure_batched(n, trials, opt.seed, opt.threads, opt.repeat);
   const double batch_scalar_tps =
       static_cast<double>(br.trials) / br.scalar_sec;
-  const double batch_tps = static_cast<double>(br.trials) / br.batched_sec;
+  const double batch_tps = static_cast<double>(br.trials) / br.batched_sec();
   const double batch_pool_tps =
       static_cast<double>(br.trials) / br.pooled_sec;
   harness::Table batch_table({"engine", "trials", "seconds", "trials/sec",
@@ -376,14 +402,21 @@ int main(int argc, char** argv) {
                        harness::Table::num(br.scalar_sec, 3),
                        harness::Table::num(batch_scalar_tps, 1), "1.00x",
                        "-"});
-  batch_table.add_row({"batched 64-lane x1", harness::Table::inum(br.trials),
-                       harness::Table::num(br.batched_sec, 3),
-                       harness::Table::num(batch_tps, 1),
-                       harness::Table::num(br.scalar_sec / br.batched_sec, 2) +
-                           "x",
-                       harness::Table::yes_no(br.identical)});
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t width = kBatchWidths[i];
+    const std::string label = "batched w=" + std::to_string(width) + " x1" +
+                              (width == br.auto_width ? " (auto)" : "");
+    batch_table.add_row(
+        {label, harness::Table::inum(br.trials),
+         harness::Table::num(br.width_sec[i], 3),
+         harness::Table::num(
+             static_cast<double>(br.trials) / br.width_sec[i], 1),
+         harness::Table::num(br.scalar_sec / br.width_sec[i], 2) + "x",
+         harness::Table::yes_no(br.identical)});
+  }
   batch_table.add_row(
-      {"batched x" + std::to_string(br.threads),
+      {"batched w=" + std::to_string(br.auto_width) + " x" +
+           std::to_string(br.threads),
        harness::Table::inum(br.trials), harness::Table::num(br.pooled_sec, 3),
        harness::Table::num(batch_pool_tps, 1),
        harness::Table::num(br.scalar_sec / br.pooled_sec, 2) + "x",
@@ -413,8 +446,17 @@ int main(int argc, char** argv) {
                  static_cast<double>(q.horizon) / q.sec);
   reporter.gauge("engine.batch_scalar_trials_per_sec", batch_scalar_tps);
   reporter.gauge("engine.batch_trials_per_sec", batch_tps);
-  reporter.gauge("engine.batch_speedup", br.scalar_sec / br.batched_sec);
+  reporter.gauge("engine.batch_speedup", br.scalar_sec / br.batched_sec());
   reporter.gauge("engine.batch_pool_trials_per_sec", batch_pool_tps);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string w = std::to_string(kBatchWidths[i]);
+    reporter.gauge("engine.batch_w" + w + "_trials_per_sec",
+                   static_cast<double>(br.trials) / br.width_sec[i]);
+    reporter.gauge("engine.batch_w" + w + "_speedup",
+                   br.scalar_sec / br.width_sec[i]);
+  }
+  reporter.gauge("engine.batch_lane_width",
+                 static_cast<double>(br.auto_width));
 
   // JSON record for the perf trajectory.
   const char* json_env = std::getenv("RADIOCAST_BENCH_JSON");
@@ -452,13 +494,20 @@ int main(int argc, char** argv) {
                  static_cast<double>(q.horizon) / q.sec);
     std::fprintf(f,
                  "  \"batched_workload\": {\"n\": %zu, \"trials\": %zu, "
+                 "\"lane_width\": %zu, "
                  "\"scalar_sec\": %.6f, \"scalar_trials_per_sec\": %.2f, "
                  "\"batched_sec\": %.6f, \"batched_trials_per_sec\": %.2f, "
                  "\"speedup\": %.3f, "
+                 "\"w1_trials_per_sec\": %.2f, \"w4_trials_per_sec\": %.2f, "
+                 "\"w8_trials_per_sec\": %.2f, "
                  "\"pooled_sec\": %.6f, \"pooled_trials_per_sec\": %.2f, "
                  "\"bit_identical\": %s}\n",
-                 br.n, br.trials, br.scalar_sec, batch_scalar_tps,
-                 br.batched_sec, batch_tps, br.scalar_sec / br.batched_sec,
+                 br.n, br.trials, br.auto_width, br.scalar_sec,
+                 batch_scalar_tps, br.batched_sec(), batch_tps,
+                 br.scalar_sec / br.batched_sec(),
+                 static_cast<double>(br.trials) / br.width_sec[0],
+                 static_cast<double>(br.trials) / br.width_sec[1],
+                 static_cast<double>(br.trials) / br.width_sec[2],
                  br.pooled_sec, batch_pool_tps,
                  br.identical ? "true" : "false");
     std::fprintf(f, "}\n");

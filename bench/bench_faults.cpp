@@ -22,6 +22,7 @@
 
 #include "radiocast/fault/config.hpp"
 #include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/batch_runner.hpp"
 #include "radiocast/harness/csv.hpp"
 #include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
@@ -45,29 +46,29 @@ struct Cell {
 };
 
 /// One sweep cell: every protocol runs `trials` times on `g`, each trial
-/// with its own FaultPlan derived from (fault_seed, cell_salt, trial) —
+/// with its own fault seed derived from (fault_seed, cell_salt, trial) —
 /// the same per-trial seed discipline as the simulation itself, which is
-/// what keeps this bench bit-identical at any --threads.
+/// what keeps this bench bit-identical at any --threads. The BGI cells go
+/// through run_bgi_broadcast_trials with kAuto, so every fault kind in the
+/// sweeps (loss, jammers, crashes) runs on the bit-parallel lane engine;
+/// the engine derives the per-trial fault seeds from the cell-salted base
+/// seed internally.
 Cell run_cell(const graph::Graph& g, const proto::BroadcastParams& params,
               const fault::FaultConfig& base, const harness::RunOptions& opt,
-              std::uint64_t cell_salt) {
+              std::uint64_t cell_salt, harness::EngineSelection* selected) {
   const std::uint64_t fault_base =
       rng::mix64(harness::resolved_fault_seed(opt) ^ cell_salt);
   const bool faulty = base.any();
   const Slot det_budget = 64 * (g.node_count() + 2);
   Cell cell;
 
-  const auto outcomes = harness::run_trials(
-      opt.trials,
-      [&](std::size_t trial) {
-        const NodeId sources[] = {0};
-        const fault::FaultConfig fc =
-            base.with_seed(rng::mix64(fault_base ^ trial));
-        return harness::run_bgi_broadcast(g, sources, params,
-                                          opt.seed + trial, Slot{1} << 20,
-                                          {}, faulty ? &fc : nullptr);
-      },
-      opt.threads);
+  const NodeId sources[] = {0};
+  const fault::FaultConfig fc = base.with_seed(fault_base);
+  const auto outcomes = harness::run_bgi_broadcast_trials(
+      g, sources, params, opt.seed, opt.trials, Slot{1} << 20,
+      {.threads = opt.threads,
+       .fault = faulty ? &fc : nullptr,
+       .selected = selected});
   stats::Summary completion;
   stats::Summary tx;
   std::size_t ok = 0;
@@ -191,6 +192,7 @@ int main(int argc, char** argv) {
               g.node_count(), g.arc_count(), opt.trials, opt.threads,
               static_cast<unsigned long long>(
                   harness::resolved_fault_seed(opt)));
+  harness::EngineSelection selected;
 
   // --- 1. Bernoulli loss-rate sweep ---------------------------------------
   const double loss_rates[] = {0.0, 0.05, 0.1, 0.2, 0.3};
@@ -200,7 +202,7 @@ int main(int argc, char** argv) {
     if (loss_rates[i] > 0.0) {
       base.loss = fault::LossModel::bernoulli(loss_rates[i]);
     }
-    Cell c = run_cell(g, params, base, opt, 0x1057'0000 + i);
+    Cell c = run_cell(g, params, base, opt, 0x1057'0000 + i, &selected);
     char label[32];
     std::snprintf(label, sizeof label, "loss%.2f", loss_rates[i]);
     c.label = label;
@@ -218,7 +220,7 @@ int main(int argc, char** argv) {
     if (budgets[i] > 0) {
       base.jammers.push_back(fault::JammerSpec::reactive(budgets[i]));
     }
-    Cell c = run_cell(g, params, base, opt, 0x4A4D'0000 + i);
+    Cell c = run_cell(g, params, base, opt, 0x4A4D'0000 + i, &selected);
     c.label = "budget" + std::to_string(budgets[i]);
     jam_cells.push_back(std::move(c));
   }
@@ -242,7 +244,7 @@ int main(int argc, char** argv) {
       base.crashes.max_downtime = 4 * n;
       base.crashes.immune = {0};
     }
-    Cell c = run_cell(g, params, base, opt, 0xC4A5'0000 + i);
+    Cell c = run_cell(g, params, base, opt, 0xC4A5'0000 + i, &selected);
     char label[32];
     std::snprintf(label, sizeof label, "crash%.2f", crash_fractions[i]);
     c.label = label;
@@ -252,6 +254,8 @@ int main(int argc, char** argv) {
               crash_cells);
   report_sweep(reporter, "crash", crash_cells);
   csv_sweep(csv, "crash", crash_cells);
+
+  std::printf("BGI engine: %s\n", harness::engine_selection_label(selected));
 
   // Sanity guard for CI: the clean cells must behave like the fault-free
   // repo baseline (BGI target 1 - eps, deterministic protocols perfect).

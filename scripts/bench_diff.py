@@ -71,6 +71,10 @@ _LEGACY_RENAMES = {
     "batched_workload.speedup": "engine.batch_speedup",
     "batched_workload.pooled_trials_per_sec":
         "engine.batch_pool_trials_per_sec",
+    "batched_workload.lane_width": "engine.batch_lane_width",
+    "batched_workload.w1_trials_per_sec": "engine.batch_w1_trials_per_sec",
+    "batched_workload.w4_trials_per_sec": "engine.batch_w4_trials_per_sec",
+    "batched_workload.w8_trials_per_sec": "engine.batch_w8_trials_per_sec",
 }
 
 

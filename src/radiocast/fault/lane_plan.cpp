@@ -1,0 +1,445 @@
+#include "radiocast/fault/lane_plan.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::fault {
+
+using sim::batch::kAllLanes;
+using sim::batch::kLanes;
+using sim::batch::lane_prefix;
+using sim::batch::LaneMask;
+
+namespace {
+
+// Domain-separation salts for the lane-family draws. Arbitrary odd
+// constants, distinct from FaultPlan's link-keyed salts because the lane
+// family keys loss on the receiver, not the link — a separate determinism
+// contract, shared by LaneFaultPlan and LaneFaultReplay.
+constexpr std::uint64_t kSaltLaneJam = 0x4A4DB17C'0000000BULL;
+constexpr std::uint64_t kSaltLaneLoss = 0x1055B17C'0000000DULL;
+constexpr std::uint64_t kSaltLaneGeState = 0x6E5FB17C'00000011ULL;
+constexpr std::uint64_t kSaltLaneGeLoss = 0x6E5FB17D'00000013ULL;
+
+/// P(bad at now | chain observed `gap` slots ago), the closed-form k-step
+/// transition of the 2-state chain — the same arithmetic, in the same
+/// order, as FaultPlan::loss_drops, and shared by the lane plan and its
+/// scalar replay so both compute bit-identical doubles.
+double ge_p_bad(const GilbertElliott& ge, bool seen, bool bad, Slot gap) {
+  const double denom = ge.p_good_to_bad + ge.p_bad_to_good;
+  const double pi_bad = denom > 0.0 ? ge.p_good_to_bad / denom : 0.0;
+  if (!seen) {
+    return pi_bad;  // unseen receiver: stationary start
+  }
+  const double lambda = 1.0 - denom;
+  const double delta = bad ? 1.0 : 0.0;
+  return pi_bad + (delta - pi_bad) * std::pow(lambda, static_cast<double>(gap));
+}
+
+}  // namespace
+
+bool lane_fault_supported(const FaultConfig& config) {
+  return config.extra_events.empty();
+}
+
+LaneFaultPlan::LaneFaultPlan(const FaultConfig& config,
+                             std::size_t node_count,
+                             std::uint64_t first_block, std::size_t width,
+                             std::size_t trial_count)
+    : config_(config),
+      draws_(config.seed),
+      node_count_(node_count),
+      first_block_(first_block),
+      width_(width) {
+  RADIOCAST_CHECK_MSG(lane_fault_supported(config_),
+                      "scripted topology events cannot run as lane masks");
+  RADIOCAST_CHECK_MSG(sim::batch::lane_width_supported(width),
+                      "unsupported lane width");
+  RADIOCAST_CHECK_MSG(trial_count <= kLanes * width,
+                      "trial count exceeds the block row");
+  validate_fault_config(config_);
+
+  valid_.assign(width, 0);
+  for (std::size_t w = 0; w < width; ++w) {
+    const std::size_t begin = w * kLanes;
+    if (trial_count > begin) {
+      valid_[w] = lane_prefix(trial_count - begin);
+    }
+  }
+  slot_jam_.assign(width, 0);
+
+  // Crash planes: each trial's schedule comes from compile_crash_schedule
+  // at the classic per-trial seed, then flattens to (node, word, bit).
+  any_crashes_ = config_.crashes.any();
+  if (any_crashes_) {
+    alive_.assign(node_count * width, kAllLanes);
+    std::vector<sim::TopologyEvent> trial_events;
+    for (std::size_t t = 0; t < trial_count; ++t) {
+      const std::uint64_t global_trial = first_block * kLanes + t;
+      trial_events.clear();
+      const FaultConfig per_trial =
+          config_.with_seed(rng::mix64(config_.seed ^ global_trial));
+      const CrashScheduleCounts counts =
+          compile_crash_schedule(per_trial, node_count, trial_events);
+      counters_.crash_events += counts.crashes;
+      counters_.recover_events += counts.recoveries;
+      const auto word = static_cast<std::uint32_t>(t / kLanes);
+      const LaneMask bit = LaneMask{1} << (t % kLanes);
+      for (const sim::TopologyEvent& e : trial_events) {
+        events_.push_back(
+            {e.at, e.u, word, bit, e.kind == sim::EventKind::kCrashNode});
+      }
+    }
+    // stable: a same-slot crash+recover pair of one trial keeps its
+    // crash-before-recover order, exactly like the scalar event queue.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const LaneEvent& a, const LaneEvent& b) {
+                       return a.at < b.at;
+                     });
+  }
+
+  jammers_.reserve(config_.jammers.size());
+  for (const JammerSpec& spec : config_.jammers) {
+    JammerState j;
+    j.spec = spec;
+    if (spec.kind == JammerSpec::Kind::kOblivious) {
+      j.coin = rng::SlicedBernoulli(spec.probability);
+    } else if (spec.kind == JammerSpec::Kind::kReactive) {
+      any_reactive_ = true;
+    }
+    if (spec.budget == kUnlimitedBudget) {
+      j.has_budget.assign(width, kAllLanes);
+    } else {
+      j.has_budget.assign(width, spec.budget > 0 ? kAllLanes : 0);
+      j.remaining.assign(width * kLanes, spec.budget);
+    }
+    jammers_.push_back(std::move(j));
+  }
+
+  switch (config_.loss.kind) {
+    case LossModel::Kind::kNone:
+      break;
+    case LossModel::Kind::kBernoulli:
+      bern_ = rng::SlicedBernoulli(config_.loss.p);
+      loss_chain_.assign(width, 0);
+      break;
+    case LossModel::Kind::kGilbertElliott:
+      ge_bad_.assign(node_count * width, 0);
+      ge_seen_.assign(node_count * width, 0);
+      ge_last_.assign(node_count * width * kLanes, 0);
+      break;
+  }
+}
+
+LaneFaultPlan::~LaneFaultPlan() { publish_fault_counters(counters_); }
+
+void LaneFaultPlan::begin_slot(Slot now) {
+  while (next_event_ < events_.size() && events_[next_event_].at <= now) {
+    const LaneEvent& e = events_[next_event_++];
+    LaneMask& a = alive_[std::size_t{e.node} * width_ + e.word];
+    if (e.crash) {
+      if ((a & e.bit) != 0) {
+        a &= ~e.bit;
+        ++dead_lanes_;
+      }
+    } else if ((a & e.bit) == 0) {
+      a |= e.bit;
+      --dead_lanes_;
+    }
+  }
+  counters_.crashed_node_slots += dead_lanes_;
+
+  for (std::size_t w = 0; w < width_; ++w) {
+    slot_jam_[w] = 0;
+  }
+  for (std::size_t i = 0; i < jammers_.size(); ++i) {
+    JammerState& j = jammers_[i];
+    switch (j.spec.kind) {
+      case JammerSpec::Kind::kOblivious:
+        for (std::size_t w = 0; w < width_; ++w) {
+          // Every firing lane spends budget, even when its slot is
+          // already noise — a jammer cannot observe its peers.
+          const LaneMask fire =
+              j.coin.mask(draws_, kSaltLaneJam, i, first_block_ + w, now) &
+              valid_[w] & j.has_budget[w];
+          if (fire != 0) {
+            spend_budget(j, w, fire);
+            slot_jam_[w] |= fire;
+          }
+        }
+        break;
+      case JammerSpec::Kind::kPeriodic:
+        if (j.spec.period > 0 &&
+            now % j.spec.period == j.spec.phase % j.spec.period) {
+          for (std::size_t w = 0; w < width_; ++w) {
+            const LaneMask fire = valid_[w] & j.has_budget[w];
+            if (fire != 0) {
+              spend_budget(j, w, fire);
+              slot_jam_[w] |= fire;
+            }
+          }
+        }
+        break;
+      case JammerSpec::Kind::kReactive:
+        // Decides lazily, per lane, in resolve_jam.
+        break;
+    }
+  }
+  std::uint64_t jammed = 0;
+  for (std::size_t w = 0; w < width_; ++w) {
+    jammed += static_cast<std::uint64_t>(std::popcount(slot_jam_[w]));
+  }
+  counters_.jammed_slots += jammed;
+
+  if (config_.loss.kind == LossModel::Kind::kBernoulli) {
+    // Hoist the (salt, block, slot) chain once per word; deliver_mask
+    // then finishes each receiver's draw from it.
+    for (std::size_t w = 0; w < width_; ++w) {
+      loss_chain_[w] = draws_.word(kSaltLaneLoss, first_block_ + w, now);
+    }
+  }
+}
+
+std::span<const LaneMask> LaneFaultPlan::alive() const {
+  if (!any_crashes_) {
+    return {};
+  }
+  return alive_;
+}
+
+void LaneFaultPlan::spend_budget(JammerState& j, std::size_t word,
+                                 LaneMask fired) {
+  if (j.remaining.empty()) {
+    return;  // unlimited budget
+  }
+  for (LaneMask rest = fired; rest != 0; rest &= rest - 1) {
+    const auto lane = static_cast<std::size_t>(std::countr_zero(rest));
+    std::uint64_t& rem = j.remaining[word * kLanes + lane];
+    if (--rem == 0) {
+      j.has_budget[word] &= ~(LaneMask{1} << lane);
+    }
+  }
+}
+
+void LaneFaultPlan::resolve_jam(Slot /*now*/,
+                                std::span<const LaneMask> candidates) {
+  if (!any_reactive_) {
+    return;
+  }
+  for (std::size_t w = 0; w < width_; ++w) {
+    // A lane about to carry a delivery, not already noise: the signal a
+    // channel-sensing jammer reacts to. Per lane, the first reactive
+    // jammer with budget spends one unit; its peers keep theirs.
+    LaneMask want = candidates[w] & valid_[w] & ~slot_jam_[w];
+    if (want == 0) {
+      continue;
+    }
+    for (JammerState& j : jammers_) {
+      if (j.spec.kind != JammerSpec::Kind::kReactive) {
+        continue;
+      }
+      const LaneMask fire = want & j.has_budget[w];
+      if (fire != 0) {
+        spend_budget(j, w, fire);
+        slot_jam_[w] |= fire;
+        counters_.jammed_slots +=
+            static_cast<std::uint64_t>(std::popcount(fire));
+        want &= ~fire;
+        if (want == 0) {
+          break;
+        }
+      }
+    }
+  }
+}
+
+LaneMask LaneFaultPlan::ge_drop_mask(Slot now, NodeId v, std::size_t word,
+                                     LaneMask live) {
+  const GilbertElliott& ge = config_.loss.gilbert;
+  const std::size_t elem = std::size_t{v} * width_ + word;
+  LaneMask bad_bits = ge_bad_[elem];
+  LaneMask seen_bits = ge_seen_[elem];
+  LaneMask drop = 0;
+  const std::uint64_t trial0 = (first_block_ + word) * kLanes;
+  // Chains advance only for lanes actually delivering to v this slot —
+  // the same "advance on use" rule as the scalar engines, per lane.
+  for (LaneMask rest = live; rest != 0; rest &= rest - 1) {
+    const auto lane = static_cast<std::size_t>(std::countr_zero(rest));
+    const LaneMask bit = LaneMask{1} << lane;
+    Slot& last = ge_last_[elem * kLanes + lane];
+    const double p_bad = ge_p_bad(ge, (seen_bits & bit) != 0,
+                                  (bad_bits & bit) != 0, now - last);
+    const std::uint64_t trial = trial0 + lane;
+    const bool now_bad =
+        draws_.unit(kSaltLaneGeState, trial, now, v) < p_bad;
+    bad_bits = now_bad ? (bad_bits | bit) : (bad_bits & ~bit);
+    seen_bits |= bit;
+    last = now;
+    const double loss = now_bad ? ge.loss_bad : ge.loss_good;
+    if (draws_.unit(kSaltLaneGeLoss, trial, now, v) < loss) {
+      drop |= bit;
+    }
+  }
+  ge_bad_[elem] = bad_bits;
+  ge_seen_[elem] = seen_bits;
+  return drop;
+}
+
+LaneMask LaneFaultPlan::deliver_mask(Slot now, NodeId v, std::size_t word,
+                                     LaneMask candidates) {
+  const LaneMask jammed = candidates & slot_jam_[word];
+  counters_.jammed_deliveries +=
+      static_cast<std::uint64_t>(std::popcount(jammed));
+  const LaneMask live = candidates & ~jammed;
+  if (live == 0) {
+    return 0;
+  }
+  LaneMask drop = 0;
+  switch (config_.loss.kind) {
+    case LossModel::Kind::kNone:
+      break;
+    case LossModel::Kind::kBernoulli:
+      drop = live & bern_.mask_from(loss_chain_[word], v);
+      break;
+    case LossModel::Kind::kGilbertElliott:
+      drop = ge_drop_mask(now, v, word, live);
+      break;
+  }
+  counters_.dropped_deliveries +=
+      static_cast<std::uint64_t>(std::popcount(drop));
+  return live & ~drop;
+}
+
+LaneFaultReplay::LaneFaultReplay(const FaultConfig& config,
+                                 std::size_t node_count, std::uint64_t trial)
+    : config_(config),
+      draws_(config.seed),
+      trial_(trial),
+      block_(trial / kLanes),
+      lane_(trial % kLanes) {
+  RADIOCAST_CHECK_MSG(lane_fault_supported(config_),
+                      "scripted topology events cannot run as lane masks");
+  validate_fault_config(config_);
+  if (config_.crashes.any()) {
+    const FaultConfig per_trial =
+        config_.with_seed(rng::mix64(config_.seed ^ trial));
+    const CrashScheduleCounts counts =
+        compile_crash_schedule(per_trial, node_count, events_);
+    counters_.crash_events += counts.crashes;
+    counters_.recover_events += counts.recoveries;
+  }
+  jammers_.reserve(config_.jammers.size());
+  for (const JammerSpec& spec : config_.jammers) {
+    JammerState j;
+    j.spec = spec;
+    if (spec.kind == JammerSpec::Kind::kOblivious) {
+      j.coin = rng::SlicedBernoulli(spec.probability);
+    }
+    j.remaining = spec.budget;
+    jammers_.push_back(j);
+  }
+  switch (config_.loss.kind) {
+    case LossModel::Kind::kNone:
+      break;
+    case LossModel::Kind::kBernoulli:
+      bern_ = rng::SlicedBernoulli(config_.loss.p);
+      break;
+    case LossModel::Kind::kGilbertElliott:
+      ge_.assign(node_count, {});
+      break;
+  }
+}
+
+LaneFaultReplay::~LaneFaultReplay() { publish_fault_counters(counters_); }
+
+std::vector<sim::TopologyEvent> LaneFaultReplay::scheduled_events() {
+  return events_;
+}
+
+void LaneFaultReplay::begin_slot(Slot now, std::size_t dead_nodes) {
+  counters_.crashed_node_slots += dead_nodes;
+  slot_jammed_ = false;
+  reactive_armed_ = false;
+  for (std::size_t i = 0; i < jammers_.size(); ++i) {
+    JammerState& j = jammers_[i];
+    if (j.remaining == 0) {
+      continue;
+    }
+    bool active = false;
+    switch (j.spec.kind) {
+      case JammerSpec::Kind::kOblivious:
+        // Bit `lane` of the exact mask LaneFaultPlan applies in bulk.
+        active = ((j.coin.mask(draws_, kSaltLaneJam, i, block_, now) >>
+                   lane_) &
+                  1U) != 0;
+        break;
+      case JammerSpec::Kind::kPeriodic:
+        active = j.spec.period > 0 &&
+                 now % j.spec.period == j.spec.phase % j.spec.period;
+        break;
+      case JammerSpec::Kind::kReactive:
+        reactive_armed_ = true;
+        continue;
+    }
+    if (active) {
+      if (j.remaining != kUnlimitedBudget) {
+        --j.remaining;
+      }
+      slot_jammed_ = true;
+    }
+  }
+  if (slot_jammed_) {
+    ++counters_.jammed_slots;
+  }
+}
+
+bool LaneFaultReplay::loss_drops(Slot now, NodeId v) {
+  switch (config_.loss.kind) {
+    case LossModel::Kind::kNone:
+      return false;
+    case LossModel::Kind::kBernoulli:
+      return ((bern_.mask(draws_, kSaltLaneLoss, block_, now, v) >> lane_) &
+              1U) != 0;
+    case LossModel::Kind::kGilbertElliott:
+      break;
+  }
+  const GilbertElliott& ge = config_.loss.gilbert;
+  ReceiverState& r = ge_[v];
+  const double p_bad = ge_p_bad(ge, r.seen, r.bad, now - r.last);
+  r.bad = draws_.unit(kSaltLaneGeState, trial_, now, v) < p_bad;
+  r.last = now;
+  r.seen = true;
+  const double loss = r.bad ? ge.loss_bad : ge.loss_good;
+  return draws_.unit(kSaltLaneGeLoss, trial_, now, v) < loss;
+}
+
+sim::DeliveryFate LaneFaultReplay::on_delivery(Slot now, NodeId /*u*/,
+                                               NodeId v) {
+  if (!slot_jammed_ && reactive_armed_) {
+    for (JammerState& j : jammers_) {
+      if (j.spec.kind == JammerSpec::Kind::kReactive && j.remaining > 0) {
+        if (j.remaining != kUnlimitedBudget) {
+          --j.remaining;
+        }
+        slot_jammed_ = true;
+        ++counters_.jammed_slots;
+        break;
+      }
+    }
+    reactive_armed_ = false;
+  }
+  if (slot_jammed_) {
+    ++counters_.jammed_deliveries;
+    return sim::DeliveryFate::kJam;
+  }
+  if (loss_drops(now, v)) {
+    ++counters_.dropped_deliveries;
+    return sim::DeliveryFate::kDrop;
+  }
+  return sim::DeliveryFate::kDeliver;
+}
+
+}  // namespace radiocast::fault

@@ -1,0 +1,188 @@
+// Lane-parallel fault plans for the batched trial engine.
+//
+// A FaultPlan executes one trial's faults against one scalar Simulator; a
+// LaneFaultPlan executes 64·width trials' faults against one
+// BatchSimulator, as per-slot lane masks:
+//
+//   crash planes  — each trial's crash/recover schedule is compiled by
+//                   the SAME compile_crash_schedule the classic engine
+//                   uses, at the SAME per-trial seed
+//                   mix64(config.seed ^ trial), then flattened into
+//                   per-(node, word) alive bitmasks applied by the
+//                   engine. Counter-RNG crash semantics: an interrupted
+//                   Decay run aborts (see proto/broadcast_batch.hpp).
+//   jammer planes — oblivious jammers draw one bit-sliced Bernoulli mask
+//                   per (jammer, word, slot); periodic jammers fire on
+//                   the shared clock; reactive jammers fire per lane on
+//                   "some delivery is about to happen", each with
+//                   per-lane budgets. Jam beats loss, as in FaultPlan.
+//   loss masks    — Bernoulli loss is one bit-sliced mask per (word,
+//                   slot, receiver); Gilbert–Elliott advances one lazy
+//                   chain per (receiver, lane) with per-lane scalar
+//                   draws.
+//
+// Model note (documented in docs/FAULTS.md): the classic engine keys loss
+// on the directed *link* (sender, receiver); the lane family keys it on
+// the *receiver* only. The two are distributionally identical for every
+// delivery decision — a receiver hears at most one exactly-one delivery
+// per slot, so no slot ever consumes two draws for the same receiver —
+// but the trajectories differ, so the lane family is its own determinism
+// contract, shared bit-for-bit by LaneFaultPlan and LaneFaultReplay.
+//
+// LaneFaultReplay is the scalar half of that contract: a sim::FaultHook
+// that replays exactly one global trial by extracting bit `lane` of the
+// very same counter-keyed masks (and the same per-trial crash schedule).
+// harness::run_bgi_broadcast_trials installs it on the scalar counter-RNG
+// path, and tests/test_batch.cpp holds the two implementations equal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radiocast/fault/config.hpp"
+#include "radiocast/fault/plan.hpp"
+#include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/rng/sliced_bernoulli.hpp"
+#include "radiocast/sim/batch/batch_simulator.hpp"
+#include "radiocast/sim/fault_hook.hpp"
+
+namespace radiocast::fault {
+
+/// True when the batched engine can execute `config` as lane masks:
+/// everything except scripted extra_events, which may rewire edges — the
+/// lane engine's topology is immutable (crash "removal" is a liveness
+/// plane, not a topology change).
+bool lane_fault_supported(const FaultConfig& config);
+
+class LaneFaultPlan final : public sim::batch::BatchFaultHook {
+ public:
+  /// Compiles `config` for trials [first_block * 64,
+  /// first_block * 64 + trial_count) of a `node_count`-node batch run
+  /// with `width` words per block row (trial_count <= 64 * width).
+  /// Lanes beyond trial_count stay alive and un-jammed forever.
+  LaneFaultPlan(const FaultConfig& config, std::size_t node_count,
+                std::uint64_t first_block, std::size_t width,
+                std::size_t trial_count);
+
+  /// Publishes fault.* counters into obs::metrics() when enabled. Note
+  /// the lane counters aggregate over the whole block's run (lanes that
+  /// retire early keep being counted in crashed_node_slots/jammed_slots
+  /// until the block finishes), so totals are per-block observations, not
+  /// exact sums of per-trial scalar runs.
+  ~LaneFaultPlan() override;
+  LaneFaultPlan(const LaneFaultPlan&) = delete;
+  LaneFaultPlan& operator=(const LaneFaultPlan&) = delete;
+
+  // --- sim::batch::BatchFaultHook ---------------------------------------
+  void begin_slot(Slot now) override;
+  std::span<const sim::batch::LaneMask> alive() const override;
+  void resolve_jam(Slot now,
+                   std::span<const sim::batch::LaneMask> candidates) override;
+  sim::batch::LaneMask deliver_mask(Slot now, NodeId v, std::size_t word,
+                                    sim::batch::LaneMask candidates) override;
+
+  const FaultPlan::Counters& counters() const noexcept { return counters_; }
+  const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One compiled crash/recover event, flattened to its lane.
+  struct LaneEvent {
+    Slot at;
+    NodeId node;
+    std::uint32_t word;
+    sim::batch::LaneMask bit;
+    bool crash;
+  };
+  struct JammerState {
+    JammerSpec spec;
+    rng::SlicedBernoulli coin;  ///< oblivious firing draw
+    /// Lanes with budget left, per word (all-ones when unlimited).
+    std::vector<sim::batch::LaneMask> has_budget;
+    /// Per-lane remaining budget; empty when unlimited.
+    std::vector<std::uint64_t> remaining;
+  };
+
+  void spend_budget(JammerState& j, std::size_t word,
+                    sim::batch::LaneMask fired);
+  sim::batch::LaneMask ge_drop_mask(Slot now, NodeId v, std::size_t word,
+                                    sim::batch::LaneMask live);
+
+  FaultConfig config_;
+  rng::CounterRng draws_;  ///< keyed on config.seed (the base fault seed)
+  std::size_t node_count_;
+  std::uint64_t first_block_;
+  std::size_t width_;
+
+  std::vector<LaneEvent> events_;  ///< time-sorted, applied by cursor
+  std::size_t next_event_ = 0;
+  std::vector<sim::batch::LaneMask> alive_;  ///< node-major, n * width
+  std::uint64_t dead_lanes_ = 0;
+  bool any_crashes_ = false;
+
+  std::vector<JammerState> jammers_;
+  bool any_reactive_ = false;
+  std::vector<sim::batch::LaneMask> valid_;     ///< trial_count prefix
+  std::vector<sim::batch::LaneMask> slot_jam_;  ///< per word, this slot
+
+  rng::SlicedBernoulli bern_;                   ///< Bernoulli loss
+  std::vector<std::uint64_t> loss_chain_;      ///< per-word hoisted key
+  std::vector<sim::batch::LaneMask> ge_bad_;   ///< per (node, word)
+  std::vector<sim::batch::LaneMask> ge_seen_;  ///< per (node, word)
+  std::vector<Slot> ge_last_;                  ///< per (node, word, lane)
+
+  FaultPlan::Counters counters_;
+};
+
+/// The scalar replay of one lane of a LaneFaultPlan: trial `trial` is
+/// block trial/64, lane trial%64, and every decision extracts bit lane of
+/// the same counter-keyed construction the lane plan applies in bulk —
+/// plus the identical per-trial crash schedule, delivered through
+/// scheduled_events() like any sim::FaultHook.
+class LaneFaultReplay final : public sim::FaultHook {
+ public:
+  LaneFaultReplay(const FaultConfig& config, std::size_t node_count,
+                  std::uint64_t trial);
+
+  /// Publishes fault.* counters into obs::metrics() when enabled.
+  ~LaneFaultReplay() override;
+  LaneFaultReplay(const LaneFaultReplay&) = delete;
+  LaneFaultReplay& operator=(const LaneFaultReplay&) = delete;
+
+  // --- sim::FaultHook ---------------------------------------------------
+  void begin_slot(Slot now, std::size_t dead_nodes) override;
+  sim::DeliveryFate on_delivery(Slot now, NodeId u, NodeId v) override;
+  std::vector<sim::TopologyEvent> scheduled_events() override;
+
+  const FaultPlan::Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct JammerState {
+    JammerSpec spec;
+    rng::SlicedBernoulli coin;
+    std::uint64_t remaining = kUnlimitedBudget;
+  };
+  /// Lazily-advanced Gilbert–Elliott chain for one receiver.
+  struct ReceiverState {
+    Slot last = 0;
+    bool bad = false;
+    bool seen = false;
+  };
+
+  bool loss_drops(Slot now, NodeId v);
+
+  FaultConfig config_;
+  rng::CounterRng draws_;  ///< keyed on config.seed (the base fault seed)
+  std::uint64_t trial_;
+  std::uint64_t block_;
+  std::size_t lane_;
+  std::vector<sim::TopologyEvent> events_;
+  std::vector<JammerState> jammers_;
+  rng::SlicedBernoulli bern_;
+  std::vector<ReceiverState> ge_;
+  bool slot_jammed_ = false;
+  bool reactive_armed_ = false;
+  FaultPlan::Counters counters_;
+};
+
+}  // namespace radiocast::fault

@@ -32,20 +32,15 @@ void check_probability(double p, const char* what) {
 
 }  // namespace
 
-FaultPlan::FaultPlan(FaultConfig config, std::size_t node_count)
-    : config_(std::move(config)),
-      draws_(config_.seed),
-      node_count_(node_count) {
-  // Validate the declarative parts once, here, so every later decision
-  // can assume a well-formed config.
-  switch (config_.loss.kind) {
+void validate_fault_config(const FaultConfig& config) {
+  switch (config.loss.kind) {
     case LossModel::Kind::kNone:
       break;
     case LossModel::Kind::kBernoulli:
-      check_probability(config_.loss.p, "Bernoulli loss p must be in [0,1]");
+      check_probability(config.loss.p, "Bernoulli loss p must be in [0,1]");
       break;
     case LossModel::Kind::kGilbertElliott: {
-      const GilbertElliott& ge = config_.loss.gilbert;
+      const GilbertElliott& ge = config.loss.gilbert;
       check_probability(ge.p_good_to_bad, "GE p_good_to_bad in [0,1]");
       check_probability(ge.p_bad_to_good, "GE p_bad_to_good in [0,1]");
       check_probability(ge.loss_good, "GE loss_good in [0,1]");
@@ -53,71 +48,64 @@ FaultPlan::FaultPlan(FaultConfig config, std::size_t node_count)
       break;
     }
   }
-  jammers_.reserve(config_.jammers.size());
-  for (const JammerSpec& spec : config_.jammers) {
+  for (const JammerSpec& spec : config.jammers) {
     if (spec.kind == JammerSpec::Kind::kOblivious) {
       check_probability(spec.probability,
                         "oblivious jammer probability in [0,1]");
     }
-    jammers_.push_back(JammerState{spec, spec.budget});
-  }
-
-  // Compile the crash/recover schedule. Node choice, crash slots and
-  // downtimes come from a dedicated rng substream of the fault seed, so
-  // the schedule is a pure function of (config, node_count).
-  const CrashSpec& cs = config_.crashes;
-  if (cs.any()) {
-    RADIOCAST_CHECK_MSG(cs.fraction <= 1.0, "crash fraction in [0,1]");
-    RADIOCAST_CHECK_MSG(cs.min_downtime <= cs.max_downtime ||
-                            cs.max_downtime == 0,
-                        "crash min_downtime must not exceed max_downtime");
-    std::vector<char> immune(node_count_, 0);
-    for (const NodeId v : cs.immune) {
-      RADIOCAST_CHECK_MSG(v < node_count_, "immune node id out of range");
-      immune[v] = 1;
-    }
-    std::vector<NodeId> eligible;
-    eligible.reserve(node_count_);
-    for (NodeId v = 0; v < node_count_; ++v) {
-      if (immune[v] == 0) {
-        eligible.push_back(v);
-      }
-    }
-    rng::Rng r(config_.seed, kCrashStream);
-    r.shuffle(eligible);
-    const auto victims = std::min(
-        eligible.size(),
-        static_cast<std::size_t>(
-            cs.fraction * static_cast<double>(eligible.size()) + 0.5));
-    for (std::size_t i = 0; i < victims; ++i) {
-      const NodeId v = eligible[i];
-      const Slot at = 1 + r.uniform(cs.window);
-      events_.push_back({at, sim::EventKind::kCrashNode, v, kNoNode});
-      ++counters_.crash_events;
-      if (cs.max_downtime > 0) {
-        const Slot down =
-            cs.min_downtime +
-            r.uniform(cs.max_downtime - cs.min_downtime + 1);
-        events_.push_back({at + down, sim::EventKind::kRecoverNode, v,
-                           kNoNode});
-        ++counters_.recover_events;
-      }
-    }
-  }
-  for (const sim::TopologyEvent& e : config_.extra_events) {
-    events_.push_back(e);
-    if (e.kind == sim::EventKind::kCrashNode) {
-      ++counters_.crash_events;
-    } else if (e.kind == sim::EventKind::kRecoverNode ||
-               e.kind == sim::EventKind::kReviveNode) {
-      ++counters_.recover_events;
-    }
   }
 }
 
-FaultPlan::~FaultPlan() {
+CrashScheduleCounts compile_crash_schedule(
+    const FaultConfig& config, std::size_t node_count,
+    std::vector<sim::TopologyEvent>& out) {
+  // Node choice, crash slots and downtimes come from a dedicated rng
+  // substream of the fault seed, so the schedule is a pure function of
+  // (config, node_count).
+  CrashScheduleCounts counts;
+  const CrashSpec& cs = config.crashes;
+  if (!cs.any()) {
+    return counts;
+  }
+  RADIOCAST_CHECK_MSG(cs.fraction <= 1.0, "crash fraction in [0,1]");
+  RADIOCAST_CHECK_MSG(cs.min_downtime <= cs.max_downtime ||
+                          cs.max_downtime == 0,
+                      "crash min_downtime must not exceed max_downtime");
+  std::vector<char> immune(node_count, 0);
+  for (const NodeId v : cs.immune) {
+    RADIOCAST_CHECK_MSG(v < node_count, "immune node id out of range");
+    immune[v] = 1;
+  }
+  std::vector<NodeId> eligible;
+  eligible.reserve(node_count);
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (immune[v] == 0) {
+      eligible.push_back(v);
+    }
+  }
+  rng::Rng r(config.seed, kCrashStream);
+  r.shuffle(eligible);
+  const auto victims = std::min(
+      eligible.size(),
+      static_cast<std::size_t>(
+          cs.fraction * static_cast<double>(eligible.size()) + 0.5));
+  for (std::size_t i = 0; i < victims; ++i) {
+    const NodeId v = eligible[i];
+    const Slot at = 1 + r.uniform(cs.window);
+    out.push_back({at, sim::EventKind::kCrashNode, v, kNoNode});
+    ++counts.crashes;
+    if (cs.max_downtime > 0) {
+      const Slot down =
+          cs.min_downtime + r.uniform(cs.max_downtime - cs.min_downtime + 1);
+      out.push_back({at + down, sim::EventKind::kRecoverNode, v, kNoNode});
+      ++counts.recoveries;
+    }
+  }
+  return counts;
+}
+
+void publish_fault_counters(const FaultPlan::Counters& c) {
   auto& registry = obs::metrics();
-  const Counters& c = counters_;
   const std::uint64_t total = c.jammed_slots | c.jammed_deliveries |
                               c.dropped_deliveries | c.crashed_node_slots |
                               c.crash_events | c.recover_events;
@@ -131,6 +119,35 @@ FaultPlan::~FaultPlan() {
   registry.counter("fault.crash_events").add(c.crash_events);
   registry.counter("fault.recover_events").add(c.recover_events);
 }
+
+FaultPlan::FaultPlan(FaultConfig config, std::size_t node_count)
+    : config_(std::move(config)),
+      draws_(config_.seed),
+      node_count_(node_count) {
+  // Validate the declarative parts once, here, so every later decision
+  // can assume a well-formed config.
+  validate_fault_config(config_);
+  jammers_.reserve(config_.jammers.size());
+  for (const JammerSpec& spec : config_.jammers) {
+    jammers_.push_back(JammerState{spec, spec.budget});
+  }
+
+  const CrashScheduleCounts crash_counts =
+      compile_crash_schedule(config_, node_count_, events_);
+  counters_.crash_events += crash_counts.crashes;
+  counters_.recover_events += crash_counts.recoveries;
+  for (const sim::TopologyEvent& e : config_.extra_events) {
+    events_.push_back(e);
+    if (e.kind == sim::EventKind::kCrashNode) {
+      ++counters_.crash_events;
+    } else if (e.kind == sim::EventKind::kRecoverNode ||
+               e.kind == sim::EventKind::kReviveNode) {
+      ++counters_.recover_events;
+    }
+  }
+}
+
+FaultPlan::~FaultPlan() { publish_fault_counters(counters_); }
 
 std::vector<sim::TopologyEvent> FaultPlan::scheduled_events() {
   return events_;

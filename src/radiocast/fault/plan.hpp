@@ -104,4 +104,30 @@ class FaultPlan final : public sim::FaultHook {
   Counters counters_;
 };
 
+/// Throws ContractViolation when `config`'s declarative probabilities are
+/// out of range (loss model and jammer specs; crash bounds are validated
+/// by compile_crash_schedule). Shared by FaultPlan and the batched
+/// LaneFaultPlan so both reject exactly the same configs.
+void validate_fault_config(const FaultConfig& config);
+
+struct CrashScheduleCounts {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+};
+
+/// Compiles `config.crashes` (the CrashSpec only — not extra_events) into
+/// crash/recover TopologyEvents appended to `out`, a pure function of
+/// (config.seed, node_count). Extracted from FaultPlan's constructor so
+/// the batched lane plans (fault/lane_plan.hpp) draw the *same* schedule
+/// for the same per-trial seed as the classic engine — crash trajectories
+/// stay comparable across engines.
+CrashScheduleCounts compile_crash_schedule(
+    const FaultConfig& config, std::size_t node_count,
+    std::vector<sim::TopologyEvent>& out);
+
+/// Publishes `c` into obs::metrics() under the fault.* counter names
+/// (no-op when the registry is disabled or all counters are zero). Called
+/// by every fault hook's destructor — FaultPlan and the lane variants.
+void publish_fault_counters(const FaultPlan::Counters& c);
+
 }  // namespace radiocast::fault

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
+#include <string>
 
 #include "radiocast/common/check.hpp"
+#include "radiocast/fault/lane_plan.hpp"
 #include "radiocast/graph/csr.hpp"
 #include "radiocast/harness/parallel.hpp"
+#include "radiocast/obs/metrics.hpp"
 #include "radiocast/proto/broadcast_batch.hpp"
 #include "radiocast/rng/rng.hpp"
 #include "radiocast/sim/batch/batch_simulator.hpp"
@@ -30,6 +36,10 @@ bool contains(std::span<const NodeId> xs, NodeId v) {
   return std::ranges::find(xs, v) != xs.end();
 }
 
+bool fault_active(const fault::FaultConfig* fault) {
+  return fault != nullptr && fault->any();
+}
+
 // Stop/success bookkeeping shared by both counter-RNG paths. The scalar
 // harness stops at the first slot s >= 1 whose pre-step predicate holds,
 // so on success the final delivery happened in the previous slot:
@@ -44,42 +54,79 @@ void record_outcome(BroadcastOutcome& o, bool all_informed, Slot slots_run) {
 
 // --- batched path ---------------------------------------------------------
 
-void run_block(const graph::CsrTopology& csr, std::span<const NodeId> sources,
-               const proto::BroadcastParams& params, std::uint64_t seed,
-               std::uint64_t block, std::size_t lane_count, Slot max_slots,
-               std::span<BroadcastOutcome> results) {
-  sim::batch::BatchSimulator simulator(csr);
+// One block row: `width` counter-RNG blocks [first_block, first_block +
+// width) advanced by a single width-wide simulator, covering trials
+// [first_block * 64, first_block * 64 + trial_count).
+void run_block_row(const graph::CsrTopology& csr,
+                   std::span<const NodeId> sources,
+                   const proto::BroadcastParams& params, std::uint64_t seed,
+                   std::uint64_t first_block, std::size_t width,
+                   std::size_t trial_count, Slot max_slots,
+                   const fault::FaultConfig* fault_cfg,
+                   std::span<BroadcastOutcome> results) {
+  sim::batch::BatchSimulator simulator(csr, width);
   proto::BatchBgiBroadcast proto(params, csr.node_count(), sources, seed,
-                                 block);
-  LaneMask active = sim::batch::lane_prefix(lane_count);
-  while (simulator.now() < max_slots && active != 0) {
-    simulator.step(proto, active);
+                                 first_block, width);
+  std::optional<fault::LaneFaultPlan> plan;
+  if (fault_active(fault_cfg)) {
+    plan.emplace(*fault_cfg, csr.node_count(), first_block, width,
+                 trial_count);
+  }
+  sim::batch::BatchFaultHook* const hook = plan ? &*plan : nullptr;
+
+  std::vector<LaneMask> active(width);
+  for (std::size_t w = 0; w < width; ++w) {
+    const std::size_t begin = w * kLanes;
+    active[w] = trial_count > begin
+                    ? sim::batch::lane_prefix(trial_count - begin)
+                    : 0;
+  }
+  std::vector<LaneMask> fin(width);
+  std::vector<LaneMask> live(width);
+  const auto any_active = [&active, width]() {
+    LaneMask any = 0;
+    for (std::size_t w = 0; w < width; ++w) {
+      any |= active[w];
+    }
+    return any != 0;
+  };
+
+  while (simulator.now() < max_slots && any_active()) {
+    simulator.step(proto, active, hook);
     const Slot now = simulator.now();
     // The scalar run_until predicate, vectorized: a lane stops when every
     // node is informed or when no informed node has phases left (dead).
-    const LaneMask fin = proto.all_informed_lanes() & active;
-    const LaneMask dead = ~proto.live_relayer_lanes() & active;
-    LaneMask retire = fin | dead;
-    while (retire != 0) {
-      const auto lane = static_cast<std::size_t>(std::countr_zero(retire));
-      retire &= retire - 1;
-      record_outcome(results[lane], ((fin >> lane) & 1U) != 0, now);
+    proto.all_informed_lanes(fin);
+    proto.live_relayer_lanes(live);
+    for (std::size_t w = 0; w < width; ++w) {
+      const LaneMask done = fin[w] & active[w];
+      const LaneMask dead = ~live[w] & active[w];
+      LaneMask retire = done | dead;
+      while (retire != 0) {
+        const auto lane = static_cast<std::size_t>(std::countr_zero(retire));
+        retire &= retire - 1;
+        record_outcome(results[w * kLanes + lane],
+                       ((done >> lane) & 1U) != 0, now);
+      }
+      active[w] &= ~(done | dead);
     }
-    active &= ~(fin | dead);
   }
-  if (active != 0) {
+  if (any_active()) {
     // Horizon reached: like the scalar loop running out of max_slots, the
     // success flag is still evaluated on the final state.
-    const LaneMask fin = proto.all_informed_lanes();
-    for (std::size_t lane = 0; lane < lane_count; ++lane) {
-      if (((active >> lane) & 1U) != 0) {
-        record_outcome(results[lane], ((fin >> lane) & 1U) != 0,
-                       simulator.now());
+    proto.all_informed_lanes(fin);
+    for (std::size_t w = 0; w < width; ++w) {
+      LaneMask rest = active[w];
+      while (rest != 0) {
+        const auto lane = static_cast<std::size_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+        record_outcome(results[w * kLanes + lane],
+                       ((fin[w] >> lane) & 1U) != 0, simulator.now());
       }
     }
   }
-  for (std::size_t lane = 0; lane < lane_count; ++lane) {
-    results[lane].transmissions = simulator.transmissions(lane);
+  for (std::size_t t = 0; t < trial_count; ++t) {
+    results[t].transmissions = simulator.transmissions(t / kLanes, t % kLanes);
   }
 }
 
@@ -89,10 +136,18 @@ BroadcastOutcome run_counter_trial(const graph::Graph& g,
                                    std::span<const NodeId> sources,
                                    const proto::BroadcastParams& params,
                                    std::uint64_t seed, std::size_t trial,
-                                   Slot max_slots) {
+                                   Slot max_slots,
+                                   const fault::FaultConfig* fault_cfg) {
   const std::uint64_t block = trial / kLanes;
   const std::size_t lane = trial % kLanes;
-  sim::Simulator simulator(g, sim::SimOptions{seed, false, false});
+  std::optional<fault::LaneFaultReplay> replay;
+  if (fault_active(fault_cfg)) {
+    replay.emplace(*fault_cfg, g.node_count(), trial);
+  }
+  sim::SimOptions options;
+  options.seed = seed;
+  options.fault = replay ? &*replay : nullptr;
+  sim::Simulator simulator(g, options);
   const std::size_t n = g.node_count();
   std::vector<const proto::BgiBroadcast*> nodes(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -134,11 +189,171 @@ BroadcastOutcome run_counter_trial(const graph::Graph& g,
   return outcome;
 }
 
+std::size_t machine_lane_width() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx512f")) {
+    return 8;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return 4;
+  }
+  return 1;
+#elif defined(__aarch64__)
+  return 4;  // 128-bit NEON: 2 lanes/op, and wider rows still help ILP
+#else
+  return 1;
+#endif
+}
+
+void note_selection(const TrialRunOptions& options,
+                    const EngineSelection& selection) {
+  if (options.selected != nullptr) {
+    *options.selected = selection;
+  }
+  auto& registry = obs::metrics();
+  if (registry.enabled()) {
+    registry
+        .counter(std::string("engine.selected.") +
+                 engine_selection_label(selection))
+        .add(1);
+  }
+}
+
 }  // namespace
+
+const char* engine_selection_label(const EngineSelection& selection) {
+  switch (selection.engine) {
+    case TrialEngine::kBatched:
+      switch (selection.lane_width) {
+        case 1:
+          return "batched_w1";
+        case 4:
+          return "batched_w4";
+        case 8:
+          return "batched_w8";
+        default:
+          return "batched";
+      }
+    case TrialEngine::kScalarCounter:
+      return "scalar_counter";
+    case TrialEngine::kScalarClassic:
+      return "scalar_classic";
+    case TrialEngine::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+std::size_t default_lane_width() {
+  // Startup-only configuration read, resolved once per process: the lane
+  // width decides how many counter-RNG blocks one simulator advances per
+  // step, and the trial <-> (block, lane) mapping is width-invariant, so
+  // this can change wall-clock time only, never an outcome.
+  static const std::size_t width = []() -> std::size_t {
+    // RADIOCAST_LINT_OK(R2): startup-only width knob; outcome-invariant
+    const char* env = std::getenv("RADIOCAST_BATCH_WIDTH");
+    if (env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != nullptr && *end == '\0' &&
+          sim::batch::lane_width_supported(parsed)) {
+        return parsed;
+      }
+      std::fprintf(stderr,
+                   "radiocast: ignoring RADIOCAST_BATCH_WIDTH='%s' "
+                   "(want 1, 4 or 8)\n",
+                   env);
+    }
+    return machine_lane_width();
+  }();
+  return width;
+}
 
 bool batched_bgi_supported(const proto::BroadcastParams& params,
                            const fault::FaultConfig* fault) {
-  return proto::batchable(params) && (fault == nullptr || !fault->any());
+  return proto::batchable(params) &&
+         (!fault_active(fault) || fault::lane_fault_supported(*fault));
+}
+
+std::vector<BroadcastOutcome> run_bgi_broadcast_trials(
+    const graph::Graph& g, std::span<const NodeId> sources,
+    const proto::BroadcastParams& params, std::uint64_t seed,
+    std::size_t trials, Slot max_slots, const TrialRunOptions& options) {
+  RADIOCAST_CHECK_MSG(!sources.empty(), "need at least one initiator");
+  const fault::FaultConfig* const fault = options.fault;
+  TrialEngine engine = options.engine;
+  if (engine == TrialEngine::kAuto) {
+    engine = batched_bgi_supported(params, fault) ? TrialEngine::kBatched
+                                                  : TrialEngine::kScalarClassic;
+  }
+  switch (engine) {
+    case TrialEngine::kBatched: {
+      RADIOCAST_CHECK_MSG(proto::batchable(params),
+                          "parameter set is not batchable "
+                          "(aligned phases, t < 2^16)");
+      RADIOCAST_CHECK_MSG(
+          !fault_active(fault) || fault::lane_fault_supported(*fault),
+          "scripted topology events need a scalar engine");
+      std::size_t width = options.lane_width;
+      if (width == 0) {
+        width = default_lane_width();
+      }
+      RADIOCAST_CHECK_MSG(sim::batch::lane_width_supported(width),
+                          "lane width must be 1, 4 or 8");
+      note_selection(options, {engine, width});
+      std::vector<BroadcastOutcome> results(trials);
+      const graph::CsrTopology csr(g);
+      const std::size_t per_row = kLanes * width;
+      const std::size_t rows = (trials + per_row - 1) / per_row;
+      for_each_trial(rows, options.threads, [&](std::size_t row) {
+        const std::size_t first = row * per_row;
+        const std::size_t trial_count = std::min(per_row, trials - first);
+        // A tail row narrows to the smallest width that still covers its
+        // trials, so a ragged or small request does not pay for words
+        // with no lanes in them. Outcome-invariant: word w keeps counter
+        // block row * width + w, and the dropped words had no trials.
+        const std::size_t words = (trial_count + kLanes - 1) / kLanes;
+        const std::size_t row_width =
+            words <= 1 ? 1 : std::min(width, words <= 4 ? std::size_t{4} : width);
+        run_block_row(csr, sources, params, seed, row * width, row_width,
+                      trial_count, max_slots, fault,
+                      std::span(results).subspan(first, trial_count));
+      });
+      return results;
+    }
+    case TrialEngine::kScalarCounter:
+      RADIOCAST_CHECK_MSG(
+          !fault_active(fault) || fault::lane_fault_supported(*fault),
+          "scripted topology events need the classic scalar engine");
+      note_selection(options, {engine, 0});
+      return run_trials(
+          trials,
+          [&](std::size_t trial) {
+            return run_counter_trial(g, sources, params, seed, trial,
+                                     max_slots, fault);
+          },
+          options.threads);
+    case TrialEngine::kScalarClassic:
+      note_selection(options, {engine, 0});
+      return run_trials(
+          trials,
+          [&](std::size_t trial) {
+            // The bench convention for independent scalar trials: one
+            // mixed seed per trial, one fault-plan seed per trial.
+            std::optional<fault::FaultConfig> trial_fault;
+            if (fault_active(fault)) {
+              trial_fault = fault->with_seed(rng::mix64(fault->seed ^ trial));
+            }
+            return run_bgi_broadcast(
+                g, sources, params, rng::mix64(seed ^ (trial + 1)), max_slots,
+                {}, trial_fault ? &*trial_fault : nullptr);
+          },
+          options.threads);
+    case TrialEngine::kAuto:
+      break;  // resolved above
+  }
+  RADIOCAST_CHECK_MSG(false, "unreachable trial engine");
+  return {};
 }
 
 std::vector<BroadcastOutcome> run_bgi_broadcast_trials(
@@ -146,61 +361,12 @@ std::vector<BroadcastOutcome> run_bgi_broadcast_trials(
     const proto::BroadcastParams& params, std::uint64_t seed,
     std::size_t trials, Slot max_slots, TrialEngine engine,
     std::size_t threads, const fault::FaultConfig* fault) {
-  RADIOCAST_CHECK_MSG(!sources.empty(), "need at least one initiator");
-  if (engine == TrialEngine::kAuto) {
-    engine = batched_bgi_supported(params, fault) ? TrialEngine::kBatched
-                                                  : TrialEngine::kScalarClassic;
-  }
-  if (engine != TrialEngine::kScalarClassic) {
-    RADIOCAST_CHECK_MSG(fault == nullptr || !fault->any(),
-                        "fault injection needs the classic scalar engine");
-  }
-  switch (engine) {
-    case TrialEngine::kBatched: {
-      RADIOCAST_CHECK_MSG(proto::batchable(params),
-                          "parameter set is not batchable "
-                          "(fair coin, aligned phases, t < 256)");
-      std::vector<BroadcastOutcome> results(trials);
-      const graph::CsrTopology csr(g);
-      const std::size_t blocks = (trials + kLanes - 1) / kLanes;
-      for_each_trial(blocks, threads, [&](std::size_t block) {
-        const std::size_t first = block * kLanes;
-        const std::size_t lane_count = std::min(kLanes, trials - first);
-        run_block(csr, sources, params, seed, block, lane_count, max_slots,
-                  std::span(results).subspan(first, lane_count));
-      });
-      return results;
-    }
-    case TrialEngine::kScalarCounter:
-      RADIOCAST_CHECK_MSG(params.stop_probability == 0.5,
-                          "counter-RNG coins are fair by construction");
-      return run_trials(
-          trials,
-          [&](std::size_t trial) {
-            return run_counter_trial(g, sources, params, seed, trial,
-                                     max_slots);
-          },
-          threads);
-    case TrialEngine::kScalarClassic:
-      return run_trials(
-          trials,
-          [&](std::size_t trial) {
-            // The bench convention for independent scalar trials: one
-            // mixed seed per trial, one fault-plan seed per trial.
-            std::optional<fault::FaultConfig> trial_fault;
-            if (fault != nullptr && fault->any()) {
-              trial_fault = fault->with_seed(rng::mix64(fault->seed ^ trial));
-            }
-            return run_bgi_broadcast(
-                g, sources, params, rng::mix64(seed ^ (trial + 1)), max_slots,
-                {}, trial_fault ? &*trial_fault : nullptr);
-          },
-          threads);
-    case TrialEngine::kAuto:
-      break;  // resolved above
-  }
-  RADIOCAST_CHECK_MSG(false, "unreachable trial engine");
-  return {};
+  TrialRunOptions options;
+  options.engine = engine;
+  options.threads = threads;
+  options.fault = fault;
+  return run_bgi_broadcast_trials(g, sources, params, seed, trials, max_slots,
+                                  options);
 }
 
 }  // namespace radiocast::harness

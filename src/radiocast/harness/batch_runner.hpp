@@ -5,31 +5,39 @@
 // Three interchangeable engines produce those outcomes:
 //
 //   kBatched       — the bit-parallel engine: trials are grouped into
-//                    blocks of 64 lanes (sim::batch::BatchSimulator +
+//                    block rows of 64 x lane_width lanes
+//                    (sim::batch::BatchSimulator +
 //                    proto::BatchBgiBroadcast), and the worker pool
-//                    distributes blocks, so the parallelism is
-//                    threads x 64 lanes. Trial t lives in lane t % 64 of
-//                    block t / 64.
+//                    distributes rows, so the parallelism is
+//                    threads x 64 x width lanes. Trial t lives in lane
+//                    t % 64 of counter-RNG block t / 64 for EVERY width —
+//                    the width only decides how many blocks one simulator
+//                    advances per step, never which draws a trial sees.
+//                    Fault configs run as lane masks
+//                    (fault::LaneFaultPlan).
 //   kScalarCounter — one classic Simulator per trial, with Decay coins
 //                    drawn from the same counter-RNG words as the batched
 //                    lanes (proto::CounterCoinBgiBroadcast, block t / 64,
-//                    lane t % 64). Outcome-identical to kBatched trial by
-//                    trial — this is the reference the differential tests
-//                    compare the batched engine against, and the scalar
-//                    baseline the batched speedup is measured against.
+//                    lane t % 64) and faults replayed lane by lane
+//                    (fault::LaneFaultReplay). Outcome-identical to
+//                    kBatched trial by trial — this is the reference the
+//                    differential tests compare the batched engine
+//                    against, and the scalar baseline the batched speedup
+//                    is measured against.
 //   kScalarClassic — the pre-existing path: harness::run_bgi_broadcast
 //                    with the per-node sequential xoshiro streams, trial
 //                    seed rng::mix64(seed ^ (t + 1)), and optional fault
 //                    injection (per-trial plan seed
 //                    rng::mix64(fault->seed ^ t), the bench convention).
 //
-// kAuto picks kBatched whenever the request is batchable — fair coin,
-// aligned phases, t < 256, no faults — and kScalarClassic otherwise, so
-// callers get the fast path for the paper's canonical parameters without
-// giving up faults or ablations. Note the two sides of kAuto sample
-// DIFFERENT random executions (counter-RNG vs xoshiro coins): identical
-// distribution, different draws. Fixed-engine calls are deterministic
-// functions of (g, sources, params, seed, trials).
+// kAuto picks kBatched whenever the request is batchable — aligned
+// phases, t < 2^16, any stop probability, faults without scripted
+// topology events — and kScalarClassic otherwise, so callers get the fast
+// path for the paper's canonical parameters, the coin-bias ablation, and
+// the E22 fault grid without special-casing. Note the two sides of kAuto
+// sample DIFFERENT random executions (counter-RNG vs xoshiro coins):
+// identical distribution, different draws. Fixed-engine calls are
+// deterministic functions of (g, sources, params, seed, trials, fault).
 #pragma once
 
 #include <cstddef>
@@ -45,26 +53,73 @@ namespace radiocast::harness {
 
 enum class TrialEngine {
   kAuto,           ///< kBatched when supported, else kScalarClassic
-  kBatched,        ///< 64-lane bit-parallel engine
+  kBatched,        ///< 64 x width-lane bit-parallel engine
   kScalarCounter,  ///< scalar engine, counter-RNG coins (replay/reference)
   kScalarClassic,  ///< scalar engine, sequential xoshiro coins
 };
 
+/// What a run actually executed: the resolved engine and, for kBatched,
+/// the lane width (words per block row; 0 for the scalar engines). Runs
+/// record this as the `engine.selected.<label>` counter so RunRecords say
+/// which engine produced them.
+struct EngineSelection {
+  TrialEngine engine = TrialEngine::kAuto;
+  std::size_t lane_width = 0;
+
+  friend bool operator==(const EngineSelection&,
+                         const EngineSelection&) = default;
+};
+
+/// Stable label for an EngineSelection: "batched_w1" / "batched_w4" /
+/// "batched_w8" / "scalar_counter" / "scalar_classic".
+const char* engine_selection_label(const EngineSelection& selection);
+
+/// The lane width used when TrialRunOptions::lane_width is 0:
+/// RADIOCAST_BATCH_WIDTH if it strictly parses as 1, 4 or 8 (anything
+/// else warns once and falls through), else the widest width the CPU can
+/// fold in one vector op (8 with AVX-512, 4 with AVX2/NEON, else 1).
+/// Width never changes a single outcome — only wall-clock time.
+std::size_t default_lane_width();
+
 /// True when the batched engine can run this request: batchable protocol
-/// parameters (proto::batchable) and no fault injection (the batch engine
-/// has no fault hook — every lane must stay a pure function of
-/// (seed, lane, slot, node)).
+/// parameters (proto::batchable — aligned phases, t < 2^16, any stop
+/// probability) and a fault config the lane engine can execute as masks
+/// (none, or fault::lane_fault_supported — everything except scripted
+/// extra_events, which may rewire the shared topology).
 bool batched_bgi_supported(const proto::BroadcastParams& params,
                            const fault::FaultConfig* fault = nullptr);
+
+struct TrialRunOptions {
+  TrialEngine engine = TrialEngine::kAuto;
+  /// Worker threads (0 = default_thread_count()).
+  std::size_t threads = 0;
+  /// Fault injection, engine-dependent: kBatched compiles it into a
+  /// fault::LaneFaultPlan per block row, kScalarCounter replays it per
+  /// trial (fault::LaneFaultReplay), kScalarClassic compiles a classic
+  /// FaultPlan at the bench per-trial seed. Not owned; may be null.
+  const fault::FaultConfig* fault = nullptr;
+  /// Words per batched block row (1, 4 or 8; 0 = default_lane_width()).
+  /// Ignored by the scalar engines.
+  std::size_t lane_width = 0;
+  /// When non-null, receives what the run actually executed (kAuto
+  /// resolved, width applied). Useful for RunRecord metadata and tests.
+  EngineSelection* selected = nullptr;
+};
 
 /// `trials` executions of Broadcast_scheme on `g` (every node in `sources`
 /// holds the message at slot 0), stopping each trial at completion, death
 /// or `max_slots` exactly like run_bgi_broadcast. Results are indexed by
-/// trial and invariant under `threads` (0 = default_thread_count()).
+/// trial and invariant under options.threads and options.lane_width.
 ///
-/// Preconditions: kBatched and kScalarCounter require
-/// params.stop_probability == 0.5 and fault == nullptr/inactive; kBatched
-/// additionally requires batchable params (checked).
+/// Preconditions: kBatched requires batchable params and a lane-supported
+/// fault config (checked); kScalarCounter requires a lane-supported fault
+/// config (checked).
+std::vector<BroadcastOutcome> run_bgi_broadcast_trials(
+    const graph::Graph& g, std::span<const NodeId> sources,
+    const proto::BroadcastParams& params, std::uint64_t seed,
+    std::size_t trials, Slot max_slots, const TrialRunOptions& options);
+
+/// Back-compat shim: positional engine/threads/fault.
 std::vector<BroadcastOutcome> run_bgi_broadcast_trials(
     const graph::Graph& g, std::span<const NodeId> sources,
     const proto::BroadcastParams& params, std::uint64_t seed,

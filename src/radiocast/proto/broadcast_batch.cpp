@@ -10,43 +10,71 @@ using sim::batch::kAllLanes;
 using sim::batch::LaneMask;
 
 bool batchable(const BroadcastParams& params) {
-  return params.stop_probability == 0.5 && params.align_phases &&
+  // 16 phase planes hold any t = ceil(log2(N/eps)) an IEEE double can
+  // express (t <= ~1088 even at eps = DBL_MIN), so the plane bound is a
+  // structural invariant rather than a practical restriction.
+  return params.align_phases &&
          params.repetitions() < (1U << BatchBgiBroadcast::kPhasePlanes);
 }
 
 BatchBgiBroadcast::BatchBgiBroadcast(const BroadcastParams& params,
                                      std::size_t node_count,
                                      std::span<const NodeId> sources,
-                                     std::uint64_t seed, std::uint64_t block)
+                                     std::uint64_t seed,
+                                     std::uint64_t first_block,
+                                     std::size_t width)
     : k_(params.phase_length()),
       t_(params.repetitions()),
       rng_(seed),
-      block_(block),
-      decay_(node_count, params.phase_length(), params.send_before_flip),
-      informed_(node_count, 0),
-      done_(node_count, 0),
-      phase_planes_(node_count * kPhasePlanes, 0),
-      starters_(node_count, 0) {
+      block_(first_block),
+      width_(width),
+      decay_(node_count, width, params.phase_length(),
+             params.stop_probability, params.send_before_flip),
+      informed_(node_count * width, 0),
+      done_(node_count * width, 0),
+      phase_planes_(node_count * width * kPhasePlanes, 0),
+      starters_(node_count * width, 0) {
   RADIOCAST_CHECK_MSG(batchable(params),
                       "BatchBgiBroadcast needs a batchable parameter set "
-                      "(fair coin, aligned phases, t < 256)");
+                      "(aligned phases, t < 2^16)");
   RADIOCAST_CHECK_MSG(!sources.empty(), "need at least one initiator");
   for (const NodeId s : sources) {
     RADIOCAST_CHECK_MSG(s < node_count, "source id out of range");
-    informed_[s] = kAllLanes;
+    for (std::size_t w = 0; w < width; ++w) {
+      informed_[std::size_t{s} * width + w] = kAllLanes;
+    }
   }
 }
 
-void BatchBgiBroadcast::emit(Slot now, LaneMask lanes,
+void BatchBgiBroadcast::emit(Slot now, std::span<const LaneMask> lanes,
+                             std::span<const LaneMask> alive,
                              std::span<LaneMask> tx) {
+  if (!alive.empty()) {
+    // Crash retirement: a dead lane abandons its Decay run — no further
+    // transmissions, and no phase credit for the interrupted run. The
+    // scalar CounterCoinBgiBroadcast aborts on the missed poll instead;
+    // same observable state.
+    decay_.retire(alive);
+  }
   if (now % k_ == 0) {
     // Phase boundary: exactly the scalar protocol's start condition —
-    // informed, phases left. Lanes informed mid-phase wait here, like a
-    // scalar node waiting for Time mod k = 0 (align_phases is a batchable
-    // precondition, so this grid is global).
-    const std::size_t n = informed_.size();
-    for (NodeId v = 0; v < n; ++v) {
-      starters_[v] = informed_[v] & ~done_[v];
+    // informed, phases left, and (under faults) alive this slot. Lanes
+    // informed mid-phase wait here, like a scalar node waiting for Time
+    // mod k = 0 (align_phases is a batchable precondition, so this grid
+    // is global). Engine-retired lanes (already finished and recorded —
+    // their transmissions are masked off anyway) are excluded so their
+    // nodes drain out of the coin game instead of silently flipping
+    // coins until the row's slowest lane completes; a draw is a pure
+    // function of its key, so skipping it never perturbs live lanes.
+    const std::size_t total = informed_.size();
+    if (alive.empty()) {
+      for (std::size_t i = 0; i < total; ++i) {
+        starters_[i] = informed_[i] & ~done_[i] & lanes[i % width_];
+      }
+    } else {
+      for (std::size_t i = 0; i < total; ++i) {
+        starters_[i] = informed_[i] & ~done_[i] & alive[i] & lanes[i % width_];
+      }
     }
     decay_.begin_phase(starters_);
   }
@@ -57,14 +85,13 @@ void BatchBgiBroadcast::emit(Slot now, LaneMask lanes,
 }
 
 void BatchBgiBroadcast::credit_phase() {
-  const std::size_t n = informed_.size();
   const std::span<const LaneMask> runs = decay_.runs();
-  for (NodeId v = 0; v < n; ++v) {
-    const LaneMask credit = runs[v];
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const LaneMask credit = runs[i];
     if (credit == 0) {
       continue;
     }
-    LaneMask* const planes = &phase_planes_[v * kPhasePlanes];
+    LaneMask* const planes = &phase_planes_[i * kPhasePlanes];
     LaneMask carry = credit;
     for (std::size_t p = 0; carry != 0 && p < kPhasePlanes; ++p) {
       const LaneMask sum = planes[p] ^ carry;
@@ -78,7 +105,7 @@ void BatchBgiBroadcast::credit_phase() {
     for (std::size_t p = 0; eq != 0 && p < kPhasePlanes; ++p) {
       eq &= ((t_ >> p) & 1U) != 0 ? planes[p] : ~planes[p];
     }
-    done_[v] |= eq;
+    done_[i] |= eq;
   }
 }
 
@@ -86,40 +113,59 @@ void BatchBgiBroadcast::absorb(Slot /*now*/,
                                std::span<const LaneMask> delivered,
                                std::span<const NodeId> touched) {
   for (const NodeId v : touched) {
-    informed_[v] |= delivered[v];
+    const std::size_t i = std::size_t{v} * width_;
+    for (std::size_t w = 0; w < width_; ++w) {
+      informed_[i + w] |= delivered[i + w];
+    }
   }
 }
 
-LaneMask BatchBgiBroadcast::all_informed_lanes() const {
-  LaneMask all = kAllLanes;
-  for (const LaneMask m : informed_) {
-    all &= m;
-    if (all == 0) {
+void BatchBgiBroadcast::all_informed_lanes(std::span<LaneMask> out) const {
+  RADIOCAST_CHECK_MSG(out.size() == width_, "out must hold width words");
+  for (std::size_t w = 0; w < width_; ++w) {
+    out[w] = kAllLanes;
+  }
+  const std::size_t n = informed_.size() / width_;
+  for (std::size_t v = 0; v < n; ++v) {
+    LaneMask any = 0;
+    for (std::size_t w = 0; w < width_; ++w) {
+      out[w] &= informed_[v * width_ + w];
+      any |= out[w];
+    }
+    if (any == 0) {
       break;
     }
   }
-  return all;
 }
 
-LaneMask BatchBgiBroadcast::live_relayer_lanes() const {
-  LaneMask live = 0;
-  const std::size_t n = informed_.size();
-  for (NodeId v = 0; v < n; ++v) {
-    live |= informed_[v] & ~done_[v];
-    if (live == kAllLanes) {
+void BatchBgiBroadcast::live_relayer_lanes(std::span<LaneMask> out) const {
+  RADIOCAST_CHECK_MSG(out.size() == width_, "out must hold width words");
+  for (std::size_t w = 0; w < width_; ++w) {
+    out[w] = 0;
+  }
+  const std::size_t n = informed_.size() / width_;
+  for (std::size_t v = 0; v < n; ++v) {
+    bool full = true;
+    for (std::size_t w = 0; w < width_; ++w) {
+      const std::size_t i = v * width_ + w;
+      out[w] |= informed_[i] & ~done_[i];
+      full = full && out[w] == kAllLanes;
+    }
+    if (full) {
       break;
     }
   }
-  return live;
 }
 
 CounterCoinBgiBroadcast::CounterCoinBgiBroadcast(const BroadcastParams& params,
                                                  std::uint64_t seed,
                                                  std::uint64_t block,
                                                  std::size_t lane)
-    : BgiBroadcast(params), rng_(seed), block_(block), lane_(lane) {
-  RADIOCAST_CHECK_MSG(params.stop_probability == 0.5,
-                      "counter-RNG coins are fair by construction");
+    : BgiBroadcast(params),
+      rng_(seed),
+      coin_(params.stop_probability),
+      block_(block),
+      lane_(lane) {
   RADIOCAST_CHECK_MSG(lane < sim::batch::kLanes, "lane index out of range");
 }
 
@@ -133,9 +179,23 @@ CounterCoinBgiBroadcast::CounterCoinBgiBroadcast(const BroadcastParams& params,
   informed_at_ = 0;
 }
 
+sim::Action CounterCoinBgiBroadcast::on_slot(sim::NodeContext& ctx) {
+  // A gap in the poll clock means this node was dead for at least one
+  // slot (the simulator polls every live node every slot): abort the
+  // interrupted Decay run without phase credit, mirroring the batched
+  // engine's lane retirement. kNever + 1 wraps to 0, so the very first
+  // poll never looks like a gap.
+  if (run_.has_value() && ctx.now() != last_polled_ + 1) {
+    run_.reset();
+  }
+  last_polled_ = ctx.now();
+  return BgiBroadcast::on_slot(ctx);
+}
+
 sim::Action CounterCoinBgiBroadcast::tick_run(sim::NodeContext& ctx) {
-  const std::uint64_t w = decay_coin_word(rng_, block_, ctx.now(), ctx.id());
-  return run_->tick(decay_coin_stops(w, lane_));
+  const std::uint64_t stops =
+      decay_stop_mask(rng_, coin_, block_, ctx.now(), ctx.id());
+  return run_->tick(((stops >> lane_) & 1U) != 0);
 }
 
 }  // namespace radiocast::proto

@@ -1,24 +1,39 @@
-// Broadcast_scheme on the bit-parallel engine: 64 trials per word.
+// Broadcast_scheme on the bit-parallel engine: 64·W trials per block.
 //
 // Two protocol variants live here, and they are two views of the same
 // random experiment:
 //
-//   BatchBgiBroadcast     — all 64 lanes of a block at once, driven by a
-//                           sim::batch::BatchSimulator. Per-node state is
-//                           one LaneMask per kind (informed, done) plus a
-//                           bit-sliced phase counter (8 planes per node).
+//   BatchBgiBroadcast     — all 64·width lanes of a block row at once,
+//                           driven by a sim::batch::BatchSimulator.
+//                           Per-node state is `width` LaneMask words per
+//                           kind (informed, done) plus a bit-sliced phase
+//                           counter (kPhasePlanes planes per word).
 //   CounterCoinBgiBroadcast — one scalar trial on the classic Simulator,
 //                           but drawing its Decay coins from the SAME
 //                           (seed, block, slot, node)-keyed counter-RNG
-//                           words, bit `lane` of each. Lane k of block b
-//                           therefore equals scalar trial 64*b + k
-//                           bit-for-bit — the differential suite in
-//                           tests/test_batch.cpp compares full outcome
-//                           sequences between the two.
+//                           stop masks, bit `lane` of each. Lane k of
+//                           block b therefore equals scalar trial
+//                           64*b + k bit-for-bit — the differential
+//                           suite in tests/test_batch.cpp compares full
+//                           outcome sequences between the two.
 //
 // Supported regime (batched_bgi_supported in harness/batch_runner.hpp):
-// fair coin (stop_probability == 0.5), aligned phases, t < 256, no faults.
-// Everything else falls back to the classic scalar engine.
+// aligned phases and a repetition count the 16-plane phase counters can
+// hold — which is every t an IEEE double epsilon can produce. Any
+// stop_probability in [0, 1] is batchable via bit-sliced coins
+// (rng/sliced_bernoulli.hpp), and fault configurations without scripted
+// topology events run as lane planes (fault/lane_plan.hpp). The
+// start-immediately ablation (align_phases = false) and scripted edge
+// events stay on the classic scalar engine.
+//
+// Crash semantics of the counter-RNG family: a Decay run interrupted by a
+// crash is aborted, not resumed — the lane earns no phase credit for it
+// and waits for the next boundary after revival. The batched side
+// implements this by retiring dead lanes each slot; the scalar replay
+// detects the missed polls (a dead node is not polled) and resets its
+// run. This differs from the classic engine, whose nodes freeze and
+// resume mid-run; it is the lane-compatible semantics, and the
+// differential suite pins both sides of it.
 #pragma once
 
 #include <cstdint>
@@ -28,46 +43,54 @@
 #include "radiocast/proto/broadcast.hpp"
 #include "radiocast/proto/decay_batch.hpp"
 #include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/rng/sliced_bernoulli.hpp"
 #include "radiocast/sim/batch/batch_simulator.hpp"
 
 namespace radiocast::proto {
 
-/// True when BatchBgiBroadcast reproduces the scalar protocol exactly:
-/// fair coin (one random bit per flip — a biased coin cannot be drawn as
-/// a single lane bit), aligned phases (all lanes share the global phase
-/// grid; the start-immediately ablation gives every node its own phase
-/// offset), and a repetition count the 8-plane phase counters can hold.
+/// True when BatchBgiBroadcast reproduces the scalar counter-RNG protocol
+/// exactly: aligned phases (all lanes share the global phase grid; the
+/// start-immediately ablation gives every node its own phase offset) and
+/// a repetition count the 16-plane phase counters can hold. The coin bias
+/// no longer matters — any stop probability is drawn bit-sliced.
 bool batchable(const BroadcastParams& params);
 
 class BatchBgiBroadcast final : public sim::batch::BatchedProtocol {
  public:
-  /// One lane block (number `block`) of Broadcast_scheme trials on a
-  /// `node_count`-node topology: every node in `sources` holds the message
-  /// at slot 0 in every lane. Precondition: batchable(params).
+  /// Lane block rows `first_block` .. `first_block + width - 1` of
+  /// Broadcast_scheme trials on a `node_count`-node topology: every node
+  /// in `sources` holds the message at slot 0 in every lane.
+  /// Precondition: batchable(params), lane_width_supported(width).
   BatchBgiBroadcast(const BroadcastParams& params, std::size_t node_count,
                     std::span<const NodeId> sources, std::uint64_t seed,
-                    std::uint64_t block);
+                    std::uint64_t first_block, std::size_t width);
 
-  void emit(Slot now, sim::batch::LaneMask lanes,
+  void emit(Slot now, std::span<const sim::batch::LaneMask> lanes,
+            std::span<const sim::batch::LaneMask> alive,
             std::span<sim::batch::LaneMask> tx) override;
   void absorb(Slot now, std::span<const sim::batch::LaneMask> delivered,
               std::span<const NodeId> touched) override;
 
-  /// Lanes in which every node is informed (AND-reduction, early exit).
-  sim::batch::LaneMask all_informed_lanes() const;
+  /// out[w] = lanes of word w in which every node is informed
+  /// (AND-reduction, early exit).
+  void all_informed_lanes(std::span<sim::batch::LaneMask> out) const;
 
-  /// Lanes in which some informed node still has Decay phases left — the
-  /// complement of the scalar harness's dead() predicate: once a lane has
-  /// no live relayer, nothing in it can ever change.
-  sim::batch::LaneMask live_relayer_lanes() const;
+  /// out[w] = lanes of word w in which some informed node still has Decay
+  /// phases left — the complement of the scalar harness's dead()
+  /// predicate: once a lane has no live relayer, nothing in it can ever
+  /// change. Liveness here is protocol state, not crash state, exactly
+  /// like the scalar harness's predicates (a crashed lane still counts
+  /// while its informed nodes have phases left — it may be revived).
+  void live_relayer_lanes(std::span<sim::batch::LaneMask> out) const;
 
   unsigned k() const noexcept { return k_; }
   unsigned t() const noexcept { return t_; }
+  std::size_t width() const noexcept { return width_; }
 
   /// Bit-sliced per-(node, lane) count of completed Decay phases: plane p
-  /// of node v holds bit p of each lane's count. Counts never exceed t_;
-  /// batchable() gates t < 2^kPhasePlanes.
-  static constexpr std::size_t kPhasePlanes = 8;
+  /// of element (v, w) holds bit p of each lane's count. Counts never
+  /// exceed t_; batchable() gates t < 2^kPhasePlanes.
+  static constexpr std::size_t kPhasePlanes = 16;
 
  private:
   /// Credits one finished Decay phase to every lane that ran it, and marks
@@ -81,6 +104,7 @@ class BatchBgiBroadcast final : public sim::batch::BatchedProtocol {
   unsigned t_;
   rng::CounterRng rng_;
   std::uint64_t block_;
+  std::size_t width_;
   BatchDecay decay_;
   std::vector<sim::batch::LaneMask> informed_;
   std::vector<sim::batch::LaneMask> done_;
@@ -90,10 +114,15 @@ class BatchBgiBroadcast final : public sim::batch::BatchedProtocol {
 
 /// The scalar protocol with its coins rerouted through the counter RNG:
 /// behaves exactly like BgiBroadcast except that each Decay flip is bit
-/// `lane` of decay_coin_word(seed, block, slot, node) instead of a draw
-/// from the node's sequential xoshiro stream. This is the replay view of
+/// `lane` of the bit-sliced stop mask keyed on (seed, block, slot, node)
+/// instead of a draw from the node's sequential xoshiro stream — for any
+/// stop probability, not just the fair coin. This is the replay view of
 /// batched lane (block, lane) — and the reference implementation the
 /// batched engine is differentially tested against.
+///
+/// It also carries the counter-RNG family's crash semantics: a run whose
+/// node missed a poll (it was dead for at least one slot) is aborted
+/// without phase credit, mirroring the batched engine's lane retirement.
 class CounterCoinBgiBroadcast final : public BgiBroadcast {
  public:
   CounterCoinBgiBroadcast(const BroadcastParams& params, std::uint64_t seed,
@@ -103,13 +132,17 @@ class CounterCoinBgiBroadcast final : public BgiBroadcast {
                           std::uint64_t seed, std::uint64_t block,
                           std::size_t lane);
 
+  sim::Action on_slot(sim::NodeContext& ctx) override;
+
  protected:
   sim::Action tick_run(sim::NodeContext& ctx) override;
 
  private:
   rng::CounterRng rng_;
+  rng::SlicedBernoulli coin_;
   std::uint64_t block_;
   std::size_t lane_;
+  Slot last_polled_ = kNever;
 };
 
 }  // namespace radiocast::proto

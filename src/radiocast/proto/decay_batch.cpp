@@ -3,51 +3,163 @@
 #include <algorithm>
 
 #include "radiocast/common/check.hpp"
+#include "radiocast/sim/batch/kernel_clones.hpp"
 
 namespace radiocast::proto {
 
 using sim::batch::LaneMask;
 
-BatchDecay::BatchDecay(std::size_t node_count, unsigned k,
-                       bool send_before_flip)
+BatchDecay::BatchDecay(std::size_t node_count, std::size_t width, unsigned k,
+                       double stop_probability, bool send_before_flip)
     : k_(k),
       send_before_flip_(send_before_flip),
-      active_(node_count, 0),
-      runs_(node_count, 0) {
+      width_(width),
+      coin_(stop_probability),
+      active_(node_count * width, 0),
+      runs_(node_count * width, 0) {
   RADIOCAST_CHECK_MSG(k >= 1, "Decay needs k >= 1");
+  RADIOCAST_CHECK_MSG(sim::batch::lane_width_supported(width),
+                      "unsupported lane width");
+  RADIOCAST_CHECK_MSG(stop_probability >= 0.0 && stop_probability <= 1.0,
+                      "stop probability must be in [0, 1]");
 }
 
 void BatchDecay::begin_phase(std::span<const LaneMask> starters) {
   RADIOCAST_CHECK_MSG(starters.size() == runs_.size(),
-                      "starter mask count must match node count");
+                      "starter mask count must match node count * width");
   std::copy(starters.begin(), starters.end(), runs_.begin());
   std::copy(starters.begin(), starters.end(), active_.begin());
 }
 
+void BatchDecay::retire(std::span<const LaneMask> alive) {
+  RADIOCAST_CHECK_MSG(alive.size() == runs_.size(),
+                      "alive mask count must match node count * width");
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    active_[i] &= alive[i];
+    runs_[i] &= alive[i];
+  }
+}
+
+/// The width-templated tick kernel, force-inlined into the ISA-cloned
+/// wrappers below (the BatchKernels scheme from sim/batch). Node-major:
+/// one node's W active/tx words are contiguous vector operands, and the
+/// (seed, salt, block, slot) chains are hoisted to a W-entry stack array,
+/// so the per-active-node coin cost starts at one mix64 (slice 0) instead
+/// of three — W of them side by side, which is the multiply chain the
+/// x86-64-v4 clone folds into vpmullq vectors.
+///
+/// Draw construction is unchanged from the word-major spelling (the coin
+/// for (word w, node v) is still coin.mask_from(keyed[w], v)) — CounterRng
+/// draws are pure functions of their key, so the loop order is free.
+struct BatchDecayKernels {
+  template <std::size_t W>
+  RADIOCAST_ALWAYS_INLINE static void tick(BatchDecay& d, Slot now,
+                                           const rng::CounterRng& rng,
+                                           std::uint64_t block0,
+                                           std::span<const LaneMask> lanes,
+                                           std::span<LaneMask> tx) {
+    const std::size_t n = d.active_.size() / W;
+    std::uint64_t keyed[W];
+    for (std::size_t w = 0; w < W; ++w) {
+      keyed[w] = rng.word(kSaltDecayCoin, block0 + w, now);
+    }
+    LaneMask* const active = d.active_.data();
+    LaneMask* const out = tx.data();
+    // Fair coin: slice 0 alone decides, and the comparator collapses to
+    // "continue iff the slice bit is 1", i.e. coins = mix64(keyed ^ v).
+    // Branch-free inner loop — this is the vectorized fast path the
+    // reference workload runs on.
+    const bool fair = d.coin_.scaled() == (std::uint64_t{1} << 31);
+    for (NodeId v = 0; v < n; ++v) {
+      LaneMask* const a = active + std::size_t{v} * W;
+      LaneMask* const t = out + std::size_t{v} * W;
+      LaneMask any = 0;
+      for (std::size_t w = 0; w < W; ++w) {
+        any |= a[w];
+      }
+      if (any == 0) {
+        for (std::size_t w = 0; w < W; ++w) {
+          t[w] = 0;
+        }
+        continue;
+      }
+      // Bit k of the stop mask is lane k's coin coming up "stop" —
+      // exactly the bit the scalar CounterCoinBgiBroadcast feeds
+      // DecayRun::tick. For the fair coin, ~stops is the historical
+      // decay_coin_word.
+      if (d.send_before_flip_) {
+        // Paper order: transmit, then flip ("at least once!").
+        if (fair) {
+          for (std::size_t w = 0; w < W; ++w) {
+            t[w] = a[w] & lanes[w];
+            a[w] &= rng::mix64(keyed[w] ^ v);
+          }
+        } else {
+          for (std::size_t w = 0; w < W; ++w) {
+            t[w] = a[w] & lanes[w];
+            a[w] &= ~d.coin_.mask_from(keyed[w], v);
+          }
+        }
+      } else {
+        // Flip-first ablation: a lane may bow out before transmitting.
+        if (fair) {
+          for (std::size_t w = 0; w < W; ++w) {
+            a[w] &= rng::mix64(keyed[w] ^ v);
+            t[w] = a[w] & lanes[w];
+          }
+        } else {
+          for (std::size_t w = 0; w < W; ++w) {
+            a[w] &= ~d.coin_.mask_from(keyed[w], v);
+            t[w] = a[w] & lanes[w];
+          }
+        }
+      }
+    }
+  }
+};
+
+namespace {
+
+RADIOCAST_TARGET_CLONES
+void tick_lanes_w1(BatchDecay& d, Slot now, const rng::CounterRng& rng,
+                   std::uint64_t block0, std::span<const LaneMask> lanes,
+                   std::span<LaneMask> tx) {
+  BatchDecayKernels::tick<1>(d, now, rng, block0, lanes, tx);
+}
+
+RADIOCAST_TARGET_CLONES
+void tick_lanes_w4(BatchDecay& d, Slot now, const rng::CounterRng& rng,
+                   std::uint64_t block0, std::span<const LaneMask> lanes,
+                   std::span<LaneMask> tx) {
+  BatchDecayKernels::tick<4>(d, now, rng, block0, lanes, tx);
+}
+
+RADIOCAST_TARGET_CLONES
+void tick_lanes_w8(BatchDecay& d, Slot now, const rng::CounterRng& rng,
+                   std::uint64_t block0, std::span<const LaneMask> lanes,
+                   std::span<LaneMask> tx) {
+  BatchDecayKernels::tick<8>(d, now, rng, block0, lanes, tx);
+}
+
+}  // namespace
+
 void BatchDecay::tick(Slot now, const rng::CounterRng& rng,
-                      std::uint64_t block, LaneMask lanes,
+                      std::uint64_t block0, std::span<const LaneMask> lanes,
                       std::span<LaneMask> tx) {
-  const std::size_t n = active_.size();
-  RADIOCAST_CHECK_MSG(tx.size() == n, "tx mask count must match node count");
-  for (NodeId v = 0; v < n; ++v) {
-    LaneMask a = active_[v];
-    if (a == 0) {
-      tx[v] = 0;
-      continue;
-    }
-    // Bit k of the word is lane k's coin: 1 continues, 0 stops. Exactly
-    // the bit the scalar CounterCoinBgiBroadcast feeds DecayRun::tick.
-    const LaneMask coins = decay_coin_word(rng, block, now, v);
-    if (send_before_flip_) {
-      // Paper order: transmit, then flip ("at least once!").
-      tx[v] = a & lanes;
-      active_[v] = a & coins;
-    } else {
-      // Flip-first ablation: a lane may bow out before ever transmitting.
-      a &= coins;
-      tx[v] = a & lanes;
-      active_[v] = a;
-    }
+  RADIOCAST_CHECK_MSG(tx.size() == active_.size(),
+                      "tx mask count must match node count * width");
+  RADIOCAST_CHECK_MSG(lanes.size() == width_,
+                      "engine lane mask count must match width");
+  switch (width_) {
+    case 1:
+      tick_lanes_w1(*this, now, rng, block0, lanes, tx);
+      break;
+    case 4:
+      tick_lanes_w4(*this, now, rng, block0, lanes, tx);
+      break;
+    default:
+      tick_lanes_w8(*this, now, rng, block0, lanes, tx);
+      break;
   }
 }
 

@@ -1,24 +1,30 @@
-// 64 lanes of the paper's Decay procedure, one bit per Monte-Carlo trial.
+// 64·W lanes of the paper's Decay procedure, one bit per Monte-Carlo
+// trial.
 //
 // BatchDecay is the lane-parallel counterpart of DecayRun: every node
-// carries an `active` lane mask (lanes still in the coin game of the
-// current phase) and a `runs` mask (lanes that started the phase). One
-// slot costs two bitwise ops per node plus one counter-RNG word per node
-// that is active in at least one lane — the silent majority costs a load
-// and a store.
+// carries `width` words of an `active` lane mask (lanes still in the coin
+// game of the current phase) and of a `runs` mask (lanes that started the
+// phase), stored node-major — node v's word w lives at index
+// v * width + w, and word w of every node belongs to counter-RNG lane
+// block `block0 + w`. One slot costs a few bitwise ops per (node, word)
+// plus one bit-sliced coin draw per word that is active in at least one
+// lane — the silent majority costs a load and a store.
 //
-// The coin: bit k of CounterRng::word(kSaltDecayCoin, block, slot, node)
-// is lane k's flip at (slot, node) — 1 continues, 0 stops, matching the
-// paper's "until coin = 0". One 64-bit hash serves all 64 lanes, and the
-// scalar counter-RNG protocol (CounterCoinBgiBroadcast) replays single
-// bits of the very same words, which is what makes the batched and scalar
-// engines bit-identical rather than merely statistically equivalent.
+// The coin: bit k of slice 0 is CounterRng::word(kSaltDecayCoin, block,
+// slot, node) — for the fair coin (stop probability 1/2) that single
+// slice IS the draw, 1 continues and 0 stops, matching the paper's "until
+// coin = 0" and bit-identical to the engine's original fair-coin-only
+// trajectories. Biased coins (any stop probability in (0,1), to 2^-32
+// resolution) consume further slices per rng::SlicedBernoulli. The scalar
+// counter-RNG protocol (CounterCoinBgiBroadcast) replays single bits of
+// the very same masks, which is what makes the batched and scalar engines
+// bit-identical rather than merely statistically equivalent.
 //
-// Supported regime: the fair coin only (stop probability 1/2 — one random
-// bit per flip). Biased-coin ablations need a full uniform draw per lane
-// and stay on the scalar engine (harness::batched_bgi_supported gates
-// this). Both transmit-then-flip (the paper's "at least once!") and the
-// flip-first ablation order are supported.
+// Both transmit-then-flip (the paper's "at least once!") and the
+// flip-first ablation order are supported, as is crash retirement:
+// retire() clears dead lanes out of both masks, the lane analog of a
+// crashed node missing its on_slot polls (the counter-RNG family aborts a
+// Decay run interrupted by a crash; see CounterCoinBgiBroadcast).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,7 @@
 
 #include "radiocast/common/types.hpp"
 #include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/rng/sliced_bernoulli.hpp"
 #include "radiocast/sim/batch/batch_simulator.hpp"
 
 namespace radiocast::proto {
@@ -36,52 +43,81 @@ namespace radiocast::proto {
 /// trajectory (but never the classic per-node xoshiro streams).
 inline constexpr std::uint64_t kSaltDecayCoin = 0xDECA'C019'0000'0009ULL;
 
-/// The 64-lane Decay coin word at (slot, node) for one lane block. Bit k
-/// (lane k): 1 = coin 1 (continue), 0 = coin 0 (stop).
+/// The 64-lane fair-coin word at (slot, node) for one lane block. Bit k
+/// (lane k): 1 = coin 1 (continue), 0 = coin 0 (stop). Slice 0 of the
+/// general draw below; kept as the historical fair-coin spelling.
 constexpr std::uint64_t decay_coin_word(const rng::CounterRng& rng,
                                         std::uint64_t block, Slot slot,
                                         NodeId node) noexcept {
   return rng.word(kSaltDecayCoin, block, slot, node);
 }
 
-/// One lane's flip extracted from its block's coin word: true = the coin
-/// came up 0 and the scalar DecayRun must stop transmitting.
+/// One lane's fair-coin flip extracted from its block's coin word: true =
+/// the coin came up 0 and the scalar DecayRun must stop transmitting.
 constexpr bool decay_coin_stops(std::uint64_t coin_word,
                                 std::size_t lane) noexcept {
   return ((coin_word >> lane) & 1U) == 0;
 }
 
+/// The 64-lane stop mask at (slot, node) for one lane block under an
+/// arbitrary compiled stop probability: bit k set = lane k's coin stops.
+/// For the fair coin this is exactly ~decay_coin_word(...).
+constexpr std::uint64_t decay_stop_mask(const rng::CounterRng& rng,
+                                        const rng::SlicedBernoulli& coin,
+                                        std::uint64_t block, Slot slot,
+                                        NodeId node) noexcept {
+  return coin.mask(rng, kSaltDecayCoin, block, slot, node);
+}
+
 class BatchDecay {
  public:
-  /// Lane-parallel Decay(k) state for `node_count` nodes. Preconditions:
-  /// k >= 1. `send_before_flip` selects the paper's transmit-then-flip
-  /// order (true) or the flip-first ablation (false), as in DecayRun.
-  BatchDecay(std::size_t node_count, unsigned k, bool send_before_flip);
+  /// Lane-parallel Decay(k) state for `node_count` nodes × `width` lane
+  /// words. Preconditions: k >= 1, width a supported lane width, and
+  /// stop_probability in [0, 1]. `send_before_flip` selects the paper's
+  /// transmit-then-flip order (true) or the flip-first ablation (false),
+  /// as in DecayRun.
+  BatchDecay(std::size_t node_count, std::size_t width, unsigned k,
+             double stop_probability, bool send_before_flip);
 
   unsigned k() const noexcept { return k_; }
+  const rng::SlicedBernoulli& coin() const noexcept { return coin_; }
 
-  /// Starts a phase: lane set starters[v] of node v begins a fresh
-  /// Decay(k) run (they all transmit first slot under the paper's order).
-  /// Lanes outside starters stay silent for the whole phase.
+  /// Starts a phase: lane set starters[v * width + w] of node v begins a
+  /// fresh Decay(k) run (they all transmit first slot under the paper's
+  /// order). Lanes outside starters stay silent for the whole phase.
   void begin_phase(std::span<const sim::batch::LaneMask> starters);
 
-  /// One slot of the current phase: writes tx[v] for every node (lanes
-  /// transmitting this slot, masked by the engine-active `lanes`) and
-  /// advances the coin game with the (block, now, node)-keyed words.
-  void tick(Slot now, const rng::CounterRng& rng, std::uint64_t block,
-            sim::batch::LaneMask lanes,
+  /// Clears lanes outside `alive` (node-major, node_count * width words)
+  /// out of both the active and runs masks: a crashed lane neither
+  /// transmits nor earns phase credit for the run it abandoned.
+  void retire(std::span<const sim::batch::LaneMask> alive);
+
+  /// One slot of the current phase: writes tx[v * width + w] for every
+  /// node (lanes transmitting this slot, masked by the engine-active
+  /// `lanes[w]`) and advances the coin game with the (block0 + w, now,
+  /// node)-keyed stop masks.
+  void tick(Slot now, const rng::CounterRng& rng, std::uint64_t block0,
+            std::span<const sim::batch::LaneMask> lanes,
             std::span<sim::batch::LaneMask> tx);
 
-  /// runs()[v] = lanes of node v that started the current phase. The
-  /// caller (BatchBgiBroadcast) credits these lanes' phase counters when
-  /// the phase's k-th slot has run.
+  /// runs()[v * width + w] = lanes of node v that started the current
+  /// phase and have not been retired since. The caller
+  /// (BatchBgiBroadcast) credits these lanes' phase counters when the
+  /// phase's k-th slot has run.
   std::span<const sim::batch::LaneMask> runs() const noexcept {
     return runs_;
   }
 
  private:
+  /// The width-templated tick kernel (decay_batch.cpp): a friend struct
+  /// rather than a member template so the ISA-cloned wrappers can be
+  /// plain free functions — GCC does not clone templates.
+  friend struct BatchDecayKernels;
+
   unsigned k_;
   bool send_before_flip_;
+  std::size_t width_;
+  rng::SlicedBernoulli coin_;
   std::vector<sim::batch::LaneMask> active_;
   std::vector<sim::batch::LaneMask> runs_;
 };

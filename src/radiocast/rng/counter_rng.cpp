@@ -9,6 +9,11 @@ double CounterRng::unit(std::uint64_t salt, std::uint64_t a,
   return static_cast<double>(word(salt, a, b) >> 11) * 0x1.0p-53;
 }
 
+double CounterRng::unit(std::uint64_t salt, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c) const noexcept {
+  return static_cast<double>(word(salt, a, b, c) >> 11) * 0x1.0p-53;
+}
+
 bool CounterRng::bernoulli(double p, std::uint64_t salt, std::uint64_t a,
                            std::uint64_t b) const noexcept {
   return unit(salt, a, b) < p;

@@ -53,10 +53,25 @@ class CounterRng {
     return mix64(word(salt, a, b) ^ c);
   }
 
+  /// 64 uniformly random bits keyed on a fourth counter — slice i >= 1 of
+  /// a bit-sliced Bernoulli draw (rng/sliced_bernoulli.hpp) extends the
+  /// three-counter key with the slice index.
+  constexpr std::uint64_t word(std::uint64_t salt, std::uint64_t a,
+                               std::uint64_t b, std::uint64_t c,
+                               std::uint64_t d) const noexcept {
+    return mix64(word(salt, a, b, c) ^ d);
+  }
+
   /// Uniform double in [0, 1) with 53 bits of precision. Bit-compatible
   /// with the draw the fault layer shipped before CounterRng existed.
   double unit(std::uint64_t salt, std::uint64_t a, std::uint64_t b) const
       noexcept;
+
+  /// Uniform double in [0, 1) keyed on three counters — the per-lane
+  /// Gilbert–Elliott chain draws of fault/lane_plan.hpp, whose thresholds
+  /// differ lane by lane and therefore cannot be bit-sliced.
+  double unit(std::uint64_t salt, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c) const noexcept;
 
   /// True with probability `p` (clamped by comparison semantics: p <= 0
   /// is never, p >= 1 is always).

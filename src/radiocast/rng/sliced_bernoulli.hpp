@@ -1,0 +1,117 @@
+// Bit-sliced Bernoulli(p): one hit bit per lane, 64 lanes per draw.
+//
+// Each lane k conceptually owns a uniform u_k in [0, 1) whose binary
+// digits are spread across a sequence of counter-keyed random words: slice
+// i holds digit i (most significant first) of every lane's uniform, in bit
+// k. Comparing u_k < p for all 64 lanes at once is then the classic
+// bit-serial comparator: walk p's binary digits from the top, keep an
+// "equal so far" mask, and a lane drops into "less than" exactly when p
+// has a 1-digit where the lane's uniform has a 0-digit.
+//
+// p is first rounded to a 32-bit fixed-point fraction scaled/2^32 (error
+// at most 2^-33), and trailing zero digits are trimmed: a draw consumes
+// `slices()` words in the worst case, and on average about two, because
+// the comparator stops as soon as the "equal" mask empties — each slice
+// halves it. Dyadic probabilities get the exact fast path for free:
+// p = 0.5 compiles to a single slice whose comparator reduces to ~word,
+// and p = 0/1 consume no randomness at all.
+//
+// The keying contract: slice 0 of mask(rng, salt, a, b, c) is
+// `rng.word(salt, a, b, c)` — for the Decay coin under kSaltDecayCoin
+// this is the exact word the fair-coin engine has always drawn, so every
+// p = 0.5 trajectory recorded before biased coins existed is preserved
+// bit for bit. Slice i >= 1 appends the slice index as a fourth counter:
+// `rng.word(salt, a, b, c, i)`.
+//
+// Hot loops draw through mask_from(keyed, c), where keyed is the hoisted
+// (seed, salt, a, b) chain `rng.word(salt, a, b)`: the per-draw cost then
+// starts at one mix64 instead of three. mask() and mask_from() are the
+// same function by construction, not by convention.
+//
+// The scalar counter-RNG engines replay a single lane by extracting bit
+// `lane` of the very same masks, which is what keeps the batched and
+// scalar paths bit-identical rather than merely equal in distribution.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "radiocast/rng/counter_rng.hpp"
+
+namespace radiocast::rng {
+
+class SlicedBernoulli {
+ public:
+  /// Default: the never-hits distribution (p <= 0).
+  constexpr SlicedBernoulli() noexcept = default;
+
+  explicit SlicedBernoulli(double p) noexcept {
+    if (p >= 1.0) {
+      scaled_ = kOne;
+    } else if (p > 0.0) {
+      scaled_ = static_cast<std::uint64_t>(std::llround(std::ldexp(p, 32)));
+      if (scaled_ > kOne) {
+        scaled_ = kOne;  // defensive: llround at p just below 1
+      }
+    }
+    if (scaled_ != 0 && scaled_ != kOne) {
+      slices_ = static_cast<unsigned>(
+          32 - std::countr_zero(static_cast<std::uint32_t>(scaled_)));
+    }
+  }
+
+  constexpr bool never() const noexcept { return scaled_ == 0; }
+  constexpr bool always() const noexcept { return scaled_ == kOne; }
+
+  /// Number of random words a single draw consumes in the worst case.
+  constexpr unsigned slices() const noexcept { return slices_; }
+
+  /// The compiled fixed-point probability: p rounded to scaled()/2^32.
+  constexpr std::uint64_t scaled() const noexcept { return scaled_; }
+
+  /// 64 independent Bernoulli(p) bits: bit k is set iff lane k's uniform
+  /// falls below p. `keyed` is the hoisted chain rng.word(salt, a, b).
+  constexpr std::uint64_t mask_from(std::uint64_t keyed,
+                                    std::uint64_t c) const noexcept {
+    if (scaled_ == 0) {
+      return 0;
+    }
+    if (scaled_ == kOne) {
+      return ~std::uint64_t{0};
+    }
+    const std::uint64_t base = mix64(keyed ^ c);  // == slice-0 word
+    std::uint64_t lt = 0;
+    std::uint64_t eq = ~std::uint64_t{0};
+    for (unsigned i = 0; i < slices_; ++i) {
+      const std::uint64_t w = i == 0 ? base : mix64(base ^ i);
+      if (((scaled_ >> (31 - i)) & 1U) != 0) {
+        lt |= eq & ~w;
+        eq &= w;
+      } else {
+        eq &= ~w;
+      }
+      if (eq == 0) {
+        break;
+      }
+    }
+    // Lanes still in `eq` match p's trimmed digits exactly; their
+    // remaining (all-zero) digits make u_k == p, i.e. not < p.
+    return lt;
+  }
+
+  /// mask_from with the full four-counter key spelled out.
+  constexpr std::uint64_t mask(const CounterRng& rng, std::uint64_t salt,
+                               std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c) const noexcept {
+    return mask_from(rng.word(salt, a, b), c);
+  }
+
+ private:
+  static constexpr std::uint64_t kOne = std::uint64_t{1} << 32;
+
+  std::uint64_t scaled_ = 0;
+  unsigned slices_ = 0;
+};
+
+}  // namespace radiocast::rng

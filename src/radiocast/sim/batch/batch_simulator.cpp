@@ -3,75 +3,271 @@
 #include <utility>
 
 #include "radiocast/common/check.hpp"
+#include "radiocast/sim/batch/kernel_clones.hpp"
 
 namespace radiocast::sim::batch {
 
-BatchSimulator::BatchSimulator(const graph::Graph& g)
-    : BatchSimulator(graph::CsrTopology(g)) {}
+BatchSimulator::BatchSimulator(const graph::Graph& g, std::size_t width)
+    : BatchSimulator(graph::CsrTopology(g), width) {}
 
-BatchSimulator::BatchSimulator(graph::CsrTopology csr)
+BatchSimulator::BatchSimulator(graph::CsrTopology csr, std::size_t width)
     : csr_(std::move(csr)),
-      tx_(csr_.node_count(), 0),
-      seen_(csr_.node_count(), 0),
-      twice_(csr_.node_count(), 0),
-      delivered_(csr_.node_count(), 0) {
+      width_(width),
+      tx_(csr_.node_count() * width, 0),
+      seen_(csr_.node_count() * width, 0),
+      twice_(csr_.node_count() * width, 0),
+      delivered_(csr_.node_count() * width, 0),
+      dirty_(csr_.node_count(), 0),
+      cand_(width, 0),
+      tx_acc16_(width * kTxAccGroups, 0),
+      tx_counts_(width * kLanes, 0) {
+  RADIOCAST_CHECK_MSG(lane_width_supported(width), "unsupported lane width");
   touched_.reserve(csr_.node_count());
 }
 
-void BatchSimulator::step(BatchedProtocol& proto, LaneMask lanes) {
-  const std::size_t n = csr_.node_count();
-  proto.emit(now_, lanes, tx_);
-
-  // Fold every transmitter into its out-neighbors' carry-save
-  // accumulators. A receiver enters touched_ exactly once, when its
-  // seen word leaves zero — there is no O(n) reset afterwards.
-  for (NodeId u = 0; u < n; ++u) {
-    const LaneMask t = tx_[u];
-    if (t == 0) {
-      continue;
-    }
-    // Bit-sliced transmission counting: add 1 to every lane in t.
-    LaneMask carry = t;
-    for (std::size_t p = 0; carry != 0 && p < kTxPlanes; ++p) {
-      const LaneMask sum = tx_planes_[p] ^ carry;
-      carry &= tx_planes_[p];
-      tx_planes_[p] = sum;
-    }
-    RADIOCAST_CHECK_MSG(carry == 0, "per-lane transmission counter overflow");
-
-    for (const NodeId v : csr_.out_neighbors(u)) {
-      const LaneMask s = seen_[v];
-      if (s == 0) {
-        touched_.push_back(v);
+/// The width-templated step kernel. A friend struct (rather than a member
+/// template) because the ISA-cloned wrappers below are free functions:
+/// GCC does not clone templates, so each wrapper is a plain function the
+/// kernel body is force-inlined into, picking up the clone's ISA.
+struct BatchKernels {
+  /// Widens one slot's byte-lane tally into the persistent u16 tier and
+  /// counts the flush toward the spill budget (see the tier comment in
+  /// the header). Bytes 2m / 2m+1 of slot group g are lanes 16m + g and
+  /// 16m + 8 + g, i.e. u16 groups g and g + 8.
+  template <std::size_t W>
+  RADIOCAST_ALWAYS_INLINE static void flush_tx(BatchSimulator& s,
+                                               std::uint64_t* sacc) {
+    constexpr std::uint64_t kEvenBytes = 0x00FF'00FF'00FF'00FFULL;
+    for (std::size_t w = 0; w < W; ++w) {
+      std::uint64_t* const acc =
+          s.tx_acc16_.data() + w * BatchSimulator::kTxAccGroups;
+      std::uint64_t* const a = sacc + w * 8;
+      for (std::size_t g = 0; g < 8; ++g) {
+        acc[g] += a[g] & kEvenBytes;
+        acc[g + 8] += (a[g] >> 8) & kEvenBytes;
+        a[g] = 0;
       }
-      twice_[v] = twice_[v] | (s & t);
-      seen_[v] = s | t;
+    }
+    if (++s.tx_flushes_ == BatchSimulator::kTxSpillAt) {
+      s.spill_tx_counts();
     }
   }
 
-  // delivered = heard >= once, not >= twice, and was not itself
-  // transmitting (a transmitter hears nothing in its slot).
-  for (const NodeId v : touched_) {
-    delivered_[v] = seen_[v] & ~twice_[v] & ~tx_[v];
+  template <std::size_t W>
+  RADIOCAST_ALWAYS_INLINE static void fold(
+      BatchSimulator& s, std::span<const LaneMask> alive) {
+    const std::size_t n = s.csr_.node_count();
+    const LaneMask* const tx = s.tx_.data();
+    LaneMask* const seen = s.seen_.data();
+    LaneMask* const twice = s.twice_.data();
+    LaneMask* const delivered = s.delivered_.data();
+    std::uint8_t* const dirty = s.dirty_.data();
+
+    // This slot's transmission tally, byte lanes on the stack: byte j of
+    // sacc[w * 8 + g] counts lane 8j + g of word w. Flushed to the u16
+    // tier at the end of the slot, and early every 255 transmitters so
+    // no byte lane can saturate.
+    constexpr std::uint64_t kByteLanes01 = 0x0101'0101'0101'0101ULL;
+    std::uint64_t sacc[W * 8] = {};
+    std::uint32_t tallied = 0;
+
+    // Fold every transmitter into its out-neighbors' carry-save
+    // accumulators. A receiver enters touched_ exactly once, when its
+    // dirty flag flips, and its seen/twice words are initialized right
+    // there — stale values from earlier slots are never read, so there
+    // is no O(n) reset afterwards.
+    for (NodeId u = 0; u < n; ++u) {
+      const LaneMask* const tu = tx + std::size_t{u} * W;
+      LaneMask any = 0;
+      for (std::size_t w = 0; w < W; ++w) {
+        any |= tu[w];
+      }
+      if (any == 0) {
+        continue;
+      }
+
+      // Count this transmitter: 8 branchless shift/and/adds per word in
+      // place of the old bit-plane ripple, whose data-dependent carry
+      // loop (max length across 64 lanes) cost a multiple of that.
+      for (std::size_t w = 0; w < W; ++w) {
+        const LaneMask m = tu[w];
+        if (m == 0) {
+          continue;
+        }
+        std::uint64_t* const a = sacc + w * 8;
+        for (std::size_t g = 0; g < 8; ++g) {
+          a[g] += (m >> g) & kByteLanes01;
+        }
+      }
+      if (++tallied == BatchSimulator::kTxSpillAt) {
+        flush_tx<W>(s, sacc);
+        tallied = 0;
+      }
+
+      for (const NodeId v : s.csr_.out_neighbors(u)) {
+        LaneMask* const sv = seen + std::size_t{v} * W;
+        LaneMask* const tw = twice + std::size_t{v} * W;
+        if (dirty[v] == 0) {
+          dirty[v] = 1;
+          s.touched_.push_back(v);
+          for (std::size_t w = 0; w < W; ++w) {
+            sv[w] = tu[w];
+            tw[w] = 0;
+          }
+        } else {
+          for (std::size_t w = 0; w < W; ++w) {
+            tw[w] |= sv[w] & tu[w];
+            sv[w] |= tu[w];
+          }
+        }
+      }
+    }
+    if (tallied != 0) {
+      flush_tx<W>(s, sacc);
+    }
+
+    // delivered = heard >= once, not >= twice, was not itself
+    // transmitting (a transmitter hears nothing in its slot), and — when
+    // faults are in play — alive (a dead node receives nothing).
+    if (alive.empty()) {
+      for (const NodeId v : s.touched_) {
+        const std::size_t i = std::size_t{v} * W;
+        for (std::size_t w = 0; w < W; ++w) {
+          delivered[i + w] = seen[i + w] & ~twice[i + w] & ~tx[i + w];
+        }
+      }
+    } else {
+      const LaneMask* const al = alive.data();
+      for (const NodeId v : s.touched_) {
+        const std::size_t i = std::size_t{v} * W;
+        for (std::size_t w = 0; w < W; ++w) {
+          delivered[i + w] =
+              seen[i + w] & ~twice[i + w] & ~tx[i + w] & al[i + w];
+        }
+      }
+    }
   }
+};
+
+namespace {
+
+RADIOCAST_TARGET_CLONES
+void fold_lanes_w1(BatchSimulator& s, std::span<const LaneMask> alive) {
+  BatchKernels::fold<1>(s, alive);
+}
+
+RADIOCAST_TARGET_CLONES
+void fold_lanes_w4(BatchSimulator& s, std::span<const LaneMask> alive) {
+  BatchKernels::fold<4>(s, alive);
+}
+
+RADIOCAST_TARGET_CLONES
+void fold_lanes_w8(BatchSimulator& s, std::span<const LaneMask> alive) {
+  BatchKernels::fold<8>(s, alive);
+}
+
+}  // namespace
+
+void BatchSimulator::step(BatchedProtocol& proto,
+                          std::span<const LaneMask> lanes,
+                          BatchFaultHook* fault) {
+  RADIOCAST_CHECK_MSG(lanes.size() == width_,
+                      "engine lane mask count must match width");
+  std::span<const LaneMask> alive{};
+  if (fault != nullptr) {
+    fault->begin_slot(now_);
+    alive = fault->alive();
+    RADIOCAST_CHECK_MSG(alive.empty() || alive.size() == tx_.size(),
+                        "alive plane count must match node count * width");
+  }
+
+  proto.emit(now_, lanes, alive, tx_);
+  if (!alive.empty()) {
+    // Well-behaved protocols already silence dead lanes (retired state);
+    // the engine masks anyway so liveness is a guarantee, not an ask.
+    for (std::size_t i = 0; i < tx_.size(); ++i) {
+      tx_[i] &= alive[i];
+    }
+  }
+
+  switch (width_) {
+    case 1:
+      fold_lanes_w1(*this, alive);
+      break;
+    case 4:
+      fold_lanes_w4(*this, alive);
+      break;
+    default:
+      fold_lanes_w8(*this, alive);
+      break;
+  }
+
+  if (fault != nullptr) {
+    resolve_faults(*fault);
+  }
+
   proto.absorb(now_, delivered_, touched_);
+  // seen_/twice_/delivered_ stay stale: the fold re-initializes a
+  // receiver's words on first touch, and nothing reads an untouched
+  // node's words.
   for (const NodeId v : touched_) {
-    seen_[v] = 0;
-    twice_[v] = 0;
-    delivered_[v] = 0;
+    dirty_[v] = 0;
   }
   touched_.clear();
 
   ++now_;
 }
 
-std::uint64_t BatchSimulator::transmissions(std::size_t lane) const {
-  RADIOCAST_CHECK_MSG(lane < kLanes, "lane index out of range");
-  std::uint64_t count = 0;
-  for (std::size_t p = 0; p < kTxPlanes; ++p) {
-    count |= ((tx_planes_[p] >> lane) & 1U) << p;
+void BatchSimulator::resolve_faults(BatchFaultHook& fault) {
+  // Reactive jammers key on "some delivery is about to happen in this
+  // lane": hand the hook the per-word candidate OR before the
+  // per-receiver fates are resolved.
+  for (std::size_t w = 0; w < width_; ++w) {
+    cand_[w] = 0;
   }
-  return count;
+  for (const NodeId v : touched_) {
+    const std::size_t i = std::size_t{v} * width_;
+    for (std::size_t w = 0; w < width_; ++w) {
+      cand_[w] |= delivered_[i + w];
+    }
+  }
+  fault.resolve_jam(now_, cand_);
+  for (const NodeId v : touched_) {
+    const std::size_t i = std::size_t{v} * width_;
+    for (std::size_t w = 0; w < width_; ++w) {
+      const LaneMask c = delivered_[i + w];
+      if (c != 0) {
+        delivered_[i + w] = fault.deliver_mask(now_, v, w, c);
+      }
+    }
+  }
+}
+
+void BatchSimulator::spill_tx_counts() {
+  for (std::size_t w = 0; w < width_; ++w) {
+    std::uint64_t* const acc = tx_acc16_.data() + w * kTxAccGroups;
+    std::uint64_t* const counts = tx_counts_.data() + w * kLanes;
+    for (std::size_t g = 0; g < kTxAccGroups; ++g) {
+      std::uint64_t v = acc[g];
+      acc[g] = 0;
+      for (std::size_t m = 0; v != 0 && m < kLanes / kTxAccGroups; ++m) {
+        counts[m * kTxAccGroups + g] += v & 0xFFFFU;
+        v >>= 16;
+      }
+    }
+  }
+  tx_flushes_ = 0;
+}
+
+std::uint64_t BatchSimulator::transmissions(std::size_t word,
+                                            std::size_t lane) const {
+  RADIOCAST_CHECK_MSG(word < width_, "lane word out of range");
+  RADIOCAST_CHECK_MSG(lane < kLanes, "lane index out of range");
+  const std::uint64_t pending =
+      (tx_acc16_[word * kTxAccGroups + (lane % kTxAccGroups)] >>
+       (16 * (lane / kTxAccGroups))) &
+      0xFFFFU;
+  return tx_counts_[word * kLanes + lane] + pending;
 }
 
 }  // namespace radiocast::sim::batch

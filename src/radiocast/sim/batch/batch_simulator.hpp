@@ -1,40 +1,45 @@
-// The bit-parallel batched slot engine: 64 Monte-Carlo trials per word.
+// The bit-parallel batched slot engine: 64·W Monte-Carlo trials per step.
 //
 // A scalar Simulator steps one trial at a time; a BatchSimulator steps a
-// *lane block* of 64 independent trials of the same protocol on the same
-// topology simultaneously. Per-node state is structure-of-arrays: every
-// node owns one std::uint64_t per state kind, and bit k of each word
-// belongs to trial lane k. All 64 lanes share the slot loop, the CSR
-// neighbor walks, and the cache lines — the per-slot cost is the same as
-// one scalar trial's, amortized 64 ways.
+// *lane block* of 64 × width independent trials of the same protocol on
+// the same topology simultaneously. Per-node state is structure-of-arrays
+// and node-major: every node owns `width` contiguous std::uint64_t words
+// per state kind (node v's word w at index v * width + w), and bit k of
+// word w belongs to trial lane k of counter-RNG block first_block + w.
+// All lanes share the slot loop, the CSR neighbor walks, and the cache
+// lines — and because a node's words are contiguous, the inner per-word
+// loops are fixed-trip and auto-vectorize: the step kernel is compiled
+// once per supported width and (on x86-64 ELF) cloned for AVX2/AVX-512
+// via function multiversioning, so W = 4 folds a node's lanes in one
+// 256-bit op and W = 8 in one 512-bit op.
 //
 // The radio semantics ("receive iff exactly one in-neighbor transmits")
-// reduce to a two-word carry-save accumulator per receiver:
+// reduce to a two-word carry-save accumulator per receiver and word:
 //
 //   twice |= seen & tx;   // lanes hearing a 2nd transmitter -> collision
 //   seen  |= tx;          // lanes hearing a 1st (or later) transmitter
 //
 // After all transmitters are folded in, `seen & ~twice` is exactly the
 // "heard exactly one" lane set, and masking with ~tx[v] removes lanes in
-// which v itself transmitted (a transmitter hears nothing). Two bitwise
-// ops per (transmitter, out-neighbor) arc resolve the rule for all 64
-// trials at once.
+// which v itself transmitted (a transmitter hears nothing).
 //
-// What the batch engine deliberately does NOT support — faults, collision
-// detection, per-slot traces, topology events — is what keeps every lane
-// a pure function of (seed, lane, slot, node); harness::run_bgi_broadcast_
-// trials falls back to the scalar Simulator whenever any of those is
-// requested (see harness/batch_runner.hpp and docs/PARALLELISM.md).
+// Faults run as lane masks through the BatchFaultHook seam: the hook owns
+// per-lane crash planes (alive()), jammer planes, and loss masks, all
+// keyed on the same counter-RNG draws the scalar replay consumes — the
+// engine itself never draws randomness and never includes a fault header.
+// What stays unsupported is anything that mutates the shared topology
+// (scripted edge events) plus collision detection and per-slot traces;
+// harness::run_bgi_broadcast_trials falls back to the scalar Simulator
+// for those (see harness/batch_runner.hpp and docs/PARALLELISM.md).
 //
-// Determinism: a BatchSimulator never draws randomness itself. Protocols
-// draw counter-based coins (rng::CounterRng) keyed on (seed, lane block,
-// slot, node), so lane k of block b is bit-identical to scalar trial
-// 64*b + k replayed through the counter-RNG protocol variant — the
-// differential suite (tests/test_batch.cpp) pins this down outcome by
-// outcome.
+// Determinism: lane k of word w of a simulator started at first_block b0
+// is bit-identical to scalar trial 64*(b0+w) + k replayed through the
+// counter-RNG protocol variant, for every width — the trial <-> (block,
+// lane) mapping never depends on W, so width is a throughput knob, not
+// part of the determinism contract. The differential suite
+// (tests/test_batch.cpp) pins this down outcome by outcome.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -45,7 +50,7 @@
 
 namespace radiocast::sim::batch {
 
-/// One bit per trial lane; bit k belongs to lane k of the block.
+/// One bit per trial lane; bit k belongs to lane k of a block.
 using LaneMask = std::uint64_t;
 
 /// Lanes per block == bits per machine word.
@@ -54,72 +59,153 @@ inline constexpr std::size_t kLanes = 64;
 /// All 64 lanes.
 inline constexpr LaneMask kAllLanes = ~LaneMask{0};
 
+/// Largest supported lane width (words per block row).
+inline constexpr std::size_t kMaxLaneWidth = 8;
+
+/// Supported widths: 1 (64 trials), 4 (256, one AVX2 vector), 8 (512,
+/// one AVX-512 vector). The step kernel is instantiated per width.
+constexpr bool lane_width_supported(std::size_t width) noexcept {
+  return width == 1 || width == 4 || width == 8;
+}
+
 /// The first `count` lanes (count <= 64); ragged tail blocks use this.
 constexpr LaneMask lane_prefix(std::size_t count) noexcept {
   return count >= kLanes ? kAllLanes : (LaneMask{1} << count) - 1;
 }
 
-/// A protocol that can advance 64 trial lanes of every node at once.
+/// A protocol that can advance 64·width trial lanes of every node at
+/// once.
 ///
 /// Contract per slot: the engine calls emit(), resolves the exactly-one
 /// rule, then calls absorb() with the delivered lanes. Implementations
-/// keep all per-node state as LaneMask SoA (see proto/broadcast_batch).
+/// keep all per-node state as node-major LaneMask SoA, width words per
+/// node (see proto/broadcast_batch).
 class BatchedProtocol {
  public:
   virtual ~BatchedProtocol() = default;
 
-  /// Writes tx[v] = lanes in which node v transmits at `now`, for every
-  /// node (stale entries must be overwritten). `lanes` is the engine's
-  /// still-active lane set; bits outside it must be 0 in tx so retired
-  /// lanes stop contributing work and statistics.
-  virtual void emit(Slot now, LaneMask lanes, std::span<LaneMask> tx) = 0;
+  /// Writes tx[v * width + w] = lanes in which node v transmits at `now`,
+  /// for every node (stale entries must be overwritten). `lanes[w]` is
+  /// the engine's still-active lane set of word w; bits outside it must
+  /// be 0 in tx so retired lanes stop contributing work and statistics.
+  /// `alive` is empty (no faults) or the fault hook's per-node liveness
+  /// planes — a protocol must neither transmit nor credit progress in
+  /// dead lanes (the engine additionally masks tx defensively).
+  virtual void emit(Slot now, std::span<const LaneMask> lanes,
+                    std::span<const LaneMask> alive,
+                    std::span<LaneMask> tx) = 0;
 
-  /// delivered[v] = lanes in which v heard exactly one in-neighbor at
-  /// `now`. Only entries for nodes in `touched` are meaningful (all other
-  /// nodes heard nothing in every lane).
+  /// delivered[v * width + w] = lanes in which v heard exactly one
+  /// in-neighbor at `now` (post fault resolution). Only entries for nodes
+  /// in `touched` are meaningful (all other nodes heard nothing in every
+  /// lane).
   virtual void absorb(Slot now, std::span<const LaneMask> delivered,
                       std::span<const NodeId> touched) = 0;
+};
+
+/// Per-lane fault resolution, implemented by fault::LaneFaultPlan. The
+/// engine drives it in scalar Simulator order: events/jam planes at slot
+/// begin, then per-receiver delivery fates for exactly-one candidates.
+class BatchFaultHook {
+ public:
+  virtual ~BatchFaultHook() = default;
+
+  /// Called at the top of every slot, before the protocol is polled:
+  /// applies due crash/recovery events and resolves the slot's
+  /// non-reactive jammer planes.
+  virtual void begin_slot(Slot now) = 0;
+
+  /// Per-node liveness planes, node-major (node_count * width words), or
+  /// an empty span when no crash faults are configured. Valid until the
+  /// next begin_slot().
+  virtual std::span<const LaneMask> alive() const = 0;
+
+  /// Called once per slot after the exactly-one rule, with candidates[w]
+  /// = the OR over all receivers of word w's delivered lanes: resolves
+  /// reactive jammers (which fire only on lanes where some delivery is
+  /// about to happen) and spends their budgets.
+  virtual void resolve_jam(Slot now,
+                           std::span<const LaneMask> candidates) = 0;
+
+  /// Resolves receiver v's word-w candidates (nonzero): returns the lanes
+  /// whose delivery survives jamming and loss. Called once per touched
+  /// (receiver, word) pair, in increasing receiver id — the same order
+  /// the scalar engine resolves deliveries in.
+  virtual LaneMask deliver_mask(Slot now, NodeId v, std::size_t word,
+                                LaneMask candidates) = 0;
 };
 
 class BatchSimulator {
  public:
   /// Snapshots `g` (the lanes share one immutable topology).
-  explicit BatchSimulator(const graph::Graph& g);
+  explicit BatchSimulator(const graph::Graph& g, std::size_t width = 1);
 
   /// Adopts an existing CSR snapshot (no Graph needed).
-  explicit BatchSimulator(graph::CsrTopology csr);
+  explicit BatchSimulator(graph::CsrTopology csr, std::size_t width = 1);
 
   std::size_t node_count() const noexcept { return csr_.node_count(); }
+  std::size_t width() const noexcept { return width_; }
   Slot now() const noexcept { return now_; }
 
-  /// Runs one slot for the lanes in `lanes`: asks `proto` to emit
-  /// transmit masks, resolves the exactly-one rule for all lanes via the
-  /// carry-save accumulator, then hands the delivered masks back through
-  /// absorb(). Advances the clock.
-  void step(BatchedProtocol& proto, LaneMask lanes);
+  /// Runs one slot for the lanes in `lanes` (width words): asks `proto`
+  /// to emit transmit masks, resolves the exactly-one rule for all lanes
+  /// via the carry-save accumulator, applies `fault` (may be null), then
+  /// hands the delivered masks back through absorb(). Advances the clock.
+  void step(BatchedProtocol& proto, std::span<const LaneMask> lanes,
+            BatchFaultHook* fault = nullptr);
 
-  /// Transmissions accumulated in `lane` over all step() calls in which
-  /// the lane was active (bit-sliced counters, folded here on demand).
-  std::uint64_t transmissions(std::size_t lane) const;
+  /// Transmissions accumulated in lane `lane` of word `word` over all
+  /// step() calls in which the lane was active (bit-sliced counters,
+  /// folded here on demand).
+  std::uint64_t transmissions(std::size_t word, std::size_t lane) const;
 
  private:
+  friend struct BatchKernels;
+
+  void resolve_faults(BatchFaultHook& fault);
+
   graph::CsrTopology csr_;
+  std::size_t width_;
   Slot now_ = 0;
 
-  // Per-node lane masks, reused across slots. seen_/twice_/delivered_
-  // are all-zero between slots except during step() (touched_ tracks
-  // exactly which entries were dirtied, so resets are O(touched)).
+  // Per-(node, word) lane masks, node-major, reused across slots.
+  // seen_/twice_/delivered_ carry stale values between slots: the fold
+  // initializes a receiver's words when its dirty flag flips (first
+  // transmitter into it this slot), and every later read loops over
+  // touched_ only, so no per-slot reset pass is needed.
   std::vector<LaneMask> tx_;
   std::vector<LaneMask> seen_;
   std::vector<LaneMask> twice_;
   std::vector<LaneMask> delivered_;
   std::vector<NodeId> touched_;
+  std::vector<std::uint8_t> dirty_;
 
-  /// Bit-sliced per-lane transmission totals: plane p holds bit p of each
-  /// lane's count. A transmitter's tx word is folded in by ripple-carry
-  /// (amortized ~2 word ops), so counting never loops over lanes.
-  static constexpr std::size_t kTxPlanes = 48;
-  std::array<LaneMask, kTxPlanes> tx_planes_{};
+  /// Scratch for resolve_faults: candidates[w] across all receivers.
+  std::vector<LaneMask> cand_;
+
+  /// Per-lane transmission totals, kept in three tiers so the hot fold
+  /// never walks a data-dependent carry chain (the old bit-plane ripple
+  /// cost ~7 dependent iterations per transmitter — the max carry length
+  /// across 64 lanes defeats the usual amortization):
+  ///
+  ///   1. The fold kernel tallies one slot into stack-local byte lanes
+  ///      (byte j of group g = lane 8j + g): 8 branchless
+  ///      shift/and/adds per transmitting word.
+  ///   2. flush_tx widens them into tx_acc16_ once per slot (u16 lanes;
+  ///      group G = lane & 15, u16 slot lane >> 4), plus mid-slot
+  ///      whenever 255 transmitters have been tallied (a byte lane gains
+  ///      at most 1 per transmitter, so it can never saturate).
+  ///   3. spill_tx_counts() drains tx_acc16_ into tx_counts_ after
+  ///      kTxSpillAt flushes — a u16 lane gains at most 255 per flush,
+  ///      so 255 flushes stay below 65535.
+  ///
+  /// transmissions() sums tiers 3 and 2; tier 1 never outlives step().
+  static constexpr std::size_t kTxAccGroups = 16;
+  static constexpr std::uint32_t kTxSpillAt = 255;
+  void spill_tx_counts();
+  std::vector<std::uint64_t> tx_acc16_;
+  std::vector<std::uint64_t> tx_counts_;
+  std::uint32_t tx_flushes_ = 0;
 };
 
 }  // namespace radiocast::sim::batch

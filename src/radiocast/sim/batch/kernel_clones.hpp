@@ -1,0 +1,51 @@
+// Function-multiversioning macros for the batched engine's hot kernels.
+//
+// RADIOCAST_TARGET_CLONES compiles the same portable C++ body once per
+// ISA level and dispatches through an ifunc at load time, so the default
+// build stays runnable on any x86-64 while hosts with AVX2 / AVX-512 fold
+// a node's 4/8 lane words in one vector op. The clone targets are the
+// x86-64 micro-architecture levels rather than single features: v4 brings
+// AVX-512F/DQ (vpmullq — the 64-bit multiplies inside mix64 vectorize as
+// one instruction), v3 brings AVX2. Requires ELF ifunc support;
+// everywhere else the macro compiles to nothing and the "default" body is
+// the only one.
+//
+// GCC does not clone templates, so width-templated kernel bodies are
+// force-inlined (RADIOCAST_ALWAYS_INLINE) into plain cloned free
+// functions — see BatchKernels in batch_simulator.cpp for the scheme.
+//
+// ThreadSanitizer cannot run ifunc resolvers (they fire during
+// relocation, before the TSan runtime is initialized — any instrumented
+// binary segfaults on startup), so TSan builds compile only the default
+// body. TSan validates interleavings, not throughput; ASan/UBSan are
+// unaffected and keep the clones.
+//
+// NOTE: the kernel translation units that use these macros are compiled
+// at -O3 (see src/CMakeLists.txt): GCC 12's -O2 vectorizer cost model
+// refuses the mix64 multiply chains that are exactly the point of the
+// wider clones.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define RADIOCAST_NO_TARGET_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RADIOCAST_NO_TARGET_CLONES 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__ELF__) && \
+    !defined(RADIOCAST_NO_TARGET_CLONES) && \
+    (defined(__clang__) ? __clang_major__ >= 14 : defined(__GNUC__))
+#define RADIOCAST_TARGET_CLONES \
+  __attribute__(( \
+      target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define RADIOCAST_TARGET_CLONES
+#endif
+
+#if defined(__GNUC__)
+#define RADIOCAST_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define RADIOCAST_ALWAYS_INLINE inline
+#endif

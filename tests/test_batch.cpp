@@ -3,11 +3,13 @@
 // The batched engine's correctness claim is not statistical but exact:
 // lane k of block b must produce the SAME BroadcastOutcome as scalar trial
 // 64*b + k replayed through the counter-RNG protocol — same success flag,
-// same completion slot, same slots_run, same transmission count. These
+// same completion slot, same slots_run, same transmission count — for
+// every lane width (1, 4, 8 words per block row), for every supported
+// stop probability, and under every lane-supported fault config. These
 // tests pin that equivalence on the paper's topologies, across ragged
-// trial counts (partial final blocks), across thread counts, and on the
-// retirement edge cases (every lane finishing in the same slot, stragglers,
-// n = 1, horizon clamps).
+// trial counts (partial final blocks), across thread counts and widths,
+// and on the retirement edge cases (every lane finishing in the same
+// slot, stragglers, n = 1, horizon clamps, crash retirement).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,12 +18,15 @@
 #include <thread>
 #include <vector>
 
+#include "radiocast/fault/config.hpp"
+#include "radiocast/fault/lane_plan.hpp"
 #include "radiocast/graph/families.hpp"
 #include "radiocast/graph/generators.hpp"
 #include "radiocast/harness/batch_runner.hpp"
 #include "radiocast/proto/broadcast_batch.hpp"
 #include "radiocast/proto/decay_batch.hpp"
 #include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/rng/sliced_bernoulli.hpp"
 #include "radiocast/sim/batch/batch_simulator.hpp"
 
 namespace radiocast {
@@ -29,6 +34,8 @@ namespace {
 
 using harness::BroadcastOutcome;
 using harness::TrialEngine;
+
+constexpr std::uint64_t kSeed = 0xB17BA7C4;
 
 // --- counter RNG ----------------------------------------------------------
 
@@ -53,6 +60,9 @@ TEST(CounterRng, UnitUsesTheTop53Bits) {
     // The documented derivation, bit for bit (the FaultPlan streams were
     // migrated onto this and must not move).
     EXPECT_EQ(u, static_cast<double>(rng.word(1, i, 0) >> 11) * 0x1.0p-53);
+    // The four-counter overload chains the same way.
+    EXPECT_EQ(rng.unit(1, i, 0, 9),
+              static_cast<double>(rng.word(1, i, 0, 9) >> 11) * 0x1.0p-53);
   }
 }
 
@@ -71,6 +81,95 @@ TEST(BatchSimulator, LanePrefixShapes) {
   EXPECT_EQ(sim::batch::lane_prefix(64), sim::batch::kAllLanes);
 }
 
+// --- bit-sliced Bernoulli -------------------------------------------------
+
+TEST(SlicedBernoulli, FairCoinReproducesTheLegacyWord) {
+  // p = 0.5 must compile to one slice whose stop mask is exactly the
+  // complement of the legacy fair-coin word: every trajectory recorded
+  // before biased coins existed is preserved bit for bit.
+  const rng::SlicedBernoulli coin(0.5);
+  EXPECT_EQ(coin.slices(), 1U);
+  const rng::CounterRng rng(kSeed);
+  for (std::uint64_t slot = 0; slot < 32; ++slot) {
+    const std::uint64_t legacy = proto::decay_coin_word(rng, 7, slot, 3);
+    EXPECT_EQ(proto::decay_stop_mask(rng, coin, 7, slot, 3), ~legacy);
+  }
+}
+
+TEST(SlicedBernoulli, DegenerateProbabilitiesConsumeNoRandomness) {
+  const rng::CounterRng rng(1);
+  const rng::SlicedBernoulli zero(0.0);
+  EXPECT_TRUE(zero.never());
+  EXPECT_EQ(zero.mask(rng, 1, 2, 3, 4), 0U);
+  const rng::SlicedBernoulli one(1.0);
+  EXPECT_TRUE(one.always());
+  EXPECT_EQ(one.mask(rng, 1, 2, 3, 4), ~std::uint64_t{0});
+  EXPECT_TRUE(rng::SlicedBernoulli(-0.25).never());
+  EXPECT_TRUE(rng::SlicedBernoulli(2.0).always());
+  EXPECT_TRUE(rng::SlicedBernoulli().never());
+}
+
+TEST(SlicedBernoulli, DyadicProbabilitiesTrimToFewSlices) {
+  EXPECT_EQ(rng::SlicedBernoulli(0.25).slices(), 2U);
+  EXPECT_EQ(rng::SlicedBernoulli(0.75).slices(), 2U);
+  EXPECT_EQ(rng::SlicedBernoulli(0.375).slices(), 3U);
+  // Non-dyadic p rounds to 32 fractional bits and keeps them all.
+  EXPECT_EQ(rng::SlicedBernoulli(1.0 / 3.0).slices(), 32U);
+}
+
+TEST(SlicedBernoulli, MaskFromIsTheHoistedFullKey) {
+  const rng::CounterRng rng(77);
+  const rng::SlicedBernoulli coin(0.3);
+  for (std::uint64_t c = 0; c < 20; ++c) {
+    EXPECT_EQ(coin.mask(rng, 5, 6, 7, c),
+              coin.mask_from(rng.word(5, 6, 7), c));
+  }
+}
+
+TEST(SlicedBernoulli, LaneBitMatchesTheScalarComparator) {
+  // Reference semantics: lane k hits iff the top slices() binary digits
+  // of its uniform, read MSB-first across the slice words, are strictly
+  // below the same digits of the compiled fixed-point p (p's remaining
+  // digits are zero by construction, so the prefix decides).
+  const rng::CounterRng rng(2027);
+  for (const double p : {0.25, 0.3, 0.6, 1.0 / 3.0, 0.9}) {
+    const rng::SlicedBernoulli coin(p);
+    const unsigned s = coin.slices();
+    ASSERT_GT(s, 0U);
+    const std::uint64_t p_prefix = coin.scaled() >> (32 - s);
+    for (std::uint64_t c = 0; c < 8; ++c) {
+      const std::uint64_t hits = coin.mask(rng, 11, 12, 13, c);
+      const std::uint64_t base = rng.word(11, 12, 13, c);
+      for (std::size_t lane = 0; lane < sim::batch::kLanes; ++lane) {
+        std::uint64_t u_prefix = 0;
+        for (unsigned i = 0; i < s; ++i) {
+          const std::uint64_t w = i == 0 ? base : rng.word(11, 12, 13, c, i);
+          u_prefix = (u_prefix << 1) | ((w >> lane) & 1U);
+        }
+        EXPECT_EQ(((hits >> lane) & 1U) != 0, u_prefix < p_prefix)
+            << "p=" << p << " c=" << c << " lane=" << lane;
+      }
+    }
+  }
+}
+
+TEST(SlicedBernoulli, HitRateTracksP) {
+  const rng::CounterRng rng(404);
+  for (const double p : {0.1, 0.3, 0.5, 0.85}) {
+    const rng::SlicedBernoulli coin(p);
+    std::uint64_t hits = 0;
+    constexpr std::uint64_t kDraws = 4000;
+    for (std::uint64_t c = 0; c < kDraws; ++c) {
+      hits += static_cast<std::uint64_t>(
+          std::popcount(coin.mask(rng, 21, 22, 23, c)));
+    }
+    const double rate =
+        static_cast<double>(hits) /
+        static_cast<double>(kDraws * sim::batch::kLanes);
+    EXPECT_NEAR(rate, p, 0.01) << "p=" << p;
+  }
+}
+
 // --- differential harness -------------------------------------------------
 
 proto::BroadcastParams params_for(const graph::Graph& g) {
@@ -82,37 +181,60 @@ proto::BroadcastParams params_for(const graph::Graph& g) {
   };
 }
 
+constexpr std::size_t kWidths[] = {1, 4, 8};
+
+// The engine-equivalence oracle: one scalar counter-RNG replay per trial
+// vs the batched engine at every supported lane width — identical
+// outcomes, field for field, trial for trial.
+void expect_engines_agree(const graph::Graph& g,
+                          std::span<const NodeId> sources,
+                          const proto::BroadcastParams& params,
+                          std::size_t trials,
+                          const fault::FaultConfig* fault = nullptr,
+                          Slot horizon = Slot{1} << 20) {
+  ASSERT_TRUE(harness::batched_bgi_supported(params, fault));
+  harness::TrialRunOptions scalar_opt;
+  scalar_opt.engine = TrialEngine::kScalarCounter;
+  scalar_opt.threads = 1;
+  scalar_opt.fault = fault;
+  const auto scalar = harness::run_bgi_broadcast_trials(
+      g, sources, params, kSeed, trials, horizon, scalar_opt);
+  ASSERT_EQ(scalar.size(), trials);
+  for (const std::size_t width : kWidths) {
+    harness::TrialRunOptions opt;
+    opt.engine = TrialEngine::kBatched;
+    opt.threads = 1;
+    opt.fault = fault;
+    opt.lane_width = width;
+    const auto batched = harness::run_bgi_broadcast_trials(
+        g, sources, params, kSeed, trials, horizon, opt);
+    ASSERT_EQ(batched.size(), trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      EXPECT_EQ(batched[t], scalar[t])
+          << "width " << width << ", trial " << t << " (block " << t / 64
+          << ", lane " << t % 64
+          << "): batched {informed=" << batched[t].all_informed
+          << ", completion=" << batched[t].completion_slot
+          << ", slots=" << batched[t].slots_run
+          << ", tx=" << batched[t].transmissions << "} vs scalar {informed="
+          << scalar[t].all_informed
+          << ", completion=" << scalar[t].completion_slot
+          << ", slots=" << scalar[t].slots_run
+          << ", tx=" << scalar[t].transmissions << "}";
+    }
+  }
+}
+
 void expect_batched_equals_scalar(const graph::Graph& g,
                                   std::span<const NodeId> sources,
                                   std::size_t trials,
                                   Slot horizon = Slot{1} << 20) {
-  const proto::BroadcastParams params = params_for(g);
-  ASSERT_TRUE(harness::batched_bgi_supported(params));
-  const auto scalar = harness::run_bgi_broadcast_trials(
-      g, sources, params, 0xB17BA7C4, trials, horizon,
-      TrialEngine::kScalarCounter, /*threads=*/1);
-  const auto batched = harness::run_bgi_broadcast_trials(
-      g, sources, params, 0xB17BA7C4, trials, horizon, TrialEngine::kBatched,
-      /*threads=*/1);
-  ASSERT_EQ(scalar.size(), trials);
-  ASSERT_EQ(batched.size(), trials);
-  for (std::size_t t = 0; t < trials; ++t) {
-    EXPECT_EQ(batched[t], scalar[t])
-        << "trial " << t << " (block " << t / 64 << ", lane " << t % 64
-        << "): batched {informed=" << batched[t].all_informed
-        << ", completion=" << batched[t].completion_slot
-        << ", slots=" << batched[t].slots_run
-        << ", tx=" << batched[t].transmissions << "} vs scalar {informed="
-        << scalar[t].all_informed
-        << ", completion=" << scalar[t].completion_slot
-        << ", slots=" << scalar[t].slots_run
-        << ", tx=" << scalar[t].transmissions << "}";
-  }
+  expect_engines_agree(g, sources, params_for(g), trials, nullptr, horizon);
 }
 
 // Ragged trial counts around the 64-lane block size: a lone lane, a
 // one-short block, exactly one block, a one-over block, and a ragged
-// multi-block count.
+// multi-block count (which is also a partial WORD for widths 4 and 8).
 constexpr std::size_t kRaggedCounts[] = {1, 63, 64, 65, 130};
 
 TEST(BatchDifferential, GnpMatchesScalarAtEveryRaggedCount) {
@@ -153,6 +275,370 @@ TEST(BatchDifferential, HorizonClampMatchesScalar) {
   const graph::Graph g = graph::path(24);
   const NodeId sources[] = {0};
   expect_batched_equals_scalar(g, sources, 66, /*horizon=*/Slot{40});
+}
+
+TEST(BatchDifferential, FlipFirstAblationMatchesScalar) {
+  rng::Rng graph_rng(15);
+  const graph::Graph g = graph::connected_gnp(32, 0.15, graph_rng);
+  const NodeId sources[] = {0};
+  proto::BroadcastParams params = params_for(g);
+  params.send_before_flip = false;
+  expect_engines_agree(g, sources, params, 70);
+}
+
+// --- biased coins (the Hofri ablation, newly batchable) -------------------
+
+TEST(BatchDifferential, BiasedCoinAblationMatchesScalar) {
+  rng::Rng graph_rng(16);
+  const graph::Graph g = graph::connected_gnp(32, 0.15, graph_rng);
+  const NodeId sources[] = {0};
+  // Dyadic (exact, few slices) and non-dyadic (full 32-slice comparator)
+  // biases, both sides of fair.
+  for (const double p : {0.25, 0.3, 1.0 / 3.0, 0.6}) {
+    SCOPED_TRACE(p);
+    proto::BroadcastParams params = params_for(g);
+    params.stop_probability = p;
+    expect_engines_agree(g, sources, params, 70);
+  }
+}
+
+// --- repetition counts beyond the old 8-plane limit -----------------------
+
+TEST(BatchDifferential, RepetitionsBeyond256MatchScalar) {
+  // t = ceil(log2(N / eps)) lands in [256, 4096): the 16-plane phase
+  // counters must carry past the old 8-bit ceiling.
+  rng::Rng graph_rng(17);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  proto::BroadcastParams params = params_for(g);
+  params.epsilon = 1e-80;
+  ASSERT_GE(params.repetitions(), 256U);
+  ASSERT_LT(params.repetitions(), 4096U);
+  expect_engines_agree(g, sources, params, 70);
+}
+
+// --- fault configs as lane masks ------------------------------------------
+
+const graph::Graph& fault_graph() {
+  static const graph::Graph g = [] {
+    rng::Rng graph_rng(909);
+    return graph::connected_gnp(36, 0.14, graph_rng);
+  }();
+  return g;
+}
+
+fault::FaultConfig fault_seeded() {
+  fault::FaultConfig f;
+  f.seed = 0xFA17'0001;
+  return f;
+}
+
+TEST(BatchFaults, CrashWithRecoveryMatchesScalar) {
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.crashes = {.fraction = 0.3,
+               .window = 30,
+               .min_downtime = 5,
+               .max_downtime = 25,
+               .immune = {0}};
+  expect_engines_agree(fault_graph(), sources, params_for(fault_graph()), 130,
+                       &f);
+}
+
+TEST(BatchFaults, CrashForeverMatchesScalar) {
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.crashes = {.fraction = 0.25, .window = 20, .immune = {0}};
+  // Crashed-forever informed nodes never terminate, so their lanes run to
+  // the horizon (exactly like the classic engine): keep it tight.
+  expect_engines_agree(fault_graph(), sources, params_for(fault_graph()), 130,
+                       &f, /*horizon=*/Slot{4096});
+}
+
+TEST(BatchFaults, BernoulliLossMatchesScalar) {
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.loss = fault::LossModel::bernoulli(0.15);
+  expect_engines_agree(fault_graph(), sources, params_for(fault_graph()), 130,
+                       &f);
+}
+
+TEST(BatchFaults, GilbertElliottLossMatchesScalar) {
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.loss = fault::LossModel::gilbert_elliott({.p_good_to_bad = 0.1,
+                                              .p_bad_to_good = 0.3,
+                                              .loss_good = 0.02,
+                                              .loss_bad = 0.9});
+  expect_engines_agree(fault_graph(), sources, params_for(fault_graph()), 130,
+                       &f);
+}
+
+TEST(BatchFaults, ObliviousJammerMatchesScalar) {
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.jammers.push_back(fault::JammerSpec::oblivious(0.25, /*budget=*/12));
+  expect_engines_agree(fault_graph(), sources, params_for(fault_graph()), 130,
+                       &f);
+}
+
+TEST(BatchFaults, PeriodicJammerMatchesScalar) {
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.jammers.push_back(fault::JammerSpec::periodic(5, /*phase=*/2));
+  expect_engines_agree(fault_graph(), sources, params_for(fault_graph()), 130,
+                       &f);
+}
+
+TEST(BatchFaults, ReactiveJammerMatchesScalar) {
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.jammers.push_back(fault::JammerSpec::reactive(/*budget=*/6));
+  expect_engines_agree(fault_graph(), sources, params_for(fault_graph()), 130,
+                       &f);
+}
+
+TEST(BatchFaults, CombinedFaultsMatchScalarOnBiasedCoins) {
+  // The E22-style worst case: crashes + loss + two jammer kinds, on a
+  // biased coin — every lane plane active at once.
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.crashes = {.fraction = 0.2,
+               .window = 25,
+               .min_downtime = 4,
+               .max_downtime = 20,
+               .immune = {0}};
+  f.loss = fault::LossModel::bernoulli(0.1);
+  f.jammers.push_back(fault::JammerSpec::oblivious(0.05, /*budget=*/20));
+  f.jammers.push_back(fault::JammerSpec::reactive(/*budget=*/4));
+  proto::BroadcastParams params = params_for(fault_graph());
+  params.stop_probability = 0.4;
+  expect_engines_agree(fault_graph(), sources, params, 130, &f);
+}
+
+TEST(BatchFaults, RaggedTrialCountsMatchScalarUnderFaults) {
+  // Partial blocks AND partial block rows: per-trial crash schedules and
+  // valid-lane masking must stop exactly at trial_count for every width.
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.crashes = {.fraction = 0.3, .window = 15, .immune = {0}};
+  f.loss = fault::LossModel::bernoulli(0.1);
+  for (const std::size_t trials : {std::size_t{1}, std::size_t{65}}) {
+    SCOPED_TRACE(trials);
+    expect_engines_agree(fault_graph(), sources, params_for(fault_graph()),
+                         trials, &f, /*horizon=*/Slot{4096});
+  }
+}
+
+// --- thread-count invariance ---------------------------------------------
+
+TEST(BatchThreads, OutcomesInvariantAcrossWorkerCounts) {
+  rng::Rng graph_rng(404);
+  const graph::Graph g = graph::connected_gnp(40, 0.12, graph_rng);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  const auto run = [&](std::size_t threads) {
+    return harness::run_bgi_broadcast_trials(
+        g, sources, params, 31337, 200, Slot{1} << 20, TrialEngine::kBatched,
+        threads);
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  const auto native = run(hw);
+  ASSERT_EQ(one.size(), 200u);
+  for (std::size_t t = 0; t < one.size(); ++t) {
+    EXPECT_EQ(one[t], four[t]) << "trial " << t << " differs at 4 threads";
+    EXPECT_EQ(one[t], native[t])
+        << "trial " << t << " differs at " << hw << " threads";
+  }
+}
+
+TEST(BatchThreads, FaultedOutcomesInvariantAcrossThreadsAndWidths) {
+  // Threads split the trial range into block rows whose size depends on
+  // the width, so (threads, width) together exercise every partitioning
+  // seam; outcomes must not move.
+  const NodeId sources[] = {0};
+  fault::FaultConfig f = fault_seeded();
+  f.crashes = {.fraction = 0.25,
+               .window = 20,
+               .min_downtime = 3,
+               .max_downtime = 15,
+               .immune = {0}};
+  f.loss = fault::LossModel::bernoulli(0.08);
+  const proto::BroadcastParams params = params_for(fault_graph());
+  const auto run = [&](std::size_t threads, std::size_t width) {
+    harness::TrialRunOptions opt;
+    opt.engine = TrialEngine::kBatched;
+    opt.threads = threads;
+    opt.fault = &f;
+    opt.lane_width = width;
+    return harness::run_bgi_broadcast_trials(fault_graph(), sources, params,
+                                             kSeed, 200, Slot{1} << 20, opt);
+  };
+  const auto baseline = run(1, 1);
+  EXPECT_EQ(baseline, run(4, 1));
+  EXPECT_EQ(baseline, run(1, 4));
+  EXPECT_EQ(baseline, run(4, 4));
+  EXPECT_EQ(baseline, run(4, 8));
+}
+
+TEST(BatchThreads, EnvThreadOverrideDoesNotChangeOutcomes) {
+  // threads = 0 resolves through RADIOCAST_THREADS; outcomes must not move.
+  rng::Rng graph_rng(405);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  const auto run_with_env = [&](const char* value) {
+    ::setenv("RADIOCAST_THREADS", value, /*overwrite=*/1);
+    auto r = harness::run_bgi_broadcast_trials(g, sources, params, 9, 130,
+                                               Slot{1} << 20,
+                                               TrialEngine::kBatched,
+                                               /*threads=*/0);
+    ::unsetenv("RADIOCAST_THREADS");
+    return r;
+  };
+  EXPECT_EQ(run_with_env("1"), run_with_env("4"));
+}
+
+// --- engine selection -----------------------------------------------------
+
+TEST(BatchDispatch, AutoPicksTheBatchedEngineWhenSupported) {
+  rng::Rng graph_rng(12);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  ASSERT_TRUE(harness::batched_bgi_supported(params));
+  const auto autoed = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 70, Slot{1} << 20, TrialEngine::kAuto, 1);
+  const auto batched = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 70, Slot{1} << 20, TrialEngine::kBatched, 1);
+  EXPECT_EQ(autoed, batched);
+}
+
+TEST(BatchDispatch, AutoPicksBatchedForBiasedCoinsAndLaneFaults) {
+  // The two workloads the widened envelope was built for: the coin-bias
+  // ablation and the E22 fault grid now dispatch to the batched engine.
+  rng::Rng graph_rng(18);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  proto::BroadcastParams params = params_for(g);
+  params.stop_probability = 0.6;
+  fault::FaultConfig f = fault_seeded();
+  f.loss = fault::LossModel::bernoulli(0.1);
+  ASSERT_TRUE(harness::batched_bgi_supported(params, &f));
+  harness::EngineSelection selected;
+  harness::TrialRunOptions opt;
+  opt.fault = &f;
+  opt.threads = 1;
+  opt.selected = &selected;
+  const auto r = harness::run_bgi_broadcast_trials(g, sources, params, 21, 70,
+                                                   Slot{1} << 20, opt);
+  EXPECT_EQ(r.size(), 70U);
+  EXPECT_EQ(selected.engine, TrialEngine::kBatched);
+  EXPECT_TRUE(sim::batch::lane_width_supported(selected.lane_width));
+}
+
+TEST(BatchDispatch, AutoFallsBackToClassicForUnbatchableParams) {
+  rng::Rng graph_rng(13);
+  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
+  const NodeId sources[] = {0};
+  proto::BroadcastParams params = params_for(g);
+  params.align_phases = false;  // free-running phases have no global grid
+  EXPECT_FALSE(harness::batched_bgi_supported(params));
+  harness::EngineSelection selected;
+  harness::TrialRunOptions opt;
+  opt.threads = 1;
+  opt.selected = &selected;
+  const auto autoed = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 40, Slot{1} << 20, opt);
+  EXPECT_EQ(selected.engine, TrialEngine::kScalarClassic);
+  EXPECT_EQ(selected.lane_width, 0U);
+  const auto classic = harness::run_bgi_broadcast_trials(
+      g, sources, params, 21, 40, Slot{1} << 20, TrialEngine::kScalarClassic,
+      1);
+  EXPECT_EQ(autoed, classic);
+}
+
+TEST(BatchDispatch, SelectionReportsEngineAndWidth) {
+  rng::Rng graph_rng(19);
+  const graph::Graph g = graph::connected_gnp(16, 0.3, graph_rng);
+  const NodeId sources[] = {0};
+  const proto::BroadcastParams params = params_for(g);
+  harness::EngineSelection selected;
+  harness::TrialRunOptions opt;
+  opt.engine = TrialEngine::kBatched;
+  opt.threads = 1;
+  opt.lane_width = 4;
+  opt.selected = &selected;
+  (void)harness::run_bgi_broadcast_trials(g, sources, params, 3, 10,
+                                          Slot{1} << 20, opt);
+  EXPECT_EQ(selected, (harness::EngineSelection{TrialEngine::kBatched, 4}));
+  EXPECT_STREQ(harness::engine_selection_label(selected), "batched_w4");
+  opt.engine = TrialEngine::kScalarCounter;
+  opt.lane_width = 0;
+  (void)harness::run_bgi_broadcast_trials(g, sources, params, 3, 10,
+                                          Slot{1} << 20, opt);
+  EXPECT_EQ(selected,
+            (harness::EngineSelection{TrialEngine::kScalarCounter, 0}));
+  EXPECT_STREQ(harness::engine_selection_label(selected), "scalar_counter");
+  EXPECT_STREQ(harness::engine_selection_label(
+                   {TrialEngine::kBatched, 1}),
+               "batched_w1");
+  EXPECT_STREQ(harness::engine_selection_label(
+                   {TrialEngine::kBatched, 8}),
+               "batched_w8");
+  EXPECT_STREQ(harness::engine_selection_label(
+                   {TrialEngine::kScalarClassic, 0}),
+               "scalar_classic");
+}
+
+TEST(BatchDispatch, SupportGateCoversEveryFallbackTrigger) {
+  rng::Rng graph_rng(14);
+  const graph::Graph g = graph::connected_gnp(16, 0.3, graph_rng);
+  const proto::BroadcastParams base = params_for(g);
+  EXPECT_TRUE(harness::batched_bgi_supported(base));
+  EXPECT_TRUE(proto::batchable(base));
+
+  // Biased coins are batchable now (bit-sliced Bernoulli draws).
+  proto::BroadcastParams biased = base;
+  biased.stop_probability = 0.6;
+  EXPECT_TRUE(proto::batchable(biased));
+
+  proto::BroadcastParams unaligned = base;
+  unaligned.align_phases = false;
+  EXPECT_FALSE(proto::batchable(unaligned));
+
+  // The 16-plane counters hold any t an IEEE double can express:
+  // even eps = 1e-300 only reaches t ~ 1000, far below 2^16, so the
+  // repetition bound is a structural invariant, not a practical gate.
+  proto::BroadcastParams huge_t = base;
+  huge_t.epsilon = 1e-300;
+  ASSERT_GE(huge_t.repetitions(), 256u);
+  ASSERT_LT(huge_t.repetitions(), 1U << 16);
+  EXPECT_TRUE(proto::batchable(huge_t));
+
+  // The flip-first ablation IS batchable (order handled per lane).
+  proto::BroadcastParams flip_first = base;
+  flip_first.send_before_flip = false;
+  EXPECT_TRUE(proto::batchable(flip_first));
+
+  // Loss/jam/crash faults run as lane masks now...
+  fault::FaultConfig faults;
+  faults.loss = fault::LossModel::bernoulli(0.1);
+  EXPECT_TRUE(harness::batched_bgi_supported(base, &faults));
+  EXPECT_TRUE(fault::lane_fault_supported(faults));
+  const fault::FaultConfig no_faults;
+  EXPECT_TRUE(harness::batched_bgi_supported(base, &no_faults));
+
+  // ...but scripted topology events would rewire the shared topology,
+  // which the lane engine cannot express: the one remaining fault gate.
+  fault::FaultConfig scripted;
+  scripted.extra_events.push_back(
+      {Slot{3}, sim::EventKind::kCrashNode, NodeId{1}, kNoNode});
+  EXPECT_FALSE(fault::lane_fault_supported(scripted));
+  EXPECT_FALSE(harness::batched_bgi_supported(base, &scripted));
 }
 
 // --- retirement edge cases ------------------------------------------------
@@ -202,7 +688,7 @@ TEST(BatchRetirement, StragglerLanesKeepRunningAfterOthersRetire) {
   expect_batched_equals_scalar(g, sources, 128);
   const proto::BroadcastParams params = params_for(g);
   const auto batched = harness::run_bgi_broadcast_trials(
-      g, sources, params, 0xB17BA7C4, 128, Slot{1} << 20,
+      g, sources, params, kSeed, 128, Slot{1} << 20,
       TrialEngine::kBatched, 1);
   Slot min_run = kNever;
   Slot max_run = 0;
@@ -212,126 +698,6 @@ TEST(BatchRetirement, StragglerLanesKeepRunningAfterOthersRetire) {
   }
   EXPECT_LT(min_run, max_run) << "workload degenerate: every lane retired "
                                  "in the same slot, straggler path untested";
-}
-
-// --- thread-count invariance ---------------------------------------------
-
-TEST(BatchThreads, OutcomesInvariantAcrossWorkerCounts) {
-  rng::Rng graph_rng(404);
-  const graph::Graph g = graph::connected_gnp(40, 0.12, graph_rng);
-  const NodeId sources[] = {0};
-  const proto::BroadcastParams params = params_for(g);
-  const std::size_t hw =
-      std::max(1u, std::thread::hardware_concurrency());
-  const auto run = [&](std::size_t threads) {
-    return harness::run_bgi_broadcast_trials(
-        g, sources, params, 31337, 200, Slot{1} << 20, TrialEngine::kBatched,
-        threads);
-  };
-  const auto one = run(1);
-  const auto four = run(4);
-  const auto native = run(hw);
-  ASSERT_EQ(one.size(), 200u);
-  for (std::size_t t = 0; t < one.size(); ++t) {
-    EXPECT_EQ(one[t], four[t]) << "trial " << t << " differs at 4 threads";
-    EXPECT_EQ(one[t], native[t])
-        << "trial " << t << " differs at " << hw << " threads";
-  }
-}
-
-TEST(BatchThreads, EnvThreadOverrideDoesNotChangeOutcomes) {
-  // threads = 0 resolves through RADIOCAST_THREADS; outcomes must not move.
-  rng::Rng graph_rng(405);
-  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
-  const NodeId sources[] = {0};
-  const proto::BroadcastParams params = params_for(g);
-  const auto run_with_env = [&](const char* value) {
-    ::setenv("RADIOCAST_THREADS", value, /*overwrite=*/1);
-    auto r = harness::run_bgi_broadcast_trials(g, sources, params, 9, 130,
-                                               Slot{1} << 20,
-                                               TrialEngine::kBatched,
-                                               /*threads=*/0);
-    ::unsetenv("RADIOCAST_THREADS");
-    return r;
-  };
-  EXPECT_EQ(run_with_env("1"), run_with_env("4"));
-}
-
-// --- engine selection -----------------------------------------------------
-
-TEST(BatchDispatch, AutoPicksTheBatchedEngineWhenSupported) {
-  rng::Rng graph_rng(12);
-  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
-  const NodeId sources[] = {0};
-  const proto::BroadcastParams params = params_for(g);
-  ASSERT_TRUE(harness::batched_bgi_supported(params));
-  const auto autoed = harness::run_bgi_broadcast_trials(
-      g, sources, params, 21, 70, Slot{1} << 20, TrialEngine::kAuto, 1);
-  const auto batched = harness::run_bgi_broadcast_trials(
-      g, sources, params, 21, 70, Slot{1} << 20, TrialEngine::kBatched, 1);
-  EXPECT_EQ(autoed, batched);
-}
-
-TEST(BatchDispatch, AutoFallsBackToClassicForUnbatchableParams) {
-  rng::Rng graph_rng(13);
-  const graph::Graph g = graph::connected_gnp(24, 0.2, graph_rng);
-  const NodeId sources[] = {0};
-  proto::BroadcastParams params = params_for(g);
-  params.stop_probability = 0.75;  // the Hofri biased-coin ablation
-  EXPECT_FALSE(harness::batched_bgi_supported(params));
-  const auto autoed = harness::run_bgi_broadcast_trials(
-      g, sources, params, 21, 40, Slot{1} << 20, TrialEngine::kAuto, 1);
-  const auto classic = harness::run_bgi_broadcast_trials(
-      g, sources, params, 21, 40, Slot{1} << 20, TrialEngine::kScalarClassic,
-      1);
-  EXPECT_EQ(autoed, classic);
-}
-
-TEST(BatchDispatch, SupportGateCoversEveryFallbackTrigger) {
-  rng::Rng graph_rng(14);
-  const graph::Graph g = graph::connected_gnp(16, 0.3, graph_rng);
-  const proto::BroadcastParams base = params_for(g);
-  EXPECT_TRUE(harness::batched_bgi_supported(base));
-  EXPECT_TRUE(proto::batchable(base));
-
-  proto::BroadcastParams biased = base;
-  biased.stop_probability = 0.6;
-  EXPECT_FALSE(proto::batchable(biased));
-
-  proto::BroadcastParams unaligned = base;
-  unaligned.align_phases = false;
-  EXPECT_FALSE(proto::batchable(unaligned));
-
-  // t = ceil(log2(N/eps)) >= 256 overflows the 8-plane phase counters.
-  proto::BroadcastParams huge_t = base;
-  huge_t.epsilon = 1e-300;
-  ASSERT_GE(huge_t.repetitions(), 256u);
-  EXPECT_FALSE(proto::batchable(huge_t));
-
-  // The flip-first ablation IS batchable (order handled per lane).
-  proto::BroadcastParams flip_first = base;
-  flip_first.send_before_flip = false;
-  EXPECT_TRUE(proto::batchable(flip_first));
-
-  fault::FaultConfig faults;
-  faults.loss = fault::LossModel::bernoulli(0.1);
-  EXPECT_FALSE(harness::batched_bgi_supported(base, &faults));
-  const fault::FaultConfig no_faults;
-  EXPECT_TRUE(harness::batched_bgi_supported(base, &no_faults));
-}
-
-TEST(BatchDifferential, FlipFirstAblationMatchesScalar) {
-  rng::Rng graph_rng(15);
-  const graph::Graph g = graph::connected_gnp(32, 0.15, graph_rng);
-  const NodeId sources[] = {0};
-  proto::BroadcastParams params = params_for(g);
-  params.send_before_flip = false;
-  const auto scalar = harness::run_bgi_broadcast_trials(
-      g, sources, params, 1234, 70, Slot{1} << 20,
-      TrialEngine::kScalarCounter, 1);
-  const auto batched = harness::run_bgi_broadcast_trials(
-      g, sources, params, 1234, 70, Slot{1} << 20, TrialEngine::kBatched, 1);
-  EXPECT_EQ(batched, scalar);
 }
 
 }  // namespace
