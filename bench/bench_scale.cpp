@@ -1,0 +1,278 @@
+// E-scale — slots/sec vs n for the receiver-sharded slot engine.
+//
+// The scale engine (sim/sharded.hpp) exists so the paper's randomized
+// Decay broadcast (BGI, §2.2) can run at n = 10^6 and beyond: implicit
+// adjacency means unit-disk topologies never materialize their arc lists,
+// sharding spreads the slot loop over the worker pool, and observation is
+// sampling-based. This bench tracks that claim PR over PR:
+//
+//   * unit-disk — graph::UnitDiskTopology, fully implicit (no arc list is
+//     ever built; adjacency is answered from the cell grid on the fly);
+//     connection radius sqrt(2 ln n / (pi n)), the connectivity threshold.
+//   * gnp — connected G(n, 10/n), materialized once and run through the
+//     same engine via graph::CsrBackedTopology (the escape hatch for
+//     arbitrary graphs).
+//
+// Each configuration runs one BGI broadcast from node 0 to quiescence
+// (capped at twice the Theorem 4 termination bound, with the diameter
+// estimated as 2/radius resp. 2 log2 n) and reports slots/sec plus the
+// delivered fraction. Before the timed sweep, the smallest size runs once
+// with shards=1/threads=1 and once with the auto configuration; the two
+// trajectories (totals, every first-delivery slot, sampled records) must
+// be bit-identical or the bench exits nonzero — the determinism contract,
+// enforced where the perf numbers are produced.
+//
+// Sizes: 16384, 65536, 262144, 1048576, capped by RADIOCAST_SCALE_MAX_N
+// (default 65536 so CI stays fast; set 1048576 for the full curve).
+// --repeat K keeps the best of K timed runs after one untimed warmup.
+//
+// Gauges (for scripts/bench_diff.py, prefix "scale."):
+//   scale.slots_per_sec.<family>.n<N>, scale.slots.<family>.n<N>,
+//   scale.delivered_fraction.<family>.n<N>, scale.bit_identical.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "radiocast/graph/csr.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/graph/implicit.hpp"
+#include "radiocast/harness/options.hpp"
+#include "radiocast/harness/report.hpp"
+#include "radiocast/harness/table.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/sim/sharded.hpp"
+
+namespace {
+
+using namespace radiocast;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+template <typename Fn>
+double best_of(std::size_t repeat, Fn&& timed_run) {
+  if (repeat > 1) {
+    (void)timed_run();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < std::max<std::size_t>(repeat, 1); ++i) {
+    best = std::min(best, timed_run());
+  }
+  return best;
+}
+
+constexpr std::size_t kSizes[] = {16384, 65536, 262144, 1048576};
+
+std::size_t max_n_cap() {
+  if (const char* env = std::getenv("RADIOCAST_SCALE_MAX_N")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 10);
+    if (v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return 65536;  // keeps the CI sweep under a few seconds
+}
+
+/// Unit-disk connection radius at the connectivity threshold,
+/// pi r^2 n = 2 ln n (average degree 2 ln n).
+double disk_radius(std::size_t n) {
+  const double nn = static_cast<double>(n);
+  return std::sqrt(2.0 * std::log(nn) / (3.14159265358979323846 * nn));
+}
+
+/// Slot cap: twice the paper's Theorem 4 termination bound
+/// 2*ceil(log D) * (T + ceil(log(N/eps))), T = 2D + 5*max(sqrt(D*M), M),
+/// with `diameter_estimate` standing in for the true diameter D (which an
+/// implicit topology cannot afford to compute). Quiescence lands well
+/// below this in practice; the cap only guards against a pathological run.
+Slot slot_cap(const proto::BroadcastParams& params,
+              std::size_t diameter_estimate) {
+  const double d = static_cast<double>(std::max<std::size_t>(
+      diameter_estimate, 1));
+  const double m = static_cast<double>(params.repetitions());
+  const double t = 2.0 * d + 5.0 * std::max(std::sqrt(d * m), m);
+  const double bound =
+      static_cast<double>(params.phase_length()) * (t + m);
+  return static_cast<Slot>(2.0 * bound) + 1;
+}
+
+std::function<std::unique_ptr<sim::Protocol>(NodeId)> bgi_factory(
+    proto::BroadcastParams params) {
+  return [params](NodeId v) -> std::unique_ptr<sim::Protocol> {
+    if (v == 0) {
+      sim::Message m;
+      m.origin = 0;
+      return std::make_unique<proto::BgiBroadcast>(params, m);
+    }
+    return std::make_unique<proto::BgiBroadcast>(params);
+  };
+}
+
+struct ScaleResult {
+  std::string family;
+  std::size_t n = 0;
+  std::size_t arcs = 0;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  Slot slots = 0;
+  double sec = 0.0;
+  double delivered_fraction = 0.0;
+};
+
+/// One timed BGI broadcast to quiescence on `topo`.
+ScaleResult measure(const std::string& family,
+                    const graph::ImplicitTopology& topo,
+                    const proto::BroadcastParams& params, Slot cap,
+                    std::uint64_t seed, std::size_t threads,
+                    std::size_t repeat) {
+  ScaleResult r;
+  r.family = family;
+  r.n = topo.node_count();
+  r.arcs = topo.arc_count();
+  r.threads = threads;
+  r.sec = best_of(repeat, [&] {
+    sim::ShardedSimulator s(topo, {.seed = seed, .threads = threads});
+    s.install_all(bgi_factory(params));
+    const auto t0 = Clock::now();
+    s.run_to_quiescence(cap);
+    const double sec = seconds_since(t0);
+    r.shards = s.shard_count();
+    r.slots = s.now();
+    r.delivered_fraction = static_cast<double>(s.trace().delivered_count()) /
+                           static_cast<double>(r.n);
+    return sec;
+  });
+  return r;
+}
+
+/// The determinism gate: shards=1/threads=1 vs the auto configuration must
+/// produce bit-identical trajectories (totals, every node's first-delivery
+/// slot, every sampled record). Run where the numbers are produced, so a
+/// perf "win" that breaks the contract can never land.
+bool identical_at_any_sharding(const graph::ImplicitTopology& topo,
+                               const proto::BroadcastParams& params,
+                               Slot cap, std::uint64_t seed) {
+  sim::ShardedSimOptions serial{.seed = seed, .shards = 1, .threads = 1,
+                                .trace_sample_period = 64};
+  sim::ShardedSimOptions auto_opt{.seed = seed, .trace_sample_period = 64};
+  sim::ShardedSimulator a(topo, serial);
+  a.install_all(bgi_factory(params));
+  a.run_to_quiescence(cap);
+  sim::ShardedSimulator b(topo, auto_opt);
+  b.install_all(bgi_factory(params));
+  b.run_to_quiescence(cap);
+
+  bool same = a.now() == b.now() &&
+              a.trace().total_slots() == b.trace().total_slots() &&
+              a.trace().total_transmissions() ==
+                  b.trace().total_transmissions() &&
+              a.trace().total_deliveries() == b.trace().total_deliveries() &&
+              a.trace().total_collisions() == b.trace().total_collisions() &&
+              a.trace().delivered_count() == b.trace().delivered_count() &&
+              a.trace().sampled_slots() == b.trace().sampled_slots();
+  for (NodeId v = 0; same && v < topo.node_count(); ++v) {
+    same = a.trace().first_delivery(v) == b.trace().first_delivery(v);
+  }
+  return same;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::RunOptions opt = harness::run_options(argc, argv);
+  harness::RunReporter reporter("bench_scale", opt);
+  const std::size_t cap_n = max_n_cap();
+
+  harness::print_banner("E-scale: sharded engine throughput vs n");
+  std::printf(
+      "sizes up to n=%zu (RADIOCAST_SCALE_MAX_N to change), %zu thread(s)\n",
+      cap_n, opt.threads);
+  if (opt.repeat > 1) {
+    std::printf("timing: best of %zu runs after one warmup (--repeat)\n",
+                opt.repeat);
+  }
+
+  bool identical = true;
+  std::vector<ScaleResult> results;
+  harness::Table table({"family", "n", "arcs", "shards", "slots", "seconds",
+                        "slots/sec", "delivered"});
+
+  for (const std::size_t n : kSizes) {
+    if (n > cap_n) {
+      continue;
+    }
+    // --- unit-disk: implicit adjacency, no arc list ever materialized ---
+    {
+      rng::Rng topo_rng(opt.seed, n);
+      const graph::UnitDiskTopology topo(n, disk_radius(n), topo_rng);
+      const proto::BroadcastParams params{
+          .network_size_bound = n, .degree_bound = topo.max_out_degree()};
+      const Slot cap = slot_cap(
+          params, static_cast<std::size_t>(2.0 / disk_radius(n)) + 1);
+      if (n == kSizes[0]) {
+        identical =
+            identical_at_any_sharding(topo, params, cap, opt.seed) &&
+            identical;
+      }
+      results.push_back(measure("unit-disk", topo, params, cap, opt.seed,
+                                opt.threads, opt.repeat));
+    }
+    // --- gnp: materialized once, same engine via the CSR-backed view ----
+    {
+      rng::Rng graph_rng(opt.seed, n + 1);
+      const graph::Graph g =
+          graph::connected_gnp(n, 10.0 / static_cast<double>(n), graph_rng);
+      const graph::CsrTopology csr(g);
+      const graph::CsrBackedTopology topo(csr);
+      const proto::BroadcastParams params{
+          .network_size_bound = n, .degree_bound = g.max_in_degree()};
+      const Slot cap =
+          slot_cap(params, 2 * ceil_log2(std::max<std::size_t>(n, 2)));
+      if (n == kSizes[0]) {
+        identical =
+            identical_at_any_sharding(topo, params, cap, opt.seed) &&
+            identical;
+      }
+      results.push_back(measure("gnp", topo, params, cap, opt.seed,
+                                opt.threads, opt.repeat));
+    }
+  }
+
+  for (const ScaleResult& r : results) {
+    table.add_row({r.family, harness::Table::inum(r.n),
+                   harness::Table::inum(r.arcs),
+                   harness::Table::inum(r.shards),
+                   harness::Table::inum(r.slots),
+                   harness::Table::num(r.sec, 3),
+                   harness::Table::num(
+                       static_cast<double>(r.slots) / r.sec, 0),
+                   harness::Table::num(r.delivered_fraction, 4)});
+  }
+  table.print();
+  std::printf("bit-identical (1 shard/1 thread vs auto): %s\n",
+              identical ? "yes" : "NO");
+  if (!identical) {
+    std::printf(
+        "FAIL: sharded trajectories differ across shard/thread counts\n");
+  }
+
+  for (const ScaleResult& r : results) {
+    const std::string key = r.family + ".n" + std::to_string(r.n);
+    reporter.gauge("scale.slots_per_sec." + key,
+                   static_cast<double>(r.slots) / r.sec);
+    reporter.gauge("scale.slots." + key, static_cast<double>(r.slots));
+    reporter.gauge("scale.delivered_fraction." + key, r.delivered_fraction);
+  }
+  reporter.gauge("scale.bit_identical", identical ? 1.0 : 0.0);
+  reporter.extra("max_n", obs::JsonValue(static_cast<double>(cap_n)));
+
+  return identical ? 0 : 1;
+}

@@ -13,17 +13,19 @@ rationale for each rule, lives in ``docs/STATIC_ANALYSIS.md``:
   R1  sequential/global RNG (std::mt19937, std::rand, std::random_device)
       outside src/radiocast/rng/
   R2  wall-clock or environment reads (time(), std::chrono::system_clock,
-      getenv) in sim/, proto/, fault/ or harness/ trial paths
+      getenv) in sim/, proto/, fault/, harness/ or graph/ trial paths
       (std::chrono::steady_clock timing in bench code is allowlisted —
       it is monotonic and never feeds a result)
   R3  std::unordered_map / std::unordered_set in result-bearing
-      directories (sim/, proto/, stats/, obs/, fault/) — iteration order
-      is unspecified, so every use must either be replaced with an
-      ordered container or carry a written order-independence proof
+      directories (sim/, proto/, stats/, obs/, fault/, graph/) —
+      iteration order is unspecified, so every use must either be
+      replaced with an ordered container or carry a written
+      order-independence proof
   R4  duplicate CounterRng salt constants (two kSalt* constants sharing
       a value silently correlate the streams they are meant to separate)
-  R5  static non-const locals or globals in sim/ and proto/ (hidden
-      mutable state breaks trial independence and thread invariance)
+  R5  static non-const locals or globals in sim/, proto/ and graph/
+      (hidden mutable state breaks trial independence and thread
+      invariance)
 
 A violation is suppressible only by an explicit annotation on the same
 line or the line directly above it:
@@ -61,9 +63,9 @@ from dataclasses import dataclass, field
 # Path *segments* (directory names anywhere in the lint-relative path)
 # that place a file inside a rule's scope.  Scoping by segment instead of
 # full prefix lets the tests/lint/fixtures tree mirror the layout.
-R2_DIRS = {"sim", "proto", "fault", "harness"}
-R3_DIRS = {"sim", "proto", "stats", "obs", "fault"}
-R5_DIRS = {"sim", "proto"}
+R2_DIRS = {"sim", "proto", "fault", "harness", "graph"}
+R3_DIRS = {"sim", "proto", "stats", "obs", "fault", "graph"}
+R5_DIRS = {"sim", "proto", "graph"}
 
 RULES = {
     "R1": "sequential RNG engine outside src/radiocast/rng/",

@@ -1,0 +1,164 @@
+#include "radiocast/common/worker_pool.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace radiocast::common {
+
+namespace {
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void warn_threads_once(const char* value, const char* why) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "warning: RADIOCAST_THREADS='%s' %s; using default\n",
+                 value, why);
+  }
+}
+
+void warn_clamp_once(const char* value, std::size_t ceiling) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "warning: RADIOCAST_THREADS='%s' exceeds the sane ceiling; "
+                 "clamping to %zu (4x hardware threads)\n",
+                 value, ceiling);
+  }
+}
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  const std::size_t hw = hardware_threads();
+  // Worker-pool sizing only; results are thread-count-invariant by the
+  // docs/PARALLELISM.md contract, so this read cannot touch a trajectory.
+  if (const char* v = std::getenv("RADIOCAST_THREADS")) {
+    // Strict parse: the whole value must be a positive decimal number.
+    // "8x" or "1e3" silently truncating to 8 / 1 (or overflow saturating
+    // to LONG_MAX and spawning absurd worker counts) is exactly the bug
+    // this guard exists for.
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(v, &end, 10);
+    const bool overflowed = errno == ERANGE;
+    const bool fully_consumed = end != v && end != nullptr && *end == '\0';
+    if (!fully_consumed || overflowed || parsed <= 0) {
+      warn_threads_once(v,
+                        overflowed ? "overflows" : "is not a positive integer");
+      return hw;
+    }
+    // A worker pool far wider than the machine only adds scheduling noise;
+    // clamp to a generous oversubscription ceiling.
+    const std::size_t ceiling = 4 * hw;
+    if (static_cast<unsigned long>(parsed) > ceiling) {
+      warn_clamp_once(v, ceiling);
+      return ceiling;
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+  return hw;
+}
+
+WorkerPool::WorkerPool(std::size_t threads)
+    : thread_count_(threads == 0 ? default_thread_count() : threads) {
+  if (thread_count_ <= 1) {
+    return;  // inline mode: no workers to park
+  }
+  workers_.reserve(thread_count_);
+  for (std::size_t t = 0; t < thread_count_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  job_count_ = count;
+  cursor_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  active_ = workers_.size();
+  ++generation_;
+  wake_.notify_all();
+  done_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+      count = job_count_;
+    }
+    while (!failed_.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        break;
+      }
+      try {
+        (*job)(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          if (!first_error_) {
+            first_error_ = std::current_exception();
+          }
+        }
+        failed_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) {
+        done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace radiocast::common

@@ -1,0 +1,79 @@
+// A persistent gang-dispatch worker pool.
+//
+// harness::for_each_trial spawns fresh std::threads per call, which is fine
+// when each call runs thousands of trials for seconds — thread start-up is
+// noise. The sharded slot engine (sim/sharded.hpp) needs the opposite
+// shape: the *same* small task set (one task per receiver shard) dispatched
+// thousands of times per second, once or more per simulated slot. Spawning
+// threads per slot would cost milliseconds each; WorkerPool keeps its
+// workers parked on a condition variable and wakes them per run() call.
+//
+// Determinism contract (docs/PARALLELISM.md): run() only distributes
+// indices; which worker executes which index — and when — is scheduling
+// noise that must not influence results. Callers guarantee fn(i) touches
+// only i-sliced state, exactly as with for_each_trial.
+//
+// This lives in common/ (layer 0) so both the harness and the simulator
+// may use it without inverting the layer order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace radiocast::common {
+
+/// Worker count used when 0 threads are requested: RADIOCAST_THREADS if it
+/// strictly parses as a positive integer (clamped to 4x
+/// hardware_concurrency; malformed values warn once on stderr and fall
+/// through), else hardware_concurrency() (never less than 1).
+/// harness::default_thread_count() forwards here.
+std::size_t default_thread_count();
+
+class WorkerPool {
+ public:
+  /// Starts `threads` workers (0 = default_thread_count()). A pool of one
+  /// thread spawns nothing: run() executes inline on the caller.
+  explicit WorkerPool(std::size_t threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return thread_count_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, count), distributed
+  /// over the workers via an atomic cursor, and returns after all indices
+  /// completed. The first exception thrown (in completion order) is
+  /// rethrown on the calling thread once all workers have drained.
+  /// Not reentrant: run() must not be called from inside fn.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::size_t thread_count_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  // Job state, guarded by mutex_ (the cursor is written under the lock but
+  // advanced lock-free while a generation runs).
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace radiocast::common

@@ -34,56 +34,72 @@ Graph star(std::size_t n) {
 }
 
 Graph clique(std::size_t n) {
-  Graph g(n);
+  GraphBuilder b(n);
+  b.reserve(n < 2 ? 0 : n * (n - 1));
   for (NodeId i = 0; i < n; ++i) {
     for (NodeId j = i + 1; j < n; ++j) {
-      g.add_edge(i, j);
+      b.add_edge(i, j);
     }
   }
-  return g;
+  return b.build();
 }
 
 Graph complete_bipartite(std::size_t a, std::size_t b) {
-  Graph g(a + b);
+  RADIOCAST_CHECK_MSG(a <= kNoNode && b <= kNoNode - a,
+                      "bipartite part sizes overflow the NodeId range");
+  GraphBuilder builder(a + b);
+  builder.reserve(2 * a * b);
   for (NodeId i = 0; i < a; ++i) {
     for (NodeId j = 0; j < b; ++j) {
-      g.add_edge(i, static_cast<NodeId>(a + j));
+      builder.add_edge(i, static_cast<NodeId>(a + j));
     }
   }
-  return g;
+  return builder.build();
 }
 
 Graph grid(std::size_t rows, std::size_t cols) {
-  Graph g(rows * cols);
+  // Guard before any allocation: rows * cols beyond the NodeId range would
+  // silently wrap `id` into colliding node numbers.
+  RADIOCAST_CHECK_MSG(rows == 0 || cols == 0 || cols <= kNoNode / rows,
+                      "grid rows*cols overflows the NodeId range");
+  GraphBuilder b(rows * cols);
   const auto id = [cols](std::size_t r, std::size_t c) {
     return static_cast<NodeId>(r * cols + c);
   };
+  if (rows > 0 && cols > 0) {
+    b.reserve(4 * rows * cols);
+  }
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       if (c + 1 < cols) {
-        g.add_edge(id(r, c), id(r, c + 1));
+        b.add_edge(id(r, c), id(r, c + 1));
       }
       if (r + 1 < rows) {
-        g.add_edge(id(r, c), id(r + 1, c));
+        b.add_edge(id(r, c), id(r + 1, c));
       }
     }
   }
-  return g;
+  return b.build();
 }
 
 Graph hypercube(unsigned dim) {
-  RADIOCAST_CHECK_MSG(dim < 26, "hypercube dimension unreasonably large");
+  // 2^dim ids must fit NodeId (dim < 32 would already overflow `1 << b`
+  // arithmetic); the tighter bound keeps the materialized arc list sane.
+  RADIOCAST_CHECK_MSG(dim < 26,
+                      "hypercube dimension unreasonably large "
+                      "(ids/arcs would not fit; use HypercubeTopology)");
   const std::size_t n = std::size_t{1} << dim;
-  Graph g(n);
+  GraphBuilder b(n);
+  b.reserve(n * dim);
   for (NodeId u = 0; u < n; ++u) {
-    for (unsigned b = 0; b < dim; ++b) {
-      const NodeId v = u ^ (NodeId{1} << b);
+    for (unsigned bit = 0; bit < dim; ++bit) {
+      const NodeId v = u ^ (NodeId{1} << bit);
       if (u < v) {
-        g.add_edge(u, v);
+        b.add_edge(u, v);
       }
     }
   }
-  return g;
+  return b.build();
 }
 
 Graph random_tree(std::size_t n, rng::Rng& rng) {
@@ -127,16 +143,24 @@ Graph random_tree(std::size_t n, rng::Rng& rng) {
   return g;
 }
 
-Graph gnp(std::size_t n, double p, rng::Rng& rng) {
+namespace {
+
+/// Appends G(n, p) edges to `b` by skip-sampling (Batagelj–Brandes):
+/// O(n + m) rng draws instead of O(n^2), identical edge distribution.
+void append_gnp_edges(GraphBuilder& b, std::size_t n, double p,
+                      rng::Rng& rng) {
   RADIOCAST_CHECK_MSG(p >= 0.0 && p <= 1.0, "p must be a probability");
-  Graph g(n);
   if (p <= 0.0 || n < 2) {
-    return g;
+    return;
   }
   if (p >= 1.0) {
-    return clique(n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        b.add_edge(i, j);
+      }
+    }
+    return;
   }
-  // Skip-sampling (Batagelj–Brandes): O(n + m) instead of O(n^2).
   const double log1mp = std::log1p(-p);
   std::int64_t v = 1;
   std::int64_t w = -1;
@@ -149,23 +173,44 @@ Graph gnp(std::size_t n, double p, rng::Rng& rng) {
       ++v;
     }
     if (v < sn) {
-      g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      b.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
     }
   }
-  return g;
+}
+
+}  // namespace
+
+Graph gnp(std::size_t n, double p, rng::Rng& rng) {
+  GraphBuilder b(n);
+  append_gnp_edges(b, n, p, rng);
+  return b.build();
 }
 
 Graph connected_gnp(std::size_t n, double p, rng::Rng& rng) {
-  Graph g = gnp(n, p, rng);
+  GraphBuilder b(n);
+  append_gnp_edges(b, n, p, rng);
   const Graph tree = random_tree(n, rng);
   for (NodeId u = 0; u < n; ++u) {
     for (const NodeId v : tree.out_neighbors(u)) {
-      if (u < v) {
-        g.add_edge(u, v);
-      }
+      b.add_arc(u, v);
     }
   }
-  return g;
+  return b.build();
+}
+
+std::size_t geometric_cell_count(std::size_t n, double radius) {
+  RADIOCAST_CHECK_MSG(radius > 0.0, "radius must be positive");
+  // floor(1/radius) cells make every in-radius pair land in adjacent cells
+  // (cell side >= radius). But that sizing alone allocates cells^2 buckets
+  // with no dependence on n — radius = 1e-4 with n = 100 would mean 10^8
+  // empty buckets. Clamping to O(sqrt(n)) keeps the bucket array O(n) while
+  // only ever *growing* the cell side, so the 3x3-neighborhood coverage
+  // argument still holds; the generated edge set is unchanged.
+  const double by_radius = std::floor(1.0 / radius);
+  const double by_count =
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(n))));
+  return static_cast<std::size_t>(
+      std::max(1.0, std::min(by_radius, by_count)));
 }
 
 Graph random_geometric(std::size_t n, double radius, rng::Rng& rng) {
@@ -178,11 +223,10 @@ Graph random_geometric(std::size_t n, double radius, rng::Rng& rng) {
   for (NodeId i = 0; i < n; ++i) {
     pts[i] = {rng.uniform01(), rng.uniform01(), i};
   }
-  Graph g(n);
+  GraphBuilder b(n);
   const double r2 = radius * radius;
   // Grid-bucket the points so neighbor search is O(n) in expectation.
-  const auto cells =
-      static_cast<std::size_t>(std::max(1.0, std::floor(1.0 / radius)));
+  const std::size_t cells = geometric_cell_count(n, radius);
   std::vector<std::vector<std::size_t>> bucket(cells * cells);
   const auto cell_of = [&](const Point& p) {
     const auto cx = std::min(cells - 1, static_cast<std::size_t>(p.x * cells));
@@ -208,45 +252,50 @@ Graph random_geometric(std::size_t n, double radius, rng::Rng& rng) {
           const double ddx = pts[i].x - pts[j].x;
           const double ddy = pts[i].y - pts[j].y;
           if (ddx * ddx + ddy * ddy <= r2) {
-            g.add_edge(pts[i].id, pts[j].id);
+            b.add_edge(pts[i].id, pts[j].id);
           }
         }
       }
     }
   }
   // Guarantee connectivity: chain the points in x-order. Physically this is
-  // a thin wired backbone; it only matters for sparse radii.
+  // a thin wired backbone; it only matters for sparse radii. The index
+  // tie-break pins the chain even for coincident x-coordinates (the sort is
+  // unstable, so without it the order — and hence the graph — would be
+  // implementation-defined); UnitDiskTopology replicates this chain exactly.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
-    return pts[a].x < pts[b].x;
+    return pts[a].x != pts[b].x ? pts[a].x < pts[b].x : a < b;
   });
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    g.add_edge(pts[order[i]].id, pts[order[i + 1]].id);
+    b.add_edge(pts[order[i]].id, pts[order[i + 1]].id);
   }
-  return g;
+  return b.build();
 }
 
 Graph path_of_cliques(std::size_t layers, std::size_t width) {
   RADIOCAST_CHECK_MSG(layers >= 1 && width >= 1, "need layers, width >= 1");
+  RADIOCAST_CHECK_MSG(width <= kNoNode / layers,
+                      "layers*width overflows the NodeId range");
   const std::size_t n = layers * width;
-  Graph g(n);
+  GraphBuilder b(n);
   const auto id = [width](std::size_t layer, std::size_t i) {
     return static_cast<NodeId>(layer * width + i);
   };
   for (std::size_t layer = 0; layer < layers; ++layer) {
     for (std::size_t i = 0; i < width; ++i) {
       for (std::size_t j = i + 1; j < width; ++j) {
-        g.add_edge(id(layer, i), id(layer, j));
+        b.add_edge(id(layer, i), id(layer, j));
       }
       if (layer + 1 < layers) {
         for (std::size_t j = 0; j < width; ++j) {
-          g.add_edge(id(layer, i), id(layer + 1, j));
+          b.add_edge(id(layer, i), id(layer + 1, j));
         }
       }
     }
   }
-  return g;
+  return b.build();
 }
 
 Graph random_strongly_reachable_digraph(std::size_t n, std::size_t extra_arcs,

@@ -46,10 +46,18 @@ Graph gnp(std::size_t n, double p, rng::Rng& rng);
 /// always connected while retaining G(n,p)-like density for p >> 1/n.
 Graph connected_gnp(std::size_t n, double p, rng::Rng& rng);
 
+/// Side length of the square bucket grid used for geometric neighbor
+/// search: min(floor(1/radius), O(sqrt(n))), at least 1. The clamp keeps
+/// the bucket array O(n) for tiny radii while the cell side stays >= radius,
+/// so a 3x3 cell neighborhood still covers every in-radius pair. Shared by
+/// random_geometric and implicit.hpp's UnitDiskTopology so both resolve the
+/// same cell structure.
+std::size_t geometric_cell_count(std::size_t n, double radius);
+
 /// Random geometric ("unit disk") graph: n points uniform in the unit
 /// square, edge iff Euclidean distance <= radius; a spanning chain over the
-/// points sorted by x is added if needed to guarantee connectivity.
-/// This models physical radio reachability.
+/// points sorted by x (ties broken by index) is added if needed to
+/// guarantee connectivity. This models physical radio reachability.
 Graph random_geometric(std::size_t n, double radius, rng::Rng& rng);
 
 /// `layers` cliques of `width` nodes each, chained: every node of layer i is

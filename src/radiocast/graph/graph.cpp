@@ -103,6 +103,64 @@ std::size_t Graph::max_in_degree() const noexcept {
   return best;
 }
 
+GraphBuilder::GraphBuilder(std::size_t n) : n_(n) {}
+
+void GraphBuilder::reserve(std::size_t arcs) { arcs_.reserve(arcs); }
+
+void GraphBuilder::add_arc(NodeId u, NodeId v) {
+  RADIOCAST_CHECK_MSG(u < n_ && v < n_, "node id out of range");
+  RADIOCAST_CHECK_MSG(u != v, "radio networks have no self-loops");
+  arcs_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() {
+  Graph g(n_);
+  std::sort(arcs_.begin(), arcs_.end());
+  arcs_.erase(std::unique(arcs_.begin(), arcs_.end()), arcs_.end());
+  // Sorted by (source, target): each source's slice is its sorted
+  // out-neighbor list.
+  for (std::size_t i = 0; i < arcs_.size();) {
+    const NodeId u = arcs_[i].first;
+    std::size_t j = i;
+    while (j < arcs_.size() && arcs_[j].first == u) {
+      ++j;
+    }
+    auto& out = g.out_[u];
+    out.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      out.push_back(arcs_[k].second);
+    }
+    i = j;
+  }
+  g.arc_count_ = arcs_.size();
+  // As if each arc had been one add_arc mutation, so snapshot caches keyed
+  // on version() treat a freshly built graph like an incrementally built one.
+  g.version_ = arcs_.size();
+  // Re-sorted by (target, source): each target's slice is its sorted
+  // in-neighbor list.
+  std::sort(arcs_.begin(), arcs_.end(),
+            [](const std::pair<NodeId, NodeId>& a,
+               const std::pair<NodeId, NodeId>& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  for (std::size_t i = 0; i < arcs_.size();) {
+    const NodeId v = arcs_[i].second;
+    std::size_t j = i;
+    while (j < arcs_.size() && arcs_[j].second == v) {
+      ++j;
+    }
+    auto& in = g.in_[v];
+    in.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      in.push_back(arcs_[k].first);
+    }
+    i = j;
+  }
+  arcs_.clear();
+  return g;
+}
+
 bool Graph::is_symmetric() const {
   for (NodeId u = 0; u < node_count(); ++u) {
     for (const NodeId v : out_[u]) {

@@ -20,6 +20,8 @@
 
 namespace radiocast::graph {
 
+class GraphBuilder;
+
 class Graph {
  public:
   /// An empty graph on `n` nodes (no arcs).
@@ -77,12 +79,49 @@ class Graph {
   }
 
  private:
+  friend class GraphBuilder;
+
   void check_node(NodeId v) const;
 
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   std::size_t arc_count_ = 0;
   std::uint64_t version_ = 0;
+};
+
+/// Bulk construction of a Graph in O(m log m) total.
+///
+/// Graph::add_arc keeps neighbor lists sorted with an O(deg) vector insert,
+/// which is the right trade for the dynamic-topology experiments (a few
+/// mutations per slot) but makes generator-style construction O(m·d̄) —
+/// quadratic in degree for cliques. GraphBuilder instead appends raw arc
+/// pairs and sorts/dedupes once in build(), producing a Graph
+/// arc-for-arc identical to the incremental path (a differential test in
+/// tests/test_generators.cpp pins this).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t n);
+
+  /// Hint for the total number of directed arcs about to be added.
+  void reserve(std::size_t arcs);
+
+  /// Records the arc u -> v. Duplicates are allowed (deduped at build()).
+  /// Precondition: u != v, both ids valid — same contract as Graph::add_arc.
+  void add_arc(NodeId u, NodeId v);
+
+  /// Records both u -> v and v -> u.
+  void add_edge(NodeId u, NodeId v) {
+    add_arc(u, v);
+    add_arc(v, u);
+  }
+
+  /// Sorts, dedupes and assembles the Graph. The builder is left empty
+  /// (arcs consumed); it can be reused for a new graph of the same size.
+  Graph build();
+
+ private:
+  std::size_t n_;
+  std::vector<std::pair<NodeId, NodeId>> arcs_;
 };
 
 }  // namespace radiocast::graph

@@ -1,0 +1,238 @@
+#include "radiocast/graph/implicit.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/graph/generators.hpp"
+
+namespace radiocast::graph {
+
+std::size_t ImplicitTopology::out_degree(NodeId u) const {
+  std::vector<NodeId> scratch;
+  append_out_neighbors(u, scratch);
+  return scratch.size();
+}
+
+std::size_t ImplicitTopology::max_out_degree() const {
+  const std::size_t n = node_count();
+  std::size_t best = 0;
+  std::vector<NodeId> scratch;
+  for (NodeId u = 0; u < n; ++u) {
+    scratch.clear();
+    append_out_neighbors(u, scratch);
+    best = std::max(best, scratch.size());
+  }
+  return best;
+}
+
+std::size_t ImplicitTopology::arc_count() const {
+  const std::size_t n = node_count();
+  std::size_t total = 0;
+  std::vector<NodeId> scratch;
+  for (NodeId u = 0; u < n; ++u) {
+    scratch.clear();
+    append_out_neighbors(u, scratch);
+    total += scratch.size();
+  }
+  return total;
+}
+
+Graph ImplicitTopology::materialize() const {
+  const std::size_t n = node_count();
+  GraphBuilder b(n);
+  std::vector<NodeId> nbrs;
+  for (NodeId u = 0; u < n; ++u) {
+    nbrs.clear();
+    append_out_neighbors(u, nbrs);
+    for (const NodeId v : nbrs) {
+      b.add_arc(u, v);
+    }
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// GridTopology
+
+GridTopology::GridTopology(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  // Same guard as the materialized generator: ids must not wrap NodeId.
+  RADIOCAST_CHECK_MSG(rows == 0 || cols == 0 || cols <= kNoNode / rows,
+                      "grid rows*cols overflows the NodeId range");
+}
+
+void GridTopology::append_out_neighbors_in(NodeId u, NodeId lo, NodeId hi,
+                                           std::vector<NodeId>& out) const {
+  RADIOCAST_CHECK_MSG(u < node_count(), "node id out of range");
+  const std::size_t r = u / cols_;
+  const std::size_t c = u % cols_;
+  // Emitted in increasing id order by construction: up, left, right, down.
+  const auto emit = [&](NodeId v) {
+    if (v >= lo && v < hi) {
+      out.push_back(v);
+    }
+  };
+  if (r > 0) {
+    emit(static_cast<NodeId>(u - cols_));
+  }
+  if (c > 0) {
+    emit(static_cast<NodeId>(u - 1));
+  }
+  if (c + 1 < cols_) {
+    emit(static_cast<NodeId>(u + 1));
+  }
+  if (r + 1 < rows_) {
+    emit(static_cast<NodeId>(u + cols_));
+  }
+}
+
+std::size_t GridTopology::max_out_degree() const {
+  if (rows_ == 0 || cols_ == 0) {
+    return 0;
+  }
+  // A node has one neighbor per non-boundary side.
+  const std::size_t horiz = cols_ >= 3 ? 2 : cols_ - 1;
+  const std::size_t vert = rows_ >= 3 ? 2 : rows_ - 1;
+  return horiz + vert;
+}
+
+// ---------------------------------------------------------------------------
+// HypercubeTopology
+
+HypercubeTopology::HypercubeTopology(unsigned dim) : dim_(dim) {
+  RADIOCAST_CHECK_MSG(dim < 32,
+                      "hypercube dimension overflows the NodeId range");
+}
+
+void HypercubeTopology::append_out_neighbors_in(
+    NodeId u, NodeId lo, NodeId hi, std::vector<NodeId>& out) const {
+  RADIOCAST_CHECK_MSG(u < node_count(), "node id out of range");
+  const std::size_t start = out.size();
+  for (unsigned b = 0; b < dim_; ++b) {
+    const NodeId v = u ^ (NodeId{1} << b);
+    if (v >= lo && v < hi) {
+      out.push_back(v);
+    }
+  }
+  // Flipping a set bit yields a smaller id, a clear bit a larger one, so
+  // the loop emits two interleaved monotone runs; sort the small tail.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+}
+
+// ---------------------------------------------------------------------------
+// UnitDiskTopology
+
+UnitDiskTopology::UnitDiskTopology(std::size_t n, double radius,
+                                   rng::Rng& rng)
+    : radius_(radius), r2_(radius * radius) {
+  RADIOCAST_CHECK_MSG(n <= kNoNode, "node count overflows the NodeId range");
+  cells_ = geometric_cell_count(n, radius);
+  // Identical draw order to random_geometric: x then y, node by node.
+  x_.resize(n);
+  y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_[i] = rng.uniform01();
+    y_[i] = rng.uniform01();
+  }
+  // Bucket CSR by counting sort; filling in id order keeps each cell's
+  // point list ascending.
+  const auto cell_of = [this](std::size_t i) {
+    const auto cx =
+        std::min(cells_ - 1, static_cast<std::size_t>(x_[i] * cells_));
+    const auto cy =
+        std::min(cells_ - 1, static_cast<std::size_t>(y_[i] * cells_));
+    return cy * cells_ + cx;
+  };
+  cell_offsets_.assign(cells_ * cells_ + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++cell_offsets_[cell_of(i) + 1];
+  }
+  std::partial_sum(cell_offsets_.begin(), cell_offsets_.end(),
+                   cell_offsets_.begin());
+  cell_points_.resize(n);
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(),
+                                    cell_offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_points_[cursor[cell_of(i)]++] = static_cast<NodeId>(i);
+  }
+  // The generator's connectivity chain: points in (x, id) order.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    return x_[a] != x_[b] ? x_[a] < x_[b] : a < b;
+  });
+  chain_prev_.assign(n, kNoNode);
+  chain_next_.assign(n, kNoNode);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    chain_next_[order[i]] = order[i + 1];
+    chain_prev_[order[i + 1]] = order[i];
+  }
+}
+
+void UnitDiskTopology::append_out_neighbors_in(
+    NodeId u, NodeId lo, NodeId hi, std::vector<NodeId>& out) const {
+  RADIOCAST_CHECK_MSG(u < node_count(), "node id out of range");
+  const std::size_t start = out.size();
+  const double ux = x_[u];
+  const double uy = y_[u];
+  const auto cx = std::min(cells_ - 1, static_cast<std::size_t>(ux * cells_));
+  const auto cy = std::min(cells_ - 1, static_cast<std::size_t>(uy * cells_));
+  for (std::size_t dy = (cy == 0 ? 0 : cy - 1);
+       dy <= std::min(cells_ - 1, cy + 1); ++dy) {
+    for (std::size_t dx = (cx == 0 ? 0 : cx - 1);
+         dx <= std::min(cells_ - 1, cx + 1); ++dx) {
+      const std::size_t cell = dy * cells_ + dx;
+      const NodeId* first = cell_points_.data() + cell_offsets_[cell];
+      const NodeId* last = cell_points_.data() + cell_offsets_[cell + 1];
+      // The cell's ids are ascending: binary-search the range start, stop
+      // at the range end.
+      for (const NodeId* it = std::lower_bound(first, last, lo);
+           it != last && *it < hi; ++it) {
+        const NodeId v = *it;
+        if (v == u) {
+          continue;
+        }
+        const double ddx = ux - x_[v];
+        const double ddy = uy - y_[v];
+        if (ddx * ddx + ddy * ddy <= r2_) {
+          out.push_back(v);
+        }
+      }
+    }
+  }
+  // Chain links may duplicate a disk neighbor; the tail dedupe removes it.
+  for (const NodeId w : {chain_prev_[u], chain_next_[u]}) {
+    if (w != kNoNode && w >= lo && w < hi) {
+      out.push_back(w);
+    }
+  }
+  const auto tail = out.begin() + static_cast<std::ptrdiff_t>(start);
+  std::sort(tail, out.end());
+  out.erase(std::unique(tail, out.end()), out.end());
+}
+
+// ---------------------------------------------------------------------------
+// CsrBackedTopology
+
+void CsrBackedTopology::append_out_neighbors_in(
+    NodeId u, NodeId lo, NodeId hi, std::vector<NodeId>& out) const {
+  RADIOCAST_CHECK_MSG(u < node_count(), "node id out of range");
+  const auto span = csr_->out_neighbors(u);
+  const NodeId* last = span.data() + span.size();
+  for (const NodeId* it = std::lower_bound(span.data(), last, lo);
+       it != last && *it < hi; ++it) {
+    out.push_back(*it);
+  }
+}
+
+std::size_t CsrBackedTopology::max_out_degree() const {
+  const std::size_t n = csr_->node_count();
+  std::size_t best = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    best = std::max(best, csr_->out_degree(u));
+  }
+  return best;
+}
+
+}  // namespace radiocast::graph

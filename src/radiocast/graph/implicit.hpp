@@ -1,0 +1,160 @@
+// Implicit adjacency: topologies that compute neighbor lists on demand.
+//
+// Graph and CsrTopology materialize every arc, which caps simulations near
+// n ~ 10^4–10^5: a unit-disk graph at n = 10^6 with average degree ~12 is
+// ~10^7 arcs of storage before a single slot runs, and a grid at n = 10^7
+// is 4·10^7. The generated families the scale experiments use (grid,
+// hypercube, unit-disk) have so much structure that adjacency is cheaper to
+// *recompute* than to store: a grid neighbor is ±1/±cols arithmetic, a
+// hypercube neighbor is a bit flip, and a unit-disk neighbor is a 3x3
+// bucket-grid range query over the stored points (the Click `RadioSim`
+// range-reachability model; O(1) expected candidates per query).
+//
+// The interface is a *range* query — append u's out-neighbors within an id
+// interval [lo, hi) — because the sharded slot engine (sim/sharded.hpp)
+// asks each receiver shard only for the slice of a transmitter's audience
+// it owns. Implementations must append the neighbors in increasing id
+// order with no duplicates and never include u itself, so that
+// concatenating the per-shard slices reproduces the exact neighbor list a
+// materialized CsrTopology span would give (tests/test_implicit.cpp pins
+// this bit-identical, family by family).
+//
+// All families here are symmetric (every arc has its reverse), so
+// out-neighbors and in-neighbors coincide; CsrBackedTopology adapts an
+// arbitrary — possibly asymmetric — materialized snapshot to the same
+// interface for A/B comparisons.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "radiocast/common/types.hpp"
+#include "radiocast/graph/csr.hpp"
+#include "radiocast/graph/graph.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::graph {
+
+class ImplicitTopology {
+ public:
+  virtual ~ImplicitTopology() = default;
+
+  virtual std::size_t node_count() const noexcept = 0;
+
+  /// Appends u's out-neighbors with ids in [lo, hi) to `out`, in increasing
+  /// id order, duplicate-free, excluding u. Thread-safe for concurrent
+  /// calls with distinct `out` buffers (implementations are immutable
+  /// after construction).
+  virtual void append_out_neighbors_in(NodeId u, NodeId lo, NodeId hi,
+                                       std::vector<NodeId>& out) const = 0;
+
+  /// Appends u's full out-neighbor list (ascending, duplicate-free).
+  void append_out_neighbors(NodeId u, std::vector<NodeId>& out) const {
+    append_out_neighbors_in(u, 0, static_cast<NodeId>(node_count()), out);
+  }
+
+  /// Number of out-neighbors of u. O(query); for tests and reporting.
+  std::size_t out_degree(NodeId u) const;
+
+  /// Maximum out-degree over all nodes — the paper's Δ for symmetric
+  /// families. O(n queries); run once per experiment, never per slot.
+  /// Overridable where the structure gives it away cheaply.
+  virtual std::size_t max_out_degree() const;
+
+  /// Total directed arc count. O(n queries); for reporting only.
+  std::size_t arc_count() const;
+
+  /// Expands the implicit adjacency into a materialized Graph — O(n + m)
+  /// memory, so small n only. This is the differential-testing bridge: the
+  /// result must equal the generator-built Graph arc for arc.
+  Graph materialize() const;
+};
+
+/// rows x cols grid, 4-neighborhood; node (r, c) has id r*cols + c.
+/// Implicit twin of generators.cpp's grid().
+class GridTopology final : public ImplicitTopology {
+ public:
+  GridTopology(std::size_t rows, std::size_t cols);
+
+  std::size_t node_count() const noexcept override { return rows_ * cols_; }
+  void append_out_neighbors_in(NodeId u, NodeId lo, NodeId hi,
+                               std::vector<NodeId>& out) const override;
+  std::size_t max_out_degree() const override;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+/// Hypercube on 2^dim nodes: ids adjacent iff they differ in one bit.
+/// Implicit twin of generators.cpp's hypercube(), but supporting dim up to
+/// 31 (the materialized generator stops at 25 for memory reasons).
+class HypercubeTopology final : public ImplicitTopology {
+ public:
+  explicit HypercubeTopology(unsigned dim);
+
+  std::size_t node_count() const noexcept override {
+    return std::size_t{1} << dim_;
+  }
+  void append_out_neighbors_in(NodeId u, NodeId lo, NodeId hi,
+                               std::vector<NodeId>& out) const override;
+  std::size_t max_out_degree() const override { return dim_; }
+
+ private:
+  unsigned dim_;
+};
+
+/// Random geometric ("unit disk") topology: the implicit twin of
+/// generators.cpp's random_geometric(). Drawing from the same rng state
+/// yields *bit-identical* adjacency: points are sampled in the same order,
+/// the bucket grid uses the same geometric_cell_count() sizing, and the
+/// connectivity chain links the same x-sorted (index tie-broken) sequence.
+/// Stores O(n) doubles/ids — positions, the chain, and a CSR of the cell
+/// buckets — but never the arc list.
+class UnitDiskTopology final : public ImplicitTopology {
+ public:
+  UnitDiskTopology(std::size_t n, double radius, rng::Rng& rng);
+
+  std::size_t node_count() const noexcept override { return x_.size(); }
+  void append_out_neighbors_in(NodeId u, NodeId lo, NodeId hi,
+                               std::vector<NodeId>& out) const override;
+
+  double radius() const noexcept { return radius_; }
+
+ private:
+  double radius_;
+  double r2_;
+  std::size_t cells_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+  /// x-order chain (ties broken by id): the connectivity backbone the
+  /// generator adds. kNoNode at the ends.
+  std::vector<NodeId> chain_prev_;
+  std::vector<NodeId> chain_next_;
+  /// CSR of the cell buckets: cell_points_[cell_offsets_[c] ..
+  /// cell_offsets_[c+1]) are the ids in cell c, in increasing id order.
+  std::vector<std::uint32_t> cell_offsets_;
+  std::vector<NodeId> cell_points_;
+};
+
+/// Adapts a materialized CsrTopology snapshot to the implicit interface
+/// (binary search into the sorted neighbor span). Non-owning: the snapshot
+/// must outlive the view. Lets the sharded engine run arbitrary graphs —
+/// G(n,p), digraphs — and lets tests A/B implicit vs materialized adjacency
+/// through one code path.
+class CsrBackedTopology final : public ImplicitTopology {
+ public:
+  explicit CsrBackedTopology(const CsrTopology& csr) : csr_(&csr) {}
+
+  std::size_t node_count() const noexcept override {
+    return csr_->node_count();
+  }
+  void append_out_neighbors_in(NodeId u, NodeId lo, NodeId hi,
+                               std::vector<NodeId>& out) const override;
+  std::size_t max_out_degree() const override;
+
+ private:
+  const CsrTopology* csr_;
+};
+
+}  // namespace radiocast::graph

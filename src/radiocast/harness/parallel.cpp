@@ -1,75 +1,21 @@
 #include "radiocast/harness/parallel.hpp"
 
 #include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "radiocast/common/worker_pool.hpp"
 #include "radiocast/obs/metrics.hpp"
 
 namespace radiocast::harness {
 
-namespace {
-
-std::size_t hardware_threads() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
-
-void warn_threads_once(const char* value, const char* why) {
-  static std::atomic<bool> warned{false};
-  if (!warned.exchange(true)) {
-    std::fprintf(stderr,
-                 "warning: RADIOCAST_THREADS='%s' %s; using default\n",
-                 value, why);
-  }
-}
-
-void warn_clamp_once(const char* value, std::size_t ceiling) {
-  static std::atomic<bool> warned{false};
-  if (!warned.exchange(true)) {
-    std::fprintf(stderr,
-                 "warning: RADIOCAST_THREADS='%s' exceeds the sane ceiling; "
-                 "clamping to %zu (4x hardware threads)\n",
-                 value, ceiling);
-  }
-}
-
-}  // namespace
-
 std::size_t default_thread_count() {
-  const std::size_t hw = hardware_threads();
-  // Worker-pool sizing only; results are thread-count-invariant by the
-  // docs/PARALLELISM.md contract, so this read cannot touch a trajectory.
-  // RADIOCAST_LINT_OK(R2): pool sizing; results are thread-count-invariant
-  if (const char* v = std::getenv("RADIOCAST_THREADS")) {
-    // Strict parse: the whole value must be a positive decimal number.
-    // "8x" or "1e3" silently truncating to 8 / 1 (or overflow saturating
-    // to LONG_MAX and spawning absurd worker counts) is exactly the bug
-    // this guard exists for.
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(v, &end, 10);
-    const bool overflowed = errno == ERANGE;
-    const bool fully_consumed = end != v && end != nullptr && *end == '\0';
-    if (!fully_consumed || overflowed || parsed <= 0) {
-      warn_threads_once(v, overflowed ? "overflows" : "is not a positive integer");
-      return hw;
-    }
-    // A worker pool far wider than the machine only adds scheduling noise;
-    // clamp to a generous oversubscription ceiling.
-    const std::size_t ceiling = 4 * hw;
-    if (static_cast<unsigned long>(parsed) > ceiling) {
-      warn_clamp_once(v, ceiling);
-      return ceiling;
-    }
-    return static_cast<std::size_t>(parsed);
-  }
-  return hw;
+  // The resolution (RADIOCAST_THREADS strict parse, 4x hardware clamp)
+  // lives in common/worker_pool.cpp so the sharded slot engine — which
+  // sits below the harness — shares the exact same policy.
+  return common::default_thread_count();
 }
 
 void for_each_trial(std::size_t count, std::size_t threads,

@@ -1,0 +1,250 @@
+#include "radiocast/sim/sharded.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace radiocast::sim {
+
+ScaleTrace::ScaleTrace(std::size_t n, Slot sample_period)
+    : sample_period_(sample_period), first_delivery_(n, kNever) {}
+
+ShardedSimulator::ShardedSimulator(const graph::ImplicitTopology& topo,
+                                   ShardedSimOptions options)
+    : topo_(&topo),
+      options_(options),
+      trace_(topo.node_count(), options.trace_sample_period),
+      protocols_(topo.node_count()),
+      pool_(options.threads),
+      kind_(topo.node_count(), static_cast<std::uint8_t>(ActionKind::kIdle)),
+      hear_count_(topo.node_count(), 0),
+      heard_from_(topo.node_count(), kNoNode),
+      tx_message_(topo.node_count(), nullptr) {
+  const std::size_t n = topo.node_count();
+  RADIOCAST_CHECK_MSG(n <= kNoNode, "node count overflows the NodeId range");
+  node_rngs_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    node_rngs_.emplace_back(options_.seed, /*stream=*/v);
+  }
+  std::size_t shard_count =
+      options_.shards == 0 ? pool_.thread_count() : options_.shards;
+  shard_count = std::max<std::size_t>(1, std::min(shard_count, std::max<std::size_t>(n, 1)));
+  shards_.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_[s].begin = static_cast<NodeId>(n * s / shard_count);
+    shards_[s].end = static_cast<NodeId>(n * (s + 1) / shard_count);
+    shards_[s].terminated_prefix = shards_[s].begin;
+  }
+}
+
+void ShardedSimulator::set_protocol(NodeId v, std::unique_ptr<Protocol> p) {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  RADIOCAST_CHECK_MSG(!started_, "cannot replace protocols after start");
+  RADIOCAST_CHECK_MSG(p != nullptr, "protocol must not be null");
+  protocols_[v] = std::move(p);
+}
+
+void ShardedSimulator::install_all(
+    const std::function<std::unique_ptr<Protocol>(NodeId)>& factory) {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    set_protocol(v, factory(v));
+  }
+}
+
+Protocol& ShardedSimulator::protocol(NodeId v) {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  RADIOCAST_CHECK_MSG(protocols_[v] != nullptr, "no protocol installed");
+  return *protocols_[v];
+}
+
+const Protocol& ShardedSimulator::protocol(NodeId v) const {
+  RADIOCAST_CHECK_MSG(v < node_count(), "node id out of range");
+  RADIOCAST_CHECK_MSG(protocols_[v] != nullptr, "no protocol installed");
+  return *protocols_[v];
+}
+
+void ShardedSimulator::run_shard_sweep(Shard& shard, bool sampled) {
+  const std::uint8_t kReceiveByte =
+      static_cast<std::uint8_t>(ActionKind::kReceive);
+  // Phase 2 (shard-local): project every transmitter's audience onto this
+  // shard's id interval. Only [shard.begin, shard.end) slices of
+  // hear_count_ / heard_from_ are written, so shards never contend.
+  shard.touched.clear();
+  for (const NodeId u : transmitters_) {
+    shard.neighbor_buf.clear();
+    topo_->append_out_neighbors_in(u, shard.begin, shard.end,
+                                   shard.neighbor_buf);
+    for (const NodeId v : shard.neighbor_buf) {
+      if (kind_[v] != kReceiveByte) {
+        continue;
+      }
+      if (++hear_count_[v] == 1) {
+        heard_from_[v] = u;
+        shard.touched.push_back(v);
+      }
+    }
+  }
+  // Phase 3 (shard-local): resolve this shard's receivers in increasing id
+  // order. Shards are contiguous and ascending, so concatenating the
+  // shards' work reproduces the classic engine's global 0..n-1 order.
+  std::sort(shard.touched.begin(), shard.touched.end());
+  for (const NodeId v : shard.touched) {
+    const std::uint32_t count = hear_count_[v];
+    hear_count_[v] = 0;
+    if (count == 1) {
+      const NodeId sender = heard_from_[v];
+      if (trace_.first_delivery_[v] == kNever) {
+        trace_.first_delivery_[v] = now_;
+        ++shard.newly_delivered;
+      }
+      ++shard.deliveries;
+      if (sampled) {
+        shard.sampled_deliveries.push_back(Delivery{v, sender});
+      }
+      NodeContext ctx = make_context(v);
+      protocols_[v]->on_receive(ctx, *tx_message_[sender]);
+    } else {
+      ++shard.collisions;
+      if (sampled) {
+        shard.sampled_collisions.push_back(v);
+      }
+      if (options_.collision_detection) {
+        // An unreliable detector misses this collision with the configured
+        // probability — the receiver then experiences plain silence. Same
+        // draw, from the same per-node stream, as the classic engine.
+        if (options_.cd_false_negative_rate > 0.0 &&
+            node_rngs_[v].bernoulli(options_.cd_false_negative_rate)) {
+          continue;
+        }
+        NodeContext ctx = make_context(v);
+        protocols_[v]->on_collision(ctx);
+      }
+    }
+  }
+  // Advance the terminated prefix now that this slot can no longer change
+  // any of this shard's protocol states (termination is monotone).
+  while (shard.terminated_prefix < shard.end &&
+         protocols_[shard.terminated_prefix]->terminated()) {
+    ++shard.terminated_prefix;
+  }
+}
+
+void ShardedSimulator::step() {
+  const std::size_t n = node_count();
+  if (!started_) {
+    for (NodeId v = 0; v < n; ++v) {
+      RADIOCAST_CHECK_MSG(protocols_[v] != nullptr,
+                          "every node needs a protocol before step()");
+    }
+    started_ = true;
+    pool_.run(shards_.size(), [this](std::size_t s) {
+      for (NodeId v = shards_[s].begin; v < shards_[s].end; ++v) {
+        NodeContext ctx = make_context(v);
+        protocols_[v]->on_start(ctx);
+      }
+    });
+  }
+
+  ++trace_.total_slots_;
+  const bool sampled = options_.trace_sample_period > 0 &&
+                       now_ % options_.trace_sample_period == 0;
+
+  // Phase 1: poll every node's protocol, shard-parallel. Each shard writes
+  // only its own kind_ slice and collects its own (ascending) transmitter
+  // list; node rngs are per-node streams, so polling order is irrelevant.
+  pool_.run(shards_.size(), [this](std::size_t s) {
+    Shard& shard = shards_[s];
+    shard.tx_ids.clear();
+    shard.tx_messages.clear();
+    for (NodeId v = shard.begin; v < shard.end; ++v) {
+      NodeContext ctx = make_context(v);
+      Action a = protocols_[v]->on_slot(ctx);
+      kind_[v] = static_cast<std::uint8_t>(a.kind);
+      if (a.kind == ActionKind::kTransmit) {
+        shard.tx_ids.push_back(v);
+        shard.tx_messages.push_back(std::move(a.message));
+      }
+    }
+  });
+
+  // Serial merge: concatenating the shards' ascending transmitter lists in
+  // shard order yields the globally ascending transmitter set; publish
+  // each transmitter's message pointer for phase 3.
+  transmitters_.clear();
+  for (Shard& shard : shards_) {
+    for (std::size_t i = 0; i < shard.tx_ids.size(); ++i) {
+      const NodeId u = shard.tx_ids[i];
+      transmitters_.push_back(u);
+      tx_message_[u] = &shard.tx_messages[i];
+    }
+  }
+  trace_.total_tx_ += transmitters_.size();
+
+  // Phases 2 + 3, fused per shard: a shard's deliveries depend only on its
+  // own hear-count slice, which no other shard touches, so there is no
+  // barrier between the sweep and the resolution.
+  pool_.run(shards_.size(), [this, sampled](std::size_t s) {
+    run_shard_sweep(shards_[s], sampled);
+  });
+
+  // Serial reduce: fold the per-shard counters (order-independent sums)
+  // and splice sampled records in shard order == receiver id order.
+  bool all_done = true;
+  SlotRecord* record = nullptr;
+  if (sampled) {
+    trace_.sampled_.emplace_back();
+    record = &trace_.sampled_.back();
+    record->slot = now_;
+    record->transmitters = transmitters_;
+  }
+  for (Shard& shard : shards_) {
+    trace_.total_rx_ += shard.deliveries;
+    trace_.total_coll_ += shard.collisions;
+    trace_.delivered_count_ += shard.newly_delivered;
+    shard.deliveries = 0;
+    shard.collisions = 0;
+    shard.newly_delivered = 0;
+    if (record != nullptr) {
+      record->deliveries.insert(record->deliveries.end(),
+                                shard.sampled_deliveries.begin(),
+                                shard.sampled_deliveries.end());
+      record->collision_receivers.insert(record->collision_receivers.end(),
+                                         shard.sampled_collisions.begin(),
+                                         shard.sampled_collisions.end());
+    }
+    shard.sampled_deliveries.clear();
+    shard.sampled_collisions.clear();
+    all_done = all_done && shard.terminated_prefix == shard.end;
+  }
+  all_terminated_ = all_done;
+
+  ++now_;
+}
+
+Slot ShardedSimulator::run_to_quiescence(Slot max_slots) {
+  // At least one step so on_start effects are observable even for
+  // protocols that are terminated from the outset (same contract as the
+  // classic engine).
+  while (now_ < max_slots) {
+    if (now_ > 0 && all_terminated()) {
+      break;
+    }
+    step();
+  }
+  return now_;
+}
+
+bool ShardedSimulator::all_terminated() const {
+  if (started_) {
+    // Maintained incrementally: each shard advances its terminated prefix
+    // at the end of its sweep, and step() folds the verdict.
+    return all_terminated_;
+  }
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (protocols_[v] == nullptr || !protocols_[v]->terminated()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace radiocast::sim

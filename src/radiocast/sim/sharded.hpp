@@ -1,0 +1,226 @@
+// The receiver-sharded slot engine for million-node topologies.
+//
+// The classic Simulator walks a materialized CSR snapshot serially; at
+// n >= 10^5 a slot no longer fits in cache and throughput collapses
+// (BENCH_engine.json: 95k slots/s at n = 256 down to 5.6k at n = 4096).
+// ShardedSimulator re-shapes the slot loop for scale:
+//
+//   * adjacency comes from a graph::ImplicitTopology, so grid/hypercube/
+//     unit-disk families at n = 10^6–10^7 never materialize their arc
+//     lists (a CsrBackedTopology view runs arbitrary materialized graphs
+//     through the same engine);
+//   * receivers are partitioned into contiguous id shards, each with its
+//     own scratch (touched list, neighbor buffer, delivery buffers), and
+//     the three slot phases gang-dispatch over a persistent
+//     common::WorkerPool — every shard only ever writes its own slice of
+//     per-node state, so there are no locks in the slot path;
+//   * observation is a sampling ScaleTrace: aggregate totals plus each
+//     node's first-delivery slot are always on, full per-slot records only
+//     for slots selected by trace_sample_period, so omniscient bookkeeping
+//     is opt-in rather than the bottleneck.
+//
+// Determinism contract (docs/PARALLELISM.md): node i draws only from its
+// own (seed, i) substream and every per-node array is sliced by shard, so
+// results — trace totals, first deliveries, sampled slot records, every
+// protocol's final state — are bit-identical for ANY shard count and ANY
+// thread count, and match the classic Simulator slot for slot
+// (tests/test_sharded.cpp pins both equivalences).
+//
+// Scope: the scale engine deliberately omits the classic engine's
+// per-slot event queue, liveness mask and FaultHook, and it hands
+// protocols empty neighbor spans — it is built for topology-oblivious
+// protocols (Decay, BGI broadcast: the paper's §2.2 "no topology
+// knowledge" property). Deterministic protocols that read
+// NodeContext::neighbors_*() must use the classic Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/common/worker_pool.hpp"
+#include "radiocast/graph/implicit.hpp"
+#include "radiocast/sim/protocol.hpp"
+#include "radiocast/sim/trace.hpp"
+
+namespace radiocast::sim {
+
+struct ShardedSimOptions {
+  std::uint64_t seed = 1;
+  /// Collision-detection model variant; same semantics as SimOptions.
+  bool collision_detection = false;
+  /// Probability a collision goes undetected (receiver hears silence);
+  /// drawn from the receiver's own rng stream, exactly like the classic
+  /// engine, so CD runs stay comparable across engines.
+  double cd_false_negative_rate = 0.0;
+  /// Receiver shards. 0 = one per worker thread. Results never depend on
+  /// this; only wall-clock does.
+  std::size_t shards = 0;
+  /// Worker threads. 0 = common::default_thread_count() (RADIOCAST_THREADS
+  /// aware). 1 runs everything inline.
+  std::size_t threads = 0;
+  /// Record a full SlotRecord for slots where now % period == 0; 0 turns
+  /// per-slot records off entirely. Aggregate totals and first-delivery
+  /// slots are always maintained.
+  Slot trace_sample_period = 0;
+};
+
+/// Sampling observation for the sharded engine. Cheap invariants (totals,
+/// per-node first delivery) are always on; full SlotRecords exist only for
+/// sampled slots. Unlike sim::Trace it does not publish obs metrics at
+/// destruction and keeps no per-node transmission/delivery counters — at
+/// n = 10^6 those cost more than the simulation.
+class ScaleTrace {
+ public:
+  ScaleTrace(std::size_t n, Slot sample_period);
+
+  /// Slot in which `v` first received a message; kNever if it has not.
+  Slot first_delivery(NodeId v) const {
+    RADIOCAST_CHECK_MSG(v < first_delivery_.size(), "node id out of range");
+    return first_delivery_[v];
+  }
+
+  /// Number of nodes that have received at least one message.
+  std::size_t delivered_count() const noexcept { return delivered_count_; }
+
+  std::uint64_t total_slots() const noexcept { return total_slots_; }
+  std::uint64_t total_transmissions() const noexcept { return total_tx_; }
+  std::uint64_t total_deliveries() const noexcept { return total_rx_; }
+  std::uint64_t total_collisions() const noexcept { return total_coll_; }
+
+  Slot sample_period() const noexcept { return sample_period_; }
+  /// Records of the sampled slots (slot % period == 0), in slot order.
+  const std::vector<SlotRecord>& sampled_slots() const noexcept {
+    return sampled_;
+  }
+
+ private:
+  friend class ShardedSimulator;
+
+  Slot sample_period_;
+  std::vector<Slot> first_delivery_;
+  std::size_t delivered_count_ = 0;
+  std::uint64_t total_slots_ = 0;
+  std::uint64_t total_tx_ = 0;
+  std::uint64_t total_rx_ = 0;
+  std::uint64_t total_coll_ = 0;
+  std::vector<SlotRecord> sampled_;
+};
+
+class ShardedSimulator {
+ public:
+  /// `topo` is not owned and must outlive the simulator.
+  explicit ShardedSimulator(const graph::ImplicitTopology& topo,
+                            ShardedSimOptions options = {});
+
+  /// Installs `p` at node `v`. Must happen before the first step().
+  void set_protocol(NodeId v, std::unique_ptr<Protocol> p);
+
+  /// Constructs a protocol of type P in place at node `v`; returns it.
+  template <typename P, typename... Args>
+  P& emplace_protocol(NodeId v, Args&&... args) {
+    auto owned = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *owned;
+    set_protocol(v, std::move(owned));
+    return ref;
+  }
+
+  /// Installs factory(v) at every node.
+  void install_all(
+      const std::function<std::unique_ptr<Protocol>(NodeId)>& factory);
+
+  /// Runs one slot. Precondition: every node has a protocol.
+  void step();
+
+  /// Steps until every node's protocol reports terminated() or `max_slots`
+  /// elapse (at least one step runs). Returns now().
+  Slot run_to_quiescence(Slot max_slots);
+
+  Slot now() const noexcept { return now_; }
+  std::size_t node_count() const noexcept { return topo_->node_count(); }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t thread_count() const noexcept { return pool_.thread_count(); }
+
+  const graph::ImplicitTopology& topology() const noexcept { return *topo_; }
+  const ScaleTrace& trace() const noexcept { return trace_; }
+
+  Protocol& protocol(NodeId v);
+  const Protocol& protocol(NodeId v) const;
+
+  /// Typed access to a node's protocol. Throws ContractViolation on
+  /// type mismatch (always a harness bug).
+  template <typename P>
+  P& protocol_as(NodeId v) {
+    auto* p = dynamic_cast<P*>(&protocol(v));
+    RADIOCAST_CHECK_MSG(p != nullptr, "protocol type mismatch");
+    return *p;
+  }
+  template <typename P>
+  const P& protocol_as(NodeId v) const {
+    const auto* p = dynamic_cast<const P*>(&protocol(v));
+    RADIOCAST_CHECK_MSG(p != nullptr, "protocol type mismatch");
+    return *p;
+  }
+
+  bool all_terminated() const;
+
+ private:
+  /// Per-shard scratch. Shard s owns the contiguous node interval
+  /// [begin, end) and is the only writer of every per-node array slice in
+  /// that interval while a phase is in flight.
+  struct Shard {
+    NodeId begin = 0;
+    NodeId end = 0;
+    // Phase 1 output: this shard's transmitters (ascending) and their
+    // messages; message storage is stable until the next slot, so
+    // tx_message_ pointers into it stay valid through phase 3.
+    std::vector<NodeId> tx_ids;
+    std::vector<Message> tx_messages;
+    // Phase 2/3 scratch.
+    std::vector<NodeId> touched;
+    std::vector<NodeId> neighbor_buf;
+    // Per-slot counters, reduced serially after the phases.
+    std::uint64_t deliveries = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t newly_delivered = 0;
+    // Sampled-slot output (only filled on sampled slots).
+    std::vector<Delivery> sampled_deliveries;
+    std::vector<NodeId> sampled_collisions;
+    /// Nodes [begin, terminated_prefix) have reported terminated();
+    /// termination is monotone, so they are never polled again.
+    NodeId terminated_prefix = 0;
+  };
+
+  NodeContext make_context(NodeId v) {
+    return NodeContext(v, now_, node_rngs_[v], {}, {},
+                       options_.collision_detection);
+  }
+
+  void run_shard_sweep(Shard& shard, bool sampled);
+
+  const graph::ImplicitTopology* topo_;
+  ShardedSimOptions options_;
+  ScaleTrace trace_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::vector<rng::Rng> node_rngs_;
+  common::WorkerPool pool_;
+  std::vector<Shard> shards_;
+  Slot now_ = 0;
+  bool started_ = false;
+  bool all_terminated_ = false;
+
+  /// actions' kinds as a packed byte array, one per node (same trick as
+  /// the classic engine). Written by each node's own shard in phase 1,
+  /// read shard-locally in phases 2–3.
+  std::vector<std::uint8_t> kind_;
+  std::vector<std::uint32_t> hear_count_;  ///< all-zero between slots
+  std::vector<NodeId> heard_from_;
+  /// tx_message_[u] points at u's message for the current slot; valid only
+  /// for u in this slot's transmitter set (stale otherwise, never read).
+  std::vector<const Message*> tx_message_;
+  std::vector<NodeId> transmitters_;  ///< this slot's transmitters, by id
+};
+
+}  // namespace radiocast::sim

@@ -26,6 +26,8 @@ struct SlotRecord {
   std::vector<NodeId> transmitters;  ///< sorted
   std::vector<Delivery> deliveries;
   std::vector<NodeId> collision_receivers;  ///< receivers with >= 2 senders
+
+  friend bool operator==(const SlotRecord&, const SlotRecord&) = default;
 };
 
 class Trace {

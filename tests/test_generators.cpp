@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "radiocast/graph/algorithms.hpp"
@@ -161,6 +162,101 @@ TEST(Generators, DeterministicGivenSeed) {
   rng::Rng a(42);
   rng::Rng b(42);
   EXPECT_EQ(connected_gnp(60, 0.1, a), connected_gnp(60, 0.1, b));
+}
+
+TEST(Generators, GeometricCellCountClampsToSqrtN) {
+  // floor(1/radius) when the radius dominates ...
+  EXPECT_EQ(geometric_cell_count(10'000, 0.25), 4U);
+  // ... clamped to O(sqrt(n)) when it does not: 1e-4 alone would mean
+  // 10^4 cells per side (10^8 buckets) for only 100 points.
+  EXPECT_EQ(geometric_cell_count(100, 1e-4), 10U);
+  // Degenerate corners stay at >= 1 cell.
+  EXPECT_EQ(geometric_cell_count(0, 0.5), 1U);
+  EXPECT_EQ(geometric_cell_count(100, 2.0), 1U);
+  EXPECT_THROW(geometric_cell_count(100, 0.0), ContractViolation);
+}
+
+TEST(Generators, RandomGeometricTinyRadiusStaysSmall) {
+  // Regression: the bucket grid used to be sized floor(1/radius)^2 with no
+  // dependence on n — radius 1e-4 at n = 100 allocated ~10^8 empty vectors
+  // (multiple GB). Post-clamp this must build instantly and degenerate to
+  // the connectivity chain (no two of 100 random points are within 1e-4 of
+  // each other with overwhelming probability).
+  rng::Rng rng(8);
+  const Graph g = random_geometric(100, 1e-4, rng);
+  EXPECT_EQ(g.node_count(), 100U);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(is_connected_undirected(g));
+  EXPECT_GE(g.arc_count(), 2U * 99U);
+}
+
+TEST(Generators, GridRejectsNodeIdOverflow) {
+  // 2^17 x 2^17 = 2^34 ids would silently wrap NodeId; the guard must
+  // fire before any allocation is attempted.
+  EXPECT_THROW(grid(std::size_t{1} << 17, std::size_t{1} << 17),
+               ContractViolation);
+  EXPECT_THROW(grid(std::size_t{1} << 40, 2), ContractViolation);
+}
+
+TEST(Generators, HypercubeRejectsOverlargeDimension) {
+  EXPECT_THROW(hypercube(26), ContractViolation);
+  EXPECT_THROW(hypercube(40), ContractViolation);
+}
+
+TEST(Generators, PathOfCliquesRejectsNodeIdOverflow) {
+  EXPECT_THROW(path_of_cliques(std::size_t{1} << 17, std::size_t{1} << 17),
+               ContractViolation);
+}
+
+TEST(GraphBuilder, MatchesIncrementalConstruction) {
+  // The bulk path must produce a Graph arc-for-arc identical to repeated
+  // add_arc, including dedup of duplicate insertions, for a randomized
+  // arc soup.
+  rng::Rng rng(9);
+  const std::size_t n = 40;
+  Graph incremental(n);
+  GraphBuilder builder(n);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform(n));
+    const auto v = static_cast<NodeId>(rng.uniform(n));
+    if (u == v) {
+      continue;
+    }
+    if (rng.fair_coin()) {
+      incremental.add_arc(u, v);
+      builder.add_arc(u, v);
+    } else {
+      incremental.add_edge(u, v);
+      builder.add_edge(u, v);
+    }
+  }
+  const Graph bulk = builder.build();
+  EXPECT_EQ(bulk, incremental);
+  EXPECT_EQ(bulk.arc_count(), incremental.arc_count());
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_TRUE(std::ranges::equal(bulk.in_neighbors(v),
+                                   incremental.in_neighbors(v)))
+        << "in-neighbors of " << v;
+  }
+  EXPECT_EQ(bulk.max_in_degree(), incremental.max_in_degree());
+}
+
+TEST(GraphBuilder, RejectsInvalidArcs) {
+  GraphBuilder b(4);
+  EXPECT_THROW(b.add_arc(0, 4), ContractViolation);
+  EXPECT_THROW(b.add_arc(2, 2), ContractViolation);
+}
+
+TEST(GraphBuilder, BuiltGraphSupportsFurtherMutation) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Graph g = b.build();
+  const std::uint64_t v0 = g.version();
+  EXPECT_TRUE(g.add_edge(2, 3));
+  EXPECT_GT(g.version(), v0);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.add_arc(0, 1));  // already present
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// Differential suite for implicit adjacency (graph/implicit.hpp): every
+// implicit family must reproduce its materialized generator twin arc for
+// arc, and the range-query contract (ascending, duplicate-free, partition-
+// composable) must hold — the sharded slot engine's correctness rests on
+// concatenated per-shard range queries equaling the full neighbor list.
+#include "radiocast/graph/implicit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "radiocast/graph/csr.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/rng/rng.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+/// The implicit topology's materialization must equal `expected` exactly
+/// (operator== compares full adjacency), and degrees/arc counts must agree.
+void expect_matches(const ImplicitTopology& topo, const Graph& expected) {
+  ASSERT_EQ(topo.node_count(), expected.node_count());
+  EXPECT_TRUE(topo.materialize() == expected);
+  EXPECT_EQ(topo.arc_count(), expected.arc_count());
+  std::size_t max_deg = 0;
+  for (NodeId u = 0; u < expected.node_count(); ++u) {
+    EXPECT_EQ(topo.out_degree(u), expected.out_degree(u)) << "node " << u;
+    max_deg = std::max(max_deg, expected.out_degree(u));
+  }
+  EXPECT_EQ(topo.max_out_degree(), max_deg);
+}
+
+/// Concatenating range queries over any partition of [0, n) must equal the
+/// full neighbor list: the exact composition the receiver shards perform.
+void expect_partition_composes(const ImplicitTopology& topo) {
+  const auto n = static_cast<NodeId>(topo.node_count());
+  // Uneven boundaries on purpose (including empty intervals).
+  const std::vector<NodeId> cuts = {0, n / 7, n / 7, n / 3, n / 2,
+                                    static_cast<NodeId>(n - n / 5), n};
+  std::vector<NodeId> full;
+  std::vector<NodeId> pieced;
+  for (NodeId u = 0; u < n; ++u) {
+    full.clear();
+    topo.append_out_neighbors(u, full);
+    pieced.clear();
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+      topo.append_out_neighbors_in(u, cuts[c], cuts[c + 1], pieced);
+    }
+    EXPECT_EQ(pieced, full) << "node " << u;
+  }
+}
+
+TEST(ImplicitGrid, MatchesMaterializedGenerator) {
+  for (const auto& [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{1, 1},
+        {1, 8},
+        {8, 1},
+        {2, 2},
+        {5, 7},
+        {16, 16}}) {
+    const GridTopology topo(rows, cols);
+    expect_matches(topo, grid(rows, cols));
+    expect_partition_composes(topo);
+  }
+}
+
+TEST(ImplicitGrid, SameOverflowGuardAsGenerator) {
+  EXPECT_THROW(GridTopology(std::size_t{1} << 17, std::size_t{1} << 17),
+               ContractViolation);
+}
+
+TEST(ImplicitHypercube, MatchesMaterializedGenerator) {
+  for (unsigned dim = 0; dim <= 7; ++dim) {
+    const HypercubeTopology topo(dim);
+    expect_matches(topo, hypercube(dim));
+    expect_partition_composes(topo);
+  }
+}
+
+TEST(ImplicitHypercube, SupportsLargeDimWithoutMaterializing) {
+  // dim = 30 would be a 2^30-node graph; adjacency queries must still be
+  // O(dim) with no allocation proportional to n.
+  const HypercubeTopology topo(30);
+  EXPECT_EQ(topo.node_count(), std::size_t{1} << 30);
+  EXPECT_EQ(topo.max_out_degree(), 30U);
+  std::vector<NodeId> nbrs;
+  topo.append_out_neighbors(5, nbrs);
+  ASSERT_EQ(nbrs.size(), 30U);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  for (const NodeId v : nbrs) {
+    EXPECT_EQ(__builtin_popcount(v ^ 5U), 1);
+  }
+  EXPECT_THROW(HypercubeTopology(32), ContractViolation);
+}
+
+TEST(ImplicitUnitDisk, BitIdenticalToRandomGeometric) {
+  for (const double radius : {0.05, 0.15, 0.4, 2.0}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                                std::size_t{37}, std::size_t{200}}) {
+      // Same seed => same point draws => the adjacency must be equal down
+      // to the last floating-point distance comparison and chain link.
+      rng::Rng gen_rng(99, n);
+      const Graph expected = random_geometric(n, radius, gen_rng);
+      rng::Rng topo_rng(99, n);
+      const UnitDiskTopology topo(n, radius, topo_rng);
+      expect_matches(topo, expected);
+      expect_partition_composes(topo);
+    }
+  }
+}
+
+TEST(ImplicitUnitDisk, TinyRadiusUsesClampedCellGrid) {
+  // Pre-clamp, radius 1e-4 at n = 100 would allocate 10^8 buckets; with
+  // geometric_cell_count the structure is O(n) and adjacency is exactly
+  // the connectivity chain (no pair is within radius w.h.p.).
+  rng::Rng gen_rng(7);
+  const Graph expected = random_geometric(100, 1e-4, gen_rng);
+  rng::Rng topo_rng(7);
+  const UnitDiskTopology topo(100, 1e-4, topo_rng);
+  expect_matches(topo, expected);
+}
+
+TEST(ImplicitCsrBacked, MatchesArbitraryMaterializedGraph) {
+  rng::Rng rng(123);
+  const Graph g = connected_gnp(120, 0.07, rng);
+  const CsrTopology csr(g);
+  const CsrBackedTopology topo(csr);
+  expect_matches(topo, g);
+  expect_partition_composes(topo);
+}
+
+TEST(ImplicitCsrBacked, AsymmetricDigraphKeepsDirectedArcs) {
+  rng::Rng rng(5);
+  const Graph g = random_strongly_reachable_digraph(60, 40, rng);
+  const CsrTopology csr(g);
+  const CsrBackedTopology topo(csr);
+  expect_matches(topo, g);
+}
+
+}  // namespace
+}  // namespace radiocast::graph

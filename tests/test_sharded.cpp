@@ -1,0 +1,271 @@
+// Equivalence suite for the receiver-sharded slot engine (sim/sharded.hpp).
+//
+// The contract under test extends the thread-invariance pattern of
+// tests/test_parallel.cpp to the intra-slot parallelism: a sharded run must
+// be bit-identical to the classic Simulator — per-slot transmitter sets,
+// deliveries, collisions, every node's protocol state and rng trajectory —
+// for ANY shard count and ANY thread count, on both implicit and
+// CSR-backed topologies, with and without collision detection.
+#include "radiocast/sim/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "radiocast/graph/csr.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/proto/broadcast.hpp"
+#include "radiocast/sim/simulator.hpp"
+
+namespace radiocast {
+namespace {
+
+using graph::connected_gnp;
+using graph::CsrBackedTopology;
+using graph::CsrTopology;
+using graph::grid;
+using graph::GridTopology;
+using graph::random_geometric;
+using graph::UnitDiskTopology;
+using proto::BgiBroadcast;
+using proto::BroadcastParams;
+using sim::ShardedSimOptions;
+using sim::ShardedSimulator;
+using sim::SimOptions;
+using sim::Simulator;
+
+constexpr std::uint64_t kSeed = 42;
+
+std::function<std::unique_ptr<sim::Protocol>(NodeId)> bgi_factory(
+    BroadcastParams params, NodeId source) {
+  return [params, source](NodeId v) -> std::unique_ptr<sim::Protocol> {
+    if (v == source) {
+      sim::Message m;
+      m.origin = source;
+      return std::make_unique<BgiBroadcast>(params, m);
+    }
+    return std::make_unique<BgiBroadcast>(params);
+  };
+}
+
+/// A topology-oblivious mixing protocol that exercises deliveries AND
+/// collisions heavily: transmit with probability 0.35, else listen; count
+/// what happens. Never terminates (runs are fixed-length).
+class MixProtocol final : public sim::Protocol {
+ public:
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    if (ctx.rng().bernoulli(0.35)) {
+      sim::Message m;
+      m.origin = ctx.id();
+      m.tag = ++sent_;
+      return sim::Action::transmit(std::move(m));
+    }
+    return sim::Action::receive();
+  }
+  void on_receive(sim::NodeContext& ctx, const sim::Message& m) override {
+    received_ += 1;
+    last_heard_ = m.origin;
+    // Draw from the node stream so any engine divergence snowballs into
+    // visibly different trajectories.
+    if (ctx.rng().fair_coin()) {
+      coin_heads_ += 1;
+    }
+  }
+  void on_collision(sim::NodeContext& /*ctx*/) override { collisions_ += 1; }
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t coin_heads_ = 0;
+  NodeId last_heard_ = kNoNode;
+};
+
+void expect_same_trajectory(Simulator& classic, ShardedSimulator& sharded) {
+  ASSERT_EQ(classic.now(), sharded.now());
+  const auto& ct = classic.trace();
+  const auto& st = sharded.trace();
+  EXPECT_EQ(ct.total_slots(), st.total_slots());
+  EXPECT_EQ(ct.total_transmissions(), st.total_transmissions());
+  EXPECT_EQ(ct.total_deliveries(), st.total_deliveries());
+  EXPECT_EQ(ct.total_collisions(), st.total_collisions());
+  std::size_t delivered = 0;
+  for (NodeId v = 0; v < classic.node_count(); ++v) {
+    EXPECT_EQ(ct.first_delivery(v), st.first_delivery(v)) << "node " << v;
+    delivered += ct.first_delivery(v) != kNever ? 1 : 0;
+  }
+  EXPECT_EQ(st.delivered_count(), delivered);
+  // With sample period 1 every classic slot record must reappear verbatim.
+  if (st.sample_period() == 1) {
+    ASSERT_EQ(st.sampled_slots().size(), ct.slots().size());
+    for (std::size_t i = 0; i < ct.slots().size(); ++i) {
+      EXPECT_EQ(st.sampled_slots()[i], ct.slots()[i]) << "slot " << i;
+    }
+  }
+}
+
+TEST(ShardedEngine, BgiOnUnitDiskMatchesClassicAtEveryShardThreadCount) {
+  const std::size_t n = 150;
+  const double radius = 0.12;
+  rng::Rng graph_rng(kSeed, 7);
+  const graph::Graph g = random_geometric(n, radius, graph_rng);
+  const BroadcastParams params{.network_size_bound = n,
+                               .degree_bound = g.max_in_degree()};
+
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(bgi_factory(params, 0));
+  const Slot classic_end = classic.run_to_quiescence(50'000);
+  ASSERT_LT(classic_end, 50'000U);
+
+  for (const auto& [shards, threads] :
+       {std::pair<std::size_t, std::size_t>{1, 1},
+        {1, 4},
+        {2, 2},
+        {3, 1},
+        {5, 4},
+        {8, 8},
+        {150, 4}}) {
+    rng::Rng topo_rng(kSeed, 7);
+    const UnitDiskTopology topo(n, radius, topo_rng);
+    ShardedSimulator sharded(topo, {.seed = kSeed,
+                                    .shards = shards,
+                                    .threads = threads,
+                                    .trace_sample_period = 1});
+    sharded.install_all(bgi_factory(params, 0));
+    EXPECT_EQ(sharded.run_to_quiescence(50'000), classic_end)
+        << "shards=" << shards << " threads=" << threads;
+    expect_same_trajectory(classic, sharded);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(sharded.protocol_as<BgiBroadcast>(v).informed_at(),
+                classic.protocol_as<BgiBroadcast>(v).informed_at());
+    }
+  }
+}
+
+TEST(ShardedEngine, BgiOnImplicitGridMatchesClassic) {
+  const std::size_t rows = 9;
+  const std::size_t cols = 17;
+  const graph::Graph g = grid(rows, cols);
+  const BroadcastParams params{.network_size_bound = rows * cols,
+                               .degree_bound = g.max_in_degree()};
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(bgi_factory(params, 3));
+  const Slot end = classic.run_to_quiescence(50'000);
+  ASSERT_LT(end, 50'000U);
+
+  const GridTopology topo(rows, cols);
+  ShardedSimulator sharded(topo,
+                           {.seed = kSeed, .shards = 4, .threads = 2,
+                            .trace_sample_period = 1});
+  sharded.install_all(bgi_factory(params, 3));
+  EXPECT_EQ(sharded.run_to_quiescence(50'000), end);
+  expect_same_trajectory(classic, sharded);
+}
+
+TEST(ShardedEngine, CollisionDetectionFalseNegativesMatchClassic) {
+  // A dense topology under heavy contention: collisions every slot, an
+  // unreliable detector drawing from each receiver's rng stream, and a
+  // protocol that draws again on every delivery. Any engine divergence in
+  // draw order diverges the trajectories immediately.
+  const std::size_t n = 48;
+  rng::Rng graph_rng(kSeed, 1);
+  const graph::Graph g = connected_gnp(n, 0.2, graph_rng);
+  const SimOptions classic_options{.seed = kSeed,
+                                   .collision_detection = true,
+                                   .cd_false_negative_rate = 0.3,
+                                   .trace_slots = true};
+  Simulator classic(g, classic_options);
+  classic.install_all(
+      [](NodeId) { return std::make_unique<MixProtocol>(); });
+  const Slot kSlots = 250;
+  while (classic.now() < kSlots) {
+    classic.step();
+  }
+
+  const CsrTopology csr(g);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}}) {
+    const CsrBackedTopology topo(csr);
+    ShardedSimulator sharded(topo, {.seed = kSeed,
+                                    .collision_detection = true,
+                                    .cd_false_negative_rate = 0.3,
+                                    .shards = shards,
+                                    .threads = 4,
+                                    .trace_sample_period = 1});
+    sharded.install_all(
+        [](NodeId) { return std::make_unique<MixProtocol>(); });
+    while (sharded.now() < kSlots) {
+      sharded.step();
+    }
+    expect_same_trajectory(classic, sharded);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& a = classic.protocol_as<MixProtocol>(v);
+      const auto& b = sharded.protocol_as<MixProtocol>(v);
+      EXPECT_EQ(a.sent_, b.sent_) << "node " << v;
+      EXPECT_EQ(a.received_, b.received_) << "node " << v;
+      EXPECT_EQ(a.collisions_, b.collisions_) << "node " << v;
+      EXPECT_EQ(a.coin_heads_, b.coin_heads_) << "node " << v;
+      EXPECT_EQ(a.last_heard_, b.last_heard_) << "node " << v;
+    }
+  }
+}
+
+TEST(ShardedEngine, SamplingRecordsExactlyThePeriodSlots) {
+  const std::size_t n = 100;
+  const double radius = 0.15;
+  rng::Rng graph_rng(kSeed, 2);
+  const graph::Graph g = random_geometric(n, radius, graph_rng);
+  const BroadcastParams params{.network_size_bound = n,
+                               .degree_bound = g.max_in_degree()};
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(bgi_factory(params, 0));
+  const Slot end = classic.run_to_quiescence(50'000);
+
+  rng::Rng topo_rng(kSeed, 2);
+  const UnitDiskTopology topo(n, radius, topo_rng);
+  const Slot period = 7;
+  ShardedSimulator sharded(topo, {.seed = kSeed,
+                                  .shards = 5,
+                                  .threads = 4,
+                                  .trace_sample_period = period});
+  sharded.install_all(bgi_factory(params, 0));
+  EXPECT_EQ(sharded.run_to_quiescence(50'000), end);
+
+  const auto& sampled = sharded.trace().sampled_slots();
+  ASSERT_EQ(sampled.size(), (end + period - 1) / period);
+  for (const auto& record : sampled) {
+    EXPECT_EQ(record.slot % period, 0U);
+    // Each sampled record must equal the classic engine's full record.
+    EXPECT_EQ(record, classic.trace().slots()[record.slot]);
+  }
+  // Aggregate totals are always on, independent of sampling.
+  EXPECT_EQ(sharded.trace().total_slots(), classic.trace().total_slots());
+  EXPECT_EQ(sharded.trace().total_deliveries(),
+            classic.trace().total_deliveries());
+}
+
+TEST(ShardedEngine, TracingOffStillMaintainsTotalsAndFirstDeliveries) {
+  const GridTopology topo(6, 6);
+  const graph::Graph g = grid(6, 6);
+  const BroadcastParams params{.network_size_bound = 36,
+                               .degree_bound = g.max_in_degree()};
+  Simulator classic(g, {.seed = kSeed});
+  classic.install_all(bgi_factory(params, 0));
+  const Slot end = classic.run_to_quiescence(50'000);
+
+  ShardedSimulator sharded(topo, {.seed = kSeed});  // sampling off
+  sharded.install_all(bgi_factory(params, 0));
+  EXPECT_EQ(sharded.run_to_quiescence(50'000), end);
+  EXPECT_TRUE(sharded.trace().sampled_slots().empty());
+  expect_same_trajectory(classic, sharded);
+}
+
+TEST(ShardedEngine, GuardsProtocolInstallation) {
+  const GridTopology topo(3, 3);
+  ShardedSimulator sharded(topo, {.seed = kSeed});
+  EXPECT_THROW(sharded.step(), ContractViolation);
+  EXPECT_THROW(sharded.set_protocol(9, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace radiocast
