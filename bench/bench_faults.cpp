@@ -16,21 +16,26 @@
 // among successes, mean transmissions. Under --json-out the RunRecord
 // carries one gauge per cell plus the whole-run fault.* counters the
 // FaultPlans publish (fault.jammed_slots, fault.dropped_deliveries, ...).
+//
+// Every cell is computed through the sweep service's "faults" runner
+// (harness/sweep_runners.hpp): with --cache-dir (or RADIOCAST_CACHE_DIR)
+// set, cells hit the content-addressed result store when a prior run
+// already computed them, and cached cells are bit-identical to
+// recomputation by the determinism contract (docs/SWEEP.md).
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "radiocast/fault/config.hpp"
-#include "radiocast/graph/generators.hpp"
+#include "radiocast/cache/store.hpp"
+#include "radiocast/common/check.hpp"
 #include "radiocast/harness/batch_runner.hpp"
 #include "radiocast/harness/csv.hpp"
-#include "radiocast/harness/experiment.hpp"
 #include "radiocast/harness/options.hpp"
-#include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/report.hpp"
+#include "radiocast/harness/sweep_runners.hpp"
+#include "radiocast/harness/sweep_service.hpp"
 #include "radiocast/harness/table.hpp"
-#include "radiocast/rng/rng.hpp"
-#include "radiocast/stats/summary.hpp"
 
 namespace {
 
@@ -45,82 +50,42 @@ struct Cell {
   double rr_success = 0.0;
 };
 
-/// One sweep cell: every protocol runs `trials` times on `g`, each trial
-/// with its own fault seed derived from (fault_seed, cell_salt, trial) —
-/// the same per-trial seed discipline as the simulation itself, which is
-/// what keeps this bench bit-identical at any --threads. The BGI cells go
-/// through run_bgi_broadcast_trials with kAuto, so every fault kind in the
-/// sweeps (loss, jammers, crashes) runs on the bit-parallel lane engine;
-/// the engine derives the per-trial fault seeds from the cell-salted base
-/// seed internally.
-Cell run_cell(const graph::Graph& g, const proto::BroadcastParams& params,
-              const fault::FaultConfig& base, const harness::RunOptions& opt,
-              std::uint64_t cell_salt, harness::EngineSelection* selected) {
-  const std::uint64_t fault_base =
-      rng::mix64(harness::resolved_fault_seed(opt) ^ cell_salt);
-  const bool faulty = base.any();
-  const Slot det_budget = 64 * (g.node_count() + 2);
+double field(const obs::JsonValue& record, const char* name) {
+  const obs::JsonValue* v = record.find(name);
+  RADIOCAST_CHECK_MSG(v != nullptr, "faults record missing a field");
+  return v->as_double();
+}
+
+/// One sweep cell through the cache-or-compute service. The config holds
+/// everything the "faults" runner needs to reproduce the historical
+/// run_cell bit for bit (docs/SWEEP.md lists the fields); `computed` is
+/// bumped when the cell actually ran instead of loading from the store.
+Cell run_cell(harness::SweepService& service, std::size_t n,
+              const harness::RunOptions& opt, const std::string& kind,
+              double value, std::uint64_t cell_salt, std::size_t* computed) {
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("n", obs::JsonValue(static_cast<std::uint64_t>(n)));
+  config.set("trials", obs::JsonValue(
+      static_cast<std::uint64_t>(opt.trials)));
+  config.set("seed", obs::JsonValue(opt.seed));
+  config.set("eps", obs::JsonValue(0.1));
+  config.set("fault_seed", obs::JsonValue(harness::resolved_fault_seed(opt)));
+  config.set("cell_salt", obs::JsonValue(cell_salt));
+  config.set("kind", obs::JsonValue(kind));
+  config.set("value", obs::JsonValue(value));
+
+  const auto job = service.run_one("faults", config);
+  RADIOCAST_CHECK_MSG(job.status != harness::SweepService::JobStatus::kFailed,
+                      "faults cell failed");
+  if (job.status == harness::SweepService::JobStatus::kComputed) {
+    ++*computed;
+  }
   Cell cell;
-
-  const NodeId sources[] = {0};
-  const fault::FaultConfig fc = base.with_seed(fault_base);
-  const auto outcomes = harness::run_bgi_broadcast_trials(
-      g, sources, params, opt.seed, opt.trials, Slot{1} << 20,
-      {.threads = opt.threads,
-       .fault = faulty ? &fc : nullptr,
-       .selected = selected});
-  stats::Summary completion;
-  stats::Summary tx;
-  std::size_t ok = 0;
-  for (const auto& out : outcomes) {
-    tx.add(static_cast<double>(out.transmissions));
-    if (out.all_informed) {
-      ++ok;
-      completion.add(static_cast<double>(out.completion_slot));
-    }
-  }
-  cell.bgi_success = static_cast<double>(ok) /
-                     static_cast<double>(opt.trials);
-  cell.bgi_median_completion =
-      completion.count() > 0 ? completion.median() : -1.0;
-  cell.bgi_mean_tx = tx.mean();
-
-  // The deterministic controls have no protocol randomness; only the fault
-  // draw varies between trials, so they still need the Monte-Carlo loop.
-  const auto dfs_ok = harness::run_trials(
-      opt.trials,
-      [&](std::size_t trial) -> int {
-        const fault::FaultConfig fc =
-            base.with_seed(rng::mix64(fault_base ^ (trial + 0x1000000)));
-        return harness::run_dfs_broadcast(g, 0, det_budget,
-                                          faulty ? &fc : nullptr)
-                   .all_heard
-               ? 1
-               : 0;
-      },
-      opt.threads);
-  const auto rr_ok = harness::run_trials(
-      opt.trials,
-      [&](std::size_t trial) -> int {
-        const fault::FaultConfig fc =
-            base.with_seed(rng::mix64(fault_base ^ (trial + 0x2000000)));
-        return harness::run_round_robin(g, 0, det_budget,
-                                        faulty ? &fc : nullptr)
-                   .all_heard
-               ? 1
-               : 0;
-      },
-      opt.threads);
-  std::size_t dfs_n = 0;
-  std::size_t rr_n = 0;
-  for (std::size_t i = 0; i < opt.trials; ++i) {
-    dfs_n += static_cast<std::size_t>(dfs_ok[i]);
-    rr_n += static_cast<std::size_t>(rr_ok[i]);
-  }
-  cell.dfs_success = static_cast<double>(dfs_n) /
-                     static_cast<double>(opt.trials);
-  cell.rr_success = static_cast<double>(rr_n) /
-                    static_cast<double>(opt.trials);
+  cell.bgi_success = field(job.record, "bgi_success");
+  cell.bgi_median_completion = field(job.record, "bgi_median_completion");
+  cell.bgi_mean_tx = field(job.record, "bgi_mean_tx");
+  cell.dfs_success = field(job.record, "dfs_success");
+  cell.rr_success = field(job.record, "rr_success");
   return cell;
 }
 
@@ -178,31 +143,34 @@ int main(int argc, char** argv) {
               "bgi_mean_tx", "dfs_success", "rr_success"});
 
   const std::size_t n = harness::scaled(96, opt);
-  rng::Rng graph_rng(opt.seed);
-  const graph::Graph g =
-      graph::connected_gnp(n, 4.0 / static_cast<double>(n), graph_rng);
-  const proto::BroadcastParams params{
-      .network_size_bound = g.node_count(),
-      .degree_bound = g.max_in_degree(),
-      .epsilon = 0.1,
-      .stop_probability = 0.5,
-  };
-  std::printf("E-faults: n=%zu arcs=%zu trials=%zu threads=%zu "
+  std::printf("E-faults: n(requested)=%zu trials=%zu threads=%zu "
               "fault_seed=%llu\n",
-              g.node_count(), g.arc_count(), opt.trials, opt.threads,
+              n, opt.trials, opt.threads,
               static_cast<unsigned long long>(
                   harness::resolved_fault_seed(opt)));
+
+  std::optional<cache::ResultCache> store;
+  if (!opt.cache_dir.empty()) {
+    store.emplace(opt.cache_dir);
+  }
+  harness::SweepService service(store ? &*store : nullptr, opt.threads);
+  harness::register_standard_runners(service, opt.threads);
+  // Re-register "faults" with an engine-selection tap: the cache key and
+  // the record are unchanged (same runner name, same computation), the
+  // bench just learns which BGI engine computed cells actually ran on.
   harness::EngineSelection selected;
+  service.register_runner(
+      "faults", [&opt, &selected](const obs::JsonValue& config) {
+        return harness::run_faults_cell(config, opt.threads, &selected);
+      });
+  std::size_t computed = 0;
 
   // --- 1. Bernoulli loss-rate sweep ---------------------------------------
   const double loss_rates[] = {0.0, 0.05, 0.1, 0.2, 0.3};
   std::vector<Cell> loss_cells;
   for (std::size_t i = 0; i < std::size(loss_rates); ++i) {
-    fault::FaultConfig base;
-    if (loss_rates[i] > 0.0) {
-      base.loss = fault::LossModel::bernoulli(loss_rates[i]);
-    }
-    Cell c = run_cell(g, params, base, opt, 0x1057'0000 + i, &selected);
+    Cell c = run_cell(service, n, opt, "loss", loss_rates[i],
+                      0x1057'0000 + i, &computed);
     char label[32];
     std::snprintf(label, sizeof label, "loss%.2f", loss_rates[i]);
     c.label = label;
@@ -216,11 +184,9 @@ int main(int argc, char** argv) {
   const std::uint64_t budgets[] = {0, 8, 32, 128, 512};
   std::vector<Cell> jam_cells;
   for (std::size_t i = 0; i < std::size(budgets); ++i) {
-    fault::FaultConfig base;
-    if (budgets[i] > 0) {
-      base.jammers.push_back(fault::JammerSpec::reactive(budgets[i]));
-    }
-    Cell c = run_cell(g, params, base, opt, 0x4A4D'0000 + i, &selected);
+    Cell c = run_cell(service, n, opt, "reactive",
+                      static_cast<double>(budgets[i]), 0x4A4D'0000 + i,
+                      &computed);
     c.label = "budget" + std::to_string(budgets[i]);
     jam_cells.push_back(std::move(c));
   }
@@ -236,15 +202,8 @@ int main(int argc, char** argv) {
   const double crash_fractions[] = {0.0, 0.1, 0.2, 0.3};
   std::vector<Cell> crash_cells;
   for (std::size_t i = 0; i < std::size(crash_fractions); ++i) {
-    fault::FaultConfig base;
-    if (crash_fractions[i] > 0.0) {
-      base.crashes.fraction = crash_fractions[i];
-      base.crashes.window = 4 * n;
-      base.crashes.min_downtime = n;
-      base.crashes.max_downtime = 4 * n;
-      base.crashes.immune = {0};
-    }
-    Cell c = run_cell(g, params, base, opt, 0xC4A5'0000 + i, &selected);
+    Cell c = run_cell(service, n, opt, "crash", crash_fractions[i],
+                      0xC4A5'0000 + i, &computed);
     char label[32];
     std::snprintf(label, sizeof label, "crash%.2f", crash_fractions[i]);
     c.label = label;
@@ -255,7 +214,22 @@ int main(int argc, char** argv) {
   report_sweep(reporter, "crash", crash_cells);
   csv_sweep(csv, "crash", crash_cells);
 
-  std::printf("BGI engine: %s\n", harness::engine_selection_label(selected));
+  // The engine label is only meaningful when trials actually ran in this
+  // process; a fully cached run executed nothing.
+  if (computed > 0) {
+    std::printf("BGI engine: %s\n",
+                harness::engine_selection_label(selected));
+  } else {
+    std::printf("BGI engine: none (all cells served from cache)\n");
+  }
+  if (store) {
+    const auto st = store->stats();
+    std::printf("cache %s: %llu hits, %llu misses, %llu puts\n",
+                opt.cache_dir.c_str(),
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.puts));
+  }
 
   // Sanity guard for CI: the clean cells must behave like the fault-free
   // repo baseline (BGI target 1 - eps, deterministic protocols perfect).

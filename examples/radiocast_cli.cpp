@@ -10,6 +10,14 @@
 //   radiocast_cli schedule  --family gnp --n 150 [--dot plan.dot]
 //   radiocast_cli graph     --family geometric --n 60 --save g.txt [--dot g.dot]
 //
+// Sweep service front end (docs/SWEEP.md):
+//   radiocast_cli sweep run    --runner gap --axis n=64,128
+//       --set trials=20 --set seed=1 --set eps=0.1
+//       [--cache-dir DIR] [--out DIR] [--threads W] [--quiet]
+//   radiocast_cli sweep status --cache-dir DIR
+//   radiocast_cli sweep gc     --cache-dir DIR [--max-entries N] [--max-bytes B]
+//   radiocast_cli sweep serve  [--cache-dir DIR] [--threads W]
+//
 // Common options: --family {path,cycle,grid,clique,star,hypercube,tree,
 // gnp,geometric,cn}, --n <nodes>, --eps <0..1>, --trials, --seed,
 // --threads <workers> (0 = auto; env RADIOCAST_THREADS also honored).
@@ -23,11 +31,19 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "radiocast/cache/key.hpp"
+#include "radiocast/cache/store.hpp"
+#include "radiocast/common/check.hpp"
 #include "radiocast/fault/config.hpp"
 #include "radiocast/graph/algorithms.hpp"
 #include "radiocast/graph/families.hpp"
@@ -38,6 +54,9 @@
 #include "radiocast/harness/options.hpp"
 #include "radiocast/harness/parallel.hpp"
 #include "radiocast/harness/report.hpp"
+#include "radiocast/harness/sweep.hpp"
+#include "radiocast/harness/sweep_runners.hpp"
+#include "radiocast/harness/sweep_service.hpp"
 #include "radiocast/harness/table.hpp"
 #include "radiocast/proto/convergecast.hpp"
 #include "radiocast/proto/gossip.hpp"
@@ -178,7 +197,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: radiocast_cli <broadcast|bfs|gap|election|route|gossip|"
-      "convergecast|schedule|graph> [--family F] [--n N] [--eps E] "
+      "convergecast|schedule|graph|sweep> [--family F] [--n N] [--eps E] "
       "[--trials T] [--seed S] [--threads W] [--loss SPEC] "
       "[--jammers SPECS] [--fault-seed S] ...\n"
       "  --threads W   run Monte-Carlo trials on W worker threads "
@@ -421,12 +440,365 @@ int cmd_graph(const graph::Graph& g, const std::string& save_path,
   return 0;
 }
 
+// --- sweep service front end (docs/SWEEP.md) -------------------------------
+
+// Sweep config values are typed: "64" is an integer, "0.1" a double,
+// "true" a bool, anything else a string. The type matters because it is
+// part of the canonical config text and therefore of the cache key.
+obs::JsonValue parse_scalar(const std::string& text) {
+  if (text == "true") return obs::JsonValue(true);
+  if (text == "false") return obs::JsonValue(false);
+  if (!text.empty()) {
+    char* end = nullptr;
+    if (text[0] == '-') {
+      const long long i = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() + text.size()) {
+        return obs::JsonValue(static_cast<std::int64_t>(i));
+      }
+    } else {
+      const unsigned long long u = std::strtoull(text.c_str(), &end, 10);
+      if (end == text.c_str() + text.size()) {
+        return obs::JsonValue(static_cast<std::uint64_t>(u));
+      }
+    }
+    const double d = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() + text.size()) {
+      return obs::JsonValue(d);
+    }
+  }
+  return obs::JsonValue(text);
+}
+
+[[noreturn]] void sweep_usage() {
+  std::fprintf(
+      stderr,
+      "usage: radiocast_cli sweep <run|status|gc|serve> [options]\n"
+      "  run    --runner NAME [--set k=v]... [--axis k=v1,v2,...]...\n"
+      "         [--cache-dir DIR] [--out DIR] [--threads W] [--quiet]\n"
+      "  status --cache-dir DIR\n"
+      "  gc     --cache-dir DIR [--max-entries N] [--max-bytes B]\n"
+      "  serve  [--cache-dir DIR] [--threads W]   (NDJSON on stdin/stdout)\n"
+      "Runners: gap, faults (see docs/SWEEP.md for their config fields).\n"
+      "RADIOCAST_CACHE_DIR is honored when --cache-dir is absent.\n");
+  std::exit(2);
+}
+
+const char* status_name(harness::SweepService::JobStatus s) {
+  using JobStatus = harness::SweepService::JobStatus;
+  switch (s) {
+    case JobStatus::kHit: return "hit";
+    case JobStatus::kComputed: return "computed";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+struct SweepArgs {
+  std::string sub;
+  std::string runner;
+  std::string cache_dir;
+  std::string out_dir;
+  std::size_t threads = 0;
+  bool quiet = false;
+  std::size_t max_entries = 0;
+  std::uintmax_t max_bytes = 0;
+  obs::JsonValue base = obs::JsonValue::object();
+  std::vector<harness::SweepAxis> axes;
+};
+
+// The generic Args class keeps one value per key; --set and --axis repeat,
+// so the sweep subcommand walks argv itself.
+SweepArgs parse_sweep_args(int argc, char** argv) {
+  SweepArgs out;
+  if (argc < 3) {
+    sweep_usage();
+  }
+  out.sub = argv[2];
+  if (const char* env = std::getenv("RADIOCAST_CACHE_DIR")) {
+    out.cache_dir = env;
+  }
+  const auto next_value = [&](int& i, const std::string& flag,
+                              std::string inline_value,
+                              bool has_inline) -> std::string {
+    if (has_inline) {
+      return inline_value;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--%s needs a value\n", flag.c_str());
+      sweep_usage();
+    }
+    return argv[++i];
+  };
+  for (int i = 3; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", token.c_str());
+      sweep_usage();
+    }
+    token = token.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = token.find('='); eq != std::string::npos) {
+      inline_value = token.substr(eq + 1);
+      token = token.substr(0, eq);
+      has_inline = true;
+    }
+    if (token == "quiet") {
+      out.quiet = true;
+    } else if (token == "runner") {
+      out.runner = next_value(i, token, inline_value, has_inline);
+    } else if (token == "cache-dir") {
+      out.cache_dir = next_value(i, token, inline_value, has_inline);
+    } else if (token == "out") {
+      out.out_dir = next_value(i, token, inline_value, has_inline);
+    } else if (token == "threads") {
+      out.threads = static_cast<std::size_t>(std::strtoull(
+          next_value(i, token, inline_value, has_inline).c_str(), nullptr,
+          10));
+    } else if (token == "max-entries") {
+      out.max_entries = static_cast<std::size_t>(std::strtoull(
+          next_value(i, token, inline_value, has_inline).c_str(), nullptr,
+          10));
+    } else if (token == "max-bytes") {
+      out.max_bytes = std::strtoull(
+          next_value(i, token, inline_value, has_inline).c_str(), nullptr,
+          10);
+    } else if (token == "set") {
+      const std::string kv = next_value(i, token, inline_value, has_inline);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "--set wants key=value, got '%s'\n", kv.c_str());
+        sweep_usage();
+      }
+      out.base.set(kv.substr(0, eq), parse_scalar(kv.substr(eq + 1)));
+    } else if (token == "axis") {
+      const std::string kv = next_value(i, token, inline_value, has_inline);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "--axis wants key=v1,v2,..., got '%s'\n",
+                     kv.c_str());
+        sweep_usage();
+      }
+      harness::SweepAxis axis;
+      axis.name = kv.substr(0, eq);
+      for (const std::string& v : split(kv.substr(eq + 1), ',')) {
+        axis.values.push_back(parse_scalar(v));
+      }
+      out.axes.push_back(std::move(axis));
+    } else {
+      std::fprintf(stderr, "unknown option --%s\n", token.c_str());
+      sweep_usage();
+    }
+  }
+  return out;
+}
+
+int cmd_sweep_run(const SweepArgs& sa, cache::ResultCache* cache) {
+  if (sa.runner.empty()) {
+    std::fprintf(stderr, "sweep run: --runner is required\n");
+    sweep_usage();
+  }
+  harness::SweepService service(cache, sa.threads);
+  harness::register_standard_runners(service, sa.threads);
+  if (!service.has_runner(sa.runner)) {
+    std::fprintf(stderr, "unknown runner '%s' (have:", sa.runner.c_str());
+    for (const auto& name : service.runner_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+
+  harness::SweepSpec spec;
+  spec.runner = sa.runner;
+  spec.base = sa.base;
+  spec.axes = sa.axes;
+  if (spec.job_count() == 0) {
+    std::fprintf(stderr, "sweep run: an --axis has no values\n");
+    return 2;
+  }
+
+  if (!sa.out_dir.empty()) {
+    std::filesystem::create_directories(sa.out_dir);
+  }
+  const auto results = service.run(spec);
+  const auto jobs = spec.expand();
+  for (const auto& r : results) {
+    if (!sa.quiet) {
+      std::printf("job %zu %-9s %.12s %s", r.index, status_name(r.status),
+                  r.key.c_str(),
+                  cache::canonicalize(jobs[r.index].config)
+                      .dump_compact()
+                      .c_str());
+      if (!r.error.empty()) {
+        std::printf("  error: %s", r.error.c_str());
+      }
+      std::printf("\n");
+    }
+    if (!sa.out_dir.empty() && !r.record.is_null()) {
+      std::ofstream out(std::filesystem::path(sa.out_dir) /
+                        (r.key + ".json"));
+      out << r.record.dump();
+    }
+  }
+  const auto totals = harness::SweepService::tally(results);
+  std::printf("sweep: %zu jobs, %zu hits, %zu computed, %zu failed, "
+              "%zu cancelled (hit rate %.0f%%)\n",
+              results.size(), totals.hits, totals.computed, totals.failed,
+              totals.cancelled,
+              results.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(totals.hits) /
+                        static_cast<double>(results.size()));
+  if (cache != nullptr) {
+    const auto st = cache->stats();
+    std::printf("cache: %llu hits, %llu misses (%llu corrupt), %llu puts\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.corrupt),
+                static_cast<unsigned long long>(st.puts));
+  }
+  return totals.failed == 0 && totals.cancelled == 0 ? 0 : 1;
+}
+
+int cmd_sweep_status(cache::ResultCache& cache) {
+  const auto entries = cache.scan();
+  std::uintmax_t bytes = 0;
+  std::map<std::string, std::pair<std::size_t, std::uintmax_t>> by_runner;
+  for (const auto& e : entries) {
+    bytes += e.bytes;
+    auto& slot = by_runner[e.runner.empty() ? "(unreadable)" : e.runner];
+    slot.first += 1;
+    slot.second += e.bytes;
+  }
+  std::printf("cache %s: %zu entries, %ju bytes (fingerprint %s)\n",
+              cache.root().string().c_str(), entries.size(), bytes,
+              std::string(cache::kEngineFingerprint).c_str());
+  for (const auto& [runner, slot] : by_runner) {
+    std::printf("  %-12s %6zu entries %12ju bytes\n", runner.c_str(),
+                slot.first, slot.second);
+  }
+  return 0;
+}
+
+int cmd_sweep_gc(cache::ResultCache& cache, const SweepArgs& sa) {
+  const std::size_t evicted =
+      cache.gc({.max_entries = sa.max_entries, .max_bytes = sa.max_bytes});
+  const auto entries = cache.scan();
+  std::uintmax_t bytes = 0;
+  for (const auto& e : entries) {
+    bytes += e.bytes;
+  }
+  std::printf("gc: evicted %zu, %zu entries remain (%ju bytes)\n", evicted,
+              entries.size(), bytes);
+  return 0;
+}
+
+// One JSON request per stdin line, one JSON response per stdout line:
+//   {"runner": "gap", "config": {...}}  -> {"status", "key", "record"}
+//   {"cmd": "stats"}                    -> cache counter snapshot
+//   {"cmd": "shutdown"}                 -> {"ok": true}, then exit
+// EOF also ends the loop. Malformed lines get {"error": ...} — the daemon
+// never dies on bad input.
+int cmd_sweep_serve(const SweepArgs& sa, cache::ResultCache* cache) {
+  harness::SweepService service(cache, sa.threads);
+  harness::register_standard_runners(service, sa.threads);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    obs::JsonValue response = obs::JsonValue::object();
+    try {
+      const obs::JsonValue request = obs::JsonValue::parse(line);
+      const obs::JsonValue* command = request.find("cmd");
+      if (command != nullptr && command->is_string()) {
+        if (command->as_string() == "shutdown") {
+          response.set("ok", obs::JsonValue(true));
+          std::printf("%s\n", response.dump_compact().c_str());
+          std::fflush(stdout);
+          break;
+        }
+        if (command->as_string() == "stats") {
+          const auto st = cache != nullptr ? cache->stats()
+                                           : cache::ResultCache::Stats{};
+          response.set("hits", obs::JsonValue(st.hits));
+          response.set("misses", obs::JsonValue(st.misses));
+          response.set("corrupt", obs::JsonValue(st.corrupt));
+          response.set("puts", obs::JsonValue(st.puts));
+          response.set("evictions", obs::JsonValue(st.evictions));
+          std::printf("%s\n", response.dump_compact().c_str());
+          std::fflush(stdout);
+          continue;
+        }
+        throw ContractViolation("unknown cmd");
+      }
+      const obs::JsonValue* runner = request.find("runner");
+      const obs::JsonValue* config = request.find("config");
+      if (runner == nullptr || !runner->is_string() || config == nullptr ||
+          !config->is_object()) {
+        throw ContractViolation(
+            "request wants {\"runner\": str, \"config\": object}");
+      }
+      const auto result = service.run_one(runner->as_string(), *config);
+      response.set("status", obs::JsonValue(status_name(result.status)));
+      response.set("key", obs::JsonValue(result.key));
+      if (result.status == harness::SweepService::JobStatus::kFailed) {
+        response.set("error", obs::JsonValue(result.error));
+      } else {
+        response.set("record", result.record);
+      }
+    } catch (const std::exception& e) {
+      response = obs::JsonValue::object();
+      response.set("error", obs::JsonValue(std::string(e.what())));
+    }
+    std::printf("%s\n", response.dump_compact().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  const SweepArgs sa = parse_sweep_args(argc, argv);
+  std::optional<cache::ResultCache> cache;
+  if (!sa.cache_dir.empty()) {
+    cache.emplace(sa.cache_dir);
+  }
+  if (sa.sub == "run") {
+    return cmd_sweep_run(sa, cache ? &*cache : nullptr);
+  }
+  if (sa.sub == "serve") {
+    return cmd_sweep_serve(sa, cache ? &*cache : nullptr);
+  }
+  if (sa.sub == "status" || sa.sub == "gc") {
+    if (!cache) {
+      std::fprintf(stderr, "sweep %s: --cache-dir is required\n",
+                   sa.sub.c_str());
+      return 2;
+    }
+    return sa.sub == "status" ? cmd_sweep_status(*cache)
+                              : cmd_sweep_gc(*cache, sa);
+  }
+  sweep_usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const harness::Args args(argc, argv);
   if (args.positional().empty()) {
     return usage();
+  }
+  // The sweep service has its own (repeatable) flags; hand it raw argv
+  // before the generic option check can reject them.
+  if (args.positional().front() == "sweep") {
+    try {
+      return cmd_sweep(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
   const std::set<std::string> known{
       "family", "n",       "eps",     "trials",   "seed",

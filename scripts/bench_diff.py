@@ -5,10 +5,13 @@ Usage:
     bench_diff.py BASELINE.json CURRENT.json [--tolerance PCT] [--check]
                   [--only PREFIX]
 
-Both run-record documents (emitted by any bench_* binary via --json-out /
-RADIOCAST_JSON_OUT) and the legacy BENCH_engine.json layout are accepted;
-each is canonicalised to a flat {metric_name: value} map first, so a new
-run record can be diffed directly against a checked-in legacy baseline.
+Run-record documents (emitted by any bench_* binary via --json-out /
+RADIOCAST_JSON_OUT), the legacy BENCH_engine.json layout and sweep-cache
+entries (the envelopes under a --cache-dir store, and the per-job files
+`sweep run --out` writes -- see docs/SWEEP.md) are all accepted; each is
+canonicalised to a flat {metric_name: value} map first, so a new run
+record can be diffed directly against a checked-in legacy baseline, and a
+cached sweep result against a fresh one.
 
 For every metric present in both documents the script prints the baseline
 value, the current value and the relative delta.  Metrics whose name
@@ -81,6 +84,13 @@ _LEGACY_RENAMES = {
 def canonicalize(doc: dict) -> dict:
     """Returns {metric_name: float} with format differences ironed out."""
     flat: dict = {}
+    if "cache_version" in doc and "record" in doc:
+        # Sweep-cache envelope (docs/SWEEP.md): the comparable payload is
+        # the cached record; the envelope fields (key, fingerprint,
+        # payload_sha256, canonical config) are identity, not metrics.
+        doc = doc["record"]
+        if not isinstance(doc, dict):
+            return flat
     if "schema_version" in doc and "metrics" in doc:
         # Run-record format: gauges already carry their full dotted names;
         # everything else keeps its section prefix.
@@ -164,6 +174,13 @@ def main() -> int:
 
     baseline = load_metrics(args.baseline, "baseline")
     current = load_metrics(args.current, "current")
+
+    # Always say what was compared: a clean CI log must still identify the
+    # baseline file and the restriction in force, or a surprising "no
+    # regressions" is undebuggable without a local rerun.
+    print(f"bench_diff: baseline={args.baseline} current={args.current} "
+          f"prefix={args.only or '(all metrics)'} "
+          f"tolerance={args.tolerance:.1f}%")
 
     shared = sorted(name for name in set(baseline) & set(current)
                     if name.startswith(args.only))

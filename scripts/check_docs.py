@@ -17,7 +17,12 @@ third-party directories) and verifies that
 3. the lint rule catalog cannot drift from its documentation: every rule
    id (``R1``, ``R2``, ...) mentioned in ``docs/STATIC_ANALYSIS.md``
    must exist in ``scripts/radiocast_lint.py``'s RULES table, and every
-   implemented rule must be documented.
+   implemented rule must be documented, and
+4. the RunRecord field table in ``docs/OBSERVABILITY.md`` matches
+   ``scripts/bench_schema.json`` in both directions: every dotted field
+   path declared under the schema's ``properties`` (recursively, skipping
+   free-form ``additionalProperties`` subtrees) must have a table row,
+   and every table row must name a schema field.
 
 Exit status is 0 when everything resolves, 1 otherwise; each dangling
 reference is printed as ``file:line: message``.  Stdlib-only, like every
@@ -26,6 +31,7 @@ script in this repo — CI must not pip-install anything.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 import sys
@@ -119,6 +125,76 @@ def check_rule_sync(root: pathlib.Path) -> list:
     return errors
 
 
+SCHEMA_FILE = "scripts/bench_schema.json"
+OBS_DOC = "docs/OBSERVABILITY.md"
+SCHEMA_SECTION = "## RunRecord schema"
+FIELD_ROW_RE = re.compile(r"^\|\s*`([A-Za-z0-9_.]+)`\s*\|")
+
+
+def schema_field_paths(node: dict, prefix: str = "") -> set:
+    """Dotted paths of every declared property, recursing into nested
+    objects but not into ``additionalProperties`` (those subtrees are
+    free-form per-name maps — counters, histograms — whose keys are not
+    part of the fixed record layout)."""
+    paths = set()
+    for name, sub in node.get("properties", {}).items():
+        path = f"{prefix}{name}"
+        paths.add(path)
+        if isinstance(sub, dict):
+            paths |= schema_field_paths(sub, prefix=path + ".")
+    return paths
+
+
+def documented_field_rows(text: str) -> set:
+    """Field names from table rows inside the "## RunRecord schema"
+    section of docs/OBSERVABILITY.md (up to the next ``## `` heading)."""
+    fields = set()
+    in_section = False
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == SCHEMA_SECTION
+            continue
+        if not in_section:
+            continue
+        match = FIELD_ROW_RE.match(line)
+        if match:
+            fields.add(match.group(1))
+    return fields
+
+
+def check_record_schema_sync(root: pathlib.Path) -> list:
+    """Field table in docs/OBSERVABILITY.md <-> bench_schema.json."""
+    schema_path = root / SCHEMA_FILE
+    doc_path = root / OBS_DOC
+    errors = []
+    for path in (schema_path, doc_path):
+        if not path.is_file():
+            errors.append(f"{path.relative_to(root)}:1: missing (the run "
+                          "record schema and its documentation travel "
+                          "together)")
+    if errors:
+        return errors
+    try:
+        schema = json.loads(schema_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"{SCHEMA_FILE}:1: not valid JSON ({exc})"]
+    declared = schema_field_paths(schema)
+    if not declared:
+        return [f"{SCHEMA_FILE}:1: no properties found — is this still "
+                "a JSON Schema?"]
+    documented = documented_field_rows(doc_path.read_text(encoding="utf-8"))
+    if not documented:
+        return [f"{OBS_DOC}:1: could not find any field rows under the "
+                f"'{SCHEMA_SECTION}' section"]
+    for field in sorted(documented - declared):
+        errors.append(f"{OBS_DOC}:1: field '{field}' is documented but "
+                      f"absent from {SCHEMA_FILE}")
+    for field in sorted(declared - documented):
+        errors.append(f"{SCHEMA_FILE}:1: field '{field}' is in the schema "
+                      f"but undocumented in {OBS_DOC}")
+    return errors
+
+
 def main() -> int:
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     basenames = set()
@@ -148,11 +224,15 @@ def main() -> int:
     for error in check_rule_sync(root):
         failures += 1
         print(error)
+    for error in check_record_schema_sync(root):
+        failures += 1
+        print(error)
     if failures:
         print(f"{failures} dangling reference(s) across {docs} documents")
         return 1
     print(f"ok: {docs} markdown documents, all links and source paths "
-          f"resolve; lint rule catalog and {STATIC_DOC} agree")
+          f"resolve; lint rule catalog and {STATIC_DOC} agree; "
+          f"{OBS_DOC} covers every {SCHEMA_FILE} field")
     return 0
 
 

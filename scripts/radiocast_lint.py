@@ -64,7 +64,7 @@ from dataclasses import dataclass, field
 # that place a file inside a rule's scope.  Scoping by segment instead of
 # full prefix lets the tests/lint/fixtures tree mirror the layout.
 R2_DIRS = {"sim", "proto", "fault", "harness", "graph"}
-R3_DIRS = {"sim", "proto", "stats", "obs", "fault", "graph"}
+R3_DIRS = {"sim", "proto", "stats", "obs", "fault", "graph", "cache"}
 R5_DIRS = {"sim", "proto", "graph"}
 
 RULES = {

@@ -1,0 +1,52 @@
+// SHA-256 for the content-addressed result cache (docs/SWEEP.md).
+//
+// Cache keys must be stable across processes, machines, compilers and
+// library versions — a key minted on one CI runner must find the entry a
+// different runner wrote. std::hash guarantees none of that (it may even
+// be seeded per process), so the cache uses a self-contained SHA-256:
+// byte-exact everywhere, collision-resistant enough that distinct configs
+// never share an entry, and with no third-party dependency (the repo
+// takes none).
+//
+// This is NOT a general-purpose crypto module: it exists to name cache
+// entries and to checksum their payloads against torn writes. Nothing in
+// the trial path hashes anything — keys are derived once per job, outside
+// the simulators, so the determinism rules R1–R5 are untouched.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace radiocast::cache {
+
+/// Incremental SHA-256 (FIPS 180-4). Feed any number of update() calls,
+/// then read the digest once via hex(); the object is single-use.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::string_view data);
+
+  /// The 32-byte digest of everything updated so far. Finalizes the
+  /// stream: further update() calls are a contract violation.
+  std::array<std::uint8_t, 32> digest();
+
+  /// digest() as 64 lowercase hex characters.
+  std::string hex();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience: SHA-256 of `data` as 64 hex characters.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace radiocast::cache

@@ -1,0 +1,63 @@
+#include "radiocast/cache/key.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "radiocast/cache/hash.hpp"
+
+namespace radiocast::cache {
+
+obs::JsonValue canonicalize(const obs::JsonValue& config) {
+  using obs::JsonValue;
+  switch (config.kind()) {
+    case JsonValue::Kind::kArray: {
+      JsonValue out = JsonValue::array();
+      for (std::size_t i = 0; i < config.size(); ++i) {
+        out.push_back(canonicalize(config.at(i)));
+      }
+      return out;
+    }
+    case JsonValue::Kind::kObject: {
+      std::vector<std::pair<std::string, const JsonValue*>> entries;
+      entries.reserve(config.size());
+      for (const auto& [key, value] : config.items()) {
+        entries.emplace_back(key, &value);
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      JsonValue out = JsonValue::object();
+      for (const auto& [key, value] : entries) {
+        out.set(key, canonicalize(*value));
+      }
+      return out;
+    }
+    default:
+      // Scalars already render canonically: integers print exactly,
+      // doubles print their shortest round-trip form (obs/json.hpp).
+      return config;
+  }
+}
+
+std::string canonical_config_text(const obs::JsonValue& config) {
+  return canonicalize(config).dump();
+}
+
+std::string derive_key(std::string_view runner,
+                       const obs::JsonValue& config,
+                       std::string_view fingerprint) {
+  // Length-prefix-free framing via NUL separators: none of the three
+  // parts may contain a raw NUL (runner/fingerprint are identifiers, the
+  // config is JSON text), so the concatenation is unambiguous.
+  Sha256 h;
+  h.update("radiocast-sweep-key-v1");
+  h.update(std::string_view("\0", 1));
+  h.update(runner);
+  h.update(std::string_view("\0", 1));
+  h.update(fingerprint);
+  h.update(std::string_view("\0", 1));
+  h.update(canonical_config_text(config));
+  return h.hex();
+}
+
+}  // namespace radiocast::cache

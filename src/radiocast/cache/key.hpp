@@ -1,0 +1,53 @@
+// Cache-key derivation for the sweep service (docs/SWEEP.md).
+//
+// A cache entry is addressed by SHA-256 over exactly three inputs:
+//
+//   1. the runner name (which experiment function produced the payload),
+//   2. the engine fingerprint (a hand-bumped semantic version of the
+//      result-producing code, NOT git describe — see kEngineFingerprint),
+//   3. the canonicalized job config (sorted keys, exact number rendering).
+//
+// What is deliberately EXCLUDED: wall-clock timestamps, hostnames, thread
+// counts, build type, compiler — anything the determinism contract
+// (docs/PARALLELISM.md, lint rules R1–R5) guarantees cannot change a
+// result. Including them would shatter the cache across runs that are
+// bit-identical by construction. The flip side: anything that CAN change
+// a result (seed, trials, topology parameters, fault config, epsilon)
+// MUST appear in the config object, and any semantic change to the trial
+// engines MUST bump the fingerprint. docs/SWEEP.md is the contract;
+// tests/test_cache.cpp pins the derivation byte for byte.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "radiocast/obs/json.hpp"
+
+namespace radiocast::cache {
+
+/// Semantic version of everything that feeds a cached result: the slot
+/// engines, the protocols, the RNG derivations and the fault compiler.
+/// Bump it whenever a change alters any trial outcome for a fixed config
+/// (the differential and thread-invariance suites tell you when that
+/// happens). Doc-only, build-system and observability changes must NOT
+/// bump it — that is the whole point of not keying on git describe.
+inline constexpr std::string_view kEngineFingerprint =
+    "radiocast-engines-v1";
+
+/// `config` with every object's keys sorted (recursively, arrays kept in
+/// order). Two configs that differ only in insertion order canonicalize
+/// to the same document and therefore the same key.
+obs::JsonValue canonicalize(const obs::JsonValue& config);
+
+/// canonicalize(config).dump() — the exact string that gets hashed, also
+/// what the store writes into the entry envelope for inspection.
+std::string canonical_config_text(const obs::JsonValue& config);
+
+/// The content address: 64 lowercase hex characters. `fingerprint`
+/// defaults to kEngineFingerprint; tests (and a future multi-engine
+/// daemon) can pass their own.
+std::string derive_key(std::string_view runner,
+                       const obs::JsonValue& config,
+                       std::string_view fingerprint = kEngineFingerprint);
+
+}  // namespace radiocast::cache

@@ -1,0 +1,275 @@
+#include "radiocast/cache/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "radiocast/cache/hash.hpp"
+#include "radiocast/cache/key.hpp"
+#include "radiocast/common/check.hpp"
+#include "radiocast/obs/metrics.hpp"
+
+namespace radiocast::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool valid_key(const std::string& key) {
+  if (key.size() != 64) {
+    return false;
+  }
+  return std::all_of(key.begin(), key.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+void count(const char* name) {
+  auto& registry = obs::metrics();
+  if (registry.enabled()) {
+    registry.counter(name).add();
+  }
+}
+
+}  // namespace
+
+ResultCache::ResultCache(fs::path root) : root_(std::move(root)) {
+  RADIOCAST_CHECK_MSG(!root_.empty(), "cache root must not be empty");
+}
+
+fs::path ResultCache::entry_path(const std::string& key) const {
+  return root_ / "objects" / key.substr(0, 2) / (key.substr(2) + ".json");
+}
+
+std::optional<obs::JsonValue> ResultCache::get(const std::string& key) {
+  RADIOCAST_CHECK_MSG(valid_key(key), "cache key must be 64 hex chars");
+  const fs::path path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    count("sweep.cache.miss");
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  // Anything short of a fully self-consistent envelope is corruption:
+  // report a miss so the caller recomputes, and delete the entry so the
+  // recompute's put() starts from a clean slot.
+  const auto corrupt = [&](const char* why) -> std::optional<obs::JsonValue> {
+    std::fprintf(stderr,
+                 "warning: dropping corrupt cache entry %s (%s)\n",
+                 path.string().c_str(), why);
+    std::error_code ec;
+    fs::remove(path, ec);
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    count("sweep.cache.corrupt");
+    count("sweep.cache.miss");
+    return std::nullopt;
+  };
+
+  obs::JsonValue envelope;
+  try {
+    envelope = obs::JsonValue::parse(text.str());
+  } catch (const ContractViolation&) {
+    return corrupt("unparsable JSON");
+  }
+  if (!envelope.is_object()) {
+    return corrupt("envelope is not an object");
+  }
+  const obs::JsonValue* version = envelope.find("cache_version");
+  if (version == nullptr || !version->is_integer() ||
+      version->as_int() != kCacheVersion) {
+    return corrupt("unknown cache_version");
+  }
+  const obs::JsonValue* stored_key = envelope.find("key");
+  if (stored_key == nullptr || !stored_key->is_string() ||
+      stored_key->as_string() != key) {
+    return corrupt("embedded key mismatch");
+  }
+  const obs::JsonValue* checksum = envelope.find("payload_sha256");
+  const obs::JsonValue* record = envelope.find("record");
+  if (checksum == nullptr || !checksum->is_string() || record == nullptr) {
+    return corrupt("missing payload_sha256/record");
+  }
+  if (sha256_hex(record->dump()) != checksum->as_string()) {
+    return corrupt("payload checksum mismatch");
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  count("sweep.cache.hit");
+  return *record;
+}
+
+bool ResultCache::put(const std::string& key, std::string_view runner,
+                      std::string_view fingerprint,
+                      const obs::JsonValue& config,
+                      const obs::JsonValue& record) {
+  RADIOCAST_CHECK_MSG(valid_key(key), "cache key must be 64 hex chars");
+  const fs::path path = entry_path(key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create cache directory %s: %s\n",
+                 path.parent_path().string().c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+
+  obs::JsonValue envelope = obs::JsonValue::object();
+  envelope.set("cache_version", obs::JsonValue(kCacheVersion));
+  envelope.set("key", obs::JsonValue(key));
+  envelope.set("runner", obs::JsonValue(std::string(runner)));
+  envelope.set("fingerprint", obs::JsonValue(std::string(fingerprint)));
+  envelope.set("config", canonicalize(config));
+  envelope.set("payload_sha256", obs::JsonValue(sha256_hex(record.dump())));
+  envelope.set("record", record);
+
+  // Atomic publish: write the whole envelope to a tmp name, then rename.
+  // A reader either sees the complete old entry, the complete new one, or
+  // no entry — never a torn file under the final name.
+  const fs::path tmp = path.parent_path() /
+                       (path.filename().string() + ".tmp" +
+                        std::to_string(tmp_seq_.fetch_add(
+                            1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write cache entry %s\n",
+                   tmp.string().c_str());
+      return false;
+    }
+    out << envelope.dump();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "warning: short write of cache entry %s\n",
+                   tmp.string().c_str());
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot publish cache entry %s: %s\n",
+                 path.string().c_str(), ec.message().c_str());
+    fs::remove(tmp, ec);
+    return false;
+  }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  count("sweep.cache.put");
+  return true;
+}
+
+std::vector<ResultCache::EntryInfo> ResultCache::scan() const {
+  std::vector<EntryInfo> out;
+  const fs::path objects = root_ / "objects";
+  std::error_code ec;
+  if (!fs::is_directory(objects, ec)) {
+    return out;
+  }
+  for (const auto& shard : fs::directory_iterator(objects, ec)) {
+    if (!shard.is_directory()) {
+      continue;
+    }
+    const std::string prefix = shard.path().filename().string();
+    for (const auto& file : fs::directory_iterator(shard.path(), ec)) {
+      const std::string name = file.path().filename().string();
+      if (name.size() < 5 || name.substr(name.size() - 5) != ".json") {
+        continue;  // tmp leftovers are gc()'s business
+      }
+      EntryInfo info;
+      info.key = prefix + name.substr(0, name.size() - 5);
+      info.bytes = file.is_regular_file() ? file.file_size() : 0;
+      info.mtime = fs::last_write_time(file.path(), ec);
+      // Best-effort runner label for status displays.
+      std::ifstream in(file.path(), std::ios::binary);
+      if (in) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+          const obs::JsonValue envelope = obs::JsonValue::parse(text.str());
+          if (const obs::JsonValue* runner = envelope.find("runner");
+              runner != nullptr && runner->is_string()) {
+            info.runner = runner->as_string();
+          }
+        } catch (const ContractViolation&) {
+          // Leave runner empty; get() will classify it as corrupt.
+        }
+      }
+      out.push_back(std::move(info));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const EntryInfo& a,
+                                       const EntryInfo& b) {
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::size_t ResultCache::gc(const GcOptions& options) {
+  std::error_code ec;
+  // Sweep tmp leftovers from crashed writers first.
+  const fs::path objects = root_ / "objects";
+  if (fs::is_directory(objects, ec)) {
+    for (const auto& shard : fs::directory_iterator(objects, ec)) {
+      if (!shard.is_directory()) {
+        continue;
+      }
+      for (const auto& file : fs::directory_iterator(shard.path(), ec)) {
+        const std::string name = file.path().filename().string();
+        if (name.find(".json.tmp") != std::string::npos) {
+          fs::remove(file.path(), ec);
+        }
+      }
+    }
+  }
+
+  std::vector<EntryInfo> entries = scan();
+  // Oldest first; key order breaks mtime ties so eviction is
+  // reproducible on filesystems with coarse timestamps.
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              if (a.mtime != b.mtime) {
+                return a.mtime < b.mtime;
+              }
+              return a.key < b.key;
+            });
+  std::uintmax_t total_bytes = 0;
+  for (const EntryInfo& e : entries) {
+    total_bytes += e.bytes;
+  }
+
+  std::size_t evicted = 0;
+  std::size_t remaining = entries.size();
+  for (const EntryInfo& e : entries) {
+    const bool over_entries =
+        options.max_entries != 0 && remaining > options.max_entries;
+    const bool over_bytes =
+        options.max_bytes != 0 && total_bytes > options.max_bytes;
+    if (!over_entries && !over_bytes) {
+      break;
+    }
+    fs::remove(entry_path(e.key), ec);
+    total_bytes -= e.bytes;
+    --remaining;
+    ++evicted;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    count("sweep.cache.evict");
+  }
+  return evicted;
+}
+
+ResultCache::Stats ResultCache::stats() const noexcept {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace radiocast::cache

@@ -1,0 +1,113 @@
+// On-disk content-addressed result store (docs/SWEEP.md).
+//
+// One entry per cache key: `<root>/objects/<k[0:2]>/<k[2:]>.json`, where
+// k is the 64-hex-char key from cache::derive_key. Each file is a small
+// envelope wrapping the cached record:
+//
+//   {
+//     "cache_version": 1,
+//     "key": "<the 64 hex chars, again — self-identifying>",
+//     "runner": "...", "fingerprint": "...",
+//     "config": { ...canonicalized job config... },
+//     "payload_sha256": "<SHA-256 of the record's serialized text>",
+//     "record": { ...the cached result document... }
+//   }
+//
+// Integrity before trust: get() re-derives the payload checksum and
+// cross-checks the embedded key, so a truncated, torn or bit-flipped
+// entry is reported as a miss (never served) and the caller recomputes;
+// put() overwrites it with a fresh entry. Writes are atomic
+// (tmp file + rename) so a crashed writer can at worst leave a tmp file
+// that gc() sweeps, never a half-entry under the final name.
+//
+// Counters (when obs::metrics() is enabled): sweep.cache.hit / .miss /
+// .corrupt / .put / .evict. Local Stats are kept unconditionally so CLI
+// summaries work without the registry.
+//
+// Concurrency: safe for concurrent use by the sweep worker pool —
+// per-instance stats are atomics and filesystem updates are
+// rename-atomic. Two processes racing to fill the same key both write
+// valid identical entries (results are deterministic), so last rename
+// wins harmlessly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "radiocast/obs/json.hpp"
+
+namespace radiocast::cache {
+
+class ResultCache {
+ public:
+  static constexpr int kCacheVersion = 1;
+
+  /// Binds to `root` (created on first put; reads from a missing root are
+  /// plain misses).
+  explicit ResultCache(std::filesystem::path root);
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// The cached record for `key`, or nullopt (miss or corrupt entry —
+  /// corrupt entries are deleted so the next put starts clean).
+  std::optional<obs::JsonValue> get(const std::string& key);
+
+  /// Stores `record` under `key`. `runner`/`fingerprint`/`config` are
+  /// recorded in the envelope for status/debugging; `config` is stored
+  /// canonicalized. Returns false (after a stderr warning) when the
+  /// entry cannot be written — callers proceed uncached.
+  bool put(const std::string& key, std::string_view runner,
+           std::string_view fingerprint, const obs::JsonValue& config,
+           const obs::JsonValue& record);
+
+  struct EntryInfo {
+    std::string key;
+    std::string runner;  ///< "" when the envelope could not be parsed
+    std::uintmax_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+  };
+  /// Every entry on disk, sorted by key. Unreadable envelopes appear
+  /// with an empty runner so status/gc still account for them.
+  std::vector<EntryInfo> scan() const;
+
+  struct GcOptions {
+    /// Keep at most this many entries (0 = unlimited).
+    std::size_t max_entries = 0;
+    /// Keep at most this many payload bytes (0 = unlimited).
+    std::uintmax_t max_bytes = 0;
+  };
+  /// Evicts oldest-mtime-first (key order breaks ties) until both limits
+  /// hold, and deletes any leftover tmp files. Returns the number of
+  /// entries evicted.
+  std::size_t gc(const GcOptions& options);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt = 0;  ///< subset of misses
+    std::uint64_t puts = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const noexcept;
+
+ private:
+  std::filesystem::path entry_path(const std::string& key) const;
+
+  std::filesystem::path root_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> puts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  /// Uniquifies concurrent writers' tmp names within this instance;
+  /// cross-process collisions are avoided by the pid-free rename dance
+  /// (both writers produce identical bytes for the same key).
+  std::atomic<std::uint64_t> tmp_seq_{0};
+};
+
+}  // namespace radiocast::cache

@@ -49,6 +49,9 @@ RunOptions run_options() {
   if (const char* v = env_or_null("RADIOCAST_FAULT_SEED")) {
     opt.fault_seed = std::strtoull(v, nullptr, 10);
   }
+  if (const char* v = env_or_null("RADIOCAST_CACHE_DIR")) {
+    opt.cache_dir = v;
+  }
   if (const char* v = env_or_null("REPRO_REPEAT")) {
     const long parsed = std::strtol(v, nullptr, 10);
     if (parsed > 0) {
@@ -64,7 +67,7 @@ RunOptions run_options(int argc, const char* const* argv) {
   const Args args(argc, argv);
   static const std::set<std::string> known{
       "trials", "scale", "seed", "csv-dir", "json-out", "threads",
-      "fault-seed", "repeat"};
+      "fault-seed", "repeat", "cache-dir"};
   const auto unknown = args.unknown_keys(known);
   if (!unknown.empty() || !args.positional().empty()) {
     for (const auto& key : unknown) {
@@ -76,7 +79,7 @@ RunOptions run_options(int argc, const char* const* argv) {
     std::fprintf(stderr,
                  "usage: %s [--trials N] [--scale F] [--seed S] "
                  "[--repeat K] [--threads W] [--csv-dir DIR] "
-                 "[--json-out PATH] [--fault-seed S]\n",
+                 "[--json-out PATH] [--fault-seed S] [--cache-dir DIR]\n",
                  argc > 0 ? argv[0] : "bench");
     std::exit(2);
   }
@@ -93,6 +96,7 @@ RunOptions run_options(int argc, const char* const* argv) {
       args.get_int("seed", static_cast<std::int64_t>(opt.seed)));
   opt.csv_dir = args.get("csv-dir", opt.csv_dir);
   opt.json_out = args.get("json-out", opt.json_out);
+  opt.cache_dir = args.get("cache-dir", opt.cache_dir);
   const std::int64_t threads = args.get_int("threads", 0);
   if (threads > 0) {
     opt.threads = static_cast<std::size_t>(threads);

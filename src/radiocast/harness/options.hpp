@@ -16,11 +16,14 @@
 //                        results, only wall-clock time (see parallel.hpp).
 //   RADIOCAST_FAULT_SEED — base seed for fault-injection plans (default 0 =
 //                        derive from the master seed; see docs/FAULTS.md)
+//   RADIOCAST_CACHE_DIR — when set, cache-aware benches read/write the
+//                        content-addressed result store rooted there
+//                        (see docs/SWEEP.md)
 //
 // Every knob is also a command-line flag on every bench binary
 // (run_options(argc, argv)): --trials, --scale, --seed, --repeat,
-// --csv-dir, --json-out, --threads, --fault-seed. Flags win over the
-// environment.
+// --csv-dir, --json-out, --threads, --fault-seed, --cache-dir. Flags win
+// over the environment.
 #pragma once
 
 #include <cstddef>
@@ -47,6 +50,11 @@ struct RunOptions {
   /// warmup when K > 1; K = 1 keeps the historical single-run behavior).
   /// Only affects wall-clock measurements, never simulation results.
   std::size_t repeat = 1;
+  /// Root of the content-addressed result store (docs/SWEEP.md); empty =
+  /// caching disabled. Cache keys depend only on semantic config fields,
+  /// so cached and fresh results are bit-identical by the determinism
+  /// contract.
+  std::string cache_dir;
 };
 
 /// The fault-plan base seed a run should actually use: `fault_seed` when

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "radiocast/common/check.hpp"
 
@@ -36,6 +38,52 @@ std::vector<std::size_t> linear_steps(std::size_t lo, std::size_t hi,
   }
   out.push_back(hi);
   return out;
+}
+
+SweepSpec& SweepSpec::axis(std::string name,
+                           std::vector<obs::JsonValue> values) {
+  axes.push_back(SweepAxis{std::move(name), std::move(values)});
+  return *this;
+}
+
+std::size_t SweepSpec::job_count() const {
+  std::size_t count = 1;
+  for (const SweepAxis& axis : axes) {
+    count *= axis.values.size();
+  }
+  return count;
+}
+
+std::vector<SweepJob> SweepSpec::expand() const {
+  RADIOCAST_CHECK_MSG(base.is_object(), "SweepSpec base must be an object");
+  std::set<std::string> names;
+  for (const SweepAxis& axis : axes) {
+    RADIOCAST_CHECK_MSG(!axis.name.empty(), "axis name must not be empty");
+    RADIOCAST_CHECK_MSG(names.insert(axis.name).second,
+                        "duplicate sweep axis name");
+  }
+
+  const std::size_t count = job_count();
+  std::vector<SweepJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    SweepJob job;
+    job.index = index;
+    job.config = base;
+    // Row-major decode: the LAST axis varies fastest, matching nested
+    // for-loops written in axis order.
+    std::size_t rest = index;
+    std::vector<std::size_t> choice(axes.size(), 0);
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      choice[a] = rest % axes[a].values.size();
+      rest /= axes[a].values.size();
+    }
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      job.config.set(axes[a].name, axes[a].values[choice[a]]);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 }  // namespace radiocast::harness

@@ -1,8 +1,13 @@
-// Parameter-sweep helpers for the benches.
+// Parameter-sweep machinery: step generators for the benches, plus the
+// SweepSpec grid that the sweep service (sweep_service.hpp) expands into
+// cacheable job shards — see docs/SWEEP.md.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
+
+#include "radiocast/obs/json.hpp"
 
 namespace radiocast::harness {
 
@@ -14,5 +19,41 @@ std::vector<std::size_t> geometric_steps(std::size_t lo, std::size_t hi,
 /// Arithmetic progression lo, lo+step, ..., capped at hi (hi included).
 std::vector<std::size_t> linear_steps(std::size_t lo, std::size_t hi,
                                       std::size_t step);
+
+/// One swept parameter: a config key and the values it takes.
+struct SweepAxis {
+  std::string name;
+  std::vector<obs::JsonValue> values;
+};
+
+/// One expanded grid point. `config` is the base config with every axis
+/// key overridden; `index` is the job's position in row-major expansion
+/// order (last axis fastest) — stable, so job identities survive
+/// re-expansion and results can be streamed in a deterministic order.
+struct SweepJob {
+  std::size_t index = 0;
+  obs::JsonValue config;
+};
+
+/// A parameter grid over a named runner: the cross product of `axes`
+/// applied on top of `base`. The runner name is part of every job's cache
+/// key (cache::derive_key), so two runners may use identical configs
+/// without colliding.
+struct SweepSpec {
+  std::string runner;
+  obs::JsonValue base = obs::JsonValue::object();
+  std::vector<SweepAxis> axes;
+
+  /// Appends an axis (convenience for building specs in code).
+  SweepSpec& axis(std::string name, std::vector<obs::JsonValue> values);
+
+  /// Number of grid points (1 when there are no axes: the base config
+  /// alone is one job). 0 when any axis is empty.
+  std::size_t job_count() const;
+
+  /// Expands the grid in row-major order (first axis slowest). Axis keys
+  /// override base keys; axes must have distinct names.
+  std::vector<SweepJob> expand() const;
+};
 
 }  // namespace radiocast::harness

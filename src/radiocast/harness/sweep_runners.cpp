@@ -1,0 +1,235 @@
+#include "radiocast/harness/sweep_runners.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "radiocast/common/check.hpp"
+#include "radiocast/fault/config.hpp"
+#include "radiocast/graph/families.hpp"
+#include "radiocast/graph/generators.hpp"
+#include "radiocast/harness/experiment.hpp"
+#include "radiocast/harness/parallel.hpp"
+#include "radiocast/rng/rng.hpp"
+#include "radiocast/stats/summary.hpp"
+
+namespace radiocast::harness {
+
+namespace {
+
+std::uint64_t require_uint(const obs::JsonValue& config, const char* key) {
+  const obs::JsonValue* v = config.find(key);
+  RADIOCAST_CHECK_MSG(v != nullptr && v->is_integer(),
+                      "sweep config: missing/non-integer field");
+  return v->as_uint();
+}
+
+double require_double(const obs::JsonValue& config, const char* key) {
+  const obs::JsonValue* v = config.find(key);
+  RADIOCAST_CHECK_MSG(v != nullptr && v->is_number(),
+                      "sweep config: missing/non-numeric field");
+  return v->as_double();
+}
+
+std::string require_string(const obs::JsonValue& config, const char* key) {
+  const obs::JsonValue* v = config.find(key);
+  RADIOCAST_CHECK_MSG(v != nullptr && v->is_string(),
+                      "sweep config: missing/non-string field");
+  return v->as_string();
+}
+
+}  // namespace
+
+obs::JsonValue run_gap_point(const obs::JsonValue& config,
+                             std::size_t threads) {
+  RADIOCAST_CHECK_MSG(config.is_object(), "gap config must be an object");
+  const auto n = static_cast<std::size_t>(require_uint(config, "n"));
+  const auto trials = static_cast<std::size_t>(require_uint(config,
+                                                            "trials"));
+  const std::uint64_t seed = require_uint(config, "seed");
+  const double eps = require_double(config, "eps");
+  RADIOCAST_CHECK_MSG(n >= 1 && trials >= 1, "gap config: n, trials >= 1");
+
+  // Worst-case-ish S for the deterministic baselines, exactly as
+  // bench_gap: the lone sink neighbor is the last id every scan reaches.
+  const NodeId s_members[] = {static_cast<NodeId>(n)};
+  const graph::CnNetwork net = graph::make_cn(n, s_members);
+  const std::size_t nn = net.n();
+
+  const proto::BroadcastParams params{
+      .network_size_bound = net.g.node_count(),
+      .degree_bound = net.g.max_in_degree(),
+      .epsilon = eps,
+      .stop_probability = 0.5,
+  };
+  const auto outcomes = run_trials(
+      trials,
+      [&net, &params, seed](std::size_t trial) {
+        const NodeId sources[] = {net.source};
+        return run_bgi_broadcast(net.g, sources, params, seed + trial,
+                                 Slot{1} << 22);
+      },
+      threads);
+  stats::Summary randomized;
+  std::uint64_t successes = 0;
+  for (const auto& out : outcomes) {
+    if (out.all_informed) {
+      ++successes;
+      randomized.add(static_cast<double>(out.completion_slot) + 1);
+    }
+  }
+
+  const auto dfs = run_dfs_broadcast(net.g, net.source, 8 * (nn + 2));
+  const auto rr = run_round_robin(net.g, net.source, 8 * (nn + 2));
+
+  obs::JsonValue record = obs::JsonValue::object();
+  record.set("n", obs::JsonValue(static_cast<std::uint64_t>(nn)));
+  record.set("trials", obs::JsonValue(static_cast<std::uint64_t>(trials)));
+  record.set("successes", obs::JsonValue(successes));
+  record.set("rand_median", obs::JsonValue(
+      successes > 0 ? randomized.median() : -1.0));
+  record.set("rand_p90", obs::JsonValue(
+      successes > 0 ? randomized.quantile(0.9) : -1.0));
+  record.set("rand_max", obs::JsonValue(
+      successes > 0 ? randomized.max() : -1.0));
+  record.set("dfs_all_heard", obs::JsonValue(dfs.all_heard));
+  record.set("dfs_slots", obs::JsonValue(
+      static_cast<std::uint64_t>(dfs.completion_slot + 1)));
+  record.set("rr_all_heard", obs::JsonValue(rr.all_heard));
+  record.set("rr_slots", obs::JsonValue(
+      static_cast<std::uint64_t>(rr.completion_slot + 1)));
+  record.set("lower_bound", obs::JsonValue(static_cast<double>(nn) / 8.0));
+  return record;
+}
+
+obs::JsonValue run_faults_cell(const obs::JsonValue& config,
+                               std::size_t threads,
+                               EngineSelection* selected) {
+  RADIOCAST_CHECK_MSG(config.is_object(),
+                      "faults config must be an object");
+  const auto n = static_cast<std::size_t>(require_uint(config, "n"));
+  const auto trials = static_cast<std::size_t>(require_uint(config,
+                                                            "trials"));
+  const std::uint64_t seed = require_uint(config, "seed");
+  const double eps = require_double(config, "eps");
+  const std::uint64_t fault_seed = require_uint(config, "fault_seed");
+  const std::uint64_t cell_salt = require_uint(config, "cell_salt");
+  const std::string kind = require_string(config, "kind");
+  const double value = require_double(config, "value");
+  RADIOCAST_CHECK_MSG(n >= 2 && trials >= 1, "faults config: n >= 2");
+
+  // The same topology every cell of a bench_faults sweep shares.
+  rng::Rng graph_rng(seed);
+  const graph::Graph g =
+      graph::connected_gnp(n, 4.0 / static_cast<double>(n), graph_rng);
+  const proto::BroadcastParams params{
+      .network_size_bound = g.node_count(),
+      .degree_bound = g.max_in_degree(),
+      .epsilon = eps,
+      .stop_probability = 0.5,
+  };
+
+  fault::FaultConfig base;
+  if (kind == "loss") {
+    if (value > 0.0) {
+      base.loss = fault::LossModel::bernoulli(value);
+    }
+  } else if (kind == "reactive") {
+    if (value > 0.0) {
+      base.jammers.push_back(fault::JammerSpec::reactive(
+          static_cast<std::uint64_t>(value)));
+    }
+  } else if (kind == "crash") {
+    if (value > 0.0) {
+      base.crashes.fraction = value;
+      base.crashes.window = 4 * n;
+      base.crashes.min_downtime = n;
+      base.crashes.max_downtime = 4 * n;
+      base.crashes.immune = {0};
+    }
+  } else {
+    RADIOCAST_CHECK_MSG(kind == "none",
+                        "faults config: kind must be "
+                        "none|loss|reactive|crash");
+  }
+
+  // Body of bench_faults' run_cell, bit for bit: the BGI trials go
+  // through the engine-dispatching runner; the deterministic controls
+  // only vary in their fault draw.
+  const std::uint64_t fault_base = rng::mix64(fault_seed ^ cell_salt);
+  const bool faulty = base.any();
+  const Slot det_budget = 64 * (g.node_count() + 2);
+
+  const NodeId sources[] = {0};
+  const fault::FaultConfig fc = base.with_seed(fault_base);
+  const auto outcomes = run_bgi_broadcast_trials(
+      g, sources, params, seed, trials, Slot{1} << 20,
+      {.threads = threads,
+       .fault = faulty ? &fc : nullptr,
+       .selected = selected});
+  stats::Summary completion;
+  stats::Summary tx;
+  std::size_t ok = 0;
+  for (const auto& out : outcomes) {
+    tx.add(static_cast<double>(out.transmissions));
+    if (out.all_informed) {
+      ++ok;
+      completion.add(static_cast<double>(out.completion_slot));
+    }
+  }
+
+  const auto dfs_ok = run_trials(
+      trials,
+      [&](std::size_t trial) -> int {
+        const fault::FaultConfig trial_fc =
+            base.with_seed(rng::mix64(fault_base ^ (trial + 0x1000000)));
+        return run_dfs_broadcast(g, 0, det_budget,
+                                 faulty ? &trial_fc : nullptr)
+                   .all_heard
+               ? 1
+               : 0;
+      },
+      threads);
+  const auto rr_ok = run_trials(
+      trials,
+      [&](std::size_t trial) -> int {
+        const fault::FaultConfig trial_fc =
+            base.with_seed(rng::mix64(fault_base ^ (trial + 0x2000000)));
+        return run_round_robin(g, 0, det_budget,
+                               faulty ? &trial_fc : nullptr)
+                   .all_heard
+               ? 1
+               : 0;
+      },
+      threads);
+  std::size_t dfs_n = 0;
+  std::size_t rr_n = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    dfs_n += static_cast<std::size_t>(dfs_ok[i]);
+    rr_n += static_cast<std::size_t>(rr_ok[i]);
+  }
+
+  obs::JsonValue record = obs::JsonValue::object();
+  record.set("bgi_success", obs::JsonValue(
+      static_cast<double>(ok) / static_cast<double>(trials)));
+  record.set("bgi_median_completion", obs::JsonValue(
+      completion.count() > 0 ? completion.median() : -1.0));
+  record.set("bgi_mean_tx", obs::JsonValue(tx.mean()));
+  record.set("dfs_success", obs::JsonValue(
+      static_cast<double>(dfs_n) / static_cast<double>(trials)));
+  record.set("rr_success", obs::JsonValue(
+      static_cast<double>(rr_n) / static_cast<double>(trials)));
+  return record;
+}
+
+void register_standard_runners(SweepService& service, std::size_t threads) {
+  service.register_runner("gap", [threads](const obs::JsonValue& config) {
+    return run_gap_point(config, threads);
+  });
+  service.register_runner("faults",
+                          [threads](const obs::JsonValue& config) {
+                            return run_faults_cell(config, threads);
+                          });
+}
+
+}  // namespace radiocast::harness

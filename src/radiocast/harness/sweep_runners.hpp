@@ -1,0 +1,50 @@
+// The standard sweep runners (docs/SWEEP.md): deterministic functions
+// from a config object to a result record, shared between the bench
+// binaries and the `radiocast_cli sweep` front end so both populate (and
+// hit) the SAME cache entries — a bench_gap row and a
+// `sweep run --runner gap` job with equal configs are one cache key.
+//
+// Config contracts (all fields are required; extra fields are allowed
+// and become part of the cache key, so don't add noise):
+//
+//   gap    — {"n": uint     network size of the C_n instance (post-scale),
+//             "trials": uint, "seed": uint  per-point base seed,
+//             "eps": double}
+//             Record: the E5 per-n row — randomized median/p90/max,
+//             success count, DFS and round-robin completion, Thm12 floor.
+//
+//   faults — {"n": uint, "trials": uint, "seed": uint, "eps": double,
+//             "fault_seed": uint  resolved base (resolved_fault_seed),
+//             "cell_salt": uint, "kind": "none"|"loss"|"reactive"|"crash",
+//             "value": double  (loss rate / jammer budget / crash frac)}
+//             Record: the E22 cell — BGI/DFS/RR success rates, BGI median
+//             completion and mean transmissions.
+//
+// `threads` is captured at registration, never read from the config:
+// thread count cannot change results (docs/PARALLELISM.md), so it must
+// not change cache keys either.
+#pragma once
+
+#include <cstddef>
+
+#include "radiocast/harness/batch_runner.hpp"
+#include "radiocast/harness/sweep_service.hpp"
+#include "radiocast/obs/json.hpp"
+
+namespace radiocast::harness {
+
+/// One E5 grid point (bench_gap's per-n computation, bit for bit).
+obs::JsonValue run_gap_point(const obs::JsonValue& config,
+                             std::size_t threads);
+
+/// One E22 fault-sweep cell (bench_faults' run_cell, bit for bit).
+/// `selected` (optional) receives the engine the BGI trials ran on.
+obs::JsonValue run_faults_cell(const obs::JsonValue& config,
+                               std::size_t threads,
+                               EngineSelection* selected = nullptr);
+
+/// Registers "gap" and "faults" on `service`, capturing `threads`
+/// (0 = default_thread_count()).
+void register_standard_runners(SweepService& service, std::size_t threads);
+
+}  // namespace radiocast::harness

@@ -1,0 +1,126 @@
+#include "radiocast/harness/sweep_service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "radiocast/cache/key.hpp"
+#include "radiocast/common/check.hpp"
+#include "radiocast/harness/parallel.hpp"
+#include "radiocast/obs/metrics.hpp"
+
+namespace radiocast::harness {
+
+namespace {
+
+void count_job(const char* name) {
+  auto& registry = obs::metrics();
+  if (registry.enabled()) {
+    registry.counter(name).add();
+  }
+}
+
+}  // namespace
+
+SweepService::SweepService(cache::ResultCache* cache, std::size_t threads)
+    : cache_(cache), threads_(threads) {}
+
+void SweepService::register_runner(const std::string& name,
+                                   SweepRunner runner) {
+  RADIOCAST_CHECK_MSG(!name.empty(), "runner name must not be empty");
+  RADIOCAST_CHECK_MSG(static_cast<bool>(runner),
+                      "runner function must not be empty");
+  runners_[name] = std::move(runner);
+}
+
+bool SweepService::has_runner(const std::string& name) const {
+  return runners_.count(name) > 0;
+}
+
+std::vector<std::string> SweepService::runner_names() const {
+  std::vector<std::string> names;
+  names.reserve(runners_.size());
+  for (const auto& [name, fn] : runners_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+SweepService::JobResult SweepService::execute(const std::string& runner_name,
+                                              const SweepRunner& fn,
+                                              std::size_t index,
+                                              const obs::JsonValue& config) {
+  JobResult result;
+  result.index = index;
+  result.key = cache::derive_key(runner_name, config);
+  if (cancel_requested()) {
+    result.status = JobStatus::kCancelled;
+    count_job("sweep.jobs.cancelled");
+    return result;
+  }
+  if (cache_ != nullptr) {
+    if (auto cached = cache_->get(result.key)) {
+      result.status = JobStatus::kHit;
+      result.record = std::move(*cached);
+      count_job("sweep.jobs.hit");
+      return result;
+    }
+  }
+  try {
+    result.record = fn(config);
+    result.status = JobStatus::kComputed;
+    count_job("sweep.jobs.computed");
+  } catch (const std::exception& e) {
+    result.status = JobStatus::kFailed;
+    result.error = e.what();
+    count_job("sweep.jobs.failed");
+    return result;
+  }
+  if (cache_ != nullptr) {
+    cache_->put(result.key, runner_name, cache::kEngineFingerprint, config,
+                result.record);
+  }
+  return result;
+}
+
+std::vector<SweepService::JobResult> SweepService::run(
+    const SweepSpec& spec) {
+  const auto it = runners_.find(spec.runner);
+  RADIOCAST_CHECK_MSG(it != runners_.end(),
+                      "sweep runner is not registered");
+  const SweepRunner& fn = it->second;
+
+  cancelled_.store(false, std::memory_order_relaxed);
+  const std::vector<SweepJob> jobs = spec.expand();
+  std::vector<JobResult> results(jobs.size());
+  // Jobs are independent (each builds its own graphs/simulators from its
+  // config), so the dynamic-cursor trial loop distributes them; results
+  // land at their job index, making the output order deterministic.
+  for_each_trial(jobs.size(), threads_, [&](std::size_t i) {
+    results[i] = execute(spec.runner, fn, jobs[i].index, jobs[i].config);
+  });
+  return results;
+}
+
+SweepService::JobResult SweepService::run_one(const std::string& runner,
+                                              const obs::JsonValue& config) {
+  const auto it = runners_.find(runner);
+  RADIOCAST_CHECK_MSG(it != runners_.end(),
+                      "sweep runner is not registered");
+  return execute(runner, it->second, 0, config);
+}
+
+SweepService::Totals SweepService::tally(
+    const std::vector<JobResult>& results) {
+  Totals t;
+  for (const JobResult& r : results) {
+    switch (r.status) {
+      case JobStatus::kHit: ++t.hits; break;
+      case JobStatus::kComputed: ++t.computed; break;
+      case JobStatus::kCancelled: ++t.cancelled; break;
+      case JobStatus::kFailed: ++t.failed; break;
+    }
+  }
+  return t;
+}
+
+}  // namespace radiocast::harness

@@ -1,0 +1,104 @@
+// SweepService — the reusable heart of the sweep daemon (docs/SWEEP.md).
+//
+// A service owns a runner registry (name -> experiment function) and an
+// optional cache::ResultCache. run(spec) expands the spec's parameter
+// grid into job shards, executes them on the worker pool, and returns
+// one JobResult per grid point in job order:
+//
+//   cache hit  -> the stored record, no computation;
+//   cache miss -> the runner computes the record, the store keeps it;
+//   cancelled  -> cancel() was observed before the job started;
+//   failed     -> the runner threw (the exception text is captured so one
+//                 bad grid point never aborts the sweep).
+//
+// Determinism contract: runners must be deterministic functions of their
+// config (derive every seed from config fields — rules R1–R5 apply, and
+// radiocast-lint walks this directory). That is what makes the cache
+// sound: a hit is bit-identical to the recompute it replaced, at any
+// thread count, in any process. The worker pool only decides WHEN a job
+// runs, never its result, exactly as with run_trials
+// (docs/PARALLELISM.md).
+//
+// Cancellation: cancel() may be called from any thread (a signal
+// handler's atomic relay, another service thread, a test). Jobs already
+// executing run to completion — trials are short — and every job not yet
+// started resolves to kCancelled.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "radiocast/cache/store.hpp"
+#include "radiocast/harness/sweep.hpp"
+#include "radiocast/obs/json.hpp"
+
+namespace radiocast::harness {
+
+/// One experiment: a deterministic function from a config object to a
+/// result document. Must be callable concurrently from the worker pool.
+using SweepRunner = std::function<obs::JsonValue(const obs::JsonValue&)>;
+
+class SweepService {
+ public:
+  /// `cache` may be null: every job computes (and nothing is stored).
+  /// `threads` = 0 means default_thread_count().
+  explicit SweepService(cache::ResultCache* cache = nullptr,
+                        std::size_t threads = 0);
+
+  /// Registers (or replaces) a runner. Names are part of the cache key.
+  void register_runner(const std::string& name, SweepRunner runner);
+
+  bool has_runner(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> runner_names() const;
+
+  enum class JobStatus { kHit, kComputed, kCancelled, kFailed };
+
+  struct JobResult {
+    std::size_t index = 0;
+    std::string key;             ///< cache::derive_key of this job
+    JobStatus status = JobStatus::kCancelled;
+    obs::JsonValue record;       ///< null on cancelled/failed
+    std::string error;           ///< runner exception text on kFailed
+  };
+
+  /// Executes every job of `spec` (see class comment), returning results
+  /// in job order regardless of scheduling. Throws ContractViolation when
+  /// spec.runner is not registered. Resets the cancellation flag first,
+  /// so a service can run sweep after sweep.
+  std::vector<JobResult> run(const SweepSpec& spec);
+
+  /// Single-job convenience used by the daemon loop: cache-or-compute
+  /// `config` under `runner`.
+  JobResult run_one(const std::string& runner, const obs::JsonValue& config);
+
+  /// Requests that jobs not yet started resolve to kCancelled.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  struct Totals {
+    std::size_t hits = 0;
+    std::size_t computed = 0;
+    std::size_t cancelled = 0;
+    std::size_t failed = 0;
+  };
+  static Totals tally(const std::vector<JobResult>& results);
+
+ private:
+  JobResult execute(const std::string& runner_name, const SweepRunner& fn,
+                    std::size_t index, const obs::JsonValue& config);
+
+  cache::ResultCache* cache_;
+  std::size_t threads_;
+  std::map<std::string, SweepRunner> runners_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace radiocast::harness

@@ -246,6 +246,48 @@ std::string JsonValue::dump() const {
   return out;
 }
 
+void JsonValue::dump_compact_to(std::string& out) const {
+  switch (kind()) {
+    case Kind::kArray: {
+      const Array& a = std::get<Array>(value_);
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        a[i].dump_compact_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      const Object& o = std::get<Object>(value_);
+      out += '{';
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '"';
+        out += json_escape(o[i].first);
+        out += "\":";
+        o[i].second.dump_compact_to(out);
+      }
+      out += '}';
+      break;
+    }
+    default:
+      // Scalars render identically in both forms.
+      dump_to(out, 0);
+      break;
+  }
+}
+
+std::string JsonValue::dump_compact() const {
+  std::string out;
+  dump_compact_to(out);
+  return out;
+}
+
 // --- parser ---------------------------------------------------------------
 
 namespace {

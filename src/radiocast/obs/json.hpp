@@ -81,6 +81,12 @@ class JsonValue {
   /// level — the stable on-disk format of every run record.
   std::string dump() const;
 
+  /// One-line serialization (no whitespace, no trailing newline) for
+  /// newline-delimited streams — the sweep daemon's wire format
+  /// (docs/SWEEP.md). Escaping ensures the output never contains a raw
+  /// newline, so one value = one line.
+  std::string dump_compact() const;
+
   /// Parses a complete JSON document; throws ContractViolation on syntax
   /// errors or trailing garbage.
   static JsonValue parse(const std::string& text);
@@ -90,6 +96,7 @@ class JsonValue {
   using Object = std::vector<std::pair<std::string, JsonValue>>;
 
   void dump_to(std::string& out, int depth) const;
+  void dump_compact_to(std::string& out) const;
 
   std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
                std::string, Array, Object>

@@ -1,0 +1,336 @@
+// Tests for the content-addressed result cache (docs/SWEEP.md): the
+// SHA-256 primitive against FIPS 180-4 vectors, key derivation (golden
+// value pinned byte for byte — the cross-process stability contract),
+// and the store's integrity-before-trust behavior: corrupted entries are
+// misses, never served.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "radiocast/cache/hash.hpp"
+#include "radiocast/cache/key.hpp"
+#include "radiocast/cache/store.hpp"
+#include "radiocast/common/check.hpp"
+
+namespace radiocast::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test scratch directory (removed up front so a crashed
+/// previous run cannot leak state into this one).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("radiocast_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+obs::JsonValue gap_config() {
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("n", obs::JsonValue(std::uint64_t{32}));
+  config.set("trials", obs::JsonValue(std::uint64_t{5}));
+  config.set("seed", obs::JsonValue(std::uint64_t{1}));
+  config.set("eps", obs::JsonValue(0.1));
+  return config;
+}
+
+obs::JsonValue small_record() {
+  obs::JsonValue record = obs::JsonValue::object();
+  record.set("value", obs::JsonValue(std::uint64_t{42}));
+  record.set("ratio", obs::JsonValue(0.25));
+  return record;
+}
+
+// --- SHA-256 -------------------------------------------------------------
+
+TEST(Sha256, Fips180KnownVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b78"
+            "52b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f2"
+            "0015ad");
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  // Feed a multi-block message in awkward chunk sizes: block-boundary
+  // bugs (the 56/64-byte padding cases) show up exactly here.
+  std::string message;
+  for (int i = 0; i < 300; ++i) {
+    message += static_cast<char>('a' + i % 26);
+  }
+  for (const std::size_t chunk : {1UL, 7UL, 55UL, 56UL, 63UL, 64UL, 65UL}) {
+    Sha256 hasher;
+    for (std::size_t at = 0; at < message.size(); at += chunk) {
+      hasher.update(std::string_view(message).substr(
+          at, std::min(chunk, message.size() - at)));
+    }
+    EXPECT_EQ(hasher.hex(), sha256_hex(message)) << "chunk " << chunk;
+  }
+}
+
+// --- key derivation ------------------------------------------------------
+
+TEST(CacheKey, GoldenValueIsStableAcrossProcesses) {
+  // Pinned byte for byte. This exact key is also what
+  // `radiocast_cli sweep run --runner gap --set n=32 --set trials=5
+  //  --set seed=1 --set eps=0.1` derives in a separate process, so two
+  // processes (or two machines) sharing a cache directory address the
+  // same entry. If this test ever needs updating, every shared cache is
+  // invalidated — that is a fingerprint bump, not a constant edit
+  // (see key.hpp).
+  EXPECT_EQ(derive_key("gap", gap_config()),
+            "3197d8b7358132541887de663a21a79a175078cfc469aeeae1176285dca"
+            "ce5fd");
+}
+
+TEST(CacheKey, InsertionOrderDoesNotMatter) {
+  obs::JsonValue reordered = obs::JsonValue::object();
+  reordered.set("eps", obs::JsonValue(0.1));
+  reordered.set("seed", obs::JsonValue(std::uint64_t{1}));
+  reordered.set("n", obs::JsonValue(std::uint64_t{32}));
+  reordered.set("trials", obs::JsonValue(std::uint64_t{5}));
+  EXPECT_EQ(canonical_config_text(reordered),
+            canonical_config_text(gap_config()));
+  EXPECT_EQ(derive_key("gap", reordered), derive_key("gap", gap_config()));
+}
+
+TEST(CacheKey, NestedObjectsCanonicalizeRecursively) {
+  obs::JsonValue inner_a = obs::JsonValue::object();
+  inner_a.set("b", obs::JsonValue(1));
+  inner_a.set("a", obs::JsonValue(2));
+  obs::JsonValue config_a = obs::JsonValue::object();
+  config_a.set("outer", inner_a);
+
+  obs::JsonValue inner_b = obs::JsonValue::object();
+  inner_b.set("a", obs::JsonValue(2));
+  inner_b.set("b", obs::JsonValue(1));
+  obs::JsonValue config_b = obs::JsonValue::object();
+  config_b.set("outer", inner_b);
+
+  EXPECT_EQ(derive_key("r", config_a), derive_key("r", config_b));
+}
+
+TEST(CacheKey, SemanticConfigChangeChangesKey) {
+  const std::string base = derive_key("gap", gap_config());
+
+  obs::JsonValue other_n = gap_config();
+  other_n.set("n", obs::JsonValue(std::uint64_t{33}));
+  EXPECT_NE(derive_key("gap", other_n), base);
+
+  obs::JsonValue other_eps = gap_config();
+  other_eps.set("eps", obs::JsonValue(0.2));
+  EXPECT_NE(derive_key("gap", other_eps), base);
+
+  // An explicit lane-width override is conservatively part of the key
+  // even though lane width cannot change results: a spurious miss is
+  // cheap, a wrong hit would be unbounded (docs/SWEEP.md).
+  obs::JsonValue lane = gap_config();
+  lane.set("lane_width", obs::JsonValue(std::uint64_t{8}));
+  EXPECT_NE(derive_key("gap", lane), base);
+}
+
+TEST(CacheKey, RunnerAndFingerprintAreKeyed) {
+  const std::string base = derive_key("gap", gap_config());
+  EXPECT_NE(derive_key("faults", gap_config()), base);
+  EXPECT_NE(derive_key("gap", gap_config(), "radiocast-engines-v2"), base);
+}
+
+TEST(CacheKey, NumbersRenderExactly) {
+  // The canonical text is the hashed text: integers must not round-trip
+  // through double (2^63 is not representable) and doubles must
+  // round-trip shortest-form, or keys drift between writers.
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("big", obs::JsonValue(std::uint64_t{9223372036854775809ULL}));
+  config.set("frac", obs::JsonValue(0.1));
+  const std::string text = canonical_config_text(config);
+  EXPECT_NE(text.find("9223372036854775809"), std::string::npos) << text;
+  EXPECT_NE(text.find("0.1"), std::string::npos) << text;
+  EXPECT_EQ(text.find("0.100000"), std::string::npos) << text;
+}
+
+// --- store ---------------------------------------------------------------
+
+TEST(ResultCache, MissOnEmptyStoreThenRoundTrip) {
+  ResultCache cache(scratch_dir("cache_roundtrip"));
+  const std::string key = derive_key("toy", gap_config());
+
+  EXPECT_FALSE(cache.get(key).has_value());
+  EXPECT_EQ(cache.stats().misses, 1U);
+
+  ASSERT_TRUE(cache.put(key, "toy", kEngineFingerprint, gap_config(),
+                        small_record()));
+  const auto back = cache.get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dump(), small_record().dump());
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.stats().puts, 1U);
+}
+
+TEST(ResultCache, TruncatedEntryIsAMissAndIsDeleted) {
+  const fs::path root = scratch_dir("cache_truncated");
+  ResultCache cache(root);
+  const std::string key = derive_key("toy", gap_config());
+  ASSERT_TRUE(cache.put(key, "toy", kEngineFingerprint, gap_config(),
+                        small_record()));
+
+  // Truncate the entry mid-envelope, as a crashed disk or partial copy
+  // would. The checksum (and the JSON parse) must catch it.
+  fs::path entry;
+  for (const auto& file : fs::recursive_directory_iterator(root)) {
+    if (file.is_regular_file()) {
+      entry = file.path();
+    }
+  }
+  ASSERT_FALSE(entry.empty());
+  fs::resize_file(entry, fs::file_size(entry) / 2);
+
+  EXPECT_FALSE(cache.get(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1U);
+  EXPECT_FALSE(fs::exists(entry)) << "corrupt entries must be deleted";
+
+  // The caller recomputes and re-puts; the store must serve it again.
+  ASSERT_TRUE(cache.put(key, "toy", kEngineFingerprint, gap_config(),
+                        small_record()));
+  EXPECT_TRUE(cache.get(key).has_value());
+}
+
+TEST(ResultCache, TamperedPayloadIsAMiss) {
+  const fs::path root = scratch_dir("cache_tampered");
+  ResultCache cache(root);
+  const std::string key = derive_key("toy", gap_config());
+  ASSERT_TRUE(cache.put(key, "toy", kEngineFingerprint, gap_config(),
+                        small_record()));
+
+  fs::path entry;
+  for (const auto& file : fs::recursive_directory_iterator(root)) {
+    if (file.is_regular_file()) {
+      entry = file.path();
+    }
+  }
+  std::string text;
+  {
+    std::ifstream in(entry);
+    std::getline(in, text, '\0');
+  }
+  // Flip the cached value 42 -> 43: valid JSON, stale payload checksum.
+  const std::size_t at = text.find("42");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 2, "43");
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << text;
+  }
+
+  EXPECT_FALSE(cache.get(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1U);
+}
+
+TEST(ResultCache, EntryUnderWrongKeyIsAMiss) {
+  const fs::path root = scratch_dir("cache_wrongkey");
+  ResultCache cache(root);
+  const std::string key = derive_key("toy", gap_config());
+  ASSERT_TRUE(cache.put(key, "toy", kEngineFingerprint, gap_config(),
+                        small_record()));
+
+  // Copy the (internally consistent) entry to a different key's path —
+  // a renamed file, a botched sync. The embedded key must reject it.
+  obs::JsonValue other = gap_config();
+  other.set("n", obs::JsonValue(std::uint64_t{33}));
+  const std::string other_key = derive_key("toy", other);
+  const fs::path from =
+      root / "objects" / key.substr(0, 2) / (key.substr(2) + ".json");
+  const fs::path to = root / "objects" / other_key.substr(0, 2) /
+                      (other_key.substr(2) + ".json");
+  fs::create_directories(to.parent_path());
+  fs::copy_file(from, to);
+
+  EXPECT_FALSE(cache.get(other_key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1U);
+  EXPECT_TRUE(cache.get(key).has_value()) << "the real entry still serves";
+}
+
+TEST(ResultCache, ScanReportsEveryEntry) {
+  ResultCache cache(scratch_dir("cache_scan"));
+  obs::JsonValue config = gap_config();
+  for (const std::uint64_t n : {10ULL, 11ULL, 12ULL}) {
+    config.set("n", obs::JsonValue(n));
+    ASSERT_TRUE(cache.put(derive_key("toy", config), "toy",
+                          kEngineFingerprint, config, small_record()));
+  }
+  const auto entries = cache.scan();
+  ASSERT_EQ(entries.size(), 3U);
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.runner, "toy");
+    EXPECT_GT(e.bytes, 0U);
+  }
+  EXPECT_LT(entries[0].key, entries[1].key);
+  EXPECT_LT(entries[1].key, entries[2].key);
+}
+
+TEST(ResultCache, GcEvictsOldestFirst) {
+  ResultCache cache(scratch_dir("cache_gc"));
+  obs::JsonValue config = gap_config();
+  std::vector<std::string> keys;
+  for (const std::uint64_t n : {10ULL, 11ULL, 12ULL}) {
+    config.set("n", obs::JsonValue(n));
+    keys.push_back(derive_key("toy", config));
+    ASSERT_TRUE(cache.put(keys.back(), "toy", kEngineFingerprint, config,
+                          small_record()));
+  }
+  // Pin distinct mtimes explicitly (puts can land within one filesystem
+  // timestamp tick): keys[1] oldest, keys[0] middle, keys[2] newest.
+  const auto now = fs::file_time_type::clock::now();
+  const auto path_of = [&](const std::string& k) {
+    return cache.root() / "objects" / k.substr(0, 2) /
+           (k.substr(2) + ".json");
+  };
+  fs::last_write_time(path_of(keys[1]), now - std::chrono::hours(2));
+  fs::last_write_time(path_of(keys[0]), now - std::chrono::hours(1));
+  fs::last_write_time(path_of(keys[2]), now);
+
+  EXPECT_EQ(cache.gc({.max_entries = 1}), 2U);
+  EXPECT_EQ(cache.stats().evictions, 2U);
+  const auto left = cache.scan();
+  ASSERT_EQ(left.size(), 1U);
+  EXPECT_EQ(left[0].key, keys[2]) << "newest entry survives";
+}
+
+TEST(ResultCache, GcEnforcesByteBudgetAndSweepsTmpFiles) {
+  ResultCache cache(scratch_dir("cache_gc_bytes"));
+  obs::JsonValue config = gap_config();
+  for (const std::uint64_t n : {10ULL, 11ULL, 12ULL, 13ULL}) {
+    config.set("n", obs::JsonValue(n));
+    ASSERT_TRUE(cache.put(derive_key("toy", config), "toy",
+                          kEngineFingerprint, config, small_record()));
+  }
+  std::uintmax_t total = 0;
+  std::uintmax_t one = 0;
+  for (const auto& e : cache.scan()) {
+    total += e.bytes;
+    one = e.bytes;
+  }
+  // A leftover tmp file from a crashed writer: gc must remove it without
+  // counting it as an entry.
+  const fs::path tmp = cache.root() / "objects" / "ab" / "leftover.json.tmp";
+  fs::create_directories(tmp.parent_path());
+  std::ofstream(tmp) << "{\"half\":";
+
+  EXPECT_GE(cache.gc({.max_bytes = total - one}), 1U);
+  EXPECT_LE(cache.scan().size(), 3U);
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+}  // namespace
+}  // namespace radiocast::cache

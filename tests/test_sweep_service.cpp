@@ -1,0 +1,276 @@
+// Tests for the sweep library and service (docs/SWEEP.md): grid
+// expansion, cache-or-compute execution, thread-count invariance of both
+// results and cache keys, cancellation, and per-job failure isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "radiocast/cache/key.hpp"
+#include "radiocast/cache/store.hpp"
+#include "radiocast/common/check.hpp"
+#include "radiocast/harness/sweep.hpp"
+#include "radiocast/harness/sweep_runners.hpp"
+#include "radiocast/harness/sweep_service.hpp"
+
+namespace radiocast::harness {
+namespace {
+
+namespace fs = std::filesystem;
+using JobStatus = SweepService::JobStatus;
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("radiocast_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A deterministic toy runner: record = {"sum": a + b} — cheap enough to
+/// sweep widely, dependent on every config field so wrong-key bugs show.
+obs::JsonValue toy_runner(const obs::JsonValue& config) {
+  return obs::JsonValue::object().set(
+      "sum", obs::JsonValue(config.find("a")->as_int() +
+                            config.find("b")->as_int()));
+}
+
+SweepSpec toy_spec() {
+  SweepSpec spec;
+  spec.runner = "toy";
+  spec.base = obs::JsonValue::object();
+  spec.base.set("b", obs::JsonValue(std::int64_t{100}));
+  spec.axis("a", {obs::JsonValue(std::int64_t{1}),
+                  obs::JsonValue(std::int64_t{2}),
+                  obs::JsonValue(std::int64_t{3})});
+  return spec;
+}
+
+// --- grid expansion ------------------------------------------------------
+
+TEST(SweepSpec, ExpandsRowMajorWithBaseOverride) {
+  SweepSpec spec;
+  spec.runner = "toy";
+  spec.base.set("a", obs::JsonValue(std::int64_t{0}));  // overridden
+  spec.base.set("keep", obs::JsonValue("yes"));
+  spec.axis("a", {obs::JsonValue(std::int64_t{1}),
+                  obs::JsonValue(std::int64_t{2})});
+  spec.axis("b", {obs::JsonValue("x"), obs::JsonValue("y"),
+                  obs::JsonValue("z")});
+
+  EXPECT_EQ(spec.job_count(), 6U);
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 6U);
+  // Last axis fastest: (a=1,b=x), (a=1,b=y), (a=1,b=z), (a=2,b=x), ...
+  EXPECT_EQ(jobs[0].config.find("a")->as_int(), 1);
+  EXPECT_EQ(jobs[0].config.find("b")->as_string(), "x");
+  EXPECT_EQ(jobs[2].config.find("b")->as_string(), "z");
+  EXPECT_EQ(jobs[3].config.find("a")->as_int(), 2);
+  EXPECT_EQ(jobs[3].config.find("b")->as_string(), "x");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].config.find("keep")->as_string(), "yes");
+  }
+}
+
+TEST(SweepSpec, NoAxesMeansOneJob) {
+  SweepSpec spec;
+  spec.runner = "toy";
+  spec.base.set("a", obs::JsonValue(std::int64_t{7}));
+  EXPECT_EQ(spec.job_count(), 1U);
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1U);
+  EXPECT_EQ(jobs[0].config.find("a")->as_int(), 7);
+}
+
+TEST(SweepSpec, DuplicateAxisNameThrows) {
+  SweepSpec spec;
+  spec.runner = "toy";
+  spec.axis("a", {obs::JsonValue(std::int64_t{1})});
+  spec.axis("a", {obs::JsonValue(std::int64_t{2})});
+  EXPECT_THROW(spec.expand(), ContractViolation);
+}
+
+// --- cache-or-compute ----------------------------------------------------
+
+TEST(SweepService, SecondRunIsAllHitsWithIdenticalRecords) {
+  cache::ResultCache cache(scratch_dir("sweep_rerun"));
+  SweepService service(&cache, 2);
+  std::atomic<int> invocations{0};
+  service.register_runner("toy", [&](const obs::JsonValue& config) {
+    invocations.fetch_add(1);
+    return toy_runner(config);
+  });
+
+  const auto first = service.run(toy_spec());
+  ASSERT_EQ(first.size(), 3U);
+  for (const auto& job : first) {
+    EXPECT_EQ(job.status, JobStatus::kComputed);
+  }
+  EXPECT_EQ(invocations.load(), 3);
+
+  const auto second = service.run(toy_spec());
+  ASSERT_EQ(second.size(), 3U);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(second[i].status, JobStatus::kHit);
+    EXPECT_EQ(second[i].key, first[i].key);
+    // The cached record is bit-identical to the computed one.
+    EXPECT_EQ(second[i].record.dump(), first[i].record.dump());
+    EXPECT_EQ(second[i].record.find("sum")->as_int(),
+              101 + static_cast<int>(i));
+  }
+  EXPECT_EQ(invocations.load(), 3) << "hits must not re-invoke the runner";
+
+  const auto totals = SweepService::tally(second);
+  EXPECT_EQ(totals.hits, 3U);
+  EXPECT_EQ(totals.computed, 0U);
+}
+
+TEST(SweepService, ResultsAndKeysAreThreadCountInvariant) {
+  // Two services at different thread counts over fresh caches must
+  // produce the same keys and the same records: thread count is
+  // scheduling, never identity (docs/SWEEP.md).
+  std::vector<std::vector<SweepService::JobResult>> runs;
+  for (const std::size_t threads : {1UL, 4UL}) {
+    cache::ResultCache cache(
+        scratch_dir("sweep_threads_" + std::to_string(threads)));
+    SweepService service(&cache, threads);
+    service.register_runner("toy", toy_runner);
+    runs.push_back(service.run(toy_spec()));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].key, runs[1][i].key);
+    EXPECT_EQ(runs[0][i].record.dump(), runs[1][i].record.dump());
+  }
+}
+
+TEST(SweepService, NoCacheMeansEveryRunComputes) {
+  SweepService service(nullptr, 1);
+  std::atomic<int> invocations{0};
+  service.register_runner("toy", [&](const obs::JsonValue& config) {
+    invocations.fetch_add(1);
+    return toy_runner(config);
+  });
+  (void)service.run(toy_spec());
+  (void)service.run(toy_spec());
+  EXPECT_EQ(invocations.load(), 6);
+}
+
+TEST(SweepService, CorruptEntryIsRecomputedNeverServed) {
+  const fs::path root = scratch_dir("sweep_corrupt");
+  cache::ResultCache cache(root);
+  SweepService service(&cache, 1);
+  service.register_runner("toy", toy_runner);
+
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("a", obs::JsonValue(std::int64_t{1}));
+  config.set("b", obs::JsonValue(std::int64_t{2}));
+  const auto first = service.run_one("toy", config);
+  EXPECT_EQ(first.status, JobStatus::kComputed);
+
+  // Corrupt the entry on disk; the service must detect it, recompute,
+  // and heal the store so the third call hits again.
+  const fs::path entry = root / "objects" / first.key.substr(0, 2) /
+                         (first.key.substr(2) + ".json");
+  ASSERT_TRUE(fs::exists(entry));
+  fs::resize_file(entry, fs::file_size(entry) / 3);
+
+  const auto second = service.run_one("toy", config);
+  EXPECT_EQ(second.status, JobStatus::kComputed);
+  EXPECT_EQ(second.record.dump(), first.record.dump());
+
+  const auto third = service.run_one("toy", config);
+  EXPECT_EQ(third.status, JobStatus::kHit);
+  EXPECT_EQ(third.record.dump(), first.record.dump());
+}
+
+// --- failure and cancellation --------------------------------------------
+
+TEST(SweepService, OneFailingJobDoesNotAbortTheSweep) {
+  cache::ResultCache cache(scratch_dir("sweep_failure"));
+  SweepService service(&cache, 1);
+  service.register_runner("toy", [](const obs::JsonValue& config) {
+    if (config.find("a")->as_int() == 2) {
+      throw std::runtime_error("boom on a=2");
+    }
+    return toy_runner(config);
+  });
+
+  const auto results = service.run(toy_spec());
+  ASSERT_EQ(results.size(), 3U);
+  EXPECT_EQ(results[0].status, JobStatus::kComputed);
+  EXPECT_EQ(results[1].status, JobStatus::kFailed);
+  EXPECT_NE(results[1].error.find("boom on a=2"), std::string::npos);
+  EXPECT_TRUE(results[1].record.is_null());
+  EXPECT_EQ(results[2].status, JobStatus::kComputed);
+
+  // Nothing was stored for the failed job: a rerun recomputes exactly it.
+  service.register_runner("toy", toy_runner);
+  const auto rerun = service.run(toy_spec());
+  EXPECT_EQ(rerun[0].status, JobStatus::kHit);
+  EXPECT_EQ(rerun[1].status, JobStatus::kComputed);
+  EXPECT_EQ(rerun[2].status, JobStatus::kHit);
+}
+
+TEST(SweepService, CancellationResolvesRemainingJobs) {
+  SweepService service(nullptr, 1);
+  service.register_runner("toy", [&](const obs::JsonValue& config) {
+    service.cancel();  // first executed job pulls the plug
+    return toy_runner(config);
+  });
+
+  const auto results = service.run(toy_spec());
+  ASSERT_EQ(results.size(), 3U);
+  // One thread executes jobs in order: job 0 completes, the rest were
+  // never started and resolve to kCancelled.
+  EXPECT_EQ(results[0].status, JobStatus::kComputed);
+  EXPECT_EQ(results[1].status, JobStatus::kCancelled);
+  EXPECT_EQ(results[2].status, JobStatus::kCancelled);
+
+  // run() resets the flag: the next sweep completes normally.
+  service.register_runner("toy", toy_runner);
+  const auto totals = SweepService::tally(service.run(toy_spec()));
+  EXPECT_EQ(totals.computed, 3U);
+  EXPECT_EQ(totals.cancelled, 0U);
+}
+
+TEST(SweepService, UnknownRunnerThrows) {
+  SweepService service(nullptr, 1);
+  SweepSpec spec;
+  spec.runner = "nonexistent";
+  EXPECT_THROW(service.run(spec), ContractViolation);
+  EXPECT_THROW(service.run_one("nonexistent", obs::JsonValue::object()),
+               ContractViolation);
+}
+
+TEST(SweepService, StandardRunnersAreRegistered) {
+  SweepService service(nullptr, 1);
+  register_standard_runners(service, 1);
+  EXPECT_TRUE(service.has_runner("gap"));
+  EXPECT_TRUE(service.has_runner("faults"));
+  const auto names = service.runner_names();
+  EXPECT_EQ(names.size(), 2U);
+
+  // One tiny real job end to end: the "gap" runner on n=8 — the record
+  // carries every field bench_gap's table needs.
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("n", obs::JsonValue(std::uint64_t{8}));
+  config.set("trials", obs::JsonValue(std::uint64_t{3}));
+  config.set("seed", obs::JsonValue(std::uint64_t{1}));
+  config.set("eps", obs::JsonValue(0.1));
+  const auto job = service.run_one("gap", config);
+  ASSERT_EQ(job.status, JobStatus::kComputed);
+  for (const char* field :
+       {"n", "trials", "successes", "rand_median", "dfs_slots", "rr_slots",
+        "lower_bound"}) {
+    EXPECT_NE(job.record.find(field), nullptr) << field;
+  }
+  EXPECT_EQ(job.record.find("n")->as_uint(), 8U);
+}
+
+}  // namespace
+}  // namespace radiocast::harness
