@@ -1,34 +1,46 @@
 // E-scale — slots/sec vs n for the receiver-sharded slot engine.
 //
 // The scale engine (sim/sharded.hpp) exists so the paper's randomized
-// Decay broadcast (BGI, §2.2) can run at n = 10^6 and beyond: implicit
+// Decay broadcast (BGI, §2.2) can run at n = 10^6–10^7: implicit
 // adjacency means unit-disk topologies never materialize their arc lists,
-// sharding spreads the slot loop over the worker pool, and observation is
+// the adaptive sweep (dense receiver-owned vs transmitter-indexed sparse,
+// RADIOCAST_SCALE_SWEEP to force) keeps wavefront slots cheap, sharding
+// spreads the slot loop over the worker pool, and observation is
 // sampling-based. This bench tracks that claim PR over PR:
 //
 //   * unit-disk — graph::UnitDiskTopology, fully implicit (no arc list is
 //     ever built; adjacency is answered from the cell grid on the fly);
 //     connection radius sqrt(2 ln n / (pi n)), the connectivity threshold.
+//     Runs the full size grid, up to n = 10^7.
 //   * gnp — connected G(n, 10/n), materialized once and run through the
 //     same engine via graph::CsrBackedTopology (the escape hatch for
-//     arbitrary graphs).
+//     arbitrary graphs). Capped at n = 1048576: above that the one-off
+//     GraphBuilder materialization dominates the bench's wall time
+//     without telling us anything new about the slot engine.
 //
 // Each configuration runs one BGI broadcast from node 0 to quiescence
 // (capped at twice the Theorem 4 termination bound, with the diameter
 // estimated as 2/radius resp. 2 log2 n) and reports slots/sec plus the
-// delivered fraction. Before the timed sweep, the smallest size runs once
-// with shards=1/threads=1 and once with the auto configuration; the two
-// trajectories (totals, every first-delivery slot, sampled records) must
-// be bit-identical or the bench exits nonzero — the determinism contract,
-// enforced where the perf numbers are produced.
+// delivered fraction. Before the timed sweep, the smallest size runs the
+// determinism gate: a shards=1/threads=1 dense reference against the auto
+// configuration AND forced-dense / forced-sparse multi-shard runs — every
+// trajectory (totals, every first-delivery slot, sampled records) must be
+// bit-identical or the bench exits nonzero. The engine totals are also
+// aggregated into the run record (sim.slots/transmissions/deliveries/
+// collisions — all-zero before this bench published them) with a
+// self-check that fails the run when the aggregation breaks.
 //
-// Sizes: 16384, 65536, 262144, 1048576, capped by RADIOCAST_SCALE_MAX_N
-// (default 65536 so CI stays fast; set 1048576 for the full curve).
-// --repeat K keeps the best of K timed runs after one untimed warmup.
+// Sizes: 16384 ... 10^7, capped by RADIOCAST_SCALE_MAX_N (default 65536
+// so CI stays fast; set 10000000 for the full curve). --repeat K keeps
+// the best of K timed runs after one untimed warmup.
 //
-// Gauges (for scripts/bench_diff.py, prefix "scale."):
-//   scale.slots_per_sec.<family>.n<N>, scale.slots.<family>.n<N>,
-//   scale.delivered_fraction.<family>.n<N>, scale.bit_identical.
+// Metrics (for scripts/bench_diff.py, prefix "scale."):
+//   gauges  scale.slots_per_sec.<family>.n<N>, scale.slots.<family>.n<N>,
+//           scale.wall_sec.<family>.n<N> (per-point gating),
+//           scale.delivered_fraction.<family>.n<N>, scale.bit_identical
+//   counters scale.sweep.dense / scale.sweep.sparse (slots swept by each
+//           strategy across the timed runs), sim.slots / sim.transmissions
+//           / sim.deliveries / sim.collisions (engine totals)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -45,6 +57,7 @@
 #include "radiocast/harness/options.hpp"
 #include "radiocast/harness/report.hpp"
 #include "radiocast/harness/table.hpp"
+#include "radiocast/obs/metrics.hpp"
 #include "radiocast/proto/broadcast.hpp"
 #include "radiocast/sim/sharded.hpp"
 
@@ -69,7 +82,11 @@ double best_of(std::size_t repeat, Fn&& timed_run) {
   return best;
 }
 
-constexpr std::size_t kSizes[] = {16384, 65536, 262144, 1048576};
+constexpr std::size_t kSizes[] = {16384,   65536,   262144,
+                                  1048576, 4194304, 10000000};
+/// gnp stops here: the engine cost is what this bench measures, not
+/// GraphBuilder's one-off sort of 10 n arcs.
+constexpr std::size_t kMaxGnp = 1048576;
 
 std::size_t max_n_cap() {
   if (const char* env = std::getenv("RADIOCAST_SCALE_MAX_N")) {
@@ -125,6 +142,13 @@ struct ScaleResult {
   Slot slots = 0;
   double sec = 0.0;
   double delivered_fraction = 0.0;
+  // Engine totals for the run-record aggregation (identical across
+  // repeats by the determinism contract).
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t sweep_dense = 0;
+  std::uint64_t sweep_sparse = 0;
 };
 
 /// One timed BGI broadcast to quiescence on `topo`.
@@ -148,28 +172,18 @@ ScaleResult measure(const std::string& family,
     r.slots = s.now();
     r.delivered_fraction = static_cast<double>(s.trace().delivered_count()) /
                            static_cast<double>(r.n);
+    r.transmissions = s.trace().total_transmissions();
+    r.deliveries = s.trace().total_deliveries();
+    r.collisions = s.trace().total_collisions();
+    r.sweep_dense = s.trace().sweep_dense_slots();
+    r.sweep_sparse = s.trace().sweep_sparse_slots();
     return sec;
   });
   return r;
 }
 
-/// The determinism gate: shards=1/threads=1 vs the auto configuration must
-/// produce bit-identical trajectories (totals, every node's first-delivery
-/// slot, every sampled record). Run where the numbers are produced, so a
-/// perf "win" that breaks the contract can never land.
-bool identical_at_any_sharding(const graph::ImplicitTopology& topo,
-                               const proto::BroadcastParams& params,
-                               Slot cap, std::uint64_t seed) {
-  sim::ShardedSimOptions serial{.seed = seed, .shards = 1, .threads = 1,
-                                .trace_sample_period = 64};
-  sim::ShardedSimOptions auto_opt{.seed = seed, .trace_sample_period = 64};
-  sim::ShardedSimulator a(topo, serial);
-  a.install_all(bgi_factory(params));
-  a.run_to_quiescence(cap);
-  sim::ShardedSimulator b(topo, auto_opt);
-  b.install_all(bgi_factory(params));
-  b.run_to_quiescence(cap);
-
+bool same_trajectory(const sim::ShardedSimulator& a,
+                     const sim::ShardedSimulator& b) {
   bool same = a.now() == b.now() &&
               a.trace().total_slots() == b.trace().total_slots() &&
               a.trace().total_transmissions() ==
@@ -178,10 +192,59 @@ bool identical_at_any_sharding(const graph::ImplicitTopology& topo,
               a.trace().total_collisions() == b.trace().total_collisions() &&
               a.trace().delivered_count() == b.trace().delivered_count() &&
               a.trace().sampled_slots() == b.trace().sampled_slots();
-  for (NodeId v = 0; same && v < topo.node_count(); ++v) {
+  for (NodeId v = 0; same && v < a.node_count(); ++v) {
     same = a.trace().first_delivery(v) == b.trace().first_delivery(v);
   }
   return same;
+}
+
+/// The determinism gate: a shards=1/threads=1 dense reference against the
+/// auto configuration and against forced dense/sparse multi-shard runs —
+/// all trajectories (totals, every node's first-delivery slot, every
+/// sampled record) must be bit-identical, and a forced strategy must
+/// actually be the one that ran. Run where the numbers are produced, so a
+/// perf "win" that breaks the contract can never land.
+bool identical_at_any_sharding(const graph::ImplicitTopology& topo,
+                               const proto::BroadcastParams& params,
+                               Slot cap, std::uint64_t seed) {
+  sim::ShardedSimOptions reference{.seed = seed, .shards = 1, .threads = 1,
+                                   .trace_sample_period = 64,
+                                   .sweep = sim::SweepStrategy::kDense};
+  sim::ShardedSimulator ref(topo, reference);
+  ref.install_all(bgi_factory(params));
+  ref.run_to_quiescence(cap);
+
+  const sim::ShardedSimOptions candidates[] = {
+      // The configuration measure() actually times.
+      {.seed = seed, .trace_sample_period = 64},
+      // Both strategies forced, at an awkward shard count.
+      {.seed = seed, .shards = 9, .trace_sample_period = 64,
+       .sweep = sim::SweepStrategy::kDense},
+      {.seed = seed, .shards = 9, .trace_sample_period = 64,
+       .sweep = sim::SweepStrategy::kSparse},
+  };
+  for (const auto& options : candidates) {
+    sim::ShardedSimulator run(topo, options);
+    run.install_all(bgi_factory(params));
+    run.run_to_quiescence(cap);
+    if (!same_trajectory(ref, run)) {
+      std::printf("FAIL: %s/%zu-shard trajectory diverges\n",
+                  sim::sweep_strategy_name(options.sweep), run.shard_count());
+      return false;
+    }
+    const auto& trace = run.trace();
+    if (options.sweep == sim::SweepStrategy::kDense &&
+        trace.sweep_sparse_slots() != 0) {
+      std::printf("FAIL: forced dense run swept sparse slots\n");
+      return false;
+    }
+    if (options.sweep == sim::SweepStrategy::kSparse &&
+        trace.sweep_dense_slots() != 0) {
+      std::printf("FAIL: forced sparse run swept dense slots\n");
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -193,8 +256,10 @@ int main(int argc, char** argv) {
 
   harness::print_banner("E-scale: sharded engine throughput vs n");
   std::printf(
-      "sizes up to n=%zu (RADIOCAST_SCALE_MAX_N to change), %zu thread(s)\n",
-      cap_n, opt.threads);
+      "sizes up to n=%zu (RADIOCAST_SCALE_MAX_N to change), %zu thread(s), "
+      "sweep=%s (RADIOCAST_SCALE_SWEEP to force)\n",
+      cap_n, opt.threads,
+      sim::sweep_strategy_name(sim::sweep_strategy_from_env()));
   if (opt.repeat > 1) {
     std::printf("timing: best of %zu runs after one warmup (--repeat)\n",
                 opt.repeat);
@@ -202,8 +267,8 @@ int main(int argc, char** argv) {
 
   bool identical = true;
   std::vector<ScaleResult> results;
-  harness::Table table({"family", "n", "arcs", "shards", "slots", "seconds",
-                        "slots/sec", "delivered"});
+  harness::Table table({"family", "n", "arcs", "shards", "slots", "sparse%",
+                        "seconds", "slots/sec", "delivered"});
 
   for (const std::size_t n : kSizes) {
     if (n > cap_n) {
@@ -226,7 +291,7 @@ int main(int argc, char** argv) {
                                 opt.threads, opt.repeat));
     }
     // --- gnp: materialized once, same engine via the CSR-backed view ----
-    {
+    if (n <= kMaxGnp) {
       rng::Rng graph_rng(opt.seed, n + 1);
       const graph::Graph g =
           graph::connected_gnp(n, 10.0 / static_cast<double>(n), graph_rng);
@@ -251,17 +316,66 @@ int main(int argc, char** argv) {
                    harness::Table::inum(r.arcs),
                    harness::Table::inum(r.shards),
                    harness::Table::inum(r.slots),
+                   harness::Table::num(
+                       r.slots == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(r.sweep_sparse) /
+                                 static_cast<double>(r.slots),
+                       1),
                    harness::Table::num(r.sec, 3),
                    harness::Table::num(
                        static_cast<double>(r.slots) / r.sec, 0),
                    harness::Table::num(r.delivered_fraction, 4)});
   }
   table.print();
-  std::printf("bit-identical (1 shard/1 thread vs auto): %s\n",
+  std::printf("bit-identical (1 shard/1 thread vs auto/dense/sparse): %s\n",
               identical ? "yes" : "NO");
   if (!identical) {
     std::printf(
-        "FAIL: sharded trajectories differ across shard/thread counts\n");
+        "FAIL: sharded trajectories differ across shard/thread/sweep "
+        "configurations\n");
+  }
+
+  // Aggregate the engine totals. ScaleTrace deliberately does not publish
+  // obs metrics at destruction (the registry check would sit in a
+  // million-node loop), so the bench publishes the totals itself — before
+  // this aggregation the run record's sim.* section was all-zero.
+  std::uint64_t slots = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t sweep_dense = 0;
+  std::uint64_t sweep_sparse = 0;
+  for (const ScaleResult& r : results) {
+    slots += r.slots;
+    transmissions += r.transmissions;
+    deliveries += r.deliveries;
+    collisions += r.collisions;
+    sweep_dense += r.sweep_dense;
+    sweep_sparse += r.sweep_sparse;
+  }
+  if (reporter.enabled()) {
+    auto& registry = obs::metrics();
+    registry.counter("sim.slots").add(slots);
+    registry.counter("sim.transmissions").add(transmissions);
+    registry.counter("sim.deliveries").add(deliveries);
+    registry.counter("sim.collisions").add(collisions);
+    registry.counter("scale.sweep.dense").add(sweep_dense);
+    registry.counter("scale.sweep.sparse").add(sweep_sparse);
+  }
+  // Self-check: a BGI broadcast that reached quiescence cannot have zero
+  // slots/transmissions/deliveries, and when the registry is live it must
+  // hold exactly what we just aggregated — the regression that motivated
+  // this (all-zero sim.* in BENCH_scale.json) fails the bench now.
+  bool totals_ok = !results.empty() && slots > 0 && transmissions > 0 &&
+                   deliveries > 0 && sweep_dense + sweep_sparse == slots;
+  if (reporter.enabled()) {
+    totals_ok = totals_ok &&
+                obs::metrics().counter("sim.slots").value() == slots &&
+                obs::metrics().counter("sim.deliveries").value() == deliveries;
+  }
+  if (!totals_ok) {
+    std::printf("FAIL: engine totals did not aggregate into the record\n");
   }
 
   for (const ScaleResult& r : results) {
@@ -269,10 +383,11 @@ int main(int argc, char** argv) {
     reporter.gauge("scale.slots_per_sec." + key,
                    static_cast<double>(r.slots) / r.sec);
     reporter.gauge("scale.slots." + key, static_cast<double>(r.slots));
+    reporter.gauge("scale.wall_sec." + key, r.sec);
     reporter.gauge("scale.delivered_fraction." + key, r.delivered_fraction);
   }
   reporter.gauge("scale.bit_identical", identical ? 1.0 : 0.0);
   reporter.extra("max_n", obs::JsonValue(static_cast<double>(cap_n)));
 
-  return identical ? 0 : 1;
+  return identical && totals_ok ? 0 : 1;
 }

@@ -3,6 +3,12 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace radiocast::common {
 
@@ -30,6 +36,30 @@ void warn_clamp_once(const char* value, std::size_t ceiling) {
                  "clamping to %zu (4x hardware threads)\n",
                  value, ceiling);
   }
+}
+
+void warn_affinity_once(const char* value) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "warning: RADIOCAST_AFFINITY='%s' is not 'none' or 'pin'; "
+                 "using default (none)\n",
+                 value);
+  }
+}
+
+/// Best-effort pin of the calling thread to one cpu; failure (cgroup
+/// restrictions, exotic platforms) is deliberately ignored — pinning is a
+/// placement hint, never a correctness requirement.
+void pin_current_thread(std::size_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
 }
 
 }  // namespace
@@ -65,14 +95,56 @@ std::size_t default_thread_count() {
   return hw;
 }
 
-WorkerPool::WorkerPool(std::size_t threads)
-    : thread_count_(threads == 0 ? default_thread_count() : threads) {
-  if (thread_count_ <= 1) {
-    return;  // inline mode: no workers to park
+std::optional<Affinity> parse_affinity(const char* value) noexcept {
+  if (value == nullptr) {
+    return std::nullopt;
   }
+  if (std::strcmp(value, "none") == 0) {
+    return Affinity::kNone;
+  }
+  if (std::strcmp(value, "pin") == 0) {
+    return Affinity::kPin;
+  }
+  return std::nullopt;
+}
+
+Affinity default_affinity() {
+  // Placement-only knob: the determinism contract makes pinning invisible
+  // to trajectories, so reading the environment here is safe.
+  if (const char* v = std::getenv("RADIOCAST_AFFINITY")) {
+    if (const auto parsed = parse_affinity(v)) {
+      return *parsed;
+    }
+    warn_affinity_once(v);
+  }
+  return Affinity::kNone;
+}
+
+bool affinity_supported() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+WorkerPool::WorkerPool(std::size_t threads, Affinity affinity)
+    : thread_count_(threads == 0 ? default_thread_count() : threads) {
+  if (affinity == Affinity::kAuto) {
+    affinity = default_affinity();
+  }
+  if (thread_count_ <= 1) {
+    return;  // inline mode: no workers to park, nothing to pin
+  }
+  pinned_ = affinity == Affinity::kPin && affinity_supported();
   workers_.reserve(thread_count_);
   for (std::size_t t = 0; t < thread_count_; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] {
+      if (pinned_) {
+        pin_current_thread(t % hardware_threads());
+      }
+      worker_loop(t);
+    });
   }
 }
 
@@ -88,7 +160,8 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::run(std::size_t count,
-                     const std::function<void(std::size_t)>& fn) {
+                     const std::function<void(std::size_t)>& fn,
+                     Dispatch dispatch) {
   if (count == 0) {
     return;
   }
@@ -101,6 +174,7 @@ void WorkerPool::run(std::size_t count,
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
   job_count_ = count;
+  dispatch_ = dispatch;
   cursor_.store(0, std::memory_order_relaxed);
   failed_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
@@ -117,11 +191,12 @@ void WorkerPool::run(std::size_t count,
   }
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(std::size_t worker) {
   std::uint64_t seen_generation = 0;
   while (true) {
     const std::function<void(std::size_t)>* job = nullptr;
     std::size_t count = 0;
+    Dispatch dispatch = Dispatch::kDynamic;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [&] {
@@ -133,23 +208,45 @@ void WorkerPool::worker_loop() {
       seen_generation = generation_;
       job = job_;
       count = job_count_;
+      dispatch = dispatch_;
     }
-    while (!failed_.load(std::memory_order_relaxed)) {
-      const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) {
-        break;
-      }
-      try {
-        (*job)(i);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(mutex_);
-          if (!first_error_) {
-            first_error_ = std::current_exception();
-          }
+    const auto record_failure = [this] {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) {
+          first_error_ = std::current_exception();
         }
-        failed_.store(true, std::memory_order_relaxed);
-        break;
+      }
+      failed_.store(true, std::memory_order_relaxed);
+    };
+    if (dispatch == Dispatch::kStatic) {
+      // Fixed contiguous block per worker: index i always runs on worker
+      // i*W/count, so with pinned threads the same core touches the same
+      // state every generation (the NUMA placement invariant).
+      const std::size_t w = workers_.size();
+      const std::size_t begin = count * worker / w;
+      const std::size_t end = count * (worker + 1) / w;
+      for (std::size_t i = begin;
+           i < end && !failed_.load(std::memory_order_relaxed); ++i) {
+        try {
+          (*job)(i);
+        } catch (...) {
+          record_failure();
+          break;
+        }
+      }
+    } else {
+      while (!failed_.load(std::memory_order_relaxed)) {
+        const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+          break;
+        }
+        try {
+          (*job)(i);
+        } catch (...) {
+          record_failure();
+          break;
+        }
       }
     }
     {

@@ -13,6 +13,14 @@
 // noise that must not influence results. Callers guarantee fn(i) touches
 // only i-sliced state, exactly as with for_each_trial.
 //
+// NUMA placement: a pool can optionally pin worker w to cpu w (mod the
+// machine's cpu count) — Affinity::kPin, or Affinity::kAuto +
+// RADIOCAST_AFFINITY=pin. Combined with Dispatch::kStatic (worker w always
+// runs the same contiguous index block) and first-touch initialization of
+// per-index state (FirstTouchArray below), the memory a shard sweeps lives
+// on the socket whose core services it. On platforms without affinity
+// syscalls the knob is a documented no-op; results never depend on it.
+//
 // This lives in common/ (layer 0) so both the harness and the simulator
 // may use it without inverting the layer order.
 #pragma once
@@ -23,8 +31,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace radiocast::common {
@@ -36,11 +47,45 @@ namespace radiocast::common {
 /// harness::default_thread_count() forwards here.
 std::size_t default_thread_count();
 
+/// How run() assigns indices to workers.
+enum class Dispatch {
+  /// Atomic-cursor work stealing: any worker may run any index. Best when
+  /// per-index cost varies; the historical (and default) behavior.
+  kDynamic,
+  /// Worker w runs the contiguous block [count*w/W, count*(w+1)/W), every
+  /// call. Pairs with pinned threads + first-touch so index i's state is
+  /// always serviced by the core (and NUMA node) that faulted it in.
+  kStatic,
+};
+
+/// Thread-affinity policy for a pool's workers.
+enum class Affinity {
+  kAuto,  ///< defer to RADIOCAST_AFFINITY (default: no pinning)
+  kNone,  ///< never pin
+  kPin,   ///< pin worker w to cpu w % hardware cpus (no-op if unsupported)
+};
+
+/// Strict parse of an affinity knob value: "none" -> Affinity::kNone,
+/// "pin" -> Affinity::kPin, anything else -> nullopt. Pure, for tests.
+std::optional<Affinity> parse_affinity(const char* value) noexcept;
+
+/// The Affinity::kAuto resolution: RADIOCAST_AFFINITY if it strictly
+/// parses ("none" or "pin"); malformed values warn once on stderr and fall
+/// through to kNone. Pinning is wall-clock-only by the determinism
+/// contract, so this read cannot touch a trajectory.
+Affinity default_affinity();
+
+/// True when this build can actually pin threads (Linux); false platforms
+/// accept Affinity::kPin and silently run unpinned.
+bool affinity_supported() noexcept;
+
 class WorkerPool {
  public:
   /// Starts `threads` workers (0 = default_thread_count()). A pool of one
   /// thread spawns nothing: run() executes inline on the caller.
-  explicit WorkerPool(std::size_t threads = 0);
+  /// `affinity` = kAuto defers to RADIOCAST_AFFINITY.
+  explicit WorkerPool(std::size_t threads = 0,
+                      Affinity affinity = Affinity::kAuto);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -48,17 +93,24 @@ class WorkerPool {
 
   std::size_t thread_count() const noexcept { return thread_count_; }
 
-  /// Invokes fn(i) exactly once for every i in [0, count), distributed
-  /// over the workers via an atomic cursor, and returns after all indices
-  /// completed. The first exception thrown (in completion order) is
-  /// rethrown on the calling thread once all workers have drained.
+  /// True when the pool asked the OS to pin its workers (kPin resolved on
+  /// a supported platform with real worker threads).
+  bool pinned() const noexcept { return pinned_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, count) and returns
+  /// after all indices completed. kDynamic distributes indices over an
+  /// atomic cursor; kStatic gives worker w a fixed contiguous block. The
+  /// first exception thrown (in completion order) is rethrown on the
+  /// calling thread once all workers have drained.
   /// Not reentrant: run() must not be called from inside fn.
-  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn,
+           Dispatch dispatch = Dispatch::kDynamic);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker);
 
   std::size_t thread_count_;
+  bool pinned_ = false;
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;
@@ -68,12 +120,41 @@ class WorkerPool {
   // advanced lock-free while a generation runs).
   const std::function<void(std::size_t)>* job_ = nullptr;
   std::size_t job_count_ = 0;
+  Dispatch dispatch_ = Dispatch::kDynamic;
   std::uint64_t generation_ = 0;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::atomic<std::size_t> cursor_{0};
   std::atomic<bool> failed_{false};
   std::exception_ptr first_error_;
+};
+
+/// A default-initialized (i.e. *uninitialized* for trivial T) heap array
+/// whose pages are faulted in by whoever writes them first. Allocating
+/// per-node simulator state this way and initializing each shard's slice
+/// from a static-dispatch pool run places the backing pages on the NUMA
+/// node of the worker that owns the slice (first-touch policy). With one
+/// memory domain — or an unpinned pool — it degrades gracefully to a plain
+/// array; contents are garbage until written either way.
+template <typename T>
+class FirstTouchArray {
+  static_assert(std::is_trivial_v<T>,
+                "first-touch arrays skip construction; T must be trivial");
+
+ public:
+  FirstTouchArray() = default;
+  explicit FirstTouchArray(std::size_t size)
+      : data_(new T[size]), size_(size) {}
+
+  std::size_t size() const noexcept { return size_; }
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace radiocast::common

@@ -168,12 +168,24 @@ UnitDiskTopology::UnitDiskTopology(std::size_t n, double radius,
     chain_next_[order[i]] = order[i + 1];
     chain_prev_[order[i + 1]] = order[i];
   }
+  // Shadow the positions in cell_points_ order so the query's distance
+  // checks read them as one contiguous run per cell.
+  cell_xy_.resize(2 * n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const NodeId v = cell_points_[idx];
+    cell_xy_[2 * idx] = x_[v];
+    cell_xy_[2 * idx + 1] = y_[v];
+  }
+  // Expected disk degree pi r^2 n, plus the two chain links.
+  const double expected =
+      3.14159265358979323846 * r2_ * static_cast<double>(n) + 2.0;
+  degree_hint_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::min(expected, static_cast<double>(n))));
 }
 
-void UnitDiskTopology::append_out_neighbors_in(
-    NodeId u, NodeId lo, NodeId hi, std::vector<NodeId>& out) const {
+void UnitDiskTopology::collect_neighbors_in(NodeId u, NodeId lo, NodeId hi,
+                                            std::vector<NodeId>& out) const {
   RADIOCAST_CHECK_MSG(u < node_count(), "node id out of range");
-  const std::size_t start = out.size();
   const double ux = x_[u];
   const double uy = y_[u];
   const auto cx = std::min(cells_ - 1, static_cast<std::size_t>(ux * cells_));
@@ -186,30 +198,46 @@ void UnitDiskTopology::append_out_neighbors_in(
       const NodeId* first = cell_points_.data() + cell_offsets_[cell];
       const NodeId* last = cell_points_.data() + cell_offsets_[cell + 1];
       // The cell's ids are ascending: binary-search the range start, stop
-      // at the range end.
-      for (const NodeId* it = std::lower_bound(first, last, lo);
-           it != last && *it < hi; ++it) {
-        const NodeId v = *it;
-        if (v == u) {
-          continue;
-        }
-        const double ddx = ux - x_[v];
-        const double ddy = uy - y_[v];
-        if (ddx * ddx + ddy * ddy <= r2_) {
-          out.push_back(v);
+      // at the range end. Positions come from the cell-ordered shadow
+      // array, so the inner loop streams one contiguous (x, y) run.
+      const NodeId* it = std::lower_bound(first, last, lo);
+      std::size_t idx = static_cast<std::size_t>(it - cell_points_.data());
+      for (; it != last && *it < hi; ++it, ++idx) {
+        const double ddx = ux - cell_xy_[2 * idx];
+        const double ddy = uy - cell_xy_[2 * idx + 1];
+        if (ddx * ddx + ddy * ddy <= r2_ && *it != u) {
+          out.push_back(*it);
         }
       }
     }
   }
-  // Chain links may duplicate a disk neighbor; the tail dedupe removes it.
+  // Chain links: only append one that lies *outside* the disk — an in-disk
+  // chain neighbor was already emitted by the cell scan above (cell side
+  // >= radius, so the 3x3 block covers the whole disk), and appending it
+  // again would force a dedupe pass on every query.
   for (const NodeId w : {chain_prev_[u], chain_next_[u]}) {
     if (w != kNoNode && w >= lo && w < hi) {
-      out.push_back(w);
+      const double ddx = ux - x_[w];
+      const double ddy = uy - y_[w];
+      if (ddx * ddx + ddy * ddy > r2_) {
+        out.push_back(w);
+      }
     }
   }
-  const auto tail = out.begin() + static_cast<std::ptrdiff_t>(start);
-  std::sort(tail, out.end());
-  out.erase(std::unique(tail, out.end()), out.end());
+}
+
+void UnitDiskTopology::append_out_neighbors_in(
+    NodeId u, NodeId lo, NodeId hi, std::vector<NodeId>& out) const {
+  const std::size_t start = out.size();
+  collect_neighbors_in(u, lo, hi, out);
+  // The set is duplicate-free by construction; only the cross-cell order
+  // needs repairing to meet the ascending contract.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+}
+
+void UnitDiskTopology::append_out_neighbors_unordered_in(
+    NodeId u, NodeId lo, NodeId hi, std::vector<NodeId>& out) const {
+  collect_neighbors_in(u, lo, hi, out);
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,18 @@ sim::Action BgiBroadcast::on_slot(sim::NodeContext& ctx) {
   if (!informed() || phases_done_ >= t_) {
     return sim::Action::receive();
   }
+  if (pending_phase_end_ != 0) {
+    // Listening out the tail of a phase whose run already stopped: the
+    // skipped-over ticks drew no coin and changed nothing observable. The
+    // phase credit lands during the phase's final slot — the same slot
+    // the classic tick-by-tick bookkeeping granted it.
+    if (ctx.now() + 1 < pending_phase_end_) {
+      return sim::Action::receive();
+    }
+    pending_phase_end_ = 0;
+    ++phases_done_;
+    return sim::Action::receive();
+  }
   // Start a Decay run only on a phase boundary, so every competing
   // transmitter in the network is synchronized (Theorem 1's hypothesis).
   // The ablation variant starts immediately and shows why that matters.
@@ -33,11 +45,18 @@ sim::Action BgiBroadcast::on_slot(sim::NodeContext& ctx) {
     }
     run_.emplace(k_, *message_, params_.stop_probability,
                  params_.send_before_flip);
+    run_start_ = ctx.now();
   }
   const sim::Action action = tick_run(ctx);
   if (run_->phase_over()) {
     run_.reset();
     ++phases_done_;
+  } else if (run_->transmissions_done()) {
+    // The coin stopped this node mid-phase: every remaining tick would be
+    // a pure receive() (DecayRun draws nothing once transmissions are
+    // done), so complete the run now and remember when its phase ends.
+    pending_phase_end_ = run_start_ + k_;
+    run_.reset();
   }
   return action;
 }
@@ -55,6 +74,20 @@ void BgiBroadcast::on_receive(sim::NodeContext& ctx, const sim::Message& m) {
 
 bool BgiBroadcast::terminated() const {
   return informed() && phases_done_ >= t_;
+}
+
+Slot BgiBroadcast::dormant_until() const {
+  if (!informed() || phases_done_ >= t_) {
+    // Uninformed (only on_receive can change that) or terminated (nothing
+    // ever will): dormant until a callback.
+    return kNever;
+  }
+  if (pending_phase_end_ != 0) {
+    // Pure listening until the phase's final slot, where the phase credit
+    // is granted — that poll must happen.
+    return pending_phase_end_ - 1;
+  }
+  return 0;
 }
 
 }  // namespace radiocast::proto

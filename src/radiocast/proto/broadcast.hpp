@@ -70,6 +70,15 @@ class BgiBroadcast : public sim::Protocol {
   /// nodes never terminate (they are still waiting).
   bool terminated() const override;
 
+  /// The Protocol::dormant_until() promise holds in three waiting states:
+  /// uninformed and terminated (dormant until a callback, kNever), and
+  /// listening out the tail of a Decay phase after the coin stopped this
+  /// node (dormant until the phase's final slot — no coin is drawn there,
+  /// so the skipped polls are pure receives). Informed-but-waiting for the
+  /// NEXT phase boundary makes no promise: that state's action depends on
+  /// ctx.now() and the run start must not be skipped.
+  Slot dormant_until() const override;
+
   bool informed() const noexcept { return message_.has_value(); }
   const sim::Message& message() const;
 
@@ -94,6 +103,15 @@ class BgiBroadcast : public sim::Protocol {
   std::optional<sim::Message> message_;
   Slot informed_at_ = kNever;
   std::optional<DecayRun> run_;
+  /// Slot the current run_ was started at (valid while run_ is engaged).
+  Slot run_start_ = 0;
+  /// Non-zero while listening out the tail of a phase whose run already
+  /// stopped transmitting: the slot one past the phase's end. The run
+  /// object is completed eagerly the moment its coin stops it (the
+  /// remaining ticks draw nothing and do nothing observable), and the
+  /// phase credit is granted on the classic schedule — during the phase's
+  /// final slot — so terminated() flips exactly when it always did.
+  Slot pending_phase_end_ = 0;
   unsigned phases_done_ = 0;
 };
 

@@ -183,10 +183,14 @@ sim::Action CounterCoinBgiBroadcast::on_slot(sim::NodeContext& ctx) {
   // A gap in the poll clock means this node was dead for at least one
   // slot (the simulator polls every live node every slot): abort the
   // interrupted Decay run without phase credit, mirroring the batched
-  // engine's lane retirement. kNever + 1 wraps to 0, so the very first
-  // poll never looks like a gap.
-  if (run_.has_value() && ctx.now() != last_polled_ + 1) {
+  // engine's lane retirement. A phase listening out its tail
+  // (pending_phase_end_) is the same run in its eagerly-completed form,
+  // so it loses its credit the same way. kNever + 1 wraps to 0, so the
+  // very first poll never looks like a gap.
+  if ((run_.has_value() || pending_phase_end_ != 0) &&
+      ctx.now() != last_polled_ + 1) {
     run_.reset();
+    pending_phase_end_ = 0;
   }
   last_polled_ = ctx.now();
   return BgiBroadcast::on_slot(ctx);

@@ -99,6 +99,23 @@ class Protocol {
   /// True once this node's protocol will never transmit again. Used by the
   /// harness's run-to-quiescence helper; has no effect on the semantics.
   virtual bool terminated() const { return false; }
+
+  /// Optional engine fast-path: the dormancy promise. A return value W
+  /// promises that every on_slot() at a slot strictly before W would
+  /// return Action::receive() without mutating protocol state and without
+  /// drawing from the node's rng — and that the protocol behaves
+  /// identically whether or not those polls actually happen. An engine may
+  /// then skip the polls outright and treat the node as a plain receiver
+  /// until slot W, or until an on_receive()/on_collision() callback fires
+  /// for the node, whichever comes first (the sharded engine does; see
+  /// docs/PARALLELISM.md) — by the promise the trajectory is bit-identical
+  /// to polling every slot. kNever means dormant indefinitely: only a
+  /// callback can make the node's behaviour change. The default (0) makes
+  /// no promise, which is correct for every protocol; only override this
+  /// where the promise provably holds, e.g. a node waiting to be informed,
+  /// one listening out the tail of a Decay phase, or one that has finished
+  /// transmitting for good.
+  virtual Slot dormant_until() const { return 0; }
 };
 
 }  // namespace radiocast::sim

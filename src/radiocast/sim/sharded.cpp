@@ -1,9 +1,89 @@
 #include "radiocast/sim/sharded.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace radiocast::sim {
+
+namespace {
+
+/// Phase-1 word for a node that did not choose kReceive this slot: the
+/// count field reads 2^31, so it can never equal 0 (untouched receiver)
+/// or 1 (clean delivery), and incrementing it by every in-range
+/// transmitter can never carry into the heard-from field (degree < 2^31,
+/// enforced at construction).
+constexpr std::uint64_t kNonReceiverBase = std::uint64_t{1} << 31;
+
+/// Sparse-sweep round budget: a round expands about this many
+/// (transmitter, receiver) pairs before handing them to the shards, so
+/// bucket scratch stays bounded (~8M pairs = 32 MiB of ids) no matter how
+/// many transmitters a slot has.
+constexpr std::size_t kSparsePairBudget = std::size_t{1} << 23;
+
+/// Auto-sharding: one shard per this many receivers, so a shard's
+/// recv_state_ slice (8 bytes/node) stays around 256 KiB — L2-resident
+/// while the shard consumes its buckets.
+constexpr std::size_t kNodesPerShard = 32768;
+constexpr std::size_t kMaxAutoShards = 256;
+
+/// cache_span_ value for a node whose neighbor row is not memoized.
+constexpr std::uint64_t kNotCached = ~std::uint64_t{0};
+
+/// Auto cap for the adjacency cache: generous (the cache is the difference
+/// between re-running every geometric query every slot and running it once
+/// per node) but bounded so a pathological degree hint cannot eat the
+/// machine.
+constexpr std::size_t kMaxAutoCacheBytes = std::size_t{6} << 30;
+
+}  // namespace
+
+const char* sweep_strategy_name(SweepStrategy s) noexcept {
+  switch (s) {
+    case SweepStrategy::kDense:
+      return "dense";
+    case SweepStrategy::kSparse:
+      return "sparse";
+    case SweepStrategy::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+std::optional<SweepStrategy> parse_sweep_strategy(
+    std::string_view value) noexcept {
+  if (value == "auto") {
+    return SweepStrategy::kAuto;
+  }
+  if (value == "dense") {
+    return SweepStrategy::kDense;
+  }
+  if (value == "sparse") {
+    return SweepStrategy::kSparse;
+  }
+  return std::nullopt;
+}
+
+SweepStrategy sweep_strategy_from_env() {
+  // Both strategies are bit-identical by the determinism contract, so this
+  // startup-only knob can never touch a trajectory.
+  static const SweepStrategy resolved = [] {
+    // RADIOCAST_LINT_OK(R2): startup-only sweep knob; outcome-invariant
+    if (const char* env = std::getenv("RADIOCAST_SCALE_SWEEP")) {
+      if (const auto parsed = parse_sweep_strategy(env)) {
+        return *parsed;
+      }
+      std::fprintf(
+          stderr,
+          "radiocast: ignoring RADIOCAST_SCALE_SWEEP='%s' (want auto, dense "
+          "or sparse)\n",
+          env);
+    }
+    return SweepStrategy::kAuto;
+  }();
+  return resolved;
+}
 
 ScaleTrace::ScaleTrace(std::size_t n, Slot sample_period)
     : sample_period_(sample_period), first_delivery_(n, kNever) {}
@@ -14,26 +94,134 @@ ShardedSimulator::ShardedSimulator(const graph::ImplicitTopology& topo,
       options_(options),
       trace_(topo.node_count(), options.trace_sample_period),
       protocols_(topo.node_count()),
-      pool_(options.threads),
-      kind_(topo.node_count(), static_cast<std::uint8_t>(ActionKind::kIdle)),
-      hear_count_(topo.node_count(), 0),
-      heard_from_(topo.node_count(), kNoNode),
-      tx_message_(topo.node_count(), nullptr) {
+      pool_(options.threads, options.affinity) {
   const std::size_t n = topo.node_count();
   RADIOCAST_CHECK_MSG(n <= kNoNode, "node count overflows the NodeId range");
+  RADIOCAST_CHECK_MSG(n <= (std::size_t{1} << 31),
+                      "node count overflows the hit-count field");
   node_rngs_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
     node_rngs_.emplace_back(options_.seed, /*stream=*/v);
   }
-  std::size_t shard_count =
-      options_.shards == 0 ? pool_.thread_count() : options_.shards;
-  shard_count = std::max<std::size_t>(1, std::min(shard_count, std::max<std::size_t>(n, 1)));
+  std::size_t shard_count = options_.shards;
+  if (shard_count == 0) {
+    // Enough shards that each receiver slice is cache-resident, but at
+    // least one per worker so no thread idles.
+    const std::size_t for_cache =
+        std::min(kMaxAutoShards, (n + kNodesPerShard - 1) / kNodesPerShard);
+    shard_count = std::max(pool_.thread_count(), for_cache);
+  }
+  shard_count = std::max<std::size_t>(
+      1, std::min(shard_count, std::max<std::size_t>(n, 1)));
   shards_.resize(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     shards_[s].begin = static_cast<NodeId>(n * s / shard_count);
     shards_[s].end = static_cast<NodeId>(n * (s + 1) / shard_count);
     shards_[s].terminated_prefix = shards_[s].begin;
   }
+  chunks_.resize(std::max<std::size_t>(1, pool_.thread_count()));
+  for (SparseChunk& chunk : chunks_) {
+    chunk.buckets.resize(shard_count);
+  }
+  sweep_ = options_.sweep != SweepStrategy::kAuto ? options_.sweep
+                                                  : sweep_strategy_from_env();
+  sparse_threshold_ = options_.sweep_sparse_threshold != 0
+                          ? options_.sweep_sparse_threshold
+                          : std::max<std::size_t>(1, n / 2);
+  degree_hint_ = std::max<std::size_t>(1, topo.degree_hint());
+  std::size_t cache_bytes = options_.adjacency_cache_bytes;
+  if (cache_bytes == 0 && !topo.adjacency_is_materialized()) {
+    cache_bytes =
+        std::min(kMaxAutoCacheBytes, 2 * n * degree_hint_ * sizeof(NodeId));
+  }
+  cache_cap_per_shard_ = cache_bytes / sizeof(NodeId) / shard_count;
+  const bool cache_on = cache_cap_per_shard_ > 0;
+  // First-touch: each shard's state pages are faulted in by the worker
+  // that will sweep them (static dispatch keeps the shard->worker map
+  // fixed), so with pinned threads the pages land NUMA-local.
+  recv_state_ = common::FirstTouchArray<std::uint64_t>(n);
+  tx_message_ = common::FirstTouchArray<const Message*>(n);
+  wake_slot_ = common::FirstTouchArray<Slot>(n);
+  if (cache_on) {
+    cache_span_ = common::FirstTouchArray<std::uint64_t>(n);
+  }
+  pool_.run(
+      shards_.size(),
+      [this, cache_on](std::size_t s) {
+        for (NodeId v = shards_[s].begin; v < shards_[s].end; ++v) {
+          recv_state_[v] = kNonReceiverBase;
+          tx_message_[v] = nullptr;
+          wake_slot_[v] = 0;
+          if (cache_on) {
+            cache_span_[v] = kNotCached;
+          }
+        }
+      },
+      common::Dispatch::kStatic);
+}
+
+std::size_t ShardedSimulator::owner_shard(NodeId v) const noexcept {
+  // Shards are the equal-width intervals [n*s/S, n*(s+1)/S), so the owner
+  // index is v*S/n up to flooring slack; begin <= v always holds for that
+  // guess, so only a forward fix-up is ever needed.
+  std::size_t s =
+      static_cast<std::size_t>(v) * shards_.size() / node_count();
+  while (v >= shards_[s].end) {
+    ++s;
+  }
+  return s;
+}
+
+std::pair<const NodeId*, std::size_t> ShardedSimulator::cached_row(
+    NodeId u) const noexcept {
+  if (cache_cap_per_shard_ == 0) {
+    return {nullptr, 0};
+  }
+  const std::uint64_t span = cache_span_[u];
+  if (span == kNotCached) {
+    return {nullptr, 0};
+  }
+  const Shard& owner = shards_[owner_shard(u)];
+  return {owner.cache_arena.data() + (span >> 32),
+          static_cast<std::uint32_t>(span)};
+}
+
+void ShardedSimulator::cache_shard_rows(Shard& shard) {
+  // Memoize the sorted full neighbor row of every one of this shard's
+  // transmitters that has not been cached yet (nodes transmit many slots
+  // under Decay-style schedules, so this pays the implicit-topology query
+  // once per node instead of once per slot). Only the owning shard writes
+  // its arena and its cache_span_ slice, and only in this barriered phase,
+  // so the sweeps that follow read both without synchronization.
+  for (const NodeId u : shard.tx_ids) {
+    if (shard.cache_full || cache_span_[u] != kNotCached) {
+      continue;
+    }
+    shard.neighbor_buf.clear();
+    topo_->append_out_neighbors(u, shard.neighbor_buf);
+    const std::size_t len = shard.neighbor_buf.size();
+    if (shard.cache_arena.size() + len > cache_cap_per_shard_) {
+      // Over budget: stop memoizing so the pass never re-queries rows it
+      // cannot store — everything uncached stays a live query forever.
+      shard.cache_full = true;
+      continue;
+    }
+    cache_span_[u] = (static_cast<std::uint64_t>(shard.cache_arena.size())
+                      << 32) |
+                     static_cast<std::uint32_t>(len);
+    shard.cache_arena.insert(shard.cache_arena.end(),
+                             shard.neighbor_buf.begin(),
+                             shard.neighbor_buf.end());
+    ++shard.cached_rows;
+  }
+}
+
+std::size_t ShardedSimulator::cached_rows() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.cached_rows;
+  }
+  return total;
 }
 
 void ShardedSimulator::set_protocol(NodeId v, std::unique_ptr<Protocol> p) {
@@ -62,36 +250,204 @@ const Protocol& ShardedSimulator::protocol(NodeId v) const {
   return *protocols_[v];
 }
 
-void ShardedSimulator::run_shard_sweep(Shard& shard, bool sampled) {
-  const std::uint8_t kReceiveByte =
-      static_cast<std::uint8_t>(ActionKind::kReceive);
-  // Phase 2 (shard-local): project every transmitter's audience onto this
-  // shard's id interval. Only [shard.begin, shard.end) slices of
-  // hear_count_ / heard_from_ are written, so shards never contend.
-  shard.touched.clear();
+void ShardedSimulator::run_dense_sweep(Shard& shard) {
+  // Receiver-owned: project every transmitter's audience onto this
+  // shard's id interval. Only the [shard.begin, shard.end) slice of
+  // recv_state_ is written, so shards never contend. The within-u order
+  // of the unordered query is irrelevant: each (u, v) pair is emitted
+  // once, hit counting commutes, and resolve_shard() sorts `touched`.
   for (const NodeId u : transmitters_) {
-    shard.neighbor_buf.clear();
-    topo_->append_out_neighbors_in(u, shard.begin, shard.end,
-                                   shard.neighbor_buf);
-    for (const NodeId v : shard.neighbor_buf) {
-      if (kind_[v] != kReceiveByte) {
-        continue;
-      }
-      if (++hear_count_[v] == 1) {
-        heard_from_[v] = u;
+    const NodeId* nbrs = nullptr;
+    std::size_t len = 0;
+    if (const auto [row, row_len] = cached_row(u); row != nullptr) {
+      // Memoized sorted row: binary-search this shard's id slice.
+      const NodeId* first = std::lower_bound(row, row + row_len, shard.begin);
+      const NodeId* last = std::lower_bound(first, row + row_len, shard.end);
+      nbrs = first;
+      len = static_cast<std::size_t>(last - first);
+    } else {
+      shard.neighbor_buf.clear();
+      topo_->append_out_neighbors_unordered_in(u, shard.begin, shard.end,
+                                               shard.neighbor_buf);
+      nbrs = shard.neighbor_buf.data();
+      len = shard.neighbor_buf.size();
+    }
+    const std::uint64_t from_word = static_cast<std::uint64_t>(u) << 32;
+    for (std::size_t i = 0; i < len; ++i) {
+      const NodeId v = nbrs[i];
+      const std::uint64_t w = recv_state_[v];
+      if (static_cast<std::uint32_t>(w) == 0) {
+        // First hit on a receiver: record the sender and count 1.
+        recv_state_[v] = from_word | 1;
         shard.touched.push_back(v);
+      } else {
+        recv_state_[v] = w + 1;
       }
     }
   }
-  // Phase 3 (shard-local): resolve this shard's receivers in increasing id
-  // order. Shards are contiguous and ascending, so concatenating the
-  // shards' work reproduces the classic engine's global 0..n-1 order.
+}
+
+void ShardedSimulator::fill_sparse_chunk(std::size_t c, std::size_t base,
+                                         std::size_t batch) {
+  SparseChunk& chunk = chunks_[c];
+  for (SparseBucket& bucket : chunk.buckets) {
+    bucket.runs.clear();
+    bucket.verts.clear();
+  }
+  // This chunk's contiguous sub-range of the round's transmitters; the
+  // split mirrors Dispatch::kStatic so chunk c is always filled and
+  // ordered the same way regardless of thread count.
+  const std::size_t chunk_count = chunks_.size();
+  const std::size_t b0 = base + batch * c / chunk_count;
+  const std::size_t b1 = base + batch * (c + 1) / chunk_count;
+  for (std::size_t i = b0; i < b1; ++i) {
+    const NodeId u = transmitters_[i];
+    if (i + 1 < b1 && cache_cap_per_shard_ > 0) {
+      __builtin_prefetch(&cache_span_[transmitters_[i + 1]]);
+    }
+    const NodeId* nbrs = nullptr;
+    std::size_t len = 0;
+    if (const auto [row, row_len] = cached_row(u); row != nullptr) {
+      nbrs = row;
+      len = row_len;
+    } else {
+      // The *ordered* query: the monotone walk below needs a sorted row.
+      chunk.nbrs.clear();
+      topo_->append_out_neighbors(u, chunk.nbrs);
+      nbrs = chunk.nbrs.data();
+      len = chunk.nbrs.size();
+    }
+    // The row is sorted, so the owning shard only ever advances along it:
+    // each shard's slice of u's audience is one contiguous segment,
+    // appended as a single run header plus a bulk copy. This keeps the
+    // owner-shard arithmetic (an integer division) per *segment*, not per
+    // pair — at high shard counts the division was the fill's hot spot.
+    std::size_t j = 0;
+    std::size_t s = len > 0 ? owner_shard(nbrs[0]) : 0;
+    while (j < len) {
+      while (nbrs[j] >= shards_[s].end) {
+        ++s;
+      }
+      const NodeId seg_end = shards_[s].end;
+      std::size_t k = j + 1;
+      while (k < len && nbrs[k] < seg_end) {
+        ++k;
+      }
+      SparseBucket& bucket = chunk.buckets[s];
+      bucket.runs.push_back(TxRun{u, static_cast<std::uint32_t>(k - j)});
+      bucket.verts.insert(bucket.verts.end(), nbrs + j, nbrs + k);
+      j = k;
+    }
+  }
+}
+
+void ShardedSimulator::consume_sparse_shard(Shard& shard, std::size_t s) {
+  // Walking the chunks in index order visits transmitters in globally
+  // ascending id order (chunks partition an ascending range, runs within
+  // a bucket are appended in fill order), so the first hit each receiver
+  // sees comes from the same transmitter as in the dense and classic
+  // sweeps — heard-from bit-identity.
+  for (const SparseChunk& chunk : chunks_) {
+    const SparseBucket& bucket = chunk.buckets[s];
+    std::size_t idx = 0;
+    for (const TxRun run : bucket.runs) {
+      const std::uint64_t from_word = static_cast<std::uint64_t>(run.u) << 32;
+      for (std::uint32_t k = 0; k < run.len; ++k) {
+        const NodeId v = bucket.verts[idx++];
+        const std::uint64_t w = recv_state_[v];
+        if (static_cast<std::uint32_t>(w) == 0) {
+          recv_state_[v] = from_word | 1;
+          shard.touched.push_back(v);
+        } else {
+          recv_state_[v] = w + 1;
+        }
+      }
+    }
+  }
+}
+
+void ShardedSimulator::run_direct_sweep() {
+  // Single-worker specialization, valid for both strategies: the bucketed
+  // fill/consume handoff and the per-shard range projections only exist to
+  // move work between workers without contention. With one worker there is
+  // nobody to hand work to, so apply each transmitter's full row to
+  // recv_state_ in place, in ascending transmitter order — the exact
+  // global order both parallel paths reproduce (first hit per receiver
+  // comes from its smallest transmitting in-neighbor, counts commute),
+  // hence bit-identical trajectories. `touched` still lands in the owning
+  // shard so resolve_shard() runs unchanged; the owner-shard division is
+  // paid per first hit only, not per pair.
+  SparseChunk& chunk = chunks_[0];
+  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+    const NodeId u = transmitters_[i];
+    if (i + 1 < transmitters_.size() && cache_cap_per_shard_ > 0) {
+      __builtin_prefetch(&cache_span_[transmitters_[i + 1]]);
+    }
+    const NodeId* nbrs = nullptr;
+    std::size_t len = 0;
+    if (const auto [row, row_len] = cached_row(u); row != nullptr) {
+      nbrs = row;
+      len = row_len;
+    } else {
+      chunk.nbrs.clear();
+      topo_->append_out_neighbors(u, chunk.nbrs);
+      nbrs = chunk.nbrs.data();
+      len = chunk.nbrs.size();
+    }
+    const std::uint64_t from_word = static_cast<std::uint64_t>(u) << 32;
+    for (std::size_t j = 0; j < len; ++j) {
+      const NodeId v = nbrs[j];
+      if (j + 4 < len) {
+        __builtin_prefetch(&recv_state_[nbrs[j + 4]]);
+      }
+      const std::uint64_t w = recv_state_[v];
+      if (static_cast<std::uint32_t>(w) == 0) {
+        recv_state_[v] = from_word | 1;
+        shards_[owner_shard(v)].touched.push_back(v);
+      } else {
+        recv_state_[v] = w + 1;
+      }
+    }
+  }
+}
+
+void ShardedSimulator::run_sparse_rounds() {
+  // Rounds bound the pair scratch: expand at most kSparsePairBudget
+  // expected pairs, hand them to the shards, repeat. Transmitters are
+  // processed in ascending order across rounds, preserving first-hit
+  // order within every receiver.
+  const std::size_t total = transmitters_.size();
+  const std::size_t per_round =
+      std::max<std::size_t>(1, kSparsePairBudget / degree_hint_);
+  for (std::size_t base = 0; base < total; base += per_round) {
+    const std::size_t batch = std::min(per_round, total - base);
+    pool_.run(
+        chunks_.size(),
+        [this, base, batch](std::size_t c) {
+          fill_sparse_chunk(c, base, batch);
+        },
+        common::Dispatch::kStatic);
+    pool_.run(
+        shards_.size(),
+        [this](std::size_t s) { consume_sparse_shard(shards_[s], s); },
+        common::Dispatch::kStatic);
+  }
+}
+
+void ShardedSimulator::resolve_shard(Shard& shard, bool sampled) {
+  // Resolve this shard's receivers in increasing id order. Shards are
+  // contiguous and ascending, so concatenating the shards' work
+  // reproduces the classic engine's global 0..n-1 order.
   std::sort(shard.touched.begin(), shard.touched.end());
   for (const NodeId v : shard.touched) {
-    const std::uint32_t count = hear_count_[v];
-    hear_count_[v] = 0;
+    const std::uint64_t w = recv_state_[v];
+    // Restore the asleep-receiver invariant (recv_state_ == 0) now that
+    // the word is consumed; awake nodes get theirs rewritten by the next
+    // poll anyway.
+    recv_state_[v] = 0;
+    const std::uint32_t count = static_cast<std::uint32_t>(w);
     if (count == 1) {
-      const NodeId sender = heard_from_[v];
+      const NodeId sender = static_cast<NodeId>(w >> 32);
       if (trace_.first_delivery_[v] == kNever) {
         trace_.first_delivery_[v] = now_;
         ++shard.newly_delivered;
@@ -100,6 +456,7 @@ void ShardedSimulator::run_shard_sweep(Shard& shard, bool sampled) {
       if (sampled) {
         shard.sampled_deliveries.push_back(Delivery{v, sender});
       }
+      wake_slot_[v] = 0;  // any callback ends the dormancy promise
       NodeContext ctx = make_context(v);
       protocols_[v]->on_receive(ctx, *tx_message_[sender]);
     } else {
@@ -115,11 +472,13 @@ void ShardedSimulator::run_shard_sweep(Shard& shard, bool sampled) {
             node_rngs_[v].bernoulli(options_.cd_false_negative_rate)) {
           continue;
         }
+        wake_slot_[v] = 0;  // any callback ends the dormancy promise
         NodeContext ctx = make_context(v);
         protocols_[v]->on_collision(ctx);
       }
     }
   }
+  shard.touched.clear();
   // Advance the terminated prefix now that this slot can no longer change
   // any of this shard's protocol states (termination is monotone).
   while (shard.terminated_prefix < shard.end &&
@@ -136,35 +495,59 @@ void ShardedSimulator::step() {
                           "every node needs a protocol before step()");
     }
     started_ = true;
-    pool_.run(shards_.size(), [this](std::size_t s) {
-      for (NodeId v = shards_[s].begin; v < shards_[s].end; ++v) {
-        NodeContext ctx = make_context(v);
-        protocols_[v]->on_start(ctx);
-      }
-    });
+    pool_.run(
+        shards_.size(),
+        [this](std::size_t s) {
+          for (NodeId v = shards_[s].begin; v < shards_[s].end; ++v) {
+            NodeContext ctx = make_context(v);
+            protocols_[v]->on_start(ctx);
+          }
+        },
+        common::Dispatch::kStatic);
   }
 
   ++trace_.total_slots_;
   const bool sampled = options_.trace_sample_period > 0 &&
                        now_ % options_.trace_sample_period == 0;
 
-  // Phase 1: poll every node's protocol, shard-parallel. Each shard writes
-  // only its own kind_ slice and collects its own (ascending) transmitter
-  // list; node rngs are per-node streams, so polling order is irrelevant.
-  pool_.run(shards_.size(), [this](std::size_t s) {
-    Shard& shard = shards_[s];
-    shard.tx_ids.clear();
-    shard.tx_messages.clear();
-    for (NodeId v = shard.begin; v < shard.end; ++v) {
-      NodeContext ctx = make_context(v);
-      Action a = protocols_[v]->on_slot(ctx);
-      kind_[v] = static_cast<std::uint8_t>(a.kind);
-      if (a.kind == ActionKind::kTransmit) {
-        shard.tx_ids.push_back(v);
-        shard.tx_messages.push_back(std::move(a.message));
-      }
-    }
-  });
+  // Phase 1: poll every awake node's protocol, shard-parallel. Each shard
+  // writes only its own recv_state_ slice (which doubles as the kind mark
+  // and the count reset; asleep nodes hold 0 by invariant and are not
+  // touched at all) and collects its own (ascending) transmitter list;
+  // node rngs are per-node streams, so polling order is irrelevant.
+  pool_.run(
+      shards_.size(),
+      [this](std::size_t s) {
+        Shard& shard = shards_[s];
+        shard.tx_ids.clear();
+        shard.tx_messages.clear();
+        for (NodeId v = shard.begin; v < shard.end; ++v) {
+          // Dormancy fast path: the protocol promised every poll before
+          // wake_slot_[v] is a pure receive() (Protocol::dormant_until()),
+          // so skip the virtual call outright. Nothing is written either:
+          // asleep nodes hold recv_state_[v] == 0 as an invariant (the
+          // word was written 0 when the node fell asleep, and the resolve
+          // phase restores any word the sweep dirtied). The resolve phase
+          // also wakes a node the moment a callback fires for it.
+          if (wake_slot_[v] > now_) {
+            continue;
+          }
+          NodeContext ctx = make_context(v);
+          Action a = protocols_[v]->on_slot(ctx);
+          recv_state_[v] =
+              a.kind == ActionKind::kReceive ? 0 : kNonReceiverBase;
+          if (a.kind == ActionKind::kTransmit) {
+            shard.tx_ids.push_back(v);
+            shard.tx_messages.push_back(std::move(a.message));
+          } else if (a.kind == ActionKind::kReceive) {
+            const Slot wake = protocols_[v]->dormant_until();
+            if (wake > now_) {
+              wake_slot_[v] = wake;
+            }
+          }
+        }
+      },
+      common::Dispatch::kStatic);
 
   // Serial merge: concatenating the shards' ascending transmitter lists in
   // shard order yields the globally ascending transmitter set; publish
@@ -179,12 +562,57 @@ void ShardedSimulator::step() {
   }
   trace_.total_tx_ += transmitters_.size();
 
-  // Phases 2 + 3, fused per shard: a shard's deliveries depend only on its
-  // own hear-count slice, which no other shard touches, so there is no
-  // barrier between the sweep and the resolution.
-  pool_.run(shards_.size(), [this, sampled](std::size_t s) {
-    run_shard_sweep(shards_[s], sampled);
-  });
+  // Cache pass: memoize the rows of first-time transmitters before the
+  // sweep (its own barrier, so the sweeps read the arenas race-free).
+  if (cache_cap_per_shard_ > 0) {
+    pool_.run(
+        shards_.size(),
+        [this](std::size_t s) { cache_shard_rows(shards_[s]); },
+        common::Dispatch::kStatic);
+  }
+
+  // Phase 2: pick the sweep. Dense when the slot is transmitter-heavy (or
+  // forced); transmitter-indexed sparse otherwise. With a single shard the
+  // dense sweep already does the minimal O(transmitters) full queries, so
+  // auto never picks sparse there.
+  const bool sparse =
+      sweep_ == SweepStrategy::kSparse ||
+      (sweep_ == SweepStrategy::kAuto && shards_.size() > 1 &&
+       transmitters_.size() <= sparse_threshold_);
+  if (sparse) {
+    ++trace_.sweep_sparse_;
+  } else {
+    ++trace_.sweep_dense_;
+  }
+  if (pool_.thread_count() <= 1) {
+    // One worker: the parallel machinery of either strategy is pure
+    // overhead, so both collapse to the in-place ascending sweep (the
+    // strategy counters above still record what was *chosen* — the
+    // trajectory is identical either way).
+    run_direct_sweep();
+    pool_.run(
+        shards_.size(),
+        [this, sampled](std::size_t s) { resolve_shard(shards_[s], sampled); },
+        common::Dispatch::kStatic);
+  } else if (sparse) {
+    run_sparse_rounds();
+    pool_.run(
+        shards_.size(),
+        [this, sampled](std::size_t s) { resolve_shard(shards_[s], sampled); },
+        common::Dispatch::kStatic);
+  } else {
+    // Phases 2 + 3 fused per shard: a shard's deliveries depend only on
+    // its own recv_state_ slice, which no other shard touches, so there
+    // is no barrier between the sweep and the resolution.
+    pool_.run(
+        shards_.size(),
+        [this, sampled](std::size_t s) {
+          run_dense_sweep(shards_[s]);
+          resolve_shard(shards_[s], sampled);
+        },
+        common::Dispatch::kStatic);
+  }
+
 
   // Serial reduce: fold the per-shard counters (order-independent sums)
   // and splice sampled records in shard order == receiver id order.

@@ -11,9 +11,14 @@
 //     through the same engine);
 //   * receivers are partitioned into contiguous id shards, each with its
 //     own scratch (touched list, neighbor buffer, delivery buffers), and
-//     the three slot phases gang-dispatch over a persistent
-//     common::WorkerPool — every shard only ever writes its own slice of
-//     per-node state, so there are no locks in the slot path;
+//     the slot phases gang-dispatch over a persistent common::WorkerPool —
+//     every shard only ever writes its own slice of per-node state, so
+//     there are no locks in the slot path;
+//   * the delivery sweep is adaptive (SweepStrategy below): a
+//     receiver-owned dense sweep for transmitter-heavy slots, a
+//     transmitter-indexed sparse sweep for the wavefront-shaped slots
+//     Decay/BGI actually produce, picked per slot from the live
+//     transmitter count (docs/PARALLELISM.md, "Sweep strategies");
 //   * observation is a sampling ScaleTrace: aggregate totals plus each
 //     node's first-delivery slot are always on, full per-slot records only
 //     for slots selected by trace_sample_period, so omniscient bookkeeping
@@ -22,9 +27,9 @@
 // Determinism contract (docs/PARALLELISM.md): node i draws only from its
 // own (seed, i) substream and every per-node array is sliced by shard, so
 // results — trace totals, first deliveries, sampled slot records, every
-// protocol's final state — are bit-identical for ANY shard count and ANY
-// thread count, and match the classic Simulator slot for slot
-// (tests/test_sharded.cpp pins both equivalences).
+// protocol's final state — are bit-identical for ANY shard count, ANY
+// thread count and ANY sweep strategy, and match the classic Simulator
+// slot for slot (tests/test_sharded.cpp pins all three equivalences).
 //
 // Scope: the scale engine deliberately omits the classic engine's
 // per-slot event queue, liveness mask and FaultHook, and it hands
@@ -37,6 +42,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "radiocast/common/check.hpp"
@@ -47,6 +55,40 @@
 
 namespace radiocast::sim {
 
+/// How a slot's deliveries are swept. Both strategies are bit-identical
+/// (the strategy — like shard and thread counts — may only change
+/// wall-clock time); the engine records its per-slot picks in
+/// ScaleTrace::sweep_dense_slots()/sweep_sparse_slots() and benches
+/// publish them as the scale.sweep.dense / scale.sweep.sparse counters.
+enum class SweepStrategy {
+  /// Per slot: sparse when the live-transmitter count is at or below the
+  /// crossover threshold and there is more than one shard, else dense.
+  kAuto,
+  /// Receiver-owned: every shard range-queries every transmitter's
+  /// audience inside its own id interval. O(shards x transmitters)
+  /// queries — unbeatable cache behavior when most nodes transmit.
+  kDense,
+  /// Transmitter-indexed: transmitters are expanded once (full unordered
+  /// neighbor query) and their audiences bucketed per owning shard;
+  /// shards then consume only their buckets. O(transmitters x degree)
+  /// regardless of the shard count — the wavefront-slot fast path.
+  kSparse,
+};
+
+/// "auto" / "dense" / "sparse".
+const char* sweep_strategy_name(SweepStrategy s) noexcept;
+
+/// Strict parse of a sweep-strategy knob value; anything but the three
+/// names above -> nullopt. Pure, for tests.
+std::optional<SweepStrategy> parse_sweep_strategy(
+    std::string_view value) noexcept;
+
+/// The SweepStrategy::kAuto env resolution, read once per process:
+/// RADIOCAST_SCALE_SWEEP if it strictly parses ("auto", "dense",
+/// "sparse"); malformed values get a one-line stderr warning and fall
+/// through to kAuto. Mirrors the RADIOCAST_BATCH_WIDTH dispatch knob.
+SweepStrategy sweep_strategy_from_env();
+
 struct ShardedSimOptions {
   std::uint64_t seed = 1;
   /// Collision-detection model variant; same semantics as SimOptions.
@@ -55,8 +97,10 @@ struct ShardedSimOptions {
   /// drawn from the receiver's own rng stream, exactly like the classic
   /// engine, so CD runs stay comparable across engines.
   double cd_false_negative_rate = 0.0;
-  /// Receiver shards. 0 = one per worker thread. Results never depend on
-  /// this; only wall-clock does.
+  /// Receiver shards. 0 = auto: enough shards that a shard's receiver
+  /// state fits in L2 (one per ~32768 nodes, capped at 256), but never
+  /// fewer than the worker threads. Results never depend on this; only
+  /// wall-clock does.
   std::size_t shards = 0;
   /// Worker threads. 0 = common::default_thread_count() (RADIOCAST_THREADS
   /// aware). 1 runs everything inline.
@@ -65,6 +109,30 @@ struct ShardedSimOptions {
   /// per-slot records off entirely. Aggregate totals and first-delivery
   /// slots are always maintained.
   Slot trace_sample_period = 0;
+  /// Delivery-sweep strategy. kAuto defers to RADIOCAST_SCALE_SWEEP, then
+  /// to the per-slot heuristic. Bit-identical either way.
+  SweepStrategy sweep = SweepStrategy::kAuto;
+  /// kAuto's crossover: a slot sweeps sparse when its live-transmitter
+  /// count is <= this. 0 = calibrated default n/2 — below that the dense
+  /// sweep's O(shards x transmitters) query fan-out loses to the
+  /// transmitter-indexed expansion (calibrated on bench_scale's BGI
+  /// workload, where post-wavefront slots have T << n).
+  std::size_t sweep_sparse_threshold = 0;
+  /// Worker placement (common::Affinity). kAuto defers to
+  /// RADIOCAST_AFFINITY; pinning + the engine's first-touch slices give
+  /// NUMA-local sweeps. Wall-clock only, no-op where unsupported.
+  common::Affinity affinity = common::Affinity::kAuto;
+  /// Byte budget for the adjacency-row cache: the sweep memoizes each
+  /// transmitter's sorted neighbor row (in its owning shard's arena) the
+  /// first slot it transmits, so Decay-style protocols — where every node
+  /// transmits many times — pay the implicit-topology query once per node
+  /// instead of once per slot. 0 = auto: twice the degree-hint estimate of
+  /// the arc list, capped at 6 GiB, and disabled entirely for topologies
+  /// whose rows are already materialized (CsrBackedTopology — a cache
+  /// would just copy the CSR). Rows past the budget simply fall back to
+  /// live queries; the cache is wall-clock only and can never change a
+  /// trajectory.
+  std::size_t adjacency_cache_bytes = 0;
 };
 
 /// Sampling observation for the sharded engine. Cheap invariants (totals,
@@ -90,6 +158,11 @@ class ScaleTrace {
   std::uint64_t total_deliveries() const noexcept { return total_rx_; }
   std::uint64_t total_collisions() const noexcept { return total_coll_; }
 
+  /// Slots swept with each strategy (dense + sparse == total_slots()).
+  /// Wall-clock bookkeeping only — never part of a trajectory comparison.
+  std::uint64_t sweep_dense_slots() const noexcept { return sweep_dense_; }
+  std::uint64_t sweep_sparse_slots() const noexcept { return sweep_sparse_; }
+
   Slot sample_period() const noexcept { return sample_period_; }
   /// Records of the sampled slots (slot % period == 0), in slot order.
   const std::vector<SlotRecord>& sampled_slots() const noexcept {
@@ -106,6 +179,8 @@ class ScaleTrace {
   std::uint64_t total_tx_ = 0;
   std::uint64_t total_rx_ = 0;
   std::uint64_t total_coll_ = 0;
+  std::uint64_t sweep_dense_ = 0;
+  std::uint64_t sweep_sparse_ = 0;
   std::vector<SlotRecord> sampled_;
 };
 
@@ -142,6 +217,19 @@ class ShardedSimulator {
   std::size_t node_count() const noexcept { return topo_->node_count(); }
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t thread_count() const noexcept { return pool_.thread_count(); }
+
+  /// The strategy picked at construction (kAuto means per-slot choice;
+  /// the trace's sweep counters say what actually ran).
+  SweepStrategy sweep_strategy() const noexcept { return sweep_; }
+  /// The resolved kAuto crossover (sweep_sparse_threshold or its n/2
+  /// default).
+  std::size_t sweep_sparse_threshold() const noexcept {
+    return sparse_threshold_;
+  }
+  /// Neighbor rows currently memoized by the adjacency cache (for tests
+  /// and diagnostics; 0 when the cache is disabled or the budget is too
+  /// small for any row).
+  std::size_t cached_rows() const noexcept;
 
   const graph::ImplicitTopology& topology() const noexcept { return *topo_; }
   const ScaleTrace& trace() const noexcept { return trace_; }
@@ -181,6 +269,16 @@ class ShardedSimulator {
     // Phase 2/3 scratch.
     std::vector<NodeId> touched;
     std::vector<NodeId> neighbor_buf;
+    // Adjacency-cache arena: the concatenated sorted neighbor rows of this
+    // shard's nodes that have transmitted at least once (cache_span_ holds
+    // each row's offset/length). Only the owning shard ever appends, and
+    // only between slot phases, so sweeps read it without synchronization.
+    std::vector<NodeId> cache_arena;
+    std::size_t cached_rows = 0;
+    /// Set once an insert would overflow the shard's arena budget; from
+    /// then on the cache pass skips this shard entirely (uncached rows
+    /// fall back to live queries in the sweeps).
+    bool cache_full = false;
     // Per-slot counters, reduced serially after the phases.
     std::uint64_t deliveries = 0;
     std::uint64_t collisions = 0;
@@ -189,8 +287,31 @@ class ShardedSimulator {
     std::vector<Delivery> sampled_deliveries;
     std::vector<NodeId> sampled_collisions;
     /// Nodes [begin, terminated_prefix) have reported terminated();
-    /// termination is monotone, so they are never polled again.
+    /// termination is monotone, so the quiescence check never needs a
+    /// virtual dispatch on them again (they are still polled every slot —
+    /// same semantics as the classic engine).
     NodeId terminated_prefix = 0;
+  };
+
+  /// A transmitter's contribution to one shard's bucket: `len` audience
+  /// ids follow in the bucket's verts stream. Run-length framing keeps
+  /// the per-pair cost at 4 bytes while preserving which transmitter each
+  /// id belongs to.
+  struct TxRun {
+    NodeId u = 0;
+    std::uint32_t len = 0;
+  };
+  struct SparseBucket {
+    std::vector<TxRun> runs;
+    std::vector<NodeId> verts;
+  };
+  /// Per-worker sparse scratch: fill workers expand disjoint transmitter
+  /// sub-ranges into per-shard buckets; consume workers then read every
+  /// chunk's bucket for their shard. The two-phase handoff is the only
+  /// cross-thread traffic in the sparse sweep.
+  struct SparseChunk {
+    std::vector<SparseBucket> buckets;
+    std::vector<NodeId> nbrs;
   };
 
   NodeContext make_context(NodeId v) {
@@ -198,7 +319,27 @@ class ShardedSimulator {
                        options_.collision_detection);
   }
 
-  void run_shard_sweep(Shard& shard, bool sampled);
+  /// Owning shard of node `v` (shards are the equal-width intervals
+  /// [n*s/S, n*(s+1)/S), so the v*S/n guess only ever needs forward
+  /// fix-up).
+  std::size_t owner_shard(NodeId v) const noexcept;
+  /// `u`'s cached sorted neighbor row, or an empty nullopt-like span pair;
+  /// `first == nullptr` means not cached.
+  std::pair<const NodeId*, std::size_t> cached_row(NodeId u) const noexcept;
+  void cache_shard_rows(Shard& shard);
+
+  void run_dense_sweep(Shard& shard);
+  void fill_sparse_chunk(std::size_t c, std::size_t base, std::size_t batch);
+  void consume_sparse_shard(Shard& shard, std::size_t s);
+  void run_sparse_rounds();
+  /// Single-worker sweep specialization used for BOTH strategies when the
+  /// pool has one thread: the bucketed handoff (fill/consume) and the
+  /// per-shard range projections only exist to move work between workers,
+  /// so with nobody to hand work to, each transmitter's full row is
+  /// applied to recv_state_ in place, in ascending transmitter order —
+  /// the exact order both parallel paths reproduce, hence bit-identical.
+  void run_direct_sweep();
+  void resolve_shard(Shard& shard, bool sampled);
 
   const graph::ImplicitTopology* topo_;
   ShardedSimOptions options_;
@@ -207,19 +348,41 @@ class ShardedSimulator {
   std::vector<rng::Rng> node_rngs_;
   common::WorkerPool pool_;
   std::vector<Shard> shards_;
+  std::vector<SparseChunk> chunks_;
+  SweepStrategy sweep_ = SweepStrategy::kAuto;
+  std::size_t sparse_threshold_ = 0;
+  std::size_t degree_hint_ = 1;
+  /// Per-shard arena capacity in NodeId entries; 0 disables the cache.
+  std::size_t cache_cap_per_shard_ = 0;
+  /// Per-node (offset << 32 | length) into the owning shard's cache_arena;
+  /// kNotCached until the node first transmits (or forever, once the
+  /// shard's budget is exhausted). Sized only when the cache is enabled.
+  common::FirstTouchArray<std::uint64_t> cache_span_;
   Slot now_ = 0;
   bool started_ = false;
   bool all_terminated_ = false;
 
-  /// actions' kinds as a packed byte array, one per node (same trick as
-  /// the classic engine). Written by each node's own shard in phase 1,
-  /// read shard-locally in phases 2–3.
-  std::vector<std::uint8_t> kind_;
-  std::vector<std::uint32_t> hear_count_;  ///< all-zero between slots
-  std::vector<NodeId> heard_from_;
+  /// Per-receiver slot state, one word per node, first-touch-initialized
+  /// by its owning shard: bits [63:32] the first transmitter heard
+  /// (undefined until the first hit), bits [31:0] the hit count. Phase 1
+  /// rewrites every node's word — 0 for receivers, kNonReceiverBase
+  /// (1 << 31, so the count field can never read 0 or 1) for everyone
+  /// else — which replaces the classic engine's separate kind check and
+  /// end-of-slot count reset with a single store.
+  common::FirstTouchArray<std::uint64_t> recv_state_;
   /// tx_message_[u] points at u's message for the current slot; valid only
   /// for u in this slot's transmitter set (stale otherwise, never read).
-  std::vector<const Message*> tx_message_;
+  common::FirstTouchArray<const Message*> tx_message_;
+  /// wake_slot_[v] caches a Protocol::dormant_until() promise: while
+  /// now_ < wake_slot_[v] the node's on_slot() would be a pure receive()
+  /// (no state change, no rng draw), so the poll loop skips it entirely —
+  /// not even its recv_state_ word is rewritten, because asleep nodes keep
+  /// the invariant recv_state_[v] == 0 (the resolve phase restores any
+  /// word the sweep dirtied). Set when a poll returns receive() with a
+  /// future dormant_until(); cleared by the resolve phase the moment any
+  /// callback (delivery or detected collision) fires for the node. Only
+  /// the owning shard reads or writes its slice.
+  common::FirstTouchArray<Slot> wake_slot_;
   std::vector<NodeId> transmitters_;  ///< this slot's transmitters, by id
 };
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "radiocast/common/check.hpp"
+#include "radiocast/common/worker_pool.hpp"
+#include "radiocast/sim/sharded.hpp"
 
 namespace radiocast::harness {
 namespace {
@@ -82,6 +84,32 @@ TEST(Args, UnknownKeyDetection) {
 
 TEST(Args, BareDoubleDashRejected) {
   EXPECT_THROW(parse({"--"}), ContractViolation);
+}
+
+// The env-knob parsers behind RADIOCAST_AFFINITY and RADIOCAST_SCALE_SWEEP
+// follow the RADIOCAST_THREADS discipline: the whole value must match one
+// of the documented spellings, anything else is rejected (the reader then
+// warns once and falls back to the default) rather than silently coerced.
+
+TEST(Args, AffinityEnvValuesParseStrictly) {
+  EXPECT_EQ(common::parse_affinity("none"), common::Affinity::kNone);
+  EXPECT_EQ(common::parse_affinity("pin"), common::Affinity::kPin);
+  EXPECT_FALSE(common::parse_affinity("PIN").has_value());
+  EXPECT_FALSE(common::parse_affinity("pin,0-3").has_value());
+  EXPECT_FALSE(common::parse_affinity("true").has_value());
+  EXPECT_FALSE(common::parse_affinity("").has_value());
+  EXPECT_FALSE(common::parse_affinity(nullptr).has_value());
+}
+
+TEST(Args, SweepStrategyEnvValuesParseStrictly) {
+  EXPECT_EQ(sim::parse_sweep_strategy("auto"), sim::SweepStrategy::kAuto);
+  EXPECT_EQ(sim::parse_sweep_strategy("dense"), sim::SweepStrategy::kDense);
+  EXPECT_EQ(sim::parse_sweep_strategy("sparse"),
+            sim::SweepStrategy::kSparse);
+  EXPECT_FALSE(sim::parse_sweep_strategy("AUTO").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy("dense sparse").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy("0").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy("").has_value());
 }
 
 }  // namespace

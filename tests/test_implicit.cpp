@@ -41,15 +41,33 @@ void expect_partition_composes(const ImplicitTopology& topo) {
                                     static_cast<NodeId>(n - n / 5), n};
   std::vector<NodeId> full;
   std::vector<NodeId> pieced;
+  std::vector<NodeId> ordered_piece;
+  std::vector<NodeId> unordered_piece;
   for (NodeId u = 0; u < n; ++u) {
     full.clear();
     topo.append_out_neighbors(u, full);
     pieced.clear();
     for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
       topo.append_out_neighbors_in(u, cuts[c], cuts[c + 1], pieced);
+      // The unordered variant must return the same *set* per interval
+      // (sorting it reproduces the ordered answer exactly — which also
+      // proves it duplicate-free).
+      ordered_piece.clear();
+      unordered_piece.clear();
+      topo.append_out_neighbors_in(u, cuts[c], cuts[c + 1], ordered_piece);
+      topo.append_out_neighbors_unordered_in(u, cuts[c], cuts[c + 1],
+                                             unordered_piece);
+      std::sort(unordered_piece.begin(), unordered_piece.end());
+      EXPECT_EQ(unordered_piece, ordered_piece)
+          << "node " << u << " interval [" << cuts[c] << ", " << cuts[c + 1]
+          << ")";
     }
     EXPECT_EQ(pieced, full) << "node " << u;
   }
+  // degree_hint is a batch-sizing estimate: the only contract is >= 1
+  // (and not absurdly beyond n).
+  EXPECT_GE(topo.degree_hint(), 1U);
+  EXPECT_LE(topo.degree_hint(), std::max<std::size_t>(topo.node_count(), 8));
 }
 
 TEST(ImplicitGrid, MatchesMaterializedGenerator) {

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "radiocast/graph/csr.hpp"
@@ -28,14 +30,19 @@ using graph::grid;
 using graph::GridTopology;
 using graph::random_geometric;
 using graph::UnitDiskTopology;
+using graph::HypercubeTopology;
 using proto::BgiBroadcast;
 using proto::BroadcastParams;
 using sim::ShardedSimOptions;
 using sim::ShardedSimulator;
 using sim::SimOptions;
 using sim::Simulator;
+using sim::SweepStrategy;
 
 constexpr std::uint64_t kSeed = 42;
+
+constexpr SweepStrategy kAllStrategies[] = {
+    SweepStrategy::kAuto, SweepStrategy::kDense, SweepStrategy::kSparse};
 
 std::function<std::unique_ptr<sim::Protocol>(NodeId)> bgi_factory(
     BroadcastParams params, NodeId source) {
@@ -142,6 +149,112 @@ TEST(ShardedEngine, BgiOnUnitDiskMatchesClassicAtEveryShardThreadCount) {
   }
 }
 
+TEST(ShardedSweep, ForcedStrategiesBitIdenticalOnUnitDisk) {
+  const std::size_t n = 150;
+  const double radius = 0.12;
+  rng::Rng graph_rng(kSeed, 7);
+  const graph::Graph g = random_geometric(n, radius, graph_rng);
+  const BroadcastParams params{.network_size_bound = n,
+                               .degree_bound = g.max_in_degree()};
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(bgi_factory(params, 0));
+  const Slot classic_end = classic.run_to_quiescence(50'000);
+  ASSERT_LT(classic_end, 50'000U);
+
+  for (const SweepStrategy strategy : kAllStrategies) {
+    for (const auto& [shards, threads] :
+         {std::pair<std::size_t, std::size_t>{1, 1}, {5, 4}, {16, 2}}) {
+      rng::Rng topo_rng(kSeed, 7);
+      const UnitDiskTopology topo(n, radius, topo_rng);
+      ShardedSimulator sharded(topo, {.seed = kSeed,
+                                      .shards = shards,
+                                      .threads = threads,
+                                      .trace_sample_period = 1,
+                                      .sweep = strategy});
+      sharded.install_all(bgi_factory(params, 0));
+      EXPECT_EQ(sharded.run_to_quiescence(50'000), classic_end)
+          << sim::sweep_strategy_name(strategy) << " shards=" << shards;
+      expect_same_trajectory(classic, sharded);
+      // The strategy counters must account for every slot, and a forced
+      // strategy must actually run (the whole point of forcing).
+      const auto& st = sharded.trace();
+      EXPECT_EQ(st.sweep_dense_slots() + st.sweep_sparse_slots(),
+                st.total_slots());
+      if (strategy == SweepStrategy::kDense) {
+        EXPECT_EQ(st.sweep_sparse_slots(), 0U);
+      }
+      if (strategy == SweepStrategy::kSparse) {
+        EXPECT_EQ(st.sweep_dense_slots(), 0U);
+      }
+    }
+  }
+}
+
+TEST(ShardedSweep, ForcedStrategiesBitIdenticalOnHypercube) {
+  const unsigned dim = 7;
+  const std::size_t n = std::size_t{1} << dim;
+  const graph::Graph g = graph::hypercube(dim);
+  const BroadcastParams params{.network_size_bound = n,
+                               .degree_bound = g.max_in_degree()};
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(bgi_factory(params, 5));
+  const Slot end = classic.run_to_quiescence(50'000);
+  ASSERT_LT(end, 50'000U);
+
+  const HypercubeTopology topo(dim);
+  for (const SweepStrategy strategy : kAllStrategies) {
+    ShardedSimulator sharded(topo, {.seed = kSeed,
+                                    .shards = 6,
+                                    .threads = 3,
+                                    .trace_sample_period = 1,
+                                    .sweep = strategy});
+    sharded.install_all(bgi_factory(params, 5));
+    EXPECT_EQ(sharded.run_to_quiescence(50'000), end)
+        << sim::sweep_strategy_name(strategy);
+    expect_same_trajectory(classic, sharded);
+  }
+}
+
+TEST(ShardedSweep, MultiSourceBroadcastBitIdenticalAcrossStrategies) {
+  // Two informed sources racing: wavefronts merge, so both deliveries and
+  // collisions are plentiful on every strategy's code path.
+  const std::size_t n = 120;
+  const double radius = 0.14;
+  const auto multi_factory =
+      [](const BroadcastParams& params) {
+        return [params](NodeId v) -> std::unique_ptr<sim::Protocol> {
+          if (v == 0 || v == 60) {
+            sim::Message m;
+            m.origin = v;
+            return std::make_unique<BgiBroadcast>(params, m);
+          }
+          return std::make_unique<BgiBroadcast>(params);
+        };
+      };
+  rng::Rng graph_rng(kSeed, 11);
+  const graph::Graph g = random_geometric(n, radius, graph_rng);
+  const BroadcastParams params{.network_size_bound = n,
+                               .degree_bound = g.max_in_degree()};
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(multi_factory(params));
+  const Slot end = classic.run_to_quiescence(50'000);
+  ASSERT_LT(end, 50'000U);
+
+  for (const SweepStrategy strategy : kAllStrategies) {
+    rng::Rng topo_rng(kSeed, 11);
+    const UnitDiskTopology topo(n, radius, topo_rng);
+    ShardedSimulator sharded(topo, {.seed = kSeed,
+                                    .shards = 7,
+                                    .threads = 4,
+                                    .trace_sample_period = 1,
+                                    .sweep = strategy});
+    sharded.install_all(multi_factory(params));
+    EXPECT_EQ(sharded.run_to_quiescence(50'000), end)
+        << sim::sweep_strategy_name(strategy);
+    expect_same_trajectory(classic, sharded);
+  }
+}
+
 TEST(ShardedEngine, BgiOnImplicitGridMatchesClassic) {
   const std::size_t rows = 9;
   const std::size_t cols = 17;
@@ -183,15 +296,21 @@ TEST(ShardedEngine, CollisionDetectionFalseNegativesMatchClassic) {
   }
 
   const CsrTopology csr(g);
-  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
-                                   std::size_t{8}}) {
+  for (const auto& [shards, strategy] :
+       {std::pair<std::size_t, SweepStrategy>{1, SweepStrategy::kAuto},
+        {3, SweepStrategy::kAuto},
+        {8, SweepStrategy::kAuto},
+        {3, SweepStrategy::kDense},
+        {3, SweepStrategy::kSparse},
+        {8, SweepStrategy::kSparse}}) {
     const CsrBackedTopology topo(csr);
     ShardedSimulator sharded(topo, {.seed = kSeed,
                                     .collision_detection = true,
                                     .cd_false_negative_rate = 0.3,
                                     .shards = shards,
                                     .threads = 4,
-                                    .trace_sample_period = 1});
+                                    .trace_sample_period = 1,
+                                    .sweep = strategy});
     sharded.install_all(
         [](NodeId) { return std::make_unique<MixProtocol>(); });
     while (sharded.now() < kSlots) {
@@ -260,11 +379,347 @@ TEST(ShardedEngine, TracingOffStillMaintainsTotalsAndFirstDeliveries) {
   expect_same_trajectory(classic, sharded);
 }
 
+/// Exactly `talkers` fixed transmitters every slot — the knob that lets a
+/// test park the live-transmitter count ON the crossover threshold.
+class FixedTransmitters final : public sim::Protocol {
+ public:
+  explicit FixedTransmitters(bool talk) : talk_(talk) {}
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    if (talk_) {
+      sim::Message m;
+      m.origin = ctx.id();
+      return sim::Action::transmit(std::move(m));
+    }
+    return sim::Action::receive();
+  }
+  void on_receive(sim::NodeContext&, const sim::Message&) override {}
+
+ private:
+  bool talk_;
+};
+
+/// {dense slots, sparse slots} after `slots` steps with `talkers` fixed
+/// transmitters against the given auto-crossover threshold.
+std::pair<std::uint64_t, std::uint64_t> boundary_counts(
+    const GridTopology& topo, std::size_t talkers, std::size_t shards,
+    std::size_t threshold, Slot slots) {
+  ShardedSimulator s(topo, {.seed = kSeed,
+                            .shards = shards,
+                            .threads = 2,
+                            .sweep = SweepStrategy::kAuto,
+                            .sweep_sparse_threshold = threshold});
+  s.install_all([talkers](NodeId v) -> std::unique_ptr<sim::Protocol> {
+    return std::make_unique<FixedTransmitters>(v < talkers);
+  });
+  while (s.now() < slots) {
+    s.step();
+  }
+  return {s.trace().sweep_dense_slots(), s.trace().sweep_sparse_slots()};
+}
+
+TEST(ShardedSweep, AutoCrossoverFlipsExactlyAtTheThreshold) {
+  const GridTopology topo(8, 8);
+  const std::size_t talkers = 10;
+  const Slot slots = 6;
+  // T == threshold: at the boundary, sparse (the heuristic is <=).
+  EXPECT_EQ(boundary_counts(topo, talkers, /*shards=*/4,
+                            /*threshold=*/talkers, slots),
+            (std::pair<std::uint64_t, std::uint64_t>{0, slots}));
+  // T == threshold + 1: one past the boundary, dense.
+  EXPECT_EQ(boundary_counts(topo, talkers, /*shards=*/4,
+                            /*threshold=*/talkers - 1, slots),
+            (std::pair<std::uint64_t, std::uint64_t>{slots, 0}));
+  // A single shard never goes sparse on auto: the dense sweep already
+  // does the minimal number of full-range queries.
+  EXPECT_EQ(boundary_counts(topo, talkers, /*shards=*/1,
+                            /*threshold=*/talkers, slots),
+            (std::pair<std::uint64_t, std::uint64_t>{slots, 0}));
+}
+
+TEST(ShardedSweep, ThresholdDefaultsToHalfTheNodes) {
+  const GridTopology topo(8, 8);
+  ShardedSimulator s(topo, {.seed = kSeed});
+  EXPECT_EQ(s.sweep_sparse_threshold(), 32U);
+  ShardedSimulator pinned_threshold(topo,
+                                    {.seed = kSeed,
+                                     .sweep_sparse_threshold = 7});
+  EXPECT_EQ(pinned_threshold.sweep_sparse_threshold(), 7U);
+}
+
+TEST(ShardedSweep, AdjacencyCacheBudgetFallsBackBitIdentically) {
+  // The adjacency cache is wall-clock only: a budget too small for any
+  // row (1 byte), one that exhausts mid-run (200 bytes — a handful of
+  // entries per shard, so some rows memoize and the rest fall back), and
+  // the auto default must all walk the exact classic trajectory.
+  const std::size_t n = 150;
+  const double radius = 0.12;
+  rng::Rng graph_rng(kSeed, 7);
+  const graph::Graph g = random_geometric(n, radius, graph_rng);
+  const BroadcastParams params{.network_size_bound = n,
+                               .degree_bound = g.max_in_degree()};
+
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(bgi_factory(params, 0));
+  ASSERT_LT(classic.run_to_quiescence(50'000), 50'000U);
+
+  for (const std::size_t budget :
+       {std::size_t{1}, std::size_t{200}, std::size_t{0}}) {
+    rng::Rng topo_rng(kSeed, 7);
+    const UnitDiskTopology topo(n, radius, topo_rng);
+    ShardedSimulator sharded(topo, {.seed = kSeed,
+                                    .shards = 5,
+                                    .threads = 3,
+                                    .trace_sample_period = 1,
+                                    .sweep = SweepStrategy::kSparse,
+                                    .adjacency_cache_bytes = budget});
+    sharded.install_all(bgi_factory(params, 0));
+    sharded.run_to_quiescence(50'000);
+    expect_same_trajectory(classic, sharded);
+    if (budget == 1) {
+      // One byte holds no NodeId: the cache is disabled outright.
+      EXPECT_EQ(sharded.cached_rows(), 0U);
+    } else {
+      EXPECT_GT(sharded.cached_rows(), 0U);
+      EXPECT_LT(sharded.cached_rows(), budget == 200 ? n : n + 1);
+    }
+  }
+
+  // Materialized rows (CSR-backed) are never memoized under the auto
+  // budget — the cache would just duplicate the CSR.
+  const CsrTopology csr(g);
+  const CsrBackedTopology csr_view(csr);
+  ShardedSimulator on_csr(csr_view, {.seed = kSeed, .shards = 5});
+  on_csr.install_all(bgi_factory(params, 0));
+  on_csr.run_to_quiescence(50'000);
+  EXPECT_EQ(on_csr.cached_rows(), 0U);
+}
+
+TEST(ShardedSweep, StrategyKnobParsesStrictly) {
+  EXPECT_EQ(sim::parse_sweep_strategy("auto"), SweepStrategy::kAuto);
+  EXPECT_EQ(sim::parse_sweep_strategy("dense"), SweepStrategy::kDense);
+  EXPECT_EQ(sim::parse_sweep_strategy("sparse"), SweepStrategy::kSparse);
+  // Anything else — case drift, whitespace, prefixes, numbers — is
+  // rejected outright rather than silently truncated or defaulted.
+  EXPECT_FALSE(sim::parse_sweep_strategy("Dense").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy("sparse ").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy(" dense").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy("densest").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy("").has_value());
+  EXPECT_FALSE(sim::parse_sweep_strategy("1").has_value());
+
+  EXPECT_STREQ(sim::sweep_strategy_name(SweepStrategy::kAuto), "auto");
+  EXPECT_STREQ(sim::sweep_strategy_name(SweepStrategy::kDense), "dense");
+  EXPECT_STREQ(sim::sweep_strategy_name(SweepStrategy::kSparse), "sparse");
+}
+
+TEST(ShardedAffinity, PinnedRunBitIdenticalToUnpinned) {
+  // Pinning (like shard/thread counts) is placement-only; a pinned pool
+  // must replay the exact same trajectory.
+  const std::size_t rows = 9;
+  const std::size_t cols = 17;
+  const graph::Graph g = grid(rows, cols);
+  const BroadcastParams params{.network_size_bound = rows * cols,
+                               .degree_bound = g.max_in_degree()};
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  classic.install_all(bgi_factory(params, 3));
+  const Slot end = classic.run_to_quiescence(50'000);
+
+  const GridTopology topo(rows, cols);
+  for (const auto affinity :
+       {common::Affinity::kNone, common::Affinity::kPin}) {
+    ShardedSimulator sharded(topo, {.seed = kSeed,
+                                    .shards = 4,
+                                    .threads = 3,
+                                    .trace_sample_period = 1,
+                                    .sweep = SweepStrategy::kSparse,
+                                    .affinity = affinity});
+    sharded.install_all(bgi_factory(params, 3));
+    EXPECT_EQ(sharded.run_to_quiescence(50'000), end);
+    expect_same_trajectory(classic, sharded);
+  }
+}
+
+TEST(ShardedAffinity, PoolReportsPinningAndStaticDispatchCoversAllIndices) {
+  common::WorkerPool unpinned(3, common::Affinity::kNone);
+  EXPECT_FALSE(unpinned.pinned());
+  common::WorkerPool pinned(3, common::Affinity::kPin);
+  EXPECT_EQ(pinned.pinned(), common::affinity_supported());
+
+  // Static dispatch must still execute every index exactly once, for
+  // counts below, equal to, and above the worker count.
+  for (const std::size_t count : {std::size_t{2}, std::size_t{3},
+                                  std::size_t{17}}) {
+    std::vector<std::atomic<int>> hits(count);
+    pinned.run(
+        count, [&](std::size_t i) { hits[i].fetch_add(1); },
+        common::Dispatch::kStatic);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ShardedAffinity, AffinityKnobParsesStrictly) {
+  EXPECT_EQ(common::parse_affinity("none"), common::Affinity::kNone);
+  EXPECT_EQ(common::parse_affinity("pin"), common::Affinity::kPin);
+  EXPECT_FALSE(common::parse_affinity("Pin").has_value());
+  EXPECT_FALSE(common::parse_affinity("pin ").has_value());
+  EXPECT_FALSE(common::parse_affinity("pinned").has_value());
+  EXPECT_FALSE(common::parse_affinity("").has_value());
+  EXPECT_FALSE(common::parse_affinity("1").has_value());
+  EXPECT_FALSE(common::parse_affinity(nullptr).has_value());
+}
+
 TEST(ShardedEngine, GuardsProtocolInstallation) {
   const GridTopology topo(3, 3);
   ShardedSimulator sharded(topo, {.seed = kSeed});
   EXPECT_THROW(sharded.step(), ContractViolation);
   EXPECT_THROW(sharded.set_protocol(9, nullptr), ContractViolation);
+}
+
+/// Relays once and sleeps: uninformed and finished nodes promise dormancy
+/// until a callback (kNever). The tally pointer counts actual on_slot
+/// invocations without being protocol state — skipping a dormant poll
+/// leaves the node's behavior and the trajectory untouched, which is
+/// exactly the Protocol::dormant_until() contract.
+class SleepyRelay final : public sim::Protocol {
+ public:
+  SleepyRelay(bool source, std::uint64_t* polls)
+      : informed_(source), polls_(polls) {}
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    *polls_ += 1;
+    if (!informed_ || sent_) {
+      return sim::Action::receive();
+    }
+    sent_ = true;
+    sim::Message m;
+    m.origin = ctx.id();
+    return sim::Action::transmit(std::move(m));
+  }
+  void on_receive(sim::NodeContext& /*ctx*/,
+                  const sim::Message& /*m*/) override {
+    informed_ = true;
+    ++heard_;
+  }
+  bool terminated() const override { return informed_ && sent_; }
+  Slot dormant_until() const override {
+    return !informed_ || sent_ ? kNever : 0;
+  }
+
+  bool informed_;
+  bool sent_ = false;
+  std::uint64_t heard_ = 0;
+  std::uint64_t* polls_;
+};
+
+TEST(ShardedDormancy, SkipsDormantPollsAndWakesOnDelivery) {
+  // On a path, the one-shot relay wave visits one transmitter per slot, so
+  // a classic engine polls n nodes for ~n slots while the dormancy fast
+  // path polls each node O(1) times: once at slot 0 (everyone starts
+  // awake), once when woken by a delivery, and once more after its own
+  // transmission. The trajectories must still match bit-for-bit.
+  const std::size_t n = 64;
+  const graph::Graph g = graph::path(n);
+  std::vector<std::uint64_t> classic_polls(n, 0);
+  Simulator classic(g, {.seed = kSeed, .trace_slots = true});
+  for (NodeId v = 0; v < n; ++v) {
+    classic.set_protocol(
+        v, std::make_unique<SleepyRelay>(v == 0, &classic_polls[v]));
+  }
+  const Slot end = classic.run_to_quiescence(10 * n);
+  ASSERT_LT(end, 10 * n);
+
+  const CsrTopology csr(g);
+  for (const auto& [shards, threads] :
+       {std::pair<std::size_t, std::size_t>{1, 1}, {4, 2}, {8, 8}}) {
+    std::vector<std::uint64_t> polls(n, 0);
+    const CsrBackedTopology topo(csr);
+    ShardedSimulator sharded(topo, {.seed = kSeed,
+                                    .shards = shards,
+                                    .threads = threads,
+                                    .trace_sample_period = 1});
+    for (NodeId v = 0; v < n; ++v) {
+      sharded.set_protocol(v,
+                           std::make_unique<SleepyRelay>(v == 0, &polls[v]));
+    }
+    EXPECT_EQ(sharded.run_to_quiescence(10 * n), end);
+    expect_same_trajectory(classic, sharded);
+    std::uint64_t classic_total = 0;
+    std::uint64_t sharded_total = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(sharded.protocol_as<SleepyRelay>(v).heard_,
+                classic.protocol_as<SleepyRelay>(v).heard_);
+      classic_total += classic_polls[v];
+      sharded_total += polls[v];
+    }
+    // The classic engine pays ~n^2 polls for the wave; the engine honoring
+    // the promise pays O(n). Anything near classic means skips never
+    // happened.
+    EXPECT_LE(sharded_total, 6 * n) << "shards=" << shards;
+    EXPECT_LT(sharded_total, classic_total / 4);
+  }
+}
+
+/// Sleeps until a fixed wake slot, transmits there once, then sleeps
+/// forever — the finite-horizon form of the dormancy promise (every poll
+/// strictly before `wake` is a pure receive).
+class TimedBeacon final : public sim::Protocol {
+ public:
+  TimedBeacon(Slot wake, std::uint64_t* polls) : wake_(wake), polls_(polls) {}
+  sim::Action on_slot(sim::NodeContext& ctx) override {
+    *polls_ += 1;
+    if (sent_ || ctx.now() < wake_) {
+      return sim::Action::receive();
+    }
+    sent_ = true;
+    sim::Message m;
+    m.origin = ctx.id();
+    return sim::Action::transmit(std::move(m));
+  }
+  bool terminated() const override { return sent_; }
+  Slot dormant_until() const override { return sent_ ? kNever : wake_; }
+
+  bool sent_ = false;
+  Slot wake_;
+  std::uint64_t* polls_;
+};
+
+/// Pure listener that terminates once it hears anything.
+class OneHearListener final : public sim::Protocol {
+ public:
+  sim::Action on_slot(sim::NodeContext& /*ctx*/) override {
+    return sim::Action::receive();
+  }
+  void on_receive(sim::NodeContext& ctx, const sim::Message& /*m*/) override {
+    heard_at_ = ctx.now();
+  }
+  bool terminated() const override { return heard_at_ != kNever; }
+  Slot dormant_until() const override { return kNever; }
+
+  Slot heard_at_ = kNever;
+};
+
+TEST(ShardedDormancy, FiniteWakePollsExactlyThePromisedSlot) {
+  // Two nodes joined by one edge: the beacon promises dormancy until slot
+  // 37, so the engine must poll it at slot 0 (everyone starts awake), skip
+  // 1..36, and poll again at exactly 37 — where the transmission fires and
+  // the listener hears it.
+  constexpr Slot kWake = 37;
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  const CsrTopology csr(g);
+  const CsrBackedTopology topo(csr);
+  std::uint64_t polls = 0;
+  ShardedSimulator sharded(topo, {.seed = kSeed, .trace_sample_period = 1});
+  sharded.set_protocol(0, std::make_unique<TimedBeacon>(kWake, &polls));
+  sharded.set_protocol(1, std::make_unique<OneHearListener>());
+  const Slot end = sharded.run_to_quiescence(4 * kWake);
+  EXPECT_EQ(end, kWake + 1);
+  EXPECT_EQ(sharded.protocol_as<OneHearListener>(1).heard_at_, kWake);
+  EXPECT_EQ(sharded.trace().total_transmissions(), 1U);
+  // Slot 0 plus the promised wake slot; every poll in between was skipped,
+  // and quiescence lands before a third poll can happen.
+  EXPECT_EQ(polls, 2U);
 }
 
 }  // namespace
