@@ -16,8 +16,13 @@ third-party directories) and verifies that
    names must match some file of that basename anywhere in the tree, and
 3. the lint rule catalog cannot drift from its documentation: every rule
    id (``R1``, ``R2``, ...) mentioned in ``docs/STATIC_ANALYSIS.md``
-   must exist in ``scripts/radiocast_lint.py``'s RULES table, and every
-   implemented rule must be documented, and
+   must exist in ``scripts/radiocast_lint/rules.py``'s RULES table,
+   every implemented rule must be documented, and every rule section's
+   ``**Scope:**`` line must match the implementation's scope string
+   (so a scope extension like R9's cannot land without its docs), and
+3b. the CounterRng stream inventory table in ``docs/STATIC_ANALYSIS.md``
+   matches the salt registry ``src/radiocast/rng/salts.hpp`` in both
+   directions (names *and* values), and
 4. the RunRecord field table in ``docs/OBSERVABILITY.md`` matches
    ``scripts/bench_schema.json`` in both directions: every dotted field
    path declared under the schema's ``properties`` (recursively, skipping
@@ -84,8 +89,12 @@ def check_cpp_mention(mention: str, doc: pathlib.Path, root: pathlib.Path,
     if "/" in mention:
         if (root / mention).exists() or (doc.parent / mention).exists():
             return None
-        # A path under src/ may be written from the include root.
+        # A path under src/ may be written from the include root, or
+        # relative to the radiocast/ include namespace itself
+        # (common/worker_pool.hpp for src/radiocast/common/worker_pool.hpp).
         if (root / "src" / mention).exists():
+            return None
+        if (root / "src" / "radiocast" / mention).exists():
             return None
         return f"dangling source path '{mention}'"
     if mention in basenames:
@@ -93,35 +102,136 @@ def check_cpp_mention(mention: str, doc: pathlib.Path, root: pathlib.Path,
     return f"unknown source file '{mention}'"
 
 
-LINT_SCRIPT = "scripts/radiocast_lint.py"
+LINT_RULES = "scripts/radiocast_lint/rules.py"
 STATIC_DOC = "docs/STATIC_ANALYSIS.md"
+SALTS_HPP = "src/radiocast/rng/salts.hpp"
 RULE_ID_RE = re.compile(r"\bR\d+\b")
+RULE_HEADING_RE = re.compile(r"^###\s+(R\d+)\b")
+SCOPE_LINE_RE = re.compile(r"^\*\*Scope:\*\*\s*(.+?)\s*$")
+SALT_DEF_RE = re.compile(r"\b(kSalt\w*)\s*=\s*(0[xX][0-9a-fA-F']+)")
+SALT_ROW_RE = re.compile(r"^\|\s*`(kSalt\w*)`\s*\|\s*`(0[xX][0-9a-fA-F']+)")
+
+
+def load_lint_rules(root: pathlib.Path):
+    """Imports scripts/radiocast_lint/rules.py standalone (it is pure
+    data + stdlib, by contract) so the checks below compare against the
+    *live* catalog, not a textual copy of it."""
+    import importlib.util
+    path = root / LINT_RULES
+    spec = importlib.util.spec_from_file_location(
+        "radiocast_lint_rules", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def check_rule_sync(root: pathlib.Path) -> list:
-    """Rule ids in docs/STATIC_ANALYSIS.md <-> radiocast_lint.py RULES."""
-    lint = root / LINT_SCRIPT
+    """Rule ids *and* per-rule scope lines in docs/STATIC_ANALYSIS.md
+    <-> scripts/radiocast_lint/rules.py."""
     doc = root / STATIC_DOC
     errors = []
-    for path in (lint, doc):
-        if not path.is_file():
-            errors.append(f"{path.relative_to(root)}:1: missing (the lint "
-                          "rule set and its documentation travel together)")
+    for rel in (LINT_RULES, STATIC_DOC):
+        if not (root / rel).is_file():
+            errors.append(f"{rel}:1: missing (the lint rule set and its "
+                          "documentation travel together)")
     if errors:
         return errors
-    table = re.search(r"RULES\s*=\s*\{(.*?)\n\}", lint.read_text(
-        encoding="utf-8"), re.S)
-    implemented = set(
-        re.findall(r'"(R\d+)"\s*:', table.group(1))) if table else set()
-    documented = set(RULE_ID_RE.findall(doc.read_text(encoding="utf-8")))
-    if not implemented:
-        errors.append(f"{LINT_SCRIPT}:1: could not locate the RULES table")
+    try:
+        rules = load_lint_rules(root)
+        implemented = set(rules.RULES)
+        scopes = dict(rules.SCOPE_DISPLAY)
+    except Exception as exc:
+        return [f"{LINT_RULES}:1: could not import the rule catalog "
+                f"({exc})"]
+    text = doc.read_text(encoding="utf-8")
+    documented = set(RULE_ID_RE.findall(text))
     for rule in sorted(documented - implemented):
         errors.append(f"{STATIC_DOC}:1: rule {rule} is documented but not "
-                      f"implemented in {LINT_SCRIPT}")
+                      f"implemented in {LINT_RULES}")
     for rule in sorted(implemented - documented):
-        errors.append(f"{LINT_SCRIPT}:1: rule {rule} is implemented but "
+        errors.append(f"{LINT_RULES}:1: rule {rule} is implemented but "
                       f"not documented in {STATIC_DOC}")
+
+    # Scope sync: each `### R<k>` section must carry a `**Scope:**` line
+    # equal (modulo backticks) to the implementation's scope string.
+    doc_scopes = {}
+    current = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        heading = RULE_HEADING_RE.match(line)
+        if heading:
+            current = heading.group(1)
+            continue
+        if line.startswith("## "):
+            current = None
+            continue
+        scope = SCOPE_LINE_RE.match(line)
+        if scope and current is not None:
+            doc_scopes[current] = (lineno, scope.group(1))
+    for rule in sorted(implemented):
+        if rule not in doc_scopes:
+            errors.append(f"{STATIC_DOC}:1: rule {rule} has no "
+                          f"'**Scope:**' line in its section")
+            continue
+        lineno, documented_scope = doc_scopes[rule]
+        want = scopes[rule].replace("`", "")
+        got = documented_scope.replace("`", "")
+        if want != got:
+            errors.append(
+                f"{STATIC_DOC}:{lineno}: rule {rule} scope drifted from "
+                f"the implementation — doc says '{got}', "
+                f"{LINT_RULES} says '{want}'")
+    for rule in sorted(set(doc_scopes) - implemented):
+        lineno, _ = doc_scopes[rule]
+        errors.append(f"{STATIC_DOC}:{lineno}: scope line for unknown "
+                      f"rule {rule}")
+    return errors
+
+
+def check_salt_inventory_sync(root: pathlib.Path) -> list:
+    """Stream-inventory table in docs/STATIC_ANALYSIS.md <-> the salt
+    registry src/radiocast/rng/salts.hpp (names and values)."""
+    registry = root / SALTS_HPP
+    doc = root / STATIC_DOC
+    errors = []
+    for rel in (SALTS_HPP, STATIC_DOC):
+        if not (root / rel).is_file():
+            errors.append(f"{rel}:1: missing (the salt registry and its "
+                          "inventory table travel together)")
+    if errors:
+        return errors
+
+    def norm(value: str) -> int:
+        return int(value.replace("'", ""), 16)
+
+    registered = {m.group(1): norm(m.group(2))
+                  for m in SALT_DEF_RE.finditer(
+                      registry.read_text(encoding="utf-8"))}
+    if not registered:
+        return [f"{SALTS_HPP}:1: no kSalt* definitions found — is this "
+                "still the registry?"]
+    documented = {}
+    for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1):
+        m = SALT_ROW_RE.match(line)
+        if m:
+            documented[m.group(1)] = (lineno, norm(m.group(2)))
+    if not documented:
+        return [f"{STATIC_DOC}:1: no salt inventory rows found (expected "
+                "a table of `kSalt*` | `0x...` entries)"]
+    for name in sorted(set(documented) - set(registered)):
+        lineno, _ = documented[name]
+        errors.append(f"{STATIC_DOC}:{lineno}: salt {name} is in the "
+                      f"inventory table but not in {SALTS_HPP}")
+    for name in sorted(set(registered) - set(documented)):
+        errors.append(f"{SALTS_HPP}:1: salt {name} is registered but has "
+                      f"no inventory row in {STATIC_DOC}")
+    for name in sorted(set(registered) & set(documented)):
+        lineno, value = documented[name]
+        if value != registered[name]:
+            errors.append(
+                f"{STATIC_DOC}:{lineno}: salt {name} value "
+                f"{value:#x} does not match the registry's "
+                f"{registered[name]:#x}")
     return errors
 
 
@@ -224,6 +334,9 @@ def main() -> int:
     for error in check_rule_sync(root):
         failures += 1
         print(error)
+    for error in check_salt_inventory_sync(root):
+        failures += 1
+        print(error)
     for error in check_record_schema_sync(root):
         failures += 1
         print(error)
@@ -231,7 +344,8 @@ def main() -> int:
         print(f"{failures} dangling reference(s) across {docs} documents")
         return 1
     print(f"ok: {docs} markdown documents, all links and source paths "
-          f"resolve; lint rule catalog and {STATIC_DOC} agree; "
+          f"resolve; lint rule catalog, scopes and salt inventory agree "
+          f"with {STATIC_DOC}; "
           f"{OBS_DOC} covers every {SCHEMA_FILE} field")
     return 0
 

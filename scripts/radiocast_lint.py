@@ -1,468 +1,18 @@
 #!/usr/bin/env python3
-"""radiocast-lint: the project's determinism/invariant static-analysis pass.
+"""Entry-point shim for the radiocast_lint package.
 
-Usage:
-    radiocast_lint.py [--root DIR] [FILE ...] [--engine auto|clang|regex]
-                      [--list-rules] [--quiet]
-
-Walks ``src/``, ``bench/`` and ``tests/`` (or lints exactly the FILEs
-given) and enforces the determinism contract that every reproduction
-claim in this repo rests on — the rule catalog, with the paper-level
-rationale for each rule, lives in ``docs/STATIC_ANALYSIS.md``:
-
-  R1  sequential/global RNG (std::mt19937, std::rand, std::random_device)
-      outside src/radiocast/rng/
-  R2  wall-clock or environment reads (time(), std::chrono::system_clock,
-      getenv) in sim/, proto/, fault/, harness/ or graph/ trial paths
-      (std::chrono::steady_clock timing in bench code is allowlisted —
-      it is monotonic and never feeds a result)
-  R3  std::unordered_map / std::unordered_set in result-bearing
-      directories (sim/, proto/, stats/, obs/, fault/, graph/) —
-      iteration order is unspecified, so every use must either be
-      replaced with an ordered container or carry a written
-      order-independence proof
-  R4  duplicate CounterRng salt constants (two kSalt* constants sharing
-      a value silently correlate the streams they are meant to separate)
-  R5  static non-const locals or globals in sim/, proto/ and graph/
-      (hidden mutable state breaks trial independence and thread
-      invariance)
-
-A violation is suppressible only by an explicit annotation on the same
-line or the line directly above it:
-
-    // RADIOCAST_LINT_OK(R3): <non-empty reason>
-
-The tool verifies every annotation (unknown rule id, missing colon or
-empty reason is a *malformed suppression*) and reports the total number
-of suppressions in use so reviewers can watch the count grow.
-
-Engines: ``--engine clang`` uses libclang's lexer so comments and string
-literals are excluded by construction; ``--engine regex`` is a
-stdlib-only fallback with its own comment/string stripper.  ``auto``
-(the default) picks clang when the bindings import, regex otherwise.
-Both engines enforce the same rule set.
-
-Exit status: 0 clean tree, 1 at least one unsuppressed violation,
-2 malformed suppression or usage error.  Stdlib-only apart from the
-optional clang bindings — CI must not pip-install anything.
+The linter lives in scripts/radiocast_lint/ (rules catalog, regex and
+libclang engines, JSON report, budget gate); this file keeps the
+historical invocation `python3 scripts/radiocast_lint.py` working for
+CI, reproduce.sh and muscle memory.
 """
 
-from __future__ import annotations
-
-import argparse
 import pathlib
-import re
 import sys
-from dataclasses import dataclass, field
 
-# --------------------------------------------------------------------------
-# Rule catalog.  check_docs.py cross-checks these ids against
-# docs/STATIC_ANALYSIS.md, so the set cannot drift from its documentation.
-# --------------------------------------------------------------------------
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-# Path *segments* (directory names anywhere in the lint-relative path)
-# that place a file inside a rule's scope.  Scoping by segment instead of
-# full prefix lets the tests/lint/fixtures tree mirror the layout.
-R2_DIRS = {"sim", "proto", "fault", "harness", "graph"}
-R3_DIRS = {"sim", "proto", "stats", "obs", "fault", "graph", "cache"}
-R5_DIRS = {"sim", "proto", "graph"}
-
-RULES = {
-    "R1": "sequential RNG engine outside src/radiocast/rng/",
-    "R2": "wall-clock/environment read in a trial path",
-    "R3": "unordered container in a result-bearing directory",
-    "R4": "duplicate CounterRng salt constant",
-    "R5": "static non-const state in sim/ or proto/",
-}
-
-SUPPRESS_TOKEN = "RADIOCAST_LINT_OK"
-# The only accepted shape: // RADIOCAST_LINT_OK(R3): non-empty reason
-SUPPRESS_RE = re.compile(
-    r"//\s*" + SUPPRESS_TOKEN + r"\((R\d+)\):\s*(\S.*)$")
-
-R1_RE = re.compile(r"\b(?:std::)?(?:mt19937(?:_64)?|random_device)\b"
-                   r"|\bstd::rand\b|\bsrand\s*\(")
-R2_RE = re.compile(r"\b(?:std::)?time\s*\(|\bsystem_clock\b|\bgetenv\b")
-R3_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
-R4_SALT_RE = re.compile(
-    r"\b(kSalt\w*)\s*=\s*(0[xX][0-9a-fA-F']+|\d[\d']*)")
-R5_STATIC_RE = re.compile(r"^\s*static\s+(?:thread_local\s+)?(.*)$")
-R5_EXEMPT_RE = re.compile(
-    r"^\s*(?:inline\s+)?(?:const\b|constexpr\b|consteval\b|constinit\b)")
-INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
-
-
-@dataclass
-class Violation:
-    path: pathlib.Path   # as reported (relative to root when possible)
-    line: int            # 1-based
-    rule: str
-    message: str
-
-
-@dataclass
-class Suppression:
-    line: int
-    rule: str
-    reason: str
-    used: bool = False
-
-
-@dataclass
-class FileReport:
-    path: pathlib.Path
-    rel: pathlib.Path                 # path used for scoping + output
-    suppressions: dict = field(default_factory=dict)  # line -> Suppression
-    malformed: list = field(default_factory=list)     # (line, why)
-    violations: list = field(default_factory=list)    # Violation
-    salts: list = field(default_factory=list)         # (name, value, line)
-
-
-# --------------------------------------------------------------------------
-# Comment/string stripping (regex engine).
-# --------------------------------------------------------------------------
-
-def strip_code(raw_lines: list) -> list:
-    """Returns `raw_lines` with comments and string/char literals blanked.
-
-    A small state machine tracking /* */ across lines; escapes inside
-    literals are honored.  Enough C++ lexing for the patterns above —
-    raw strings are treated as plain strings, which only errs on the
-    conservative (blanking) side.
-    """
-    out = []
-    in_block = False
-    for line in raw_lines:
-        buf = []
-        i, n = 0, len(line)
-        while i < n:
-            c = line[i]
-            nxt = line[i + 1] if i + 1 < n else ""
-            if in_block:
-                if c == "*" and nxt == "/":
-                    in_block = False
-                    buf.append("  ")
-                    i += 2
-                else:
-                    buf.append(" ")
-                    i += 1
-                continue
-            if c == "/" and nxt == "/":
-                buf.append(" " * (n - i))
-                break
-            if c == "/" and nxt == "*":
-                in_block = True
-                buf.append("  ")
-                i += 2
-                continue
-            if c in "\"'":
-                quote = c
-                buf.append(" ")
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        buf.append("  ")
-                        i += 2
-                        continue
-                    if line[i] == quote:
-                        buf.append(" ")
-                        i += 1
-                        break
-                    buf.append(" ")
-                    i += 1
-                continue
-            buf.append(c)
-            i += 1
-        out.append("".join(buf))
-    return out
-
-
-# --------------------------------------------------------------------------
-# Optional libclang lexer front-end.
-# --------------------------------------------------------------------------
-
-def load_clang():
-    """Returns a working clang.cindex Index or None."""
-    try:
-        from clang import cindex  # type: ignore
-        return cindex, cindex.Index.create()
-    except Exception:
-        return None
-
-
-def clang_code_lines(cindex, index, path: pathlib.Path,
-                     raw_lines: list) -> list:
-    """Like strip_code(), but via libclang's lexer: rebuilds per-line code
-    text from non-comment, non-literal tokens, so both engines feed the
-    same matchers."""
-    tu = index.parse(
-        str(path), args=["-x", "c++", "-std=c++20", "-fsyntax-only"],
-        options=0)
-    out = [" " * len(line) for line in raw_lines]
-    for tok in tu.get_tokens(extent=tu.cursor.extent):
-        if tok.kind == cindex.TokenKind.COMMENT:
-            continue
-        if tok.kind == cindex.TokenKind.LITERAL:
-            # Drop string/char literals (a "mt19937" in a log message is
-            # not a use) but keep numeric ones: R4 parses salt values.
-            spelling = tok.spelling
-            if not spelling or not (spelling[0].isdigit()
-                                    or spelling[0] == "."):
-                continue
-        loc = tok.location
-        row = loc.line - 1
-        col = loc.column - 1
-        if row < 0 or row >= len(out):
-            continue
-        text = tok.spelling
-        line = out[row]
-        out[row] = line[:col] + text + line[col + len(text):]
-    return out
-
-
-# --------------------------------------------------------------------------
-# Per-file analysis.
-# --------------------------------------------------------------------------
-
-def collect_suppressions(report: FileReport, raw_lines: list) -> None:
-    for lineno, line in enumerate(raw_lines, start=1):
-        if SUPPRESS_TOKEN not in line:
-            continue
-        m = SUPPRESS_RE.search(line)
-        if not m:
-            report.malformed.append(
-                (lineno, f"malformed suppression (expected "
-                         f"'// {SUPPRESS_TOKEN}(<rule>): <reason>')"))
-            continue
-        rule, reason = m.group(1), m.group(2).strip()
-        if rule not in RULES:
-            report.malformed.append(
-                (lineno, f"suppression names unknown rule '{rule}'"))
-            continue
-        if not reason:
-            report.malformed.append(
-                (lineno, "suppression carries no reason"))
-            continue
-        report.suppressions[lineno] = Suppression(lineno, rule, reason)
-
-
-def in_scope(rel: pathlib.Path, dirs: set) -> bool:
-    return any(part in dirs for part in rel.parts)
-
-
-def scan_file(report: FileReport, code_lines: list) -> None:
-    """Applies R1/R2/R3/R5 to the comment-stripped lines and collects
-    salt definitions for the cross-file R4 pass."""
-    rel = report.rel
-    r1 = not any(
-        rel.parts[i:i + 3] == ("src", "radiocast", "rng")
-        for i in range(len(rel.parts)))
-    r2 = in_scope(rel, R2_DIRS)
-    r3 = in_scope(rel, R3_DIRS)
-    r5 = in_scope(rel, R5_DIRS)
-
-    for lineno, line in enumerate(code_lines, start=1):
-        if r1 and R1_RE.search(line):
-            report.violations.append(Violation(
-                rel, lineno, "R1",
-                "sequential RNG engine (mt19937/rand/random_device) — all "
-                "randomness must flow through radiocast::rng"))
-        if r2 and R2_RE.search(line):
-            report.violations.append(Violation(
-                rel, lineno, "R2",
-                "wall-clock/environment read (time/system_clock/getenv) in "
-                "a trial path — trials must be pure functions of the seed"))
-        if r3 and R3_RE.search(line) and not INCLUDE_RE.match(line):
-            report.violations.append(Violation(
-                rel, lineno, "R3",
-                "unordered container in a result-bearing directory — "
-                "iteration order is unspecified; use an ordered container "
-                "or annotate with an order-independence proof"))
-        if r5:
-            m = R5_STATIC_RE.match(line)
-            if m and not R5_EXEMPT_RE.match(m.group(1)):
-                tail = m.group(1)
-                stop = re.search(r"[=;{(]", tail)
-                # A '(' first means a (member) function declaration, which
-                # carries no state; anything else is a static object.
-                if stop and stop.group(0) != "(":
-                    report.violations.append(Violation(
-                        rel, lineno, "R5",
-                        "static non-const state — hidden mutable state "
-                        "breaks trial independence"))
-        for m in R4_SALT_RE.finditer(line):
-            value = int(m.group(2).replace("'", ""), 0)
-            report.salts.append((m.group(1), value, lineno))
-
-
-def apply_suppressions(report: FileReport) -> list:
-    """Filters suppressed violations; returns the surviving ones."""
-    alive = []
-    for v in report.violations:
-        suppressed = False
-        for lineno in (v.line, v.line - 1):
-            s = report.suppressions.get(lineno)
-            if s is not None and s.rule == v.rule:
-                s.used = True
-                suppressed = True
-                break
-        if not suppressed:
-            alive.append(v)
-    return alive
-
-
-def check_salt_uniqueness(reports: list) -> list:
-    """Cross-file R4 pass: every kSalt* constant value must be unique."""
-    by_value: dict = {}
-    for report in reports:
-        for name, value, lineno in report.salts:
-            by_value.setdefault(value, []).append((report, name, lineno))
-    violations = []
-    for value, sites in sorted(by_value.items()):
-        if len(sites) < 2:
-            continue
-        first = sites[0]
-        for report, name, lineno in sites[1:]:
-            v = Violation(
-                report.rel, lineno, "R4",
-                f"salt constant {name} duplicates the value "
-                f"{value:#018x} of {first[1]} "
-                f"({first[0].rel}:{first[2]}) — duplicate salts silently "
-                "correlate CounterRng streams")
-            report.violations.append(v)
-            violations.append((report, v))
-    return violations
-
-
-# --------------------------------------------------------------------------
-# Driver.
-# --------------------------------------------------------------------------
-
-SCAN_DIRS = ("src", "bench", "tests")
-SCAN_EXTS = {".cpp", ".hpp", ".cc", ".h"}
-# The fixture tree contains deliberate violations; the default walk must
-# stay clean.  Fixtures are linted one at a time by tests/lint/.
-SKIP_PARTS = {"build", ".git"}
-SKIP_REL = ("tests/lint/fixtures",)
-
-
-def default_files(root: pathlib.Path):
-    for top in SCAN_DIRS:
-        base = root / top
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix not in SCAN_EXTS:
-                continue
-            if any(part in SKIP_PARTS for part in path.parts):
-                continue
-            rel = path.relative_to(root).as_posix()
-            if any(rel.startswith(skip) for skip in SKIP_REL):
-                continue
-            yield path
-
-
-def relativize(path: pathlib.Path, root: pathlib.Path) -> pathlib.Path:
-    try:
-        return path.resolve().relative_to(root.resolve())
-    except ValueError:
-        return path
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(
-        description="radiocast determinism/invariant linter")
-    parser.add_argument("files", nargs="*",
-                        help="lint exactly these files instead of walking "
-                             "src/, bench/ and tests/")
-    parser.add_argument("--root", default=".",
-                        help="repository root (default: cwd)")
-    parser.add_argument("--engine", choices=("auto", "clang", "regex"),
-                        default="auto",
-                        help="lexer front-end (auto: clang when the "
-                             "bindings import, else regex)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule catalog and exit")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress the summary on success")
-    args = parser.parse_args()
-
-    if args.list_rules:
-        for rule_id, title in RULES.items():
-            print(f"{rule_id}  {title}")
-        return 0
-
-    root = pathlib.Path(args.root)
-    if not root.is_dir():
-        print(f"radiocast-lint: error: --root {args.root} is not a "
-              "directory", file=sys.stderr)
-        return 2
-
-    clang = None
-    if args.engine in ("auto", "clang"):
-        clang = load_clang()
-        if clang is None and args.engine == "clang":
-            print("radiocast-lint: error: --engine clang requested but the "
-                  "libclang bindings are unavailable "
-                  "(try --engine regex)", file=sys.stderr)
-            return 2
-    engine = "clang" if clang is not None else "regex"
-
-    if args.files:
-        files = [pathlib.Path(f) for f in args.files]
-        for f in files:
-            if not f.is_file():
-                print(f"radiocast-lint: error: no such file: {f}",
-                      file=sys.stderr)
-                return 2
-    else:
-        files = list(default_files(root))
-
-    reports = []
-    for path in files:
-        raw = path.read_text(encoding="utf-8",
-                             errors="replace").splitlines()
-        report = FileReport(path=path, rel=relativize(path, root))
-        collect_suppressions(report, raw)
-        code = None
-        if clang is not None:
-            try:
-                code = clang_code_lines(clang[0], clang[1], path, raw)
-            except Exception:
-                code = None  # fall back to the regex stripper per file
-        if code is None:
-            code = strip_code(raw)
-        scan_file(report, code)
-        reports.append(report)
-
-    check_salt_uniqueness(reports)
-
-    malformed = [(r, lineno, why)
-                 for r in reports for lineno, why in r.malformed]
-    surviving = []
-    for report in reports:
-        for v in sorted(apply_suppressions(report),
-                        key=lambda v: (v.line, v.rule)):
-            surviving.append(v)
-
-    for report, lineno, why in malformed:
-        print(f"{report.rel}:{lineno}: SUPPRESSION: {why}")
-    for v in surviving:
-        print(f"{v.path}:{v.line}: {v.rule}: {v.message}")
-
-    used = sum(1 for r in reports
-               for s in r.suppressions.values() if s.used)
-    unused = sum(1 for r in reports
-                 for s in r.suppressions.values() if not s.used)
-    if not args.quiet or surviving or malformed:
-        note = f", {unused} unused annotation(s)" if unused else ""
-        print(f"radiocast-lint[{engine}]: {len(files)} file(s), "
-              f"{len(surviving)} violation(s), "
-              f"{used} suppression(s) in use{note}")
-    if malformed:
-        return 2
-    return 1 if surviving else 0
-
+from radiocast_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""radiocast-lint: the project's determinism/invariant static-analysis pass.
+
+The package behind the historical ``scripts/radiocast_lint.py`` entry
+point. Layout:
+
+* :mod:`radiocast_lint.rules` — the rule catalog (ids, titles, scopes,
+  regexes, the salt-registry path). Pure data, importable standalone;
+  ``scripts/check_docs.py`` loads it to cross-check the documentation.
+* :mod:`radiocast_lint.report` — violation/suppression/file-report
+  dataclasses and the ``--json`` report builder.
+* :mod:`radiocast_lint.lexing` — the stdlib comment/string stripper used
+  by the regex engine.
+* :mod:`radiocast_lint.scan` — the engine-independent line scanners
+  (R1–R6, R9, the cross-file R4 salt pass, suppression collection).
+* :mod:`radiocast_lint.clang_engine` — the libclang front-end: lexer
+  token lines fed to the same line scanners, plus the AST passes for the
+  semantic rules R7 (worker-pool write ownership) and R8 (floating-point
+  reduction order). Consumes ``compile_commands.json`` when present.
+* :mod:`radiocast_lint.cli` — argument parsing, the tree walk, engine
+  selection, output, the ``--json`` writer and the suppression-budget
+  gate.
+
+See ``docs/STATIC_ANALYSIS.md`` for the catalog with paper-level
+rationale. Stdlib-only apart from the optional clang bindings — CI must
+not pip-install anything.
+"""
+
+__all__ = ["rules", "report", "lexing", "scan", "clang_engine", "cli"]

@@ -1,0 +1,6 @@
+"""`python3 -m radiocast_lint` (with scripts/ on sys.path)."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

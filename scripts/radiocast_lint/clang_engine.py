@@ -1,0 +1,472 @@
+"""The libclang front-end.
+
+Two layers, both fed from one translation unit per file:
+
+* the *lexer* layer rebuilds per-line code text from non-comment,
+  non-string tokens, so the line-based rules (R1–R6, R9) run on exactly
+  the same matchers as the regex engine but with comments and string
+  literals excluded by construction;
+* the *AST* layer walks real cursors for the two semantic rules the
+  regex engine cannot approximate: R7 (writes through reference-captured
+  shared state inside lambdas dispatched through
+  ``common/worker_pool.hpp``) and R8 (floating-point accumulation whose
+  iteration source is a parallel or unordered range).
+
+Translation units are parsed with the file's real arguments from
+``compile_commands.json`` when the build exported one (every CMake
+preset does), so headers resolve and types/overloads carry real
+semantic information; files outside the database (headers, the fixture
+tree) fall back to ``-std=c++20 -I <root>/src``.
+
+Both AST passes are deliberately conservative-accepting: when a
+subexpression cannot be classified (macro expansions, unresolved
+overloads from a degraded parse) the write is *not* flagged — a false
+positive would train people to sprinkle suppressions, which is worse
+than leaving the residue to TSan. The heuristics' reach is documented in
+docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from . import rules
+from .report import FileReport, Violation
+
+# Candidate shared objects for clang.cindex when the default resolution
+# fails (Debian/Ubuntu install versioned sonames only).
+_LIBCLANG_CANDIDATES = (
+    "libclang-18.so.1", "libclang-17.so.1", "libclang-16.so.1",
+    "libclang-15.so.1", "libclang-14.so.1", "libclang-14.so",
+    "libclang.so.1", "libclang.so",
+)
+
+_FP_RE = re.compile(r"\b(float|double)\b")
+# Textual fallback for recognizing a worker-pool dispatch when the callee
+# does not resolve semantically (e.g. a fixture parsed without the
+# project headers): `<something>pool<something>.run(` / `->run(`.
+_POOL_CALL_RE = re.compile(r"\w*[Pp]ool\w*(?:\.|->)run\($")
+
+
+def load() -> "ClangFrontEnd | None":
+    """Returns a working front-end or None when the bindings (or a
+    loadable libclang) are unavailable."""
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return None
+    try:
+        return ClangFrontEnd(cindex, cindex.Index.create())
+    except Exception:
+        pass
+    for name in _LIBCLANG_CANDIDATES:
+        try:
+            cindex.Config.set_library_file(name)
+            return ClangFrontEnd(cindex, cindex.Index.create())
+        except Exception:
+            continue
+    return None
+
+
+class ClangFrontEnd:
+    def __init__(self, cindex, index):
+        self.cindex = cindex
+        self.index = index
+        self.db = None
+        self.default_args = ["-x", "c++", "-std=c++20"]
+
+    def configure(self, root: pathlib.Path, build_dir: pathlib.Path | None):
+        self.default_args = ["-x", "c++", "-std=c++20",
+                             "-I", str(root / "src")]
+        if build_dir is None:
+            build_dir = root / "build"
+        if (build_dir / "compile_commands.json").is_file():
+            try:
+                self.db = self.cindex.CompilationDatabase.fromDirectory(
+                    str(build_dir))
+            except Exception:
+                self.db = None
+
+    # -- translation-unit plumbing ---------------------------------------
+
+    def _file_args(self, path: pathlib.Path) -> list:
+        if self.db is None:
+            return self.default_args
+        try:
+            cmds = self.db.getCompileCommands(str(path.resolve()))
+        except Exception:
+            cmds = None
+        if not cmds:
+            return self.default_args
+        cmd = cmds[0]
+        raw = list(cmd.arguments)[1:]  # drop the compiler executable
+        args = []
+        skip_next = False
+        for a in raw:
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if a == "-c" or a == str(path) or a == str(path.resolve()):
+                continue
+            args.append(a)
+        # Relative include paths in the database are relative to the
+        # command's working directory.
+        args.append(f"-working-directory={cmd.directory}")
+        return args
+
+    def parse(self, path: pathlib.Path):
+        """One TU per file; raises on hard parse failure (the caller
+        falls back to the regex stripper for that file)."""
+        return self.index.parse(str(path), args=self._file_args(path),
+                                options=0)
+
+    def code_lines(self, tu, raw_lines: list) -> list:
+        """Like lexing.strip_code(), but via libclang's lexer: rebuilds
+        per-line code text from non-comment, non-literal tokens, so both
+        engines feed the same matchers."""
+        cindex = self.cindex
+        out = [" " * len(line) for line in raw_lines]
+        for tok in tu.get_tokens(extent=tu.cursor.extent):
+            if tok.kind == cindex.TokenKind.COMMENT:
+                continue
+            if tok.kind == cindex.TokenKind.LITERAL:
+                # Drop string/char literals (a "mt19937" in a log message
+                # is not a use) but keep numeric ones: R4/R6 parse salt
+                # values.
+                spelling = tok.spelling
+                if not spelling or not (spelling[0].isdigit()
+                                        or spelling[0] == "."):
+                    continue
+            loc = tok.location
+            row = loc.line - 1
+            col = loc.column - 1
+            if row < 0 or row >= len(out):
+                continue
+            text = tok.spelling
+            line = out[row]
+            out[row] = line[:col] + text + line[col + len(text):]
+        return out
+
+    # -- AST helpers ------------------------------------------------------
+
+    def _main_cursors(self, tu, path: pathlib.Path):
+        """Preorder walk of every top-level cursor that lives in `path`
+        (included headers are skipped at the top level, so the walk never
+        descends into gtest and friends)."""
+        name = str(path)
+        resolved = str(path.resolve())
+
+        def walk(cur):
+            yield cur
+            for child in cur.get_children():
+                yield from walk(child)
+
+        for child in tu.cursor.get_children():
+            f = child.location.file
+            if f is not None and f.name in (name, resolved):
+                yield from walk(child)
+
+    @staticmethod
+    def _subtree(cur):
+        yield cur
+        for child in cur.get_children():
+            yield from ClangFrontEnd._subtree(child)
+
+    @staticmethod
+    def _tokens(cur) -> list:
+        try:
+            return [t.spelling for t in cur.get_tokens()]
+        except Exception:
+            return []
+
+    def _is_pool_dispatch(self, cur) -> bool:
+        """True when `cur` (a CALL_EXPR) is WorkerPool::run."""
+        if cur.spelling != "run":
+            return False
+        try:
+            ref = cur.referenced
+        except Exception:
+            ref = None
+        ck = self.cindex.CursorKind
+        if ref is not None and ref.kind in (ck.CXX_METHOD,
+                                            ck.FUNCTION_TEMPLATE):
+            parent = ref.semantic_parent
+            return parent is not None and parent.spelling == "WorkerPool"
+        # Unresolved callee (degraded parse): match the spelled receiver.
+        toks = self._tokens(cur)
+        for i, t in enumerate(toks):
+            if t == "(":
+                return bool(_POOL_CALL_RE.search("".join(toks[:i + 1])))
+        return False
+
+    def _capture_tokens(self, lam) -> list:
+        """Token spellings of the lambda's capture list (between the
+        opening '[' and its matching ']')."""
+        toks = self._tokens(lam)
+        if not toks or toks[0] != "[":
+            return []
+        depth = 0
+        out = []
+        for t in toks:
+            if t == "[":
+                depth += 1
+                if depth == 1:
+                    continue
+            elif t == "]":
+                depth -= 1
+                if depth == 0:
+                    return out
+            if depth >= 1:
+                out.append(t)
+        return out
+
+    def _allowed_names(self, lam) -> set:
+        """The lambda's index parameters plus every local transitively
+        derived from them (`Shard& shard = shards_[s];`,
+        `for (NodeId v = shards_[s].begin; ...)`, range-for loop
+        variables over param-derived ranges).  Writes subscripted by any
+        of these names are shard-owned by construction."""
+        ck = self.cindex.CursorKind
+        params = [c.spelling for c in lam.get_children()
+                  if c.kind == ck.PARM_DECL and c.spelling]
+        decls = []
+        for cur in self._subtree(lam):
+            if cur.kind == ck.CXX_FOR_RANGE_STMT:
+                children = list(cur.get_children())
+                var = next((c for c in children if c.kind == ck.VAR_DECL),
+                           None)
+                if var is None or not var.spelling:
+                    continue
+                dep = set()
+                for c in children:
+                    if c is var or (children and c is children[-1]):
+                        continue
+                    dep |= set(self._tokens(c))
+                decls.append((var.spelling, dep))
+            elif cur.kind == ck.VAR_DECL and cur is not lam and cur.spelling:
+                dep = set(self._tokens(cur)) - {cur.spelling}
+                decls.append((cur.spelling, dep))
+        allowed = set(params)
+        changed = True
+        while changed:
+            changed = False
+            for name, dep in decls:
+                if name not in allowed and dep & allowed:
+                    allowed.add(name)
+                    changed = True
+        return allowed
+
+    @staticmethod
+    def _extent_contains(extent, loc) -> bool:
+        try:
+            if extent.start.file is None or loc.file is None:
+                return False
+            if extent.start.file.name != loc.file.name:
+                return False
+            return extent.start.offset <= loc.offset <= extent.end.offset
+        except Exception:
+            return False
+
+    def _lhs_is_owned(self, lhs, lam, allowed: set) -> bool:
+        """True when a write through `lhs` inside pool-lambda `lam` is
+        provably benign: every referenced declaration is lambda-local, or
+        the target type is atomic, or the target is subscripted by a
+        shard-derived index."""
+        ck = self.cindex.CursorKind
+        outside = False
+        for cur in self._subtree(lhs):
+            if cur.kind == ck.CXX_THIS_EXPR:
+                outside = True
+            elif cur.kind in (ck.DECL_REF_EXPR, ck.MEMBER_REF_EXPR):
+                try:
+                    decl = cur.referenced
+                except Exception:
+                    decl = None
+                if decl is None:
+                    outside = True
+                elif not self._extent_contains(lam.extent, decl.location):
+                    outside = True
+        if not outside:
+            return True
+        try:
+            if "atomic" in lhs.type.spelling:
+                return True
+        except Exception:
+            pass
+        # Shard-indexed: any subscript in the write target whose index
+        # expression names an allowed (param-derived) variable.
+        toks = self._tokens(lhs)
+        depth = 0
+        for t in toks:
+            if t == "[":
+                depth += 1
+            elif t == "]":
+                depth = max(0, depth - 1)
+            elif depth > 0 and t in allowed:
+                return True
+        return False
+
+    def _assignment_targets(self, body):
+        """Yields (cursor, lhs) for every assignment-family expression in
+        `body`: plain/compound assignment (builtin and overloaded) and
+        ++/--.  Method-call mutation (`v.push_back(x)`) is out of reach
+        of a write-target analysis and deliberately left to TSan — the
+        rule's documented limitation."""
+        ck = self.cindex.CursorKind
+        for cur in self._subtree(body):
+            if cur is not body and cur.kind == ck.LAMBDA_EXPR:
+                # A nested lambda's execution context is unknown; its
+                # body is analyzed only if it is itself dispatched.
+                continue
+            children = list(cur.get_children())
+            if cur.kind == ck.COMPOUND_ASSIGNMENT_OPERATOR and children:
+                yield cur, children[0]
+            elif cur.kind == ck.BINARY_OPERATOR and len(children) == 2:
+                if self._binop_spelling(cur, children) == "=":
+                    yield cur, children[0]
+            elif cur.kind == ck.UNARY_OPERATOR and children:
+                toks = self._tokens(cur)
+                if toks and (toks[0] in ("++", "--")
+                             or toks[-1] in ("++", "--")):
+                    yield cur, children[0]
+            elif cur.kind == ck.CALL_EXPR and children and (
+                    cur.spelling == "operator="
+                    or cur.spelling.startswith("operator")
+                    and cur.spelling.endswith("=")
+                    and cur.spelling not in ("operator==", "operator!=",
+                                             "operator<=", "operator>=")):
+                yield cur, children[0]
+
+    def _binop_spelling(self, cur, children):
+        try:
+            end = children[0].extent.end.offset
+            for tok in cur.get_tokens():
+                if tok.location.offset >= end:
+                    return tok.spelling
+        except Exception:
+            pass
+        return None
+
+    # -- R7: worker-pool write ownership ----------------------------------
+
+    def r7_findings(self, tu, path: pathlib.Path, rel) -> list:
+        ck = self.cindex.CursorKind
+        found = []
+        seen_lambdas = set()
+        for cur in self._main_cursors(tu, path):
+            if cur.kind != ck.CALL_EXPR or not self._is_pool_dispatch(cur):
+                continue
+            for lam in self._subtree(cur):
+                if lam.kind != ck.LAMBDA_EXPR:
+                    continue
+                if lam.hash in seen_lambdas:
+                    continue
+                seen_lambdas.add(lam.hash)
+                captures = self._capture_tokens(lam)
+                if "&" not in captures and "this" not in captures:
+                    continue  # value captures cannot alias caller state
+                allowed = self._allowed_names(lam)
+                body = next(
+                    (c for c in lam.get_children()
+                     if c.kind == ck.COMPOUND_STMT), None)
+                if body is None:
+                    continue
+                for write, lhs in self._assignment_targets(body):
+                    try:
+                        owned = self._lhs_is_owned(lhs, lam, allowed)
+                    except Exception:
+                        owned = True  # unclassifiable: leave it to TSan
+                    if owned:
+                        continue
+                    found.append(Violation(
+                        rel, write.location.line, "R7",
+                        "write through reference-captured shared state in "
+                        "a worker-pool lambda — index the write by the "
+                        "dispatch parameter (shard ownership), make it "
+                        "atomic, or annotate with the ownership proof"))
+        return found
+
+    # -- R8: floating-point reduction order -------------------------------
+
+    def _mentions_unordered(self, cur) -> bool:
+        for sub in self._subtree(cur):
+            try:
+                if "unordered_" in sub.type.spelling:
+                    return True
+            except Exception:
+                continue
+        return False
+
+    def _fp_compound_adds(self, body):
+        ck = self.cindex.CursorKind
+        for cur in self._subtree(body):
+            if cur.kind != ck.COMPOUND_ASSIGNMENT_OPERATOR:
+                continue
+            children = list(cur.get_children())
+            if len(children) != 2:
+                continue
+            if self._binop_spelling(cur, children) not in ("+=", "-="):
+                continue
+            try:
+                fp = bool(_FP_RE.search(children[0].type.spelling))
+            except Exception:
+                fp = False
+            if fp:
+                yield cur
+
+    def r8_findings(self, tu, path: pathlib.Path, rel) -> list:
+        if not rules.in_scope(rel, rules.R8_DIRS):
+            return []
+        ck = self.cindex.CursorKind
+        found = []
+        for cur in self._main_cursors(tu, path):
+            if cur.kind == ck.CXX_FOR_RANGE_STMT:
+                children = list(cur.get_children())
+                if not children:
+                    continue
+                body = children[-1]
+                header = [c for c in children[:-1]]
+                if not any(self._mentions_unordered(c) for c in header):
+                    continue
+                for add in self._fp_compound_adds(body):
+                    found.append(Violation(
+                        rel, add.location.line, "R8",
+                        "floating-point accumulation over an unordered "
+                        "range — bucket order varies across libstdc++ "
+                        "versions and insertion histories, so the rounded "
+                        "sum does too; iterate a sorted copy or annotate "
+                        "with an order-independence proof"))
+            elif cur.kind == ck.CALL_EXPR and cur.spelling in ("accumulate",
+                                                              "reduce"):
+                try:
+                    fp = bool(_FP_RE.search(cur.type.spelling))
+                except Exception:
+                    fp = False
+                if not fp:
+                    continue
+                unordered = self._mentions_unordered(cur)
+                parallel = False
+                for arg in self._subtree(cur):
+                    try:
+                        if "execution" in arg.type.spelling:
+                            parallel = True
+                    except Exception:
+                        continue
+                if unordered or (parallel and cur.spelling == "reduce"):
+                    found.append(Violation(
+                        rel, cur.location.line, "R8",
+                        "floating-point reduction over a parallel or "
+                        "unordered range — the reduction order (and so "
+                        "the rounded result) depends on thread count or "
+                        "bucket order; reduce in a fixed order or "
+                        "annotate with an order-independence proof"))
+        return found
+
+    def ast_findings(self, tu, path: pathlib.Path,
+                     report: FileReport) -> None:
+        report.violations.extend(self.r7_findings(tu, path, report.rel))
+        report.violations.extend(self.r8_findings(tu, path, report.rel))

@@ -1,0 +1,205 @@
+"""Driver: file discovery, engine selection, reporting, and the
+suppression-budget gate.
+
+Exit codes (stable, relied on by CI and the self-tests):
+  0  clean
+  1  surviving violations, or a suppression-budget mismatch
+  2  malformed suppressions, or usage errors (unknown rule in an
+     annotation, unreadable budget doc, --engine clang without libclang)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+from . import clang_engine, rules, scan
+from .lexing import strip_code
+from .report import FileReport, apply_suppressions, build_json
+
+SCAN_DIRS = ("src", "bench", "tests")
+SCAN_EXTS = {".cpp", ".hpp", ".cc", ".h"}
+SKIP_PARTS = {"build", ".git"}
+# The deliberately-broken fixture tree is linted only by its self-test.
+SKIP_REL = ("tests/lint/fixtures",)
+
+BUDGET_RE = re.compile(r"Suppression budget:\s*`(\d+)`")
+
+
+def iter_files(root: pathlib.Path):
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SCAN_EXTS:
+                continue
+            rel = path.relative_to(root)
+            if SKIP_PARTS & set(rel.parts):
+                continue
+            if any(rel.as_posix().startswith(skip) for skip in SKIP_REL):
+                continue
+            yield path
+
+
+def list_rules() -> None:
+    width = max(len(r) for r in rules.RULES)
+    for rule, title in rules.RULES.items():
+        print(f"{rule:<{width}}  {title}")
+        print(f"{'':<{width}}    scope: {rules.SCOPE_DISPLAY[rule]}")
+
+
+def lint_file(path: pathlib.Path, rel: pathlib.Path,
+              front_end) -> FileReport:
+    report = FileReport(path=path, rel=rel)
+    raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    scan.collect_suppressions(report, raw)
+    code_lines = None
+    if front_end is not None:
+        try:
+            tu = front_end.parse(path)
+            code_lines = front_end.code_lines(tu, raw)
+            front_end.ast_findings(tu, path, report)
+            report.engine = "clang"
+        except Exception:
+            code_lines = None  # degraded: fall back to the stripper
+    if code_lines is None:
+        code_lines = strip_code(raw)
+    scan.scan_code_lines(report, code_lines)
+    return report
+
+
+def read_budget(doc: pathlib.Path) -> int | None:
+    try:
+        text = doc.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    m = BUDGET_RE.search(text)
+    return int(m.group(1)) if m else None
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="radiocast_lint",
+        description="Determinism and concurrency-ownership linter for the "
+                    "radiocast tree (rules R1-R9).")
+    ap.add_argument("files", nargs="*", type=pathlib.Path,
+                    help="files to lint (default: walk src/ bench/ tests/)")
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2],
+                    help="repository root (scoping + default walk)")
+    ap.add_argument("--engine", choices=("auto", "clang", "regex"),
+                    default="auto",
+                    help="auto prefers libclang and falls back to the "
+                         "regex engine; clang fails hard when libclang is "
+                         "unavailable")
+    ap.add_argument("--compile-commands", type=pathlib.Path, default=None,
+                    help="directory holding compile_commands.json "
+                         "(default: <root>/build)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    metavar="PATH",
+                    help="write the machine-readable report to PATH")
+    ap.add_argument("--budget", type=pathlib.Path, default=None,
+                    metavar="DOC",
+                    help="enforce the 'Suppression budget: `N`' line of DOC "
+                         "against the annotation inventory")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-violation lines (summary only)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        list_rules()
+        return 0
+
+    root = args.root.resolve()
+
+    front_end = None
+    if args.engine in ("auto", "clang"):
+        front_end = clang_engine.load()
+        if front_end is None and args.engine == "clang":
+            print("radiocast-lint: --engine clang requested but the "
+                  "libclang bindings are unavailable", file=sys.stderr)
+            return 2
+        if front_end is not None:
+            front_end.configure(root, args.compile_commands)
+    engine = "clang" if front_end is not None else "regex"
+
+    if args.files:
+        targets = [p.resolve() for p in args.files]
+    else:
+        targets = list(iter_files(root))
+
+    reports = []
+    for path in targets:
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = path
+        reports.append(lint_file(path, rel, front_end))
+
+    scan.check_salt_uniqueness(reports)
+
+    surviving = []
+    malformed = []
+    for report in reports:
+        surviving.extend(apply_suppressions(report))
+        for lineno, why in report.malformed:
+            malformed.append((report, lineno, why))
+    surviving.sort(key=lambda v: (v.path.as_posix(), v.line, v.rule))
+
+    for report, lineno, why in malformed:
+        print(f"{report.rel.as_posix()}:{lineno}: error: {why}")
+    if not args.quiet:
+        for v in surviving:
+            print(f"{v.path.as_posix()}:{v.line}: {v.rule}: {v.message}")
+
+    checked = set(rules.RULES)
+    note = ""
+    if engine != "clang":
+        checked -= rules.CLANG_ONLY
+        note = ("; " + "/".join(sorted(rules.CLANG_ONLY))
+                + " not checked (clang engine only)")
+
+    total = sum(len(r.suppressions) for r in reports)
+    used = sum(1 for r in reports
+               for s in r.suppressions.values() if s.used)
+
+    budget_line = ""
+    budget_fail = False
+    if args.budget is not None:
+        budget = read_budget(args.budget)
+        if budget is None:
+            print(f"radiocast-lint: no 'Suppression budget: `N`' line "
+                  f"found in {args.budget}", file=sys.stderr)
+            return 2
+        if budget != total:
+            budget_fail = True
+            print(f"radiocast-lint: suppression budget mismatch — "
+                  f"{args.budget} pins `{budget}` but the tree carries "
+                  f"{total} annotation(s); update the budget line and the "
+                  f"suppression catalog together", file=sys.stderr)
+        else:
+            budget_line = f", budget {budget} ok"
+
+    if malformed:
+        exit_code = 2
+    elif surviving or budget_fail:
+        exit_code = 1
+    else:
+        exit_code = 0
+
+    print(f"radiocast-lint[{engine}]: {len(reports)} file(s), "
+          f"{len(surviving)} violation(s), {used} suppression(s) in use"
+          f"{budget_line}{note}")
+
+    if args.json is not None:
+        payload = build_json(engine, reports, surviving, malformed,
+                             checked, exit_code)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+
+    return exit_code

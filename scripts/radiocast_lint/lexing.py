@@ -1,0 +1,66 @@
+"""The regex engine's comment/string stripper."""
+
+from __future__ import annotations
+
+
+def strip_code(raw_lines: list) -> list:
+    """Returns `raw_lines` with comments and string/char literals blanked.
+
+    A small state machine tracking /* */ across lines; escapes inside
+    literals are honored, and a ' between two hex digits is kept as a
+    digit separator (0xC01F'F11F…) rather than opening a char literal —
+    R4/R6 parse full salt values.  Enough C++ lexing for the rule
+    patterns — raw strings are treated as plain strings, which only errs
+    on the conservative (blanking) side.
+    """
+    hexdigits = set("0123456789abcdefABCDEF")
+    out = []
+    in_block = False
+    for line in raw_lines:
+        buf = []
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+                continue
+            if c == "/" and nxt == "/":
+                buf.append(" " * (n - i))
+                break
+            if c == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+                continue
+            if c == "'" and i > 0 and line[i - 1] in hexdigits \
+                    and nxt in hexdigits:
+                buf.append(c)  # digit separator inside a numeric literal
+                i += 1
+                continue
+            if c in "\"'":
+                quote = c
+                buf.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        buf.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        buf.append(" ")
+                        i += 1
+                        break
+                    buf.append(" ")
+                    i += 1
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out

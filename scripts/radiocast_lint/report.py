@@ -1,0 +1,111 @@
+"""Violation/suppression bookkeeping and the ``--json`` report builder."""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from . import rules
+
+JSON_VERSION = 1
+
+
+@dataclass
+class Violation:
+    path: pathlib.Path   # as reported (relative to root when possible)
+    line: int            # 1-based
+    rule: str
+    message: str
+
+
+@dataclass
+class Suppression:
+    line: int
+    rule: str
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class FileReport:
+    path: pathlib.Path
+    rel: pathlib.Path                 # path used for scoping + output
+    engine: str = "regex"             # which front-end produced code lines
+    suppressions: dict = field(default_factory=dict)  # line -> Suppression
+    malformed: list = field(default_factory=list)     # (line, why)
+    violations: list = field(default_factory=list)    # Violation
+    salts: list = field(default_factory=list)         # (name, value, line)
+
+
+def apply_suppressions(report: FileReport) -> list:
+    """Filters suppressed violations; returns the surviving ones."""
+    alive = []
+    for v in report.violations:
+        suppressed = False
+        for lineno in (v.line, v.line - 1):
+            s = report.suppressions.get(lineno)
+            if s is not None and s.rule == v.rule:
+                s.used = True
+                suppressed = True
+                break
+        if not suppressed:
+            alive.append(v)
+    return alive
+
+
+def build_json(engine: str, reports: list, surviving: list,
+               malformed: list, checked_rules: set,
+               exit_code: int) -> dict:
+    """The machine-readable lint report (``--json``).
+
+    The suppression *inventory* counts every well-formed annotation in
+    the linted files — used or not — because that is the quantity the
+    suppression-budget gate tracks: an annotation is reviewer-visible
+    debt the moment it lands in the tree, and the total is identical
+    under both engines (the regex engine cannot mark a clang-only
+    suppression used, but it still sees the annotation)."""
+    inventory = []
+    for r in reports:
+        for s in sorted(r.suppressions.values(), key=lambda s: s.line):
+            inventory.append({
+                "path": r.rel.as_posix(),
+                "line": s.line,
+                "rule": s.rule,
+                "reason": s.reason,
+                "used": s.used,
+            })
+    per_rule = {rule: 0 for rule in rules.RULES}
+    for v in surviving:
+        per_rule[v.rule] += 1
+    return {
+        "version": JSON_VERSION,
+        "engine": engine,
+        "files": len(reports),
+        "files_degraded": sum(1 for r in reports
+                              if engine == "clang" and r.engine != "clang"),
+        "rules": {
+            rule: {
+                "title": rules.RULES[rule],
+                "scope": rules.SCOPE_DISPLAY[rule],
+                "checked": rule in checked_rules,
+                "violations": per_rule[rule],
+            }
+            for rule in rules.RULES
+        },
+        "findings": [
+            {"path": v.path.as_posix(), "line": v.line, "rule": v.rule,
+             "message": v.message}
+            for v in surviving
+        ],
+        "suppressions": {
+            "total": len(inventory),
+            "in_use": sum(1 for s in inventory if s["used"]),
+            "unused": sum(1 for s in inventory if not s["used"]),
+            "inventory": inventory,
+        },
+        "malformed": [
+            {"path": r.rel.as_posix(), "line": lineno, "message": why}
+            for r, lineno, why in malformed
+        ],
+        "exit": exit_code,
+    }

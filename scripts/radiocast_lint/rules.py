@@ -1,0 +1,126 @@
+"""The rule catalog: ids, titles, scopes and the patterns that drive both
+engines.
+
+Pure data and pure helpers — no imports beyond the stdlib and no imports
+from the rest of the package, so ``scripts/check_docs.py`` can load this
+module standalone (via importlib) to cross-check rule ids, scope strings
+and the salt registry against ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+# --------------------------------------------------------------------------
+# Rule catalog.  check_docs.py cross-checks these ids *and* the scope
+# strings below against docs/STATIC_ANALYSIS.md, so neither the set nor
+# the scoping can drift from its documentation.
+# --------------------------------------------------------------------------
+
+RULES = {
+    "R1": "sequential RNG engine outside src/radiocast/rng/",
+    "R2": "wall-clock/environment read in a trial path",
+    "R3": "unordered container in a result-bearing directory",
+    "R4": "duplicate CounterRng salt constant",
+    "R5": "static non-const state in sim/ or proto/",
+    "R6": "CounterRng salt defined or drawn outside the registry",
+    "R7": "unproven shared write in a worker-pool lambda",
+    "R8": "floating-point accumulation over a parallel/unordered range",
+    "R9": "wall-clock/environment read in common/ or cache/",
+}
+
+# Rules whose detection needs a real AST: the regex engine reports them
+# as not-checked instead of pretending.
+CLANG_ONLY = frozenset({"R7", "R8"})
+
+# Path *segments* (directory names anywhere in the lint-relative path)
+# that place a file inside a rule's scope.  Scoping by segment instead of
+# full prefix lets the tests/lint/fixtures tree mirror the layout.
+R2_DIRS = frozenset({"sim", "proto", "fault", "harness", "graph"})
+R3_DIRS = frozenset({"sim", "proto", "stats", "obs", "fault", "graph",
+                     "cache"})
+R5_DIRS = frozenset({"sim", "proto", "graph"})
+# R8 covers every result-bearing directory R3 does, plus harness/ (the
+# trial aggregation layer: a thread-count-dependent reduction there feeds
+# RunRecords directly).
+R8_DIRS = R3_DIRS | {"harness"}
+R9_DIRS = frozenset({"common", "cache"})
+
+# The one file allowed to define kSalt* constants (R6).
+REGISTRY_REL = "src/radiocast/rng/salts.hpp"
+
+# Human- and machine-readable scope strings: printed by --list-rules and
+# cross-checked (backticks ignored) against the `**Scope:**` line of each
+# rule's section in docs/STATIC_ANALYSIS.md.
+def _dirs(dirs: frozenset) -> str:
+    return ", ".join(f"`{d}/`" for d in sorted(dirs))
+
+
+SCOPE_DISPLAY = {
+    "R1": "everywhere except `src/radiocast/rng/`",
+    "R2": _dirs(R2_DIRS),
+    "R3": _dirs(R3_DIRS),
+    "R4": "everywhere (cross-file)",
+    "R5": _dirs(R5_DIRS),
+    "R6": "everywhere except `tests/` and the registry "
+          "`src/radiocast/rng/salts.hpp`",
+    "R7": "everywhere a `common/worker_pool.hpp` lambda is dispatched "
+          "(clang engine only)",
+    "R8": _dirs(R8_DIRS) + " (clang engine only)",
+    "R9": _dirs(R9_DIRS),
+}
+
+SUPPRESS_TOKEN = "RADIOCAST_LINT_OK"
+# The only accepted shape: // RADIOCAST_LINT_OK(R3): non-empty reason
+SUPPRESS_RE = re.compile(
+    r"//\s*" + SUPPRESS_TOKEN + r"\((R\d+)\):\s*(\S.*)$")
+
+R1_RE = re.compile(r"\b(?:std::)?(?:mt19937(?:_64)?|random_device)\b"
+                   r"|\bstd::rand\b|\bsrand\s*\(")
+R2_RE = re.compile(r"\b(?:std::)?time\s*\(|\bsystem_clock\b|\bgetenv\b")
+R3_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+R4_SALT_RE = re.compile(
+    r"\b(kSalt\w*)\s*=\s*(0[xX][0-9a-fA-F']+|\d[\d']*)")
+R5_STATIC_RE = re.compile(r"^\s*static\s+(?:thread_local\s+)?(.*)$")
+R5_EXEMPT_RE = re.compile(
+    r"^\s*(?:inline\s+)?(?:const\b|constexpr\b|consteval\b|constinit\b)")
+# A literal (unregistered) salt handed straight to a CounterRng draw.
+# word/unit take the salt as their first argument; an integer literal
+# there bypasses the registry even without a kSalt* definition.
+R6_DRAW_RE = re.compile(
+    r"\.\s*(?:word|unit)\s*\(\s*(?:0[xX][0-9a-fA-F']+|\d[\d']*)"
+    r"[uUlL]*\s*,")
+INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
+
+
+def scoped_rel(rel: pathlib.Path) -> pathlib.Path:
+    """The path used for rule scoping.  The deliberately-broken fixture
+    tree mirrors the repo layout under ``tests/lint/fixtures/``; scoping
+    by the subpath after ``fixtures`` lets a fixture exercise rules (like
+    R6) that exclude ``tests/`` in the real tree."""
+    parts = rel.parts
+    if "fixtures" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("fixtures")
+        return pathlib.Path(*parts[idx + 1:])
+    return rel
+
+
+def in_scope(rel: pathlib.Path, dirs: frozenset) -> bool:
+    return any(part in dirs for part in scoped_rel(rel).parts)
+
+
+def r1_in_scope(rel: pathlib.Path) -> bool:
+    """R1 applies everywhere except the rng layer itself."""
+    parts = scoped_rel(rel).parts
+    return not any(parts[i:i + 3] == ("src", "radiocast", "rng")
+                   for i in range(len(parts)))
+
+
+def r6_in_scope(rel: pathlib.Path) -> bool:
+    """R6 applies everywhere except tests (keying-contract tests draw
+    from small literal salts on purpose) and the registry itself."""
+    scoped = scoped_rel(rel)
+    if "tests" in scoped.parts:
+        return False
+    return scoped.as_posix() != REGISTRY_REL

@@ -1,0 +1,129 @@
+"""Engine-independent passes: suppression collection, the line-based
+rules R1–R6/R9 over comment-stripped code lines (produced either by the
+stdlib stripper or by libclang's lexer), and the cross-file R4 salt
+pass."""
+
+from __future__ import annotations
+
+import re
+
+from . import rules
+from .report import FileReport, Suppression, Violation
+
+
+def collect_suppressions(report: FileReport, raw_lines: list) -> None:
+    for lineno, line in enumerate(raw_lines, start=1):
+        if rules.SUPPRESS_TOKEN not in line:
+            continue
+        m = rules.SUPPRESS_RE.search(line)
+        if not m:
+            report.malformed.append(
+                (lineno, f"malformed suppression (expected "
+                         f"'// {rules.SUPPRESS_TOKEN}(<rule>): <reason>')"))
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if rule not in rules.RULES:
+            report.malformed.append(
+                (lineno, f"suppression names unknown rule '{rule}'"))
+            continue
+        if not reason:
+            report.malformed.append(
+                (lineno, "suppression carries no reason"))
+            continue
+        report.suppressions[lineno] = Suppression(lineno, rule, reason)
+
+
+def scan_code_lines(report: FileReport, code_lines: list) -> None:
+    """Applies the line-based rules R1/R2/R3/R5/R6/R9 to the
+    comment-stripped lines and collects salt definitions for the
+    cross-file R4 pass."""
+    rel = report.rel
+    r1 = rules.r1_in_scope(rel)
+    r2 = rules.in_scope(rel, rules.R2_DIRS)
+    r3 = rules.in_scope(rel, rules.R3_DIRS)
+    r5 = rules.in_scope(rel, rules.R5_DIRS)
+    r6 = rules.r6_in_scope(rel)
+    r9 = rules.in_scope(rel, rules.R9_DIRS)
+
+    for lineno, line in enumerate(code_lines, start=1):
+        if r1 and rules.R1_RE.search(line):
+            report.violations.append(Violation(
+                rel, lineno, "R1",
+                "sequential RNG engine (mt19937/rand/random_device) — all "
+                "randomness must flow through radiocast::rng"))
+        if r2 and rules.R2_RE.search(line):
+            report.violations.append(Violation(
+                rel, lineno, "R2",
+                "wall-clock/environment read (time/system_clock/getenv) in "
+                "a trial path — trials must be pure functions of the seed"))
+        if r3 and rules.R3_RE.search(line) \
+                and not rules.INCLUDE_RE.match(line):
+            report.violations.append(Violation(
+                rel, lineno, "R3",
+                "unordered container in a result-bearing directory — "
+                "iteration order is unspecified; use an ordered container "
+                "or annotate with an order-independence proof"))
+        if r5:
+            m = rules.R5_STATIC_RE.match(line)
+            if m and not rules.R5_EXEMPT_RE.match(m.group(1)):
+                tail = m.group(1)
+                stop = re.search(r"[=;{(]", tail)
+                # A '(' first means a (member) function declaration, which
+                # carries no state; anything else is a static object.
+                if stop and stop.group(0) != "(":
+                    report.violations.append(Violation(
+                        rel, lineno, "R5",
+                        "static non-const state — hidden mutable state "
+                        "breaks trial independence"))
+        if r9 and rules.R2_RE.search(line):
+            report.violations.append(Violation(
+                rel, lineno, "R9",
+                "wall-clock/environment read (time/system_clock/getenv) in "
+                "common/ or cache/ — infrastructure below the trial "
+                "engines must not read ambient state that could steer a "
+                "trajectory; prove the read is startup-only and "
+                "outcome-invariant or hoist it to the harness"))
+        salt_defs = list(rules.R4_SALT_RE.finditer(line))
+        if r6:
+            for m in salt_defs:
+                report.violations.append(Violation(
+                    rel, lineno, "R6",
+                    f"salt constant {m.group(1)} defined outside the "
+                    f"registry — every CounterRng stream domain lives in "
+                    f"{rules.REGISTRY_REL} (with its inventory row in "
+                    "docs/STATIC_ANALYSIS.md)"))
+            if rules.R6_DRAW_RE.search(line):
+                report.violations.append(Violation(
+                    rel, lineno, "R6",
+                    "literal salt at a CounterRng draw site — draws must "
+                    f"be keyed by a named salt from {rules.REGISTRY_REL} "
+                    "so the stream inventory stays complete"))
+        for m in salt_defs:
+            value = int(m.group(2).replace("'", ""), 0)
+            report.salts.append((m.group(1), value, lineno))
+
+
+def check_salt_uniqueness(reports: list) -> list:
+    """Cross-file R4 pass: every kSalt* constant value must be unique.
+    With the registry in place this is a registry property — scattered
+    definitions are already R6 violations — but the pass still guards
+    the registry itself against a copy-pasted value."""
+    by_value: dict = {}
+    for report in reports:
+        for name, value, lineno in report.salts:
+            by_value.setdefault(value, []).append((report, name, lineno))
+    violations = []
+    for value, sites in sorted(by_value.items()):
+        if len(sites) < 2:
+            continue
+        first = sites[0]
+        for report, name, lineno in sites[1:]:
+            v = Violation(
+                report.rel, lineno, "R4",
+                f"salt constant {name} duplicates the value "
+                f"{value:#018x} of {first[1]} "
+                f"({first[0].rel}:{first[2]}) — duplicate salts silently "
+                "correlate CounterRng streams")
+            report.violations.append(v)
+            violations.append((report, v))
+    return violations

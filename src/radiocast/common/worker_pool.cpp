@@ -68,6 +68,7 @@ std::size_t default_thread_count() {
   const std::size_t hw = hardware_threads();
   // Worker-pool sizing only; results are thread-count-invariant by the
   // docs/PARALLELISM.md contract, so this read cannot touch a trajectory.
+  // RADIOCAST_LINT_OK(R9): startup-only read; pool width is outcome-invariant (bit-identity suites pin every result at any thread count)
   if (const char* v = std::getenv("RADIOCAST_THREADS")) {
     // Strict parse: the whole value must be a positive decimal number.
     // "8x" or "1e3" silently truncating to 8 / 1 (or overflow saturating
@@ -111,6 +112,7 @@ std::optional<Affinity> parse_affinity(const char* value) noexcept {
 Affinity default_affinity() {
   // Placement-only knob: the determinism contract makes pinning invisible
   // to trajectories, so reading the environment here is safe.
+  // RADIOCAST_LINT_OK(R9): startup-only read; thread placement never feeds a trajectory, only scheduling latency
   if (const char* v = std::getenv("RADIOCAST_AFFINITY")) {
     if (const auto parsed = parse_affinity(v)) {
       return *parsed;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "radiocast/common/check.hpp"
+#include "radiocast/rng/salts.hpp"
 
 namespace radiocast::fault {
 
@@ -15,14 +16,14 @@ using sim::batch::LaneMask;
 
 namespace {
 
-// Domain-separation salts for the lane-family draws. Arbitrary odd
-// constants, distinct from FaultPlan's link-keyed salts because the lane
-// family keys loss on the receiver, not the link — a separate determinism
-// contract, shared by LaneFaultPlan and LaneFaultReplay.
-constexpr std::uint64_t kSaltLaneJam = 0x4A4DB17C'0000000BULL;
-constexpr std::uint64_t kSaltLaneLoss = 0x1055B17C'0000000DULL;
-constexpr std::uint64_t kSaltLaneGeState = 0x6E5FB17C'00000011ULL;
-constexpr std::uint64_t kSaltLaneGeLoss = 0x6E5FB17D'00000013ULL;
+// Domain-separation salts for the lane-family draws live in the central
+// registry (rng/salts.hpp) — distinct from FaultPlan's link-keyed salts
+// because the lane family keys loss on the receiver, not the link; a
+// separate determinism contract, shared by LaneFaultPlan/LaneFaultReplay.
+using rng::kSaltLaneGeLoss;
+using rng::kSaltLaneGeState;
+using rng::kSaltLaneJam;
+using rng::kSaltLaneLoss;
 
 /// P(bad at now | chain observed `gap` slots ago), the closed-form k-step
 /// transition of the 2-state chain — the same arithmetic, in the same

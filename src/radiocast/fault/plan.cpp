@@ -7,18 +7,18 @@
 #include "radiocast/common/check.hpp"
 #include "radiocast/obs/metrics.hpp"
 #include "radiocast/rng/rng.hpp"
+#include "radiocast/rng/salts.hpp"
 
 namespace radiocast::fault {
 
 namespace {
 
-// Domain-separation salts for the counter-based draws. Arbitrary odd
-// constants; changing one changes every fault trajectory, so they are
-// part of the determinism contract.
-constexpr std::uint64_t kSaltJam = 0x4A4D4A4D'00000001ULL;
-constexpr std::uint64_t kSaltBernoulli = 0x10550001'00000003ULL;
-constexpr std::uint64_t kSaltGeState = 0x6E5F5701'00000005ULL;
-constexpr std::uint64_t kSaltGeLoss = 0x6E5F5702'00000007ULL;
+// Domain-separation salts for the counter-based draws live in the central
+// registry (rng/salts.hpp); the aliases keep the draw sites short.
+using rng::kSaltBernoulli;
+using rng::kSaltGeLoss;
+using rng::kSaltGeState;
+using rng::kSaltJam;
 /// rng stream id for the crash-schedule compiler.
 constexpr std::uint64_t kCrashStream = 0xC4A5'0001ULL;
 

@@ -33,15 +33,18 @@
 
 #include "radiocast/common/types.hpp"
 #include "radiocast/rng/counter_rng.hpp"
+#include "radiocast/rng/salts.hpp"
 #include "radiocast/rng/sliced_bernoulli.hpp"
 #include "radiocast/sim/batch/batch_simulator.hpp"
 
 namespace radiocast::proto {
 
-/// Domain-separation salt for the Decay coin words. Part of the
-/// determinism contract: changing it changes every counter-RNG/batched
-/// trajectory (but never the classic per-node xoshiro streams).
-inline constexpr std::uint64_t kSaltDecayCoin = 0xDECA'C019'0000'0009ULL;
+/// Domain-separation salt for the Decay coin words — defined in the
+/// central registry (rng/salts.hpp); the alias keeps the historical
+/// proto:: spelling at the draw sites. Part of the determinism contract:
+/// changing it changes every counter-RNG/batched trajectory (but never
+/// the classic per-node xoshiro streams).
+using rng::kSaltDecayCoin;
 
 /// The 64-lane fair-coin word at (slot, node) for one lane block. Bit k
 /// (lane k): 1 = coin 1 (continue), 0 = coin 0 (stop). Slice 0 of the

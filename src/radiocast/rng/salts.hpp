@@ -1,0 +1,58 @@
+// The central CounterRng salt registry — every stream domain in one place.
+//
+// Salts are the domain separators of the counter-keyed RNG
+// (counter_rng.hpp): two subsystems sharing a seed stay independent only
+// because their salts differ, so the full set of salts IS the inventory
+// of randomness streams this reproduction draws from. Scattering the
+// constants across subsystems made that inventory invisible — a new
+// protocol could collide with the fault layer and only the R4 duplicate
+// scan would notice, after the fact. Centralizing them makes uniqueness a
+// *registry property*: every salt is defined on the lines below, the
+// radiocast-lint R6 rule rejects `kSalt*` definitions (and literal salts
+// at draw sites) anywhere else, and `scripts/check_docs.py` cross-checks
+// this file against the stream-inventory table in
+// docs/STATIC_ANALYSIS.md in both directions.
+//
+// Adding a stream: pick a fresh 64-bit constant (convention: a mnemonic
+// high word, an odd low word), add one line here with a one-line
+// description of what the stream keys, and add the matching row to the
+// docs/STATIC_ANALYSIS.md inventory table.
+//
+// Changing a value changes every trajectory keyed under it — salts are
+// part of the determinism contract (docs/PARALLELISM.md), pinned by the
+// bit-identity suites (tests/test_batch.cpp, tests/test_fault.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace radiocast::rng {
+
+// --- scalar fault plans (fault/plan.cpp) --------------------------------
+// Per-slot jammer activation coin, keyed (jammer index, slot).
+inline constexpr std::uint64_t kSaltJam = 0x4A4D4A4D'00000001ULL;
+// Bernoulli link-loss coin, keyed (link key, slot).
+inline constexpr std::uint64_t kSaltBernoulli = 0x10550001'00000003ULL;
+// Gilbert–Elliott per-link state-transition draw, keyed (link key, slot).
+inline constexpr std::uint64_t kSaltGeState = 0x6E5F5701'00000005ULL;
+// Gilbert–Elliott in-state loss draw, keyed (link key, slot).
+inline constexpr std::uint64_t kSaltGeLoss = 0x6E5F5702'00000007ULL;
+
+// --- batched Decay coin (proto/decay_batch.hpp) -------------------------
+// The Decay stop coin: 64-lane words keyed (lane block, slot, node); the
+// scalar counter-RNG protocol replays single bits of the same masks,
+// which is what makes lane k of block b bit-identical to trial 64b+k.
+inline constexpr std::uint64_t kSaltDecayCoin = 0xDECA'C019'0000'0009ULL;
+
+// --- batched fault lanes (fault/lane_plan.cpp) --------------------------
+// Lane-parallel jammer activation masks, keyed (jammer, lane block, slot).
+inline constexpr std::uint64_t kSaltLaneJam = 0x4A4DB17C'0000000BULL;
+// Lane-parallel Bernoulli loss masks, keyed (lane block, slot).
+inline constexpr std::uint64_t kSaltLaneLoss = 0x1055B17C'0000000DULL;
+// Lane-replay Gilbert–Elliott state-transition draw, keyed
+// (trial, slot, receiver).
+inline constexpr std::uint64_t kSaltLaneGeState = 0x6E5FB17C'00000011ULL;
+// Lane-replay Gilbert–Elliott in-state loss draw, keyed
+// (trial, slot, receiver).
+inline constexpr std::uint64_t kSaltLaneGeLoss = 0x6E5FB17D'00000013ULL;
+
+}  // namespace radiocast::rng

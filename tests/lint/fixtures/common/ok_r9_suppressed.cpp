@@ -1,0 +1,10 @@
+// Fixture: a *valid* R9 suppression — the read on line 9 happens once
+// at startup and only picks a scratch directory, which no trajectory
+// ever observes; the annotation on line 8 carries that proof, so the
+// file lints clean (exit 0).
+#include <cstdlib>
+
+const char* scratch_dir() {
+  // RADIOCAST_LINT_OK(R9): startup-only scratch-dir lookup, value never feeds a trajectory
+  return std::getenv("RADIOCAST_SCRATCH_DIR");
+}

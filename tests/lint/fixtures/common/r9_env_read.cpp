@@ -1,0 +1,8 @@
+// Fixture: R9 — an environment read inside common/ (violation on
+// line 7). Infrastructure below the trial engines must not read ambient
+// state that could steer a trajectory.
+#include <cstdlib>
+
+const char* scratch_dir() {
+  return std::getenv("RADIOCAST_SCRATCH_DIR");
+}

@@ -1,0 +1,16 @@
+// Fixture: a *valid* R8 suppression — the accumulation on line 13 is
+// integer-valued doubles well inside the 2^53 exact range, so addition
+// order cannot change the sum; the annotation on line 12 carries that
+// proof and the file lints clean (exit 0) under the clang engine.
+#include <string>
+#include <unordered_map>
+
+double count_hits(const std::unordered_map<std::string, double>& hits) {
+  double total = 0.0;
+  for (const auto& entry : hits) {
+    // Every value is a small integral count; double addition is exact.
+    // RADIOCAST_LINT_OK(R8): integral counts below 2^53, addition is exact in any order
+    total += entry.second;
+  }
+  return total;
+}

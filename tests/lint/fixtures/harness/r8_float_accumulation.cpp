@@ -1,0 +1,14 @@
+// Fixture: R8 — floating-point accumulation over an unordered range
+// (violation on line 11; clang engine only — the regex engine reports
+// R8 as not checked). Bucket order is a function of libstdc++ version
+// and insertion history, so the rounded sum is too.
+#include <string>
+#include <unordered_map>
+
+double total(const std::unordered_map<std::string, double>& gauges) {
+  double sum = 0.0;
+  for (const auto& entry : gauges) {
+    sum += entry.second;
+  }
+  return sum;
+}

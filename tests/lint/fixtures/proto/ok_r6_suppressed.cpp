@@ -1,0 +1,12 @@
+// Fixture: a *valid* R6 suppression — the literal draw on line 11 keys
+// a throwaway probe stream whose output is discarded; the annotation on
+// line 10 carries the proof, so the file lints clean (exit 0).
+#include <cstdint>
+
+struct Rng { std::uint64_t word(std::uint64_t, std::uint64_t); };
+
+std::uint64_t probe(Rng& rng) {
+  // Self-test only; the drawn word never reaches a RunRecord.
+  // RADIOCAST_LINT_OK(R6): throwaway self-test probe stream, result discarded
+  return rng.word(0x9E0B'0000'0000'0001ULL, 1);
+}

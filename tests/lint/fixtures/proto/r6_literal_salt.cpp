@@ -1,0 +1,14 @@
+// Fixture: R6 — CounterRng streams keyed outside the registry. The
+// local salt constant on line 8 and the literal draw on line 13 both
+// bypass src/radiocast/rng/salts.hpp, so neither stream appears in the
+// docs/STATIC_ANALYSIS.md inventory.
+#include <cstdint>
+
+// Copy-pasted instead of registered:
+constexpr std::uint64_t kSaltRogue = 0xB060'0001'0000'0001ULL;
+
+struct Rng { std::uint64_t word(std::uint64_t, std::uint64_t); };
+
+std::uint64_t draw(Rng& rng) {
+  return rng.word(0x51D0'0000'0000'0001ULL, 7);
+}

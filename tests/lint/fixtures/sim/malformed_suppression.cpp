@@ -4,6 +4,6 @@
 #include <cstdlib>
 
 const char* trace_dir() {
-  // RADIOCAST_LINT_OK(R9): no such rule
+  // RADIOCAST_LINT_OK(R42): no such rule
   return std::getenv("RADIOCAST_TRACE_DIR");
 }

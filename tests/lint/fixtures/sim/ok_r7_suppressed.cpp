@@ -1,0 +1,23 @@
+// Fixture: a *valid* R7 suppression — the shared write on line 20 is
+// guarded by the ownership proof on line 19 (the pool here runs the
+// lambda from exactly one thread), so the file lints clean (exit 0)
+// under the clang engine.
+#include <cstddef>
+#include <vector>
+
+struct WorkerPool {
+  template <typename Fn>
+  void run(std::size_t count, Fn&& fn) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+};
+
+void tally(WorkerPool& pool, std::vector<int>& hits) {
+  int total = 0;
+  pool.run(hits.size(), [&](std::size_t shard) {
+    hits[shard] = 1;
+    // RADIOCAST_LINT_OK(R7): single-thread pool in this fixture, writes are serialized by construction
+    total += 1;
+  });
+  (void)total;
+}

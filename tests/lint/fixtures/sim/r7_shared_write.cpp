@@ -1,0 +1,22 @@
+// Fixture: R7 — a worker-pool lambda writing through reference-captured
+// shared state with no ownership proof (violation on line 19; clang
+// engine only — the regex engine reports R7 as not checked). The
+// shard-indexed write on line 18 is provably owned and stays clean.
+#include <cstddef>
+#include <vector>
+
+struct WorkerPool {
+  template <typename Fn>
+  void run(std::size_t count, Fn&& fn) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+};
+
+void tally(WorkerPool& pool, std::vector<int>& hits) {
+  int collisions = 0;
+  pool.run(hits.size(), [&](std::size_t shard) {
+    hits[shard] = 1;
+    collisions += 1;
+  });
+  (void)collisions;
+}
